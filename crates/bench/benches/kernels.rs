@@ -1,0 +1,69 @@
+//! Criterion microbenchmarks for the similarity kernels — the innermost
+//! loops of the whole system (up to 90 % of search time per the paper).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use must_vector::kernels;
+
+fn vectors(dim: usize) -> (Vec<f32>, Vec<f32>) {
+    let a: Vec<f32> = (0..dim).map(|i| ((i * 37 + 11) as f32).sin()).collect();
+    let b: Vec<f32> = (0..dim).map(|i| ((i * 53 + 7) as f32).cos()).collect();
+    (a, b)
+}
+
+fn bench_kernels(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kernels");
+    for dim in [32usize, 64, 128, 256] {
+        let (a, b) = vectors(dim);
+        group.bench_with_input(BenchmarkId::new("ip", dim), &dim, |bch, _| {
+            bch.iter(|| kernels::ip(black_box(&a), black_box(&b)))
+        });
+        group.bench_with_input(BenchmarkId::new("l2_sq", dim), &dim, |bch, _| {
+            bch.iter(|| kernels::l2_sq(black_box(&a), black_box(&b)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_joint(c: &mut Criterion) {
+    use must_vector::{JointDistance, MultiQuery, MultiVectorSet, VectorSetBuilder, Weights};
+    let n = 4096;
+    let mut m0 = VectorSetBuilder::new(64, n);
+    let mut m1 = VectorSetBuilder::new(32, n);
+    for i in 0..n {
+        let v0: Vec<f32> = (0..64).map(|j| ((i * 31 + j * 7) as f32).sin()).collect();
+        let v1: Vec<f32> = (0..32).map(|j| ((i * 17 + j * 13) as f32).cos()).collect();
+        m0.push_normalized(&v0).unwrap();
+        m1.push_normalized(&v1).unwrap();
+    }
+    let set = MultiVectorSet::new(vec![m0.finish(), m1.finish()]).unwrap();
+    let joint = JointDistance::new(&set, Weights::new(vec![0.8, 0.33]).unwrap()).unwrap();
+    let query = MultiQuery::full(vec![
+        set.modality(0).get(0).to_vec(),
+        set.modality(1).get(0).to_vec(),
+    ]);
+    let ev = joint.query(&query).unwrap();
+
+    let mut group = c.benchmark_group("joint");
+    group.bench_function("exact_ip", |b| {
+        let mut id = 0u32;
+        b.iter(|| {
+            id = (id + 1) % n as u32;
+            black_box(ev.ip(id))
+        })
+    });
+    group.bench_function("pruned_ip_tight_threshold", |b| {
+        let mut id = 0u32;
+        b.iter(|| {
+            id = (id + 1) % n as u32;
+            black_box(ev.ip_pruned(id, 0.9))
+        })
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_kernels, bench_joint
+}
+criterion_main!(benches);

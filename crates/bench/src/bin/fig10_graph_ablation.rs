@@ -1,0 +1,74 @@
+//! Fig. 10 — ablations on ImageText1M:
+//! (a) construction time across proximity-graph backends,
+//! (b) QPS vs recall across backends,
+//! (c) the multi-vector computation optimisation (Lemma 4) on/off.
+
+use must_bench::efficiency::{must_sweep, prepare, to_series, MUST_LS};
+use must_bench::report::{Figure, Table};
+use must_core::{Must, MustBuildOptions};
+use must_graph::GraphRecipe;
+
+fn main() {
+    let scale = must_bench::scale();
+    let n = (30_000.0 * scale) as usize;
+    let ds = must_data::catalog::image_text(n, 300, must_bench::DATASET_SEED);
+    must_bench::banner(&ds);
+
+    // One shared setup provides weights + ground truth; per-recipe builds
+    // reuse the same corpus/workload through rebuilds.
+    let base = prepare(&ds, 10, MustBuildOptions::default());
+
+    let mut build_table = Table::new(
+        "Fig. 10a",
+        "Index construction time across proximity graphs",
+        &["Graph", "Build time (s)", "Index size (MB)"],
+    );
+    let mut search_fig = Figure::new(
+        "Fig. 10b",
+        "QPS vs Recall@10(10) across graph backends",
+        "Recall@10(10)",
+        "QPS",
+    );
+
+    for recipe in GraphRecipe::all() {
+        let must = Must::build(
+            base.must.objects().clone(),
+            base.weights.clone(),
+            MustBuildOptions { recipe, ..Default::default() },
+        )
+        .expect("build");
+        let report = must.report().clone();
+        build_table.push_row(vec![
+            recipe.label().into(),
+            format!("{:.2}", report.build_secs),
+            format!("{:.1}", report.index_bytes as f64 / (1024.0 * 1024.0)),
+        ]);
+        // Swap the built index into a setup clone for the sweep.
+        let setup = must_bench::efficiency::EffSetup {
+            must,
+            queries: base.queries.clone(),
+            ground_truth: base.ground_truth.clone(),
+            k: base.k,
+            weights: base.weights.clone(),
+        };
+        search_fig.push_series(
+            &format!("MUST-{}", recipe.label()),
+            to_series(&must_sweep(&setup, MUST_LS)),
+        );
+    }
+    build_table.emit();
+    search_fig.emit();
+
+    // (c) Lemma-4 pruning on/off on the fused index.
+    let mut prune_fig = Figure::new(
+        "Fig. 10c",
+        "Multi-vector computation optimisation (Lemma 4)",
+        "Recall@10(10)",
+        "QPS",
+    );
+    let mut setup = prepare(&ds, 10, MustBuildOptions::default());
+    prune_fig.push_series("w. optimization", to_series(&must_sweep(&setup, MUST_LS)));
+    setup.must.set_prune(false);
+    prune_fig.push_series("w/o optimization", to_series(&must_sweep(&setup, MUST_LS)));
+    prune_fig.emit();
+}

@@ -1,0 +1,51 @@
+//! Fig. 13 — effect of the number of negative examples `|N-|` on the
+//! weight-learning model (loss and recall curves, ImageText1M).
+
+use must_bench::report::Figure;
+use must_core::weights::{WeightLearnConfig, WeightLearner};
+use must_data::embed::embed_dataset;
+use must_vector::{MultiQuery, ObjectId};
+
+fn main() {
+    let scale = must_bench::scale();
+    let ds = must_data::catalog::image_text(
+        (30_000.0 * scale) as usize,
+        400,
+        must_bench::DATASET_SEED,
+    );
+    must_bench::banner(&ds);
+    let registry = must_bench::registry();
+    let embedded = embed_dataset(&ds, &must_bench::efficiency::semisynthetic_config(), &registry);
+    let anchors: Vec<(&MultiQuery, ObjectId)> =
+        embedded.queries.iter().map(|q| (&q.query, q.anchor)).collect();
+
+    let mut fig = Figure::new(
+        "Fig. 13",
+        "Effect of the number of negatives |N-| on weight learning",
+        "epoch",
+        "loss / recall",
+    );
+    for n_neg in [1usize, 2, 4, 6, 8, 10] {
+        let config = WeightLearnConfig {
+            epochs: 150,
+            num_negatives: n_neg,
+            ..Default::default()
+        };
+        let learner = WeightLearner::new(&embedded.objects, &anchors, &config);
+        let out = learner.train(&config);
+        fig.push_series(
+            &format!("|N-|={n_neg}:loss"),
+            out.curve.loss.iter().enumerate().map(|(e, l)| (e as f64, *l)).collect(),
+        );
+        fig.push_series(
+            &format!("|N-|={n_neg}:recall"),
+            out.curve.recall.iter().enumerate().map(|(e, r)| (e as f64, *r)).collect(),
+        );
+        println!(
+            "|N-| = {n_neg:>2}: final loss {:.4}, final recall {:.3}",
+            out.curve.loss.last().unwrap_or(&0.0),
+            out.curve.recall.last().unwrap_or(&0.0)
+        );
+    }
+    fig.emit();
+}

@@ -1,0 +1,32 @@
+//! Figs. 14–15 — the maximum-neighbour bound gamma: index size, build
+//! time, recall and response time (Appendix H) on ImageText1M.
+
+use must_bench::efficiency::{must_sweep, prepare};
+use must_bench::report::Table;
+use must_core::MustBuildOptions;
+
+fn main() {
+    let scale = must_bench::scale();
+    let n = (30_000.0 * scale) as usize;
+    let ds = must_data::catalog::image_text(n, 300, must_bench::DATASET_SEED);
+    must_bench::banner(&ds);
+
+    let mut table = Table::new(
+        "Fig. 14 15",
+        "Effect of gamma on index and search (l = 4000-equivalent pool)",
+        &["gamma", "Index size (MB)", "Build time (s)", "Recall@10(10)", "Response (ms)"],
+    );
+    for gamma in [10usize, 20, 30, 40, 50] {
+        let setup = prepare(&ds, 10, MustBuildOptions { gamma, ..Default::default() });
+        let report = setup.must.report().clone();
+        let pts = must_sweep(&setup, &[1000]);
+        table.push_row(vec![
+            gamma.to_string(),
+            format!("{:.1}", report.index_bytes as f64 / (1024.0 * 1024.0)),
+            format!("{:.2}", report.build_secs),
+            format!("{:.4}", pts[0].recall),
+            format!("{:.2}", 1000.0 / pts[0].qps),
+        ]);
+    }
+    table.emit();
+}

@@ -1,0 +1,121 @@
+//! Fig. 5 — case study on MIT-States: top-5 results of MUST, MR and JE for
+//! one "change state" query, with ground-truth labels shown (the textual
+//! analogue of the paper's image grid).
+
+use must_bench::accuracy::{prepare, Framework};
+use must_core::baselines::merge_candidates;
+use must_core::search::brute_force_search;
+use must_core::weights::WeightLearnConfig;
+use must_data::ObjectLabels;
+use must_encoders::{ComposerKind, EncoderConfig, TargetEncoding, UnimodalKind};
+use must_vector::JointDistance;
+
+fn describe(labels: &[ObjectLabels], id: u32, want: ObjectLabels) -> String {
+    let l = labels[id as usize];
+    let mark = if l.class == want.class && l.attr == want.attr { " <-- ground truth cell" } else { "" };
+    format!("object {id:>6}  class {:>4}  attr {:>4}{mark}", l.class, l.attr)
+}
+
+fn main() {
+    let ds = must_data::catalog::mit_states(must_bench::scale(), must_bench::DATASET_SEED);
+    must_bench::banner(&ds);
+    let registry = must_bench::registry();
+    // Best encoders per Tab. III: CLIP for JE, CLIP+LSTM for MR and MUST.
+    let config = EncoderConfig::new(
+        TargetEncoding::Composed(ComposerKind::Clip),
+        vec![UnimodalKind::Lstm],
+    );
+    let prepared = prepare(&ds, &config, &registry);
+    let learned = prepared.learn(&WeightLearnConfig::default());
+    let objects = &prepared.embedded.objects;
+
+    let q = prepared
+        .eval_queries()
+        .next()
+        .expect("workload is non-empty");
+    println!(
+        "Query: reference object class {} in attr {}, text asks for attr {} (anchor = object {})",
+        q.want.class,
+        ds.labels[q.anchor as usize].attr,
+        q.want.attr,
+        q.anchor
+    );
+    println!("(the real query shows e.g. fresh cheese + \"change state to moldy\")\n");
+
+    // MUST: weighted joint top-5.
+    let joint = JointDistance::new(objects, learned.weights.clone()).unwrap();
+    let must_top = brute_force_search(&joint, &q.query, 5, true).unwrap();
+    println!("(a) MUST  (weights^2 = {:?})", learned.weights.squared());
+    for (id, _) in &must_top.results {
+        println!("    {}", describe(&prepared.embedded.labels, *id, q.want));
+    }
+
+    // MR: per-modality candidates + merge.
+    let mut per_modality = Vec::new();
+    for mi in 0..objects.num_modalities() {
+        if let Some(slot) = q.query.slot(mi) {
+            per_modality.push(objects.modality(mi).brute_force_top_k(slot, 500));
+        }
+    }
+    let (mr_top, _) = merge_candidates(&per_modality, 5);
+    println!("\n(b) {}", Framework::Mr.label());
+    for id in &mr_top {
+        println!("    {}", describe(&prepared.embedded.labels, *id, q.want));
+    }
+
+    // JE: composition vector over the target modality.
+    let je_top = objects
+        .modality(0)
+        .brute_force_top_k(q.query.slot(0).unwrap(), 5);
+    println!("\n(c) {}", Framework::Je.label());
+    for (id, _) in &je_top {
+        println!("    {}", describe(&prepared.embedded.labels, *id, q.want));
+    }
+
+    // Artefact: per-framework hit counts over a query sample.
+    let mut fig = must_bench::report::Figure::new(
+        "Fig. 5",
+        "Top-5 ground-truth-cell hits per framework (100-query sample)",
+        "framework (0 = MUST, 1 = MR, 2 = JE)",
+        "mean hits in top-5",
+    );
+    let mut sums = [0.0f64; 3];
+    let mut n = 0;
+    for q in prepared.eval_queries().take(100) {
+        let hit = |ids: &[u32]| {
+            ids.iter()
+                .filter(|&&id| {
+                    let l = prepared.embedded.labels[id as usize];
+                    l.class == q.want.class && l.attr == q.want.attr
+                })
+                .count() as f64
+        };
+        let m_ids: Vec<u32> = brute_force_search(&joint, &q.query, 5, true)
+            .unwrap()
+            .results
+            .iter()
+            .map(|r| r.0)
+            .collect();
+        sums[0] += hit(&m_ids);
+        let mut per = Vec::new();
+        for mi in 0..objects.num_modalities() {
+            if let Some(slot) = q.query.slot(mi) {
+                per.push(objects.modality(mi).brute_force_top_k(slot, 500));
+            }
+        }
+        sums[1] += hit(&merge_candidates(&per, 5).0);
+        let je_ids: Vec<u32> = objects
+            .modality(0)
+            .brute_force_top_k(q.query.slot(0).unwrap(), 5)
+            .iter()
+            .map(|r| r.0)
+            .collect();
+        sums[2] += hit(&je_ids);
+        n += 1;
+    }
+    fig.push_series(
+        "hits",
+        sums.iter().enumerate().map(|(i, s)| (i as f64, s / n as f64)).collect(),
+    );
+    fig.emit();
+}

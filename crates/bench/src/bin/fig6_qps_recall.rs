@@ -1,0 +1,39 @@
+//! Fig. 6 — efficiency: QPS vs Recall@10(10) for MUST, MUST--, MR and
+//! MR-- on the three million-scale datasets (scaled per DESIGN.md §1).
+
+use must_bench::efficiency::{
+    build_mr, mr_brute_point, mr_sweep, must_brute_point, must_sweep, prepare, to_series,
+    MR_LS, MUST_LS,
+};
+use must_bench::report::Figure;
+use must_core::baselines::BaselineOptions;
+use must_core::MustBuildOptions;
+use must_data::LatentDataset;
+
+fn run_one(tag: &str, ds: &LatentDataset) {
+    must_bench::banner(ds);
+    let setup = prepare(ds, 10, MustBuildOptions::default());
+    let mut fig = Figure::new(
+        &format!("Fig. 6{tag}"),
+        &format!("QPS vs Recall@10(10) on {}", ds.name),
+        "Recall@10(10)",
+        "QPS",
+    );
+    fig.push_series("MUST", to_series(&must_sweep(&setup, MUST_LS)));
+    let bf = must_brute_point(&setup);
+    fig.push_series("MUST--", vec![(bf.recall, bf.qps)]);
+    let mr = build_mr(&setup, BaselineOptions::default());
+    fig.push_series("MR", to_series(&mr_sweep(&setup, &mr, MR_LS)));
+    let mr_bf = mr_brute_point(&setup, &mr, 1000);
+    fig.push_series("MR--", vec![(mr_bf.recall, mr_bf.qps)]);
+    fig.emit();
+}
+
+fn main() {
+    let scale = must_bench::scale();
+    let n = (40_000.0 * scale) as usize;
+    let seed = must_bench::DATASET_SEED;
+    run_one("a", &must_data::catalog::image_text(n, 400, seed));
+    run_one("b", &must_data::catalog::audio_text(n, 400, seed));
+    run_one("c", &must_data::catalog::video_text(n, 400, seed));
+}

@@ -1,0 +1,34 @@
+//! Fig. 8 — effect of the number of results k (1, 50, 100) on
+//! ImageText1M: QPS vs Recall@k(k) for MUST and MR.
+
+use must_bench::efficiency::{build_mr, mr_sweep, must_sweep, prepare, to_series, MUST_LS};
+use must_bench::report::Figure;
+use must_core::baselines::BaselineOptions;
+use must_core::MustBuildOptions;
+
+fn main() {
+    let scale = must_bench::scale();
+    let n = (40_000.0 * scale) as usize;
+    let ds = must_data::catalog::image_text(n, 400, must_bench::DATASET_SEED);
+    must_bench::banner(&ds);
+
+    for (tag, k) in [("a", 1usize), ("b", 50), ("c", 100)] {
+        let setup = prepare(&ds, k, MustBuildOptions::default());
+        let mut fig = Figure::new(
+            &format!("Fig. 8{tag}"),
+            &format!("QPS vs Recall@{k}({k}) on ImageText1M"),
+            &format!("Recall@{k}({k})"),
+            "QPS",
+        );
+        let ls: Vec<usize> = MUST_LS.iter().map(|&l| l.max(k)).collect();
+        fig.push_series("MUST", to_series(&must_sweep(&setup, &ls)));
+        let mr = build_mr(&setup, BaselineOptions::default());
+        // MR needs candidates >= k per channel; sweep upwards from there.
+        let mr_ls: Vec<usize> = [1usize, 3, 10, 30, 100]
+            .iter()
+            .map(|m| (k * m).max(10))
+            .collect();
+        fig.push_series("MR", to_series(&mr_sweep(&setup, &mr, &mr_ls)));
+        fig.emit();
+    }
+}

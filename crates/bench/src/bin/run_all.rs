@@ -1,0 +1,52 @@
+//! Runs every experiment binary in sequence, regenerating all tables and
+//! figures into `EXPERIMENTS-out/`.  Honour `MUST_SCALE` to shrink or grow
+//! the datasets.
+
+use std::process::Command;
+
+const EXPERIMENTS: &[&str] = &[
+    "tab3_accuracy_mitstates",
+    "tab4_accuracy_celeba",
+    "tab5_accuracy_shopping",
+    "tab6_accuracy_mscoco",
+    "fig5_case_study",
+    "fig6_qps_recall",
+    "tab7_fig7_scalability",
+    "tab8_modalities",
+    "fig8_topk",
+    "sec8f_weight_generalization",
+    "tab9_user_weights",
+    "tab10_19_20_single_modality",
+    "fig9_negatives",
+    "fig10_graph_ablation",
+    "fig11_neighbors",
+    "tab11_graph_quality",
+    "tab12_l_param",
+    "fig13_num_negatives",
+    "fig14_15_gamma",
+    "tab13_18_learned_weights",
+    "tab21_shopping_bottoms",
+];
+
+fn main() {
+    let self_path = std::env::current_exe().expect("own path");
+    let bin_dir = self_path.parent().expect("bin dir").to_path_buf();
+    let mut failures = Vec::new();
+    for name in EXPERIMENTS {
+        eprintln!("\n===== running {name} =====");
+        let t0 = std::time::Instant::now();
+        let status = Command::new(bin_dir.join(name))
+            .status()
+            .unwrap_or_else(|e| panic!("failed to launch {name}: {e}"));
+        eprintln!("===== {name} finished in {:.1}s =====", t0.elapsed().as_secs_f64());
+        if !status.success() {
+            failures.push(*name);
+        }
+    }
+    if failures.is_empty() {
+        eprintln!("\nAll {} experiments completed; artefacts in EXPERIMENTS-out/.", EXPERIMENTS.len());
+    } else {
+        eprintln!("\nFAILED experiments: {failures:?}");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,82 @@
+//! Tabs. X, XIX, XX — accuracy when queries supply only one modality:
+//! target only (Tab. XIX) or auxiliary only (Tab. XX) on MIT-States,
+//! CelebA and Shopping; Tab. X is the MIT-States slice.
+
+use must_bench::accuracy::{prepare, run_single_modality};
+use must_bench::report::{f4, Table};
+use must_data::catalog::ShoppingCategory;
+use must_data::LatentDataset;
+use must_encoders::{EncoderConfig, EncoderRegistry, TargetEncoding, UnimodalKind};
+
+fn run_rows(
+    table: &mut Table,
+    ds: &LatentDataset,
+    registry: &EncoderRegistry,
+    target_encoders: &[UnimodalKind],
+    aux_encoder: UnimodalKind,
+) {
+    for &te in target_encoders {
+        let config = EncoderConfig::new(TargetEncoding::Independent(te), vec![aux_encoder]);
+        let prepared = prepare(ds, &config, registry);
+        let target = run_single_modality(&prepared, &[1, 5, 10], 0);
+        table.push_row(vec![
+            ds.name.clone(),
+            "Target".into(),
+            te.label().into(),
+            f4(target.recalls[0]),
+            f4(target.recalls[1]),
+            f4(target.recalls[2]),
+        ]);
+    }
+    // Auxiliary-only row (encoder choice for the target slot is irrelevant).
+    let config =
+        EncoderConfig::new(TargetEncoding::Independent(target_encoders[0]), vec![aux_encoder]);
+    let prepared = prepare(ds, &config, registry);
+    let auxiliary = run_single_modality(&prepared, &[1, 5, 10], 1);
+    table.push_row(vec![
+        ds.name.clone(),
+        "Auxiliary".into(),
+        aux_encoder.label().into(),
+        f4(auxiliary.recalls[0]),
+        f4(auxiliary.recalls[1]),
+        f4(auxiliary.recalls[2]),
+    ]);
+}
+
+fn main() {
+    let registry = must_bench::registry();
+    let scale = must_bench::scale();
+    let seed = must_bench::DATASET_SEED;
+    let mut table = Table::new(
+        "Tab. X XIX XX",
+        "Search accuracy with a single query modality",
+        &["Dataset", "Modality", "Encoder", "Recall@1(1)", "Recall@5(1)", "Recall@10(1)"],
+    );
+
+    use UnimodalKind::*;
+    let mit = must_data::catalog::mit_states(scale, seed);
+    must_bench::banner(&mit);
+    run_rows(&mut table, &mit, &registry, &[ResNet17, ResNet50], Lstm);
+    // Tab. X also reports the Transformer auxiliary row on MIT-States.
+    let config = EncoderConfig::new(TargetEncoding::Independent(ResNet17), vec![Transformer]);
+    let prepared = prepare(&mit, &config, &registry);
+    let tr = run_single_modality(&prepared, &[1, 5, 10], 1);
+    table.push_row(vec![
+        mit.name.clone(),
+        "Auxiliary".into(),
+        Transformer.label().into(),
+        f4(tr.recalls[0]),
+        f4(tr.recalls[1]),
+        f4(tr.recalls[2]),
+    ]);
+
+    let celeba = must_data::catalog::celeba(scale, seed);
+    must_bench::banner(&celeba);
+    run_rows(&mut table, &celeba, &registry, &[ResNet17, ResNet50], Encoding);
+
+    let shopping = must_data::catalog::shopping(ShoppingCategory::TShirt, scale, seed);
+    must_bench::banner(&shopping);
+    run_rows(&mut table, &shopping, &registry, &[ResNet17], Encoding);
+
+    table.emit();
+}

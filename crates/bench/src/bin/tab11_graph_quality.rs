@@ -1,0 +1,53 @@
+//! Tab. XI — graph quality vs number of NNDescent iterations (epsilon) on
+//! the three large datasets.
+
+use must_bench::report::{f4, Table};
+use must_core::oracle::JointOracle;
+use must_data::embed::embed_dataset;
+use must_graph::pipeline::{CandidateStrategy, PipelineBuilder};
+use must_graph::quality::graph_quality;
+use must_graph::select::SelectionStrategy;
+use must_vector::Weights;
+
+fn main() {
+    let scale = must_bench::scale();
+    let n = (20_000.0 * scale) as usize;
+    let seed = must_bench::DATASET_SEED;
+    let registry = must_bench::registry();
+    let config = must_bench::efficiency::semisynthetic_config();
+
+    let mut table = Table::new(
+        "Tab. XI",
+        "Graph quality under different numbers of NNDescent iterations",
+        &["# Iterations", "ImageText1M", "AudioText1M", "VideoText1M"],
+    );
+    let datasets = [
+        must_data::catalog::image_text(n, 50, seed),
+        must_data::catalog::audio_text(n, 50, seed),
+        must_data::catalog::video_text(n, 50, seed),
+    ];
+    let embedded: Vec<_> =
+        datasets.iter().map(|ds| embed_dataset(ds, &config, &registry)).collect();
+
+    for eps in 1..=3usize {
+        let mut row = vec![eps.to_string()];
+        for e in &embedded {
+            let oracle = JointOracle::new(&e.objects, Weights::uniform(2)).unwrap();
+            // Measure the *initialisation* component's quality: top-gamma
+            // lists straight out of NNDescent (no pruning afterwards).
+            let builder = PipelineBuilder {
+                gamma: 10,
+                init_iterations: eps,
+                candidates: CandidateStrategy::InitOnly,
+                selection: SelectionStrategy::TopGamma,
+                connectivity: false,
+                ..PipelineBuilder::default()
+            };
+            let (graph, _) = builder.build(&oracle);
+            let q = graph_quality(&oracle, &graph, 10, 200, 7);
+            row.push(f4(q));
+        }
+        table.push_row(row);
+    }
+    table.emit();
+}

@@ -1,0 +1,28 @@
+//! Tab. XII — the result-pool size l: recall and response time trade-off
+//! (Appendix I) on ImageText1M.
+
+use must_bench::efficiency::{must_sweep, prepare};
+use must_bench::report::{f4, Table};
+use must_core::MustBuildOptions;
+
+fn main() {
+    let scale = must_bench::scale();
+    let n = (40_000.0 * scale) as usize;
+    let ds = must_data::catalog::image_text(n, 300, must_bench::DATASET_SEED);
+    must_bench::banner(&ds);
+    let setup = prepare(&ds, 10, MustBuildOptions::default());
+
+    let mut table = Table::new(
+        "Tab. XII",
+        "Search performance under different values of l (gamma = 30)",
+        &["l", "Recall@10(10)", "Response time (ms)"],
+    );
+    for point in must_sweep(&setup, &[100, 200, 400, 700, 1000, 1500, 2000, 4000]) {
+        table.push_row(vec![
+            point.l.to_string(),
+            f4(point.recall),
+            format!("{:.2}", 1000.0 / point.qps),
+        ]);
+    }
+    table.emit();
+}

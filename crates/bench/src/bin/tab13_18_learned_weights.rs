@@ -1,0 +1,109 @@
+//! Tabs. XIII–XVIII — the learned weights (squared) per dataset and
+//! encoder configuration (Appendix K).
+
+use must_bench::accuracy::prepare;
+use must_bench::report::Table;
+use must_core::weights::WeightLearnConfig;
+use must_data::catalog::ShoppingCategory;
+use must_data::LatentDataset;
+use must_encoders::{ComposerKind, EncoderConfig, EncoderRegistry, TargetEncoding, UnimodalKind};
+
+fn learn_row(
+    table: &mut Table,
+    ds: &LatentDataset,
+    config: &EncoderConfig,
+    registry: &EncoderRegistry,
+) {
+    let prepared = prepare(ds, config, registry);
+    let learned = prepared.learn(&WeightLearnConfig::default());
+    let squared: Vec<String> =
+        learned.weights.squared().iter().map(|w| format!("{w:.4}")).collect();
+    table.push_row(vec![
+        ds.name.clone(),
+        config.label(),
+        squared.join(", "),
+        format!("{:.1}s", learned.train_secs),
+    ]);
+}
+
+fn main() {
+    let scale = must_bench::scale();
+    let seed = must_bench::DATASET_SEED;
+    let registry = must_bench::registry();
+    let mut table = Table::new(
+        "Tab. XIII-XVIII",
+        "Learned weights (squared, modality order) per dataset and encoder",
+        &["Dataset", "Encoder", "w^2 (per modality)", "Train time"],
+    );
+
+    use ComposerKind::*;
+    use UnimodalKind::*;
+    let ind = TargetEncoding::Independent;
+    let comp = TargetEncoding::Composed;
+
+    let mit = must_data::catalog::mit_states(scale, seed);
+    for config in [
+        EncoderConfig::new(ind(ResNet17), vec![Lstm]),
+        EncoderConfig::new(ind(ResNet50), vec![Lstm]),
+        EncoderConfig::new(ind(ResNet17), vec![Transformer]),
+        EncoderConfig::new(ind(ResNet50), vec![Transformer]),
+        EncoderConfig::new(comp(Tirg), vec![Lstm]),
+        EncoderConfig::new(comp(Tirg), vec![Transformer]),
+        EncoderConfig::new(comp(Clip), vec![Lstm]),
+        EncoderConfig::new(comp(Clip), vec![Transformer]),
+    ] {
+        learn_row(&mut table, &mit, &config, &registry);
+    }
+
+    let celeba = must_data::catalog::celeba(scale, seed);
+    for config in [
+        EncoderConfig::new(ind(ResNet17), vec![Encoding]),
+        EncoderConfig::new(ind(ResNet50), vec![Encoding]),
+        EncoderConfig::new(comp(Tirg), vec![Encoding]),
+        EncoderConfig::new(comp(Clip), vec![Encoding]),
+    ] {
+        learn_row(&mut table, &celeba, &config, &registry);
+    }
+
+    let shopping = must_data::catalog::shopping(ShoppingCategory::TShirt, scale, seed);
+    for config in [
+        EncoderConfig::new(ind(ResNet17), vec![Encoding]),
+        EncoderConfig::new(comp(Tirg), vec![Encoding]),
+    ] {
+        learn_row(&mut table, &shopping, &config, &registry);
+    }
+
+    let coco = must_data::catalog::ms_coco(scale, seed);
+    for config in [
+        EncoderConfig::new(comp(Mpc), vec![ResNet50, Gru]),
+        EncoderConfig::new(ind(ResNet50), vec![ResNet50, Gru]),
+    ] {
+        learn_row(&mut table, &coco, &config, &registry);
+    }
+
+    let celeba4 = must_data::catalog::celeba_plus(4, scale, seed);
+    learn_row(
+        &mut table,
+        &celeba4,
+        &EncoderConfig::new(comp(Clip), vec![Encoding, ResNet17, ResNet50]),
+        &registry,
+    );
+
+    // Semi-synthetic datasets (Tab. XVIII).
+    let n = (20_000.0 * scale) as usize;
+    for ds in [
+        must_data::catalog::image_text(n, 300, seed),
+        must_data::catalog::audio_text(n, 300, seed),
+        must_data::catalog::video_text(n, 300, seed),
+        must_data::catalog::deep_image_text(n, 300, seed),
+    ] {
+        learn_row(
+            &mut table,
+            &ds,
+            &must_bench::efficiency::semisynthetic_config(),
+            &registry,
+        );
+    }
+
+    table.emit();
+}

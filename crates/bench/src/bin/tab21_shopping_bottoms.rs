@@ -1,0 +1,53 @@
+//! Tab. XXI — search accuracy on Shopping (Bottoms category), the appendix
+//! companion of Tab. V.
+
+use must_bench::accuracy::{accuracy_table, Framework, RowSpec};
+use must_core::weights::WeightLearnConfig;
+use must_data::catalog::ShoppingCategory;
+use must_encoders::{ComposerKind, EncoderConfig, TargetEncoding, UnimodalKind};
+
+fn main() {
+    let ds = must_data::catalog::shopping(
+        ShoppingCategory::Bottoms,
+        must_bench::scale(),
+        must_bench::DATASET_SEED,
+    );
+    must_bench::banner(&ds);
+    let registry = must_bench::registry();
+
+    let aux = vec![UnimodalKind::Encoding];
+    let rows = vec![
+        RowSpec::new(
+            Framework::Je,
+            EncoderConfig::new(TargetEncoding::Composed(ComposerKind::Tirg), aux.clone()),
+        ),
+        RowSpec::new(
+            Framework::Mr,
+            EncoderConfig::new(TargetEncoding::Independent(UnimodalKind::ResNet17), aux.clone()),
+        ),
+        RowSpec::new(
+            Framework::Mr,
+            EncoderConfig::new(TargetEncoding::Composed(ComposerKind::Tirg), aux.clone()),
+        ),
+        RowSpec::new(
+            Framework::Must,
+            EncoderConfig::new(TargetEncoding::Independent(UnimodalKind::ResNet17), aux.clone()),
+        ),
+        RowSpec::new(
+            Framework::Must,
+            EncoderConfig::new(TargetEncoding::Composed(ComposerKind::Tirg), aux.clone()),
+        ),
+    ];
+
+    let (table, _) = accuracy_table(
+        "Tab. XXI",
+        "Search accuracy on Shopping (Bottoms)",
+        &ds,
+        &rows,
+        &[1, 5, 10],
+        &registry,
+        500,
+        &WeightLearnConfig::default(),
+    );
+    table.emit();
+}

@@ -1,0 +1,47 @@
+//! Tab. III — search accuracy on MIT-States across frameworks and encoder
+//! combinations.
+
+use must_bench::accuracy::{accuracy_table, Framework, RowSpec};
+use must_core::weights::WeightLearnConfig;
+use must_encoders::{ComposerKind, EncoderConfig, TargetEncoding, UnimodalKind};
+
+fn main() {
+    let ds = must_data::catalog::mit_states(must_bench::scale(), must_bench::DATASET_SEED);
+    must_bench::banner(&ds);
+    let registry = must_bench::registry();
+
+    use ComposerKind::*;
+    use UnimodalKind::*;
+    let aux = |k| vec![k];
+    let ind = TargetEncoding::Independent;
+    let comp = TargetEncoding::Composed;
+
+    let mut rows = vec![
+        RowSpec::new(Framework::Je, EncoderConfig::new(comp(Tirg), aux(Lstm))),
+        RowSpec::new(Framework::Je, EncoderConfig::new(comp(Clip), aux(Lstm))),
+    ];
+    for fw in [Framework::Mr, Framework::Must] {
+        rows.extend([
+            RowSpec::new(fw, EncoderConfig::new(ind(ResNet17), aux(Lstm))),
+            RowSpec::new(fw, EncoderConfig::new(ind(ResNet50), aux(Lstm))),
+            RowSpec::new(fw, EncoderConfig::new(ind(ResNet17), aux(Transformer))),
+            RowSpec::new(fw, EncoderConfig::new(ind(ResNet50), aux(Transformer))),
+            RowSpec::new(fw, EncoderConfig::new(comp(Tirg), aux(Lstm))),
+            RowSpec::new(fw, EncoderConfig::new(comp(Tirg), aux(Transformer))),
+            RowSpec::new(fw, EncoderConfig::new(comp(Clip), aux(Lstm))),
+            RowSpec::new(fw, EncoderConfig::new(comp(Clip), aux(Transformer))),
+        ]);
+    }
+
+    let (table, _) = accuracy_table(
+        "Tab. III",
+        "Search accuracy on MIT-States",
+        &ds,
+        &rows,
+        &[1, 5, 10],
+        &registry,
+        500,
+        &WeightLearnConfig::default(),
+    );
+    table.emit();
+}

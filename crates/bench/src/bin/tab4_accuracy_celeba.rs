@@ -1,0 +1,40 @@
+//! Tab. IV — search accuracy on CelebA (face image + structured attribute
+//! text).
+
+use must_bench::accuracy::{accuracy_table, Framework, RowSpec};
+use must_core::weights::WeightLearnConfig;
+use must_encoders::{ComposerKind, EncoderConfig, TargetEncoding, UnimodalKind};
+
+fn main() {
+    let ds = must_data::catalog::celeba(must_bench::scale(), must_bench::DATASET_SEED);
+    must_bench::banner(&ds);
+    let registry = must_bench::registry();
+
+    use ComposerKind::*;
+    use UnimodalKind::*;
+    let aux = vec![Encoding];
+    let mut rows = vec![
+        RowSpec::new(Framework::Je, EncoderConfig::new(TargetEncoding::Composed(Tirg), aux.clone())),
+        RowSpec::new(Framework::Je, EncoderConfig::new(TargetEncoding::Composed(Clip), aux.clone())),
+    ];
+    for fw in [Framework::Mr, Framework::Must] {
+        rows.extend([
+            RowSpec::new(fw, EncoderConfig::new(TargetEncoding::Independent(ResNet17), aux.clone())),
+            RowSpec::new(fw, EncoderConfig::new(TargetEncoding::Independent(ResNet50), aux.clone())),
+            RowSpec::new(fw, EncoderConfig::new(TargetEncoding::Composed(Tirg), aux.clone())),
+            RowSpec::new(fw, EncoderConfig::new(TargetEncoding::Composed(Clip), aux.clone())),
+        ]);
+    }
+
+    let (table, _) = accuracy_table(
+        "Tab. IV",
+        "Search accuracy on CelebA",
+        &ds,
+        &rows,
+        &[1, 5, 10],
+        &registry,
+        500,
+        &WeightLearnConfig::default(),
+    );
+    table.emit();
+}

@@ -1,0 +1,49 @@
+//! Tab. VI — search accuracy on MS-COCO (three modalities: target image,
+//! second reference image, text; recall reported at k = 10/50/100).
+
+use must_bench::accuracy::{accuracy_table, Framework, RowSpec};
+use must_core::weights::WeightLearnConfig;
+use must_encoders::{ComposerKind, EncoderConfig, TargetEncoding, UnimodalKind};
+
+fn main() {
+    let ds = must_data::catalog::ms_coco(must_bench::scale(), must_bench::DATASET_SEED);
+    must_bench::banner(&ds);
+    let registry = must_bench::registry();
+
+    use UnimodalKind::*;
+    let aux = vec![ResNet50, Gru]; // second image + text
+    let rows = vec![
+        RowSpec::new(
+            Framework::Je,
+            EncoderConfig::new(TargetEncoding::Composed(ComposerKind::Mpc), aux.clone()),
+        ),
+        RowSpec::new(
+            Framework::Mr,
+            EncoderConfig::new(TargetEncoding::Composed(ComposerKind::Mpc), aux.clone()),
+        ),
+        RowSpec::new(
+            Framework::Mr,
+            EncoderConfig::new(TargetEncoding::Independent(ResNet50), aux.clone()),
+        ),
+        RowSpec::new(
+            Framework::Must,
+            EncoderConfig::new(TargetEncoding::Composed(ComposerKind::Mpc), aux.clone()),
+        ),
+        RowSpec::new(
+            Framework::Must,
+            EncoderConfig::new(TargetEncoding::Independent(ResNet50), aux.clone()),
+        ),
+    ];
+
+    let (table, _) = accuracy_table(
+        "Tab. VI",
+        "Search accuracy on MS-COCO",
+        &ds,
+        &rows,
+        &[10, 50, 100],
+        &registry,
+        800,
+        &WeightLearnConfig::default(),
+    );
+    table.emit();
+}

@@ -1,0 +1,71 @@
+//! Tab. VII + Fig. 7 — scalability in data volume n:
+//! response time of MUST-- vs MUST at Recall@10(10) > 0.99 (Tab. VII),
+//! and build time / index size of MUST vs MR (Fig. 7).
+
+use std::time::Instant;
+
+use must_bench::efficiency::{must_brute_point, must_sweep, prepare};
+use must_bench::report::{Figure, Table};
+use must_core::baselines::{BaselineOptions, MultiStreamedRetrieval};
+use must_core::MustBuildOptions;
+
+fn main() {
+    let scale = must_bench::scale();
+    let volumes: Vec<usize> = [10_000usize, 20_000, 40_000, 80_000, 160_000]
+        .iter()
+        .map(|&n| ((n as f64 * scale) as usize).max(1_000))
+        .collect();
+
+    let mut time_table = Table::new(
+        "Tab. VII",
+        "Response time (ms/query) of MUST-- vs MUST at Recall@10(10) > 0.99",
+        &["n", "MUST-- (ms)", "MUST (ms)", "reduction"],
+    );
+    let mut build_fig = Figure::new("Fig. 7a", "Build time vs data volume", "n", "build secs");
+    let mut size_fig = Figure::new("Fig. 7b", "Index size vs data volume", "n", "index MB");
+    let (mut must_build, mut mr_build) = (Vec::new(), Vec::new());
+    let (mut must_size, mut mr_size) = (Vec::new(), Vec::new());
+
+    for &n in &volumes {
+        let ds = must_data::catalog::deep_image_text(n, 200, must_bench::DATASET_SEED);
+        must_bench::banner(&ds);
+        let setup = prepare(&ds, 10, MustBuildOptions::default());
+
+        // Tab. VII: find the smallest l whose recall clears 0.99 and time it.
+        let mut must_ms = f64::NAN;
+        for l in [40usize, 80, 160, 320, 640, 1280, 2560, 5120] {
+            let pts = must_sweep(&setup, &[l]);
+            if pts[0].recall > 0.99 {
+                must_ms = 1000.0 / pts[0].qps;
+                break;
+            }
+            must_ms = 1000.0 / pts[0].qps; // fall back to the largest l
+        }
+        let bf = must_brute_point(&setup);
+        let bf_ms = 1000.0 / bf.qps;
+        time_table.push_row(vec![
+            n.to_string(),
+            format!("{bf_ms:.2}"),
+            format!("{must_ms:.2}"),
+            format!("-{:.1}%", (1.0 - must_ms / bf_ms) * 100.0),
+        ]);
+
+        // Fig. 7: build time + index size for MUST and MR.
+        let report = setup.must.report();
+        must_build.push((n as f64, report.build_secs));
+        must_size.push((n as f64, report.index_bytes as f64 / (1024.0 * 1024.0)));
+        let t0 = Instant::now();
+        let mr = MultiStreamedRetrieval::build(setup.must.objects(), BaselineOptions::default())
+            .expect("MR build");
+        mr_build.push((n as f64, t0.elapsed().as_secs_f64()));
+        mr_size.push((n as f64, mr.index_bytes() as f64 / (1024.0 * 1024.0)));
+    }
+
+    build_fig.push_series("MUST", must_build);
+    build_fig.push_series("MR", mr_build);
+    size_fig.push_series("MUST", must_size);
+    size_fig.push_series("MR", mr_size);
+    time_table.emit();
+    build_fig.emit();
+    size_fig.emit();
+}

@@ -1,0 +1,39 @@
+//! Tab. VIII — recall vs number of modalities (m = 2, 3, 4) on CelebA+:
+//! the paper's scalability-in-m experiment.
+
+use must_bench::accuracy::{prepare, run_mr, run_must_learned, Framework};
+use must_bench::report::{f4, Table};
+use must_core::weights::WeightLearnConfig;
+use must_encoders::{ComposerKind, EncoderConfig, TargetEncoding, UnimodalKind};
+
+fn main() {
+    let registry = must_bench::registry();
+    let mut table = Table::new(
+        "Tab. VIII",
+        "Recall@1(1) with different numbers of modalities on CelebA+",
+        &["Framework", "m=2", "m=3", "m=4"],
+    );
+    let mut mr_row = vec![Framework::Mr.label().to_string()];
+    let mut must_row = vec![Framework::Must.label().to_string()];
+    for m in 2..=4usize {
+        let ds = must_data::catalog::celeba_plus(m, must_bench::scale(), must_bench::DATASET_SEED);
+        must_bench::banner(&ds);
+        // CLIP + Encoding (+ ResNet17 + ResNet50) as in Tab. XVII.
+        let mut aux = vec![UnimodalKind::Encoding];
+        if m >= 3 {
+            aux.push(UnimodalKind::ResNet17);
+        }
+        if m >= 4 {
+            aux.push(UnimodalKind::ResNet50);
+        }
+        let config = EncoderConfig::new(TargetEncoding::Composed(ComposerKind::Clip), aux);
+        let prepared = prepare(&ds, &config, &registry);
+        let mr = run_mr(&prepared, &[1], 500);
+        let must = run_must_learned(&prepared, &[1], &WeightLearnConfig::default());
+        mr_row.push(f4(mr.recalls[0]));
+        must_row.push(f4(must.recalls[0]));
+    }
+    table.push_row(mr_row);
+    table.push_row(must_row);
+    table.emit();
+}

@@ -1,0 +1,50 @@
+//! Tab. IX — effect of user-defined weights on MIT-States: increasing
+//! `omega_0^2` makes the returned objects more similar to the query in
+//! modality 0, at the cost of modality 1 (the customisation property of
+//! Fig. 4(g), Option 2).
+
+use must_bench::accuracy::prepare;
+use must_bench::report::{f4, Table};
+use must_core::search::brute_force_search;
+use must_encoders::{ComposerKind, EncoderConfig, TargetEncoding, UnimodalKind};
+use must_vector::{kernels, JointDistance, Weights};
+
+fn main() {
+    let ds = must_data::catalog::mit_states(must_bench::scale(), must_bench::DATASET_SEED);
+    must_bench::banner(&ds);
+    let registry = must_bench::registry();
+    let config = EncoderConfig::new(
+        TargetEncoding::Composed(ComposerKind::Clip),
+        vec![UnimodalKind::Lstm],
+    );
+    let prepared = prepare(&ds, &config, &registry);
+    let objects = &prepared.embedded.objects;
+
+    let mut table = Table::new(
+        "Tab. IX",
+        "Effect of different user-defined weights (q = query, r = returned)",
+        &["w0^2", "w1^2", "IP(q0, r0)", "IP(q1, r1)"],
+    );
+    for w0_sq in [0.5f32, 0.6, 0.7, 0.8, 0.9] {
+        let w1_sq = 1.0 - w0_sq;
+        let weights = Weights::from_squared(vec![w0_sq, w1_sq]).unwrap();
+        let joint = JointDistance::new(objects, weights).unwrap();
+        let (mut sim0, mut sim1, mut n) = (0.0f64, 0.0f64, 0usize);
+        for q in prepared.eval_queries().take(300) {
+            let out = brute_force_search(&joint, &q.query, 1, true).expect("valid query");
+            let Some(&(top, _)) = out.results.first() else { continue };
+            let (Some(s0), Some(s1)) = (q.query.slot(0), q.query.slot(1)) else { continue };
+            sim0 += kernels::ip(s0, objects.modality(0).get(top)) as f64;
+            sim1 += kernels::ip(s1, objects.modality(1).get(top)) as f64;
+            n += 1;
+        }
+        let n = n.max(1) as f64;
+        table.push_row(vec![
+            format!("{w0_sq:.1}"),
+            format!("{w1_sq:.1}"),
+            f4(sim0 / n),
+            f4(sim1 / n),
+        ]);
+    }
+    table.emit();
+}

@@ -1,0 +1,51 @@
+//! Experiment harness regenerating every table and figure of the MUST
+//! paper's evaluation (Section VIII + appendices).
+//!
+//! Each `src/bin/*.rs` binary reproduces one table or figure; this library
+//! holds the shared machinery: scaled dataset construction, framework
+//! runners (JE / MR / MUST), QPS–recall sweeps, and table/series reporting
+//! with JSON artefacts under `EXPERIMENTS-out/`.
+//!
+//! Scale: dataset sizes default to the values in `must-data::catalog`
+//! (reduced from the paper's cardinalities per DESIGN.md §1) and are
+//! multiplied by the `MUST_SCALE` environment variable when set.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod accuracy;
+pub mod efficiency;
+pub mod report;
+
+use must_data::LatentDataset;
+use must_encoders::{EncoderRegistry, LatentSpace};
+
+/// Global scale multiplier (`MUST_SCALE`, default 1.0).
+pub fn scale() -> f64 {
+    std::env::var("MUST_SCALE")
+        .ok()
+        .and_then(|v| v.parse::<f64>().ok())
+        .filter(|s| *s > 0.0)
+        .unwrap_or(1.0)
+}
+
+/// Artefact output directory (`EXPERIMENTS-out/`, created on demand).
+pub fn out_dir() -> std::path::PathBuf {
+    let dir = std::env::var("MUST_OUT_DIR").unwrap_or_else(|_| "EXPERIMENTS-out".into());
+    let path = std::path::PathBuf::from(dir);
+    std::fs::create_dir_all(&path).expect("can create output dir");
+    path
+}
+
+/// The shared dataset seed for all experiments (reproducibility).
+pub const DATASET_SEED: u64 = 20_240_312;
+
+/// A fresh encoder registry bound to the experiment seed.
+pub fn registry() -> EncoderRegistry {
+    EncoderRegistry::new(LatentSpace::DEFAULT, DATASET_SEED)
+}
+
+/// Prints the dataset stats banner (the Tab. II analogue for this run).
+pub fn banner(ds: &LatentDataset) {
+    eprintln!("[dataset] {}", ds.stats_row());
+}

@@ -1,0 +1,194 @@
+//! Table and series reporting: aligned text to stdout, JSON artefacts to
+//! `EXPERIMENTS-out/`.
+
+use serde::Serialize;
+
+/// A printable experiment table (one paper table).
+#[derive(Debug, Clone, Serialize)]
+pub struct Table {
+    /// Table id, e.g. "Tab. III".
+    pub id: String,
+    /// Human title.
+    pub title: String,
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Rows of cells.
+    pub rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates an empty table.
+    pub fn new(id: &str, title: &str, headers: &[&str]) -> Self {
+        Self {
+            id: id.into(),
+            title: title.into(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    pub fn push_row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.headers.len(), "row arity");
+        self.rows.push(cells);
+    }
+
+    /// Renders the aligned text form.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (w, c) in widths.iter_mut().zip(row) {
+                *w = (*w).max(c.len());
+            }
+        }
+        let mut out = format!("== {}: {} ==\n", self.id, self.title);
+        let fmt_row = |cells: &[String], widths: &[usize]| {
+            cells
+                .iter()
+                .zip(widths)
+                .map(|(c, w)| format!("{c:<w$}"))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        out.push_str(&fmt_row(&self.headers, &widths));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Prints to stdout and writes `<out_dir>/<slug>.json` + `.txt`.
+    pub fn emit(&self) {
+        let text = self.render();
+        println!("{text}");
+        let slug = self
+            .id
+            .to_lowercase()
+            .replace(['.', ' '], "_")
+            .replace("__", "_");
+        let dir = crate::out_dir();
+        let _ = std::fs::write(dir.join(format!("{slug}.txt")), &text);
+        if let Ok(json) = serde_json::to_string_pretty(self) {
+            let _ = std::fs::write(dir.join(format!("{slug}.json")), json);
+        }
+    }
+}
+
+/// One curve of a figure: named `(x, y)` points.
+#[derive(Debug, Clone, Serialize)]
+pub struct Series {
+    /// Curve label (e.g. "MUST", "MR--").
+    pub label: String,
+    /// Points as `(x, y)` pairs.
+    pub points: Vec<(f64, f64)>,
+}
+
+/// A figure: several series over named axes.
+#[derive(Debug, Clone, Serialize)]
+pub struct Figure {
+    /// Figure id, e.g. "Fig. 6a".
+    pub id: String,
+    /// Human title.
+    pub title: String,
+    /// X-axis label.
+    pub x_label: String,
+    /// Y-axis label.
+    pub y_label: String,
+    /// The curves.
+    pub series: Vec<Series>,
+}
+
+impl Figure {
+    /// Creates an empty figure.
+    pub fn new(id: &str, title: &str, x_label: &str, y_label: &str) -> Self {
+        Self {
+            id: id.into(),
+            title: title.into(),
+            x_label: x_label.into(),
+            y_label: y_label.into(),
+            series: Vec::new(),
+        }
+    }
+
+    /// Adds one curve.
+    pub fn push_series(&mut self, label: &str, points: Vec<(f64, f64)>) {
+        self.series.push(Series { label: label.into(), points });
+    }
+
+    /// Renders a text form: one block per series.
+    pub fn render(&self) -> String {
+        let mut out = format!(
+            "== {}: {} ==  [x = {}, y = {}]\n",
+            self.id, self.title, self.x_label, self.y_label
+        );
+        for s in &self.series {
+            out.push_str(&format!("-- {}\n", s.label));
+            for (x, y) in &s.points {
+                out.push_str(&format!("   {x:>12.4}  {y:>14.4}\n"));
+            }
+        }
+        out
+    }
+
+    /// Prints to stdout and writes artefacts.
+    pub fn emit(&self) {
+        let text = self.render();
+        println!("{text}");
+        let slug = self
+            .id
+            .to_lowercase()
+            .replace(['.', ' '], "_")
+            .replace("__", "_");
+        let dir = crate::out_dir();
+        let _ = std::fs::write(dir.join(format!("{slug}.txt")), &text);
+        if let Ok(json) = serde_json::to_string_pretty(self) {
+            let _ = std::fs::write(dir.join(format!("{slug}.json")), json);
+        }
+    }
+}
+
+/// Formats a float with 4 decimals (the paper's table precision).
+pub fn f4(x: f64) -> String {
+    format!("{x:.4}")
+}
+
+/// Formats seconds with 1 decimal.
+pub fn s1(x: f64) -> String {
+    format!("{x:.1}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = Table::new("Tab. T", "test", &["name", "value"]);
+        t.push_row(vec!["a".into(), "1.0".into()]);
+        t.push_row(vec!["longer-name".into(), "2.0".into()]);
+        let r = t.render();
+        assert!(r.contains("Tab. T"));
+        assert!(r.contains("longer-name"));
+        assert!(r.lines().count() >= 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "row arity")]
+    fn table_rejects_misshaped_rows() {
+        let mut t = Table::new("T", "t", &["a", "b"]);
+        t.push_row(vec!["only-one".into()]);
+    }
+
+    #[test]
+    fn figure_renders_series() {
+        let mut f = Figure::new("Fig. F", "test", "x", "y");
+        f.push_series("MUST", vec![(0.5, 100.0), (0.9, 10.0)]);
+        let r = f.render();
+        assert!(r.contains("MUST"));
+        assert!(r.contains("0.5"));
+    }
+}

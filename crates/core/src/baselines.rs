@@ -1,0 +1,358 @@
+//! The Section III baselines: Multi-streamed Retrieval (MR) and Joint
+//! Embedding (JE), plus their brute-force variants (`MR--`).
+//!
+//! MR builds one proximity graph per modality, runs one sub-query per
+//! supplied modality, and merges candidate sets by intersection — the
+//! paper's diagnosis is that the unknown modality importance makes this
+//! merge both slow and inaccurate (Section VIII-D).  JE embeds the whole
+//! query into one composition vector and searches the target-modality
+//! index alone.
+
+use std::time::Instant;
+
+use must_graph::search::{beam_search, VisitedSet};
+use must_graph::{FnScorer, Graph, GraphRecipe, SearchParams, SimilarityOracle};
+use must_vector::{kernels, MultiQuery, MultiVectorSet, ObjectId, VectorSet};
+
+use crate::MustError;
+
+/// Similarity oracle over a single modality (unit-norm IP).
+pub struct SingleModalityOracle<'a> {
+    set: &'a VectorSet,
+    centroid: Vec<f32>,
+}
+
+impl<'a> SingleModalityOracle<'a> {
+    /// Creates the oracle for one modality's vector set.
+    pub fn new(set: &'a VectorSet) -> Self {
+        Self { centroid: set.centroid(), set }
+    }
+}
+
+impl SimilarityOracle for SingleModalityOracle<'_> {
+    fn len(&self) -> usize {
+        self.set.len()
+    }
+    fn sim(&self, a: u32, b: u32) -> f32 {
+        self.set.ip(a, b)
+    }
+    fn sim_to_centroid(&self, a: u32) -> f32 {
+        self.set.ip_to(a, &self.centroid)
+    }
+}
+
+/// Construction options shared by the baselines (kept equal to MUST's for
+/// the paper's "same index and search strategy in all competitors" rule).
+#[derive(Debug, Clone, Copy)]
+pub struct BaselineOptions {
+    /// Neighbour bound per graph.
+    pub gamma: usize,
+    /// Graph recipe (defaults to the fused pipeline, as in the paper).
+    pub recipe: GraphRecipe,
+    /// Build RNG seed.
+    pub rng_seed: u64,
+}
+
+impl Default for BaselineOptions {
+    fn default() -> Self {
+        Self { gamma: 30, recipe: GraphRecipe::Fused, rng_seed: 0xBA5E }
+    }
+}
+
+fn build_single_modality_graph(
+    set: &VectorSet,
+    opts: &BaselineOptions,
+) -> Result<Graph, MustError> {
+    let oracle = SingleModalityOracle::new(set);
+    let builder = opts
+        .recipe
+        .pipeline(opts.gamma, opts.rng_seed)
+        .ok_or_else(|| MustError::Config("baselines require a pipeline recipe".into()))?;
+    Ok(builder.build(&oracle).0)
+}
+
+// ---------------------------------------------------------------------------
+// Multi-streamed Retrieval (MR)
+// ---------------------------------------------------------------------------
+
+/// MR: one graph per modality, merged candidates.
+pub struct MultiStreamedRetrieval<'a> {
+    set: &'a MultiVectorSet,
+    graphs: Vec<Graph>,
+    /// Total build seconds (sum over the per-modality indexes).
+    pub build_secs: f64,
+}
+
+/// One MR search outcome.
+#[derive(Debug, Clone)]
+pub struct MrOutcome {
+    /// Merged top-`k` ids.
+    pub results: Vec<ObjectId>,
+    /// Size of the candidate intersection before truncation.
+    pub intersection_size: usize,
+    /// Wall-clock seconds (sub-queries + merge).
+    pub secs: f64,
+}
+
+impl<'a> MultiStreamedRetrieval<'a> {
+    /// Builds one index per modality.
+    ///
+    /// # Errors
+    /// Propagates configuration errors.
+    pub fn build(set: &'a MultiVectorSet, opts: BaselineOptions) -> Result<Self, MustError> {
+        let t0 = Instant::now();
+        let graphs = set
+            .modalities()
+            .iter()
+            .map(|m| build_single_modality_graph(m, &opts))
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(Self { set, graphs, build_secs: t0.elapsed().as_secs_f64() })
+    }
+
+    /// Total index bytes across all per-modality graphs (Fig. 7).
+    pub fn index_bytes(&self) -> usize {
+        self.graphs.iter().map(Graph::bytes).sum()
+    }
+
+    /// Runs one sub-query per supplied modality with candidate-set size
+    /// `l_candidates`, then merges (Section III / VIII-D).
+    ///
+    /// Merge rule: candidates present in *every* sub-query's set form the
+    /// intersection, ranked by their unweighted similarity sum (modality
+    /// importance is unknown to MR); if the intersection is smaller than
+    /// `k`, remaining slots are filled by presence count, then similarity.
+    pub fn search(
+        &self,
+        query: &MultiQuery,
+        k: usize,
+        l_candidates: usize,
+        visited: &mut VisitedSet,
+    ) -> MrOutcome {
+        let t0 = Instant::now();
+        let mut per_modality: Vec<Vec<(ObjectId, f32)>> = Vec::new();
+        for (mi, graph) in self.graphs.iter().enumerate() {
+            let Some(slot) = query.slot(mi) else { continue };
+            let set = self.set.modality(mi);
+            let scorer = FnScorer(|id| set.ip_to(id, slot));
+            let params = SearchParams::new(l_candidates, l_candidates.max(k));
+            let res = beam_search(graph, &scorer, params, visited, 0x111 + mi as u64);
+            per_modality.push(res.results);
+        }
+        let (results, intersection_size) = merge_candidates(&per_modality, k);
+        MrOutcome { results, intersection_size, secs: t0.elapsed().as_secs_f64() }
+    }
+
+    /// Brute-force variant (`MR--`): exact per-modality top-`l` + merge.
+    pub fn brute_force_search(&self, query: &MultiQuery, k: usize, l_candidates: usize) -> MrOutcome {
+        let t0 = Instant::now();
+        let mut per_modality: Vec<Vec<(ObjectId, f32)>> = Vec::new();
+        for mi in 0..self.set.num_modalities() {
+            let Some(slot) = query.slot(mi) else { continue };
+            per_modality.push(self.set.modality(mi).brute_force_top_k(slot, l_candidates));
+        }
+        let (results, intersection_size) = merge_candidates(&per_modality, k);
+        MrOutcome { results, intersection_size, secs: t0.elapsed().as_secs_f64() }
+    }
+}
+
+/// The MR merge: intersection first (ranked by similarity sum), then by
+/// presence count.  Exposed for direct unit testing.
+pub fn merge_candidates(
+    per_modality: &[Vec<(ObjectId, f32)>],
+    k: usize,
+) -> (Vec<ObjectId>, usize) {
+    if per_modality.is_empty() {
+        return (Vec::new(), 0);
+    }
+    use std::collections::HashMap;
+    let mut tally: HashMap<ObjectId, (usize, f32)> = HashMap::new();
+    for cands in per_modality {
+        for &(id, sim) in cands {
+            let e = tally.entry(id).or_insert((0, 0.0));
+            e.0 += 1;
+            e.1 += sim;
+        }
+    }
+    let channels = per_modality.len();
+    let mut scored: Vec<(ObjectId, usize, f32)> =
+        tally.into_iter().map(|(id, (cnt, sum))| (id, cnt, sum)).collect();
+    let intersection_size = scored.iter().filter(|(_, cnt, _)| *cnt == channels).count();
+    // Presence count first (intersection dominates), then similarity sum.
+    scored.sort_unstable_by(|a, b| b.1.cmp(&a.1).then(b.2.total_cmp(&a.2)));
+    (scored.into_iter().take(k).map(|(id, _, _)| id).collect(), intersection_size)
+}
+
+// ---------------------------------------------------------------------------
+// Joint Embedding (JE)
+// ---------------------------------------------------------------------------
+
+/// JE: a single graph over the target modality; queries must carry a
+/// composition vector in slot 0 (Option 2 encoding).
+pub struct JointEmbedding<'a> {
+    set: &'a VectorSet,
+    graph: Graph,
+    /// Build seconds.
+    pub build_secs: f64,
+}
+
+impl<'a> JointEmbedding<'a> {
+    /// Builds the target-modality index.
+    ///
+    /// # Errors
+    /// Propagates configuration errors.
+    pub fn build(objects: &'a MultiVectorSet, opts: BaselineOptions) -> Result<Self, MustError> {
+        let t0 = Instant::now();
+        let set = objects.modality(0);
+        let graph = build_single_modality_graph(set, &opts)?;
+        Ok(Self { set, graph, build_secs: t0.elapsed().as_secs_f64() })
+    }
+
+    /// Searches with the query's composition vector (slot 0).
+    ///
+    /// # Errors
+    /// [`MustError::Config`] when slot 0 is missing.
+    pub fn search(
+        &self,
+        query: &MultiQuery,
+        k: usize,
+        l: usize,
+        visited: &mut VisitedSet,
+    ) -> Result<Vec<(ObjectId, f32)>, MustError> {
+        let slot = query
+            .slot(0)
+            .ok_or_else(|| MustError::Config("JE requires the composed target slot".into()))?;
+        if slot.len() != self.set.dim() {
+            return Err(MustError::Config(format!(
+                "composition vector dim {} does not match target modality dim {}",
+                slot.len(),
+                self.set.dim()
+            )));
+        }
+        let scorer = FnScorer(|id| self.set.ip_to(id, slot));
+        let res = beam_search(&self.graph, &scorer, SearchParams::new(k, l), visited, 0x7E);
+        Ok(res.results)
+    }
+}
+
+/// Cosine-style single-vector distance check used in tests and case
+/// studies: the similarity JE believes it is ranking by.
+pub fn je_similarity(set: &VectorSet, id: ObjectId, composition: &[f32]) -> f32 {
+    kernels::ip(set.get(id), composition)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use must_vector::{VectorSetBuilder, Weights};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn corpus(n: usize) -> MultiVectorSet {
+        let mut rng = StdRng::seed_from_u64(21);
+        let mut m0 = VectorSetBuilder::new(8, n);
+        let mut m1 = VectorSetBuilder::new(4, n);
+        for _ in 0..n {
+            let v0: Vec<f32> = (0..8).map(|_| rng.random::<f32>() - 0.5).collect();
+            let v1: Vec<f32> = (0..4).map(|_| rng.random::<f32>() - 0.5).collect();
+            m0.push_normalized(&v0).unwrap();
+            m1.push_normalized(&v1).unwrap();
+        }
+        MultiVectorSet::new(vec![m0.finish(), m1.finish()]).unwrap()
+    }
+
+    #[test]
+    fn merge_prefers_full_intersection() {
+        let a = vec![(1, 0.9), (2, 0.8), (3, 0.7)];
+        let b = vec![(4, 0.95), (2, 0.6), (5, 0.5)];
+        let (merged, isect) = merge_candidates(&[a, b], 2);
+        assert_eq!(isect, 1);
+        assert_eq!(merged[0], 2, "the only intersected id must rank first");
+        assert_eq!(merged.len(), 2);
+    }
+
+    #[test]
+    fn merge_of_disjoint_sets_falls_back_to_similarity() {
+        let a = vec![(1, 0.9)];
+        let b = vec![(2, 0.95)];
+        let (merged, isect) = merge_candidates(&[a, b], 2);
+        assert_eq!(isect, 0);
+        assert_eq!(merged, vec![2, 1]);
+    }
+
+    #[test]
+    fn merge_handles_empty_input() {
+        let (merged, isect) = merge_candidates(&[], 5);
+        assert!(merged.is_empty());
+        assert_eq!(isect, 0);
+    }
+
+    #[test]
+    fn mr_finds_objects_matching_both_modalities() {
+        let set = corpus(300);
+        let mr = MultiStreamedRetrieval::build(&set, BaselineOptions { gamma: 10, ..Default::default() })
+            .unwrap();
+        assert!(mr.index_bytes() > 0);
+        let mut visited = VisitedSet::default();
+        // Query = object 37's own vectors: it is in both top candidate
+        // sets, so the intersection must surface it.
+        let q = MultiQuery::full(vec![
+            set.modality(0).get(37).to_vec(),
+            set.modality(1).get(37).to_vec(),
+        ]);
+        let out = mr.search(&q, 5, 50, &mut visited);
+        assert!(out.results.contains(&37), "results: {:?}", out.results);
+        assert!(out.intersection_size >= 1);
+    }
+
+    #[test]
+    fn mr_brute_force_agrees_with_graph_version_at_high_l() {
+        let set = corpus(200);
+        let mr = MultiStreamedRetrieval::build(&set, BaselineOptions { gamma: 12, ..Default::default() })
+            .unwrap();
+        let q = MultiQuery::full(vec![
+            set.modality(0).get(11).to_vec(),
+            set.modality(1).get(11).to_vec(),
+        ]);
+        let exact = mr.brute_force_search(&q, 3, 80);
+        let mut visited = VisitedSet::default();
+        let approx = mr.search(&q, 3, 80, &mut visited);
+        assert_eq!(exact.results[0], approx.results[0]);
+    }
+
+    #[test]
+    fn je_searches_target_modality_only() {
+        let set = corpus(250);
+        let je =
+            JointEmbedding::build(&set, BaselineOptions { gamma: 10, ..Default::default() }).unwrap();
+        let mut visited = VisitedSet::default();
+        let q = MultiQuery::full(vec![set.modality(0).get(9).to_vec(), set.modality(1).get(200).to_vec()]);
+        let res = je.search(&q, 1, 40, &mut visited).unwrap();
+        // JE ignores modality 1 entirely: the top hit follows slot 0.
+        assert_eq!(res[0].0, 9);
+    }
+
+    #[test]
+    fn je_rejects_missing_or_misshapen_slot0() {
+        let set = corpus(50);
+        let je = JointEmbedding::build(&set, BaselineOptions { gamma: 8, ..Default::default() }).unwrap();
+        let mut visited = VisitedSet::default();
+        let no_slot = MultiQuery::partial(vec![None, Some(set.modality(1).get(0).to_vec())]);
+        assert!(je.search(&no_slot, 1, 10, &mut visited).is_err());
+        let wrong_dim = MultiQuery::full(vec![vec![1.0, 0.0], set.modality(1).get(0).to_vec()]);
+        assert!(je.search(&wrong_dim, 1, 10, &mut visited).is_err());
+    }
+
+    #[test]
+    fn mr_uses_uniform_importance_not_learned_weights() {
+        // Build a set where a weighted metric would rank differently from
+        // the unweighted sum; MR must follow the unweighted sum.
+        let set = corpus(100);
+        let _unused = Weights::new(vec![0.9, 0.1]).unwrap();
+        let a = vec![(1u32, 0.9f32), (2, 0.2)];
+        let b = vec![(1, 0.1), (2, 0.85)];
+        let (merged, _) = merge_candidates(&[a, b], 2);
+        // Sum(1) = 1.0, Sum(2) = 1.05 -> 2 first under uniform importance.
+        assert_eq!(merged[0], 2);
+        let _ = set;
+    }
+}

@@ -1,0 +1,443 @@
+//! The user-facing MUST framework (Fig. 4): multi-vector corpus in, learned
+//! or user-defined weights, fused index, joint search out.
+
+use must_graph::{GraphRecipe, SearchParams};
+use must_vector::{JointDistance, MultiQuery, MultiVectorSet, ObjectId, Weights};
+
+use crate::index::{build_index, BuildReport, IndexOptions, MustIndex};
+use crate::oracle::JointOracle;
+use crate::search::{brute_force_search, JointSearcher, SearchOutcome};
+use crate::weights::{LearnedWeights, WeightLearnConfig, WeightLearner};
+use crate::MustError;
+
+/// Build-time options for [`Must::build`].
+#[derive(Debug, Clone, Copy)]
+pub struct MustBuildOptions {
+    /// Neighbour bound `gamma` (Appendix H; default 30).
+    pub gamma: usize,
+    /// NNDescent iterations `epsilon` (Tab. XI; default 3).
+    pub init_iterations: usize,
+    /// Graph backend (Fig. 10; default the paper's fused pipeline).
+    pub recipe: GraphRecipe,
+    /// Whether searches use the Lemma-4 multi-vector computation
+    /// optimisation (Fig. 10(c); default on).
+    pub prune: bool,
+    /// Build RNG seed.
+    pub rng_seed: u64,
+}
+
+impl Default for MustBuildOptions {
+    fn default() -> Self {
+        Self {
+            gamma: 30,
+            init_iterations: 3,
+            recipe: GraphRecipe::Fused,
+            prune: true,
+            rng_seed: 0x4D05,
+        }
+    }
+}
+
+/// A built MUST instance: owns the corpus, the weights, and the fused
+/// index.
+pub struct Must {
+    objects: MultiVectorSet,
+    weights: Weights,
+    index: MustIndex,
+    report: BuildReport,
+    prune: bool,
+    /// Tombstone bitset (Section IX: deleted points stay in the graph for
+    /// connectivity and are filtered from results until reconstruction).
+    deleted: Vec<u64>,
+    deleted_count: usize,
+}
+
+impl Must {
+    /// Builds the fused index over `objects` under `weights`
+    /// (either learned via [`Must::learn_weights`] or user-defined —
+    /// Fig. 4(g)).
+    ///
+    /// # Errors
+    /// Propagates weight-arity and configuration errors.
+    pub fn build(
+        objects: MultiVectorSet,
+        weights: Weights,
+        opts: MustBuildOptions,
+    ) -> Result<Self, MustError> {
+        let (index, report) = {
+            let oracle = JointOracle::new(&objects, weights.clone())?;
+            build_index(
+                &oracle,
+                IndexOptions {
+                    gamma: opts.gamma,
+                    init_iterations: opts.init_iterations,
+                    recipe: opts.recipe,
+                    rng_seed: opts.rng_seed,
+                },
+            )?
+        };
+        let deleted = vec![0u64; objects.len().div_ceil(64)];
+        Ok(Self { objects, weights, index, report, prune: opts.prune, deleted, deleted_count: 0 })
+    }
+
+    /// Marks object `id` as deleted (Section IX).  The vertex stays in the
+    /// graph — it may be essential for connectivity — but is filtered from
+    /// all future result sets until the index is rebuilt.  Returns whether
+    /// the state changed.
+    pub fn mark_deleted(&mut self, id: ObjectId) -> bool {
+        assert!((id as usize) < self.objects.len(), "id out of range");
+        let (w, b) = (id as usize / 64, id as usize % 64);
+        let was = self.deleted[w] & (1 << b) != 0;
+        if !was {
+            self.deleted[w] |= 1 << b;
+            self.deleted_count += 1;
+        }
+        !was
+    }
+
+    /// Undoes [`Must::mark_deleted`].  Returns whether the state changed.
+    pub fn restore(&mut self, id: ObjectId) -> bool {
+        let (w, b) = (id as usize / 64, id as usize % 64);
+        let was = self.deleted[w] & (1 << b) != 0;
+        if was {
+            self.deleted[w] &= !(1 << b);
+            self.deleted_count -= 1;
+        }
+        was
+    }
+
+    /// Whether object `id` is tombstoned.
+    pub fn is_deleted(&self, id: ObjectId) -> bool {
+        self.deleted
+            .get(id as usize / 64)
+            .is_some_and(|w| w & (1 << (id as usize % 64)) != 0)
+    }
+
+    /// Number of tombstoned objects.
+    pub fn deleted_count(&self) -> usize {
+        self.deleted_count
+    }
+
+    /// Dynamically inserts a new object (Section IX).  Supported by the
+    /// HNSW backend, which handles incremental insertion; flat pipeline
+    /// recipes require periodic reconstruction, exactly as the paper
+    /// discusses, and return a configuration error.
+    ///
+    /// # Errors
+    /// [`MustError::Config`] for non-HNSW backends; vector errors for
+    /// malformed rows.
+    pub fn insert_object(&mut self, rows: &[Vec<f32>]) -> Result<ObjectId, MustError> {
+        if !matches!(self.index, MustIndex::Hnsw(_)) {
+            return Err(MustError::Config(
+                "dynamic insertion requires the HNSW backend; flat graphs need periodic \
+                 reconstruction (paper Section IX)"
+                    .into(),
+            ));
+        }
+        let id = self.objects.push_object(rows)?;
+        self.deleted.resize(self.objects.len().div_ceil(64), 0);
+        let Self { objects, weights, index, .. } = self;
+        let oracle = JointOracle::new(objects, weights.clone())?;
+        match index {
+            MustIndex::Hnsw(h) => h.insert_new(&oracle, id, 0x1A5E),
+            MustIndex::Flat(_) => unreachable!("checked above"),
+        }
+        Ok(id)
+    }
+
+    /// Reassembles a [`Must`] from persisted parts without rebuilding
+    /// (see [`crate::persist`]).
+    ///
+    /// # Errors
+    /// Weight-arity and graph/corpus consistency errors.
+    pub fn from_prebuilt(
+        objects: MultiVectorSet,
+        weights: Weights,
+        graph: must_graph::Graph,
+        opts: MustBuildOptions,
+    ) -> Result<Self, MustError> {
+        if weights.modalities() != objects.num_modalities() {
+            return Err(MustError::Config("weight arity mismatch".into()));
+        }
+        if graph.len() != objects.len() {
+            return Err(MustError::Config("graph/corpus cardinality mismatch".into()));
+        }
+        let index = MustIndex::Flat(graph);
+        let report = BuildReport {
+            recipe: opts.recipe,
+            gamma: opts.gamma,
+            build_secs: 0.0,
+            index_bytes: index.bytes(),
+            pipeline: None,
+        };
+        let deleted = vec![0u64; objects.len().div_ceil(64)];
+        Ok(Self { objects, weights, index, report, prune: opts.prune, deleted, deleted_count: 0 })
+    }
+
+    /// Runs the vector-weight-learning model on `anchors`
+    /// (query, true-object) pairs over `objects`, before building
+    /// (Section VI).
+    pub fn learn_weights(
+        objects: &MultiVectorSet,
+        anchors: &[(&MultiQuery, ObjectId)],
+        config: &WeightLearnConfig,
+    ) -> LearnedWeights {
+        WeightLearner::new(objects, anchors, config).train(config)
+    }
+
+    /// The corpus.
+    pub fn objects(&self) -> &MultiVectorSet {
+        &self.objects
+    }
+
+    /// The weights in force.
+    pub fn weights(&self) -> &Weights {
+        &self.weights
+    }
+
+    /// The construction report.
+    pub fn report(&self) -> &BuildReport {
+        &self.report
+    }
+
+    /// The built index.
+    pub fn index(&self) -> &MustIndex {
+        &self.index
+    }
+
+    /// Whether searches prune multi-vector computations.
+    pub fn prune(&self) -> bool {
+        self.prune
+    }
+
+    /// Toggles the Lemma-4 optimisation (the Fig. 10(c) ablation).
+    pub fn set_prune(&mut self, prune: bool) {
+        self.prune = prune;
+    }
+
+    /// Creates a reusable searcher (allocation-free across a batch).
+    pub fn searcher(&self) -> MustSearcher<'_> {
+        MustSearcher {
+            joint: JointDistance::new(&self.objects, self.weights.clone())
+                .expect("weights validated at build"),
+            inner: JointSearcher::new(),
+            must: self,
+        }
+    }
+
+    /// One-off top-`k` search with pool size `l` (Algorithm 2).
+    /// For query batches prefer [`Must::searcher`].
+    ///
+    /// # Errors
+    /// Propagates arity/dimension mismatches.
+    pub fn search(
+        &self,
+        query: &MultiQuery,
+        k: usize,
+        l: usize,
+    ) -> Result<Vec<(ObjectId, f32)>, MustError> {
+        Ok(self.searcher().search(query, k, l)?.results)
+    }
+
+    /// Exact joint top-`k` (`MUST--`), excluding tombstoned objects.
+    ///
+    /// # Errors
+    /// Propagates arity/dimension mismatches.
+    pub fn brute_force(&self, query: &MultiQuery, k: usize) -> Result<SearchOutcome, MustError> {
+        let joint = JointDistance::new(&self.objects, self.weights.clone())?;
+        let mut out = brute_force_search(&joint, query, k + self.deleted_count, self.prune)?;
+        if self.deleted_count > 0 {
+            out.results.retain(|(id, _)| !self.is_deleted(*id));
+        }
+        out.results.truncate(k);
+        Ok(out)
+    }
+}
+
+/// Reusable search handle bound to a [`Must`] instance.
+pub struct MustSearcher<'a> {
+    joint: JointDistance<'a>,
+    inner: JointSearcher,
+    must: &'a Must,
+}
+
+impl MustSearcher<'_> {
+    /// Top-`k` search with pool size `l`, excluding tombstoned objects.
+    ///
+    /// # Errors
+    /// Propagates arity/dimension mismatches.
+    pub fn search(&mut self, query: &MultiQuery, k: usize, l: usize) -> Result<SearchOutcome, MustError> {
+        self.search_with_params(query, SearchParams::new(k, l.max(k)))
+    }
+
+    /// Same, with explicit [`SearchParams`] (seed-only initialisation etc.).
+    ///
+    /// # Errors
+    /// Propagates arity/dimension mismatches.
+    pub fn search_with_params(
+        &mut self,
+        query: &MultiQuery,
+        params: SearchParams,
+    ) -> Result<SearchOutcome, MustError> {
+        let deleted = self.must.deleted_count();
+        let wanted = params.k;
+        let mut params = params;
+        if deleted > 0 {
+            // Over-fetch so tombstone filtering still yields k results.
+            params.k = wanted + deleted;
+            params.l = params.l.max(params.k);
+        }
+        let mut out =
+            self.inner.search(self.must.index(), &self.joint, query, params, self.must.prune())?;
+        if deleted > 0 {
+            out.results.retain(|(id, _)| !self.must.is_deleted(*id));
+            out.results.truncate(wanted);
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use must_vector::VectorSetBuilder;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn corpus(n: usize) -> MultiVectorSet {
+        let mut rng = StdRng::seed_from_u64(77);
+        let mut m0 = VectorSetBuilder::new(8, n);
+        let mut m1 = VectorSetBuilder::new(4, n);
+        for _ in 0..n {
+            let v0: Vec<f32> = (0..8).map(|_| rng.random::<f32>() - 0.5).collect();
+            let v1: Vec<f32> = (0..4).map(|_| rng.random::<f32>() - 0.5).collect();
+            m0.push_normalized(&v0).unwrap();
+            m1.push_normalized(&v1).unwrap();
+        }
+        MultiVectorSet::new(vec![m0.finish(), m1.finish()]).unwrap()
+    }
+
+    fn self_query(set: &MultiVectorSet, id: ObjectId) -> MultiQuery {
+        MultiQuery::full(vec![
+            set.modality(0).get(id).to_vec(),
+            set.modality(1).get(id).to_vec(),
+        ])
+    }
+
+    #[test]
+    fn end_to_end_build_and_search() {
+        let set = corpus(300);
+        let must = Must::build(set, Weights::uniform(2), MustBuildOptions::default()).unwrap();
+        let mut searcher = must.searcher();
+        let mut hits = 0;
+        for t in 0..20u32 {
+            let id = t * 14;
+            let q = self_query(must.objects(), id);
+            let out = searcher.search(&q, 1, 60).unwrap();
+            if out.results[0].0 == id {
+                hits += 1;
+            }
+        }
+        assert!(hits >= 19, "self-queries must be found: {hits}/20");
+    }
+
+    #[test]
+    fn brute_force_and_index_agree_at_high_l() {
+        let set = corpus(250);
+        let must = Must::build(set, Weights::new(vec![0.8, 0.4]).unwrap(), MustBuildOptions::default())
+            .unwrap();
+        let q = self_query(must.objects(), 123);
+        let exact = must.brute_force(&q, 5).unwrap();
+        let approx = must.search(&q, 5, 120).unwrap();
+        assert_eq!(exact.results[0].0, approx[0].0);
+    }
+
+    #[test]
+    fn weight_arity_mismatch_is_an_error() {
+        let set = corpus(50);
+        assert!(Must::build(set, Weights::uniform(3), MustBuildOptions::default()).is_err());
+    }
+
+    #[test]
+    fn prune_toggle_preserves_results() {
+        let set = corpus(200);
+        let mut must =
+            Must::build(set, Weights::uniform(2), MustBuildOptions::default()).unwrap();
+        let q = self_query(must.objects(), 42);
+        let with = must.search(&q, 5, 50).unwrap();
+        must.set_prune(false);
+        let without = must.search(&q, 5, 50).unwrap();
+        let ids = |v: &[(u32, f32)]| v.iter().map(|r| r.0).collect::<Vec<_>>();
+        assert_eq!(ids(&with), ids(&without), "Lemma 4 is lossless");
+    }
+
+    #[test]
+    fn partial_queries_search_with_masked_weights() {
+        let set = corpus(150);
+        let must = Must::build(set, Weights::uniform(2), MustBuildOptions::default()).unwrap();
+        let q = MultiQuery::partial(vec![Some(must.objects().modality(0).get(7).to_vec()), None]);
+        let res = must.search(&q, 3, 80).unwrap();
+        assert_eq!(res[0].0, 7, "target-only query still routes to the anchor");
+    }
+
+    #[test]
+    fn deleted_objects_vanish_from_results_until_restored() {
+        let set = corpus(200);
+        let mut must = Must::build(set, Weights::uniform(2), MustBuildOptions::default()).unwrap();
+        let q = self_query(must.objects(), 42);
+        assert_eq!(must.search(&q, 1, 60).unwrap()[0].0, 42);
+        assert!(must.mark_deleted(42));
+        assert!(!must.mark_deleted(42), "double delete is a no-op");
+        assert_eq!(must.deleted_count(), 1);
+        let res = must.search(&q, 5, 60).unwrap();
+        assert!(res.iter().all(|(id, _)| *id != 42), "tombstone filtered");
+        assert_eq!(res.len(), 5, "over-fetch keeps k results");
+        let bf = must.brute_force(&q, 5).unwrap();
+        assert!(bf.results.iter().all(|(id, _)| *id != 42));
+        assert!(must.restore(42));
+        assert_eq!(must.search(&q, 1, 60).unwrap()[0].0, 42);
+    }
+
+    #[test]
+    fn hnsw_backend_supports_dynamic_insertion() {
+        let set = corpus(150);
+        let mut must = Must::build(
+            set,
+            Weights::uniform(2),
+            MustBuildOptions { recipe: GraphRecipe::Hnsw, ..Default::default() },
+        )
+        .unwrap();
+        // Insert a brand-new object and find it immediately.
+        let new0: Vec<f32> = (0..8).map(|i| if i == 3 { 1.0 } else { 0.01 }).collect();
+        let new1: Vec<f32> = (0..4).map(|i| if i == 2 { 1.0 } else { 0.01 }).collect();
+        let id = must.insert_object(&[new0.clone(), new1.clone()]).unwrap();
+        assert_eq!(id, 150);
+        assert_eq!(must.objects().len(), 151);
+        let q = MultiQuery::full(vec![new0, new1]);
+        let res = must.search(&q, 1, 80).unwrap();
+        assert_eq!(res[0].0, id, "freshly inserted object must be findable");
+    }
+
+    #[test]
+    fn flat_backends_reject_dynamic_insertion() {
+        let set = corpus(80);
+        let mut must = Must::build(set, Weights::uniform(2), MustBuildOptions::default()).unwrap();
+        let err = must.insert_object(&[vec![1.0; 8], vec![1.0; 4]]).unwrap_err();
+        assert!(matches!(err, crate::MustError::Config(_)));
+        assert_eq!(must.objects().len(), 80, "corpus untouched on rejection");
+    }
+
+    #[test]
+    fn hnsw_backend_works_through_the_framework() {
+        let set = corpus(250);
+        let must = Must::build(
+            set,
+            Weights::uniform(2),
+            MustBuildOptions { recipe: GraphRecipe::Hnsw, ..Default::default() },
+        )
+        .unwrap();
+        let q = self_query(must.objects(), 99);
+        let res = must.search(&q, 1, 60).unwrap();
+        assert_eq!(res[0].0, 99);
+    }
+}

@@ -1,0 +1,194 @@
+//! The fused index (Algorithm 1): a proximity graph over joint similarity,
+//! built through `must-graph`'s component pipeline with pluggable backends
+//! (Section VIII-G, Fig. 10).
+
+use std::time::Instant;
+
+use must_graph::hcnng::{build_hcnng, HcnngParams};
+use must_graph::hnsw::{Hnsw, HnswParams};
+use must_graph::pipeline::PipelineStats;
+use must_graph::{AnnIndex, Graph, GraphRecipe};
+
+use crate::oracle::JointOracle;
+use crate::MustError;
+
+/// A built index: either a flat graph (all pipeline recipes + HCNNG) or the
+/// layered HNSW.
+pub enum MustIndex {
+    /// Flat adjacency graph with a fixed seed.
+    Flat(Graph),
+    /// Hierarchical navigable small-world graph.
+    Hnsw(Hnsw),
+}
+
+impl MustIndex {
+    /// View as the search-capable trait object.
+    pub fn as_ann(&self) -> &dyn AnnIndex {
+        match self {
+            Self::Flat(g) => g,
+            Self::Hnsw(h) => h,
+        }
+    }
+
+    /// The flat graph, when applicable (case studies inspect neighbours).
+    pub fn graph(&self) -> Option<&Graph> {
+        match self {
+            Self::Flat(g) => Some(g),
+            Self::Hnsw(_) => None,
+        }
+    }
+
+    /// Index memory footprint in bytes.
+    pub fn bytes(&self) -> usize {
+        self.as_ann().bytes()
+    }
+}
+
+/// Construction report (feeds Figs. 7, 10(a), 14).
+#[derive(Debug, Clone)]
+pub struct BuildReport {
+    /// Recipe used.
+    pub recipe: GraphRecipe,
+    /// Neighbour bound `gamma`.
+    pub gamma: usize,
+    /// Total wall-clock build seconds.
+    pub build_secs: f64,
+    /// Adjacency memory footprint in bytes.
+    pub index_bytes: usize,
+    /// Pipeline phase breakdown, when a pipeline recipe was used.
+    pub pipeline: Option<PipelineStats>,
+}
+
+/// Index construction options.
+#[derive(Debug, Clone, Copy)]
+pub struct IndexOptions {
+    /// Maximum neighbours per vertex (`gamma`, default 30 — Appendix H).
+    pub gamma: usize,
+    /// NNDescent iterations (`epsilon`, default 3 — Tab. XI).
+    pub init_iterations: usize,
+    /// Graph backend.
+    pub recipe: GraphRecipe,
+    /// Build RNG seed.
+    pub rng_seed: u64,
+}
+
+impl Default for IndexOptions {
+    fn default() -> Self {
+        Self { gamma: 30, init_iterations: 3, recipe: GraphRecipe::Fused, rng_seed: 0x1D3 }
+    }
+}
+
+/// Builds the fused index over `oracle` (Algorithm 1 / the chosen backend).
+///
+/// # Errors
+/// Returns [`MustError::Config`] for degenerate options.
+pub fn build_index(oracle: &JointOracle<'_>, opts: IndexOptions) -> Result<(MustIndex, BuildReport), MustError> {
+    if opts.gamma == 0 {
+        return Err(MustError::Config("gamma must be positive".into()));
+    }
+    use must_graph::SimilarityOracle as _;
+    if oracle.len() == 0 {
+        return Err(MustError::Config("cannot index an empty object set".into()));
+    }
+    let t0 = Instant::now();
+    let (index, pipeline) = match opts.recipe {
+        GraphRecipe::Hnsw => {
+            let h = Hnsw::build(
+                oracle,
+                HnswParams {
+                    m: (opts.gamma / 2).max(4),
+                    ef_construction: (opts.gamma * 4).max(64),
+                    rng_seed: opts.rng_seed,
+                },
+            );
+            (MustIndex::Hnsw(h), None)
+        }
+        GraphRecipe::Hcnng => {
+            let g = build_hcnng(
+                oracle,
+                HcnngParams { rng_seed: opts.rng_seed, ..HcnngParams::default() },
+            );
+            (MustIndex::Flat(g), None)
+        }
+        recipe => {
+            let mut builder = recipe
+                .pipeline(opts.gamma, opts.rng_seed)
+                .expect("pipeline recipe");
+            builder.init_iterations = opts.init_iterations;
+            let (g, stats) = builder.build(oracle);
+            (MustIndex::Flat(g), Some(stats))
+        }
+    };
+    let report = BuildReport {
+        recipe: opts.recipe,
+        gamma: opts.gamma,
+        build_secs: t0.elapsed().as_secs_f64(),
+        index_bytes: index.bytes(),
+        pipeline,
+    };
+    Ok((index, report))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use must_vector::{MultiVectorSet, VectorSetBuilder, Weights};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn corpus(n: usize) -> MultiVectorSet {
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut m0 = VectorSetBuilder::new(8, n);
+        let mut m1 = VectorSetBuilder::new(4, n);
+        for _ in 0..n {
+            let v0: Vec<f32> = (0..8).map(|_| rng.random::<f32>() - 0.5).collect();
+            let v1: Vec<f32> = (0..4).map(|_| rng.random::<f32>() - 0.5).collect();
+            m0.push_normalized(&v0).unwrap();
+            m1.push_normalized(&v1).unwrap();
+        }
+        MultiVectorSet::new(vec![m0.finish(), m1.finish()]).unwrap()
+    }
+
+    #[test]
+    fn builds_all_backends() {
+        let set = corpus(300);
+        let oracle = JointOracle::new(&set, Weights::uniform(2)).unwrap();
+        for recipe in GraphRecipe::all() {
+            let (index, report) = build_index(
+                &oracle,
+                IndexOptions { gamma: 10, recipe, ..IndexOptions::default() },
+            )
+            .unwrap();
+            assert_eq!(index.as_ann().len(), 300, "{}", recipe.label());
+            assert!(report.build_secs > 0.0);
+            assert!(report.index_bytes > 0);
+            match recipe {
+                GraphRecipe::Hnsw => assert!(index.graph().is_none()),
+                _ => assert!(index.graph().is_some()),
+            }
+        }
+    }
+
+    #[test]
+    fn rejects_zero_gamma_and_empty_sets() {
+        let set = corpus(10);
+        let oracle = JointOracle::new(&set, Weights::uniform(2)).unwrap();
+        assert!(build_index(&oracle, IndexOptions { gamma: 0, ..Default::default() }).is_err());
+    }
+
+    #[test]
+    fn larger_gamma_means_larger_index() {
+        let set = corpus(400);
+        let oracle = JointOracle::new(&set, Weights::uniform(2)).unwrap();
+        let (_, small) =
+            build_index(&oracle, IndexOptions { gamma: 6, ..Default::default() }).unwrap();
+        let (_, large) =
+            build_index(&oracle, IndexOptions { gamma: 20, ..Default::default() }).unwrap();
+        assert!(
+            large.index_bytes > small.index_bytes,
+            "{} vs {}",
+            large.index_bytes,
+            small.index_bytes
+        );
+    }
+}

@@ -1,0 +1,187 @@
+//! Bridges the vector layer to the graph layer: the joint-similarity
+//! oracle (Lemma 1) for index construction and the query scorer with the
+//! multi-vector pruning optimisation (Lemma 4) for search.
+
+use must_graph::{QueryScorer, SimilarityOracle};
+use must_vector::{
+    JointDistance, MultiQuery, MultiVectorSet, PartialIpVerdict, QueryEvaluator, VectorError,
+    Weights,
+};
+
+/// Joint-similarity oracle over a multi-vector corpus under fixed weights —
+/// what Algorithm 1 builds the fused index on.
+pub struct JointOracle<'a> {
+    joint: JointDistance<'a>,
+    /// Per-modality centroid vectors (component ④ support).
+    centroid: Vec<Vec<f32>>,
+    w_total: f32,
+}
+
+impl<'a> JointOracle<'a> {
+    /// Creates the oracle.
+    ///
+    /// # Errors
+    /// Propagates weight-arity mismatches from the vector layer.
+    pub fn new(set: &'a MultiVectorSet, weights: Weights) -> Result<Self, VectorError> {
+        let joint = JointDistance::new(set, weights)?;
+        let centroid = joint.centroid();
+        let w_total = joint.weights().squared().iter().sum();
+        Ok(Self { joint, centroid, w_total })
+    }
+
+    /// The underlying joint-distance computer.
+    pub fn joint(&self) -> &JointDistance<'a> {
+        &self.joint
+    }
+
+    /// The weights in force.
+    pub fn weights(&self) -> &Weights {
+        self.joint.weights()
+    }
+
+    /// The multi-vector corpus.
+    pub fn set(&self) -> &'a MultiVectorSet {
+        self.joint.set()
+    }
+}
+
+impl SimilarityOracle for JointOracle<'_> {
+    fn len(&self) -> usize {
+        self.joint.set().len()
+    }
+
+    fn sim(&self, a: u32, b: u32) -> f32 {
+        self.joint.pair_ip(a, b)
+    }
+
+    fn self_sim(&self, _a: u32) -> f32 {
+        // Per-modality vectors are unit norm, so the virtual point's squared
+        // norm is the sum of squared weights for every object.
+        self.w_total
+    }
+
+    fn sim_to_centroid(&self, a: u32) -> f32 {
+        let refs: Vec<&[f32]> = self.centroid.iter().map(Vec::as_slice).collect();
+        self.joint.ip_to_point(a, &refs)
+    }
+}
+
+/// Query scorer feeding graph search, with the Lemma-4 incremental
+/// multi-vector computation toggleable (the Fig. 10(c) ablation).
+pub struct MustQueryScorer<'a, 'q> {
+    eval: QueryEvaluator<'a, 'q>,
+    prune: bool,
+}
+
+impl<'a, 'q> MustQueryScorer<'a, 'q> {
+    /// Prepares a scorer for `query` over `oracle`'s corpus and weights.
+    ///
+    /// # Errors
+    /// Propagates slot-arity / dimension mismatches.
+    pub fn new(
+        oracle: &JointOracle<'a>,
+        query: &'q MultiQuery,
+        prune: bool,
+    ) -> Result<Self, VectorError> {
+        Self::from_joint(oracle.joint(), query, prune)
+    }
+
+    /// Prepares a scorer directly from a [`JointDistance`] (the hot search
+    /// path: no centroid computation).
+    ///
+    /// # Errors
+    /// Propagates slot-arity / dimension mismatches.
+    pub fn from_joint(
+        joint: &JointDistance<'a>,
+        query: &'q MultiQuery,
+        prune: bool,
+    ) -> Result<Self, VectorError> {
+        Ok(Self { eval: joint.query(query)?, prune })
+    }
+
+    /// Number of per-modality kernel evaluations performed so far.
+    pub fn kernel_evals(&self) -> u64 {
+        self.eval.kernel_evals()
+    }
+}
+
+impl QueryScorer for MustQueryScorer<'_, '_> {
+    fn score(&self, id: u32) -> f32 {
+        self.eval.ip(id)
+    }
+
+    fn score_pruned(&self, id: u32, threshold: f32) -> Option<f32> {
+        if !self.prune {
+            return Some(self.eval.ip(id));
+        }
+        match self.eval.ip_pruned(id, threshold) {
+            PartialIpVerdict::Exact(v) => Some(v),
+            PartialIpVerdict::Pruned => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use must_vector::VectorSetBuilder;
+
+    fn corpus() -> MultiVectorSet {
+        let mut m0 = VectorSetBuilder::new(4, 4);
+        let mut m1 = VectorSetBuilder::new(3, 4);
+        for (a, b) in [
+            ([1.0f32, 0.0, 0.0, 0.0], [1.0f32, 0.0, 0.0]),
+            ([0.0, 1.0, 0.0, 0.0], [1.0, 0.2, 0.0]),
+            ([0.0, 0.0, 1.0, 0.0], [0.0, 1.0, 0.0]),
+            ([0.5, 0.5, 0.0, 0.7], [0.0, 0.0, 1.0]),
+        ] {
+            m0.push_normalized(&a).unwrap();
+            m1.push_normalized(&b).unwrap();
+        }
+        MultiVectorSet::new(vec![m0.finish(), m1.finish()]).unwrap()
+    }
+
+    #[test]
+    fn oracle_sim_matches_lemma1() {
+        let set = corpus();
+        let w = Weights::new(vec![0.8, 0.33]).unwrap();
+        let oracle = JointOracle::new(&set, w.clone()).unwrap();
+        let want = set.joint_ip(0, 1, &w).unwrap();
+        assert!((oracle.sim(0, 1) - want).abs() < 1e-6);
+        assert_eq!(oracle.len(), 4);
+        let ss = oracle.self_sim(2);
+        assert!((ss - (w.sq(0) + w.sq(1))).abs() < 1e-5);
+    }
+
+    #[test]
+    fn centroid_similarity_prefers_central_objects() {
+        let set = corpus();
+        let oracle = JointOracle::new(&set, Weights::uniform(2)).unwrap();
+        // sim_to_centroid must be finite and bounded by self_sim.
+        for id in 0..4 {
+            let s = oracle.sim_to_centroid(id);
+            assert!(s.is_finite());
+            assert!(s <= oracle.self_sim(id) + 1e-5);
+        }
+    }
+
+    #[test]
+    fn scorer_prune_toggle_changes_counters_not_results() {
+        let set = corpus();
+        let oracle = JointOracle::new(&set, Weights::uniform(2)).unwrap();
+        let q = MultiQuery::full(vec![vec![0.0, 1.0, 0.0, 0.0], vec![1.0, 0.0, 0.0]]);
+        let pruning = MustQueryScorer::new(&oracle, &q, true).unwrap();
+        let plain = MustQueryScorer::new(&oracle, &q, false).unwrap();
+        for id in 0..4 {
+            let a = pruning.score_pruned(id, f32::NEG_INFINITY);
+            let b = plain.score_pruned(id, f32::NEG_INFINITY);
+            match (a, b) {
+                (Some(x), Some(y)) => assert!((x - y).abs() < 1e-5),
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+        // With an impossible threshold the pruning scorer discards early.
+        assert!(pruning.score_pruned(0, 10.0).is_none());
+        assert!(plain.score_pruned(0, 10.0).is_some());
+    }
+}

@@ -1,0 +1,160 @@
+//! Index persistence: serialise a built MUST instance (corpus + weights +
+//! fused graph in CSR form) to disk and load it back without rebuilding —
+//! what a deployment does between the offline build and online serving
+//! (Fig. 4's offline/online split).
+
+use std::io::{BufReader, BufWriter, Write};
+use std::path::Path;
+
+use must_graph::csr::CsrGraph;
+use must_vector::{MultiVectorSet, Weights};
+use serde::{Deserialize, Serialize};
+
+use crate::framework::{Must, MustBuildOptions};
+use crate::MustError;
+
+/// The on-disk bundle (JSON; versioned for forward compatibility).
+#[derive(Debug, Serialize, Deserialize)]
+pub struct MustBundle {
+    /// Format version.
+    pub version: u32,
+    /// The multi-vector corpus.
+    pub objects: MultiVectorSet,
+    /// The weights the index was built under.
+    pub weights: Weights,
+    /// The fused graph, frozen.
+    pub graph: CsrGraph,
+    /// Whether searches should prune (Lemma 4).
+    pub prune: bool,
+}
+
+/// Current bundle version.
+pub const BUNDLE_VERSION: u32 = 1;
+
+/// Serialises `must` to `path`.  Only flat-graph backends are persistable
+/// (HNSW persistence would need its layered form; the paper's fused index
+/// is flat).
+///
+/// # Errors
+/// [`MustError::Config`] for HNSW backends; I/O and serialisation errors
+/// as [`MustError::Config`] with context.
+pub fn save(must: &Must, path: &Path) -> Result<(), MustError> {
+    let graph = must
+        .index()
+        .graph()
+        .ok_or_else(|| MustError::Config("only flat-graph indexes are persistable".into()))?;
+    let bundle = MustBundle {
+        version: BUNDLE_VERSION,
+        objects: must.objects().clone(),
+        weights: must.weights().clone(),
+        graph: CsrGraph::from_graph(graph),
+        prune: must.prune(),
+    };
+    let file = std::fs::File::create(path)
+        .map_err(|e| MustError::Config(format!("create {}: {e}", path.display())))?;
+    let mut w = BufWriter::new(file);
+    serde_json::to_writer(&mut w, &bundle)
+        .map_err(|e| MustError::Config(format!("serialise: {e}")))?;
+    w.flush().map_err(|e| MustError::Config(format!("flush: {e}")))?;
+    Ok(())
+}
+
+/// Loads a bundle from `path` into a ready-to-search [`Must`].
+///
+/// # Errors
+/// I/O, format-version, and consistency errors.
+pub fn load(path: &Path) -> Result<Must, MustError> {
+    let file = std::fs::File::open(path)
+        .map_err(|e| MustError::Config(format!("open {}: {e}", path.display())))?;
+    let bundle: MustBundle = serde_json::from_reader(BufReader::new(file))
+        .map_err(|e| MustError::Config(format!("parse: {e}")))?;
+    if bundle.version != BUNDLE_VERSION {
+        return Err(MustError::Config(format!(
+            "unsupported bundle version {} (expected {BUNDLE_VERSION})",
+            bundle.version
+        )));
+    }
+    if bundle.graph.len() != bundle.objects.len() {
+        return Err(MustError::Config(format!(
+            "bundle graph covers {} vertices but corpus has {} objects",
+            bundle.graph.len(),
+            bundle.objects.len()
+        )));
+    }
+    Must::from_prebuilt(
+        bundle.objects,
+        bundle.weights,
+        bundle.graph.to_graph(),
+        MustBuildOptions { prune: bundle.prune, ..Default::default() },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use must_vector::{MultiQuery, VectorSetBuilder};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn corpus(n: usize) -> MultiVectorSet {
+        let mut rng = StdRng::seed_from_u64(13);
+        let mut m0 = VectorSetBuilder::new(8, n);
+        let mut m1 = VectorSetBuilder::new(4, n);
+        for _ in 0..n {
+            let v0: Vec<f32> = (0..8).map(|_| rng.random::<f32>() - 0.5).collect();
+            let v1: Vec<f32> = (0..4).map(|_| rng.random::<f32>() - 0.5).collect();
+            m0.push_normalized(&v0).unwrap();
+            m1.push_normalized(&v1).unwrap();
+        }
+        MultiVectorSet::new(vec![m0.finish(), m1.finish()]).unwrap()
+    }
+
+    #[test]
+    fn save_load_round_trip_preserves_search_results() {
+        let set = corpus(200);
+        let must =
+            Must::build(set, Weights::new(vec![0.8, 0.4]).unwrap(), MustBuildOptions::default())
+                .unwrap();
+        let dir = std::env::temp_dir().join("must-persist-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("bundle.json");
+        save(&must, &path).unwrap();
+        let loaded = load(&path).unwrap();
+        assert_eq!(loaded.objects().len(), 200);
+        assert_eq!(loaded.weights(), must.weights());
+        for id in [3u32, 77, 150] {
+            let q = MultiQuery::full(vec![
+                must.objects().modality(0).get(id).to_vec(),
+                must.objects().modality(1).get(id).to_vec(),
+            ]);
+            let a = must.search(&q, 5, 60).unwrap();
+            let b = loaded.search(&q, 5, 60).unwrap();
+            assert_eq!(a, b, "loaded index must search identically");
+        }
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn hnsw_bundles_are_rejected() {
+        use must_graph::GraphRecipe;
+        let set = corpus(60);
+        let must = Must::build(
+            set,
+            Weights::uniform(2),
+            MustBuildOptions { recipe: GraphRecipe::Hnsw, ..Default::default() },
+        )
+        .unwrap();
+        let path = std::env::temp_dir().join("must-hnsw-reject.json");
+        assert!(matches!(save(&must, &path), Err(MustError::Config(_))));
+    }
+
+    #[test]
+    fn corrupt_and_missing_files_error_cleanly() {
+        let missing = std::env::temp_dir().join("must-definitely-missing.json");
+        assert!(load(&missing).is_err());
+        let garbage = std::env::temp_dir().join("must-garbage.json");
+        std::fs::write(&garbage, b"not json").unwrap();
+        assert!(load(&garbage).is_err());
+        std::fs::remove_file(&garbage).unwrap();
+    }
+}

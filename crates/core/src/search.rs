@@ -1,0 +1,243 @@
+//! The joint search (Algorithm 2) over the fused index, the brute-force
+//! searcher (`MUST--`), and exact ground-truth computation for the
+//! semi-synthetic workloads.
+
+use std::time::Instant;
+
+use must_graph::search::{beam_search, VisitedSet};
+use must_graph::{QueryScorer, SearchParams, SearchStats};
+use must_vector::{JointDistance, MultiQuery, MultiVectorSet, ObjectId, Weights};
+
+use crate::index::MustIndex;
+use crate::oracle::MustQueryScorer;
+use crate::MustError;
+
+/// One search outcome with instrumentation.
+#[derive(Debug, Clone)]
+pub struct SearchOutcome {
+    /// Top-`k` `(id, joint similarity)`, best first.
+    pub results: Vec<(ObjectId, f32)>,
+    /// Graph-search statistics.
+    pub stats: SearchStats,
+    /// Per-modality kernel evaluations (the Lemma-4 ablation counter).
+    pub kernel_evals: u64,
+    /// Wall-clock seconds.
+    pub secs: f64,
+}
+
+/// Reusable search state (visited stamps) — allocation-free steady state
+/// across a query batch, as the response-time experiments require.
+#[derive(Default)]
+pub struct JointSearcher {
+    visited: VisitedSet,
+    query_counter: u64,
+}
+
+impl JointSearcher {
+    /// Creates a fresh searcher.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Runs Algorithm 2 for `query` on `index`.
+    ///
+    /// `prune` toggles the Lemma-4 multi-vector computation optimisation.
+    ///
+    /// # Errors
+    /// Propagates query/corpus arity mismatches.
+    pub fn search(
+        &mut self,
+        index: &MustIndex,
+        joint: &JointDistance<'_>,
+        query: &MultiQuery,
+        params: SearchParams,
+        prune: bool,
+    ) -> Result<SearchOutcome, MustError> {
+        let scorer = MustQueryScorer::from_joint(joint, query, prune)?;
+        let t0 = Instant::now();
+        self.query_counter += 1;
+        let rng_seed = 0x9A5E ^ self.query_counter;
+        let res = match index {
+            MustIndex::Flat(g) => beam_search(g, &scorer, params, &mut self.visited, rng_seed),
+            MustIndex::Hnsw(h) => {
+                use must_graph::AnnIndex as _;
+                h.search(&scorer, params, rng_seed)
+            }
+        };
+        Ok(SearchOutcome {
+            results: res.results,
+            stats: res.stats,
+            kernel_evals: scorer.kernel_evals(),
+            secs: t0.elapsed().as_secs_f64(),
+        })
+    }
+}
+
+/// Brute-force joint top-`k` (the `MUST--` baseline): scans every object,
+/// still benefiting from the Lemma-4 pruning against the running top-`k`
+/// threshold.
+///
+/// # Errors
+/// Propagates query/corpus arity mismatches.
+pub fn brute_force_search(
+    joint: &JointDistance<'_>,
+    query: &MultiQuery,
+    k: usize,
+    prune: bool,
+) -> Result<SearchOutcome, MustError> {
+    let scorer = MustQueryScorer::from_joint(joint, query, prune)?;
+    let t0 = Instant::now();
+    let n = joint.set().len();
+    let mut top: Vec<(ObjectId, f32)> = Vec::with_capacity(k + 1);
+    let mut stats = SearchStats::default();
+    for id in 0..n as u32 {
+        stats.evaluated += 1;
+        let threshold = if top.len() == k {
+            top[k - 1].1
+        } else {
+            f32::NEG_INFINITY
+        };
+        match scorer.score_pruned(id, threshold) {
+            Some(s) => {
+                if top.len() < k || s > threshold {
+                    let pos = top.partition_point(|t| t.1 >= s);
+                    top.insert(pos, (id, s));
+                    if top.len() > k {
+                        top.pop();
+                    }
+                }
+            }
+            None => stats.pruned += 1,
+        }
+    }
+    Ok(SearchOutcome {
+        results: top,
+        stats,
+        kernel_evals: scorer.kernel_evals(),
+        secs: t0.elapsed().as_secs_f64(),
+    })
+}
+
+/// Exact top-`k` ground truth for a batch of queries under `weights`
+/// (the protocol of the efficiency experiments: Figs. 6–8, Tab. VII).
+/// Parallel over queries.
+pub fn exact_ground_truth(
+    set: &MultiVectorSet,
+    weights: &Weights,
+    queries: &[MultiQuery],
+    k: usize,
+) -> Result<Vec<Vec<ObjectId>>, MustError> {
+    let joint = JointDistance::new(set, weights.clone())?;
+    let threads = must_graph::par::build_threads();
+    let out = must_graph::par::par_map(queries.len(), threads, |qi| {
+        brute_force_search(&joint, &queries[qi], k, true)
+            .map(|o| o.results.into_iter().map(|(id, _)| id).collect::<Vec<_>>())
+    });
+    out.into_iter().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::index::{build_index, IndexOptions};
+    use crate::oracle::JointOracle;
+    use must_vector::VectorSetBuilder;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn corpus(n: usize) -> MultiVectorSet {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut m0 = VectorSetBuilder::new(8, n);
+        let mut m1 = VectorSetBuilder::new(4, n);
+        for _ in 0..n {
+            let v0: Vec<f32> = (0..8).map(|_| rng.random::<f32>() - 0.5).collect();
+            let v1: Vec<f32> = (0..4).map(|_| rng.random::<f32>() - 0.5).collect();
+            m0.push_normalized(&v0).unwrap();
+            m1.push_normalized(&v1).unwrap();
+        }
+        MultiVectorSet::new(vec![m0.finish(), m1.finish()]).unwrap()
+    }
+
+    fn query_for(set: &MultiVectorSet, id: ObjectId) -> MultiQuery {
+        MultiQuery::full(vec![
+            set.modality(0).get(id).to_vec(),
+            set.modality(1).get(id).to_vec(),
+        ])
+    }
+
+    #[test]
+    fn brute_force_finds_self_as_top1() {
+        let set = corpus(200);
+        let joint = JointDistance::new(&set, Weights::uniform(2)).unwrap();
+        for id in [0u32, 57, 199] {
+            let q = query_for(&set, id);
+            let out = brute_force_search(&joint, &q, 3, true).unwrap();
+            assert_eq!(out.results[0].0, id);
+        }
+    }
+
+    #[test]
+    fn pruned_and_unpruned_brute_force_agree() {
+        let set = corpus(150);
+        let joint = JointDistance::new(&set, Weights::new(vec![0.9, 0.3]).unwrap()).unwrap();
+        for id in [5u32, 99] {
+            let q = query_for(&set, id);
+            let a = brute_force_search(&joint, &q, 10, true).unwrap();
+            let b = brute_force_search(&joint, &q, 10, false).unwrap();
+            let ids_a: Vec<u32> = a.results.iter().map(|r| r.0).collect();
+            let ids_b: Vec<u32> = b.results.iter().map(|r| r.0).collect();
+            assert_eq!(ids_a, ids_b, "Lemma 4 must be lossless");
+            assert!(a.kernel_evals <= b.kernel_evals, "pruning must save kernels");
+        }
+    }
+
+    #[test]
+    fn graph_search_reaches_brute_force_at_large_l() {
+        let set = corpus(400);
+        let weights = Weights::uniform(2);
+        let oracle = JointOracle::new(&set, weights.clone()).unwrap();
+        let (index, _) =
+            build_index(&oracle, IndexOptions { gamma: 12, ..Default::default() }).unwrap();
+        let joint = JointDistance::new(&set, weights).unwrap();
+        let mut searcher = JointSearcher::new();
+        let mut hits = 0;
+        let total = 25;
+        for t in 0..total {
+            let id = (t * 16) as u32 % 400;
+            let q = query_for(&set, id);
+            let exact = brute_force_search(&joint, &q, 1, true).unwrap();
+            let approx = searcher
+                .search(&index, &joint, &q, SearchParams::new(1, 100), true)
+                .unwrap();
+            if approx.results[0].0 == exact.results[0].0 {
+                hits += 1;
+            }
+        }
+        assert!(hits >= total - 1, "recall {hits}/{total}");
+    }
+
+    #[test]
+    fn exact_ground_truth_is_consistent_with_brute_force() {
+        let set = corpus(120);
+        let w = Weights::uniform(2);
+        let queries: Vec<MultiQuery> = (0..6).map(|i| query_for(&set, i * 17)).collect();
+        let gt = exact_ground_truth(&set, &w, &queries, 5).unwrap();
+        assert_eq!(gt.len(), 6);
+        let joint = JointDistance::new(&set, w).unwrap();
+        for (q, g) in queries.iter().zip(&gt) {
+            let bf = brute_force_search(&joint, q, 5, false).unwrap();
+            let ids: Vec<u32> = bf.results.iter().map(|r| r.0).collect();
+            assert_eq!(&ids, g);
+        }
+    }
+
+    #[test]
+    fn partial_query_searches_with_masked_weights() {
+        let set = corpus(200);
+        let joint = JointDistance::new(&set, Weights::uniform(2)).unwrap();
+        // Text-only query (t = 1, auxiliary only).
+        let q = MultiQuery::partial(vec![None, Some(set.modality(1).get(42).to_vec())]);
+        let out = brute_force_search(&joint, &q, 1, true).unwrap();
+        assert_eq!(out.results[0].0, 42);
+    }
+}

@@ -1,0 +1,300 @@
+//! Generator for the real-world-like structured datasets (CelebA,
+//! MIT-States, Shopping, MS-COCO, CelebA+).
+
+use must_encoders::noise::GaussianStream;
+use must_encoders::{Latent, LatentSpace};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::universe::Universe;
+use crate::{LatentDataset, LatentQuery, ModalityRole, ObjectLabels};
+
+/// Parameters of a structured dataset.
+#[derive(Debug, Clone)]
+pub struct StructuredSpec {
+    /// Dataset name.
+    pub name: String,
+    /// Number of objects.
+    pub n_objects: usize,
+    /// Number of queries.
+    pub n_queries: usize,
+    /// Vocabulary sizes.
+    pub n_classes: usize,
+    /// Number of attribute prototypes.
+    pub n_attrs: usize,
+    /// Attributes each class actually occurs with (MIT-States: ~9
+    /// adjectives per noun).
+    pub attrs_per_class: usize,
+    /// Per-object individual variation.
+    pub jitter: f32,
+    /// Per-object variation of descriptive (text) latents: 0 for
+    /// structured attribute encodings, small for free text.
+    pub text_variation: f32,
+    /// Noise between the query's reference content and the anchor object's
+    /// class appearance (how different the user's photo is from the target).
+    pub reference_noise: f32,
+    /// Modality roles (`roles[0]` must be `Target`).
+    pub roles: Vec<ModalityRole>,
+    /// Whether auxiliary grounded modalities carry the *same* content as
+    /// the target (CelebA+: one image, several encoders) or an independent
+    /// view (MS-COCO: a second reference image).
+    pub grounded_aux_shares_content: bool,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl StructuredSpec {
+    fn validate(&self) {
+        assert!(self.n_objects > 0 && self.n_queries > 0);
+        assert!(self.attrs_per_class >= 2, "queries need a source and a target attribute");
+        assert!(self.attrs_per_class <= self.n_attrs);
+        assert_eq!(self.roles.first(), Some(&ModalityRole::Target));
+    }
+}
+
+/// The attribute palette of a class: a deterministic pseudo-random subset
+/// of the attribute vocabulary.
+fn palette(class: u32, n_attrs: usize, k: usize, seed: u64) -> Vec<u32> {
+    let mut rng = StdRng::seed_from_u64(seed ^ (class as u64).wrapping_mul(0xB5AD_4ECE_DA1C_E2A9));
+    let mut chosen = Vec::with_capacity(k);
+    while chosen.len() < k {
+        let a = rng.random_range(0..n_attrs as u32);
+        if !chosen.contains(&a) {
+            chosen.push(a);
+        }
+    }
+    chosen
+}
+
+fn perturb(values: &[f32], sigma: f32, seed: u64) -> Vec<f32> {
+    if sigma <= 0.0 {
+        return values.to_vec();
+    }
+    let mut g = GaussianStream::new(seed);
+    values.iter().map(|v| v + (g.next_standard() as f32) * sigma).collect()
+}
+
+/// Generates the dataset.
+pub fn generate(spec: &StructuredSpec) -> LatentDataset {
+    spec.validate();
+    let space = LatentSpace::DEFAULT;
+    let universe = Universe::new(space, spec.n_classes, spec.n_attrs, spec.jitter, spec.seed);
+    let mut rng = StdRng::seed_from_u64(spec.seed ^ 0x0B1);
+
+    // Objects: round-robin classes for coverage, attributes from the
+    // class palette.
+    let mut labels = Vec::with_capacity(spec.n_objects);
+    let mut object_latents = Vec::with_capacity(spec.n_objects);
+    // (class, attr) -> object ids, for query ground truth.
+    let mut cells: std::collections::HashMap<(u32, u32), Vec<u32>> = std::collections::HashMap::new();
+    for o in 0..spec.n_objects {
+        let class = (o % spec.n_classes) as u32;
+        let pal = palette(class, spec.n_attrs, spec.attrs_per_class, spec.seed);
+        let attr = pal[rng.random_range(0..pal.len())];
+        let (class_part, attr_part) = universe.instance_parts(class, attr, o as u64);
+        let grounded = Latent::grounded(&class_part, &attr_part);
+        let mut mods = Vec::with_capacity(spec.roles.len());
+        for (mi, role) in spec.roles.iter().enumerate() {
+            match role {
+                ModalityRole::Target => mods.push(grounded.clone()),
+                ModalityRole::GroundedAux => {
+                    if spec.grounded_aux_shares_content {
+                        mods.push(grounded.clone());
+                    } else {
+                        // An independent view of the same object.
+                        let (c2, a2) =
+                            universe.instance_parts(class, attr, (o as u64) << 8 | mi as u64);
+                        mods.push(Latent::grounded(&c2, &a2));
+                    }
+                }
+                ModalityRole::DescriptiveAux => {
+                    let desc = perturb(
+                        &universe.describe_attr(attr),
+                        spec.text_variation,
+                        spec.seed ^ ((o as u64) << 16 | mi as u64),
+                    );
+                    mods.push(Latent::descriptive(space.class_dims, &desc));
+                }
+            }
+        }
+        cells.entry((class, attr)).or_default().push(o as u32);
+        labels.push(ObjectLabels { class, attr });
+        object_latents.push(mods);
+    }
+
+    // Queries: anchor object (class C, attr S2); reference content shows
+    // the same individual in a different state S1; text describes S2.
+    let mut queries = Vec::with_capacity(spec.n_queries);
+    for qi in 0..spec.n_queries {
+        let anchor = rng.random_range(0..spec.n_objects as u32);
+        let ObjectLabels { class, attr: want_attr } = labels[anchor as usize];
+        let pal = palette(class, spec.n_attrs, spec.attrs_per_class, spec.seed);
+        let from_attr = loop {
+            let a = pal[rng.random_range(0..pal.len())];
+            if a != want_attr {
+                break a;
+            }
+        };
+        // Reference: the anchor's class appearance (slightly re-shot) in
+        // state `from_attr`.
+        let anchor_class_part =
+            object_latents[anchor as usize][0].class_part(&space).to_vec();
+        let ref_class = perturb(
+            &anchor_class_part,
+            spec.reference_noise,
+            spec.seed ^ 0x0EEF ^ ((qi as u64) << 1),
+        );
+        let (_, ref_attr_part) =
+            universe.instance_parts(class, from_attr, 0x4000_0000_0000_0000 | qi as u64);
+        let reference = Latent::grounded(&ref_class, &ref_attr_part);
+        let desc_latent = Latent::descriptive(space.class_dims, &universe.describe_attr(want_attr));
+
+        let mut slots = Vec::with_capacity(spec.roles.len());
+        for (mi, role) in spec.roles.iter().enumerate() {
+            match role {
+                ModalityRole::Target => slots.push(Some(reference.clone())),
+                ModalityRole::GroundedAux => {
+                    if spec.grounded_aux_shares_content {
+                        slots.push(Some(reference.clone()));
+                    } else {
+                        let ref2_class = perturb(
+                            &anchor_class_part,
+                            spec.reference_noise,
+                            spec.seed ^ 0x5ECu64 ^ ((qi as u64) << 8 | mi as u64),
+                        );
+                        let (_, ref2_attr) = universe.instance_parts(
+                            class,
+                            from_attr,
+                            0x2000_0000_0000_0000 | ((qi as u64) << 8 | mi as u64),
+                        );
+                        slots.push(Some(Latent::grounded(&ref2_class, &ref2_attr)));
+                    }
+                }
+                ModalityRole::DescriptiveAux => slots.push(Some(desc_latent.clone())),
+            }
+        }
+        // Ground truth: the anchor (k' = 1, the paper's Recall@k(1)
+        // protocol — one designated target object per query).
+        queries.push(LatentQuery {
+            latents: slots,
+            ground_truth: vec![anchor],
+            anchor,
+            want: ObjectLabels { class, attr: want_attr },
+        });
+    }
+
+    let ds = LatentDataset {
+        name: spec.name.clone(),
+        space,
+        roles: spec.roles.clone(),
+        object_latents,
+        labels,
+        queries,
+    };
+    debug_assert_eq!(ds.validate(), Ok(()));
+    ds
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_spec() -> StructuredSpec {
+        StructuredSpec {
+            name: "test".into(),
+            n_objects: 300,
+            n_queries: 50,
+            n_classes: 20,
+            n_attrs: 12,
+            attrs_per_class: 4,
+            jitter: 0.15,
+            text_variation: 0.05,
+            reference_noise: 0.08,
+            roles: vec![ModalityRole::Target, ModalityRole::DescriptiveAux],
+            grounded_aux_shares_content: false,
+            seed: 7,
+        }
+    }
+
+    #[test]
+    fn generated_dataset_is_consistent() {
+        let ds = generate(&small_spec());
+        assert_eq!(ds.validate(), Ok(()));
+        assert_eq!(ds.len(), 300);
+        assert_eq!(ds.queries.len(), 50);
+        assert_eq!(ds.num_modalities(), 2);
+    }
+
+    #[test]
+    fn queries_want_a_different_attribute_than_the_reference_shows() {
+        let ds = generate(&small_spec());
+        for q in &ds.queries {
+            let anchor_labels = ds.labels[q.anchor as usize];
+            assert_eq!(q.want.class, anchor_labels.class);
+            assert_eq!(q.want.attr, anchor_labels.attr, "anchor must carry the wanted attr");
+            assert_eq!(q.ground_truth, vec![q.anchor]);
+        }
+    }
+
+    #[test]
+    fn corpus_text_is_shared_within_attribute_up_to_variation() {
+        let mut spec = small_spec();
+        spec.text_variation = 0.0;
+        let ds = generate(&spec);
+        // Find two objects with the same attribute: their text latents must
+        // be identical when text_variation = 0 (structured encoding).
+        let mut by_attr: std::collections::HashMap<u32, Vec<usize>> = Default::default();
+        for (o, l) in ds.labels.iter().enumerate() {
+            by_attr.entry(l.attr).or_default().push(o);
+        }
+        let group = by_attr.values().find(|v| v.len() >= 2).expect("shared attribute exists");
+        let a = &ds.object_latents[group[0]][1];
+        let b = &ds.object_latents[group[1]][1];
+        assert_eq!(a.values(), b.values());
+    }
+
+    #[test]
+    fn reference_is_close_to_anchor_in_class_but_not_attr() {
+        let ds = generate(&small_spec());
+        let space = ds.space;
+        for q in ds.queries.iter().take(10) {
+            let reference = q.latents[0].as_ref().unwrap();
+            let anchor = &ds.object_latents[q.anchor as usize][0];
+            let class_dist: f32 = reference
+                .class_part(&space)
+                .iter()
+                .zip(anchor.class_part(&space))
+                .map(|(a, b)| (a - b) * (a - b))
+                .sum();
+            let attr_dist: f32 = reference
+                .attr_part(&space)
+                .iter()
+                .zip(anchor.attr_part(&space))
+                .map(|(a, b)| (a - b) * (a - b))
+                .sum();
+            assert!(class_dist < attr_dist, "class {class_dist} vs attr {attr_dist}");
+        }
+    }
+
+    #[test]
+    fn three_modality_datasets_generate() {
+        let mut spec = small_spec();
+        spec.roles = vec![
+            ModalityRole::Target,
+            ModalityRole::GroundedAux,
+            ModalityRole::DescriptiveAux,
+        ];
+        let ds = generate(&spec);
+        assert_eq!(ds.validate(), Ok(()));
+        assert_eq!(ds.num_modalities(), 3);
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = generate(&small_spec());
+        let b = generate(&small_spec());
+        assert_eq!(a.labels, b.labels);
+        assert_eq!(a.object_latents[5][0].values(), b.object_latents[5][0].values());
+        assert_eq!(a.queries[3].anchor, b.queries[3].anchor);
+    }
+}

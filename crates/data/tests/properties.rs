@@ -1,0 +1,115 @@
+//! Property-based tests for the dataset generators: structural validity,
+//! label/ground-truth coherence, and the MSTM query protocol across
+//! random generator parameters.
+
+use must_data::structured::{generate, StructuredSpec};
+use must_data::semisynthetic::{self, SemiSyntheticSpec};
+use must_data::ModalityRole;
+use proptest::prelude::*;
+
+fn spec_strategy() -> impl Strategy<Value = StructuredSpec> {
+    (
+        100usize..400,
+        5usize..40,
+        2usize..20,
+        6usize..30,
+        0.05f32..0.4,
+        0.0f32..0.2,
+        any::<u8>(),
+        prop_oneof![Just(2usize), Just(3)],
+    )
+        .prop_map(|(n, nq, n_classes, n_attrs, jitter, text_var, seed, m)| {
+            let attrs_per_class = (n_attrs / 2).clamp(2, 8);
+            let mut roles = vec![ModalityRole::Target];
+            if m == 3 {
+                roles.push(ModalityRole::GroundedAux);
+            }
+            roles.push(ModalityRole::DescriptiveAux);
+            StructuredSpec {
+                name: "prop".into(),
+                n_objects: n,
+                n_queries: nq,
+                n_classes,
+                n_attrs,
+                attrs_per_class,
+                jitter,
+                text_variation: text_var,
+                reference_noise: jitter * 0.8,
+                roles,
+                grounded_aux_shares_content: seed % 2 == 0,
+                seed: seed as u64,
+            }
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn structured_datasets_always_validate(spec in spec_strategy()) {
+        let ds = generate(&spec);
+        prop_assert_eq!(ds.validate(), Ok(()));
+        prop_assert_eq!(ds.len(), spec.n_objects);
+        prop_assert_eq!(ds.queries.len(), spec.n_queries);
+        prop_assert_eq!(ds.num_modalities(), spec.roles.len());
+    }
+
+    #[test]
+    fn query_ground_truth_matches_wanted_labels(spec in spec_strategy()) {
+        let ds = generate(&spec);
+        for q in &ds.queries {
+            for &g in &q.ground_truth {
+                let l = ds.labels[g as usize];
+                prop_assert_eq!(l.class, q.want.class);
+                prop_assert_eq!(l.attr, q.want.attr);
+            }
+            // The anchor is always in the ground truth.
+            prop_assert!(q.ground_truth.contains(&q.anchor));
+        }
+    }
+
+    #[test]
+    fn object_labels_use_valid_vocabulary(spec in spec_strategy()) {
+        let ds = generate(&spec);
+        for l in &ds.labels {
+            prop_assert!((l.class as usize) < spec.n_classes);
+            prop_assert!((l.attr as usize) < spec.n_attrs);
+        }
+    }
+
+    #[test]
+    fn descriptive_modalities_have_zero_class_part(spec in spec_strategy()) {
+        let ds = generate(&spec);
+        let space = ds.space;
+        let desc_idx = ds
+            .roles
+            .iter()
+            .position(|r| *r == ModalityRole::DescriptiveAux)
+            .expect("spec always has a text modality");
+        for mods in ds.object_latents.iter().take(20) {
+            let class_part = mods[desc_idx].class_part(&space);
+            prop_assert!(class_part.iter().all(|x| *x == 0.0));
+        }
+    }
+
+    #[test]
+    fn semisynthetic_datasets_validate(
+        n in 100usize..500,
+        nq in 5usize..30,
+        n_attrs in 4usize..64,
+        seed in any::<u8>(),
+    ) {
+        let ds = semisynthetic::generate(&SemiSyntheticSpec {
+            name: "prop-semi".into(),
+            n_objects: n,
+            n_queries: nq,
+            n_attrs,
+            query_perturbation: 0.25,
+            seed: seed as u64,
+        });
+        prop_assert_eq!(ds.validate(), Ok(()));
+        // Queries carry no label ground truth (computed downstream).
+        prop_assert!(ds.queries.iter().all(|q| q.ground_truth.is_empty()));
+        prop_assert!(ds.queries.iter().all(|q| (q.anchor as usize) < n));
+    }
+}

@@ -1,0 +1,75 @@
+//! Simulated encoders for the MUST reproduction.
+//!
+//! The paper embeds every modality of every object with trained deep
+//! encoders (ResNet, LSTM, Transformer, GRU, ordinal Encoding) and fuses
+//! image–text pairs with trained multimodal encoders (TIRG, CLIP, MPC).
+//! Shipping and running those models offline is impossible, so this crate
+//! substitutes a *latent-semantics simulator* that reproduces the geometric
+//! properties the paper actually depends on (see `DESIGN.md` §1):
+//!
+//! 1. Every object/query content owns a **latent vector** split into a
+//!    *class* part (what the thing is: noun, identity, garment) and an
+//!    *attribute* part (its state: adjective, facial attributes, fabric).
+//! 2. A **unimodal encoder** is a seeded random projection of the latent
+//!    into the encoder's output space plus encoder-specific Gaussian noise
+//!    (its quality), then L2 normalisation.  The noise is deterministic per
+//!    `(encoder, content)` — the same image always embeds to the same
+//!    vector, exactly like a real frozen model.
+//! 3. A **multimodal encoder** composes a pseudo-latent from the query's
+//!    latents — keeping the class of the grounded (image-like) inputs and
+//!    replacing a `fidelity` fraction of their attributes with the
+//!    descriptive (text-like) inputs' attributes — and then projects it with
+//!    its visual backbone *plus an extra modality-gap noise term*.  The
+//!    imperfect `fidelity` and the gap noise are what make Joint Embedding
+//!    a lossy, limited-recall baseline in the paper (§III, §VIII-B).
+//!
+//! Per-encoder noise magnitudes are calibrated so the paper's encoder
+//! ordering holds (CLIP > TIRG > MPC as composers; ResNet50 > ResNet17;
+//! LSTM > Transformer on attribute text; structured Encoding is
+//! near-noiseless but inherently ambiguous).
+//!
+//! Everything is behind the pluggable [`Embedder`] / [`Composer`] traits, so
+//! a real ONNX-backed encoder could be dropped in without touching the rest
+//! of the system — the paper's "pluggable embedding" property (§V).
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod latent;
+mod multimodal;
+pub mod noise;
+mod registry;
+mod unimodal;
+
+pub use latent::{Latent, LatentKind, LatentSpace};
+pub use multimodal::{ComposerKind, MultimodalEncoder};
+pub use registry::{EncoderConfig, EncoderRegistry, TargetEncoding};
+pub use unimodal::{UnimodalEncoder, UnimodalKind};
+
+/// A pluggable unimodal embedder: content latent → unit vector.
+///
+/// Implemented by the simulated [`UnimodalEncoder`]s; any future encoder
+/// (e.g. an ONNX runtime wrapper) only needs to implement this trait.
+pub trait Embedder: Send + Sync {
+    /// Human-readable encoder name (as it appears in the paper's tables).
+    fn name(&self) -> &str;
+    /// Output dimensionality.
+    fn dim(&self) -> usize;
+    /// Embeds one content latent into a unit-norm vector.
+    fn embed(&self, latent: &Latent) -> Vec<f32>;
+}
+
+/// A pluggable multimodal composer: a set of content latents → one unit
+/// vector *in the target-modality vector space* (the paper's
+/// `Phi(q_0, ..., q_{t-1})`, Eq. 3).
+pub trait Composer: Send + Sync {
+    /// Human-readable composer name.
+    fn name(&self) -> &str;
+    /// Output dimensionality (must equal the target modality's).
+    fn dim(&self) -> usize;
+    /// Fuses the latents (target first) into a composition vector.
+    fn compose(&self, latents: &[&Latent]) -> Vec<f32>;
+    /// Embeds a single corpus-side content with the composer's backbone
+    /// (how JE embeds `{phi_0(o_0) | o in S}` consistently with `Phi`).
+    fn embed_single(&self, latent: &Latent) -> Vec<f32>;
+}

@@ -1,0 +1,148 @@
+//! Deterministic pseudo-random noise utilities.
+//!
+//! Encoder noise must be deterministic per `(encoder, content)` so the same
+//! content always embeds to the same vector.  We hash the latent's bit
+//! pattern together with the encoder seed and use the digest to seed a
+//! counter-based Gaussian stream.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// FNV-1a over a byte stream; cheap and stable across platforms.
+#[inline]
+fn fnv1a(bytes: impl IntoIterator<Item = u8>, seed: u64) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64 ^ seed.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    for b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    h
+}
+
+/// Stable 64-bit content hash of a latent value slice mixed with `seed`.
+pub fn content_hash(values: &[f32], seed: u64) -> u64 {
+    fnv1a(values.iter().flat_map(|v| v.to_bits().to_le_bytes()), seed)
+}
+
+/// A deterministic Gaussian sampler (Box–Muller over a seeded `StdRng`).
+#[derive(Debug)]
+pub struct GaussianStream {
+    rng: StdRng,
+    spare: Option<f64>,
+}
+
+impl GaussianStream {
+    /// Creates a stream from a 64-bit seed.
+    pub fn new(seed: u64) -> Self {
+        Self { rng: StdRng::seed_from_u64(seed), spare: None }
+    }
+
+    /// Next standard-normal sample.
+    pub fn next_standard(&mut self) -> f64 {
+        if let Some(s) = self.spare.take() {
+            return s;
+        }
+        // Box–Muller: two uniforms -> two normals.
+        loop {
+            let u1: f64 = self.rng.random();
+            let u2: f64 = self.rng.random();
+            if u1 <= f64::MIN_POSITIVE {
+                continue;
+            }
+            let r = (-2.0 * u1.ln()).sqrt();
+            let theta = 2.0 * std::f64::consts::PI * u2;
+            self.spare = Some(r * theta.sin());
+            return r * theta.cos();
+        }
+    }
+
+    /// Fills `out` with i.i.d. `N(0, sigma^2)` samples.
+    pub fn fill(&mut self, out: &mut [f32], sigma: f32) {
+        for x in out.iter_mut() {
+            *x = (self.next_standard() as f32) * sigma;
+        }
+    }
+}
+
+/// Samples a dense `rows x cols` matrix with entries `N(0, 1/cols)` —
+/// a Johnson–Lindenstrauss-style random projection that approximately
+/// preserves latent geometry.
+pub fn projection_matrix(rows: usize, cols: usize, seed: u64) -> Vec<f32> {
+    let mut g = GaussianStream::new(seed);
+    let scale = (1.0 / cols as f64).sqrt() as f32;
+    let mut m = vec![0.0f32; rows * cols];
+    g.fill(&mut m, 1.0);
+    for x in m.iter_mut() {
+        *x *= scale;
+    }
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn content_hash_is_stable_and_seed_sensitive() {
+        let v = [0.25f32, -1.5, 3.0];
+        assert_eq!(content_hash(&v, 7), content_hash(&v, 7));
+        assert_ne!(content_hash(&v, 7), content_hash(&v, 8));
+        let w = [0.25f32, -1.5, 3.0001];
+        assert_ne!(content_hash(&v, 7), content_hash(&w, 7));
+    }
+
+    #[test]
+    fn gaussian_stream_is_deterministic() {
+        let mut a = GaussianStream::new(42);
+        let mut b = GaussianStream::new(42);
+        for _ in 0..32 {
+            assert_eq!(a.next_standard().to_bits(), b.next_standard().to_bits());
+        }
+    }
+
+    #[test]
+    fn gaussian_stream_has_plausible_moments() {
+        let mut g = GaussianStream::new(1);
+        let n = 20_000;
+        let samples: Vec<f64> = (0..n).map(|_| g.next_standard()).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.03, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.05, "var {var}");
+    }
+
+    #[test]
+    fn projection_matrix_is_seeded() {
+        let a = projection_matrix(4, 8, 3);
+        let b = projection_matrix(4, 8, 3);
+        let c = projection_matrix(4, 8, 4);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(a.len(), 32);
+    }
+
+    #[test]
+    fn projection_approximately_preserves_norm() {
+        // JL property sanity: a unit latent maps to a vector of norm ~1.
+        let cols = 64;
+        let rows = 96;
+        let m = projection_matrix(rows, cols, 11);
+        let latent: Vec<f32> = {
+            let mut g = GaussianStream::new(99);
+            let mut v = vec![0.0f32; cols];
+            g.fill(&mut v, 1.0);
+            let n = v.iter().map(|x| x * x).sum::<f32>().sqrt();
+            v.iter().map(|x| x / n).collect()
+        };
+        let mut out = vec![0.0f32; rows];
+        for (r, o) in out.iter_mut().enumerate() {
+            *o = m[r * cols..(r + 1) * cols]
+                .iter()
+                .zip(&latent)
+                .map(|(a, b)| a * b)
+                .sum();
+        }
+        let n = out.iter().map(|x| x * x).sum::<f32>().sqrt();
+        assert!((n - 1.0).abs() < 0.35, "projected norm {n}");
+    }
+}

@@ -1,0 +1,114 @@
+//! Property-based tests for the encoder simulator: determinism, unit
+//! norm, geometry preservation, and composer semantics over random
+//! latents.  Also pins the pluggability contract with a custom encoder.
+
+use must_encoders::{
+    Composer, ComposerKind, Embedder, Latent, LatentKind, LatentSpace, MultimodalEncoder,
+    UnimodalEncoder, UnimodalKind,
+};
+use must_vector::kernels;
+use proptest::prelude::*;
+
+const SPACE: LatentSpace = LatentSpace::DEFAULT;
+
+fn latent_values() -> impl Strategy<Value = Vec<f32>> {
+    proptest::collection::vec(-2.0f32..2.0, SPACE.total())
+        .prop_filter("non-degenerate", |v| v.iter().map(|x| x * x).sum::<f32>() > 1e-2)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn every_unimodal_encoder_emits_deterministic_unit_vectors(vals in latent_values()) {
+        for kind in [
+            UnimodalKind::ResNet17,
+            UnimodalKind::ResNet50,
+            UnimodalKind::Lstm,
+            UnimodalKind::Transformer,
+            UnimodalKind::Gru,
+            UnimodalKind::Encoding,
+            UnimodalKind::ClipVisual,
+        ] {
+            let e = UnimodalEncoder::new(kind, SPACE, 9);
+            let l = Latent::new(vals.clone(), LatentKind::Grounded);
+            let a = e.embed(&l);
+            let b = e.embed(&l);
+            prop_assert_eq!(&a, &b, "{} must be deterministic", kind.label());
+            prop_assert_eq!(a.len(), kind.dim());
+            prop_assert!(kernels::is_unit_norm(&a, 1e-4));
+        }
+    }
+
+    #[test]
+    fn encoders_preserve_identity_similarity(vals in latent_values()) {
+        // A content is always most similar to itself through any encoder.
+        let e = UnimodalEncoder::new(UnimodalKind::ResNet50, SPACE, 3);
+        let l = Latent::new(vals.clone(), LatentKind::Grounded);
+        let mut other_vals = vals;
+        other_vals[0] += 3.0;
+        other_vals[5] -= 3.0;
+        let other = Latent::new(other_vals, LatentKind::Grounded);
+        let v = e.embed(&l);
+        prop_assert!(kernels::ip(&v, &e.embed(&l)) > kernels::ip(&v, &e.embed(&other)) - 1e-6);
+    }
+
+    #[test]
+    fn composition_is_unit_norm_and_deterministic(
+        a in latent_values(),
+        b in latent_values(),
+    ) {
+        for kind in [ComposerKind::Tirg, ComposerKind::Clip, ComposerKind::Mpc] {
+            let c = MultimodalEncoder::new(kind, SPACE, 5);
+            let img = Latent::new(a.clone(), LatentKind::Grounded);
+            let txt = Latent::new(b.clone(), LatentKind::Descriptive);
+            let v1 = c.compose(&[&img, &txt]);
+            let v2 = c.compose(&[&img, &txt]);
+            prop_assert_eq!(&v1, &v2);
+            prop_assert!(kernels::is_unit_norm(&v1, 1e-4));
+            prop_assert_eq!(v1.len(), c.dim());
+        }
+    }
+
+    #[test]
+    fn composition_depends_on_descriptive_input(a in latent_values(), b in latent_values(), c in latent_values()) {
+        // Two different text latents must generally produce different
+        // compositions (the composer actually reads its inputs).
+        prop_assume!(b.iter().zip(&c).any(|(x, y)| (x - y).abs() > 0.2));
+        let comp = MultimodalEncoder::new(ComposerKind::Clip, SPACE, 5);
+        let img = Latent::new(a, LatentKind::Grounded);
+        let t1 = Latent::new(b, LatentKind::Descriptive);
+        let t2 = Latent::new(c, LatentKind::Descriptive);
+        prop_assert_ne!(comp.compose(&[&img, &t1]), comp.compose(&[&img, &t2]));
+    }
+}
+
+/// The paper's pluggability claim (§V): anything implementing `Embedder`
+/// drops into the stack.  A trivial custom encoder (truncate + normalise)
+/// satisfies the contract.
+#[test]
+fn custom_embedder_plugs_in() {
+    struct Truncate {
+        dim: usize,
+    }
+    impl Embedder for Truncate {
+        fn name(&self) -> &str {
+            "Truncate"
+        }
+        fn dim(&self) -> usize {
+            self.dim
+        }
+        fn embed(&self, latent: &Latent) -> Vec<f32> {
+            let mut v: Vec<f32> = latent.values()[..self.dim].to_vec();
+            if !kernels::normalize(&mut v) {
+                v[0] = 1.0;
+            }
+            v
+        }
+    }
+    let enc: Box<dyn Embedder> = Box::new(Truncate { dim: 8 });
+    let l = Latent::new((0..SPACE.total()).map(|i| i as f32 + 1.0).collect(), LatentKind::Grounded);
+    let v = enc.embed(&l);
+    assert_eq!(v.len(), 8);
+    assert!(kernels::is_unit_norm(&v, 1e-5));
+}

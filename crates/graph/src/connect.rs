@@ -1,0 +1,151 @@
+//! Component ⑤ — connectivity (Line 19 of Algorithm 1): a BFS from the
+//! seed, bridging every unreached region back into the graph so all
+//! vertices are reachable.
+
+use std::collections::VecDeque;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::{Graph, SimilarityOracle};
+
+/// Statistics of a connectivity pass.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ConnectivityStats {
+    /// Vertices reachable from the seed before patching.
+    pub reachable_before: usize,
+    /// Bridge edges added.
+    pub bridges_added: usize,
+}
+
+/// BFS over `graph` from `start`, marking `visited`; returns how many new
+/// vertices were reached.
+fn bfs(graph: &Graph, start: u32, visited: &mut [bool]) -> usize {
+    let mut reached = 0;
+    let mut queue = VecDeque::new();
+    if !visited[start as usize] {
+        visited[start as usize] = true;
+        reached += 1;
+        queue.push_back(start);
+    }
+    while let Some(v) = queue.pop_front() {
+        for &u in graph.neighbors(v) {
+            if !visited[u as usize] {
+                visited[u as usize] = true;
+                reached += 1;
+                queue.push_back(u);
+            }
+        }
+    }
+    reached
+}
+
+/// Ensures every vertex is reachable from the seed: repeatedly finds an
+/// unreached vertex, connects it from the most similar vertex among a
+/// random sample of reached ones (plus the seed), and resumes the BFS.
+pub fn ensure_connectivity<O: SimilarityOracle>(
+    graph: &mut Graph,
+    oracle: &O,
+    sample: usize,
+    rng_seed: u64,
+) -> ConnectivityStats {
+    let n = graph.len();
+    let mut visited = vec![false; n];
+    let mut stats = ConnectivityStats::default();
+    let mut total = bfs(graph, graph.seed(), &mut visited);
+    stats.reachable_before = total;
+    if total == n {
+        return stats;
+    }
+    let mut rng = StdRng::seed_from_u64(rng_seed);
+    let mut reached_pool: Vec<u32> =
+        visited.iter().enumerate().filter(|(_, v)| **v).map(|(i, _)| i as u32).collect();
+    let mut cursor = 0usize;
+    while total < n {
+        // Next unreached vertex.
+        while cursor < n && visited[cursor] {
+            cursor += 1;
+        }
+        let orphan = cursor as u32;
+        // Best bridge head: most similar among sampled reached vertices.
+        let mut best = graph.seed();
+        let mut best_sim = oracle.sim(best, orphan);
+        for _ in 0..sample.min(reached_pool.len()) {
+            let cand = reached_pool[rng.random_range(0..reached_pool.len())];
+            let s = oracle.sim(cand, orphan);
+            if s > best_sim {
+                best_sim = s;
+                best = cand;
+            }
+        }
+        graph.neighbors_mut(best).push(orphan);
+        stats.bridges_added += 1;
+        total += bfs(graph, orphan, &mut visited);
+        // Keeping the sample pool slightly stale is fine: it only biases
+        // which reached vertex hosts the next bridge.
+        reached_pool.push(orphan);
+    }
+    stats
+}
+
+/// Number of vertices reachable from the seed (diagnostic used by tests and
+/// the index audit).
+pub fn reachable_from_seed(graph: &Graph) -> usize {
+    let mut visited = vec![false; graph.len()];
+    bfs(graph, graph.seed(), &mut visited)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::LineOracle;
+
+    fn disconnected_graph() -> Graph {
+        // Two components: {0,1,2} chained and {3,4} chained; seed = 0.
+        Graph::new(vec![vec![1], vec![0, 2], vec![1], vec![4], vec![3]], 0)
+    }
+
+    #[test]
+    fn detects_full_connectivity() {
+        let mut g = Graph::new(vec![vec![1], vec![0]], 0);
+        let oracle = LineOracle(2);
+        let stats = ensure_connectivity(&mut g, &oracle, 4, 1);
+        assert_eq!(stats.reachable_before, 2);
+        assert_eq!(stats.bridges_added, 0);
+    }
+
+    #[test]
+    fn bridges_disconnected_components() {
+        let mut g = disconnected_graph();
+        let oracle = LineOracle(5);
+        assert_eq!(reachable_from_seed(&g), 3);
+        let stats = ensure_connectivity(&mut g, &oracle, 4, 1);
+        assert_eq!(stats.reachable_before, 3);
+        assert!(stats.bridges_added >= 1);
+        assert_eq!(reachable_from_seed(&g), 5);
+    }
+
+    #[test]
+    fn bridge_head_prefers_similar_vertices() {
+        // Orphan 3 is most similar to reached vertex 2 on the line; with a
+        // generous sample the bridge should come from vertex 2.
+        let mut g = disconnected_graph();
+        let oracle = LineOracle(5);
+        ensure_connectivity(&mut g, &oracle, 64, 9);
+        let from2 = g.neighbors(2).contains(&3);
+        let from1 = g.neighbors(1).contains(&3);
+        let from0 = g.neighbors(0).contains(&3);
+        assert!(from2 || from1 || from0);
+        assert!(from2, "nearest reached vertex should host the bridge");
+    }
+
+    #[test]
+    fn handles_fully_isolated_vertices() {
+        let mut g = Graph::new(vec![vec![], vec![], vec![]], 1);
+        let oracle = LineOracle(3);
+        let stats = ensure_connectivity(&mut g, &oracle, 2, 3);
+        assert_eq!(stats.reachable_before, 1);
+        assert_eq!(reachable_from_seed(&g), 3);
+        assert_eq!(stats.bridges_added, 2);
+    }
+}

@@ -1,0 +1,335 @@
+//! HNSW (Malkov & Yashunin, TPAMI 2020): the layered small-world graph used
+//! as one of the pluggable backends in the paper's Fig. 10 ablation.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::pool::Pool;
+use crate::search::{SearchParams, SearchResult, SearchStats, VisitedSet};
+use crate::{AnnIndex, QueryScorer, SimilarityOracle};
+
+/// HNSW construction parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct HnswParams {
+    /// Max neighbours per vertex on layers > 0 (`M`); layer 0 allows `2M`.
+    pub m: usize,
+    /// Construction beam width (`efConstruction`).
+    pub ef_construction: usize,
+    /// RNG seed for level assignment.
+    pub rng_seed: u64,
+}
+
+impl Default for HnswParams {
+    fn default() -> Self {
+        Self { m: 16, ef_construction: 100, rng_seed: 0x45F }
+    }
+}
+
+/// A built HNSW index.
+#[derive(Debug)]
+pub struct Hnsw {
+    /// `adjacency[node][level]` — neighbour lists for the levels the node
+    /// participates in (`0..=levels[node]`).
+    adjacency: Vec<Vec<Vec<u32>>>,
+    entry: u32,
+    max_level: usize,
+    params: HnswParams,
+}
+
+impl Hnsw {
+    /// Builds the index by sequential insertion (the canonical algorithm).
+    pub fn build<O: SimilarityOracle>(oracle: &O, params: HnswParams) -> Self {
+        let n = oracle.len();
+        assert!(n > 0, "cannot index an empty object set");
+        let ml = 1.0 / (params.m as f64).ln().max(f64::MIN_POSITIVE);
+        let mut rng = StdRng::seed_from_u64(params.rng_seed);
+        let levels: Vec<usize> = (0..n)
+            .map(|_| {
+                let u: f64 = rng.random::<f64>().max(f64::MIN_POSITIVE);
+                ((-u.ln() * ml).floor() as usize).min(24)
+            })
+            .collect();
+        let mut index = Self {
+            adjacency: levels.iter().map(|&l| vec![Vec::new(); l + 1]).collect(),
+            entry: 0,
+            max_level: levels[0],
+            params,
+        };
+        for node in 1..n as u32 {
+            index.insert(oracle, node, levels[node as usize]);
+        }
+        index
+    }
+
+    /// Dynamically inserts a new vertex (Section IX of the paper: HNSW
+    /// "adeptly handles dynamic updates by incrementally inserting data
+    /// points").  `node` must equal the current `len()` — the oracle must
+    /// already know the new point.
+    pub fn insert_new<O: SimilarityOracle>(&mut self, oracle: &O, node: u32, level_seed: u64) {
+        assert_eq!(node as usize, self.adjacency.len(), "insert ids must be dense");
+        assert!(oracle.len() > node as usize, "oracle must cover the new point");
+        let ml = 1.0 / (self.params.m as f64).ln().max(f64::MIN_POSITIVE);
+        let mut rng = StdRng::seed_from_u64(level_seed ^ node as u64);
+        let u: f64 = rng.random::<f64>().max(f64::MIN_POSITIVE);
+        let level = ((-u.ln() * ml).floor() as usize).min(24);
+        self.adjacency.push(vec![Vec::new(); level + 1]);
+        self.insert(oracle, node, level);
+    }
+
+    /// Entry vertex at the top layer.
+    pub fn entry(&self) -> u32 {
+        self.entry
+    }
+
+    /// Top layer of the hierarchy.
+    pub fn max_level(&self) -> usize {
+        self.max_level
+    }
+
+    fn insert<O: SimilarityOracle>(&mut self, oracle: &O, node: u32, level: usize) {
+        let mut ep = self.entry;
+        // Greedy descent through layers above the node's level.
+        for l in (level + 1..=self.max_level).rev() {
+            ep = self.greedy_closest(ep, l, |id| oracle.sim(node, id));
+        }
+        // Connect on each layer from min(level, max_level) down to 0.
+        for l in (0..=level.min(self.max_level)).rev() {
+            let cands = self.search_layer(ep, l, self.params.ef_construction, |id| {
+                oracle.sim(node, id)
+            });
+            let cap = if l == 0 { self.params.m * 2 } else { self.params.m };
+            let selected = heuristic_select(oracle, node, &cands, cap);
+            if let Some(&(best, _)) = cands.first() {
+                ep = best;
+            }
+            for &nb in &selected {
+                self.adjacency[node as usize][l].push(nb);
+                let back = &mut self.adjacency[nb as usize][l];
+                back.push(node);
+                if back.len() > cap {
+                    // Re-prune the overflowing neighbour's list.
+                    let owner = nb;
+                    let mut scored: Vec<(u32, f32)> =
+                        back.iter().map(|&x| (x, oracle.sim(owner, x))).collect();
+                    scored.sort_unstable_by(|a, b| b.1.total_cmp(&a.1));
+                    let pruned = heuristic_select(oracle, owner, &scored, cap);
+                    self.adjacency[nb as usize][l] = pruned;
+                }
+            }
+        }
+        if level > self.max_level {
+            self.max_level = level;
+            self.entry = node;
+        }
+    }
+
+    /// ef=1 greedy walk on one layer.
+    fn greedy_closest(&self, start: u32, layer: usize, score: impl Fn(u32) -> f32) -> u32 {
+        let mut cur = start;
+        let mut cur_sim = score(cur);
+        loop {
+            let mut improved = false;
+            for &nb in self.layer_neighbors(cur, layer) {
+                let s = score(nb);
+                if s > cur_sim {
+                    cur = nb;
+                    cur_sim = s;
+                    improved = true;
+                }
+            }
+            if !improved {
+                return cur;
+            }
+        }
+    }
+
+    fn layer_neighbors(&self, node: u32, layer: usize) -> &[u32] {
+        self.adjacency[node as usize]
+            .get(layer)
+            .map_or(&[], Vec::as_slice)
+    }
+
+    /// Beam search on one layer; returns scored candidates, best first.
+    fn search_layer(
+        &self,
+        start: u32,
+        layer: usize,
+        ef: usize,
+        score: impl Fn(u32) -> f32,
+    ) -> Vec<(u32, f32)> {
+        let mut pool = Pool::new(ef);
+        let mut visited = VisitedSet::default();
+        visited.reset(self.adjacency.len());
+        visited.mark(start);
+        pool.insert(start, score(start));
+        while let Some(idx) = pool.best_unvisited() {
+            let v = pool.visit(idx);
+            for &u in self.layer_neighbors(v, layer) {
+                if visited.mark(u) {
+                    let s = score(u);
+                    if s > pool.threshold() {
+                        pool.insert(u, s);
+                    }
+                }
+            }
+        }
+        pool.top_k(ef)
+    }
+}
+
+/// HNSW's neighbour-selection heuristic — the same occlusion rule as MRNG,
+/// expressed on scored candidates.
+fn heuristic_select<O: SimilarityOracle>(
+    oracle: &O,
+    owner: u32,
+    candidates: &[(u32, f32)],
+    cap: usize,
+) -> Vec<u32> {
+    let mut kept: Vec<(u32, f32)> = Vec::with_capacity(cap);
+    for &(id, sim) in candidates {
+        if id == owner {
+            continue;
+        }
+        if kept.len() >= cap {
+            break;
+        }
+        if kept.iter().all(|&(k, _)| sim > oracle.sim(k, id)) {
+            kept.push((id, sim));
+        }
+    }
+    // Fill up with closest skipped candidates if the heuristic was too
+    // aggressive (standard keepPrunedConnections behaviour).
+    if kept.len() < cap {
+        for &(id, sim) in candidates {
+            if id == owner || kept.iter().any(|&(k, _)| k == id) {
+                continue;
+            }
+            kept.push((id, sim));
+            if kept.len() >= cap {
+                break;
+            }
+        }
+    }
+    kept.into_iter().map(|(id, _)| id).collect()
+}
+
+impl AnnIndex for Hnsw {
+    fn search(&self, scorer: &dyn QueryScorer, params: SearchParams, _rng_seed: u64) -> SearchResult {
+        let mut stats = SearchStats::default();
+        // Descend to layer 1 greedily.
+        let mut ep = self.entry;
+        let mut ep_sim = scorer.score(self.entry);
+        stats.evaluated += 1;
+        for l in (1..=self.max_level).rev() {
+            loop {
+                let mut improved = false;
+                for &nb in self.layer_neighbors(ep, l) {
+                    stats.evaluated += 1;
+                    let s = scorer.score(nb);
+                    if s > ep_sim {
+                        ep = nb;
+                        ep_sim = s;
+                        improved = true;
+                    }
+                }
+                stats.hops += 1;
+                if !improved {
+                    break;
+                }
+            }
+        }
+        // Layer-0 beam with the caller's pool size and pruning hook.
+        let mut pool = Pool::new(params.l);
+        let mut visited = VisitedSet::default();
+        visited.reset(self.adjacency.len());
+        visited.mark(ep);
+        pool.insert(ep, ep_sim);
+        while let Some(idx) = pool.best_unvisited() {
+            let v = pool.visit(idx);
+            stats.hops += 1;
+            for &u in self.layer_neighbors(v, 0) {
+                if visited.mark(u) {
+                    stats.evaluated += 1;
+                    match scorer.score_pruned(u, pool.threshold()) {
+                        Some(s) => {
+                            pool.insert(u, s);
+                        }
+                        None => stats.pruned += 1,
+                    }
+                }
+            }
+        }
+        SearchResult { results: pool.top_k(params.k), stats }
+    }
+
+    fn len(&self) -> usize {
+        self.adjacency.len()
+    }
+
+    fn bytes(&self) -> usize {
+        self.adjacency
+            .iter()
+            .map(|levels| {
+                levels.iter().map(|l| l.len() * 4 + std::mem::size_of::<Vec<u32>>()).sum::<usize>()
+            })
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::GridOracle;
+    use crate::FnScorer;
+
+    #[test]
+    fn hnsw_finds_near_neighbors_on_grid() {
+        let oracle = GridOracle::new(12);
+        let index = Hnsw::build(&oracle, HnswParams { m: 8, ef_construction: 32, rng_seed: 3 });
+        let mut hits = 0;
+        let total = 28;
+        for t in 0..total {
+            let target = (t * 7) as u32 % oracle.len() as u32;
+            let scorer = FnScorer(|id| oracle.sim(id, target));
+            let res = index.search(&scorer, SearchParams::seed_only(1, 16), 0);
+            if res.results[0].0 == target {
+                hits += 1;
+            }
+        }
+        assert!(hits as f64 / total as f64 > 0.9, "recall {hits}/{total}");
+    }
+
+    #[test]
+    fn hierarchy_has_multiple_levels_for_large_n() {
+        let oracle = GridOracle::new(20); // 400 points
+        let index = Hnsw::build(&oracle, HnswParams { m: 6, ef_construction: 24, rng_seed: 1 });
+        assert!(index.max_level() >= 1, "400 points should produce > 1 layer");
+        assert_eq!(AnnIndex::len(&index), 400);
+        assert!(index.bytes() > 0);
+    }
+
+    #[test]
+    fn degree_caps_hold_on_upper_layers() {
+        let oracle = GridOracle::new(15);
+        let m = 5;
+        let index = Hnsw::build(&oracle, HnswParams { m, ef_construction: 24, rng_seed: 7 });
+        for node in 0..index.adjacency.len() {
+            for (level, nbrs) in index.adjacency[node].iter().enumerate() {
+                let cap = if level == 0 { m * 2 } else { m };
+                assert!(nbrs.len() <= cap, "node {node} level {level}: {}", nbrs.len());
+            }
+        }
+    }
+
+    #[test]
+    fn search_results_sorted_and_k_sized() {
+        let oracle = GridOracle::new(10);
+        let index = Hnsw::build(&oracle, HnswParams::default());
+        let scorer = FnScorer(|id| oracle.sim(id, 55));
+        let res = index.search(&scorer, SearchParams::seed_only(5, 20), 0);
+        assert_eq!(res.results.len(), 5);
+        for w in res.results.windows(2) {
+            assert!(w[0].1 >= w[1].1);
+        }
+    }
+}

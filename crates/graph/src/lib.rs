@@ -1,0 +1,292 @@
+//! Proximity-graph indexes for the MUST reproduction.
+//!
+//! The paper (Section VII-A) builds its *fused index* through a general
+//! pipeline of five components — ① initialisation, ② candidate acquisition,
+//! ③ neighbour selection, ④ seed preprocessing, ⑤ connectivity — and shows
+//! that components of existing proximity graphs (KGraph, NSG, NSSG, HNSW,
+//! Vamana, HCNNG) can be re-assembled inside it.  This crate implements the
+//! pipeline and all of those algorithms, fully generic over an abstract
+//! [`SimilarityOracle`], so the same code indexes unimodal vectors *and*
+//! MUST's weighted multi-vector (joint-similarity) points.
+//!
+//! Conventions:
+//! * Similarity is *maximised* (inner product of virtual points, Lemma 1).
+//! * Vertices are `u32` ids, `0..oracle.len()`.
+//! * Search follows Algorithm 2 of the paper (best-first routing over a
+//!   fixed-size result pool of size `l`), with a hook for the incremental
+//!   multi-vector pruning of Lemma 4 via [`QueryScorer::score_pruned`].
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod connect;
+pub mod csr;
+pub mod hcnng;
+pub mod hnsw;
+pub mod nndescent;
+pub mod par;
+pub mod pipeline;
+pub mod pool;
+pub mod quality;
+pub mod search;
+pub mod seed;
+pub mod select;
+
+pub use pipeline::{GraphRecipe, PipelineBuilder, PipelineStats};
+pub use pool::Pool;
+pub use search::{SearchParams, SearchResult, SearchStats};
+
+/// A similarity oracle over `len()` objects: everything graph construction
+/// needs.  Similarities are symmetric and *higher means closer*.
+pub trait SimilarityOracle: Sync {
+    /// Number of objects.
+    fn len(&self) -> usize;
+
+    /// Whether the oracle is empty.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Similarity between objects `a` and `b`.
+    fn sim(&self, a: u32, b: u32) -> f32;
+
+    /// Self-similarity `sim(a, a)` — the squared norm of the virtual point.
+    ///
+    /// For unit-norm single vectors this is 1; for MUST's concatenated
+    /// points it is the sum of squared weights.  Needed by the angle-based
+    /// (NSSG) selection, which converts similarities to Euclidean side
+    /// lengths via `d^2(a, b) = sim(a,a) + sim(b,b) - 2 sim(a,b)`.
+    fn self_sim(&self, _a: u32) -> f32 {
+        1.0
+    }
+
+    /// Similarity of object `a` to the centroid of all objects — used by
+    /// seed preprocessing (component ④): the vertex maximising this is the
+    /// fixed search seed.
+    fn sim_to_centroid(&self, a: u32) -> f32;
+}
+
+/// Scoring interface a query presents to the search routine.
+///
+/// `score_pruned` is the hook for the paper's multi-vector computation
+/// optimisation (Lemma 4): return `None` when the candidate is provably
+/// `<= threshold`, else the exact score.  The default implementation simply
+/// computes the exact score (no pruning).
+pub trait QueryScorer {
+    /// Exact similarity of object `id` to the query.
+    fn score(&self, id: u32) -> f32;
+
+    /// Similarity with a prune threshold; `None` means "provably not better
+    /// than `threshold`, discarded early".
+    fn score_pruned(&self, id: u32, threshold: f32) -> Option<f32> {
+        let s = self.score(id);
+        if s <= threshold {
+            None
+        } else {
+            Some(s)
+        }
+    }
+}
+
+/// Blanket scorer for ad-hoc closures (used heavily in tests).
+pub struct FnScorer<F: Fn(u32) -> f32>(pub F);
+
+impl<F: Fn(u32) -> f32> QueryScorer for FnScorer<F> {
+    fn score(&self, id: u32) -> f32 {
+        (self.0)(id)
+    }
+}
+
+/// An adjacency-list proximity graph plus the fixed search seed
+/// (the output of Algorithm 1).
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct Graph {
+    neighbors: Vec<Vec<u32>>,
+    seed: u32,
+}
+
+impl Graph {
+    /// Wraps adjacency lists and a seed vertex.
+    pub fn new(neighbors: Vec<Vec<u32>>, seed: u32) -> Self {
+        assert!(!neighbors.is_empty(), "graph must not be empty");
+        assert!((seed as usize) < neighbors.len(), "seed out of range");
+        Self { neighbors, seed }
+    }
+
+    /// Number of vertices.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.neighbors.len()
+    }
+
+    /// Whether the graph has no vertices.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.neighbors.is_empty()
+    }
+
+    /// Out-neighbours of `v`.
+    #[inline]
+    pub fn neighbors(&self, v: u32) -> &[u32] {
+        &self.neighbors[v as usize]
+    }
+
+    /// The fixed search seed (component ④).
+    #[inline]
+    pub fn seed(&self) -> u32 {
+        self.seed
+    }
+
+    /// Mutable access for construction components.
+    pub(crate) fn neighbors_mut(&mut self, v: u32) -> &mut Vec<u32> {
+        &mut self.neighbors[v as usize]
+    }
+
+    /// Total number of directed edges.
+    pub fn num_edges(&self) -> usize {
+        self.neighbors.iter().map(Vec::len).sum()
+    }
+
+    /// Mean out-degree.
+    pub fn mean_degree(&self) -> f64 {
+        if self.is_empty() {
+            return 0.0;
+        }
+        self.num_edges() as f64 / self.len() as f64
+    }
+
+    /// Maximum out-degree.
+    pub fn max_degree(&self) -> usize {
+        self.neighbors.iter().map(Vec::len).max().unwrap_or(0)
+    }
+
+    /// Approximate in-memory size of the adjacency structure in bytes
+    /// (what Fig. 7 reports as "index size").
+    pub fn bytes(&self) -> usize {
+        self.num_edges() * std::mem::size_of::<u32>()
+            + self.len() * std::mem::size_of::<Vec<u32>>()
+    }
+}
+
+/// A search-capable index: flat graphs and HNSW both implement this, which
+/// is how MUST swaps graph backends (Fig. 10(b)).
+pub trait AnnIndex: Send + Sync {
+    /// Approximate top-`k` search; `l >= k` is the result-pool size
+    /// (accuracy/efficiency knob of Algorithm 2).
+    fn search(
+        &self,
+        scorer: &dyn QueryScorer,
+        params: SearchParams,
+        rng_seed: u64,
+    ) -> SearchResult;
+
+    /// Number of indexed objects.
+    fn len(&self) -> usize;
+
+    /// Whether the index is empty.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Index memory footprint in bytes.
+    fn bytes(&self) -> usize;
+}
+
+#[cfg(test)]
+pub(crate) mod testutil {
+    use super::SimilarityOracle;
+
+    /// A 1-D line of points at positions `0, 1, 2, ...` with similarity
+    /// `-|a - b|` — handy because nearest neighbours are obvious.
+    pub struct LineOracle(pub usize);
+
+    impl SimilarityOracle for LineOracle {
+        fn len(&self) -> usize {
+            self.0
+        }
+        fn sim(&self, a: u32, b: u32) -> f32 {
+            -((a as f32) - (b as f32)).abs()
+        }
+        fn self_sim(&self, _a: u32) -> f32 {
+            0.0
+        }
+        fn sim_to_centroid(&self, a: u32) -> f32 {
+            let c = (self.0 as f32 - 1.0) / 2.0;
+            -((a as f32) - c).abs()
+        }
+    }
+
+    /// Points on a 2-D grid embedded via coordinates, similarity = -L2^2.
+    pub struct GridOracle {
+        pub pts: Vec<(f32, f32)>,
+    }
+
+    impl GridOracle {
+        pub fn new(side: usize) -> Self {
+            let mut pts = Vec::with_capacity(side * side);
+            for i in 0..side {
+                for j in 0..side {
+                    pts.push((i as f32, j as f32));
+                }
+            }
+            Self { pts }
+        }
+        pub fn centroid(&self) -> (f32, f32) {
+            let n = self.pts.len() as f32;
+            let (sx, sy) = self
+                .pts
+                .iter()
+                .fold((0.0, 0.0), |(sx, sy), (x, y)| (sx + x, sy + y));
+            (sx / n, sy / n)
+        }
+    }
+
+    impl SimilarityOracle for GridOracle {
+        fn len(&self) -> usize {
+            self.pts.len()
+        }
+        fn sim(&self, a: u32, b: u32) -> f32 {
+            let (ax, ay) = self.pts[a as usize];
+            let (bx, by) = self.pts[b as usize];
+            -((ax - bx).powi(2) + (ay - by).powi(2))
+        }
+        fn self_sim(&self, _a: u32) -> f32 {
+            0.0
+        }
+        fn sim_to_centroid(&self, a: u32) -> f32 {
+            let (cx, cy) = self.centroid();
+            let (ax, ay) = self.pts[a as usize];
+            -((ax - cx).powi(2) + (ay - cy).powi(2))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn graph_accessors() {
+        let g = Graph::new(vec![vec![1], vec![0, 2], vec![1]], 1);
+        assert_eq!(g.len(), 3);
+        assert_eq!(g.seed(), 1);
+        assert_eq!(g.neighbors(1), &[0, 2]);
+        assert_eq!(g.num_edges(), 4);
+        assert!((g.mean_degree() - 4.0 / 3.0).abs() < 1e-9);
+        assert_eq!(g.max_degree(), 2);
+        assert!(g.bytes() > 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "seed out of range")]
+    fn bad_seed_panics() {
+        let _ = Graph::new(vec![vec![]], 3);
+    }
+
+    #[test]
+    fn default_score_pruned_thresholds() {
+        let s = FnScorer(|id| id as f32);
+        assert_eq!(s.score_pruned(5, 10.0), None);
+        assert_eq!(s.score_pruned(5, 1.0), Some(5.0));
+    }
+}

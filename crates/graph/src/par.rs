@@ -1,0 +1,114 @@
+//! Minimal data-parallel helpers over scoped std threads.
+//!
+//! The paper builds indexes with 64 threads and searches with 1
+//! (Appendix F); we mirror that with std scoped threads instead of pulling
+//! in a work-stealing runtime — construction is embarrassingly parallel
+//! over vertex ranges.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Number of worker threads to use for index construction: the available
+/// parallelism, capped by the `MUST_BUILD_THREADS` environment variable if
+/// set.
+pub fn build_threads() -> usize {
+    let avail = std::thread::available_parallelism().map_or(1, usize::from);
+    match std::env::var("MUST_BUILD_THREADS").ok().and_then(|v| v.parse::<usize>().ok()) {
+        Some(t) if t > 0 => t.min(avail),
+        _ => avail,
+    }
+}
+
+/// Runs `f(i)` for every `i in 0..n`, producing a `Vec` of results, using
+/// `threads` workers over contiguous chunks.  Deterministic output order.
+pub fn par_map<T: Send, F: Fn(usize) -> T + Sync>(n: usize, threads: usize, f: F) -> Vec<T> {
+    if n == 0 {
+        return Vec::new();
+    }
+    let threads = threads.max(1).min(n);
+    if threads == 1 {
+        return (0..n).map(f).collect();
+    }
+    let mut out: Vec<Option<T>> = (0..n).map(|_| None).collect();
+    let chunk = n.div_ceil(threads);
+    std::thread::scope(|scope| {
+        for (t, slot) in out.chunks_mut(chunk).enumerate() {
+            let f = &f;
+            scope.spawn(move || {
+                let base = t * chunk;
+                for (off, s) in slot.iter_mut().enumerate() {
+                    *s = Some(f(base + off));
+                }
+            });
+        }
+    });
+    out.into_iter().map(|x| x.expect("all slots filled")).collect()
+}
+
+/// Runs `f(i)` for every `i in 0..n` for side effects, work-stealing via an
+/// atomic counter (good when per-item cost is skewed).
+pub fn par_for<F: Fn(usize) + Sync>(n: usize, threads: usize, f: F) {
+    if n == 0 {
+        return;
+    }
+    let threads = threads.max(1).min(n);
+    if threads == 1 {
+        for i in 0..n {
+            f(i);
+        }
+        return;
+    }
+    let counter = AtomicUsize::new(0);
+    const BATCH: usize = 64;
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            let f = &f;
+            let counter = &counter;
+            scope.spawn(move || loop {
+                let start = counter.fetch_add(BATCH, Ordering::Relaxed);
+                if start >= n {
+                    break;
+                }
+                for i in start..(start + BATCH).min(n) {
+                    f(i);
+                }
+            });
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn par_map_preserves_order() {
+        let v = par_map(1000, 7, |i| i * 2);
+        assert_eq!(v.len(), 1000);
+        for (i, x) in v.iter().enumerate() {
+            assert_eq!(*x, i * 2);
+        }
+    }
+
+    #[test]
+    fn par_map_handles_edge_cases() {
+        assert!(par_map(0, 4, |i| i).is_empty());
+        assert_eq!(par_map(1, 4, |i| i + 1), vec![1]);
+        assert_eq!(par_map(5, 1, |i| i), vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn par_for_visits_every_index_once() {
+        let n = 10_000;
+        let sum = AtomicU64::new(0);
+        par_for(n, 8, |i| {
+            sum.fetch_add(i as u64, Ordering::Relaxed);
+        });
+        assert_eq!(sum.load(Ordering::Relaxed), (n as u64 - 1) * n as u64 / 2);
+    }
+
+    #[test]
+    fn build_threads_is_positive() {
+        assert!(build_threads() >= 1);
+    }
+}

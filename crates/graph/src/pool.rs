@@ -1,0 +1,199 @@
+//! The fixed-size result pool `R` of the joint search (Algorithm 2).
+//!
+//! A sorted (descending similarity) array of at most `l` entries with a
+//! visited flag per entry — the classic proximity-graph search pool.  The
+//! pool's worst similarity once full is the pruning threshold fed to
+//! [`crate::QueryScorer::score_pruned`] (Lemma 4).
+
+/// One pool entry.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PoolEntry {
+    /// Similarity to the query (higher = better).
+    pub sim: f32,
+    /// Object id.
+    pub id: u32,
+    /// Whether the search already expanded this vertex.
+    pub visited: bool,
+}
+
+/// Fixed-capacity result pool, sorted by descending similarity.
+#[derive(Debug, Clone)]
+pub struct Pool {
+    entries: Vec<PoolEntry>,
+    capacity: usize,
+}
+
+impl Pool {
+    /// Creates a pool of capacity `l`.
+    pub fn new(l: usize) -> Self {
+        assert!(l > 0, "pool capacity must be positive");
+        Self { entries: Vec::with_capacity(l + 1), capacity: l }
+    }
+
+    /// Capacity `l`.
+    #[inline]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Current number of entries.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the pool holds no entries.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Whether the pool is at capacity.
+    #[inline]
+    pub fn is_full(&self) -> bool {
+        self.entries.len() == self.capacity
+    }
+
+    /// The similarity of the worst entry when full, else `-inf`:
+    /// the safe discard threshold for new candidates.
+    #[inline]
+    pub fn threshold(&self) -> f32 {
+        if self.is_full() {
+            self.entries[self.entries.len() - 1].sim
+        } else {
+            f32::NEG_INFINITY
+        }
+    }
+
+    /// Inserts `(id, sim)` keeping the pool sorted; evicts the worst entry
+    /// when over capacity.  Returns `true` if the entry was kept.
+    ///
+    /// The caller is responsible for not inserting the same id twice (the
+    /// search's visited set guarantees this).
+    pub fn insert(&mut self, id: u32, sim: f32) -> bool {
+        if self.is_full() && sim <= self.threshold() {
+            return false;
+        }
+        let pos = self
+            .entries
+            .partition_point(|e| e.sim >= sim);
+        self.entries.insert(pos, PoolEntry { sim, id, visited: false });
+        if self.entries.len() > self.capacity {
+            self.entries.pop();
+        }
+        true
+    }
+
+    /// Index of the best unvisited entry, if any (Line 5 of Algorithm 2).
+    pub fn best_unvisited(&self) -> Option<usize> {
+        self.entries.iter().position(|e| !e.visited)
+    }
+
+    /// Marks entry `idx` as visited and returns its id.
+    pub fn visit(&mut self, idx: usize) -> u32 {
+        self.entries[idx].visited = true;
+        self.entries[idx].id
+    }
+
+    /// Entry access (tests, diagnostics).
+    pub fn entries(&self) -> &[PoolEntry] {
+        &self.entries
+    }
+
+    /// The best `k` `(id, sim)` pairs, descending.
+    pub fn top_k(&self, k: usize) -> Vec<(u32, f32)> {
+        self.entries.iter().take(k).map(|e| (e.id, e.sim)).collect()
+    }
+
+    /// Sum of all pool similarities — the monotone function `f(eta)` of
+    /// Lemma 3, exposed for the property test that pins the lemma.
+    pub fn sim_sum(&self) -> f64 {
+        self.entries.iter().map(|e| e.sim as f64).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_keeps_descending_order() {
+        let mut p = Pool::new(3);
+        for (id, sim) in [(1, 0.5), (2, 0.9), (3, 0.1), (4, 0.7)] {
+            p.insert(id, sim);
+        }
+        let sims: Vec<f32> = p.entries().iter().map(|e| e.sim).collect();
+        assert_eq!(sims, vec![0.9, 0.7, 0.5]);
+        assert!(p.is_full());
+    }
+
+    #[test]
+    fn full_pool_rejects_worse_candidates() {
+        let mut p = Pool::new(2);
+        assert!(p.insert(1, 0.5));
+        assert!(p.insert(2, 0.8));
+        assert!(!p.insert(3, 0.4), "worse than threshold must be rejected");
+        assert!((p.threshold() - 0.5).abs() < 1e-9);
+        assert!(p.insert(4, 0.6));
+        assert!((p.threshold() - 0.6).abs() < 1e-9);
+    }
+
+    #[test]
+    fn threshold_is_neg_inf_until_full() {
+        let mut p = Pool::new(4);
+        assert_eq!(p.threshold(), f32::NEG_INFINITY);
+        p.insert(0, 0.1);
+        assert_eq!(p.threshold(), f32::NEG_INFINITY);
+    }
+
+    #[test]
+    fn visiting_walks_best_first() {
+        let mut p = Pool::new(3);
+        p.insert(10, 0.2);
+        p.insert(20, 0.9);
+        p.insert(30, 0.5);
+        let i = p.best_unvisited().unwrap();
+        assert_eq!(p.visit(i), 20);
+        let i = p.best_unvisited().unwrap();
+        assert_eq!(p.visit(i), 30);
+        let i = p.best_unvisited().unwrap();
+        assert_eq!(p.visit(i), 10);
+        assert!(p.best_unvisited().is_none());
+    }
+
+    #[test]
+    fn eviction_never_drops_visited_invariant() {
+        // A visited entry evicted by better candidates must not resurface.
+        let mut p = Pool::new(2);
+        p.insert(1, 0.1);
+        let i = p.best_unvisited().unwrap();
+        p.visit(i);
+        p.insert(2, 0.5);
+        p.insert(3, 0.6); // evicts id 1 (visited)
+        assert_eq!(p.len(), 2);
+        assert!(p.entries().iter().all(|e| e.id != 1));
+    }
+
+    #[test]
+    fn sim_sum_monotone_under_replacement() {
+        // Lemma 3 core step: replacing the worst with a better candidate
+        // cannot decrease the pool's similarity sum.
+        let mut p = Pool::new(3);
+        p.insert(1, 0.1);
+        p.insert(2, 0.2);
+        p.insert(3, 0.3);
+        let before = p.sim_sum();
+        p.insert(4, 0.25);
+        assert!(p.sim_sum() >= before);
+    }
+
+    #[test]
+    fn top_k_truncates() {
+        let mut p = Pool::new(5);
+        for id in 0..4 {
+            p.insert(id, id as f32);
+        }
+        let top = p.top_k(2);
+        assert_eq!(top, vec![(3, 3.0), (2, 2.0)]);
+    }
+}

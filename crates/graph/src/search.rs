@@ -1,0 +1,332 @@
+//! The joint search procedure (Algorithm 2 of the paper): best-first
+//! routing over a fixed-size result pool.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::pool::Pool;
+use crate::{AnnIndex, Graph, QueryScorer};
+
+/// Tuning parameters of Algorithm 2.
+#[derive(Debug, Clone, Copy)]
+pub struct SearchParams {
+    /// Number of results to return.
+    pub k: usize,
+    /// Result-pool size `l >= k` — the accuracy/efficiency knob
+    /// (Appendix I, Tab. XII).
+    pub l: usize,
+    /// Whether to fill the initial pool with `l - 1` random vertices as in
+    /// the paper's Line 2 (in addition to the seed).  Disabling starts from
+    /// the seed alone, which is cheaper at small `l`.
+    pub random_init: bool,
+}
+
+impl SearchParams {
+    /// Standard parameters: pool size `l`, `k` results, random
+    /// initialisation on (faithful to Algorithm 2).
+    pub fn new(k: usize, l: usize) -> Self {
+        assert!(l >= k, "pool size l must be at least k");
+        assert!(k > 0, "k must be positive");
+        Self { k, l, random_init: true }
+    }
+
+    /// Same but starting from the seed only.
+    pub fn seed_only(k: usize, l: usize) -> Self {
+        Self { random_init: false, ..Self::new(k, l) }
+    }
+}
+
+/// Instrumentation of one search run.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct SearchStats {
+    /// Vertices expanded (greedy-routing iterations, `eta` in Lemma 3).
+    pub hops: u64,
+    /// Candidates whose similarity was evaluated (incl. pruned ones).
+    pub evaluated: u64,
+    /// Candidates discarded early by [`QueryScorer::score_pruned`]
+    /// (the Lemma-4 optimisation; 0 when the scorer does not prune).
+    pub pruned: u64,
+}
+
+/// The outcome of a search: top-`k` `(id, similarity)` pairs (descending)
+/// plus instrumentation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SearchResult {
+    /// Approximate top-`k`, best first.
+    pub results: Vec<(u32, f32)>,
+    /// Run statistics.
+    pub stats: SearchStats,
+}
+
+/// Marker array tracking visited/scored vertices across one search.
+///
+/// Generation-stamped so it can be reused across many queries without
+/// clearing (allocation-free steady state, as the perf guide recommends).
+#[derive(Debug, Default)]
+pub struct VisitedSet {
+    stamps: Vec<u32>,
+    generation: u32,
+}
+
+impl VisitedSet {
+    /// Prepares the set for a graph of `n` vertices and a fresh query.
+    pub fn reset(&mut self, n: usize) {
+        if self.stamps.len() < n {
+            self.stamps.resize(n, 0);
+        }
+        self.generation = self.generation.wrapping_add(1);
+        if self.generation == 0 {
+            // Wrapped: clear everything once and restart at generation 1.
+            self.stamps.fill(0);
+            self.generation = 1;
+        }
+    }
+
+    /// Marks `id`; returns `true` if it was not marked before.
+    #[inline]
+    pub fn mark(&mut self, id: u32) -> bool {
+        let slot = &mut self.stamps[id as usize];
+        if *slot == self.generation {
+            false
+        } else {
+            *slot = self.generation;
+            true
+        }
+    }
+}
+
+/// Runs Algorithm 2 on `graph` for the query represented by `scorer`.
+///
+/// `visited` is reusable scratch state; `rng_seed` controls the random pool
+/// initialisation (Line 2).  The scorer's `score_pruned` receives the pool
+/// threshold, enabling the Lemma-4 multi-vector pruning when the scorer
+/// supports it.
+pub fn beam_search(
+    graph: &Graph,
+    scorer: &dyn QueryScorer,
+    params: SearchParams,
+    visited: &mut VisitedSet,
+    rng_seed: u64,
+) -> SearchResult {
+    beam_search_impl(
+        graph.len(),
+        graph.seed(),
+        |v| graph.neighbors(v),
+        scorer,
+        params,
+        visited,
+        rng_seed,
+    )
+}
+
+/// [`beam_search`] over a frozen [`crate::csr::CsrGraph`].
+pub fn beam_search_csr(
+    graph: &crate::csr::CsrGraph,
+    scorer: &dyn QueryScorer,
+    params: SearchParams,
+    visited: &mut VisitedSet,
+    rng_seed: u64,
+) -> SearchResult {
+    beam_search_impl(
+        graph.len(),
+        graph.seed(),
+        |v| graph.neighbors(v),
+        scorer,
+        params,
+        visited,
+        rng_seed,
+    )
+}
+
+fn beam_search_impl<'g>(
+    n: usize,
+    seed: u32,
+    neighbors: impl Fn(u32) -> &'g [u32],
+    scorer: &dyn QueryScorer,
+    params: SearchParams,
+    visited: &mut VisitedSet,
+    rng_seed: u64,
+) -> SearchResult {
+    let mut stats = SearchStats::default();
+    let mut pool = Pool::new(params.l);
+    visited.reset(n);
+
+    // Line 1-3: R = {seed} + (l-1) random vertices, scored exactly.
+    let enqueue = |id: u32, pool: &mut Pool, stats: &mut SearchStats, visited: &mut VisitedSet| {
+        if visited.mark(id) {
+            stats.evaluated += 1;
+            match scorer.score_pruned(id, pool.threshold()) {
+                Some(s) => {
+                    pool.insert(id, s);
+                }
+                None => stats.pruned += 1,
+            }
+        }
+    };
+    enqueue(seed, &mut pool, &mut stats, visited);
+    if params.random_init && params.l > 1 && n > 1 {
+        let mut rng = StdRng::seed_from_u64(rng_seed);
+        for _ in 0..(params.l - 1).min(n - 1) {
+            let id = rng.random_range(0..n as u32);
+            enqueue(id, &mut pool, &mut stats, visited);
+        }
+    }
+
+    // Lines 4-10: expand the best unvisited vertex until none remain.
+    while let Some(idx) = pool.best_unvisited() {
+        let v = pool.visit(idx);
+        stats.hops += 1;
+        for &u in neighbors(v) {
+            enqueue(u, &mut pool, &mut stats, visited);
+        }
+    }
+
+    SearchResult { results: pool.top_k(params.k), stats }
+}
+
+impl AnnIndex for Graph {
+    fn search(&self, scorer: &dyn QueryScorer, params: SearchParams, rng_seed: u64) -> SearchResult {
+        let mut visited = VisitedSet::default();
+        beam_search(self, scorer, params, &mut visited, rng_seed)
+    }
+
+    fn len(&self) -> usize {
+        Graph::len(self)
+    }
+
+    fn bytes(&self) -> usize {
+        Graph::bytes(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::LineOracle;
+    use crate::{FnScorer, SimilarityOracle};
+
+    /// A simple path graph 0-1-2-...-n-1 seeded in the middle.
+    fn line_graph(n: usize) -> Graph {
+        let neighbors = (0..n)
+            .map(|i| {
+                let mut v = Vec::new();
+                if i > 0 {
+                    v.push((i - 1) as u32);
+                }
+                if i + 1 < n {
+                    v.push((i + 1) as u32);
+                }
+                v
+            })
+            .collect();
+        Graph::new(neighbors, (n / 2) as u32)
+    }
+
+    #[test]
+    fn finds_exact_nearest_on_line() {
+        let n = 200;
+        let g = line_graph(n);
+        let oracle = LineOracle(n);
+        for target in [0u32, 37, 120, 199] {
+            let scorer = FnScorer(|id| oracle.sim(id, target));
+            let res = beam_search(&g, &scorer, SearchParams::seed_only(1, 8), &mut VisitedSet::default(), 1);
+            assert_eq!(res.results[0].0, target, "target {target}");
+        }
+    }
+
+    #[test]
+    fn results_are_sorted_descending() {
+        let n = 100;
+        let g = line_graph(n);
+        let scorer = FnScorer(|id| -(id as f32 - 42.0).abs());
+        let res = beam_search(&g, &scorer, SearchParams::new(10, 32), &mut VisitedSet::default(), 7);
+        for w in res.results.windows(2) {
+            assert!(w[0].1 >= w[1].1);
+        }
+        assert_eq!(res.results.len(), 10);
+    }
+
+    #[test]
+    fn larger_l_never_reduces_top1_quality() {
+        let n = 300;
+        let g = line_graph(n);
+        let scorer = FnScorer(|id| -(id as f32 - 7.0).abs());
+        let small = beam_search(&g, &scorer, SearchParams::seed_only(1, 2), &mut VisitedSet::default(), 3);
+        let large = beam_search(&g, &scorer, SearchParams::seed_only(1, 64), &mut VisitedSet::default(), 3);
+        assert!(large.results[0].1 >= small.results[0].1);
+    }
+
+    #[test]
+    fn stats_count_work() {
+        let n = 50;
+        let g = line_graph(n);
+        let scorer = FnScorer(|id| -(id as f32));
+        let res = beam_search(&g, &scorer, SearchParams::new(1, 4), &mut VisitedSet::default(), 9);
+        assert!(res.stats.hops >= 1);
+        assert!(res.stats.evaluated >= res.stats.hops);
+    }
+
+    #[test]
+    fn visited_set_generations_do_not_leak() {
+        let mut v = VisitedSet::default();
+        v.reset(4);
+        assert!(v.mark(2));
+        assert!(!v.mark(2));
+        v.reset(4);
+        assert!(v.mark(2), "new generation must forget old marks");
+    }
+
+    #[test]
+    fn pruning_scorer_matches_exact_scorer_results() {
+        // A scorer whose score_pruned discards exactly-below-threshold
+        // candidates must return the same top-k as the plain scorer
+        // (Lemma 4: pruning is lossless).
+        struct Pruning;
+        impl QueryScorer for Pruning {
+            fn score(&self, id: u32) -> f32 {
+                -((id as f32) - 33.0).abs()
+            }
+        }
+        let n = 120;
+        let g = line_graph(n);
+        let exact = FnScorer(|id| -((id as f32) - 33.0).abs());
+        let a = beam_search(&g, &exact, SearchParams::seed_only(5, 16), &mut VisitedSet::default(), 1);
+        let b = beam_search(&g, &Pruning, SearchParams::seed_only(5, 16), &mut VisitedSet::default(), 1);
+        assert_eq!(a.results, b.results);
+    }
+
+    #[test]
+    fn lemma3_pool_similarity_sum_is_monotone() {
+        // Instrumented re-run of the search loop checking f(eta) directly.
+        let n = 400;
+        let g = line_graph(n);
+        let oracle = LineOracle(n);
+        let target = 311u32;
+        let scorer = FnScorer(|id| oracle.sim(id, target));
+        let params = SearchParams::seed_only(1, 12);
+        let mut visited = VisitedSet::default();
+        visited.reset(n);
+        let mut pool = Pool::new(params.l);
+        let s0 = scorer.score(g.seed());
+        pool.insert(g.seed(), s0);
+        visited.mark(g.seed());
+        let mut last_sum = f64::NEG_INFINITY;
+        while let Some(idx) = pool.best_unvisited() {
+            let v = pool.visit(idx);
+            for &u in g.neighbors(v) {
+                if visited.mark(u) {
+                    let s = scorer.score(u);
+                    if s > pool.threshold() {
+                        pool.insert(u, s);
+                    }
+                }
+            }
+            let sum = pool.sim_sum();
+            // Only comparable once the pool is full (fixed cardinality).
+            if pool.is_full() {
+                assert!(sum >= last_sum - 1e-9, "f(eta) decreased: {sum} < {last_sum}");
+                last_sum = sum;
+            }
+        }
+    }
+}

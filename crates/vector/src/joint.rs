@@ -1,0 +1,324 @@
+//! Joint similarity between multi-vector points, including the incremental
+//! multi-vector computation with safe early termination
+//! (Section VII-B, Lemma 4, Eqs. 8–9 of the paper).
+//!
+//! A "virtual point" in the paper is the concatenation
+//! `p_hat = [omega_0 * phi_0(p_0), ..., omega_{m-1} * phi_{m-1}(p_{m-1})]`.
+//! We never materialise it: `IP(q_hat, u_hat) = sum_i omega_i^2 * IP_i`
+//! (Lemma 1), and because every per-modality vector is unit-norm,
+//!
+//! ```text
+//! IP(q_hat, u_hat) = W - 0.5 * sum_i omega_i^2 * ||phi_i(q_i) - phi_i(u_i)||^2,
+//! W = sum_i omega_i^2
+//! ```
+//!
+//! The partial sums over a *prefix* of modalities therefore give a
+//! monotonically decreasing upper bound on the joint similarity, which is
+//! what lets the search safely discard a candidate as soon as the bound
+//! falls below the current result-set threshold (Lemma 4).
+
+use std::cell::Cell;
+
+use crate::multi::{MultiQuery, MultiVectorSet};
+use crate::{ObjectId, VectorError, Weights};
+
+/// Joint-similarity oracle over an object set: all pairwise computations the
+/// index construction needs (Algorithm 1 works purely on `IP(o_hat, u_hat)`).
+#[derive(Debug, Clone)]
+pub struct JointDistance<'a> {
+    set: &'a MultiVectorSet,
+    weights: Weights,
+}
+
+impl<'a> JointDistance<'a> {
+    /// Creates the oracle.
+    ///
+    /// # Errors
+    /// [`VectorError::WeightArity`] when `weights` does not cover every
+    /// modality of `set`.
+    pub fn new(set: &'a MultiVectorSet, weights: Weights) -> Result<Self, VectorError> {
+        if weights.modalities() != set.num_modalities() {
+            return Err(VectorError::WeightArity {
+                modalities: set.num_modalities(),
+                weights: weights.modalities(),
+            });
+        }
+        Ok(Self { set, weights })
+    }
+
+    /// The underlying object set.
+    #[inline]
+    pub fn set(&self) -> &'a MultiVectorSet {
+        self.set
+    }
+
+    /// The weight configuration in force.
+    #[inline]
+    pub fn weights(&self) -> &Weights {
+        &self.weights
+    }
+
+    /// Joint similarity `IP(a_hat, b_hat)` between two objects (Lemma 1).
+    #[inline]
+    pub fn pair_ip(&self, a: ObjectId, b: ObjectId) -> f32 {
+        let mut sum = 0.0;
+        for (set, &w) in self.set.modalities().iter().zip(self.weights.squared()) {
+            if w > 0.0 {
+                sum += w * set.ip(a, b);
+            }
+        }
+        sum
+    }
+
+    /// Joint similarity between object `a` and an external multi-vector
+    /// point given as per-modality slices (used by the weight-learning
+    /// model, where anchors are queries rather than corpus objects).
+    #[inline]
+    pub fn ip_to_point(&self, a: ObjectId, point: &[&[f32]]) -> f32 {
+        debug_assert_eq!(point.len(), self.set.num_modalities());
+        let mut sum = 0.0;
+        for ((set, &w), p) in self
+            .set
+            .modalities()
+            .iter()
+            .zip(self.weights.squared())
+            .zip(point)
+        {
+            if w > 0.0 {
+                sum += w * set.ip_to(a, p);
+            }
+        }
+        sum
+    }
+
+    /// The centroid of all virtual points, reported per modality — used by
+    /// seed preprocessing (component 4 of Algorithm 1).  The vertex nearest
+    /// to it under the joint similarity is the search seed.
+    pub fn centroid(&self) -> Vec<Vec<f32>> {
+        self.set.modalities().iter().map(|s| s.centroid()).collect()
+    }
+
+    /// Prepares a per-query evaluator.
+    ///
+    /// # Errors
+    /// [`VectorError::WeightArity`] when the query has a different number of
+    /// modality slots than the object set, or
+    /// [`VectorError::DimensionMismatch`] when a supplied slot has the wrong
+    /// dimensionality.
+    pub fn query<'q>(&self, query: &'q MultiQuery) -> Result<QueryEvaluator<'a, 'q>, VectorError> {
+        QueryEvaluator::new(self.set, &self.weights, query)
+    }
+}
+
+/// Verdict of the incremental (pruned) joint-similarity computation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum PartialIpVerdict {
+    /// The candidate was discarded after scanning only a prefix of its
+    /// modality vectors: its joint similarity is provably `<= threshold`.
+    Pruned,
+    /// All modality vectors were scanned; the exact joint similarity.
+    Exact(f32),
+}
+
+/// Per-query joint-similarity evaluator with the Lemma-4 early-termination
+/// optimisation and instrumentation of how many modality-vector kernels were
+/// evaluated (the quantity the Fig. 10(c) ablation varies).
+#[derive(Debug)]
+pub struct QueryEvaluator<'a, 'q> {
+    set: &'a MultiVectorSet,
+    /// `(modality index, squared weight, query slice)` for supplied,
+    /// positive-weight modalities only.
+    active: Vec<(usize, f32, &'q [f32])>,
+    /// `W = sum of active squared weights` (norm term of Eq. 8 for the
+    /// masked virtual query point).
+    w_total: f32,
+    kernel_evals: Cell<u64>,
+}
+
+impl<'a, 'q> QueryEvaluator<'a, 'q> {
+    fn new(
+        set: &'a MultiVectorSet,
+        weights: &Weights,
+        query: &'q MultiQuery,
+    ) -> Result<Self, VectorError> {
+        if query.num_slots() != set.num_modalities() {
+            return Err(VectorError::WeightArity {
+                modalities: set.num_modalities(),
+                weights: query.num_slots(),
+            });
+        }
+        let masked = query.mask_weights(weights);
+        let mut active = Vec::with_capacity(set.num_modalities());
+        for i in 0..set.num_modalities() {
+            let w = masked.sq(i);
+            if w <= 0.0 {
+                continue;
+            }
+            let slot = query.slot(i).expect("masking keeps only supplied modalities");
+            if slot.len() != set.modality(i).dim() {
+                return Err(VectorError::DimensionMismatch {
+                    expected: set.modality(i).dim(),
+                    got: slot.len(),
+                });
+            }
+            active.push((i, w, slot));
+        }
+        let w_total = active.iter().map(|(_, w, _)| w).sum();
+        Ok(Self { set, active, w_total, kernel_evals: Cell::new(0) })
+    }
+
+    /// Number of modality kernels evaluated so far (instrumentation for the
+    /// multi-vector computation ablation).
+    #[inline]
+    pub fn kernel_evals(&self) -> u64 {
+        self.kernel_evals.get()
+    }
+
+    /// Sum of active squared weights — the joint similarity of the query
+    /// with itself, and the starting value of the Lemma-4 upper bound.
+    #[inline]
+    pub fn w_total(&self) -> f32 {
+        self.w_total
+    }
+
+    #[inline]
+    fn bump(&self, by: u64) {
+        self.kernel_evals.set(self.kernel_evals.get() + by);
+    }
+
+    /// Exact joint similarity `IP(q_hat, u_hat)` of object `id` to the query
+    /// (all active modalities scanned).
+    pub fn ip(&self, id: ObjectId) -> f32 {
+        self.bump(self.active.len() as u64);
+        self.active
+            .iter()
+            .map(|&(i, w, slot)| w * self.set.modality(i).ip_to(id, slot))
+            .sum()
+    }
+
+    /// Incremental joint similarity with safe early termination (Lemma 4).
+    ///
+    /// Scans the query's modality vectors one by one, maintaining the upper
+    /// bound `W - 0.5 * partial_weighted_l2` of Eqs. 8–9.  As soon as the
+    /// bound is `<= threshold` the candidate is discarded — the exact value
+    /// could only be smaller.  If every modality is scanned, the exact joint
+    /// similarity is returned (the bound is then tight).
+    pub fn ip_pruned(&self, id: ObjectId, threshold: f32) -> PartialIpVerdict {
+        let mut bound = self.w_total;
+        for (scanned, &(i, w, slot)) in self.active.iter().enumerate() {
+            bound -= 0.5 * w * self.set.modality(i).l2_sq_to(id, slot);
+            self.bump(1);
+            if bound <= threshold && scanned + 1 < self.active.len() {
+                return PartialIpVerdict::Pruned;
+            }
+        }
+        PartialIpVerdict::Exact(bound)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::VectorSetBuilder;
+
+    fn set3() -> MultiVectorSet {
+        // Three objects, two modalities.
+        let mut m0 = VectorSetBuilder::new(4, 3);
+        m0.push_normalized(&[1.0, 0.0, 0.0, 0.0]).unwrap();
+        m0.push_normalized(&[0.6, 0.8, 0.0, 0.0]).unwrap();
+        m0.push_normalized(&[0.0, 0.0, 1.0, 0.0]).unwrap();
+        let mut m1 = VectorSetBuilder::new(3, 3);
+        m1.push_normalized(&[1.0, 0.0, 0.0]).unwrap();
+        m1.push_normalized(&[0.0, 1.0, 0.0]).unwrap();
+        m1.push_normalized(&[0.5, 0.5, 0.5]).unwrap();
+        MultiVectorSet::new(vec![m0.finish(), m1.finish()]).unwrap()
+    }
+
+    #[test]
+    fn pair_ip_matches_lemma1_expansion() {
+        let set = set3();
+        let w = Weights::new(vec![0.8, 0.33]).unwrap();
+        let jd = JointDistance::new(&set, w.clone()).unwrap();
+        let ips = set.modality_ips(0, 1);
+        let want = w.sq(0) * ips[0] + w.sq(1) * ips[1];
+        assert!((jd.pair_ip(0, 1) - want).abs() < 1e-6);
+    }
+
+    #[test]
+    fn exact_and_pruned_agree_when_not_pruned() {
+        let set = set3();
+        let jd = JointDistance::new(&set, Weights::uniform(2)).unwrap();
+        let q = MultiQuery::full(vec![vec![1.0, 0.0, 0.0, 0.0], vec![1.0, 0.0, 0.0]]);
+        let ev = jd.query(&q).unwrap();
+        for id in 0..3u32 {
+            let exact = ev.ip(id);
+            match ev.ip_pruned(id, f32::NEG_INFINITY) {
+                PartialIpVerdict::Exact(v) => assert!((v - exact).abs() < 1e-5),
+                PartialIpVerdict::Pruned => panic!("must not prune below -inf threshold"),
+            }
+        }
+    }
+
+    #[test]
+    fn pruning_never_discards_better_candidates() {
+        // Soundness of Lemma 4: a pruned candidate is truly <= threshold.
+        let set = set3();
+        let jd = JointDistance::new(&set, Weights::new(vec![0.9, 0.2]).unwrap()).unwrap();
+        let q = MultiQuery::full(vec![vec![0.0, 1.0, 0.0, 0.0], vec![0.0, 0.0, 1.0]]);
+        let ev = jd.query(&q).unwrap();
+        for id in 0..3u32 {
+            let exact = ev.ip(id);
+            for threshold in [-1.0f32, 0.0, 0.2, 0.5, 0.9] {
+                if let PartialIpVerdict::Pruned = ev.ip_pruned(id, threshold) {
+                    assert!(
+                        exact <= threshold + 1e-5,
+                        "pruned id {id} at threshold {threshold} but exact = {exact}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn pruning_saves_kernel_evaluations() {
+        let set = set3();
+        let jd = JointDistance::new(&set, Weights::uniform(2)).unwrap();
+        let q = MultiQuery::full(vec![vec![0.0, 0.0, 0.0, 1.0], vec![0.0, 0.0, 1.0]]);
+        let ev = jd.query(&q).unwrap();
+        // With a very high threshold everything prunes after modality 0.
+        for id in 0..3u32 {
+            assert_eq!(ev.ip_pruned(id, 10.0), PartialIpVerdict::Pruned);
+        }
+        assert_eq!(ev.kernel_evals(), 3, "each pruned candidate costs one kernel");
+    }
+
+    #[test]
+    fn masked_query_ignores_missing_modality() {
+        let set = set3();
+        let jd = JointDistance::new(&set, Weights::uniform(2)).unwrap();
+        let q = MultiQuery::partial(vec![Some(vec![1.0, 0.0, 0.0, 0.0]), None]);
+        let ev = jd.query(&q).unwrap();
+        // Only modality 0 contributes: object 0 has IP 1.0 there.
+        let got = ev.ip(0);
+        assert!((got - 0.5).abs() < 1e-6, "0.5 * 1.0 expected, got {got}");
+        assert!((ev.w_total() - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn query_with_wrong_dim_is_rejected() {
+        let set = set3();
+        let jd = JointDistance::new(&set, Weights::uniform(2)).unwrap();
+        let q = MultiQuery::full(vec![vec![1.0, 0.0], vec![1.0, 0.0, 0.0]]);
+        assert!(matches!(jd.query(&q), Err(VectorError::DimensionMismatch { .. })));
+    }
+
+    #[test]
+    fn ip_to_point_matches_pair_semantics() {
+        let set = set3();
+        let jd = JointDistance::new(&set, Weights::uniform(2)).unwrap();
+        let point = set.object(1);
+        let via_point = jd.ip_to_point(0, &point);
+        let via_pair = jd.pair_ip(0, 1);
+        assert!((via_point - via_pair).abs() < 1e-6);
+    }
+}

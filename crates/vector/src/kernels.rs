@@ -1,0 +1,160 @@
+//! Scalar similarity kernels.
+//!
+//! These are the innermost loops of the whole system: the paper reports that
+//! vector computation can consume up to 90 % of total search time
+//! (Section VII-B).  The kernels are written so that LLVM auto-vectorises
+//! them: 4-way unrolled accumulators over exact chunks, with a scalar tail.
+
+/// Inner product of two equal-length slices.
+///
+/// For unit-norm vectors this is the paper's similarity measure
+/// (`IP`, Eq. 2) and lies in `[-1, 1]`.
+///
+/// # Panics
+/// Panics in debug builds if the slices have different lengths.
+#[inline]
+pub fn ip(a: &[f32], b: &[f32]) -> f32 {
+    debug_assert_eq!(a.len(), b.len());
+    let mut acc = [0.0f32; 4];
+    let chunks = a.len() / 4;
+    let (a_head, a_tail) = a.split_at(chunks * 4);
+    let (b_head, b_tail) = b.split_at(chunks * 4);
+    for (ca, cb) in a_head.chunks_exact(4).zip(b_head.chunks_exact(4)) {
+        acc[0] += ca[0] * cb[0];
+        acc[1] += ca[1] * cb[1];
+        acc[2] += ca[2] * cb[2];
+        acc[3] += ca[3] * cb[3];
+    }
+    let mut sum = (acc[0] + acc[1]) + (acc[2] + acc[3]);
+    for (x, y) in a_tail.iter().zip(b_tail) {
+        sum += x * y;
+    }
+    sum
+}
+
+/// Squared Euclidean distance of two equal-length slices.
+#[inline]
+pub fn l2_sq(a: &[f32], b: &[f32]) -> f32 {
+    debug_assert_eq!(a.len(), b.len());
+    let mut acc = [0.0f32; 4];
+    let chunks = a.len() / 4;
+    let (a_head, a_tail) = a.split_at(chunks * 4);
+    let (b_head, b_tail) = b.split_at(chunks * 4);
+    for (ca, cb) in a_head.chunks_exact(4).zip(b_head.chunks_exact(4)) {
+        let d0 = ca[0] - cb[0];
+        let d1 = ca[1] - cb[1];
+        let d2 = ca[2] - cb[2];
+        let d3 = ca[3] - cb[3];
+        acc[0] += d0 * d0;
+        acc[1] += d1 * d1;
+        acc[2] += d2 * d2;
+        acc[3] += d3 * d3;
+    }
+    let mut sum = (acc[0] + acc[1]) + (acc[2] + acc[3]);
+    for (x, y) in a_tail.iter().zip(b_tail) {
+        let d = x - y;
+        sum += d * d;
+    }
+    sum
+}
+
+/// Converts a squared Euclidean distance between two *unit-norm* vectors into
+/// their inner product via Eq. 8 of the paper:
+/// `IP(q, u) = 1 - 0.5 * ||q - u||^2`.
+#[inline]
+pub fn ip_from_l2_sq(l2_sq: f32) -> f32 {
+    1.0 - 0.5 * l2_sq
+}
+
+/// Converts an inner product of unit-norm vectors into squared Euclidean
+/// distance (the inverse of [`ip_from_l2_sq`]).
+#[inline]
+pub fn l2_sq_from_ip(ip: f32) -> f32 {
+    2.0 - 2.0 * ip
+}
+
+/// Euclidean norm of a slice.
+#[inline]
+pub fn norm(a: &[f32]) -> f32 {
+    ip(a, a).sqrt()
+}
+
+/// Normalises `a` to unit L2 norm in place.
+///
+/// Returns `false` (leaving `a` untouched) when the norm is zero or not
+/// finite, in which case the caller must decide how to handle the degenerate
+/// vector.
+#[inline]
+pub fn normalize(a: &mut [f32]) -> bool {
+    let n = norm(a);
+    if n <= f32::EPSILON || !n.is_finite() {
+        return false;
+    }
+    let inv = 1.0 / n;
+    for x in a.iter_mut() {
+        *x *= inv;
+    }
+    true
+}
+
+/// Whether a slice is unit-norm within `tol`.
+#[inline]
+pub fn is_unit_norm(a: &[f32], tol: f32) -> bool {
+    (norm(a) - 1.0).abs() <= tol
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn naive_ip(a: &[f32], b: &[f32]) -> f32 {
+        a.iter().zip(b).map(|(x, y)| x * y).sum()
+    }
+
+    #[test]
+    fn ip_matches_naive_on_awkward_lengths() {
+        for len in [0usize, 1, 3, 4, 5, 7, 8, 13, 64, 65] {
+            let a: Vec<f32> = (0..len).map(|i| (i as f32).sin()).collect();
+            let b: Vec<f32> = (0..len).map(|i| (i as f32 * 0.7).cos()).collect();
+            let got = ip(&a, &b);
+            let want = naive_ip(&a, &b);
+            assert!((got - want).abs() < 1e-4, "len={len}: {got} vs {want}");
+        }
+    }
+
+    #[test]
+    fn l2_and_ip_identity_for_unit_vectors() {
+        let mut a: Vec<f32> = (0..33).map(|i| (i as f32 + 1.0).recip()).collect();
+        let mut b: Vec<f32> = (0..33).map(|i| ((i * i) as f32 + 2.0).recip()).collect();
+        assert!(normalize(&mut a));
+        assert!(normalize(&mut b));
+        let via_l2 = ip_from_l2_sq(l2_sq(&a, &b));
+        let direct = ip(&a, &b);
+        assert!((via_l2 - direct).abs() < 1e-5);
+        let back = l2_sq_from_ip(direct);
+        assert!((back - l2_sq(&a, &b)).abs() < 1e-5);
+    }
+
+    #[test]
+    fn normalize_rejects_zero_vector() {
+        let mut z = vec![0.0f32; 8];
+        assert!(!normalize(&mut z));
+        assert_eq!(z, vec![0.0f32; 8]);
+    }
+
+    #[test]
+    fn normalize_produces_unit_norm() {
+        let mut v = vec![3.0f32, 4.0];
+        assert!(normalize(&mut v));
+        assert!(is_unit_norm(&v, 1e-6));
+        assert!((v[0] - 0.6).abs() < 1e-6 && (v[1] - 0.8).abs() < 1e-6);
+    }
+
+    #[test]
+    fn identical_unit_vectors_have_ip_one() {
+        let mut v: Vec<f32> = (0..16).map(|i| i as f32 + 1.0).collect();
+        assert!(normalize(&mut v));
+        assert!((ip(&v, &v) - 1.0).abs() < 1e-5);
+        assert!(l2_sq(&v, &v) < 1e-10);
+    }
+}

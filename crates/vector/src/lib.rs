@@ -1,0 +1,94 @@
+//! Dense-vector substrate for the MUST framework.
+//!
+//! MUST ("Multimodal Search of Target Modality", ICDE 2024) represents every
+//! multimodal object as *one high-dimensional unit vector per modality* and
+//! measures similarity between objects as the weighted sum of per-modality
+//! inner products (Lemma 1 of the paper).  This crate provides the
+//! building blocks every other crate in the workspace shares:
+//!
+//! * [`kernels`] — scalar similarity kernels: inner product, squared
+//!   Euclidean distance, prefix (partial) distances for early termination,
+//!   and L2 normalisation.
+//! * [`VectorSet`] — a contiguous, cache-friendly `n x d` matrix of `f32`
+//!   vectors with unit-norm enforcement.
+//! * [`MultiVectorSet`] — `m` parallel [`VectorSet`]s, one per modality:
+//!   the paper's multi-vector object representation (Fig. 4(b)).
+//! * [`Weights`] — the per-modality weight vector `omega` learned by the
+//!   vector-weight-learning model (Section VI), exposed through its squared
+//!   form as required by Lemma 1.
+//! * [`joint`] — joint similarity between multi-vector points and the
+//!   incremental multi-vector computation with safe early termination
+//!   (Lemma 4, Eqs. 8–9).
+//!
+//! All similarities in this crate follow the paper's convention: vectors are
+//! unit-norm and similarity is the inner product (`IP`), to be *maximised*;
+//! `IP(a, b) = 1 - 0.5 * ||a - b||^2` (Eq. 8) links it to Euclidean
+//! distance.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod joint;
+pub mod kernels;
+mod multi;
+mod set;
+mod weights;
+
+pub use joint::{JointDistance, PartialIpVerdict, QueryEvaluator};
+pub use multi::{MultiQuery, MultiVectorSet};
+pub use set::{VectorSet, VectorSetBuilder};
+pub use weights::Weights;
+
+/// Identifier of an object (a row) inside a [`VectorSet`] / [`MultiVectorSet`].
+///
+/// `u32` keeps hot index structures compact (the paper scales to 16 M
+/// objects, well within `u32`).
+pub type ObjectId = u32;
+
+/// Error type for vector-set construction and joint-similarity plumbing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum VectorError {
+    /// A vector with a length different from the set's dimensionality was supplied.
+    DimensionMismatch {
+        /// Dimensionality the set expects.
+        expected: usize,
+        /// Dimensionality that was provided.
+        got: usize,
+    },
+    /// The per-modality sets of a [`MultiVectorSet`] disagree on cardinality.
+    CardinalityMismatch {
+        /// Cardinality of modality 0.
+        expected: usize,
+        /// Offending cardinality.
+        got: usize,
+    },
+    /// A zero (or non-finite) vector cannot be normalised.
+    NotNormalisable,
+    /// Weight vector length does not match the number of modalities.
+    WeightArity {
+        /// Number of modalities.
+        modalities: usize,
+        /// Number of weights provided.
+        weights: usize,
+    },
+}
+
+impl std::fmt::Display for VectorError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::DimensionMismatch { expected, got } => {
+                write!(f, "dimension mismatch: expected {expected}, got {got}")
+            }
+            Self::CardinalityMismatch { expected, got } => {
+                write!(f, "cardinality mismatch: expected {expected}, got {got}")
+            }
+            Self::NotNormalisable => write!(f, "zero or non-finite vector cannot be normalised"),
+            Self::WeightArity { modalities, weights } => write!(
+                f,
+                "weight arity mismatch: {modalities} modalities but {weights} weights"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for VectorError {}

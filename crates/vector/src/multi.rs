@@ -1,0 +1,274 @@
+//! The multi-vector representation of a multimodal object set
+//! (Section V / Fig. 4(b) of the paper).
+
+use serde::{Deserialize, Serialize};
+
+use crate::{ObjectId, VectorError, VectorSet, Weights};
+
+/// `m` parallel [`VectorSet`]s, one per modality, all of the same
+/// cardinality: row `id` of every modality together forms the multi-vector
+/// representation of object `id`.
+///
+/// Modality `0` is the *target* modality by the paper's convention; the
+/// remaining modalities are auxiliary.  Per-modality dimensionalities may
+/// differ (e.g. a 128-d image space next to a 64-d text space).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MultiVectorSet {
+    modalities: Vec<VectorSet>,
+}
+
+impl MultiVectorSet {
+    /// Assembles a multi-vector set from per-modality sets.
+    ///
+    /// # Errors
+    /// [`VectorError::CardinalityMismatch`] when the sets disagree on the
+    /// number of objects.
+    pub fn new(modalities: Vec<VectorSet>) -> Result<Self, VectorError> {
+        assert!(!modalities.is_empty(), "at least one modality required");
+        let n = modalities[0].len();
+        for set in &modalities[1..] {
+            if set.len() != n {
+                return Err(VectorError::CardinalityMismatch { expected: n, got: set.len() });
+            }
+        }
+        Ok(Self { modalities })
+    }
+
+    /// Number of modalities `m`.
+    #[inline]
+    pub fn num_modalities(&self) -> usize {
+        self.modalities.len()
+    }
+
+    /// Number of objects `n`.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.modalities[0].len()
+    }
+
+    /// Whether the set is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.modalities[0].is_empty()
+    }
+
+    /// The [`VectorSet`] of modality `i`.
+    #[inline]
+    pub fn modality(&self, i: usize) -> &VectorSet {
+        &self.modalities[i]
+    }
+
+    /// All modality sets.
+    #[inline]
+    pub fn modalities(&self) -> &[VectorSet] {
+        &self.modalities
+    }
+
+    /// Per-modality dimensionalities.
+    pub fn dims(&self) -> Vec<usize> {
+        self.modalities.iter().map(VectorSet::dim).collect()
+    }
+
+    /// The multi-vector of object `id`: one slice per modality.
+    pub fn object(&self, id: ObjectId) -> Vec<&[f32]> {
+        self.modalities.iter().map(|s| s.get(id)).collect()
+    }
+
+    /// Per-modality inner products between objects `a` and `b`.
+    pub fn modality_ips(&self, a: ObjectId, b: ObjectId) -> Vec<f32> {
+        self.modalities.iter().map(|s| s.ip(a, b)).collect()
+    }
+
+    /// Joint similarity between objects `a` and `b` under `weights`
+    /// (Lemma 1: the weighted sum of per-modality inner products).
+    ///
+    /// # Errors
+    /// [`VectorError::WeightArity`] when `weights` does not cover every
+    /// modality.
+    pub fn joint_ip(&self, a: ObjectId, b: ObjectId, weights: &Weights) -> Result<f32, VectorError> {
+        if weights.modalities() != self.num_modalities() {
+            return Err(VectorError::WeightArity {
+                modalities: self.num_modalities(),
+                weights: weights.modalities(),
+            });
+        }
+        Ok(self
+            .modalities
+            .iter()
+            .zip(weights.squared())
+            .map(|(s, w)| w * s.ip(a, b))
+            .sum())
+    }
+
+    /// Appends one object given its per-modality raw vectors, normalising
+    /// each (dynamic insertion, Section IX of the paper).
+    ///
+    /// # Errors
+    /// Propagates dimension/normalisation errors; on error nothing is
+    /// appended (validated before mutation).
+    pub fn push_object(&mut self, rows: &[Vec<f32>]) -> Result<ObjectId, VectorError> {
+        if rows.len() != self.num_modalities() {
+            return Err(VectorError::CardinalityMismatch {
+                expected: self.num_modalities(),
+                got: rows.len(),
+            });
+        }
+        // Validate every row first so a failure cannot leave the set torn.
+        let mut normalized = Vec::with_capacity(rows.len());
+        for (set, row) in self.modalities.iter().zip(rows) {
+            if row.len() != set.dim() {
+                return Err(VectorError::DimensionMismatch { expected: set.dim(), got: row.len() });
+            }
+            let mut v = row.clone();
+            if !crate::kernels::normalize(&mut v) {
+                return Err(VectorError::NotNormalisable);
+            }
+            normalized.push(v);
+        }
+        let id = self.len() as ObjectId;
+        for (set, v) in self.modalities.iter_mut().zip(&normalized) {
+            set.push(v).expect("validated above");
+        }
+        Ok(id)
+    }
+
+    /// Approximate heap footprint of the stored vectors in bytes
+    /// (used by the Fig. 7 index-size accounting).
+    pub fn bytes(&self) -> usize {
+        self.modalities
+            .iter()
+            .map(|s| s.len() * s.dim() * std::mem::size_of::<f32>())
+            .sum()
+    }
+}
+
+/// A query in multi-vector form: up to `m` vectors (one per supplied query
+/// modality), laid out in the same modality order as the object set.
+///
+/// Slots are `None` for modalities the user did not supply (`t < m`); the
+/// paper searches such queries by zeroing the corresponding weights
+/// (Section VII-B).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MultiQuery {
+    vectors: Vec<Option<Vec<f32>>>,
+}
+
+impl MultiQuery {
+    /// A query supplying every modality.
+    pub fn full(vectors: Vec<Vec<f32>>) -> Self {
+        Self { vectors: vectors.into_iter().map(Some).collect() }
+    }
+
+    /// A query with explicit per-modality slots.
+    pub fn partial(vectors: Vec<Option<Vec<f32>>>) -> Self {
+        assert!(
+            vectors.iter().any(Option::is_some),
+            "a query must supply at least one modality"
+        );
+        Self { vectors }
+    }
+
+    /// Number of modality slots (`m`).
+    #[inline]
+    pub fn num_slots(&self) -> usize {
+        self.vectors.len()
+    }
+
+    /// Number of supplied modalities (`t`).
+    #[inline]
+    pub fn supplied(&self) -> usize {
+        self.vectors.iter().filter(|v| v.is_some()).count()
+    }
+
+    /// The vector for modality `i`, if supplied.
+    #[inline]
+    pub fn slot(&self, i: usize) -> Option<&[f32]> {
+        self.vectors.get(i).and_then(|v| v.as_deref())
+    }
+
+    /// Replaces the vector of modality `i` (used by MR's composition-vector
+    /// optimisation, which swaps `phi_0(q_0)` for `Phi(q_0..q_{t-1})`).
+    pub fn set_slot(&mut self, i: usize, v: Vec<f32>) {
+        self.vectors[i] = Some(v);
+    }
+
+    /// Weight mask for this query: the input weights with unsupplied
+    /// modalities zeroed.
+    pub fn mask_weights(&self, weights: &Weights) -> Weights {
+        let mut omega = weights.raw().to_vec();
+        for (w, v) in omega.iter_mut().zip(&self.vectors) {
+            if v.is_none() {
+                *w = 0.0;
+            }
+        }
+        Weights::new(omega).expect("masking preserves validity")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::VectorSetBuilder;
+
+    fn two_modality_set() -> MultiVectorSet {
+        let mut img = VectorSetBuilder::new(4, 2);
+        img.push_normalized(&[1.0, 0.0, 0.0, 0.0]).unwrap();
+        img.push_normalized(&[0.0, 1.0, 0.0, 0.0]).unwrap();
+        let mut txt = VectorSetBuilder::new(2, 2);
+        txt.push_normalized(&[1.0, 0.0]).unwrap();
+        txt.push_normalized(&[1.0, 1.0]).unwrap();
+        MultiVectorSet::new(vec![img.finish(), txt.finish()]).unwrap()
+    }
+
+    #[test]
+    fn cardinality_mismatch_is_rejected() {
+        let mut a = VectorSetBuilder::new(2, 1);
+        a.push_normalized(&[1.0, 0.0]).unwrap();
+        let b = VectorSetBuilder::new(2, 0).finish();
+        assert!(matches!(
+            MultiVectorSet::new(vec![a.finish(), b]),
+            Err(VectorError::CardinalityMismatch { expected: 1, got: 0 })
+        ));
+    }
+
+    #[test]
+    fn joint_ip_is_weighted_sum_of_modality_ips() {
+        let set = two_modality_set();
+        let w = Weights::new(vec![0.8, 0.33]).unwrap();
+        let ips = set.modality_ips(0, 1);
+        let want = 0.64 * ips[0] + 0.1089 * ips[1];
+        let got = set.joint_ip(0, 1, &w).unwrap();
+        assert!((got - want).abs() < 1e-6);
+    }
+
+    #[test]
+    fn joint_ip_rejects_wrong_weight_arity() {
+        let set = two_modality_set();
+        let w = Weights::uniform(3);
+        assert!(matches!(
+            set.joint_ip(0, 1, &w),
+            Err(VectorError::WeightArity { modalities: 2, weights: 3 })
+        ));
+    }
+
+    #[test]
+    fn query_masking_zeroes_missing_modalities() {
+        let q = MultiQuery::partial(vec![Some(vec![1.0, 0.0, 0.0, 0.0]), None]);
+        assert_eq!(q.supplied(), 1);
+        let w = q.mask_weights(&Weights::uniform(2));
+        assert!(w.sq(0) > 0.0);
+        assert_eq!(w.sq(1), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one modality")]
+    fn empty_query_panics() {
+        let _ = MultiQuery::partial(vec![None, None]);
+    }
+
+    #[test]
+    fn bytes_accounts_all_modalities() {
+        let set = two_modality_set();
+        assert_eq!(set.bytes(), (2 * 4 + 2 * 2) * 4);
+    }
+}

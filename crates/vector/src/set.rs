@@ -1,0 +1,285 @@
+//! Contiguous storage for a set of equal-dimensional vectors.
+
+use serde::{Deserialize, Serialize};
+
+use crate::kernels;
+use crate::{ObjectId, VectorError};
+
+/// A dense `n x d` matrix of `f32` vectors stored row-major in one
+/// allocation.
+///
+/// This is the corpus-side representation used for one modality of an object
+/// set (`{phi_i(o_i) | o in S}` in the paper).  Rows are addressed by
+/// [`ObjectId`].  Vectors are expected to be unit-norm (the paper normalises
+/// all embeddings); [`VectorSetBuilder::push_normalized`] enforces this.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct VectorSet {
+    dim: usize,
+    data: Vec<f32>,
+}
+
+impl VectorSet {
+    /// Creates an empty set of dimensionality `dim`.
+    pub fn new(dim: usize) -> Self {
+        assert!(dim > 0, "dimensionality must be positive");
+        Self { dim, data: Vec::new() }
+    }
+
+    /// Creates an empty set with storage reserved for `n` vectors.
+    pub fn with_capacity(dim: usize, n: usize) -> Self {
+        assert!(dim > 0, "dimensionality must be positive");
+        Self { dim, data: Vec::with_capacity(dim * n) }
+    }
+
+    /// Builds a set from a flat row-major buffer.
+    ///
+    /// # Errors
+    /// Returns [`VectorError::DimensionMismatch`] when `data.len()` is not a
+    /// multiple of `dim`.
+    pub fn from_flat(dim: usize, data: Vec<f32>) -> Result<Self, VectorError> {
+        if dim == 0 || data.len() % dim != 0 {
+            return Err(VectorError::DimensionMismatch {
+                expected: dim,
+                got: data.len() % dim.max(1),
+            });
+        }
+        Ok(Self { dim, data })
+    }
+
+    /// Number of vectors in the set.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.data.len() / self.dim
+    }
+
+    /// Whether the set holds no vectors.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Dimensionality of every vector in the set.
+    #[inline]
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Borrow vector `id`.
+    ///
+    /// # Panics
+    /// Panics when `id` is out of bounds.
+    #[inline]
+    pub fn get(&self, id: ObjectId) -> &[f32] {
+        let start = id as usize * self.dim;
+        &self.data[start..start + self.dim]
+    }
+
+    /// Borrow vector `id`, or `None` when out of bounds.
+    #[inline]
+    pub fn try_get(&self, id: ObjectId) -> Option<&[f32]> {
+        let start = (id as usize).checked_mul(self.dim)?;
+        self.data.get(start..start + self.dim)
+    }
+
+    /// Appends a vector without normalising it.
+    ///
+    /// # Errors
+    /// Returns [`VectorError::DimensionMismatch`] on wrong length.
+    pub fn push(&mut self, v: &[f32]) -> Result<ObjectId, VectorError> {
+        if v.len() != self.dim {
+            return Err(VectorError::DimensionMismatch { expected: self.dim, got: v.len() });
+        }
+        let id = self.len() as ObjectId;
+        self.data.extend_from_slice(v);
+        Ok(id)
+    }
+
+    /// Inner product between rows `a` and `b`.
+    #[inline]
+    pub fn ip(&self, a: ObjectId, b: ObjectId) -> f32 {
+        kernels::ip(self.get(a), self.get(b))
+    }
+
+    /// Inner product between row `a` and an external query vector.
+    #[inline]
+    pub fn ip_to(&self, a: ObjectId, query: &[f32]) -> f32 {
+        kernels::ip(self.get(a), query)
+    }
+
+    /// Squared Euclidean distance between row `a` and an external query.
+    #[inline]
+    pub fn l2_sq_to(&self, a: ObjectId, query: &[f32]) -> f32 {
+        kernels::l2_sq(self.get(a), query)
+    }
+
+    /// Iterator over `(id, vector)` pairs.
+    pub fn iter(&self) -> impl ExactSizeIterator<Item = (ObjectId, &[f32])> + '_ {
+        self.data
+            .chunks_exact(self.dim)
+            .enumerate()
+            .map(|(i, v)| (i as ObjectId, v))
+    }
+
+    /// Exact top-`k` ids by inner product to `query`, descending
+    /// (brute-force scan; used for ground truth and the `MUST--` baseline).
+    pub fn brute_force_top_k(&self, query: &[f32], k: usize) -> Vec<(ObjectId, f32)> {
+        let mut heap: Vec<(ObjectId, f32)> = Vec::with_capacity(k + 1);
+        for (id, v) in self.iter() {
+            let s = kernels::ip(v, query);
+            if heap.len() < k {
+                heap.push((id, s));
+                if heap.len() == k {
+                    heap.sort_unstable_by(|x, y| y.1.total_cmp(&x.1));
+                }
+            } else if k > 0 && s > heap[k - 1].1 {
+                heap[k - 1] = (id, s);
+                let mut i = k - 1;
+                while i > 0 && heap[i].1 > heap[i - 1].1 {
+                    heap.swap(i, i - 1);
+                    i -= 1;
+                }
+            }
+        }
+        if heap.len() < k {
+            heap.sort_unstable_by(|x, y| y.1.total_cmp(&x.1));
+        }
+        heap
+    }
+
+    /// Mean of all vectors (the centroid used by the paper's seed
+    /// preprocessing, component 4 of Algorithm 1).
+    pub fn centroid(&self) -> Vec<f32> {
+        let mut c = vec![0.0f32; self.dim];
+        if self.is_empty() {
+            return c;
+        }
+        for (_, v) in self.iter() {
+            for (ci, vi) in c.iter_mut().zip(v) {
+                *ci += vi;
+            }
+        }
+        let inv = 1.0 / self.len() as f32;
+        for ci in c.iter_mut() {
+            *ci *= inv;
+        }
+        c
+    }
+}
+
+/// Incremental builder that normalises vectors as they are appended.
+#[derive(Debug)]
+pub struct VectorSetBuilder {
+    set: VectorSet,
+}
+
+impl VectorSetBuilder {
+    /// Starts a builder for vectors of dimensionality `dim`, reserving room
+    /// for `n` of them.
+    pub fn new(dim: usize, n: usize) -> Self {
+        Self { set: VectorSet::with_capacity(dim, n) }
+    }
+
+    /// Appends `v` after normalising it to unit L2 norm.
+    ///
+    /// # Errors
+    /// [`VectorError::DimensionMismatch`] on wrong length and
+    /// [`VectorError::NotNormalisable`] for zero / non-finite vectors.
+    pub fn push_normalized(&mut self, v: &[f32]) -> Result<ObjectId, VectorError> {
+        if v.len() != self.set.dim {
+            return Err(VectorError::DimensionMismatch { expected: self.set.dim, got: v.len() });
+        }
+        let mut owned = v.to_vec();
+        if !kernels::normalize(&mut owned) {
+            return Err(VectorError::NotNormalisable);
+        }
+        self.set.push(&owned)
+    }
+
+    /// Finishes the build.
+    pub fn finish(self) -> VectorSet {
+        self.set
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_set() -> VectorSet {
+        let mut b = VectorSetBuilder::new(4, 3);
+        b.push_normalized(&[1.0, 0.0, 0.0, 0.0]).unwrap();
+        b.push_normalized(&[1.0, 1.0, 0.0, 0.0]).unwrap();
+        b.push_normalized(&[0.0, 0.0, 3.0, 4.0]).unwrap();
+        b.finish()
+    }
+
+    #[test]
+    fn builder_normalises_rows() {
+        let s = sample_set();
+        assert_eq!(s.len(), 3);
+        for (_, v) in s.iter() {
+            assert!(kernels::is_unit_norm(v, 1e-5));
+        }
+    }
+
+    #[test]
+    fn push_rejects_wrong_dimension() {
+        let mut s = VectorSet::new(4);
+        assert!(matches!(
+            s.push(&[1.0, 2.0]),
+            Err(VectorError::DimensionMismatch { expected: 4, got: 2 })
+        ));
+    }
+
+    #[test]
+    fn builder_rejects_zero_vector() {
+        let mut b = VectorSetBuilder::new(3, 1);
+        assert!(matches!(b.push_normalized(&[0.0; 3]), Err(VectorError::NotNormalisable)));
+    }
+
+    #[test]
+    fn from_flat_validates_shape() {
+        assert!(VectorSet::from_flat(3, vec![0.0; 7]).is_err());
+        let s = VectorSet::from_flat(3, vec![0.0; 9]).unwrap();
+        assert_eq!(s.len(), 3);
+    }
+
+    #[test]
+    fn brute_force_top_k_is_sorted_and_exact() {
+        let s = sample_set();
+        let top = s.brute_force_top_k(&[1.0, 0.0, 0.0, 0.0], 2);
+        assert_eq!(top.len(), 2);
+        assert_eq!(top[0].0, 0);
+        assert!((top[0].1 - 1.0).abs() < 1e-5);
+        assert_eq!(top[1].0, 1);
+        assert!(top[0].1 >= top[1].1);
+    }
+
+    #[test]
+    fn brute_force_top_k_handles_k_larger_than_n() {
+        let s = sample_set();
+        let top = s.brute_force_top_k(&[0.0, 0.0, 0.0, 1.0], 10);
+        assert_eq!(top.len(), 3);
+        for w in top.windows(2) {
+            assert!(w[0].1 >= w[1].1);
+        }
+    }
+
+    #[test]
+    fn centroid_of_identical_vectors_is_that_vector() {
+        let mut b = VectorSetBuilder::new(2, 2);
+        b.push_normalized(&[0.0, 2.0]).unwrap();
+        b.push_normalized(&[0.0, 5.0]).unwrap();
+        let s = b.finish();
+        let c = s.centroid();
+        assert!((c[0]).abs() < 1e-6 && (c[1] - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let s = sample_set();
+        let json = serde_json::to_string(&s).unwrap();
+        let back: VectorSet = serde_json::from_str(&json).unwrap();
+        assert_eq!(s, back);
+    }
+}

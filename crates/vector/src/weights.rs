@@ -1,0 +1,162 @@
+//! Per-modality vector weights (Section VI of the paper).
+
+use serde::{Deserialize, Serialize};
+
+use crate::VectorError;
+
+/// The per-modality weight vector `omega = (omega_0 .. omega_{m-1})`.
+///
+/// Lemma 1 of the paper shows the joint similarity of a pair of objects is
+/// `sum_i omega_i^2 * IP_i`, so hot paths consume the *squared* weights; this
+/// type caches them.  Weights come from two sources (Fig. 4(g)):
+/// learned weights produced by the vector-weight-learning model, or
+/// user-defined weights supplied directly.
+///
+/// Weights are non-negative.  Queries with fewer modalities than objects
+/// (`t < m`) are handled by zeroing the trailing weights
+/// ([`Weights::masked`], Section VII-B).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Weights {
+    omega: Vec<f32>,
+    omega_sq: Vec<f32>,
+}
+
+impl Weights {
+    /// Builds weights from raw `omega` values.
+    ///
+    /// # Errors
+    /// Returns [`VectorError::NotNormalisable`] if any weight is negative or
+    /// non-finite.
+    pub fn new(omega: Vec<f32>) -> Result<Self, VectorError> {
+        if omega.iter().any(|w| !w.is_finite() || *w < 0.0) {
+            return Err(VectorError::NotNormalisable);
+        }
+        let omega_sq = omega.iter().map(|w| w * w).collect();
+        Ok(Self { omega, omega_sq })
+    }
+
+    /// Uniform weights `omega_i = sqrt(1/m)` so that the squared weights sum
+    /// to one — the natural "no preference" configuration
+    /// (`omega_0^2 = omega_1^2 = 0.5` for two modalities, as in Tab. IX).
+    pub fn uniform(m: usize) -> Self {
+        assert!(m > 0, "at least one modality required");
+        let w = (1.0 / m as f32).sqrt();
+        Self::new(vec![w; m]).expect("uniform weights are valid")
+    }
+
+    /// Builds weights directly from *squared* values (the form the paper
+    /// reports in Tabs. IX and XIII–XVIII).
+    ///
+    /// # Errors
+    /// Returns [`VectorError::NotNormalisable`] if any squared weight is
+    /// negative or non-finite.
+    pub fn from_squared(omega_sq: Vec<f32>) -> Result<Self, VectorError> {
+        if omega_sq.iter().any(|w| !w.is_finite() || *w < 0.0) {
+            return Err(VectorError::NotNormalisable);
+        }
+        let omega = omega_sq.iter().map(|w| w.sqrt()).collect();
+        Ok(Self { omega, omega_sq })
+    }
+
+    /// Number of modalities covered.
+    #[inline]
+    pub fn modalities(&self) -> usize {
+        self.omega.len()
+    }
+
+    /// Raw weights `omega_i`.
+    #[inline]
+    pub fn raw(&self) -> &[f32] {
+        &self.omega
+    }
+
+    /// Squared weights `omega_i^2` (the coefficients of Lemma 1).
+    #[inline]
+    pub fn squared(&self) -> &[f32] {
+        &self.omega_sq
+    }
+
+    /// Squared weight of modality `i`.
+    #[inline]
+    pub fn sq(&self, i: usize) -> f32 {
+        self.omega_sq[i]
+    }
+
+    /// A copy with all weights from modality `t` onwards set to zero —
+    /// how the paper evaluates queries that supply only `t < m` modalities
+    /// (Section VII-B: "the concatenated vectors compute the IP by setting
+    /// omega_i = 0 for t <= i <= m-1").
+    pub fn masked(&self, t: usize) -> Self {
+        let mut omega = self.omega.clone();
+        for w in omega.iter_mut().skip(t) {
+            *w = 0.0;
+        }
+        Self::new(omega).expect("masking preserves validity")
+    }
+
+    /// A copy rescaled so the squared weights sum to one.  Pure rescaling
+    /// does not change similarity *rankings* (it multiplies every joint
+    /// similarity by the same constant), but normalised weights make
+    /// configurations comparable across datasets.
+    pub fn normalized(&self) -> Self {
+        let total: f32 = self.omega_sq.iter().sum();
+        if total <= f32::EPSILON {
+            return self.clone();
+        }
+        let inv = 1.0 / total;
+        Self::from_squared(self.omega_sq.iter().map(|w| w * inv).collect())
+            .expect("normalisation preserves validity")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn squared_weights_track_raw() {
+        let w = Weights::new(vec![0.8, 0.33]).unwrap();
+        assert!((w.sq(0) - 0.64).abs() < 1e-6);
+        assert!((w.sq(1) - 0.1089).abs() < 1e-6);
+        assert_eq!(w.modalities(), 2);
+    }
+
+    #[test]
+    fn from_squared_round_trips() {
+        let w = Weights::from_squared(vec![0.5, 0.5]).unwrap();
+        assert!((w.raw()[0] - 0.5f32.sqrt()).abs() < 1e-6);
+        assert!((w.sq(0) - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn uniform_squares_sum_to_one() {
+        for m in 1..6 {
+            let w = Weights::uniform(m);
+            let s: f32 = w.squared().iter().sum();
+            assert!((s - 1.0).abs() < 1e-5, "m={m}");
+        }
+    }
+
+    #[test]
+    fn negative_weights_rejected() {
+        assert!(Weights::new(vec![0.5, -0.1]).is_err());
+        assert!(Weights::from_squared(vec![f32::NAN]).is_err());
+    }
+
+    #[test]
+    fn masked_zeroes_trailing_modalities() {
+        let w = Weights::new(vec![0.6, 0.7, 0.8]).unwrap();
+        let m = w.masked(1);
+        assert!((m.sq(0) - 0.36).abs() < 1e-6);
+        assert_eq!(m.sq(1), 0.0);
+        assert_eq!(m.sq(2), 0.0);
+    }
+
+    #[test]
+    fn normalized_sums_to_one_and_preserves_ratio() {
+        let w = Weights::from_squared(vec![0.2, 0.6]).unwrap().normalized();
+        let s: f32 = w.squared().iter().sum();
+        assert!((s - 1.0).abs() < 1e-6);
+        assert!((w.sq(1) / w.sq(0) - 3.0).abs() < 1e-5);
+    }
+}

@@ -1,0 +1,147 @@
+//! Property-based tests for the vector substrate.
+//!
+//! These pin the algebraic identities the rest of the system relies on:
+//! the IP <-> L2 identity (Eq. 8), Lemma 1 (joint similarity is the weighted
+//! sum of per-modality similarities) and Lemma 4 (prefix pruning is safe and
+//! exact when it completes).
+
+use must_vector::kernels;
+use must_vector::{JointDistance, MultiQuery, MultiVectorSet, PartialIpVerdict, VectorSetBuilder, Weights};
+use proptest::prelude::*;
+
+/// A non-degenerate raw vector of dimension `dim`.
+fn raw_vector(dim: usize) -> impl Strategy<Value = Vec<f32>> {
+    proptest::collection::vec(-8.0f32..8.0, dim).prop_filter("non-zero", |v| {
+        v.iter().map(|x| x * x).sum::<f32>() > 1e-3
+    })
+}
+
+fn multi_set(
+    n: usize,
+    dims: &'static [usize],
+) -> impl Strategy<Value = MultiVectorSet> {
+    let per_modality: Vec<_> = dims
+        .iter()
+        .map(|&d| proptest::collection::vec(raw_vector(d), n))
+        .collect();
+    per_modality.prop_map(move |mods| {
+        let sets = mods
+            .into_iter()
+            .zip(dims)
+            .map(|(rows, &d)| {
+                let mut b = VectorSetBuilder::new(d, rows.len());
+                for r in &rows {
+                    b.push_normalized(r).expect("filtered non-zero");
+                }
+                b.finish()
+            })
+            .collect();
+        MultiVectorSet::new(sets).expect("equal cardinality by construction")
+    })
+}
+
+fn weights(m: usize) -> impl Strategy<Value = Weights> {
+    proptest::collection::vec(0.01f32..2.0, m)
+        .prop_map(|w| Weights::new(w).expect("positive finite"))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn ip_l2_identity_holds_for_unit_vectors(a in raw_vector(24), b in raw_vector(24)) {
+        let mut a = a;
+        let mut b = b;
+        prop_assume!(kernels::normalize(&mut a));
+        prop_assume!(kernels::normalize(&mut b));
+        let lhs = kernels::ip(&a, &b);
+        let rhs = kernels::ip_from_l2_sq(kernels::l2_sq(&a, &b));
+        prop_assert!((lhs - rhs).abs() < 1e-4);
+    }
+
+    #[test]
+    fn ip_is_symmetric_and_bounded(a in raw_vector(17), b in raw_vector(17)) {
+        let mut a = a;
+        let mut b = b;
+        prop_assume!(kernels::normalize(&mut a));
+        prop_assume!(kernels::normalize(&mut b));
+        let ab = kernels::ip(&a, &b);
+        let ba = kernels::ip(&b, &a);
+        prop_assert!((ab - ba).abs() < 1e-6);
+        prop_assert!((-1.0 - 1e-4..=1.0 + 1e-4).contains(&ab));
+    }
+
+    #[test]
+    fn lemma1_joint_similarity_is_weighted_sum(
+        set in multi_set(5, &[8, 5, 3]),
+        w in weights(3),
+        a in 0u32..5,
+        b in 0u32..5,
+    ) {
+        let jd = JointDistance::new(&set, w.clone()).unwrap();
+        let ips = set.modality_ips(a, b);
+        let want: f32 = ips.iter().zip(w.squared()).map(|(s, q)| s * q).sum();
+        prop_assert!((jd.pair_ip(a, b) - want).abs() < 1e-4);
+    }
+
+    #[test]
+    fn lemma4_pruning_is_sound_and_exact(
+        set in multi_set(6, &[6, 4]),
+        w in weights(2),
+        q0 in raw_vector(6),
+        q1 in raw_vector(4),
+        threshold in -1.5f32..1.5,
+    ) {
+        let mut q0 = q0;
+        let mut q1 = q1;
+        prop_assume!(kernels::normalize(&mut q0));
+        prop_assume!(kernels::normalize(&mut q1));
+        let jd = JointDistance::new(&set, w).unwrap();
+        let query = MultiQuery::full(vec![q0, q1]);
+        let ev = jd.query(&query).unwrap();
+        for id in 0..6u32 {
+            let exact = ev.ip(id);
+            match ev.ip_pruned(id, threshold) {
+                PartialIpVerdict::Exact(v) => prop_assert!((v - exact).abs() < 1e-4),
+                PartialIpVerdict::Pruned => prop_assert!(exact <= threshold + 1e-4),
+            }
+        }
+    }
+
+    #[test]
+    fn top_k_matches_full_sort(
+        set in multi_set(12, &[10]),
+        q in raw_vector(10),
+        k in 1usize..8,
+    ) {
+        let mut q = q;
+        prop_assume!(kernels::normalize(&mut q));
+        let m0 = set.modality(0);
+        let top = m0.brute_force_top_k(&q, k);
+        let mut all: Vec<_> = m0.iter().map(|(id, v)| (id, kernels::ip(v, &q))).collect();
+        all.sort_by(|x, y| y.1.total_cmp(&x.1));
+        prop_assert_eq!(top.len(), k.min(12));
+        for (got, want) in top.iter().zip(&all) {
+            // Scores must agree exactly (ids may differ under ties).
+            prop_assert!((got.1 - want.1).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn weight_masking_equals_partial_query(
+        set in multi_set(5, &[6, 4]),
+        w in weights(2),
+        q0 in raw_vector(6),
+    ) {
+        let mut q0 = q0;
+        prop_assume!(kernels::normalize(&mut q0));
+        let jd = JointDistance::new(&set, w.clone()).unwrap();
+        // A t=1 query must score exactly like scaling modality 0 alone.
+        let partial = MultiQuery::partial(vec![Some(q0.clone()), None]);
+        let ev = jd.query(&partial).unwrap();
+        for id in 0..5u32 {
+            let want = w.sq(0) * set.modality(0).ip_to(id, &q0);
+            prop_assert!((ev.ip(id) - want).abs() < 1e-4);
+        }
+    }
+}

@@ -1,0 +1,176 @@
+//! Cross-crate integration tests: generate → embed → learn → index →
+//! search, and the paper's headline claims at small scale.
+
+use must::core::baselines::{BaselineOptions, JointEmbedding, MultiStreamedRetrieval};
+use must::core::metrics::recall_at;
+use must::core::search::brute_force_search;
+use must::core::weights::WeightLearnConfig;
+use must::data::embed::embed_dataset;
+use must::encoders::{
+    ComposerKind, EncoderConfig, EncoderRegistry, LatentSpace, TargetEncoding, UnimodalKind,
+};
+use must::graph::search::VisitedSet;
+use must::prelude::*;
+use must::vector::JointDistance;
+
+fn mit_small() -> must::data::LatentDataset {
+    must::data::catalog::mit_states(0.2, 42)
+}
+
+fn clip_lstm() -> EncoderConfig {
+    EncoderConfig::new(TargetEncoding::Composed(ComposerKind::Clip), vec![UnimodalKind::Lstm])
+}
+
+struct Pipeline {
+    embedded: must::data::embed::EmbeddedDataset,
+    weights: Weights,
+}
+
+fn pipeline() -> Pipeline {
+    let ds = mit_small();
+    let registry = EncoderRegistry::new(LatentSpace::DEFAULT, 42);
+    let embedded = embed_dataset(&ds, &clip_lstm(), &registry);
+    let anchors: Vec<_> =
+        embedded.queries[..120].iter().map(|q| (&q.query, q.anchor)).collect();
+    let learned = Must::learn_weights(
+        &embedded.objects,
+        &anchors,
+        &WeightLearnConfig { epochs: 150, ..Default::default() },
+    );
+    Pipeline { embedded, weights: learned.weights }
+}
+
+/// The paper's headline accuracy claim, end to end: MUST's weighted joint
+/// similarity beats both the MR merge and the JE single-vector search on
+/// the same corpus and queries.
+#[test]
+fn must_beats_mr_and_je_on_recall() {
+    let p = pipeline();
+    let joint = JointDistance::new(&p.embedded.objects, p.weights.clone()).unwrap();
+    let objects = &p.embedded.objects;
+    let eval = &p.embedded.queries[120..520.min(p.embedded.queries.len())];
+    let (mut r_must, mut r_mr, mut r_je) = (0.0, 0.0, 0.0);
+    for q in eval {
+        let ids: Vec<u32> = brute_force_search(&joint, &q.query, 5, true)
+            .unwrap()
+            .results
+            .iter()
+            .map(|r| r.0)
+            .collect();
+        r_must += recall_at(&ids, &q.ground_truth, 5);
+
+        let mut per = Vec::new();
+        for mi in 0..objects.num_modalities() {
+            if let Some(slot) = q.query.slot(mi) {
+                per.push(objects.modality(mi).brute_force_top_k(slot, 300));
+            }
+        }
+        let merged = must::core::baselines::merge_candidates(&per, 5).0;
+        r_mr += recall_at(&merged, &q.ground_truth, 5);
+
+        let je_ids: Vec<u32> = objects
+            .modality(0)
+            .brute_force_top_k(q.query.slot(0).unwrap(), 5)
+            .iter()
+            .map(|r| r.0)
+            .collect();
+        r_je += recall_at(&je_ids, &q.ground_truth, 5);
+    }
+    assert!(
+        r_must > r_mr && r_must > r_je,
+        "MUST {r_must} must beat MR {r_mr} and JE {r_je}"
+    );
+}
+
+/// The fused index approximates exact joint search closely at moderate l.
+#[test]
+fn fused_index_matches_brute_force() {
+    let p = pipeline();
+    let must = Must::build(
+        p.embedded.objects.clone(),
+        p.weights.clone(),
+        MustBuildOptions { gamma: 20, ..Default::default() },
+    )
+    .unwrap();
+    let mut searcher = must.searcher();
+    let mut agree = 0;
+    let total = 40;
+    for q in p.embedded.queries.iter().skip(120).take(total) {
+        let exact = must.brute_force(&q.query, 1).unwrap();
+        let approx = searcher.search(&q.query, 1, 300).unwrap();
+        if exact.results[0].0 == approx.results[0].0 {
+            agree += 1;
+        }
+    }
+    assert!(agree * 10 >= total * 9, "agreement {agree}/{total}");
+}
+
+/// Graph-backed baselines run end to end and return sane results.
+#[test]
+fn baselines_run_on_real_embeddings() {
+    let p = pipeline();
+    let opts = BaselineOptions { gamma: 16, ..Default::default() };
+    let mr = MultiStreamedRetrieval::build(&p.embedded.objects, opts).unwrap();
+    let je = JointEmbedding::build(&p.embedded.objects, opts).unwrap();
+    let mut visited = VisitedSet::default();
+    let q = &p.embedded.queries[200];
+    let mr_out = mr.search(&q.query, 10, 200, &mut visited);
+    assert_eq!(mr_out.results.len(), 10);
+    let je_out = je.search(&q.query, 10, 100, &mut visited).unwrap();
+    assert_eq!(je_out.len(), 10);
+}
+
+/// t < m: dropping the auxiliary modality degrades accuracy (Tab. X).
+#[test]
+fn multimodal_queries_beat_single_modality() {
+    let p = pipeline();
+    let joint = JointDistance::new(&p.embedded.objects, p.weights.clone()).unwrap();
+    let eval = &p.embedded.queries[120..420.min(p.embedded.queries.len())];
+    let (mut r_full, mut r_target_only) = (0.0, 0.0);
+    for q in eval {
+        let full: Vec<u32> = brute_force_search(&joint, &q.query, 10, true)
+            .unwrap()
+            .results
+            .iter()
+            .map(|r| r.0)
+            .collect();
+        r_full += recall_at(&full, &q.ground_truth, 10);
+        let target_only = MultiQuery::partial(vec![
+            q.query.slot(0).map(<[f32]>::to_vec),
+            None,
+        ]);
+        let t_ids: Vec<u32> = brute_force_search(&joint, &target_only, 10, true)
+            .unwrap()
+            .results
+            .iter()
+            .map(|r| r.0)
+            .collect();
+        r_target_only += recall_at(&t_ids, &q.ground_truth, 10);
+    }
+    assert!(
+        r_full > r_target_only,
+        "full queries {r_full} must beat target-only {r_target_only}"
+    );
+}
+
+/// Learned weights transfer across query content (Section VIII-F): the
+/// same weights rank a fresh batch of queries well.
+#[test]
+fn learned_weights_generalize_to_unseen_queries() {
+    let p = pipeline();
+    let joint = JointDistance::new(&p.embedded.objects, p.weights.clone()).unwrap();
+    // Evaluate only on queries far outside the training slice.
+    let eval = &p.embedded.queries[p.embedded.queries.len() - 200..];
+    let mut recall = 0.0;
+    for q in eval {
+        let ids: Vec<u32> = brute_force_search(&joint, &q.query, 10, true)
+            .unwrap()
+            .results
+            .iter()
+            .map(|r| r.0)
+            .collect();
+        recall += recall_at(&ids, &q.ground_truth, 10);
+    }
+    recall /= eval.len() as f64;
+    assert!(recall > 0.25, "held-out recall@10 too low: {recall}");
+}
