@@ -1,0 +1,193 @@
+//! Minimal, dependency-free stand-in for the parts of the `rand` crate
+//! (0.9 API) this workspace uses: `StdRng`, `SeedableRng::seed_from_u64`,
+//! and `Rng::{random, random_range}` over half-open integer ranges.
+//!
+//! The generator is SplitMix64 — deterministic, fast, and statistically
+//! sound for the simulation/testing workloads here.  It is **not** the
+//! upstream ChaCha12-based `StdRng` and must not be used for anything
+//! security-sensitive.  The container this repo builds in has no network
+//! access to crates.io, so the workspace vendors this shim instead of the
+//! real crate; swapping back is a one-line change in the workspace
+//! manifest.
+
+#![forbid(unsafe_code)]
+
+use std::ops::Range;
+
+/// Low-level source of random 64-bit words.
+pub trait RngCore {
+    /// Next raw 64-bit word.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Construction of a generator from a 64-bit seed.
+pub trait SeedableRng: Sized {
+    /// Builds a generator whose stream is fully determined by `state`.
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+/// Types samplable uniformly from the generator's full output
+/// (the `StandardUniform` distribution of real `rand`).
+pub trait StandardSample {
+    /// Converts one raw 64-bit word into a sample.
+    fn from_word(word: u64) -> Self;
+}
+
+impl StandardSample for f32 {
+    #[inline]
+    fn from_word(word: u64) -> Self {
+        // 24 high bits -> [0, 1).
+        (word >> 40) as f32 * (1.0 / (1u64 << 24) as f32)
+    }
+}
+
+impl StandardSample for f64 {
+    #[inline]
+    fn from_word(word: u64) -> Self {
+        // 53 high bits -> [0, 1).
+        (word >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl StandardSample for u32 {
+    #[inline]
+    fn from_word(word: u64) -> Self {
+        (word >> 32) as u32
+    }
+}
+
+impl StandardSample for u64 {
+    #[inline]
+    fn from_word(word: u64) -> Self {
+        word
+    }
+}
+
+impl StandardSample for bool {
+    #[inline]
+    fn from_word(word: u64) -> Self {
+        word >> 63 == 1
+    }
+}
+
+/// Integer types samplable from a half-open `Range` (the subset of
+/// `rand`'s `SampleUniform` the workspace needs).
+pub trait RangeSample: Copy {
+    /// Uniform sample in `[range.start, range.end)`; panics on empty ranges.
+    fn sample_range(word: u64, range: Range<Self>) -> Self;
+}
+
+macro_rules! impl_range_sample {
+    ($($t:ty),*) => {$(
+        impl RangeSample for $t {
+            #[inline]
+            fn sample_range(word: u64, range: Range<Self>) -> Self {
+                assert!(range.start < range.end, "cannot sample empty range");
+                let span = (range.end - range.start) as u64;
+                range.start + (word % span) as $t
+            }
+        }
+    )*};
+}
+
+impl_range_sample!(u8, u16, u32, u64, usize);
+
+/// High-level sampling methods, blanket-implemented for every [`RngCore`].
+pub trait Rng: RngCore {
+    /// Uniform sample of `T` (floats in `[0, 1)`, integers full-range).
+    #[inline]
+    fn random<T: StandardSample>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::from_word(self.next_u64())
+    }
+
+    /// Uniform sample from a half-open integer range.
+    #[inline]
+    fn random_range<T: RangeSample>(&mut self, range: Range<T>) -> T
+    where
+        Self: Sized,
+    {
+        T::sample_range(self.next_u64(), range)
+    }
+}
+
+impl<R: RngCore> Rng for R {}
+
+/// Namespaced generators, mirroring `rand::rngs`.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// Deterministic SplitMix64 generator (shim for `rand::rngs::StdRng`).
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl SeedableRng for StdRng {
+        #[inline]
+        fn seed_from_u64(state: u64) -> Self {
+            // One warm-up step decorrelates small seeds.
+            let mut rng = Self { state };
+            rng.next_u64();
+            rng
+        }
+    }
+
+    impl RngCore for StdRng {
+        #[inline]
+        fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.random::<u64>(), b.random::<u64>());
+        }
+    }
+
+    #[test]
+    fn floats_live_in_unit_interval() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let x: f32 = rng.random();
+            assert!((0.0..1.0).contains(&x));
+            let y: f64 = rng.random();
+            assert!((0.0..1.0).contains(&y));
+        }
+    }
+
+    #[test]
+    fn ranges_are_respected_and_cover() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut seen = [false; 10];
+        for _ in 0..1_000 {
+            let v = rng.random_range(3usize..13);
+            assert!((3..13).contains(&v));
+            seen[v - 3] = true;
+        }
+        assert!(seen.iter().all(|s| *s), "all values in range reachable");
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn empty_range_panics() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let _ = rng.random_range(5u32..5);
+    }
+}

@@ -1,0 +1,319 @@
+//! Hand-rolled `#[derive(Serialize)]` / `#[derive(Deserialize)]` macros
+//! for the vendored serde shim — no `syn`/`quote`, just direct token
+//! walking, which is enough for the shapes this workspace serialises:
+//!
+//! * structs with named fields (no generics),
+//! * enums of unit variants and single-field tuple variants.
+//!
+//! The generated representation matches serde_json's externally-tagged
+//! default: structs become objects, unit variants become strings, and
+//! tuple variants become single-key objects `{"Variant": payload}`.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// One parsed field or variant payload description.
+struct Variant {
+    name: String,
+    /// Number of tuple-payload fields (0 = unit variant).
+    arity: usize,
+}
+
+enum Item {
+    Struct { name: String, fields: Vec<String> },
+    Enum { name: String, variants: Vec<Variant> },
+}
+
+/// Skips attributes (`#[...]`) and visibility (`pub`, `pub(...)`) at the
+/// cursor position.
+fn skip_attrs_and_vis(tokens: &[TokenTree], mut i: usize) -> usize {
+    loop {
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                // `#[...]`: the bracket group is the next tree.
+                i += 2;
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1;
+                    }
+                }
+            }
+            _ => return i,
+        }
+    }
+}
+
+/// Parses the struct/enum the derive was applied to.
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = skip_attrs_and_vis(&tokens, 0);
+    let kind = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde_derive shim: unexpected token {other}"),
+    };
+    i += 1;
+    let name = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde_derive shim: expected item name, got {other}"),
+    };
+    i += 1;
+    let body = match &tokens[i] {
+        TokenTree::Group(g) if g.delimiter() == Delimiter::Brace => g.stream(),
+        other => panic!(
+            "serde_derive shim: only non-generic braced structs/enums are supported \
+             (unexpected {other} in `{name}`)"
+        ),
+    };
+    match kind.as_str() {
+        "struct" => Item::Struct { name, fields: parse_struct_fields(body) },
+        "enum" => Item::Enum { name, variants: parse_enum_variants(body) },
+        other => panic!("serde_derive shim: cannot derive for `{other}` items"),
+    }
+}
+
+/// Named struct fields: `vis name: Type, ...` — commas inside angle
+/// brackets and groups do not split fields.
+fn parse_struct_fields(body: TokenStream) -> Vec<String> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        i = skip_attrs_and_vis(&tokens, i);
+        if i >= tokens.len() {
+            break;
+        }
+        let field = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => panic!("serde_derive shim: expected field name, got {other}"),
+        };
+        fields.push(field);
+        i += 1;
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == ':' => i += 1,
+            other => panic!("serde_derive shim: expected `:`, got {other}"),
+        }
+        // Consume the type: until a comma at angle-bracket depth 0.
+        let mut angle: i32 = 0;
+        while i < tokens.len() {
+            match &tokens[i] {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => {
+                    i += 1;
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+    }
+    fields
+}
+
+/// Enum variants: `Name`, `Name(Type)`, `Name(A, B)` — no struct variants.
+fn parse_enum_variants(body: TokenStream) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        i = skip_attrs_and_vis(&tokens, i);
+        if i >= tokens.len() {
+            break;
+        }
+        let name = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => panic!("serde_derive shim: expected variant name, got {other}"),
+        };
+        i += 1;
+        let mut arity = 0;
+        if let Some(TokenTree::Group(g)) = tokens.get(i) {
+            if g.delimiter() == Delimiter::Parenthesis {
+                arity = count_top_level_fields(g.stream());
+                i += 1;
+            } else {
+                panic!("serde_derive shim: struct variants are not supported ({name})");
+            }
+        }
+        variants.push(Variant { name, arity });
+        if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+            if p.as_char() == ',' {
+                i += 1;
+            }
+        }
+    }
+    variants
+}
+
+/// Counts comma-separated entries at angle-bracket depth 0.
+fn count_top_level_fields(body: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut count = 1;
+    let mut angle: i32 = 0;
+    let mut saw_token_since_comma = false;
+    for t in &tokens {
+        match t {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => {
+                count += 1;
+                saw_token_since_comma = false;
+                continue;
+            }
+            _ => {}
+        }
+        saw_token_since_comma = true;
+    }
+    if !saw_token_since_comma {
+        // Trailing comma.
+        count -= 1;
+    }
+    count
+}
+
+/// Derives `serde::Serialize` via the shim's `Value` tree.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let out = match parse_item(input) {
+        Item::Struct { name, fields } => {
+            let pushes: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(String::from(\"{f}\"), ::serde::Serialize::to_value(&self.{f})),"
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         ::serde::Value::Object(vec![{pushes}])\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let arms: String = variants
+                .iter()
+                .map(|v| {
+                    let vn = &v.name;
+                    match v.arity {
+                        0 => format!(
+                            "{name}::{vn} => ::serde::Value::Str(String::from(\"{vn}\")),"
+                        ),
+                        1 => format!(
+                            "{name}::{vn}(x0) => ::serde::Value::Object(vec![(String::from(\"{vn}\"), ::serde::Serialize::to_value(x0))]),"
+                        ),
+                        n => {
+                            let binds: Vec<String> = (0..n).map(|k| format!("x{k}")).collect();
+                            let elems: String = binds
+                                .iter()
+                                .map(|b| format!("::serde::Serialize::to_value({b}),"))
+                                .collect();
+                            format!(
+                                "{name}::{vn}({}) => ::serde::Value::Object(vec![(String::from(\"{vn}\"), ::serde::Value::Array(vec![{elems}]))]),",
+                                binds.join(", ")
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         match self {{ {arms} }}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    };
+    out.parse().expect("serde_derive shim: generated invalid Serialize impl")
+}
+
+/// Derives `serde::Deserialize` via the shim's `Value` tree.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let out = match parse_item(input) {
+        Item::Struct { name, fields } => {
+            let inits: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{f}: ::serde::Deserialize::from_value(value.get_field(\"{f}\")\
+                             .ok_or_else(|| ::serde::DeError::new(\"missing field `{f}` in {name}\"))?)\
+                             .map_err(|e| e.in_context(\"{name}.{f}\"))?,"
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(value: &::serde::Value) -> Result<Self, ::serde::DeError> {{\n\
+                         Ok({name} {{ {inits} }})\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let unit_arms: String = variants
+                .iter()
+                .filter(|v| v.arity == 0)
+                .map(|v| format!("\"{0}\" => Ok({name}::{0}),", v.name))
+                .collect();
+            let payload_arms: String = variants
+                .iter()
+                .filter(|v| v.arity > 0)
+                .map(|v| {
+                    let vn = &v.name;
+                    if v.arity == 1 {
+                        format!(
+                            "\"{vn}\" => Ok({name}::{vn}(::serde::Deserialize::from_value(payload)\
+                                 .map_err(|e| e.in_context(\"{name}::{vn}\"))?)),"
+                        )
+                    } else {
+                        let elems: Vec<String> = (0..v.arity)
+                            .map(|k| {
+                                format!(
+                                    "::serde::Deserialize::from_value(items.get({k})\
+                                         .ok_or_else(|| ::serde::DeError::new(\"short tuple for {name}::{vn}\"))?)\
+                                         .map_err(|e| e.in_context(\"{name}::{vn}.{k}\"))?"
+                                )
+                            })
+                            .collect();
+                        format!(
+                            "\"{vn}\" => {{\n\
+                                 let items = payload.as_array().ok_or_else(|| ::serde::DeError::new(\"expected tuple payload for {name}::{vn}\"))?;\n\
+                                 Ok({name}::{vn}({}))\n\
+                             }},",
+                            elems.join(", ")
+                        )
+                    }
+                })
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(value: &::serde::Value) -> Result<Self, ::serde::DeError> {{\n\
+                         match value {{\n\
+                             ::serde::Value::Str(s) => match s.as_str() {{\n\
+                                 {unit_arms}\n\
+                                 other => Err(::serde::DeError::new(format!(\"unknown {name} variant `{{other}}`\"))),\n\
+                             }},\n\
+                             ::serde::Value::Object(fields) if fields.len() == 1 => {{\n\
+                                 let (tag, payload) = &fields[0];\n\
+                                 match tag.as_str() {{\n\
+                                     {payload_arms}\n\
+                                     other => Err(::serde::DeError::new(format!(\"unknown {name} variant `{{other}}`\"))),\n\
+                                 }}\n\
+                             }}\n\
+                             _ => Err(::serde::DeError::new(\"expected string or single-key object for enum {name}\")),\n\
+                         }}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    };
+    out.parse().expect("serde_derive shim: generated invalid Deserialize impl")
+}

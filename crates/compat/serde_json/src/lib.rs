@@ -1,0 +1,406 @@
+//! Minimal, dependency-free stand-in for the parts of `serde_json` this
+//! workspace uses: `to_string[_pretty]`, `to_writer`, `from_str`, and
+//! `from_reader`, routed through the serde shim's owned [`serde::Value`]
+//! tree.  Floats are printed with Rust's shortest round-trip formatter,
+//! so `f32`/`f64` fields survive a save/load cycle bit-exactly.
+
+#![forbid(unsafe_code)]
+
+use serde::{DeError, Deserialize, Serialize, Value};
+use std::io::{Read, Write};
+
+/// Serialisation / deserialisation error.
+#[derive(Debug)]
+pub enum Error {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// Malformed JSON text.
+    Parse(String),
+    /// Tree-to-type conversion failure.
+    De(DeError),
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Io(e) => write!(f, "io error: {e}"),
+            Self::Parse(msg) => write!(f, "json parse error: {msg}"),
+            Self::De(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<DeError> for Error {
+    fn from(e: DeError) -> Self {
+        Self::De(e)
+    }
+}
+
+impl From<std::io::Error> for Error {
+    fn from(e: std::io::Error) -> Self {
+        Self::Io(e)
+    }
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn write_num(out: &mut String, n: f64) {
+    if !n.is_finite() {
+        out.push_str("null");
+    } else if n == n.trunc() && n.abs() < 1e15 {
+        out.push_str(&format!("{}", n as i64));
+    } else {
+        out.push_str(&format!("{n}"));
+    }
+}
+
+fn write_value(out: &mut String, v: &Value, pretty: bool, depth: usize) {
+    let pad = |out: &mut String, d: usize| {
+        if pretty {
+            out.push('\n');
+            for _ in 0..d {
+                out.push_str("  ");
+            }
+        }
+    };
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::Num(n) => write_num(out, *n),
+        Value::Str(s) => write_escaped(out, s),
+        Value::Array(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                pad(out, depth + 1);
+                write_value(out, item, pretty, depth + 1);
+            }
+            if !items.is_empty() {
+                pad(out, depth);
+            }
+            out.push(']');
+        }
+        Value::Object(fields) => {
+            out.push('{');
+            for (i, (k, val)) in fields.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                pad(out, depth + 1);
+                write_escaped(out, k);
+                out.push(':');
+                if pretty {
+                    out.push(' ');
+                }
+                write_value(out, val, pretty, depth + 1);
+            }
+            if !fields.is_empty() {
+                pad(out, depth);
+            }
+            out.push('}');
+        }
+    }
+}
+
+/// Renders `value` as compact JSON.
+///
+/// # Errors
+/// Infallible for tree-backed values; the `Result` mirrors serde_json.
+pub fn to_string<T: Serialize>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&mut out, &value.to_value(), false, 0);
+    Ok(out)
+}
+
+/// Renders `value` as two-space-indented JSON.
+///
+/// # Errors
+/// Infallible for tree-backed values; the `Result` mirrors serde_json.
+pub fn to_string_pretty<T: Serialize>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&mut out, &value.to_value(), true, 0);
+    Ok(out)
+}
+
+/// Writes compact JSON to `writer`.
+///
+/// # Errors
+/// Propagates I/O failures.
+pub fn to_writer<W: Write, T: Serialize>(mut writer: W, value: &T) -> Result<(), Error> {
+    writer.write_all(to_string(value)?.as_bytes())?;
+    Ok(())
+}
+
+/// Parses a value of type `T` from JSON text.
+///
+/// # Errors
+/// Malformed JSON or tree/type mismatches.
+pub fn from_str<T: Deserialize>(text: &str) -> Result<T, Error> {
+    let mut parser = Parser { bytes: text.as_bytes(), pos: 0 };
+    parser.skip_ws();
+    let value = parser.parse_value()?;
+    parser.skip_ws();
+    if parser.pos != parser.bytes.len() {
+        return Err(Error::Parse(format!("trailing bytes at offset {}", parser.pos)));
+    }
+    Ok(T::from_value(&value)?)
+}
+
+/// Reads all of `reader` and parses a value of type `T`.
+///
+/// # Errors
+/// I/O failures, malformed JSON, or tree/type mismatches.
+pub fn from_reader<R: Read, T: Deserialize>(mut reader: R) -> Result<T, Error> {
+    let mut text = String::new();
+    reader.read_to_string(&mut text)?;
+    from_str(&text)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while let Some(b) = self.bytes.get(self.pos) {
+            if matches!(b, b' ' | b'\t' | b'\n' | b'\r') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), Error> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(Error::Parse(format!(
+                "expected `{}` at offset {}",
+                b as char, self.pos
+            )))
+        }
+    }
+
+    fn parse_value(&mut self) -> Result<Value, Error> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'{') => self.parse_object(),
+            Some(b'[') => self.parse_array(),
+            Some(b'"') => Ok(Value::Str(self.parse_string()?)),
+            Some(b't') => self.parse_keyword("true", Value::Bool(true)),
+            Some(b'f') => self.parse_keyword("false", Value::Bool(false)),
+            Some(b'n') => self.parse_keyword("null", Value::Null),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.parse_number(),
+            other => Err(Error::Parse(format!(
+                "unexpected {:?} at offset {}",
+                other.map(|c| c as char),
+                self.pos
+            ))),
+        }
+    }
+
+    fn parse_keyword(&mut self, word: &str, value: Value) -> Result<Value, Error> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(Error::Parse(format!("bad keyword at offset {}", self.pos)))
+        }
+    }
+
+    fn parse_number(&mut self) -> Result<Value, Error> {
+        let start = self.pos;
+        while let Some(b) = self.peek() {
+            if b.is_ascii_digit() || matches!(b, b'-' | b'+' | b'.' | b'e' | b'E') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| Error::Parse("non-utf8 number".into()))?;
+        text.parse::<f64>()
+            .map(Value::Num)
+            .map_err(|_| Error::Parse(format!("bad number `{text}` at offset {start}")))
+    }
+
+    fn parse_string(&mut self) -> Result<String, Error> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(Error::Parse("unterminated string".into())),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos + 1..self.pos + 5)
+                                .ok_or_else(|| Error::Parse("short \\u escape".into()))?;
+                            let hex = std::str::from_utf8(hex)
+                                .map_err(|_| Error::Parse("bad \\u escape".into()))?;
+                            let code = u32::from_str_radix(hex, 16)
+                                .map_err(|_| Error::Parse("bad \\u escape".into()))?;
+                            out.push(
+                                char::from_u32(code)
+                                    .ok_or_else(|| Error::Parse("bad \\u code point".into()))?,
+                            );
+                            self.pos += 4;
+                        }
+                        other => {
+                            return Err(Error::Parse(format!("bad escape {other:?}")));
+                        }
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Consume one UTF-8 scalar (multi-byte safe).
+                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
+                        .map_err(|_| Error::Parse("non-utf8 string".into()))?;
+                    let c = rest.chars().next().expect("peeked non-empty");
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn parse_array(&mut self) -> Result<Value, Error> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            items.push(self.parse_value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => {
+                    self.pos += 1;
+                }
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                _ => return Err(Error::Parse(format!("bad array at offset {}", self.pos))),
+            }
+        }
+    }
+
+    fn parse_object(&mut self) -> Result<Value, Error> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Object(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.parse_string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            let value = self.parse_value()?;
+            fields.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => {
+                    self.pos += 1;
+                }
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Object(fields));
+                }
+                _ => return Err(Error::Parse(format!("bad object at offset {}", self.pos))),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_round_trips() {
+        for text in ["null", "true", "false", "0", "-12", "3.25", "\"hi\\nthere\""] {
+            let v: Value = from_str(text).unwrap();
+            let back = to_string(&v).unwrap();
+            let v2: Value = from_str(&back).unwrap();
+            assert_eq!(v, v2, "{text}");
+        }
+    }
+
+    #[test]
+    fn f32_survives_round_trip_bit_exactly() {
+        let xs: Vec<f32> = (0..2000).map(|i| ((i as f32) * 0.7315).sin() / 3.0).collect();
+        let json = to_string(&xs).unwrap();
+        let back: Vec<f32> = from_str(&json).unwrap();
+        assert_eq!(xs, back);
+    }
+
+    #[test]
+    fn nested_structures_round_trip() {
+        let v = Value::Object(vec![
+            ("a".into(), Value::Array(vec![Value::Num(1.0), Value::Null])),
+            ("b".into(), Value::Str("x \"y\" z".into())),
+            ("empty".into(), Value::Object(vec![])),
+        ]);
+        let compact = to_string(&v).unwrap();
+        let pretty = to_string_pretty(&v).unwrap();
+        let from_compact: Value = from_str(&compact).unwrap();
+        let from_pretty: Value = from_str(&pretty).unwrap();
+        assert_eq!(v, from_compact);
+        assert_eq!(v, from_pretty);
+    }
+
+    #[test]
+    fn garbage_is_rejected() {
+        assert!(from_str::<Value>("not json").is_err());
+        assert!(from_str::<Value>("{\"a\": }").is_err());
+        assert!(from_str::<Value>("[1, 2").is_err());
+        assert!(from_str::<Value>("1 2").is_err());
+    }
+}

@@ -11,7 +11,7 @@
 use std::time::Instant;
 
 use must_graph::search::{beam_search, VisitedSet};
-use must_graph::{FnScorer, Graph, GraphRecipe, SearchParams, SimilarityOracle};
+use must_graph::{Graph, GraphRecipe, SearchParams, SimilarityOracle};
 use must_vector::{kernels, MultiQuery, MultiVectorSet, ObjectId, VectorSet};
 
 use crate::MustError;
@@ -117,6 +117,11 @@ impl<'a> MultiStreamedRetrieval<'a> {
     /// Runs one sub-query per supplied modality with candidate-set size
     /// `l_candidates`, then merges (Section III / VIII-D).
     ///
+    /// # Panics
+    /// When a supplied query slot's dimensionality does not match its
+    /// modality's vector set (queries must come from the same encoder
+    /// configuration as the corpus).
+    ///
     /// Merge rule: candidates present in *every* sub-query's set form the
     /// intersection, ranked by their unweighted similarity sum (modality
     /// importance is unknown to MR); if the intersection is smaller than
@@ -133,7 +138,8 @@ impl<'a> MultiStreamedRetrieval<'a> {
         for (mi, graph) in self.graphs.iter().enumerate() {
             let Some(slot) = query.slot(mi) else { continue };
             let set = self.set.modality(mi);
-            let scorer = FnScorer(|id| set.ip_to(id, slot));
+            let scorer = crate::oracle::SingleModalityScorer::new(set, slot)
+                .expect("corpus and query dimensions agree per modality");
             let params = SearchParams::new(l_candidates, l_candidates.max(k));
             let res = beam_search(graph, &scorer, params, visited, 0x111 + mi as u64);
             per_modality.push(res.results);
@@ -228,7 +234,8 @@ impl<'a> JointEmbedding<'a> {
                 self.set.dim()
             )));
         }
-        let scorer = FnScorer(|id| self.set.ip_to(id, slot));
+        let scorer = crate::oracle::SingleModalityScorer::new(self.set, slot)
+            .expect("dimensions checked above");
         let res = beam_search(&self.graph, &scorer, SearchParams::new(k, l), visited, 0x7E);
         Ok(res.results)
     }

@@ -5,7 +5,7 @@
 use must_graph::{QueryScorer, SimilarityOracle};
 use must_vector::{
     JointDistance, MultiQuery, MultiVectorSet, PartialIpVerdict, QueryEvaluator, VectorError,
-    Weights,
+    VectorSet, Weights,
 };
 
 /// Joint-similarity oracle over a multi-vector corpus under fixed weights —
@@ -118,6 +118,38 @@ impl QueryScorer for MustQueryScorer<'_, '_> {
             PartialIpVerdict::Exact(v) => Some(v),
             PartialIpVerdict::Pruned => None,
         }
+    }
+}
+
+/// Scorer for one modality's vector set against a single query slot — the
+/// baselines' (MR sub-queries, JE composition search) entry into the same
+/// [`QueryScorer`] seam the joint search uses, replacing ad-hoc closures.
+///
+/// Single vectors have no prefix structure, so the default
+/// [`QueryScorer::score_pruned`] (exact score, threshold discard) is
+/// already optimal; only MUST's multi-vector scorer adds the Lemma-4
+/// prefix bound on top.
+pub struct SingleModalityScorer<'a> {
+    set: &'a VectorSet,
+    query: &'a [f32],
+}
+
+impl<'a> SingleModalityScorer<'a> {
+    /// Binds a modality's corpus-side vectors to one query slot.
+    ///
+    /// # Errors
+    /// Dimension mismatch between the slot and the vector set.
+    pub fn new(set: &'a VectorSet, query: &'a [f32]) -> Result<Self, VectorError> {
+        if query.len() != set.dim() {
+            return Err(VectorError::DimensionMismatch { expected: set.dim(), got: query.len() });
+        }
+        Ok(Self { set, query })
+    }
+}
+
+impl QueryScorer for SingleModalityScorer<'_> {
+    fn score(&self, id: u32) -> f32 {
+        self.set.ip_to(id, self.query)
     }
 }
 

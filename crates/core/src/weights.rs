@@ -249,12 +249,12 @@ impl WeightLearner {
 
                 // Gradient: sum_j pi_j s_i(j) - s_i(pos).
                 let pi_pos = e_pos / denom;
-                for i in 0..m {
+                for (i, gu) in grad_u.iter_mut().enumerate() {
                     let mut g = (pi_pos - 1.0) * self.s(a, pos)[i] as f64;
                     for (e, &o) in e_negs.iter().zip(&negatives) {
                         g += (e / denom) * self.s(a, o)[i] as f64;
                     }
-                    grad_u[i] += g;
+                    *gu += g;
                 }
             }
 
@@ -401,43 +401,43 @@ mod tests {
             .collect();
         let loss = |u: &[f32]| -> f64 {
             let mut total = 0.0;
-            for a in 0..learner.num_anchors() {
+            for (a, negs) in negatives.iter().enumerate() {
                 let pos = learner.positives[a];
                 let s_pos = learner.joint(a, pos, u) as f64;
                 let mut denom = s_pos.exp();
-                for &o in &negatives[a] {
+                for &o in negs {
                     denom += (learner.joint(a, o, u) as f64).exp();
                 }
                 total += -(s_pos.exp() / denom).ln();
             }
             total / learner.num_anchors() as f64
         };
-        let u = vec![0.4f32, 0.7];
+        let u = [0.4f32, 0.7];
         // Analytic gradient in u.
-        let mut grad = vec![0.0f64; 2];
-        for a in 0..learner.num_anchors() {
+        let mut grad = [0.0f64; 2];
+        for (a, negs) in negatives.iter().enumerate() {
             let pos = learner.positives[a];
             let s_pos = learner.joint(a, pos, &u) as f64;
             let e_pos = s_pos.exp();
-            let e_negs: Vec<f64> = negatives[a]
+            let e_negs: Vec<f64> = negs
                 .iter()
                 .map(|&o| (learner.joint(a, o, &u) as f64).exp())
                 .collect();
             let denom = e_pos + e_negs.iter().sum::<f64>();
-            for i in 0..2 {
+            for (i, gr) in grad.iter_mut().enumerate() {
                 let mut g = (e_pos / denom - 1.0) * learner.s(a, pos)[i] as f64;
-                for (e, &o) in e_negs.iter().zip(&negatives[a]) {
+                for (e, &o) in e_negs.iter().zip(negs) {
                     g += (e / denom) * learner.s(a, o)[i] as f64;
                 }
-                grad[i] += g / learner.num_anchors() as f64;
+                *gr += g / learner.num_anchors() as f64;
             }
         }
         // Numerical gradient.
         let h = 1e-3f32;
         for i in 0..2 {
-            let mut up = u.clone();
+            let mut up = u;
             up[i] += h;
-            let mut dn = u.clone();
+            let mut dn = u;
             dn[i] -= h;
             let num = (loss(&up) - loss(&dn)) / (2.0 * h as f64);
             assert!(

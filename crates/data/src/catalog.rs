@@ -28,19 +28,31 @@ fn scaled(base: usize, scale: f64) -> usize {
     ((base as f64 * scale).round() as usize).max(64)
 }
 
+/// Scales an attribute vocabulary with the corpus so the per-attribute
+/// object pool keeps the paper's ambiguity ratio (e.g. MIT-States: 53 k
+/// objects over 115 adjectives ≈ 470 per adjective, comfortably above a
+/// merge-baseline candidate budget).  Never drops below `floor` so query
+/// generation (which needs a source *and* a target attribute per class)
+/// stays well-posed.
+fn scaled_vocab(base: usize, scale: f64, floor: usize) -> usize {
+    ((base as f64 * scale).round() as usize).clamp(floor, base)
+}
+
 /// MIT-States: image + free-text state description
 /// (Tab. III; 53 743 objects in the paper).
 pub fn mit_states(scale: f64, seed: u64) -> LatentDataset {
+    let n_attrs = scaled_vocab(40, scale, 4);
     structured::generate(&StructuredSpec {
         name: "MIT-States".into(),
         n_objects: scaled(16_000, scale),
         n_queries: scaled(1_500, scale.min(1.0)),
         n_classes: 245,
-        // 40 attribute prototypes: scaled with the corpus so the
-        // per-attribute pool exceeds MR's candidate budget, preserving the
-        // paper's ambiguity ratio (53k objects / 115 adjectives there).
-        n_attrs: 40,
-        attrs_per_class: 9,
+        // 40 attribute prototypes at full scale, shrunk with the corpus so
+        // the per-attribute pool exceeds a merge baseline's candidate
+        // budget, preserving the paper's ambiguity ratio (53k objects /
+        // 115 adjectives there).
+        n_attrs,
+        attrs_per_class: 9.min(n_attrs),
         jitter: 0.25,
         text_variation: 0.10,
         reference_noise: 0.22,
@@ -53,13 +65,16 @@ pub fn mit_states(scale: f64, seed: u64) -> LatentDataset {
 /// CelebA: face image + structured attribute text (Tab. IV; 191 549
 /// objects in the paper).
 pub fn celeba(scale: f64, seed: u64) -> LatentDataset {
+    let n_attrs = scaled_vocab(30, scale, 4);
     structured::generate(&StructuredSpec {
         name: "CelebA".into(),
         n_objects: scaled(20_000, scale),
         n_queries: scaled(1_500, scale.min(1.0)),
         n_classes: 2_000, // identities
-        n_attrs: 30,      // attribute combinations (shared by ~650 faces each)
-        attrs_per_class: 4,
+        // Attribute combinations (shared by ~650 faces each in the paper),
+        // shrunk with the corpus to preserve that sharing ratio.
+        n_attrs,
+        attrs_per_class: 4.min(n_attrs),
         jitter: 0.12,
         text_variation: 0.0, // structured encoding: identical text per combo
         reference_noise: 0.07,
@@ -78,13 +93,14 @@ pub fn celeba_plus(m: usize, scale: f64, seed: u64) -> LatentDataset {
     for _ in 2..m {
         roles.push(ModalityRole::GroundedAux);
     }
+    let n_attrs = scaled_vocab(30, scale, 4);
     let mut ds = structured::generate(&StructuredSpec {
         name: format!("CelebA+(m={m})"),
         n_objects: scaled(20_000, scale),
         n_queries: scaled(1_500, scale.min(1.0)),
         n_classes: 2_000,
-        n_attrs: 30,
-        attrs_per_class: 4,
+        n_attrs,
+        attrs_per_class: 4.min(n_attrs),
         jitter: 0.12,
         text_variation: 0.0,
         reference_noise: 0.07,
@@ -103,13 +119,15 @@ pub fn shopping(category: ShoppingCategory, scale: f64, seed: u64) -> LatentData
         ShoppingCategory::TShirt => ("Shopping (T-shirt)", 0x7511u64),
         ShoppingCategory::Bottoms => ("Shopping (Bottoms)", 0xB077u64),
     };
+    let n_attrs = scaled_vocab(20, scale, 4);
     structured::generate(&StructuredSpec {
         name: name.into(),
         n_objects: scaled(12_000, scale),
         n_queries: scaled(1_200, scale.min(1.0)),
         n_classes: 800, // garment designs
-        n_attrs: 20,    // fabric x colour x pattern combinations
-        attrs_per_class: 6,
+        // Fabric x colour x pattern combinations, shrunk with the corpus.
+        n_attrs,
+        attrs_per_class: 6.min(n_attrs),
         jitter: 0.14,
         text_variation: 0.0,
         reference_noise: 0.10,
@@ -124,13 +142,14 @@ pub fn shopping(category: ShoppingCategory, scale: f64, seed: u64) -> LatentData
 /// intra-class variation make it the hardest dataset (recall reported at
 /// k = 10/50/100).
 pub fn ms_coco(scale: f64, seed: u64) -> LatentDataset {
+    let n_attrs = scaled_vocab(300, scale, 8);
     structured::generate(&StructuredSpec {
         name: "MS-COCO".into(),
         n_objects: scaled(10_000, scale),
         n_queries: scaled(600, scale.min(1.0)),
         n_classes: 80,
-        n_attrs: 300,
-        attrs_per_class: 24,
+        n_attrs,
+        attrs_per_class: 24.min(n_attrs),
         jitter: 0.30, // large intra-class variation
         text_variation: 0.08,
         reference_noise: 0.18,

@@ -62,8 +62,8 @@ impl EncoderConfig {
 pub struct EncoderRegistry {
     space: LatentSpace,
     seed: u64,
-    unimodal: parking_lot::Mutex<BTreeMap<UnimodalKind, Arc<UnimodalEncoder>>>,
-    composers: parking_lot::Mutex<BTreeMap<ComposerKind, Arc<MultimodalEncoder>>>,
+    unimodal: std::sync::Mutex<BTreeMap<UnimodalKind, Arc<UnimodalEncoder>>>,
+    composers: std::sync::Mutex<BTreeMap<ComposerKind, Arc<MultimodalEncoder>>>,
 }
 
 impl EncoderRegistry {
@@ -72,8 +72,8 @@ impl EncoderRegistry {
         Self {
             space,
             seed,
-            unimodal: parking_lot::Mutex::new(BTreeMap::new()),
-            composers: parking_lot::Mutex::new(BTreeMap::new()),
+            unimodal: std::sync::Mutex::new(BTreeMap::new()),
+            composers: std::sync::Mutex::new(BTreeMap::new()),
         }
     }
 
@@ -86,6 +86,7 @@ impl EncoderRegistry {
     pub fn unimodal(&self, kind: UnimodalKind) -> Arc<UnimodalEncoder> {
         self.unimodal
             .lock()
+            .expect("registry lock not poisoned")
             .entry(kind)
             .or_insert_with(|| Arc::new(UnimodalEncoder::new(kind, self.space, self.seed)))
             .clone()
@@ -95,6 +96,7 @@ impl EncoderRegistry {
     pub fn composer(&self, kind: ComposerKind) -> Arc<MultimodalEncoder> {
         self.composers
             .lock()
+            .expect("registry lock not poisoned")
             .entry(kind)
             .or_insert_with(|| Arc::new(MultimodalEncoder::new(kind, self.space, self.seed)))
             .clone()

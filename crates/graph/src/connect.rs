@@ -68,14 +68,25 @@ pub fn ensure_connectivity<O: SimilarityOracle>(
         }
         let orphan = cursor as u32;
         // Best bridge head: most similar among sampled reached vertices.
+        // A sample budget covering the whole pool degrades to an exact
+        // scan — sampling with replacement would otherwise miss vertices.
         let mut best = graph.seed();
         let mut best_sim = oracle.sim(best, orphan);
-        for _ in 0..sample.min(reached_pool.len()) {
-            let cand = reached_pool[rng.random_range(0..reached_pool.len())];
+        let consider = |cand: u32, best: &mut u32, best_sim: &mut f32| {
             let s = oracle.sim(cand, orphan);
-            if s > best_sim {
-                best_sim = s;
-                best = cand;
+            if s > *best_sim {
+                *best_sim = s;
+                *best = cand;
+            }
+        };
+        if sample >= reached_pool.len() {
+            for &cand in &reached_pool {
+                consider(cand, &mut best, &mut best_sim);
+            }
+        } else {
+            for _ in 0..sample {
+                let cand = reached_pool[rng.random_range(0..reached_pool.len())];
+                consider(cand, &mut best, &mut best_sim);
             }
         }
         graph.neighbors_mut(best).push(orphan);

@@ -161,8 +161,8 @@ pub fn exact_knn_sample<O: SimilarityOracle>(
     gamma: usize,
     threads: usize,
 ) -> Vec<NeighborList> {
-    let out: parking_lot::Mutex<Vec<(usize, NeighborList)>> =
-        parking_lot::Mutex::new(Vec::with_capacity(vertices.len()));
+    let out: std::sync::Mutex<Vec<(usize, NeighborList)>> =
+        std::sync::Mutex::new(Vec::with_capacity(vertices.len()));
     par_for(vertices.len(), threads, |i| {
         let o = vertices[i];
         let mut list = NeighborList::with_capacity(gamma);
@@ -173,9 +173,9 @@ pub fn exact_knn_sample<O: SimilarityOracle>(
             let sim = oracle.sim(o, id);
             insert_bounded(&mut list, Neighbor { id, sim }, gamma);
         }
-        out.lock().push((i, list));
+        out.lock().expect("no poisoned workers").push((i, list));
     });
-    let mut v = out.into_inner();
+    let mut v = out.into_inner().expect("no poisoned workers");
     v.sort_unstable_by_key(|(i, _)| *i);
     v.into_iter().map(|(_, l)| l).collect()
 }

@@ -24,6 +24,14 @@ pub struct SearchParams {
 impl SearchParams {
     /// Standard parameters: pool size `l`, `k` results, random
     /// initialisation on (faithful to Algorithm 2).
+    ///
+    /// # Panics
+    /// When `l < k` (the result pool must hold all `k` results) or
+    /// `k == 0`.
+    ///
+    /// ```should_panic
+    /// must_graph::SearchParams::new(5, 3); // l < k
+    /// ```
     pub fn new(k: usize, l: usize) -> Self {
         assert!(l >= k, "pool size l must be at least k");
         assert!(k > 0, "k must be positive");
@@ -31,6 +39,9 @@ impl SearchParams {
     }
 
     /// Same but starting from the seed only.
+    ///
+    /// # Panics
+    /// As [`SearchParams::new`]: when `l < k` or `k == 0`.
     pub fn seed_only(k: usize, l: usize) -> Self {
         Self { random_init: false, ..Self::new(k, l) }
     }

@@ -35,7 +35,18 @@ impl<'a> JointDistance<'a> {
     ///
     /// # Errors
     /// [`VectorError::WeightArity`] when `weights` does not cover every
-    /// modality of `set`.
+    /// modality of `set`:
+    ///
+    /// ```
+    /// use must_vector::{JointDistance, MultiVectorSet, VectorError, VectorSetBuilder, Weights};
+    /// let mut b = VectorSetBuilder::new(2, 1);
+    /// b.push_normalized(&[1.0, 0.0]).unwrap();
+    /// let set = MultiVectorSet::new(vec![b.finish()]).unwrap();
+    /// assert_eq!(
+    ///     JointDistance::new(&set, Weights::uniform(2)).unwrap_err(),
+    ///     VectorError::WeightArity { modalities: 1, weights: 2 },
+    /// );
+    /// ```
     pub fn new(set: &'a MultiVectorSet, weights: Weights) -> Result<Self, VectorError> {
         if weights.modalities() != set.num_modalities() {
             return Err(VectorError::WeightArity {

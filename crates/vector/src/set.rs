@@ -37,10 +37,10 @@ impl VectorSet {
     /// Returns [`VectorError::DimensionMismatch`] when `data.len()` is not a
     /// multiple of `dim`.
     pub fn from_flat(dim: usize, data: Vec<f32>) -> Result<Self, VectorError> {
-        if dim == 0 || data.len() % dim != 0 {
+        if dim == 0 || !data.len().is_multiple_of(dim) {
             return Err(VectorError::DimensionMismatch {
                 expected: dim,
-                got: data.len() % dim.max(1),
+                got: if dim == 0 { data.len() } else { data.len() % dim },
             });
         }
         Ok(Self { dim, data })

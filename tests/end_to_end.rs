@@ -40,6 +40,55 @@ fn pipeline() -> Pipeline {
     Pipeline { embedded, weights: learned.weights }
 }
 
+/// Workspace smoke test: a tiny corpus goes latent → embed → build →
+/// search in seconds, the fused index agrees with brute force on top-1,
+/// and the Lemma-4 prefix bound actually prunes candidate evaluations
+/// (`SearchStats::pruned > 0`) without changing results.
+#[test]
+fn tiny_corpus_build_search_roundtrip() {
+    let ds = must::data::catalog::mit_states(0.03, 7);
+    let registry = EncoderRegistry::new(LatentSpace::DEFAULT, 7);
+    let embedded = embed_dataset(&ds, &clip_lstm(), &registry);
+    let must = Must::build(
+        embedded.objects.clone(),
+        Weights::uniform(2),
+        MustBuildOptions { gamma: 16, ..Default::default() },
+    )
+    .unwrap();
+    let mut searcher = must.searcher();
+
+    let (mut agree, mut pruned_total, total) = (0usize, 0u64, 25usize);
+    for q in embedded.queries.iter().take(total) {
+        let exact = must.brute_force(&q.query, 1).unwrap();
+        let approx = searcher.search(&q.query, 1, 120).unwrap();
+        if exact.results[0].0 == approx.results[0].0 {
+            agree += 1;
+        }
+        pruned_total += approx.stats.pruned;
+        assert!(
+            approx.stats.evaluated >= approx.stats.pruned,
+            "stats coherence: {:?}",
+            approx.stats
+        );
+    }
+    // Recall vs. brute force: the fused index must agree on (almost)
+    // every top-1 at this pool size.
+    assert!(agree * 10 >= total * 9, "top-1 agreement {agree}/{total}");
+    // The Lemma-4 multi-vector optimisation must actually fire on a
+    // pruned fused-index search.
+    assert!(pruned_total > 0, "expected non-zero pruned candidate count");
+
+    // And switching pruning off preserves results (the Fig. 10(c) claim).
+    let q = embedded.queries[0].query.clone();
+    let with = searcher.search(&q, 5, 80).unwrap();
+    drop(searcher);
+    let mut must = must;
+    must.set_prune(false);
+    let without = must.search(&q, 5, 80).unwrap();
+    let ids = |r: &[(u32, f32)]| r.iter().map(|x| x.0).collect::<Vec<_>>();
+    assert_eq!(ids(&with.results), ids(&without));
+}
+
 /// The paper's headline accuracy claim, end to end: MUST's weighted joint
 /// similarity beats both the MR merge and the JE single-vector search on
 /// the same corpus and queries.
