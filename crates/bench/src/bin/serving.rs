@@ -1,0 +1,143 @@
+//! Online-serving throughput bench: sweeps worker-thread counts and
+//! arrival-batch sizes over a MIT-States-style corpus served by
+//! [`must_core::MustServer`], reporting QPS, p50/p99 per-query latency,
+//! and Recall@10 against the exact joint-similarity oracle.
+//!
+//! Writes `BENCH_serving.json` at the repository root (override with
+//! `MUST_BENCH_PATH`) plus a copy under `EXPERIMENTS-out/`, so the bench
+//! trajectory tracks serving performance across PRs.  Scale with
+//! `MUST_SCALE` as usual (CI runs a tiny smoke configuration).
+
+use std::time::Instant;
+
+use must_bench::efficiency::prepare;
+use must_bench::report::f4;
+use must_core::metrics::recall_at;
+use must_core::server::MustServer;
+use must_core::MustBuildOptions;
+use must_vector::{MultiQuery, ObjectId};
+use serde::Serialize;
+
+/// One `(threads, batch)` operating point.
+#[derive(Debug, Clone, Serialize)]
+struct Entry {
+    threads: usize,
+    batch: usize,
+    qps: f64,
+    p50_ms: f64,
+    p99_ms: f64,
+    recall_at_10: f64,
+}
+
+/// The whole artefact.
+#[derive(Debug, Clone, Serialize)]
+struct ServingBench {
+    bench: String,
+    dataset: String,
+    index: String,
+    n_objects: usize,
+    n_queries: usize,
+    k: usize,
+    l: usize,
+    entries: Vec<Entry>,
+}
+
+fn percentile_ms(sorted_secs: &[f64], p: f64) -> f64 {
+    if sorted_secs.is_empty() {
+        return 0.0;
+    }
+    let idx = ((p / 100.0) * (sorted_secs.len() - 1) as f64).round() as usize;
+    sorted_secs[idx] * 1e3
+}
+
+fn run_point(
+    server: &MustServer,
+    queries: &[MultiQuery],
+    ground_truth: &[Vec<ObjectId>],
+    k: usize,
+    l: usize,
+    threads: usize,
+    batch: usize,
+) -> Entry {
+    let mut latencies: Vec<f64> = Vec::with_capacity(queries.len());
+    let mut recall_sum = 0.0;
+    let t0 = Instant::now();
+    for (qs, gts) in queries.chunks(batch).zip(ground_truth.chunks(batch)) {
+        for (out, gt) in server.search_batch(qs, k, l, threads).into_iter().zip(gts) {
+            let out = out.expect("workload queries are well-formed");
+            latencies.push(out.secs);
+            let ids: Vec<ObjectId> = out.results.iter().map(|r| r.0).collect();
+            recall_sum += recall_at(&ids, gt, k);
+        }
+    }
+    let wall = t0.elapsed().as_secs_f64();
+    latencies.sort_unstable_by(f64::total_cmp);
+    Entry {
+        threads,
+        batch,
+        qps: queries.len() as f64 / wall,
+        p50_ms: percentile_ms(&latencies, 50.0),
+        p99_ms: percentile_ms(&latencies, 99.0),
+        recall_at_10: recall_sum / queries.len() as f64,
+    }
+}
+
+fn main() {
+    let scale = must_bench::scale();
+    let ds = must_data::catalog::mit_states(scale, must_bench::DATASET_SEED);
+    must_bench::banner(&ds);
+    let (k, l) = (10, 100);
+
+    // prepare() learns weights, computes the exact top-k oracle, and
+    // builds the fused index — the offline phase.  freeze() is the
+    // offline→online handover.
+    let setup = prepare(&ds, k, MustBuildOptions::default());
+    let queries = setup.queries;
+    let ground_truth = setup.ground_truth;
+    let server = MustServer::freeze(setup.must);
+    eprintln!(
+        "[serving] {} objects, {} queries, {} index",
+        server.len(),
+        queries.len(),
+        server.index().label()
+    );
+
+    let avail = std::thread::available_parallelism().map_or(1, usize::from);
+    let mut thread_counts: Vec<usize> = [1usize, 2, 4, 8]
+        .into_iter()
+        .filter(|&t| t == 1 || t <= avail.max(2))
+        .collect();
+    thread_counts.dedup();
+    let batches = [16usize, 64];
+
+    let mut entries = Vec::new();
+    for &threads in &thread_counts {
+        for &batch in &batches {
+            let e = run_point(&server, &queries, &ground_truth, k, l, threads, batch);
+            eprintln!(
+                "[serving] threads={threads:<2} batch={batch:<3} qps={:<10} p50={}ms p99={}ms recall@10={}",
+                f4(e.qps),
+                f4(e.p50_ms),
+                f4(e.p99_ms),
+                f4(e.recall_at_10)
+            );
+            entries.push(e);
+        }
+    }
+
+    let artefact = ServingBench {
+        bench: "serving".into(),
+        dataset: ds.name.clone(),
+        index: server.index().label().into(),
+        n_objects: server.len(),
+        n_queries: queries.len(),
+        k,
+        l,
+        entries,
+    };
+    let json = serde_json::to_string_pretty(&artefact).expect("serialisable artefact");
+    let path = std::env::var("MUST_BENCH_PATH").unwrap_or_else(|_| "BENCH_serving.json".into());
+    std::fs::write(&path, &json).expect("can write bench artefact");
+    let _ = std::fs::write(must_bench::out_dir().join("serving.json"), &json);
+    println!("wrote {path}");
+}

@@ -156,13 +156,27 @@ impl Must {
         graph: must_graph::Graph,
         opts: MustBuildOptions,
     ) -> Result<Self, MustError> {
+        Self::from_parts(objects, weights, MustIndex::Flat(graph), opts)
+    }
+
+    /// Reassembles a [`Must`] from a persisted corpus, weights, and a
+    /// prebuilt index of either backend shape (flat graph or layered HNSW)
+    /// — the bundle-v2 load path.
+    ///
+    /// # Errors
+    /// Weight-arity and graph/corpus consistency errors.
+    pub fn from_parts(
+        objects: MultiVectorSet,
+        weights: Weights,
+        index: MustIndex,
+        opts: MustBuildOptions,
+    ) -> Result<Self, MustError> {
         if weights.modalities() != objects.num_modalities() {
             return Err(MustError::Config("weight arity mismatch".into()));
         }
-        if graph.len() != objects.len() {
+        if index.as_ann().len() != objects.len() {
             return Err(MustError::Config("graph/corpus cardinality mismatch".into()));
         }
-        let index = MustIndex::Flat(graph);
         let report = BuildReport {
             recipe: opts.recipe,
             gamma: opts.gamma,
@@ -172,6 +186,15 @@ impl Must {
         };
         let deleted = vec![0u64; objects.len().div_ceil(64)];
         Ok(Self { objects, weights, index, report, prune: opts.prune, deleted, deleted_count: 0 })
+    }
+
+    /// Decomposes the instance into its owned parts
+    /// `(objects, weights, index, prune)` — how [`crate::server::MustServer`]
+    /// takes ownership of a freshly loaded bundle without re-cloning the
+    /// corpus.  Tombstone state is discarded: serving snapshots are frozen
+    /// at reconstruction time, matching the paper's offline/online split.
+    pub fn into_parts(self) -> (MultiVectorSet, Weights, MustIndex, bool) {
+        (self.objects, self.weights, self.index, self.prune)
     }
 
     /// Runs the vector-weight-learning model on `anchors`

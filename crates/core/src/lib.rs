@@ -24,6 +24,11 @@
 //!   (JE), the Section III baselines, plus their brute-force variants.
 //! * [`framework`] — the user-facing [`Must`] API: embed → weigh → index →
 //!   search.
+//! * [`persist`] — the offline/online seam (Fig. 4): bundle v2 binary
+//!   persistence (all backends, HNSW included) plus the legacy v1 JSON.
+//! * [`server`] — the online serving layer: a `Send + Sync`
+//!   [`MustServer`] handle answering queries from many threads with
+//!   results bit-identical to serial execution.
 //!
 //! ## Quick example
 //!
@@ -58,11 +63,13 @@ pub mod metrics;
 pub mod oracle;
 pub mod persist;
 pub mod search;
+pub mod server;
 pub mod weights;
 
 pub use framework::{Must, MustBuildOptions};
 pub use metrics::{recall_at, sme};
 pub use oracle::{JointOracle, MustQueryScorer};
+pub use server::{MustServer, ServeReply, ServeRequest};
 pub use weights::{LearnedWeights, TrainingCurve, WeightLearnConfig, WeightLearner};
 
 /// Crate-level error type.
@@ -72,6 +79,20 @@ pub enum MustError {
     Vector(must_vector::VectorError),
     /// Invalid configuration.
     Config(String),
+    /// I/O or (de)serialisation failure while persisting or loading an
+    /// index bundle.
+    ///
+    /// ```
+    /// use must_core::MustError;
+    ///
+    /// let missing = std::path::Path::new("/definitely/not/here.mustb");
+    /// let Err(err) = must_core::persist::load(missing) else {
+    ///     panic!("loading a missing bundle must fail");
+    /// };
+    /// assert!(matches!(err, MustError::Io(_)));
+    /// assert!(err.to_string().contains("i/o error"));
+    /// ```
+    Io(String),
 }
 
 impl std::fmt::Display for MustError {
@@ -79,6 +100,7 @@ impl std::fmt::Display for MustError {
         match self {
             Self::Vector(e) => write!(f, "vector error: {e}"),
             Self::Config(msg) => write!(f, "configuration error: {msg}"),
+            Self::Io(msg) => write!(f, "i/o error: {msg}"),
         }
     }
 }

@@ -1,19 +1,36 @@
 //! Index persistence: serialise a built MUST instance (corpus + weights +
-//! fused graph in CSR form) to disk and load it back without rebuilding —
-//! what a deployment does between the offline build and online serving
-//! (Fig. 4's offline/online split).
+//! frozen graph) to disk and load it back without rebuilding — what a
+//! deployment does between the offline build and online serving (Fig. 4's
+//! offline/online split).
+//!
+//! Two wire formats coexist:
+//!
+//! * **Bundle v2** (current, [`save`]): a length-prefixed little-endian
+//!   binary layout — magic + version header, raw `f32` vector blocks per
+//!   modality, and the index as flat arrays (CSR for flat-graph backends,
+//!   the flattened layered form for HNSW).  Roughly an order of magnitude
+//!   smaller and faster to load than v1, and it round-trips *every*
+//!   backend, HNSW included.  See `DESIGN.md` §6 for the byte-level table.
+//! * **Bundle v1** ([`save_json`]): the original JSON format, flat-graph
+//!   backends only.  [`load`] sniffs the magic bytes and accepts both.
+//!
+//! I/O and (de)serialisation failures surface as [`MustError::Io`];
+//! semantic problems (unsupported version, corpus/graph inconsistency)
+//! as [`MustError::Config`].
 
-use std::io::{BufReader, BufWriter, Write};
+use std::io::{BufReader, BufWriter, Read, Write};
 use std::path::Path;
 
 use must_graph::csr::CsrGraph;
-use must_vector::{MultiVectorSet, Weights};
+use must_graph::hnsw::{Hnsw, HnswFlat};
+use must_vector::{MultiVectorSet, VectorSet, Weights};
 use serde::{Deserialize, Serialize};
 
 use crate::framework::{Must, MustBuildOptions};
+use crate::index::MustIndex;
 use crate::MustError;
 
-/// The on-disk bundle (JSON; versioned for forward compatibility).
+/// The v1 on-disk bundle (JSON; kept loadable for existing deployments).
 #[derive(Debug, Serialize, Deserialize)]
 pub struct MustBundle {
     /// Format version.
@@ -28,21 +45,226 @@ pub struct MustBundle {
     pub prune: bool,
 }
 
-/// Current bundle version.
+/// Version written by [`save_json`] (the legacy JSON path).
 pub const BUNDLE_VERSION: u32 = 1;
 
-/// Serialises `must` to `path`.  Only flat-graph backends are persistable
-/// (HNSW persistence would need its layered form; the paper's fused index
-/// is flat).
+/// Version written by [`save`] (the binary path).
+pub const BUNDLE_V2_VERSION: u32 = 2;
+
+/// Magic bytes opening every v2 bundle; [`load`] uses them to tell the
+/// binary format from v1 JSON.
+pub const BUNDLE_V2_MAGIC: [u8; 8] = *b"MUSTBNDL";
+
+/// Index-block tag: flat graph in CSR form.
+const INDEX_TAG_CSR: u8 = 0;
+/// Index-block tag: layered HNSW in flattened form.
+const INDEX_TAG_HNSW: u8 = 1;
+
+/// Sanity cap on any length prefix (elements).  Decoders additionally
+/// never pre-allocate more than [`MAX_PREALLOC`] elements up front, so a
+/// corrupt header cannot trigger a huge allocation — memory grows only as
+/// real bytes are decoded, and a truncated file fails at its first
+/// missing byte.
+const MAX_ELEMS: u64 = 1 << 31;
+
+/// Upper bound on speculative `Vec` pre-allocation while decoding.
+const MAX_PREALLOC: usize = 1 << 20;
+
+fn io<E: std::fmt::Display>(ctx: &str) -> impl FnOnce(E) -> MustError + '_ {
+    move |e| MustError::Io(format!("{ctx}: {e}"))
+}
+
+// ---------------------------------------------------------------------------
+// Little-endian primitives.
+
+fn wr_u8(w: &mut impl Write, v: u8) -> Result<(), MustError> {
+    w.write_all(&[v]).map_err(io("write u8"))
+}
+
+fn wr_u32(w: &mut impl Write, v: u32) -> Result<(), MustError> {
+    w.write_all(&v.to_le_bytes()).map_err(io("write u32"))
+}
+
+fn wr_u64(w: &mut impl Write, v: u64) -> Result<(), MustError> {
+    w.write_all(&v.to_le_bytes()).map_err(io("write u64"))
+}
+
+/// Writes a 4-byte-word block through a shared chunk buffer.
+fn wr_words<T: Copy>(
+    w: &mut impl Write,
+    vs: &[T],
+    enc: impl Fn(T) -> [u8; 4],
+) -> Result<(), MustError> {
+    let mut buf = Vec::with_capacity(vs.len().min(1 << 16) * 4);
+    for chunk in vs.chunks(1 << 16) {
+        buf.clear();
+        for &v in chunk {
+            buf.extend_from_slice(&enc(v));
+        }
+        w.write_all(&buf).map_err(io("write block"))?;
+    }
+    Ok(())
+}
+
+/// Writes a length-prefixed `u32` array.
+fn wr_u32s(w: &mut impl Write, vs: &[u32]) -> Result<(), MustError> {
+    wr_u64(w, vs.len() as u64)?;
+    wr_words(w, vs, u32::to_le_bytes)
+}
+
+fn rd_u8(r: &mut impl Read) -> Result<u8, MustError> {
+    let mut b = [0u8; 1];
+    r.read_exact(&mut b).map_err(io("read u8"))?;
+    Ok(b[0])
+}
+
+fn rd_u32(r: &mut impl Read) -> Result<u32, MustError> {
+    let mut b = [0u8; 4];
+    r.read_exact(&mut b).map_err(io("read u32"))?;
+    Ok(u32::from_le_bytes(b))
+}
+
+fn rd_u64(r: &mut impl Read) -> Result<u64, MustError> {
+    let mut b = [0u8; 8];
+    r.read_exact(&mut b).map_err(io("read u64"))?;
+    Ok(u64::from_le_bytes(b))
+}
+
+fn checked_len(len: u64, what: &str) -> Result<usize, MustError> {
+    if len >= MAX_ELEMS {
+        return Err(MustError::Io(format!("corrupt {what} length {len}")));
+    }
+    Ok(len as usize)
+}
+
+/// Reads `len` 4-byte words, decoding each through `dec`.  Pre-allocation
+/// is capped at [`MAX_PREALLOC`]: a corrupt length prefix costs at most
+/// that much memory before the reader hits EOF and errors.
+fn rd_words<T>(
+    r: &mut impl Read,
+    len: usize,
+    what: &str,
+    dec: impl Fn([u8; 4]) -> T,
+) -> Result<Vec<T>, MustError> {
+    let mut out = Vec::with_capacity(len.min(MAX_PREALLOC));
+    let mut buf = vec![0u8; (1 << 16) * 4];
+    let mut remaining = len;
+    while remaining > 0 {
+        let take = remaining.min(1 << 16);
+        let bytes = &mut buf[..take * 4];
+        r.read_exact(bytes).map_err(io(what))?;
+        out.extend(bytes.chunks_exact(4).map(|c| dec([c[0], c[1], c[2], c[3]])));
+        remaining -= take;
+    }
+    Ok(out)
+}
+
+fn rd_u32s(r: &mut impl Read, what: &str) -> Result<Vec<u32>, MustError> {
+    let len = checked_len(rd_u64(r)?, what)?;
+    rd_words(r, len, what, u32::from_le_bytes)
+}
+
+// ---------------------------------------------------------------------------
+// Bundle v2: save.
+
+/// Neither wire format records tombstones: a bundle is a frozen snapshot
+/// of what the index *serves*.  Persisting an instance with live
+/// tombstones would silently resurrect the deleted objects on load, so
+/// both save paths refuse it — rebuild (Section IX) before persisting.
+fn reject_tombstones(must: &Must) -> Result<(), MustError> {
+    if must.deleted_count() > 0 {
+        return Err(MustError::Config(format!(
+            "{} tombstoned object(s) cannot be persisted; rebuild the index first \
+             (bundles are frozen snapshots, paper Section IX)",
+            must.deleted_count()
+        )));
+    }
+    Ok(())
+}
+
+/// Serialises `must` to `path` in the bundle-v2 binary format.  Every
+/// backend is persistable: flat-graph indexes freeze to CSR arrays, HNSW
+/// to its flattened layered form.
 ///
 /// # Errors
-/// [`MustError::Config`] for HNSW backends; I/O and serialisation errors
-/// as [`MustError::Config`] with context.
+/// [`MustError::Io`] for file-system and encoding failures;
+/// [`MustError::Config`] if `must` carries live tombstones (see
+/// [`reject_tombstones`] above — rebuild before persisting).
 pub fn save(must: &Must, path: &Path) -> Result<(), MustError> {
+    reject_tombstones(must)?;
+    let file = std::fs::File::create(path)
+        .map_err(|e| MustError::Io(format!("create {}: {e}", path.display())))?;
+    let mut w = BufWriter::new(file);
+    w.write_all(&BUNDLE_V2_MAGIC).map_err(io("write magic"))?;
+    wr_u32(&mut w, BUNDLE_V2_VERSION)?;
+    wr_u8(&mut w, must.prune() as u8)?;
+
+    // Corpus: per-modality raw f32 blocks, streamed through one shared
+    // chunk buffer (no per-vector allocation).
+    let objects = must.objects();
+    wr_u32(&mut w, objects.num_modalities() as u32)?;
+    let mut buf: Vec<u8> = Vec::with_capacity((1 << 16) * 4);
+    for mi in 0..objects.num_modalities() {
+        let set = objects.modality(mi);
+        wr_u32(&mut w, set.dim() as u32)?;
+        wr_u64(&mut w, set.len() as u64)?;
+        for (_, v) in set.iter() {
+            for x in v {
+                buf.extend_from_slice(&x.to_le_bytes());
+            }
+            if buf.len() >= (1 << 16) * 4 {
+                w.write_all(&buf).map_err(io("write vector block"))?;
+                buf.clear();
+            }
+        }
+        if !buf.is_empty() {
+            w.write_all(&buf).map_err(io("write vector block"))?;
+            buf.clear();
+        }
+    }
+
+    // Weights (raw omega; squared form is recomputed on load).
+    wr_words(&mut w, must.weights().raw(), |x| x.to_le_bytes())?;
+
+    // Index block.
+    match must.index() {
+        MustIndex::Flat(g) => {
+            let csr = CsrGraph::from_graph(g);
+            wr_u8(&mut w, INDEX_TAG_CSR)?;
+            wr_u32(&mut w, csr.seed())?;
+            wr_u32s(&mut w, csr.offsets())?;
+            wr_u32s(&mut w, csr.edges())?;
+        }
+        MustIndex::Hnsw(h) => {
+            let flat = h.to_flat();
+            wr_u8(&mut w, INDEX_TAG_HNSW)?;
+            wr_u32(&mut w, flat.entry)?;
+            wr_u32(&mut w, flat.max_level)?;
+            wr_u32(&mut w, flat.m)?;
+            wr_u32(&mut w, flat.ef_construction)?;
+            wr_u64(&mut w, flat.rng_seed)?;
+            wr_u32s(&mut w, &flat.levels)?;
+            wr_u32s(&mut w, &flat.offsets)?;
+            wr_u32s(&mut w, &flat.edges)?;
+        }
+    }
+    w.flush().map_err(io("flush"))?;
+    Ok(())
+}
+
+/// Serialises `must` to `path` in the legacy v1 JSON format.  Only
+/// flat-graph backends are expressible in v1 (its schema predates the
+/// HNSW layer export).
+///
+/// # Errors
+/// [`MustError::Config`] for HNSW backends and live tombstones;
+/// [`MustError::Io`] for file-system and serialisation failures.
+pub fn save_json(must: &Must, path: &Path) -> Result<(), MustError> {
+    reject_tombstones(must)?;
     let graph = must
         .index()
         .graph()
-        .ok_or_else(|| MustError::Config("only flat-graph indexes are persistable".into()))?;
+        .ok_or_else(|| MustError::Config("v1 JSON bundles cannot express HNSW; use save()".into()))?;
     let bundle = MustBundle {
         version: BUNDLE_VERSION,
         objects: must.objects().clone(),
@@ -51,23 +273,39 @@ pub fn save(must: &Must, path: &Path) -> Result<(), MustError> {
         prune: must.prune(),
     };
     let file = std::fs::File::create(path)
-        .map_err(|e| MustError::Config(format!("create {}: {e}", path.display())))?;
+        .map_err(|e| MustError::Io(format!("create {}: {e}", path.display())))?;
     let mut w = BufWriter::new(file);
-    serde_json::to_writer(&mut w, &bundle)
-        .map_err(|e| MustError::Config(format!("serialise: {e}")))?;
-    w.flush().map_err(|e| MustError::Config(format!("flush: {e}")))?;
+    serde_json::to_writer(&mut w, &bundle).map_err(io("serialise"))?;
+    w.flush().map_err(io("flush"))?;
     Ok(())
 }
 
-/// Loads a bundle from `path` into a ready-to-search [`Must`].
+// ---------------------------------------------------------------------------
+// Load (both formats).
+
+/// Loads a bundle from `path` into a ready-to-search [`Must`], accepting
+/// both the v2 binary format and legacy v1 JSON (sniffed via the magic
+/// bytes).
 ///
 /// # Errors
-/// I/O, format-version, and consistency errors.
+/// [`MustError::Io`] for file-system and decoding failures;
+/// [`MustError::Config`] for unsupported versions and inconsistent
+/// bundles.
 pub fn load(path: &Path) -> Result<Must, MustError> {
     let file = std::fs::File::open(path)
-        .map_err(|e| MustError::Config(format!("open {}: {e}", path.display())))?;
-    let bundle: MustBundle = serde_json::from_reader(BufReader::new(file))
-        .map_err(|e| MustError::Config(format!("parse: {e}")))?;
+        .map_err(|e| MustError::Io(format!("open {}: {e}", path.display())))?;
+    let mut r = BufReader::new(file);
+    let mut magic = [0u8; 8];
+    r.read_exact(&mut magic).map_err(io("read header"))?;
+    if magic == BUNDLE_V2_MAGIC {
+        return load_v2_body(&mut r);
+    }
+    // Not a binary bundle: re-parse the whole file as v1 JSON.
+    drop(r);
+    let file = std::fs::File::open(path)
+        .map_err(|e| MustError::Io(format!("open {}: {e}", path.display())))?;
+    let bundle: MustBundle =
+        serde_json::from_reader(BufReader::new(file)).map_err(io("parse v1 JSON"))?;
     if bundle.version != BUNDLE_VERSION {
         return Err(MustError::Config(format!(
             "unsupported bundle version {} (expected {BUNDLE_VERSION})",
@@ -89,9 +327,74 @@ pub fn load(path: &Path) -> Result<Must, MustError> {
     )
 }
 
+fn load_v2_body(r: &mut impl Read) -> Result<Must, MustError> {
+    let version = rd_u32(r)?;
+    if version != BUNDLE_V2_VERSION {
+        return Err(MustError::Config(format!(
+            "unsupported bundle version {version} (expected {BUNDLE_V2_VERSION})"
+        )));
+    }
+    let prune = rd_u8(r)? != 0;
+
+    let m = checked_len(rd_u32(r)? as u64, "modality count")?;
+    if m == 0 {
+        return Err(MustError::Config("bundle has no modalities".into()));
+    }
+    let mut modalities = Vec::with_capacity(m.min(MAX_PREALLOC));
+    for mi in 0..m {
+        let dim = checked_len(rd_u32(r)? as u64, "dimension")?;
+        if dim == 0 {
+            return Err(MustError::Config(format!("modality {mi} has zero dimension")));
+        }
+        let n = checked_len(rd_u64(r)?, "cardinality")?;
+        let total = n
+            .checked_mul(dim)
+            .filter(|t| (*t as u64) < MAX_ELEMS)
+            .ok_or_else(|| MustError::Io("corrupt vector block size".into()))?;
+        let data = rd_words(r, total, "vector block", f32::from_le_bytes)?;
+        modalities
+            .push(VectorSet::from_flat(dim, data).map_err(|e| MustError::Config(e.to_string()))?);
+    }
+    let objects = MultiVectorSet::new(modalities).map_err(MustError::Vector)?;
+
+    let omega = rd_words(r, m, "weights", f32::from_le_bytes)?;
+    let weights = Weights::new(omega).map_err(MustError::Vector)?;
+
+    let tag = rd_u8(r)?;
+    let (index, recipe) = match tag {
+        INDEX_TAG_CSR => {
+            let seed = rd_u32(r)?;
+            let offsets = rd_u32s(r, "CSR offsets")?;
+            let edges = rd_u32s(r, "CSR edges")?;
+            let csr = CsrGraph::from_parts(offsets, edges, seed)
+                .map_err(|e| MustError::Config(format!("corrupt CSR block: {e}")))?;
+            (MustIndex::Flat(csr.to_graph()), must_graph::GraphRecipe::Fused)
+        }
+        INDEX_TAG_HNSW => {
+            let entry = rd_u32(r)?;
+            let max_level = rd_u32(r)?;
+            let m_param = rd_u32(r)?;
+            let ef_construction = rd_u32(r)?;
+            let rng_seed = rd_u64(r)?;
+            let levels = rd_u32s(r, "HNSW levels")?;
+            let offsets = rd_u32s(r, "HNSW offsets")?;
+            let edges = rd_u32s(r, "HNSW edges")?;
+            let flat =
+                HnswFlat { levels, offsets, edges, entry, max_level, m: m_param, ef_construction, rng_seed };
+            let h = Hnsw::from_flat(&flat)
+                .map_err(|e| MustError::Config(format!("corrupt HNSW block: {e}")))?;
+            (MustIndex::Hnsw(h), must_graph::GraphRecipe::Hnsw)
+        }
+        other => return Err(MustError::Config(format!("unknown index tag {other}"))),
+    };
+
+    Must::from_parts(objects, weights, index, MustBuildOptions { prune, recipe, ..Default::default() })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use must_graph::GraphRecipe;
     use must_vector::{MultiQuery, VectorSetBuilder};
     use rand::rngs::StdRng;
     use rand::{Rng, SeedableRng};
@@ -109,52 +412,159 @@ mod tests {
         MultiVectorSet::new(vec![m0.finish(), m1.finish()]).unwrap()
     }
 
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("must-persist-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(format!("{name}-{}", std::process::id()))
+    }
+
+    fn assert_identical_searches(a: &Must, b: &Must, ids: &[u32]) {
+        for &id in ids {
+            let q = MultiQuery::full(vec![
+                a.objects().modality(0).get(id).to_vec(),
+                a.objects().modality(1).get(id).to_vec(),
+            ]);
+            let ra = a.search(&q, 5, 60).unwrap();
+            let rb = b.search(&q, 5, 60).unwrap();
+            assert_eq!(ra, rb, "loaded index must search identically (query {id})");
+        }
+    }
+
     #[test]
-    fn save_load_round_trip_preserves_search_results() {
+    fn binary_save_load_round_trip_preserves_search_results() {
         let set = corpus(200);
         let must =
             Must::build(set, Weights::new(vec![0.8, 0.4]).unwrap(), MustBuildOptions::default())
                 .unwrap();
-        let dir = std::env::temp_dir().join("must-persist-test");
-        std::fs::create_dir_all(&dir).unwrap();
-        let path = dir.join("bundle.json");
+        let path = tmp("bundle-v2.mustb");
         save(&must, &path).unwrap();
         let loaded = load(&path).unwrap();
         assert_eq!(loaded.objects().len(), 200);
         assert_eq!(loaded.weights(), must.weights());
-        for id in [3u32, 77, 150] {
-            let q = MultiQuery::full(vec![
-                must.objects().modality(0).get(id).to_vec(),
-                must.objects().modality(1).get(id).to_vec(),
-            ]);
-            let a = must.search(&q, 5, 60).unwrap();
-            let b = loaded.search(&q, 5, 60).unwrap();
-            assert_eq!(a, b, "loaded index must search identically");
-        }
+        assert_identical_searches(&must, &loaded, &[3, 77, 150]);
         std::fs::remove_file(&path).unwrap();
     }
 
     #[test]
-    fn hnsw_bundles_are_rejected() {
-        use must_graph::GraphRecipe;
-        let set = corpus(60);
+    fn v1_json_save_load_round_trip_still_works() {
+        let set = corpus(200);
+        let must =
+            Must::build(set, Weights::new(vec![0.8, 0.4]).unwrap(), MustBuildOptions::default())
+                .unwrap();
+        let path = tmp("bundle-v1.json");
+        save_json(&must, &path).unwrap();
+        let loaded = load(&path).unwrap();
+        assert_eq!(loaded.objects().len(), 200);
+        assert_eq!(loaded.weights(), must.weights());
+        assert_identical_searches(&must, &loaded, &[3, 77, 150]);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn hnsw_round_trips_through_v2_but_not_v1() {
+        let set = corpus(120);
         let must = Must::build(
             set,
             Weights::uniform(2),
             MustBuildOptions { recipe: GraphRecipe::Hnsw, ..Default::default() },
         )
         .unwrap();
-        let path = std::env::temp_dir().join("must-hnsw-reject.json");
-        assert!(matches!(save(&must, &path), Err(MustError::Config(_))));
+        // v1 JSON cannot express the layered form.
+        assert!(matches!(save_json(&must, &tmp("hnsw-reject.json")), Err(MustError::Config(_))));
+        // v2 binary round-trips it, preserving dynamic insertion support.
+        let path = tmp("hnsw-v2.mustb");
+        save(&must, &path).unwrap();
+        let mut loaded = load(&path).unwrap();
+        assert_identical_searches(&must, &loaded, &[5, 60, 119]);
+        let new0: Vec<f32> = (0..8).map(|i| if i == 3 { 1.0 } else { 0.01 }).collect();
+        let new1: Vec<f32> = (0..4).map(|i| if i == 2 { 1.0 } else { 0.01 }).collect();
+        let id = loaded.insert_object(&[new0, new1]).unwrap();
+        assert_eq!(id, 120, "reloaded HNSW stays dynamic");
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn v2_is_smaller_than_v1_json() {
+        let set = corpus(300);
+        let must = Must::build(set, Weights::uniform(2), MustBuildOptions::default()).unwrap();
+        let p1 = tmp("size-v1.json");
+        let p2 = tmp("size-v2.mustb");
+        save_json(&must, &p1).unwrap();
+        save(&must, &p2).unwrap();
+        let s1 = std::fs::metadata(&p1).unwrap().len();
+        let s2 = std::fs::metadata(&p2).unwrap().len();
+        assert!(
+            s2 * 5 <= s1 * 2,
+            "binary bundle must be at least 2.5x smaller than JSON: {s2} vs {s1}"
+        );
+        std::fs::remove_file(&p1).unwrap();
+        std::fs::remove_file(&p2).unwrap();
     }
 
     #[test]
     fn corrupt_and_missing_files_error_cleanly() {
-        let missing = std::env::temp_dir().join("must-definitely-missing.json");
-        assert!(load(&missing).is_err());
-        let garbage = std::env::temp_dir().join("must-garbage.json");
-        std::fs::write(&garbage, b"not json").unwrap();
-        assert!(load(&garbage).is_err());
-        std::fs::remove_file(&garbage).unwrap();
+        let missing = std::env::temp_dir().join("must-definitely-missing.mustb");
+        assert!(matches!(load(&missing), Err(MustError::Io(_))));
+        let garbage = tmp("garbage.mustb");
+        std::fs::write(&garbage, b"not json and not binary").unwrap();
+        assert!(matches!(load(&garbage), Err(MustError::Io(_))));
+        // A truncated v2 bundle fails as an I/O error, not a panic.
+        let truncated = tmp("truncated.mustb");
+        let mut bytes = BUNDLE_V2_MAGIC.to_vec();
+        bytes.extend_from_slice(&BUNDLE_V2_VERSION.to_le_bytes());
+        std::fs::write(&truncated, bytes).unwrap();
+        assert!(matches!(load(&truncated), Err(MustError::Io(_))));
+        // A v2 header with an absurd length prefix fails before allocating
+        // — including exactly at the cap boundary.
+        let huge = tmp("huge.mustb");
+        for modality_count in [u32::MAX, 1u32 << 31] {
+            let mut bytes = BUNDLE_V2_MAGIC.to_vec();
+            bytes.extend_from_slice(&BUNDLE_V2_VERSION.to_le_bytes());
+            bytes.push(1); // prune
+            bytes.extend_from_slice(&modality_count.to_le_bytes());
+            std::fs::write(&huge, bytes).unwrap();
+            assert!(matches!(load(&huge), Err(MustError::Io(_))), "count {modality_count}");
+        }
+        // A plausible header whose *array* length prefix lies (claims far
+        // more edges than the file holds) must hit EOF, not OOM: memory is
+        // bounded by MAX_PREALLOC regardless of the claimed length.
+        let lying = tmp("lying.mustb");
+        let mut bytes = BUNDLE_V2_MAGIC.to_vec();
+        bytes.extend_from_slice(&BUNDLE_V2_VERSION.to_le_bytes());
+        bytes.push(1); // prune
+        bytes.extend_from_slice(&1u32.to_le_bytes()); // one modality
+        bytes.extend_from_slice(&2u32.to_le_bytes()); // dim 2
+        bytes.extend_from_slice(&(1u64 << 29).to_le_bytes()); // n: a lie
+        std::fs::write(&lying, bytes).unwrap();
+        assert!(matches!(load(&lying), Err(MustError::Io(_))));
+        for p in [garbage, truncated, huge, lying] {
+            std::fs::remove_file(&p).unwrap();
+        }
+    }
+
+    #[test]
+    fn tombstoned_instances_refuse_to_persist() {
+        let set = corpus(80);
+        let mut must = Must::build(set, Weights::uniform(2), MustBuildOptions::default()).unwrap();
+        assert!(must.mark_deleted(42));
+        let path = tmp("tombstone.mustb");
+        assert!(matches!(save(&must, &path), Err(MustError::Config(_))));
+        assert!(matches!(save_json(&must, &path), Err(MustError::Config(_))));
+        // Restoring the tombstone makes the instance persistable again.
+        assert!(must.restore(42));
+        save(&must, &path).unwrap();
+        let loaded = load(&path).unwrap();
+        assert_eq!(loaded.deleted_count(), 0);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn future_version_is_a_config_error() {
+        let p = tmp("future.mustb");
+        let mut bytes = BUNDLE_V2_MAGIC.to_vec();
+        bytes.extend_from_slice(&99u32.to_le_bytes());
+        std::fs::write(&p, bytes).unwrap();
+        assert!(matches!(load(&p), Err(MustError::Config(_))));
+        std::fs::remove_file(&p).unwrap();
     }
 }

@@ -1,0 +1,458 @@
+//! The online serving layer (Fig. 4's offline/online split): a read-only,
+//! `Send + Sync` handle over a frozen MUST snapshot that many threads can
+//! search concurrently.
+//!
+//! [`Must`] owns a mutable corpus (tombstones, dynamic insertion) and its
+//! searcher advances an RNG counter per query, so neither is shareable
+//! across threads nor order-deterministic.  [`MustServer`] freezes the
+//! corpus + weights + graph behind an [`Arc`]: flat graphs are frozen to
+//! the CSR form a deployment serves from, HNSW keeps its layered form.
+//! Every search derives its RNG seed from a fixed serving constant, so a
+//! query's results are **bit-identical** no matter which worker runs it or
+//! in what order — the concurrency tests pin this down.
+//!
+//! Three entry points, by traffic shape:
+//!
+//! * [`MustServer::search`] — one-off query, transient scratch state.
+//! * [`MustServer::search_batch`] — a query slice fanned over worker
+//!   threads (the throughput bench path).
+//! * [`MustServer::serve`] — a blocking request/reply loop over
+//!   [`std::sync::mpsc`] channels, for streams whose length is unknown
+//!   up front.
+
+use std::sync::mpsc::{Receiver, Sender};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+use must_graph::csr::CsrGraph;
+use must_graph::hnsw::Hnsw;
+use must_graph::search::{beam_search_csr, VisitedSet};
+use must_graph::{AnnIndex, SearchParams, SearchResult};
+use must_vector::{JointDistance, MultiQuery, MultiVectorSet, Weights};
+
+use crate::framework::Must;
+use crate::index::MustIndex;
+use crate::oracle::MustQueryScorer;
+use crate::search::SearchOutcome;
+use crate::MustError;
+
+/// Fixed RNG seed for the random pool initialisation of every served
+/// query.  A *constant* (rather than `Must`'s per-searcher counter) makes
+/// serving results a pure function of the query — the property that lets
+/// concurrent and serial execution agree bit-for-bit.
+const SERVE_RNG_SEED: u64 = 0x5E7E_D05E_ED00;
+
+/// The frozen index a server searches: flat graphs in CSR layout, HNSW in
+/// its layered form.
+pub enum ServingIndex {
+    /// A flat graph frozen to compressed sparse rows.
+    Csr(CsrGraph),
+    /// The layered HNSW graph.
+    Hnsw(Hnsw),
+}
+
+impl ServingIndex {
+    fn search(
+        &self,
+        scorer: &MustQueryScorer<'_, '_>,
+        params: SearchParams,
+        visited: &mut VisitedSet,
+    ) -> SearchResult {
+        match self {
+            Self::Csr(csr) => beam_search_csr(csr, scorer, params, visited, SERVE_RNG_SEED),
+            Self::Hnsw(h) => h.search(scorer, params, SERVE_RNG_SEED),
+        }
+    }
+
+    /// Number of indexed objects.
+    pub fn len(&self) -> usize {
+        match self {
+            Self::Csr(csr) => csr.len(),
+            Self::Hnsw(h) => AnnIndex::len(h),
+        }
+    }
+
+    /// Whether the index is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Display label for reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Self::Csr(_) => "CSR",
+            Self::Hnsw(_) => "HNSW",
+        }
+    }
+}
+
+struct ServerCore {
+    objects: MultiVectorSet,
+    weights: Weights,
+    index: ServingIndex,
+    prune: bool,
+}
+
+/// A shared, read-only serving handle: cheap to clone, safe to search
+/// from any number of threads.
+#[derive(Clone)]
+pub struct MustServer {
+    core: Arc<ServerCore>,
+}
+
+/// One request on a [`MustServer::serve`] stream.
+pub struct ServeRequest {
+    /// Caller-chosen correlation id, echoed in the reply.
+    pub id: u64,
+    /// The query.
+    pub query: MultiQuery,
+    /// Number of results wanted.
+    pub k: usize,
+    /// Result-pool size (`l >= k`).
+    pub l: usize,
+}
+
+/// The reply to one [`ServeRequest`].
+pub struct ServeReply {
+    /// The request's correlation id.
+    pub id: u64,
+    /// The search outcome (or the per-query error).
+    pub outcome: Result<SearchOutcome, MustError>,
+}
+
+impl MustServer {
+    /// Freezes a built [`Must`] into a serving snapshot, consuming it.
+    /// Flat graphs are converted to CSR; tombstone state is discarded
+    /// (serving snapshots are immutable — rebuild and re-freeze to apply
+    /// deletions, as the paper's Section IX prescribes).
+    pub fn freeze(must: Must) -> Self {
+        let (objects, weights, index, prune) = must.into_parts();
+        let index = match index {
+            MustIndex::Flat(g) => ServingIndex::Csr(CsrGraph::from_graph(&g)),
+            MustIndex::Hnsw(h) => ServingIndex::Hnsw(h),
+        };
+        Self { core: Arc::new(ServerCore { objects, weights, index, prune }) }
+    }
+
+    /// Loads a persisted bundle (v1 or v2, see [`crate::persist`]) straight
+    /// into a serving snapshot — the online half of the offline/online
+    /// split.
+    ///
+    /// # Errors
+    /// Propagates [`crate::persist::load`] errors ([`MustError::Io`] /
+    /// [`MustError::Config`]).
+    pub fn load(path: &std::path::Path) -> Result<Self, MustError> {
+        Ok(Self::freeze(crate::persist::load(path)?))
+    }
+
+    /// The frozen corpus.
+    pub fn objects(&self) -> &MultiVectorSet {
+        &self.core.objects
+    }
+
+    /// The weights in force.
+    pub fn weights(&self) -> &Weights {
+        &self.core.weights
+    }
+
+    /// The frozen index.
+    pub fn index(&self) -> &ServingIndex {
+        &self.core.index
+    }
+
+    /// Number of served objects.
+    pub fn len(&self) -> usize {
+        self.core.objects.len()
+    }
+
+    /// Whether the snapshot is empty.
+    pub fn is_empty(&self) -> bool {
+        self.core.objects.is_empty()
+    }
+
+    /// One-off top-`k` search with pool size `l`.  Deterministic: the same
+    /// query always yields the same ranked ids and [`must_graph::SearchStats`],
+    /// regardless of thread or arrival order.
+    ///
+    /// # Errors
+    /// Propagates query/corpus arity and dimension mismatches.
+    pub fn search(&self, query: &MultiQuery, k: usize, l: usize) -> Result<SearchOutcome, MustError> {
+        self.worker().search(query, k, l)
+    }
+
+    /// A reusable per-thread search handle (allocation-free steady state:
+    /// the visited set and joint-distance plumbing persist across queries).
+    pub fn worker(&self) -> ServerWorker<'_> {
+        ServerWorker {
+            joint: JointDistance::new(&self.core.objects, self.core.weights.clone())
+                .expect("weights validated at freeze"),
+            visited: VisitedSet::default(),
+            core: &self.core,
+        }
+    }
+
+    /// Searches `queries` with `threads` workers (contiguous chunks, one
+    /// reusable [`ServerWorker`] per thread) and returns outcomes in input
+    /// order.  `threads` is clamped to `[1, queries.len()]`.  Results are
+    /// bit-identical to running [`MustServer::search`] serially.
+    ///
+    /// # Errors
+    /// Per-query errors are returned in the corresponding slot.
+    pub fn search_batch(
+        &self,
+        queries: &[MultiQuery],
+        k: usize,
+        l: usize,
+        threads: usize,
+    ) -> Vec<Result<SearchOutcome, MustError>> {
+        let n = queries.len();
+        if n == 0 {
+            return Vec::new();
+        }
+        let threads = threads.max(1).min(n);
+        if threads == 1 {
+            let mut worker = self.worker();
+            return queries.iter().map(|q| worker.search(q, k, l)).collect();
+        }
+        let chunk = n.div_ceil(threads);
+        let mut out: Vec<Option<Result<SearchOutcome, MustError>>> = (0..n).map(|_| None).collect();
+        std::thread::scope(|scope| {
+            for (slot, qs) in out.chunks_mut(chunk).zip(queries.chunks(chunk)) {
+                scope.spawn(move || {
+                    let mut worker = self.worker();
+                    for (s, q) in slot.iter_mut().zip(qs) {
+                        *s = Some(worker.search(q, k, l));
+                    }
+                });
+            }
+        });
+        out.into_iter().map(|x| x.expect("all slots filled")).collect()
+    }
+
+    /// Blocking request/reply serve loop: fans `requests` over `threads`
+    /// worker threads, sending one [`ServeReply`] per request on `replies`.
+    /// Returns the number of requests served, once the request channel is
+    /// closed and drained.  Replies may interleave across requests; use
+    /// [`ServeRequest::id`] to correlate.  Dropped reply receivers are
+    /// tolerated (remaining requests are still drained).
+    pub fn serve(
+        &self,
+        requests: Receiver<ServeRequest>,
+        replies: Sender<ServeReply>,
+        threads: usize,
+    ) -> usize {
+        let threads = threads.max(1);
+        let requests = Mutex::new(requests);
+        let served = std::sync::atomic::AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            for _ in 0..threads {
+                let requests = &requests;
+                let replies = replies.clone();
+                let served = &served;
+                scope.spawn(move || {
+                    let mut worker = self.worker();
+                    loop {
+                        // Hold the lock only for the dequeue, not the search.
+                        let req = match requests.lock() {
+                            Ok(rx) => rx.recv(),
+                            Err(_) => break, // a sibling panicked; stop cleanly
+                        };
+                        let Ok(req) = req else { break };
+                        let outcome = worker.search(&req.query, req.k, req.l);
+                        served.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                        // The caller may have stopped listening; keep draining.
+                        let _ = replies.send(ServeReply { id: req.id, outcome });
+                    }
+                });
+            }
+        });
+        served.into_inner()
+    }
+}
+
+/// Reusable per-thread search state bound to a [`MustServer`] snapshot.
+pub struct ServerWorker<'a> {
+    joint: JointDistance<'a>,
+    visited: VisitedSet,
+    core: &'a ServerCore,
+}
+
+impl ServerWorker<'_> {
+    /// Top-`k` search with pool size `l`; see [`MustServer::search`] for
+    /// the determinism contract.
+    ///
+    /// # Errors
+    /// Propagates query/corpus arity and dimension mismatches.
+    pub fn search(
+        &mut self,
+        query: &MultiQuery,
+        k: usize,
+        l: usize,
+    ) -> Result<SearchOutcome, MustError> {
+        self.search_with_params(query, SearchParams::new(k, l.max(k)))
+    }
+
+    /// Same, with explicit [`SearchParams`].
+    ///
+    /// # Errors
+    /// Propagates query/corpus arity and dimension mismatches.
+    pub fn search_with_params(
+        &mut self,
+        query: &MultiQuery,
+        params: SearchParams,
+    ) -> Result<SearchOutcome, MustError> {
+        let scorer = MustQueryScorer::from_joint(&self.joint, query, self.core.prune)?;
+        let t0 = Instant::now();
+        let res = self.core.index.search(&scorer, params, &mut self.visited);
+        Ok(SearchOutcome {
+            results: res.results,
+            stats: res.stats,
+            kernel_evals: scorer.kernel_evals(),
+            secs: t0.elapsed().as_secs_f64(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::framework::MustBuildOptions;
+    use must_graph::GraphRecipe;
+    use must_vector::VectorSetBuilder;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn corpus(n: usize) -> MultiVectorSet {
+        let mut rng = StdRng::seed_from_u64(21);
+        let mut m0 = VectorSetBuilder::new(8, n);
+        let mut m1 = VectorSetBuilder::new(4, n);
+        for _ in 0..n {
+            let v0: Vec<f32> = (0..8).map(|_| rng.random::<f32>() - 0.5).collect();
+            let v1: Vec<f32> = (0..4).map(|_| rng.random::<f32>() - 0.5).collect();
+            m0.push_normalized(&v0).unwrap();
+            m1.push_normalized(&v1).unwrap();
+        }
+        MultiVectorSet::new(vec![m0.finish(), m1.finish()]).unwrap()
+    }
+
+    fn self_query(set: &MultiVectorSet, id: u32) -> MultiQuery {
+        MultiQuery::full(vec![
+            set.modality(0).get(id).to_vec(),
+            set.modality(1).get(id).to_vec(),
+        ])
+    }
+
+    fn server(n: usize, recipe: GraphRecipe) -> MustServer {
+        let set = corpus(n);
+        let must = Must::build(
+            set,
+            Weights::uniform(2),
+            MustBuildOptions { recipe, ..Default::default() },
+        )
+        .unwrap();
+        MustServer::freeze(must)
+    }
+
+    // The serving handle must be shareable and sendable across threads.
+    const _: fn() = || {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<MustServer>();
+    };
+
+    #[test]
+    fn frozen_server_finds_self_queries() {
+        for recipe in [GraphRecipe::Fused, GraphRecipe::Hnsw] {
+            let srv = server(200, recipe);
+            assert_eq!(srv.len(), 200);
+            for id in [0u32, 77, 199] {
+                let q = self_query(srv.objects(), id);
+                let out = srv.search(&q, 1, 60).unwrap();
+                assert_eq!(out.results[0].0, id, "{}", srv.index().label());
+            }
+        }
+    }
+
+    #[test]
+    fn repeated_searches_are_bit_identical() {
+        let srv = server(250, GraphRecipe::Fused);
+        let q = self_query(srv.objects(), 123);
+        let a = srv.search(&q, 5, 50).unwrap();
+        let mut worker = srv.worker();
+        for _ in 0..3 {
+            let b = worker.search(&q, 5, 50).unwrap();
+            assert_eq!(a.results, b.results);
+            assert_eq!(a.stats, b.stats);
+        }
+    }
+
+    #[test]
+    fn search_batch_matches_serial_for_any_thread_count() {
+        let srv = server(200, GraphRecipe::Fused);
+        let queries: Vec<MultiQuery> =
+            (0..32).map(|i| self_query(srv.objects(), i * 6)).collect();
+        let serial: Vec<_> = queries.iter().map(|q| srv.search(q, 5, 40).unwrap()).collect();
+        for threads in [1, 3, 8, 64] {
+            let batch = srv.search_batch(&queries, 5, 40, threads);
+            assert_eq!(batch.len(), serial.len());
+            for (b, s) in batch.into_iter().zip(&serial) {
+                let b = b.unwrap();
+                assert_eq!(b.results, s.results, "threads={threads}");
+                assert_eq!(b.stats, s.stats, "threads={threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn serve_loop_answers_every_request() {
+        let srv = server(150, GraphRecipe::Fused);
+        let (req_tx, req_rx) = std::sync::mpsc::channel();
+        let (rep_tx, rep_rx) = std::sync::mpsc::channel();
+        for i in 0..20u64 {
+            let q = self_query(srv.objects(), (i * 7) as u32);
+            req_tx.send(ServeRequest { id: i, query: q, k: 1, l: 40 }).unwrap();
+        }
+        drop(req_tx);
+        let served = srv.serve(req_rx, rep_tx, 4);
+        assert_eq!(served, 20);
+        let mut replies: Vec<ServeReply> = rep_rx.iter().collect();
+        assert_eq!(replies.len(), 20);
+        replies.sort_by_key(|r| r.id);
+        for (i, rep) in replies.iter().enumerate() {
+            assert_eq!(rep.id, i as u64);
+            let out = rep.outcome.as_ref().unwrap();
+            assert_eq!(out.results[0].0, (i * 7) as u32);
+        }
+    }
+
+    #[test]
+    fn malformed_queries_error_per_request_not_globally() {
+        let srv = server(100, GraphRecipe::Fused);
+        let good = self_query(srv.objects(), 5);
+        let bad = MultiQuery::full(vec![vec![1.0; 3], vec![1.0; 4]]); // wrong dim
+        let out = srv.search_batch(&[good, bad], 3, 30, 2);
+        assert!(out[0].is_ok());
+        assert!(out[1].is_err());
+    }
+
+    #[test]
+    fn server_round_trips_through_bundle_v2() {
+        let set = corpus(150);
+        let must =
+            Must::build(set, Weights::new(vec![0.7, 0.5]).unwrap(), MustBuildOptions::default())
+                .unwrap();
+        let dir = std::env::temp_dir().join("must-server-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(format!("server-{}.mustb", std::process::id()));
+        crate::persist::save(&must, &path).unwrap();
+        let direct = MustServer::freeze(must);
+        let loaded = MustServer::load(&path).unwrap();
+        for id in [2u32, 70, 149] {
+            let q = self_query(direct.objects(), id);
+            let a = direct.search(&q, 5, 60).unwrap();
+            let b = loaded.search(&q, 5, 60).unwrap();
+            assert_eq!(a.results, b.results);
+            assert_eq!(a.stats, b.stats);
+        }
+        std::fs::remove_file(&path).unwrap();
+    }
+}

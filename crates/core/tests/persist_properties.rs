@@ -1,0 +1,114 @@
+//! Property tests for bundle-v2 persistence: arbitrary small corpora ×
+//! every persistable graph backend round-trip to bit-identical search
+//! results, and bundles written by the legacy v1 JSON path keep loading.
+
+use must_core::framework::{Must, MustBuildOptions};
+use must_core::{persist, MustError};
+use must_graph::GraphRecipe;
+use must_vector::{MultiQuery, MultiVectorSet, VectorSetBuilder, Weights};
+use proptest::prelude::*;
+
+/// Deterministic pseudo-random corpus from a seed: `n` objects, two
+/// modalities of dimensionality `d0`/`d1`.
+fn corpus(n: usize, d0: usize, d1: usize, seed: u64) -> MultiVectorSet {
+    let mut rng = proptest::TestRng::new(seed);
+    let mut m0 = VectorSetBuilder::new(d0, n);
+    let mut m1 = VectorSetBuilder::new(d1, n);
+    for _ in 0..n {
+        // Shift off zero so every vector is normalisable.
+        let v0: Vec<f32> = (0..d0).map(|_| rng.unit_f64() as f32 + 0.05).collect();
+        let v1: Vec<f32> = (0..d1).map(|_| rng.unit_f64() as f32 + 0.05).collect();
+        m0.push_normalized(&v0).unwrap();
+        m1.push_normalized(&v1).unwrap();
+    }
+    MultiVectorSet::new(vec![m0.finish(), m1.finish()]).unwrap()
+}
+
+fn tmp(tag: &str, case: u64) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join("must-persist-prop");
+    std::fs::create_dir_all(&dir).unwrap();
+    dir.join(format!("{tag}-{}-{case}.bundle", std::process::id()))
+}
+
+fn self_query(set: &MultiVectorSet, id: u32) -> MultiQuery {
+    MultiQuery::full(vec![
+        set.modality(0).get(id).to_vec(),
+        set.modality(1).get(id).to_vec(),
+    ])
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn v2_round_trips_every_backend_to_identical_results(
+        n in 24usize..72,
+        d0 in 3usize..8,
+        d1 in 2usize..5,
+        recipe_idx in 0usize..7,
+        seed in 1u64..1_000_000,
+    ) {
+        let recipe = GraphRecipe::all()[recipe_idx];
+        let set = corpus(n, d0, d1, seed);
+        let must = Must::build(
+            set,
+            Weights::new(vec![0.8, 0.5]).unwrap(),
+            MustBuildOptions { gamma: 8, recipe, ..Default::default() },
+        )
+        .unwrap();
+        let path = tmp("v2", seed ^ (n as u64) << 32 ^ recipe_idx as u64);
+        persist::save(&must, &path).unwrap();
+        let loaded = persist::load(&path).unwrap();
+        std::fs::remove_file(&path).unwrap();
+
+        prop_assert_eq!(loaded.objects().len(), must.objects().len());
+        prop_assert_eq!(loaded.weights(), must.weights());
+        for probe in 0..4u32 {
+            let id = probe * (n as u32 / 4);
+            let q = self_query(must.objects(), id);
+            let a = must.search(&q, 3, 24).unwrap();
+            let b = loaded.search(&q, 3, 24).unwrap();
+            prop_assert_eq!(a, b, "recipe {} query {}", recipe.label(), id);
+        }
+    }
+
+    #[test]
+    fn v1_json_bundles_written_by_old_path_still_load(
+        n in 24usize..60,
+        seed in 1u64..1_000_000,
+    ) {
+        let set = corpus(n, 5, 3, seed);
+        let must = Must::build(
+            set,
+            Weights::uniform(2),
+            MustBuildOptions { gamma: 8, ..Default::default() },
+        )
+        .unwrap();
+        let path = tmp("v1", seed ^ (n as u64) << 32);
+        persist::save_json(&must, &path).unwrap();
+        let loaded = persist::load(&path).unwrap();
+        std::fs::remove_file(&path).unwrap();
+        for probe in [0u32, (n / 2) as u32, (n - 1) as u32] {
+            let q = self_query(must.objects(), probe);
+            let a = must.search(&q, 3, 24).unwrap();
+            let b = loaded.search(&q, 3, 24).unwrap();
+            prop_assert_eq!(a, b, "query {}", probe);
+        }
+    }
+}
+
+/// HNSW is the one backend v1 can never express; the property above covers
+/// its v2 round-trip, this pins the v1 rejection (and its error class).
+#[test]
+fn v1_save_rejects_hnsw_with_config_error() {
+    let set = corpus(40, 4, 3, 99);
+    let must = Must::build(
+        set,
+        Weights::uniform(2),
+        MustBuildOptions { gamma: 8, recipe: GraphRecipe::Hnsw, ..Default::default() },
+    )
+    .unwrap();
+    let path = tmp("v1-hnsw", 99);
+    assert!(matches!(persist::save_json(&must, &path), Err(MustError::Config(_))));
+    assert!(!path.exists(), "rejected saves must not leave files behind");
+}

@@ -32,6 +32,43 @@ impl CsrGraph {
         Self { offsets, edges, seed: graph.seed() }
     }
 
+    /// Reassembles a CSR graph from its raw arrays (the binary-bundle load
+    /// path), validating structural consistency.
+    ///
+    /// # Errors
+    /// A human-readable description of the first inconsistency found.
+    pub fn from_parts(offsets: Vec<u32>, edges: Vec<u32>, seed: u32) -> Result<Self, String> {
+        if offsets.len() < 2 {
+            return Err("offset table must cover at least one vertex".into());
+        }
+        if offsets[0] != 0 || *offsets.last().expect("non-empty") as usize != edges.len() {
+            return Err("offset table does not span the edge array".into());
+        }
+        if offsets.windows(2).any(|w| w[0] > w[1]) {
+            return Err("offset table is not monotone".into());
+        }
+        let n = offsets.len() - 1;
+        if edges.iter().any(|&e| e as usize >= n) {
+            return Err("edge target out of range".into());
+        }
+        if seed as usize >= n {
+            return Err("seed vertex out of range".into());
+        }
+        Ok(Self { offsets, edges, seed })
+    }
+
+    /// The raw CSR offset array (`len() + 1` entries).
+    #[inline]
+    pub fn offsets(&self) -> &[u32] {
+        &self.offsets
+    }
+
+    /// The raw concatenated edge array.
+    #[inline]
+    pub fn edges(&self) -> &[u32] {
+        &self.edges
+    }
+
     /// Number of vertices.
     #[inline]
     pub fn len(&self) -> usize {
@@ -130,6 +167,23 @@ mod tests {
         let (_, g) = built();
         let csr = CsrGraph::from_graph(&g);
         assert!(AnnIndex::bytes(&csr) <= AnnIndex::bytes(&g));
+    }
+
+    #[test]
+    fn from_parts_round_trips_and_rejects_corruption() {
+        let (_, g) = built();
+        let csr = CsrGraph::from_graph(&g);
+        let back = CsrGraph::from_parts(
+            csr.offsets().to_vec(),
+            csr.edges().to_vec(),
+            csr.seed(),
+        )
+        .unwrap();
+        assert_eq!(back, csr);
+        assert!(CsrGraph::from_parts(vec![0], vec![], 0).is_err(), "no vertices");
+        assert!(CsrGraph::from_parts(vec![0, 2], vec![1], 0).is_err(), "span mismatch");
+        assert!(CsrGraph::from_parts(vec![0, 1], vec![7], 0).is_err(), "target range");
+        assert!(CsrGraph::from_parts(vec![0, 0], vec![], 5).is_err(), "seed range");
     }
 
     #[test]

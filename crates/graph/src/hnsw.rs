@@ -26,7 +26,7 @@ impl Default for HnswParams {
 }
 
 /// A built HNSW index.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct Hnsw {
     /// `adjacency[node][level]` — neighbour lists for the levels the node
     /// participates in (`0..=levels[node]`).
@@ -34,6 +34,34 @@ pub struct Hnsw {
     entry: u32,
     max_level: usize,
     params: HnswParams,
+}
+
+/// The layered graph flattened into length-prefixed arrays — the form a
+/// persistence layer serialises (bundle v2) and a deployment reloads
+/// without rebuilding.
+///
+/// Lists are laid out node-major, layer-minor: node 0's layers
+/// `0..=levels[0]`, then node 1's, and so on.  `offsets` is a CSR index
+/// over that list sequence (`offsets.len() == total_lists + 1`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HnswFlat {
+    /// Top layer each node participates in (`levels.len() == n`).
+    pub levels: Vec<u32>,
+    /// CSR offsets over the flattened `(node, layer)` neighbour lists.
+    pub offsets: Vec<u32>,
+    /// Concatenated neighbour lists.
+    pub edges: Vec<u32>,
+    /// Entry vertex at the top layer.
+    pub entry: u32,
+    /// Top layer of the hierarchy.
+    pub max_level: u32,
+    /// Construction parameter `M` (needed so dynamic insertion keeps
+    /// working after a reload).
+    pub m: u32,
+    /// Construction beam width `efConstruction`.
+    pub ef_construction: u32,
+    /// Level-assignment RNG seed.
+    pub rng_seed: u64,
 }
 
 impl Hnsw {
@@ -79,6 +107,94 @@ impl Hnsw {
     /// Entry vertex at the top layer.
     pub fn entry(&self) -> u32 {
         self.entry
+    }
+
+    /// Flattens the layered adjacency into [`HnswFlat`] for persistence.
+    pub fn to_flat(&self) -> HnswFlat {
+        let levels: Vec<u32> =
+            self.adjacency.iter().map(|layers| (layers.len() - 1) as u32).collect();
+        let total_lists: usize = self.adjacency.iter().map(Vec::len).sum();
+        let mut offsets = Vec::with_capacity(total_lists + 1);
+        let mut edges = Vec::new();
+        offsets.push(0u32);
+        for layers in &self.adjacency {
+            for list in layers {
+                edges.extend_from_slice(list);
+                offsets.push(edges.len() as u32);
+            }
+        }
+        HnswFlat {
+            levels,
+            offsets,
+            edges,
+            entry: self.entry,
+            max_level: self.max_level as u32,
+            m: self.params.m as u32,
+            ef_construction: self.params.ef_construction as u32,
+            rng_seed: self.params.rng_seed,
+        }
+    }
+
+    /// Rebuilds the layered index from its flattened form, validating
+    /// structural consistency (offsets monotone, edge targets in range,
+    /// entry on the top layer).
+    ///
+    /// # Errors
+    /// A human-readable description of the first inconsistency found.
+    pub fn from_flat(flat: &HnswFlat) -> Result<Self, String> {
+        let n = flat.levels.len();
+        if n == 0 {
+            return Err("empty HNSW snapshot".into());
+        }
+        let total_lists: usize = flat.levels.iter().map(|&l| l as usize + 1).sum();
+        if flat.offsets.len() != total_lists + 1 {
+            return Err(format!(
+                "offset table has {} entries, expected {}",
+                flat.offsets.len(),
+                total_lists + 1
+            ));
+        }
+        if flat.offsets[0] != 0 || *flat.offsets.last().expect("non-empty") as usize != flat.edges.len()
+        {
+            return Err("offset table does not span the edge array".into());
+        }
+        if flat.offsets.windows(2).any(|w| w[0] > w[1]) {
+            return Err("offset table is not monotone".into());
+        }
+        if flat.edges.iter().any(|&e| e as usize >= n) {
+            return Err("edge target out of range".into());
+        }
+        if flat.entry as usize >= n {
+            return Err("entry vertex out of range".into());
+        }
+        if flat.levels[flat.entry as usize] < flat.max_level {
+            return Err("entry vertex does not reach the top layer".into());
+        }
+        if flat.m == 0 {
+            return Err("M must be positive".into());
+        }
+        let mut adjacency = Vec::with_capacity(n);
+        let mut list = 0usize;
+        for &level in &flat.levels {
+            let mut layers = Vec::with_capacity(level as usize + 1);
+            for _ in 0..=level {
+                let lo = flat.offsets[list] as usize;
+                let hi = flat.offsets[list + 1] as usize;
+                layers.push(flat.edges[lo..hi].to_vec());
+                list += 1;
+            }
+            adjacency.push(layers);
+        }
+        Ok(Self {
+            adjacency,
+            entry: flat.entry,
+            max_level: flat.max_level as usize,
+            params: HnswParams {
+                m: flat.m as usize,
+                ef_construction: flat.ef_construction as usize,
+                rng_seed: flat.rng_seed,
+            },
+        })
     }
 
     /// Top layer of the hierarchy.
@@ -319,6 +435,43 @@ mod tests {
                 assert!(nbrs.len() <= cap, "node {node} level {level}: {}", nbrs.len());
             }
         }
+    }
+
+    #[test]
+    fn flat_round_trip_preserves_structure_and_search() {
+        let oracle = GridOracle::new(14);
+        let index = Hnsw::build(&oracle, HnswParams { m: 6, ef_construction: 32, rng_seed: 9 });
+        let flat = index.to_flat();
+        assert_eq!(flat.levels.len(), AnnIndex::len(&index));
+        let back = Hnsw::from_flat(&flat).unwrap();
+        assert_eq!(back.adjacency, index.adjacency);
+        assert_eq!(back.entry(), index.entry());
+        assert_eq!(back.max_level(), index.max_level());
+        for target in [0u32, 41, 97, 195] {
+            let scorer = FnScorer(|id| oracle.sim(id, target));
+            let a = index.search(&scorer, SearchParams::seed_only(3, 20), 0);
+            let b = back.search(&scorer, SearchParams::seed_only(3, 20), 0);
+            assert_eq!(a.results, b.results, "target {target}");
+        }
+    }
+
+    #[test]
+    fn from_flat_rejects_corrupt_snapshots() {
+        let oracle = GridOracle::new(6);
+        let index = Hnsw::build(&oracle, HnswParams { m: 4, ef_construction: 16, rng_seed: 2 });
+        let good = index.to_flat();
+        let mut bad = good.clone();
+        bad.edges[0] = 10_000; // target out of range
+        assert!(Hnsw::from_flat(&bad).is_err());
+        let mut bad = good.clone();
+        bad.offsets.pop();
+        assert!(Hnsw::from_flat(&bad).is_err());
+        let mut bad = good.clone();
+        bad.entry = 9_999;
+        assert!(Hnsw::from_flat(&bad).is_err());
+        let mut bad = good;
+        bad.levels.push(0); // phantom node with no lists
+        assert!(Hnsw::from_flat(&bad).is_err());
     }
 
     #[test]

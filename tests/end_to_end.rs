@@ -89,24 +89,21 @@ fn tiny_corpus_build_search_roundtrip() {
     assert_eq!(ids(&with.results), ids(&without));
 }
 
-/// The paper's headline accuracy claim, end to end: MUST's weighted joint
-/// similarity beats both the MR merge and the JE single-vector search on
-/// the same corpus and queries.
-#[test]
-fn must_beats_mr_and_je_on_recall() {
-    let p = pipeline();
+/// Mean recall@k of the three frameworks (exact search each, the Tabs.
+/// III–VI protocol) over the evaluation slice: `(MUST, MR, JE)`.
+fn framework_recalls(p: &Pipeline, k: usize) -> (f64, f64, f64) {
     let joint = JointDistance::new(&p.embedded.objects, p.weights.clone()).unwrap();
     let objects = &p.embedded.objects;
     let eval = &p.embedded.queries[120..520.min(p.embedded.queries.len())];
     let (mut r_must, mut r_mr, mut r_je) = (0.0, 0.0, 0.0);
     for q in eval {
-        let ids: Vec<u32> = brute_force_search(&joint, &q.query, 5, true)
+        let ids: Vec<u32> = brute_force_search(&joint, &q.query, k, true)
             .unwrap()
             .results
             .iter()
             .map(|r| r.0)
             .collect();
-        r_must += recall_at(&ids, &q.ground_truth, 5);
+        r_must += recall_at(&ids, &q.ground_truth, k);
 
         let mut per = Vec::new();
         for mi in 0..objects.num_modalities() {
@@ -114,20 +111,50 @@ fn must_beats_mr_and_je_on_recall() {
                 per.push(objects.modality(mi).brute_force_top_k(slot, 300));
             }
         }
-        let merged = must::core::baselines::merge_candidates(&per, 5).0;
-        r_mr += recall_at(&merged, &q.ground_truth, 5);
+        let merged = must::core::baselines::merge_candidates(&per, k).0;
+        r_mr += recall_at(&merged, &q.ground_truth, k);
 
         let je_ids: Vec<u32> = objects
             .modality(0)
-            .brute_force_top_k(q.query.slot(0).unwrap(), 5)
+            .brute_force_top_k(q.query.slot(0).unwrap(), k)
             .iter()
             .map(|r| r.0)
             .collect();
-        r_je += recall_at(&je_ids, &q.ground_truth, 5);
+        r_je += recall_at(&je_ids, &q.ground_truth, k);
     }
+    let n = eval.len() as f64;
+    (r_must / n, r_mr / n, r_je / n)
+}
+
+/// The paper's headline accuracy claim, end to end: MUST's weighted joint
+/// similarity beats both the MR merge and the JE single-vector search on
+/// the same corpus and queries.
+#[test]
+fn must_beats_mr_and_je_on_recall() {
+    let (r_must, r_mr, r_je) = framework_recalls(&pipeline(), 5);
     assert!(
         r_must > r_mr && r_must > r_je,
         "MUST {r_must} must beat MR {r_mr} and JE {r_je}"
+    );
+}
+
+/// Recall@10 regression pin for the paper's headline effect, end to end on
+/// the seeded small corpus: MUST's weighted joint similarity must beat both
+/// the MR merge (whose per-modality candidate lists drown in merge
+/// ambiguity) and the JE composition search.  Future performance work on
+/// the serving/index layers cannot silently trade this win away — if this
+/// test regresses, the change altered *what* is retrieved, not just how
+/// fast.
+#[test]
+fn recall_at_10_regression_must_over_mr_and_je() {
+    let (r_must, r_mr, r_je) = framework_recalls(&pipeline(), 10);
+    assert!(
+        r_must >= r_mr && r_must >= r_je,
+        "recall@10 regression: MUST {r_must:.4} must stay >= MR {r_mr:.4} and JE {r_je:.4}"
+    );
+    assert!(
+        r_must > 0.25,
+        "absolute recall@10 floor: MUST {r_must:.4} must stay above 0.25"
     );
 }
 

@@ -1,0 +1,127 @@
+//! Online-serving integration tests: one frozen snapshot, many threads,
+//! results bit-identical to serial execution (the contract that makes the
+//! concurrent query engine trustworthy), plus the offline→online
+//! round-trip through bundle v2.
+
+use std::sync::mpsc;
+
+use must::data::embed::embed_dataset;
+use must::encoders::{ComposerKind, EncoderConfig, EncoderRegistry, LatentSpace, TargetEncoding, UnimodalKind};
+use must::prelude::*;
+
+/// Embeds a small MIT-States-style corpus and returns a built `Must`
+/// plus a 64-query workload.
+fn built_fixture() -> (Must, Vec<MultiQuery>) {
+    let ds = must::data::catalog::mit_states(0.05, 4242);
+    let registry = EncoderRegistry::new(LatentSpace::DEFAULT, 4242);
+    let config = EncoderConfig::new(
+        TargetEncoding::Composed(ComposerKind::Clip),
+        vec![UnimodalKind::Lstm],
+    );
+    let embedded = embed_dataset(&ds, &config, &registry);
+    let queries: Vec<MultiQuery> =
+        embedded.queries.iter().take(64).map(|q| q.query.clone()).collect();
+    assert_eq!(queries.len(), 64, "fixture needs a full 64-query workload");
+    let must = Must::build(
+        embedded.objects,
+        Weights::uniform(2),
+        MustBuildOptions { gamma: 16, ..Default::default() },
+    )
+    .unwrap();
+    (must, queries)
+}
+
+/// Same fixture, frozen for serving.
+fn serving_fixture() -> (MustServer, Vec<MultiQuery>) {
+    let (must, queries) = built_fixture();
+    (MustServer::freeze(must), queries)
+}
+
+/// Build once, search the same 64-query workload from 8 threads and
+/// serially: every thread must observe identical ranked ids, similarities,
+/// and `SearchStats` per query.
+#[test]
+fn eight_threads_match_serial_bit_for_bit() {
+    let (server, queries) = serving_fixture();
+    let (k, l) = (10, 60);
+
+    let mut worker = server.worker();
+    let serial: Vec<_> = queries.iter().map(|q| worker.search(q, k, l).unwrap()).collect();
+
+    std::thread::scope(|scope| {
+        for t in 0..8 {
+            let server = &server;
+            let queries = &queries;
+            let serial = &serial;
+            scope.spawn(move || {
+                let mut worker = server.worker();
+                for (qi, (q, expect)) in queries.iter().zip(serial).enumerate() {
+                    let got = worker.search(q, k, l).unwrap();
+                    assert_eq!(got.results, expect.results, "thread {t} query {qi}: ids/sims");
+                    assert_eq!(got.stats, expect.stats, "thread {t} query {qi}: stats");
+                }
+            });
+        }
+    });
+
+    // The batch API fans the same workload internally; same contract.
+    for threads in [2, 8] {
+        let batch = server.search_batch(&queries, k, l, threads);
+        for (qi, (got, expect)) in batch.into_iter().zip(&serial).enumerate() {
+            let got = got.unwrap();
+            assert_eq!(got.results, expect.results, "batch({threads}) query {qi}");
+            assert_eq!(got.stats, expect.stats, "batch({threads}) query {qi}");
+        }
+    }
+}
+
+/// The serve loop answers a full stream across 8 workers with, per query,
+/// exactly the serial outcome.
+#[test]
+fn serve_loop_matches_serial_outcomes() {
+    let (server, queries) = serving_fixture();
+    let (k, l) = (5, 40);
+    let mut worker = server.worker();
+    let serial: Vec<_> = queries.iter().map(|q| worker.search(q, k, l).unwrap()).collect();
+
+    let (req_tx, req_rx) = mpsc::channel();
+    let (rep_tx, rep_rx) = mpsc::channel();
+    for (i, q) in queries.iter().enumerate() {
+        req_tx.send(ServeRequest { id: i as u64, query: q.clone(), k, l }).unwrap();
+    }
+    drop(req_tx);
+    let served = server.serve(req_rx, rep_tx, 8);
+    assert_eq!(served, queries.len());
+
+    let mut replies: Vec<ServeReply> = rep_rx.iter().collect();
+    assert_eq!(replies.len(), queries.len());
+    replies.sort_by_key(|r| r.id);
+    for (i, rep) in replies.into_iter().enumerate() {
+        assert_eq!(rep.id, i as u64);
+        let out = rep.outcome.unwrap();
+        assert_eq!(out.results, serial[i].results, "request {i}");
+        assert_eq!(out.stats, serial[i].stats, "request {i}");
+    }
+}
+
+/// Offline build → bundle v2 on disk → `MustServer::load` → serving
+/// results identical to the in-process freeze (the README quickstart
+/// deployment path).
+#[test]
+fn bundle_v2_load_serves_identically() {
+    let (must, queries) = built_fixture();
+    let dir = std::env::temp_dir().join("must-serving-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join(format!("snapshot-{}.mustb", std::process::id()));
+    persist::save(&must, &path).unwrap();
+    let server = MustServer::freeze(must);
+
+    let loaded = MustServer::load(&path).unwrap();
+    std::fs::remove_file(&path).unwrap();
+    for (qi, q) in queries.iter().take(16).enumerate() {
+        let a = server.search(q, 10, 60).unwrap();
+        let b = loaded.search(q, 10, 60).unwrap();
+        assert_eq!(a.results, b.results, "query {qi}");
+        assert_eq!(a.stats, b.stats, "query {qi}");
+    }
+}
