@@ -24,6 +24,94 @@ fn bench_kernels(c: &mut Criterion) {
     group.finish();
 }
 
+/// Fused-row vs per-modality joint similarity: `m` modality segments of
+/// dimension `d` each, weights baked into the fused rows, against the old
+/// layout's loop of `m` separate `ip` calls with per-modality weight
+/// multiplies.  Reports the speedup ratio per `(m, d)` point.
+fn bench_ip_prescaled_segments(c: &mut Criterion) {
+    use must_vector::{FusedRows, VectorSetBuilder, Weights};
+    use std::time::Instant;
+
+    let mut group = c.benchmark_group("ip_prescaled_segments");
+    let mut ratios: Vec<(usize, usize, f64)> = Vec::new();
+    for m in [2usize, 3, 4] {
+        for d in [64usize, 128] {
+            // A small corpus so rows live in cache: this isolates the
+            // kernel shape (one fused pass vs m dispatched passes), not
+            // memory latency — the serving bench measures the cache side.
+            let n = 256usize;
+            let sets: Vec<_> = (0..m)
+                .map(|k| {
+                    let mut b = VectorSetBuilder::new(d, n);
+                    for i in 0..n {
+                        let v: Vec<f32> =
+                            (0..d).map(|j| ((i * 31 + j * 7 + k * 13) as f32).sin()).collect();
+                        b.push_normalized(&v).unwrap();
+                    }
+                    b.finish()
+                })
+                .collect();
+            let w = Weights::new((0..m).map(|k| 0.4 + 0.2 * k as f32).collect()).unwrap();
+            let fused = FusedRows::from_sets(&sets).unwrap().prescaled(&w).unwrap();
+            let qrow = fused.row(0).to_vec();
+
+            group.bench_with_input(BenchmarkId::new(format!("fused_m{m}"), d), &d, |bch, _| {
+                let mut id = 0u32;
+                bch.iter(|| {
+                    id = (id + 1) % n as u32;
+                    kernels::ip_prescaled_segments(black_box(fused.row(id)), black_box(&qrow))
+                })
+            });
+            group.bench_with_input(
+                BenchmarkId::new(format!("per_modality_m{m}"), d),
+                &d,
+                |bch, _| {
+                    let mut id = 0u32;
+                    bch.iter(|| {
+                        id = (id + 1) % n as u32;
+                        let id = black_box(id);
+                        let mut sum = 0.0f32;
+                        for (k, set) in sets.iter().enumerate() {
+                            sum += w.sq(k) * kernels::ip(set.get(id), black_box(set.get(0)));
+                        }
+                        sum
+                    })
+                },
+            );
+
+            // Direct ratio measurement (same work, interleaved timing) so
+            // the bench output carries the headline number.
+            let iters = 200_000u32;
+            let t0 = Instant::now();
+            let mut acc = 0.0f32;
+            for i in 0..iters {
+                let id = i % n as u32;
+                acc += kernels::ip_prescaled_segments(black_box(fused.row(id)), black_box(&qrow));
+            }
+            let fused_ns = t0.elapsed().as_nanos() as f64 / iters as f64;
+            let t0 = Instant::now();
+            for i in 0..iters {
+                let id = i % n as u32;
+                let mut sum = 0.0f32;
+                for (k, set) in sets.iter().enumerate() {
+                    sum += w.sq(k) * kernels::ip(set.get(id), black_box(set.get(0)));
+                }
+                acc += sum;
+            }
+            let loop_ns = t0.elapsed().as_nanos() as f64 / iters as f64;
+            black_box(acc);
+            ratios.push((m, d, loop_ns / fused_ns));
+        }
+    }
+    group.finish();
+    for (m, d, ratio) in &ratios {
+        eprintln!(
+            "[kernels] fused/per-modality ratio  m={m} d={d}: {ratio:.2}x \
+             (fused row is one contiguous ip)"
+        );
+    }
+}
+
 fn bench_joint(c: &mut Criterion) {
     use must_vector::{JointDistance, MultiQuery, MultiVectorSet, VectorSetBuilder, Weights};
     let n = 4096;
@@ -64,6 +152,6 @@ fn bench_joint(c: &mut Criterion) {
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(20);
-    targets = bench_kernels, bench_joint
+    targets = bench_kernels, bench_ip_prescaled_segments, bench_joint
 }
 criterion_main!(benches);

@@ -36,7 +36,7 @@ fn main() {
     println!("MUST fused-index neighbours (top 3) — per-modality + joint similarity:");
     let graph = must.index().graph().expect("fused recipe is flat");
     for &nb in graph.neighbors(vertex).iter().take(3) {
-        let ips = objects.modality_ips(vertex, nb);
+        let ips: Vec<f32> = objects.modality_ips(vertex, nb).collect();
         let joint = objects.joint_ip(vertex, nb, must.weights()).unwrap();
         println!(
             "   object {nb:>6}  sim(m0) = {:.4}  sim(m1) = {:.4}  joint = {:.4}",
@@ -52,7 +52,7 @@ fn main() {
         let (graph, _) = GraphRecipe::Fused.pipeline(30, 0xF19).unwrap().build(&oracle);
         println!("\nMR modality-{mi} index neighbours (top 3):");
         for &nb in graph.neighbors(vertex).iter().take(3) {
-            let ips = objects.modality_ips(vertex, nb);
+            let ips: Vec<f32> = objects.modality_ips(vertex, nb).collect();
             println!("   object {nb:>6}  sim(m0) = {:.4}  sim(m1) = {:.4}", ips[0], ips[1]);
         }
     }

@@ -11,7 +11,7 @@ use must_core::{Must, MustBuildOptions};
 use must_data::embed::embed_dataset;
 use must_data::LatentDataset;
 use must_encoders::{EncoderConfig, TargetEncoding, UnimodalKind};
-use must_graph::search::VisitedSet;
+use must_graph::search::SearchScratch;
 use must_graph::SearchParams;
 use must_vector::{MultiQuery, ObjectId, Weights};
 
@@ -135,7 +135,7 @@ pub fn mr_sweep(
     mr: &MultiStreamedRetrieval<'_>,
     candidate_sizes: &[usize],
 ) -> Vec<SweepPoint> {
-    let mut visited = VisitedSet::default();
+    let mut visited = SearchScratch::default();
     candidate_sizes
         .iter()
         .map(|&c| {

@@ -10,21 +10,21 @@
 
 use std::time::Instant;
 
-use must_graph::search::{beam_search, VisitedSet};
+use must_graph::search::{beam_search, SearchScratch};
 use must_graph::{Graph, GraphRecipe, SearchParams, SimilarityOracle};
-use must_vector::{kernels, MultiQuery, MultiVectorSet, ObjectId, VectorSet};
+use must_vector::{kernels, ModalityView, MultiQuery, MultiVectorSet, ObjectId};
 
 use crate::MustError;
 
 /// Similarity oracle over a single modality (unit-norm IP).
 pub struct SingleModalityOracle<'a> {
-    set: &'a VectorSet,
+    set: ModalityView<'a>,
     centroid: Vec<f32>,
 }
 
 impl<'a> SingleModalityOracle<'a> {
-    /// Creates the oracle for one modality's vector set.
-    pub fn new(set: &'a VectorSet) -> Self {
+    /// Creates the oracle for one modality's vectors.
+    pub fn new(set: ModalityView<'a>) -> Self {
         Self { centroid: set.centroid(), set }
     }
 }
@@ -60,7 +60,7 @@ impl Default for BaselineOptions {
 }
 
 fn build_single_modality_graph(
-    set: &VectorSet,
+    set: ModalityView<'_>,
     opts: &BaselineOptions,
 ) -> Result<Graph, MustError> {
     let oracle = SingleModalityOracle::new(set);
@@ -103,7 +103,6 @@ impl<'a> MultiStreamedRetrieval<'a> {
         let t0 = Instant::now();
         let graphs = set
             .modalities()
-            .iter()
             .map(|m| build_single_modality_graph(m, &opts))
             .collect::<Result<Vec<_>, _>>()?;
         Ok(Self { set, graphs, build_secs: t0.elapsed().as_secs_f64() })
@@ -131,7 +130,7 @@ impl<'a> MultiStreamedRetrieval<'a> {
         query: &MultiQuery,
         k: usize,
         l_candidates: usize,
-        visited: &mut VisitedSet,
+        scratch: &mut SearchScratch,
     ) -> MrOutcome {
         let t0 = Instant::now();
         let mut per_modality: Vec<Vec<(ObjectId, f32)>> = Vec::new();
@@ -141,7 +140,7 @@ impl<'a> MultiStreamedRetrieval<'a> {
             let scorer = crate::oracle::SingleModalityScorer::new(set, slot)
                 .expect("corpus and query dimensions agree per modality");
             let params = SearchParams::new(l_candidates, l_candidates.max(k));
-            let res = beam_search(graph, &scorer, params, visited, 0x111 + mi as u64);
+            let res = beam_search(graph, &scorer, params, scratch, 0x111 + mi as u64);
             per_modality.push(res.results);
         }
         let (results, intersection_size) = merge_candidates(&per_modality, k);
@@ -195,7 +194,7 @@ pub fn merge_candidates(
 /// JE: a single graph over the target modality; queries must carry a
 /// composition vector in slot 0 (Option 2 encoding).
 pub struct JointEmbedding<'a> {
-    set: &'a VectorSet,
+    set: ModalityView<'a>,
     graph: Graph,
     /// Build seconds.
     pub build_secs: f64,
@@ -222,7 +221,7 @@ impl<'a> JointEmbedding<'a> {
         query: &MultiQuery,
         k: usize,
         l: usize,
-        visited: &mut VisitedSet,
+        scratch: &mut SearchScratch,
     ) -> Result<Vec<(ObjectId, f32)>, MustError> {
         let slot = query
             .slot(0)
@@ -236,14 +235,14 @@ impl<'a> JointEmbedding<'a> {
         }
         let scorer = crate::oracle::SingleModalityScorer::new(self.set, slot)
             .expect("dimensions checked above");
-        let res = beam_search(&self.graph, &scorer, SearchParams::new(k, l), visited, 0x7E);
+        let res = beam_search(&self.graph, &scorer, SearchParams::new(k, l), scratch, 0x7E);
         Ok(res.results)
     }
 }
 
 /// Cosine-style single-vector distance check used in tests and case
 /// studies: the similarity JE believes it is ranking by.
-pub fn je_similarity(set: &VectorSet, id: ObjectId, composition: &[f32]) -> f32 {
+pub fn je_similarity(set: ModalityView<'_>, id: ObjectId, composition: &[f32]) -> f32 {
     kernels::ip(set.get(id), composition)
 }
 
@@ -299,7 +298,7 @@ mod tests {
         let mr = MultiStreamedRetrieval::build(&set, BaselineOptions { gamma: 10, ..Default::default() })
             .unwrap();
         assert!(mr.index_bytes() > 0);
-        let mut visited = VisitedSet::default();
+        let mut visited = SearchScratch::default();
         // Query = object 37's own vectors: it is in both top candidate
         // sets, so the intersection must surface it.
         let q = MultiQuery::full(vec![
@@ -321,7 +320,7 @@ mod tests {
             set.modality(1).get(11).to_vec(),
         ]);
         let exact = mr.brute_force_search(&q, 3, 80);
-        let mut visited = VisitedSet::default();
+        let mut visited = SearchScratch::default();
         let approx = mr.search(&q, 3, 80, &mut visited);
         assert_eq!(exact.results[0], approx.results[0]);
     }
@@ -331,7 +330,7 @@ mod tests {
         let set = corpus(250);
         let je =
             JointEmbedding::build(&set, BaselineOptions { gamma: 10, ..Default::default() }).unwrap();
-        let mut visited = VisitedSet::default();
+        let mut visited = SearchScratch::default();
         let q = MultiQuery::full(vec![set.modality(0).get(9).to_vec(), set.modality(1).get(200).to_vec()]);
         let res = je.search(&q, 1, 40, &mut visited).unwrap();
         // JE ignores modality 1 entirely: the top hit follows slot 0.
@@ -342,7 +341,7 @@ mod tests {
     fn je_rejects_missing_or_misshapen_slot0() {
         let set = corpus(50);
         let je = JointEmbedding::build(&set, BaselineOptions { gamma: 8, ..Default::default() }).unwrap();
-        let mut visited = VisitedSet::default();
+        let mut visited = SearchScratch::default();
         let no_slot = MultiQuery::partial(vec![None, Some(set.modality(1).get(0).to_vec())]);
         assert!(je.search(&no_slot, 1, 10, &mut visited).is_err());
         let wrong_dim = MultiQuery::full(vec![vec![1.0, 0.0], set.modality(1).get(0).to_vec()]);

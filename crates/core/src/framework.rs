@@ -2,7 +2,7 @@
 //! or user-defined weights, fused index, joint search out.
 
 use must_graph::{GraphRecipe, SearchParams};
-use must_vector::{JointDistance, MultiQuery, MultiVectorSet, ObjectId, Weights};
+use must_vector::{FusedRows, JointDistance, MultiQuery, MultiVectorSet, ObjectId, Weights};
 
 use crate::index::{build_index, BuildReport, IndexOptions, MustIndex};
 use crate::oracle::JointOracle;
@@ -43,6 +43,10 @@ impl Default for MustBuildOptions {
 pub struct Must {
     objects: MultiVectorSet,
     weights: Weights,
+    /// The weight-prescaled fused-row engine: built once (during index
+    /// construction, or at load), shared by every searcher this instance
+    /// hands out and passed on to a frozen server without re-copying.
+    engine: FusedRows,
     index: MustIndex,
     report: BuildReport,
     prune: bool,
@@ -50,6 +54,22 @@ pub struct Must {
     /// connectivity and are filtered from results until reconstruction).
     deleted: Vec<u64>,
     deleted_count: usize,
+}
+
+/// The owned parts of a [`Must`] instance, as handed to
+/// [`crate::server::MustServer::freeze`] — including the prescaled
+/// fused-row engine, so freezing never re-copies the corpus.
+pub struct MustParts {
+    /// The multi-vector corpus.
+    pub objects: MultiVectorSet,
+    /// The weights the index was built under.
+    pub weights: Weights,
+    /// The weight-prescaled fused-row engine.
+    pub engine: FusedRows,
+    /// The built index.
+    pub index: MustIndex,
+    /// Whether searches prune (Lemma 4).
+    pub prune: bool,
 }
 
 impl Must {
@@ -64,9 +84,9 @@ impl Must {
         weights: Weights,
         opts: MustBuildOptions,
     ) -> Result<Self, MustError> {
-        let (index, report) = {
+        let (index, report, engine) = {
             let oracle = JointOracle::new(&objects, weights.clone())?;
-            build_index(
+            let (index, report) = build_index(
                 &oracle,
                 IndexOptions {
                     gamma: opts.gamma,
@@ -74,10 +94,22 @@ impl Must {
                     recipe: opts.recipe,
                     rng_seed: opts.rng_seed,
                 },
-            )?
+            )?;
+            // Keep the oracle's prescaled engine: the same storage the
+            // index was built on serves every future search.
+            (index, report, oracle.into_engine())
         };
         let deleted = vec![0u64; objects.len().div_ceil(64)];
-        Ok(Self { objects, weights, index, report, prune: opts.prune, deleted, deleted_count: 0 })
+        Ok(Self {
+            objects,
+            weights,
+            engine,
+            index,
+            report,
+            prune: opts.prune,
+            deleted,
+            deleted_count: 0,
+        })
     }
 
     /// Marks object `id` as deleted (Section IX).  The vertex stays in the
@@ -136,8 +168,12 @@ impl Must {
         }
         let id = self.objects.push_object(rows)?;
         self.deleted.resize(self.objects.len().div_ceil(64), 0);
-        let Self { objects, weights, index, .. } = self;
-        let oracle = JointOracle::new(objects, weights.clone())?;
+        // Mirror the new (normalised) object into the prescaled engine so
+        // similarity structures and corpus stay in lockstep.
+        let normalized: Vec<&[f32]> = self.objects.object(id).collect();
+        self.engine.push_row(&normalized)?;
+        let Self { objects, weights, engine, index, .. } = self;
+        let oracle = JointOracle::with_engine(objects, weights.clone(), engine)?;
         match index {
             MustIndex::Hnsw(h) => h.insert_new(&oracle, id, 0x1A5E),
             MustIndex::Flat(_) => unreachable!("checked above"),
@@ -177,6 +213,7 @@ impl Must {
         if index.as_ann().len() != objects.len() {
             return Err(MustError::Config("graph/corpus cardinality mismatch".into()));
         }
+        let engine = objects.fused().prescaled(&weights).map_err(MustError::Vector)?;
         let report = BuildReport {
             recipe: opts.recipe,
             gamma: opts.gamma,
@@ -185,16 +222,36 @@ impl Must {
             pipeline: None,
         };
         let deleted = vec![0u64; objects.len().div_ceil(64)];
-        Ok(Self { objects, weights, index, report, prune: opts.prune, deleted, deleted_count: 0 })
+        Ok(Self {
+            objects,
+            weights,
+            engine,
+            index,
+            report,
+            prune: opts.prune,
+            deleted,
+            deleted_count: 0,
+        })
     }
 
-    /// Decomposes the instance into its owned parts
-    /// `(objects, weights, index, prune)` — how [`crate::server::MustServer`]
-    /// takes ownership of a freshly loaded bundle without re-cloning the
-    /// corpus.  Tombstone state is discarded: serving snapshots are frozen
-    /// at reconstruction time, matching the paper's offline/online split.
-    pub fn into_parts(self) -> (MultiVectorSet, Weights, MustIndex, bool) {
-        (self.objects, self.weights, self.index, self.prune)
+    /// Decomposes the instance into its owned [`MustParts`] — how
+    /// [`crate::server::MustServer`] takes ownership of a freshly loaded
+    /// bundle without re-cloning the corpus or re-prescaling the engine.
+    /// Tombstone state is discarded: serving snapshots are frozen at
+    /// reconstruction time, matching the paper's offline/online split.
+    pub fn into_parts(self) -> MustParts {
+        MustParts {
+            objects: self.objects,
+            weights: self.weights,
+            engine: self.engine,
+            index: self.index,
+            prune: self.prune,
+        }
+    }
+
+    /// The weight-prescaled fused-row engine searches run on.
+    pub fn engine(&self) -> &FusedRows {
+        &self.engine
     }
 
     /// Runs the vector-weight-learning model on `anchors`
@@ -238,11 +295,12 @@ impl Must {
         self.prune = prune;
     }
 
-    /// Creates a reusable searcher (allocation-free across a batch).
+    /// Creates a reusable searcher (allocation-free across a batch): the
+    /// prescaled engine is shared, not copied.
     pub fn searcher(&self) -> MustSearcher<'_> {
         MustSearcher {
-            joint: JointDistance::new(&self.objects, self.weights.clone())
-                .expect("weights validated at build"),
+            joint: JointDistance::with_engine(&self.objects, self.weights.clone(), &self.engine)
+                .expect("engine built from these objects and weights"),
             inner: JointSearcher::new(),
             must: self,
         }
@@ -267,7 +325,7 @@ impl Must {
     /// # Errors
     /// Propagates arity/dimension mismatches.
     pub fn brute_force(&self, query: &MultiQuery, k: usize) -> Result<SearchOutcome, MustError> {
-        let joint = JointDistance::new(&self.objects, self.weights.clone())?;
+        let joint = JointDistance::with_engine(&self.objects, self.weights.clone(), &self.engine)?;
         let mut out = brute_force_search(&joint, query, k + self.deleted_count, self.prune)?;
         if self.deleted_count > 0 {
             out.results.retain(|(id, _)| !self.is_deleted(*id));

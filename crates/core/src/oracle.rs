@@ -1,32 +1,57 @@
 //! Bridges the vector layer to the graph layer: the joint-similarity
 //! oracle (Lemma 1) for index construction and the query scorer with the
 //! multi-vector pruning optimisation (Lemma 4) for search.
+//!
+//! Both sides run on the fused-row storage engine
+//! ([`must_vector::FusedRows`]): the corpus is prescaled by the weights
+//! *once* at oracle construction, after which every pairwise similarity is
+//! a single contiguous dot product and every query is fused into one
+//! padded row up front.
 
 use must_graph::{QueryScorer, SimilarityOracle};
 use must_vector::{
-    JointDistance, MultiQuery, MultiVectorSet, PartialIpVerdict, QueryEvaluator, VectorError,
-    VectorSet, Weights,
+    FusedRows, JointDistance, MultiQuery, MultiVectorSet, PartialIpVerdict, QueryEvaluator,
+    VectorError, Weights,
 };
 
 /// Joint-similarity oracle over a multi-vector corpus under fixed weights —
 /// what Algorithm 1 builds the fused index on.
 pub struct JointOracle<'a> {
     joint: JointDistance<'a>,
-    /// Per-modality centroid vectors (component ④ support).
-    centroid: Vec<Vec<f32>>,
+    /// The fused centroid of all virtual points (component ④ support):
+    /// `sim_to_centroid` is one dot product against this row.
+    centroid_row: Vec<f32>,
     w_total: f32,
 }
 
 impl<'a> JointOracle<'a> {
-    /// Creates the oracle.
+    /// Creates the oracle, prescaling the corpus into a fused-row engine.
     ///
     /// # Errors
     /// Propagates weight-arity mismatches from the vector layer.
     pub fn new(set: &'a MultiVectorSet, weights: Weights) -> Result<Self, VectorError> {
         let joint = JointDistance::new(set, weights)?;
-        let centroid = joint.centroid();
+        let centroid_row = joint.engine().centroid_row();
         let w_total = joint.weights().squared().iter().sum();
-        Ok(Self { joint, centroid, w_total })
+        Ok(Self { joint, centroid_row, w_total })
+    }
+
+    /// Creates the oracle over an *already prescaled* engine (no corpus
+    /// copy) — dynamic insertion re-enters index construction this way,
+    /// reusing the engine the framework instance owns.
+    ///
+    /// # Errors
+    /// Propagates arity / shape mismatches between `set`, `weights`, and
+    /// `engine`.
+    pub fn with_engine(
+        set: &'a MultiVectorSet,
+        weights: Weights,
+        engine: &'a FusedRows,
+    ) -> Result<Self, VectorError> {
+        let joint = JointDistance::with_engine(set, weights, engine)?;
+        let centroid_row = joint.engine().centroid_row();
+        let w_total = joint.weights().squared().iter().sum();
+        Ok(Self { joint, centroid_row, w_total })
     }
 
     /// The underlying joint-distance computer.
@@ -42,6 +67,13 @@ impl<'a> JointOracle<'a> {
     /// The multi-vector corpus.
     pub fn set(&self) -> &'a MultiVectorSet {
         self.joint.set()
+    }
+
+    /// Extracts the prescaled fused-row engine, so the layer that built
+    /// the index can keep serving from the same storage without a second
+    /// prescale pass.
+    pub fn into_engine(self) -> FusedRows {
+        self.joint.into_engine()
     }
 }
 
@@ -61,42 +93,60 @@ impl SimilarityOracle for JointOracle<'_> {
     }
 
     fn sim_to_centroid(&self, a: u32) -> f32 {
-        let refs: Vec<&[f32]> = self.centroid.iter().map(Vec::as_slice).collect();
-        self.joint.ip_to_point(a, &refs)
+        // Both rows carry one factor of omega per modality, so this is the
+        // Lemma-1 weighted sum against the centroid — one dot product.
+        must_vector::kernels::ip_prescaled_segments(
+            self.joint.engine().row(a),
+            &self.centroid_row,
+        )
     }
 }
 
 /// Query scorer feeding graph search, with the Lemma-4 incremental
 /// multi-vector computation toggleable (the Fig. 10(c) ablation).
-pub struct MustQueryScorer<'a, 'q> {
-    eval: QueryEvaluator<'a, 'q>,
+pub struct MustQueryScorer<'a> {
+    eval: QueryEvaluator<'a>,
     prune: bool,
 }
 
-impl<'a, 'q> MustQueryScorer<'a, 'q> {
+impl<'a> MustQueryScorer<'a> {
     /// Prepares a scorer for `query` over `oracle`'s corpus and weights.
     ///
     /// # Errors
     /// Propagates slot-arity / dimension mismatches.
     pub fn new(
-        oracle: &JointOracle<'a>,
-        query: &'q MultiQuery,
+        oracle: &'a JointOracle<'_>,
+        query: &MultiQuery,
         prune: bool,
     ) -> Result<Self, VectorError> {
-        Self::from_joint(oracle.joint(), query, prune)
+        Self::from_joint(&oracle.joint, query, prune)
     }
 
-    /// Prepares a scorer directly from a [`JointDistance`] (the hot search
-    /// path: no centroid computation).
+    /// Prepares a scorer from a [`JointDistance`]: the query is scaled and
+    /// fused into one row here, once, so scoring a candidate costs a single
+    /// dot product (exact) or an early-exiting segment walk (pruned).
     ///
     /// # Errors
     /// Propagates slot-arity / dimension mismatches.
     pub fn from_joint(
-        joint: &JointDistance<'a>,
-        query: &'q MultiQuery,
+        joint: &'a JointDistance<'_>,
+        query: &MultiQuery,
         prune: bool,
     ) -> Result<Self, VectorError> {
         Ok(Self { eval: joint.query(query)?, prune })
+    }
+
+    /// Prepares a scorer straight from a prescaled fused-row engine — the
+    /// serving hot path, where the engine is shared behind an `Arc`.
+    ///
+    /// # Errors
+    /// Propagates slot-arity / dimension mismatches.
+    pub fn from_engine(
+        engine: &'a FusedRows,
+        query: &MultiQuery,
+        prune: bool,
+    ) -> Result<Self, VectorError> {
+        Ok(Self { eval: engine.query(query)?, prune })
     }
 
     /// Number of per-modality kernel evaluations performed so far.
@@ -105,7 +155,7 @@ impl<'a, 'q> MustQueryScorer<'a, 'q> {
     }
 }
 
-impl QueryScorer for MustQueryScorer<'_, '_> {
+impl QueryScorer for MustQueryScorer<'_> {
     fn score(&self, id: u32) -> f32 {
         self.eval.ip(id)
     }
@@ -121,7 +171,7 @@ impl QueryScorer for MustQueryScorer<'_, '_> {
     }
 }
 
-/// Scorer for one modality's vector set against a single query slot — the
+/// Scorer for one modality's vectors against a single query slot — the
 /// baselines' (MR sub-queries, JE composition search) entry into the same
 /// [`QueryScorer`] seam the joint search uses, replacing ad-hoc closures.
 ///
@@ -130,7 +180,7 @@ impl QueryScorer for MustQueryScorer<'_, '_> {
 /// already optimal; only MUST's multi-vector scorer adds the Lemma-4
 /// prefix bound on top.
 pub struct SingleModalityScorer<'a> {
-    set: &'a VectorSet,
+    set: must_vector::ModalityView<'a>,
     query: &'a [f32],
 }
 
@@ -138,8 +188,11 @@ impl<'a> SingleModalityScorer<'a> {
     /// Binds a modality's corpus-side vectors to one query slot.
     ///
     /// # Errors
-    /// Dimension mismatch between the slot and the vector set.
-    pub fn new(set: &'a VectorSet, query: &'a [f32]) -> Result<Self, VectorError> {
+    /// Dimension mismatch between the slot and the modality.
+    pub fn new(
+        set: must_vector::ModalityView<'a>,
+        query: &'a [f32],
+    ) -> Result<Self, VectorError> {
         if query.len() != set.dim() {
             return Err(VectorError::DimensionMismatch { expected: set.dim(), got: query.len() });
         }
@@ -198,6 +251,22 @@ mod tests {
     }
 
     #[test]
+    fn centroid_similarity_matches_per_modality_expansion() {
+        let set = corpus();
+        let w = Weights::new(vec![0.7, 0.4]).unwrap();
+        let oracle = JointOracle::new(&set, w.clone()).unwrap();
+        let centroids: Vec<Vec<f32>> = set.modalities().map(|m| m.centroid()).collect();
+        for id in 0..4u32 {
+            let want: f32 = centroids
+                .iter()
+                .enumerate()
+                .map(|(k, c)| w.sq(k) * set.modality(k).ip_to(id, c))
+                .sum();
+            assert!((oracle.sim_to_centroid(id) - want).abs() < 1e-5);
+        }
+    }
+
+    #[test]
     fn scorer_prune_toggle_changes_counters_not_results() {
         let set = corpus();
         let oracle = JointOracle::new(&set, Weights::uniform(2)).unwrap();
@@ -215,5 +284,19 @@ mod tests {
         // With an impossible threshold the pruning scorer discards early.
         assert!(pruning.score_pruned(0, 10.0).is_none());
         assert!(plain.score_pruned(0, 10.0).is_some());
+    }
+
+    #[test]
+    fn engine_backed_scorer_matches_oracle_scorer() {
+        let set = corpus();
+        let w = Weights::new(vec![0.9, 0.5]).unwrap();
+        let oracle = JointOracle::new(&set, w.clone()).unwrap();
+        let q = MultiQuery::full(vec![vec![0.0, 1.0, 0.0, 0.0], vec![1.0, 0.0, 0.0]]);
+        let via_oracle = MustQueryScorer::new(&oracle, &q, true).unwrap();
+        let engine = set.fused().prescaled(&w).unwrap();
+        let via_engine = MustQueryScorer::from_engine(&engine, &q, true).unwrap();
+        for id in 0..4 {
+            assert_eq!(via_oracle.score(id), via_engine.score(id));
+        }
     }
 }

@@ -3,16 +3,22 @@
 //! deployment does between the offline build and online serving (Fig. 4's
 //! offline/online split).
 //!
-//! Two wire formats coexist:
+//! Three wire formats coexist:
 //!
-//! * **Bundle v2** (current, [`save`]): a length-prefixed little-endian
-//!   binary layout — magic + version header, raw `f32` vector blocks per
-//!   modality, and the index as flat arrays (CSR for flat-graph backends,
-//!   the flattened layered form for HNSW).  Roughly an order of magnitude
-//!   smaller and faster to load than v1, and it round-trips *every*
-//!   backend, HNSW included.  See `DESIGN.md` §6 for the byte-level table.
+//! * **Bundle v3** (current, [`save`]): like v2, but the corpus block is
+//!   written in the *fused-row layout* ([`must_vector::FusedRows`]):
+//!   per-modality dims, the SIMD lane width, then `n · stride` raw `f32`
+//!   rows, padding included.  [`load`] hands the block straight to
+//!   [`FusedRows::from_raw_parts`] — the engine is reconstructed without
+//!   the per-modality re-copy the v2 path needs.
+//! * **Bundle v2**: a length-prefixed little-endian binary layout — magic
+//!   and version header, raw `f32` vector blocks per modality, and the
+//!   index as flat arrays (CSR for flat-graph backends, the flattened
+//!   layered form for HNSW).  Still loadable; no longer written.  See
+//!   `DESIGN.md` §6 for the byte-level table of both binary versions.
 //! * **Bundle v1** ([`save_json`]): the original JSON format, flat-graph
-//!   backends only.  [`load`] sniffs the magic bytes and accepts both.
+//!   backends only.  [`load`] sniffs the magic bytes and accepts all
+//!   three.
 //!
 //! I/O and (de)serialisation failures surface as [`MustError::Io`];
 //! semantic problems (unsupported version, corpus/graph inconsistency)
@@ -23,7 +29,7 @@ use std::path::Path;
 
 use must_graph::csr::CsrGraph;
 use must_graph::hnsw::{Hnsw, HnswFlat};
-use must_vector::{MultiVectorSet, VectorSet, Weights};
+use must_vector::{FusedRows, MultiVectorSet, VectorSet, Weights, FUSED_LANE};
 use serde::{Deserialize, Serialize};
 
 use crate::framework::{Must, MustBuildOptions};
@@ -48,8 +54,11 @@ pub struct MustBundle {
 /// Version written by [`save_json`] (the legacy JSON path).
 pub const BUNDLE_VERSION: u32 = 1;
 
-/// Version written by [`save`] (the binary path).
+/// Legacy binary version (per-modality corpus blocks); still loadable.
 pub const BUNDLE_V2_VERSION: u32 = 2;
+
+/// Version written by [`save`] (the binary path, fused-row corpus block).
+pub const BUNDLE_V3_VERSION: u32 = 3;
 
 /// Magic bytes opening every v2 bundle; [`load`] uses them to tell the
 /// binary format from v1 JSON.
@@ -182,9 +191,11 @@ fn reject_tombstones(must: &Must) -> Result<(), MustError> {
     Ok(())
 }
 
-/// Serialises `must` to `path` in the bundle-v2 binary format.  Every
+/// Serialises `must` to `path` in the bundle-v3 binary format.  Every
 /// backend is persistable: flat-graph indexes freeze to CSR arrays, HNSW
-/// to its flattened layered form.
+/// to its flattened layered form.  The corpus block is the raw fused-row
+/// buffer (padding included), so [`load`] reconstructs the storage engine
+/// with a single bulk read.
 ///
 /// # Errors
 /// [`MustError::Io`] for file-system and encoding failures;
@@ -196,32 +207,19 @@ pub fn save(must: &Must, path: &Path) -> Result<(), MustError> {
         .map_err(|e| MustError::Io(format!("create {}: {e}", path.display())))?;
     let mut w = BufWriter::new(file);
     w.write_all(&BUNDLE_V2_MAGIC).map_err(io("write magic"))?;
-    wr_u32(&mut w, BUNDLE_V2_VERSION)?;
+    wr_u32(&mut w, BUNDLE_V3_VERSION)?;
     wr_u8(&mut w, must.prune() as u8)?;
 
-    // Corpus: per-modality raw f32 blocks, streamed through one shared
-    // chunk buffer (no per-vector allocation).
-    let objects = must.objects();
-    wr_u32(&mut w, objects.num_modalities() as u32)?;
-    let mut buf: Vec<u8> = Vec::with_capacity((1 << 16) * 4);
-    for mi in 0..objects.num_modalities() {
-        let set = objects.modality(mi);
-        wr_u32(&mut w, set.dim() as u32)?;
-        wr_u64(&mut w, set.len() as u64)?;
-        for (_, v) in set.iter() {
-            for x in v {
-                buf.extend_from_slice(&x.to_le_bytes());
-            }
-            if buf.len() >= (1 << 16) * 4 {
-                w.write_all(&buf).map_err(io("write vector block"))?;
-                buf.clear();
-            }
-        }
-        if !buf.is_empty() {
-            w.write_all(&buf).map_err(io("write vector block"))?;
-            buf.clear();
-        }
+    // Corpus: the raw (unscaled) fused rows, exactly as they sit in
+    // memory — dims, lane width, then n·stride floats.
+    let rows = must.objects().fused();
+    wr_u32(&mut w, rows.num_modalities() as u32)?;
+    for &d in rows.dims() {
+        wr_u32(&mut w, d as u32)?;
     }
+    wr_u32(&mut w, FUSED_LANE as u32)?;
+    wr_u64(&mut w, rows.len() as u64)?;
+    wr_words(&mut w, rows.raw_data(), |x| x.to_le_bytes())?;
 
     // Weights (raw omega; squared form is recomputed on load).
     wr_words(&mut w, must.weights().raw(), |x| x.to_le_bytes())?;
@@ -329,9 +327,9 @@ pub fn load(path: &Path) -> Result<Must, MustError> {
 
 fn load_v2_body(r: &mut impl Read) -> Result<Must, MustError> {
     let version = rd_u32(r)?;
-    if version != BUNDLE_V2_VERSION {
+    if version != BUNDLE_V2_VERSION && version != BUNDLE_V3_VERSION {
         return Err(MustError::Config(format!(
-            "unsupported bundle version {version} (expected {BUNDLE_V2_VERSION})"
+            "unsupported bundle version {version} (expected {BUNDLE_V2_VERSION} or {BUNDLE_V3_VERSION})"
         )));
     }
     let prune = rd_u8(r)? != 0;
@@ -340,22 +338,53 @@ fn load_v2_body(r: &mut impl Read) -> Result<Must, MustError> {
     if m == 0 {
         return Err(MustError::Config("bundle has no modalities".into()));
     }
-    let mut modalities = Vec::with_capacity(m.min(MAX_PREALLOC));
-    for mi in 0..m {
-        let dim = checked_len(rd_u32(r)? as u64, "dimension")?;
-        if dim == 0 {
-            return Err(MustError::Config(format!("modality {mi} has zero dimension")));
+    let objects = if version == BUNDLE_V3_VERSION {
+        // v3: the corpus block *is* the fused-row buffer — read it in one
+        // sweep and hand it to the engine, no per-modality re-copy.
+        let mut dims = Vec::with_capacity(m.min(MAX_PREALLOC));
+        for mi in 0..m {
+            let dim = checked_len(rd_u32(r)? as u64, "dimension")?;
+            if dim == 0 {
+                return Err(MustError::Config(format!("modality {mi} has zero dimension")));
+            }
+            dims.push(dim);
         }
+        let lane = rd_u32(r)? as usize;
+        if lane != FUSED_LANE {
+            return Err(MustError::Config(format!(
+                "bundle written with fused lane {lane}, this build uses {FUSED_LANE}"
+            )));
+        }
+        let stride: usize = dims.iter().map(|d| d.div_ceil(lane) * lane).sum();
         let n = checked_len(rd_u64(r)?, "cardinality")?;
         let total = n
-            .checked_mul(dim)
+            .checked_mul(stride)
             .filter(|t| (*t as u64) < MAX_ELEMS)
-            .ok_or_else(|| MustError::Io("corrupt vector block size".into()))?;
-        let data = rd_words(r, total, "vector block", f32::from_le_bytes)?;
-        modalities
-            .push(VectorSet::from_flat(dim, data).map_err(|e| MustError::Config(e.to_string()))?);
-    }
-    let objects = MultiVectorSet::new(modalities).map_err(MustError::Vector)?;
+            .ok_or_else(|| MustError::Io("corrupt fused block size".into()))?;
+        let data = rd_words(r, total, "fused row block", f32::from_le_bytes)?;
+        let rows = FusedRows::from_raw_parts(dims, data, vec![1.0; m])
+            .map_err(|e| MustError::Config(e.to_string()))?;
+        MultiVectorSet::from_fused(rows)
+    } else {
+        // v2: per-modality blocks, fused at load.
+        let mut modalities = Vec::with_capacity(m.min(MAX_PREALLOC));
+        for mi in 0..m {
+            let dim = checked_len(rd_u32(r)? as u64, "dimension")?;
+            if dim == 0 {
+                return Err(MustError::Config(format!("modality {mi} has zero dimension")));
+            }
+            let n = checked_len(rd_u64(r)?, "cardinality")?;
+            let total = n
+                .checked_mul(dim)
+                .filter(|t| (*t as u64) < MAX_ELEMS)
+                .ok_or_else(|| MustError::Io("corrupt vector block size".into()))?;
+            let data = rd_words(r, total, "vector block", f32::from_le_bytes)?;
+            modalities.push(
+                VectorSet::from_flat(dim, data).map_err(|e| MustError::Config(e.to_string()))?,
+            );
+        }
+        MultiVectorSet::new(modalities).map_err(MustError::Vector)?
+    };
 
     let omega = rd_words(r, m, "weights", f32::from_le_bytes)?;
     let weights = Weights::new(omega).map_err(MustError::Vector)?;
@@ -480,6 +509,49 @@ mod tests {
         let new1: Vec<f32> = (0..4).map(|i| if i == 2 { 1.0 } else { 0.01 }).collect();
         let id = loaded.insert_object(&[new0, new1]).unwrap();
         assert_eq!(id, 120, "reloaded HNSW stays dynamic");
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn legacy_v2_bundles_still_load() {
+        // `save` writes v3 now; hand-craft a v2 bundle (per-modality
+        // corpus blocks) and check the sniffing loader still accepts it
+        // and serves identical results.
+        let set = corpus(120);
+        let must =
+            Must::build(set, Weights::new(vec![0.6, 0.9]).unwrap(), MustBuildOptions::default())
+                .unwrap();
+        let csr = CsrGraph::from_graph(must.index().graph().expect("flat backend"));
+        let path = tmp("legacy-v2.mustb");
+        {
+            let file = std::fs::File::create(&path).unwrap();
+            let mut w = BufWriter::new(file);
+            w.write_all(&BUNDLE_V2_MAGIC).unwrap();
+            wr_u32(&mut w, BUNDLE_V2_VERSION).unwrap();
+            wr_u8(&mut w, must.prune() as u8).unwrap();
+            let objects = must.objects();
+            wr_u32(&mut w, objects.num_modalities() as u32).unwrap();
+            for mi in 0..objects.num_modalities() {
+                let m = objects.modality(mi);
+                wr_u32(&mut w, m.dim() as u32).unwrap();
+                wr_u64(&mut w, m.len() as u64).unwrap();
+                let mut flat = Vec::with_capacity(m.len() * m.dim());
+                for (_, v) in m.iter() {
+                    flat.extend_from_slice(v);
+                }
+                wr_words(&mut w, &flat, |x: f32| x.to_le_bytes()).unwrap();
+            }
+            wr_words(&mut w, must.weights().raw(), |x: f32| x.to_le_bytes()).unwrap();
+            wr_u8(&mut w, INDEX_TAG_CSR).unwrap();
+            wr_u32(&mut w, csr.seed()).unwrap();
+            wr_u32s(&mut w, csr.offsets()).unwrap();
+            wr_u32s(&mut w, csr.edges()).unwrap();
+            w.flush().unwrap();
+        }
+        let loaded = load(&path).unwrap();
+        assert_eq!(loaded.objects().len(), 120);
+        assert_eq!(loaded.weights(), must.weights());
+        assert_identical_searches(&must, &loaded, &[1, 60, 119]);
         std::fs::remove_file(&path).unwrap();
     }
 

@@ -4,7 +4,7 @@
 
 use std::time::Instant;
 
-use must_graph::search::{beam_search, VisitedSet};
+use must_graph::search::{beam_search, SearchScratch};
 use must_graph::{QueryScorer, SearchParams, SearchStats};
 use must_vector::{JointDistance, MultiQuery, MultiVectorSet, ObjectId, Weights};
 
@@ -25,11 +25,12 @@ pub struct SearchOutcome {
     pub secs: f64,
 }
 
-/// Reusable search state (visited stamps) — allocation-free steady state
-/// across a query batch, as the response-time experiments require.
+/// Reusable search state (visited stamps + result pool) — allocation-free
+/// steady state across a query batch, as the response-time experiments
+/// require.
 #[derive(Default)]
 pub struct JointSearcher {
-    visited: VisitedSet,
+    scratch: SearchScratch,
     query_counter: u64,
 }
 
@@ -58,11 +59,8 @@ impl JointSearcher {
         self.query_counter += 1;
         let rng_seed = 0x9A5E ^ self.query_counter;
         let res = match index {
-            MustIndex::Flat(g) => beam_search(g, &scorer, params, &mut self.visited, rng_seed),
-            MustIndex::Hnsw(h) => {
-                use must_graph::AnnIndex as _;
-                h.search(&scorer, params, rng_seed)
-            }
+            MustIndex::Flat(g) => beam_search(g, &scorer, params, &mut self.scratch, rng_seed),
+            MustIndex::Hnsw(h) => h.search_with_scratch(&scorer, params, &mut self.scratch),
         };
         Ok(SearchOutcome {
             results: res.results,

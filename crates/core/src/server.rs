@@ -26,9 +26,9 @@ use std::time::Instant;
 
 use must_graph::csr::CsrGraph;
 use must_graph::hnsw::Hnsw;
-use must_graph::search::{beam_search_csr, VisitedSet};
+use must_graph::search::{beam_search_csr, SearchScratch};
 use must_graph::{AnnIndex, SearchParams, SearchResult};
-use must_vector::{JointDistance, MultiQuery, MultiVectorSet, Weights};
+use must_vector::{FusedRows, JointDistance, MultiQuery, MultiVectorSet, Weights};
 
 use crate::framework::Must;
 use crate::index::MustIndex;
@@ -54,13 +54,13 @@ pub enum ServingIndex {
 impl ServingIndex {
     fn search(
         &self,
-        scorer: &MustQueryScorer<'_, '_>,
+        scorer: &MustQueryScorer<'_>,
         params: SearchParams,
-        visited: &mut VisitedSet,
+        scratch: &mut SearchScratch,
     ) -> SearchResult {
         match self {
-            Self::Csr(csr) => beam_search_csr(csr, scorer, params, visited, SERVE_RNG_SEED),
-            Self::Hnsw(h) => h.search(scorer, params, SERVE_RNG_SEED),
+            Self::Csr(csr) => beam_search_csr(csr, scorer, params, scratch, SERVE_RNG_SEED),
+            Self::Hnsw(h) => h.search_with_scratch(scorer, params, scratch),
         }
     }
 
@@ -89,6 +89,10 @@ impl ServingIndex {
 struct ServerCore {
     objects: MultiVectorSet,
     weights: Weights,
+    /// The weight-prescaled fused-row engine every worker scores against —
+    /// built once at freeze (or inherited from the build), shared via the
+    /// core's [`Arc`].
+    engine: FusedRows,
     index: ServingIndex,
     prune: bool,
 }
@@ -126,17 +130,25 @@ impl MustServer {
     /// (serving snapshots are immutable — rebuild and re-freeze to apply
     /// deletions, as the paper's Section IX prescribes).
     pub fn freeze(must: Must) -> Self {
-        let (objects, weights, index, prune) = must.into_parts();
-        let index = match index {
+        let parts = must.into_parts();
+        let index = match parts.index {
             MustIndex::Flat(g) => ServingIndex::Csr(CsrGraph::from_graph(&g)),
             MustIndex::Hnsw(h) => ServingIndex::Hnsw(h),
         };
-        Self { core: Arc::new(ServerCore { objects, weights, index, prune }) }
+        Self {
+            core: Arc::new(ServerCore {
+                objects: parts.objects,
+                weights: parts.weights,
+                engine: parts.engine,
+                index,
+                prune: parts.prune,
+            }),
+        }
     }
 
-    /// Loads a persisted bundle (v1 or v2, see [`crate::persist`]) straight
-    /// into a serving snapshot — the online half of the offline/online
-    /// split.
+    /// Loads a persisted bundle (v1, v2, or v3 — see [`crate::persist`])
+    /// straight into a serving snapshot — the online half of the
+    /// offline/online split.
     ///
     /// # Errors
     /// Propagates [`crate::persist::load`] errors ([`MustError::Io`] /
@@ -181,12 +193,17 @@ impl MustServer {
     }
 
     /// A reusable per-thread search handle (allocation-free steady state:
-    /// the visited set and joint-distance plumbing persist across queries).
+    /// the search scratch and joint-distance plumbing persist across
+    /// queries; the prescaled engine is shared, never copied).
     pub fn worker(&self) -> ServerWorker<'_> {
         ServerWorker {
-            joint: JointDistance::new(&self.core.objects, self.core.weights.clone())
-                .expect("weights validated at freeze"),
-            visited: VisitedSet::default(),
+            joint: JointDistance::with_engine(
+                &self.core.objects,
+                self.core.weights.clone(),
+                &self.core.engine,
+            )
+            .expect("engine built from these objects and weights at freeze"),
+            scratch: SearchScratch::default(),
             core: &self.core,
         }
     }
@@ -273,7 +290,7 @@ impl MustServer {
 /// Reusable per-thread search state bound to a [`MustServer`] snapshot.
 pub struct ServerWorker<'a> {
     joint: JointDistance<'a>,
-    visited: VisitedSet,
+    scratch: SearchScratch,
     core: &'a ServerCore,
 }
 
@@ -303,7 +320,7 @@ impl ServerWorker<'_> {
     ) -> Result<SearchOutcome, MustError> {
         let scorer = MustQueryScorer::from_joint(&self.joint, query, self.core.prune)?;
         let t0 = Instant::now();
-        let res = self.core.index.search(&scorer, params, &mut self.visited);
+        let res = self.core.index.search(&scorer, params, &mut self.scratch);
         Ok(SearchOutcome {
             results: res.results,
             stats: res.stats,

@@ -5,7 +5,7 @@
 
 use serde::{Deserialize, Serialize};
 
-use crate::search::{beam_search_csr, SearchParams, SearchResult, VisitedSet};
+use crate::search::{beam_search_csr, SearchParams, SearchResult, SearchScratch};
 use crate::{AnnIndex, Graph, QueryScorer};
 
 /// A frozen graph in CSR layout plus the search seed.
@@ -110,7 +110,7 @@ impl CsrGraph {
 
 impl AnnIndex for CsrGraph {
     fn search(&self, scorer: &dyn QueryScorer, params: SearchParams, rng_seed: u64) -> SearchResult {
-        beam_search_csr(self, scorer, params, &mut VisitedSet::default(), rng_seed)
+        beam_search_csr(self, scorer, params, &mut SearchScratch::default(), rng_seed)
     }
 
     fn len(&self) -> usize {

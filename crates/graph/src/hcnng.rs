@@ -178,7 +178,7 @@ pub fn build_hcnng<O: SimilarityOracle>(oracle: &O, params: HcnngParams) -> Grap
 mod tests {
     use super::*;
     use crate::connect::reachable_from_seed;
-    use crate::search::{beam_search, SearchParams, VisitedSet};
+    use crate::search::{beam_search, SearchParams, SearchScratch};
     use crate::testutil::GridOracle;
     use crate::FnScorer;
 
@@ -227,7 +227,7 @@ mod tests {
         );
         assert_eq!(reachable_from_seed(&graph), oracle.len());
         let mut hits = 0;
-        let mut visited = VisitedSet::default();
+        let mut visited = SearchScratch::default();
         let total = 24;
         for t in 0..total {
             let target = (t * 6) as u32 % oracle.len() as u32;

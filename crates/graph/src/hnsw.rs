@@ -329,8 +329,16 @@ fn heuristic_select<O: SimilarityOracle>(
     kept.into_iter().map(|(id, _)| id).collect()
 }
 
-impl AnnIndex for Hnsw {
-    fn search(&self, scorer: &dyn QueryScorer, params: SearchParams, _rng_seed: u64) -> SearchResult {
+impl Hnsw {
+    /// [`AnnIndex::search`] with caller-provided scratch (visited stamps +
+    /// result pool), so a query batch's steady state allocates nothing —
+    /// the serving layer's per-worker entry point.
+    pub fn search_with_scratch<S: QueryScorer + ?Sized>(
+        &self,
+        scorer: &S,
+        params: SearchParams,
+        scratch: &mut crate::search::SearchScratch,
+    ) -> SearchResult {
         let mut stats = SearchStats::default();
         // Descend to layer 1 greedily.
         let mut ep = self.entry;
@@ -355,8 +363,8 @@ impl AnnIndex for Hnsw {
             }
         }
         // Layer-0 beam with the caller's pool size and pruning hook.
-        let mut pool = Pool::new(params.l);
-        let mut visited = VisitedSet::default();
+        let crate::search::SearchScratch { visited, pool } = scratch;
+        pool.reset(params.l);
         visited.reset(self.adjacency.len());
         visited.mark(ep);
         pool.insert(ep, ep_sim);
@@ -376,6 +384,12 @@ impl AnnIndex for Hnsw {
             }
         }
         SearchResult { results: pool.top_k(params.k), stats }
+    }
+}
+
+impl AnnIndex for Hnsw {
+    fn search(&self, scorer: &dyn QueryScorer, params: SearchParams, _rng_seed: u64) -> SearchResult {
+        self.search_with_scratch(scorer, params, &mut crate::search::SearchScratch::default())
     }
 
     fn len(&self) -> usize {

@@ -34,7 +34,7 @@ pub mod select;
 
 pub use pipeline::{GraphRecipe, PipelineBuilder, PipelineStats};
 pub use pool::Pool;
-pub use search::{SearchParams, SearchResult, SearchStats};
+pub use search::{SearchParams, SearchResult, SearchScratch, SearchStats};
 
 /// A similarity oracle over `len()` objects: everything graph construction
 /// needs.  Similarities are symmetric and *higher means closer*.

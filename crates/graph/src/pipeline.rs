@@ -335,7 +335,7 @@ impl GraphRecipe {
 mod tests {
     use super::*;
     use crate::connect::reachable_from_seed;
-    use crate::search::{beam_search, SearchParams, VisitedSet};
+    use crate::search::{beam_search, SearchParams, SearchScratch};
     use crate::testutil::GridOracle;
     use crate::FnScorer;
 
@@ -345,7 +345,7 @@ mod tests {
 
     fn recall_at_1(oracle: &GridOracle, graph: &Graph) -> f64 {
         let mut hits = 0;
-        let mut visited = VisitedSet::default();
+        let mut visited = SearchScratch::default();
         let n = oracle.len();
         for target in (0..n as u32).step_by(7) {
             let scorer = FnScorer(|id| crate::SimilarityOracle::sim(oracle, id, target));

@@ -23,11 +23,31 @@ pub struct Pool {
     capacity: usize,
 }
 
+impl Default for Pool {
+    /// An empty pool of capacity 1; callers reusing a pool as search
+    /// scratch size it per query with [`Pool::reset`].
+    fn default() -> Self {
+        Self::new(1)
+    }
+}
+
 impl Pool {
     /// Creates a pool of capacity `l`.
     pub fn new(l: usize) -> Self {
         assert!(l > 0, "pool capacity must be positive");
         Self { entries: Vec::with_capacity(l + 1), capacity: l }
+    }
+
+    /// Clears the pool and re-sizes it to capacity `l`, keeping the entry
+    /// allocation — the steady state of a query batch allocates nothing.
+    pub fn reset(&mut self, l: usize) {
+        assert!(l > 0, "pool capacity must be positive");
+        self.entries.clear();
+        // `reserve` is relative to the (now zero) length, so this
+        // guarantees room for the transient l+1-th entry `insert` holds
+        // before evicting — no growth inside the search loop.
+        self.entries.reserve(l + 1);
+        self.capacity = l;
     }
 
     /// Capacity `l`.
@@ -185,6 +205,20 @@ mod tests {
         let before = p.sim_sum();
         p.insert(4, 0.25);
         assert!(p.sim_sum() >= before);
+    }
+
+    #[test]
+    fn reset_reserves_for_the_transient_overflow_entry() {
+        // A fresh default pool re-sized up must already have room for the
+        // l+1-th entry `insert` briefly holds — no growth mid-search.
+        let mut p = Pool::default();
+        p.reset(100);
+        assert!(p.entries.capacity() >= 101, "capacity {}", p.entries.capacity());
+        for id in 0..150u32 {
+            p.insert(id, id as f32);
+        }
+        assert_eq!(p.len(), 100);
+        assert!(p.entries.capacity() >= 101);
     }
 
     #[test]

@@ -106,17 +106,29 @@ impl VisitedSet {
     }
 }
 
+/// Reusable per-thread search state: the visited stamps *and* the result
+/// pool survive across queries, so a query batch's steady state performs
+/// no heap allocation inside the search loop (the returned top-`k` vector
+/// is the only per-query allocation).
+#[derive(Debug, Default)]
+pub struct SearchScratch {
+    /// Generation-stamped visited markers.
+    pub visited: VisitedSet,
+    /// The fixed-size result pool `R` of Algorithm 2, re-sized per query.
+    pub pool: Pool,
+}
+
 /// Runs Algorithm 2 on `graph` for the query represented by `scorer`.
 ///
-/// `visited` is reusable scratch state; `rng_seed` controls the random pool
-/// initialisation (Line 2).  The scorer's `score_pruned` receives the pool
-/// threshold, enabling the Lemma-4 multi-vector pruning when the scorer
-/// supports it.
-pub fn beam_search(
+/// `scratch` is reusable per-thread state; `rng_seed` controls the random
+/// pool initialisation (Line 2).  The scorer's `score_pruned` receives the
+/// pool threshold, enabling the Lemma-4 multi-vector pruning when the
+/// scorer supports it.
+pub fn beam_search<S: QueryScorer + ?Sized>(
     graph: &Graph,
-    scorer: &dyn QueryScorer,
+    scorer: &S,
     params: SearchParams,
-    visited: &mut VisitedSet,
+    scratch: &mut SearchScratch,
     rng_seed: u64,
 ) -> SearchResult {
     beam_search_impl(
@@ -125,17 +137,17 @@ pub fn beam_search(
         |v| graph.neighbors(v),
         scorer,
         params,
-        visited,
+        scratch,
         rng_seed,
     )
 }
 
 /// [`beam_search`] over a frozen [`crate::csr::CsrGraph`].
-pub fn beam_search_csr(
+pub fn beam_search_csr<S: QueryScorer + ?Sized>(
     graph: &crate::csr::CsrGraph,
-    scorer: &dyn QueryScorer,
+    scorer: &S,
     params: SearchParams,
-    visited: &mut VisitedSet,
+    scratch: &mut SearchScratch,
     rng_seed: u64,
 ) -> SearchResult {
     beam_search_impl(
@@ -144,22 +156,23 @@ pub fn beam_search_csr(
         |v| graph.neighbors(v),
         scorer,
         params,
-        visited,
+        scratch,
         rng_seed,
     )
 }
 
-fn beam_search_impl<'g>(
+fn beam_search_impl<'g, S: QueryScorer + ?Sized>(
     n: usize,
     seed: u32,
     neighbors: impl Fn(u32) -> &'g [u32],
-    scorer: &dyn QueryScorer,
+    scorer: &S,
     params: SearchParams,
-    visited: &mut VisitedSet,
+    scratch: &mut SearchScratch,
     rng_seed: u64,
 ) -> SearchResult {
     let mut stats = SearchStats::default();
-    let mut pool = Pool::new(params.l);
+    let SearchScratch { visited, pool } = scratch;
+    pool.reset(params.l);
     visited.reset(n);
 
     // Line 1-3: R = {seed} + (l-1) random vertices, scored exactly.
@@ -174,12 +187,12 @@ fn beam_search_impl<'g>(
             }
         }
     };
-    enqueue(seed, &mut pool, &mut stats, visited);
+    enqueue(seed, pool, &mut stats, visited);
     if params.random_init && params.l > 1 && n > 1 {
         let mut rng = StdRng::seed_from_u64(rng_seed);
         for _ in 0..(params.l - 1).min(n - 1) {
             let id = rng.random_range(0..n as u32);
-            enqueue(id, &mut pool, &mut stats, visited);
+            enqueue(id, pool, &mut stats, visited);
         }
     }
 
@@ -188,7 +201,7 @@ fn beam_search_impl<'g>(
         let v = pool.visit(idx);
         stats.hops += 1;
         for &u in neighbors(v) {
-            enqueue(u, &mut pool, &mut stats, visited);
+            enqueue(u, pool, &mut stats, visited);
         }
     }
 
@@ -197,8 +210,8 @@ fn beam_search_impl<'g>(
 
 impl AnnIndex for Graph {
     fn search(&self, scorer: &dyn QueryScorer, params: SearchParams, rng_seed: u64) -> SearchResult {
-        let mut visited = VisitedSet::default();
-        beam_search(self, scorer, params, &mut visited, rng_seed)
+        let mut scratch = SearchScratch::default();
+        beam_search(self, scorer, params, &mut scratch, rng_seed)
     }
 
     fn len(&self) -> usize {
@@ -240,7 +253,7 @@ mod tests {
         let oracle = LineOracle(n);
         for target in [0u32, 37, 120, 199] {
             let scorer = FnScorer(|id| oracle.sim(id, target));
-            let res = beam_search(&g, &scorer, SearchParams::seed_only(1, 8), &mut VisitedSet::default(), 1);
+            let res = beam_search(&g, &scorer, SearchParams::seed_only(1, 8), &mut SearchScratch::default(), 1);
             assert_eq!(res.results[0].0, target, "target {target}");
         }
     }
@@ -250,7 +263,7 @@ mod tests {
         let n = 100;
         let g = line_graph(n);
         let scorer = FnScorer(|id| -(id as f32 - 42.0).abs());
-        let res = beam_search(&g, &scorer, SearchParams::new(10, 32), &mut VisitedSet::default(), 7);
+        let res = beam_search(&g, &scorer, SearchParams::new(10, 32), &mut SearchScratch::default(), 7);
         for w in res.results.windows(2) {
             assert!(w[0].1 >= w[1].1);
         }
@@ -262,8 +275,8 @@ mod tests {
         let n = 300;
         let g = line_graph(n);
         let scorer = FnScorer(|id| -(id as f32 - 7.0).abs());
-        let small = beam_search(&g, &scorer, SearchParams::seed_only(1, 2), &mut VisitedSet::default(), 3);
-        let large = beam_search(&g, &scorer, SearchParams::seed_only(1, 64), &mut VisitedSet::default(), 3);
+        let small = beam_search(&g, &scorer, SearchParams::seed_only(1, 2), &mut SearchScratch::default(), 3);
+        let large = beam_search(&g, &scorer, SearchParams::seed_only(1, 64), &mut SearchScratch::default(), 3);
         assert!(large.results[0].1 >= small.results[0].1);
     }
 
@@ -272,7 +285,7 @@ mod tests {
         let n = 50;
         let g = line_graph(n);
         let scorer = FnScorer(|id| -(id as f32));
-        let res = beam_search(&g, &scorer, SearchParams::new(1, 4), &mut VisitedSet::default(), 9);
+        let res = beam_search(&g, &scorer, SearchParams::new(1, 4), &mut SearchScratch::default(), 9);
         assert!(res.stats.hops >= 1);
         assert!(res.stats.evaluated >= res.stats.hops);
     }
@@ -301,8 +314,8 @@ mod tests {
         let n = 120;
         let g = line_graph(n);
         let exact = FnScorer(|id| -((id as f32) - 33.0).abs());
-        let a = beam_search(&g, &exact, SearchParams::seed_only(5, 16), &mut VisitedSet::default(), 1);
-        let b = beam_search(&g, &Pruning, SearchParams::seed_only(5, 16), &mut VisitedSet::default(), 1);
+        let a = beam_search(&g, &exact, SearchParams::seed_only(5, 16), &mut SearchScratch::default(), 1);
+        let b = beam_search(&g, &Pruning, SearchParams::seed_only(5, 16), &mut SearchScratch::default(), 1);
         assert_eq!(a.results, b.results);
     }
 

@@ -6,7 +6,7 @@ use must_graph::connect::reachable_from_seed;
 use must_graph::nndescent::{exact_knn_sample, insert_bounded, Neighbor};
 use must_graph::pipeline::PipelineBuilder;
 use must_graph::pool::Pool;
-use must_graph::search::{beam_search, SearchParams, VisitedSet};
+use must_graph::search::{beam_search, SearchParams, SearchScratch};
 use must_graph::select::{select_neighbors, SelectionStrategy};
 use must_graph::{FnScorer, SimilarityOracle};
 use proptest::prelude::*;
@@ -118,7 +118,7 @@ proptest! {
             &graph,
             &scorer,
             SearchParams::seed_only(1, 50),
-            &mut VisitedSet::default(),
+            &mut SearchScratch::default(),
             3,
         );
         // A pool covering the whole graph must find the exact nearest
@@ -151,7 +151,7 @@ proptest! {
             &graph,
             &scorer,
             SearchParams::new(3, 12),
-            &mut VisitedSet::default(),
+            &mut SearchScratch::default(),
             9,
         );
         prop_assert!(res.results.len() <= 3);

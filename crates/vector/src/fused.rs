@@ -1,0 +1,634 @@
+//! The fused-row storage engine: one contiguous, weight-prescaled row per
+//! object for the joint-similarity hot path.
+//!
+//! The paper reports that vector computation consumes up to 90 % of total
+//! search time (Section VII-B).  Storing each object's `m` modality vectors
+//! as `m` separate matrices costs one heap indirection and one cache-cold
+//! row fetch *per modality per candidate*.  [`FusedRows`] instead lays all
+//! modalities of object `i` out contiguously:
+//!
+//! ```text
+//! row i: [ seg 0 (dim_0, padded) | seg 1 (dim_1, padded) | ... | seg m-1 ]
+//! ```
+//!
+//! Each segment is zero-padded to a multiple of [`FUSED_LANE`] floats so
+//! every segment (and every row) starts on a SIMD-friendly boundary; the
+//! padding lanes are always zero, so they contribute nothing to inner
+//! products or squared distances.
+//!
+//! [`FusedRows::prescaled`] bakes the per-modality weights into the stored
+//! values — row `i` becomes the paper's *virtual point*
+//! `[w_0·phi_0(o), ..., w_{m-1}·phi_{m-1}(o)]` — so that
+//!
+//! * the Lemma-1 joint similarity of two objects is one plain
+//!   [`kernels::ip`] over their rows (`IP(a_hat, b_hat) = sum w_k^2 IP_k`),
+//! * a query fused the same way scores each candidate with a single
+//!   auto-vectorised dot product, and
+//! * the Lemma-4 prefix bound walks *segments of that same row* with
+//!   per-segment [`kernels::l2_sq`] — the weights are already inside the
+//!   values, so the inner loop performs zero weight multiplies.
+
+use crate::kernels;
+use crate::multi::MultiQuery;
+use crate::{ObjectId, VectorError, VectorSet, Weights};
+
+/// Segment alignment in `f32` lanes (32 bytes): every modality segment is
+/// zero-padded to a multiple of this, so rows and segments stay on
+/// SIMD-friendly boundaries.
+pub const FUSED_LANE: usize = 8;
+
+fn pad(dim: usize) -> usize {
+    dim.div_ceil(FUSED_LANE) * FUSED_LANE
+}
+
+/// Contiguous multi-modality row storage (see the module docs).
+///
+/// `scales[k]` records the factor baked into every stored value of
+/// modality `k`: `1.0` for raw storage, the raw weight `w_k` after
+/// [`FusedRows::prescaled`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct FusedRows {
+    /// Unpadded per-modality dimensionalities.
+    dims: Vec<usize>,
+    /// Padded segment starts within a row; `seg[m]` is the row stride.
+    seg: Vec<usize>,
+    /// Number of rows (objects).
+    len: usize,
+    /// `len * stride` floats, row-major, padding lanes zero.
+    data: Vec<f32>,
+    /// Per-modality factor baked into the stored values.
+    scales: Vec<f32>,
+}
+
+impl FusedRows {
+    fn layout(dims: &[usize]) -> Vec<usize> {
+        let mut seg = Vec::with_capacity(dims.len() + 1);
+        let mut off = 0;
+        seg.push(0);
+        for &d in dims {
+            off += pad(d);
+            seg.push(off);
+        }
+        seg
+    }
+
+    /// Builds raw (unscaled) fused storage from per-modality sets.
+    ///
+    /// # Errors
+    /// [`VectorError::CardinalityMismatch`] when the sets disagree on the
+    /// number of objects:
+    ///
+    /// ```
+    /// use must_vector::{FusedRows, VectorError, VectorSet, VectorSetBuilder};
+    /// let mut a = VectorSetBuilder::new(2, 1);
+    /// a.push_normalized(&[1.0, 0.0]).unwrap();
+    /// let b = VectorSet::new(3); // empty: 0 objects vs 1
+    /// assert_eq!(
+    ///     FusedRows::from_sets(&[a.finish(), b]).unwrap_err(),
+    ///     VectorError::CardinalityMismatch { expected: 1, got: 0 },
+    /// );
+    /// ```
+    pub fn from_sets(sets: &[VectorSet]) -> Result<Self, VectorError> {
+        assert!(!sets.is_empty(), "at least one modality required");
+        let n = sets[0].len();
+        for set in &sets[1..] {
+            if set.len() != n {
+                return Err(VectorError::CardinalityMismatch { expected: n, got: set.len() });
+            }
+        }
+        let dims: Vec<usize> = sets.iter().map(VectorSet::dim).collect();
+        let seg = Self::layout(&dims);
+        let stride = seg[dims.len()];
+        let mut data = vec![0.0f32; n * stride];
+        for (k, set) in sets.iter().enumerate() {
+            let (start, dim) = (seg[k], dims[k]);
+            for (id, v) in set.iter() {
+                let row = id as usize * stride + start;
+                data[row..row + dim].copy_from_slice(v);
+            }
+        }
+        Ok(Self { scales: vec![1.0; dims.len()], dims, seg, len: n, data })
+    }
+
+    /// Reassembles fused storage from its raw parts (the bundle-v3 load
+    /// path: the on-disk rows are already in fused layout, so no per-
+    /// modality re-copy happens).  Padding lanes are re-zeroed defensively.
+    ///
+    /// # Errors
+    /// [`VectorError::DimensionMismatch`] when `data.len()` is not
+    /// `len * stride` for the layout implied by `dims`, or when any
+    /// dimension is zero:
+    ///
+    /// ```
+    /// use must_vector::{FusedRows, VectorError};
+    /// // dims [2, 3] pad to a stride of 16, so 17 floats cannot be rows.
+    /// assert!(matches!(
+    ///     FusedRows::from_raw_parts(vec![2, 3], vec![0.0; 17], vec![1.0, 1.0]),
+    ///     Err(VectorError::DimensionMismatch { .. }),
+    /// ));
+    /// ```
+    pub fn from_raw_parts(
+        dims: Vec<usize>,
+        mut data: Vec<f32>,
+        scales: Vec<f32>,
+    ) -> Result<Self, VectorError> {
+        assert!(!dims.is_empty(), "at least one modality required");
+        if dims.contains(&0) {
+            return Err(VectorError::DimensionMismatch { expected: 1, got: 0 });
+        }
+        if scales.len() != dims.len() {
+            return Err(VectorError::WeightArity {
+                modalities: dims.len(),
+                weights: scales.len(),
+            });
+        }
+        let seg = Self::layout(&dims);
+        let stride = seg[dims.len()];
+        if !data.len().is_multiple_of(stride) {
+            return Err(VectorError::DimensionMismatch {
+                expected: stride,
+                got: data.len() % stride,
+            });
+        }
+        let len = data.len() / stride;
+        // Padding must be zero for fused dot products to be exact; enforce
+        // rather than trust the caller (or the bytes on disk).
+        for row in data.chunks_exact_mut(stride) {
+            for (k, &d) in dims.iter().enumerate() {
+                for x in &mut row[seg[k] + d..seg[k + 1]] {
+                    *x = 0.0;
+                }
+            }
+        }
+        Ok(Self { dims, seg, len, data, scales })
+    }
+
+    /// A copy with the raw weights `w_k` baked into every stored value:
+    /// row `i` becomes the virtual point
+    /// `[w_0·phi_0, ..., w_{m-1}·phi_{m-1}]`, so [`FusedRows::pair_ip`]
+    /// between two prescaled rows *is* the Lemma-1 joint similarity
+    /// `sum w_k^2 IP_k` — one plain dot product, no per-candidate weight
+    /// multiplies.
+    ///
+    /// # Errors
+    /// [`VectorError::WeightArity`] when `weights` does not cover every
+    /// modality:
+    ///
+    /// ```
+    /// use must_vector::{FusedRows, VectorError, VectorSetBuilder, Weights};
+    /// let mut b = VectorSetBuilder::new(2, 1);
+    /// b.push_normalized(&[1.0, 0.0]).unwrap();
+    /// let rows = FusedRows::from_sets(&[b.finish()]).unwrap();
+    /// assert_eq!(
+    ///     rows.prescaled(&Weights::uniform(2)).unwrap_err(),
+    ///     VectorError::WeightArity { modalities: 1, weights: 2 },
+    /// );
+    /// ```
+    pub fn prescaled(&self, weights: &Weights) -> Result<Self, VectorError> {
+        if weights.modalities() != self.num_modalities() {
+            return Err(VectorError::WeightArity {
+                modalities: self.num_modalities(),
+                weights: weights.modalities(),
+            });
+        }
+        let mut out = self.clone();
+        for row in out.data.chunks_exact_mut(out.seg[out.dims.len()]) {
+            for (k, &w) in weights.raw().iter().enumerate() {
+                for x in &mut row[out.seg[k]..out.seg[k + 1]] {
+                    *x *= w;
+                }
+            }
+        }
+        for (s, w) in out.scales.iter_mut().zip(weights.raw()) {
+            *s *= w;
+        }
+        Ok(out)
+    }
+
+    /// Number of modalities `m`.
+    #[inline]
+    pub fn num_modalities(&self) -> usize {
+        self.dims.len()
+    }
+
+    /// Unpadded per-modality dimensionalities.
+    #[inline]
+    pub fn dims(&self) -> &[usize] {
+        &self.dims
+    }
+
+    /// Row stride in floats (sum of padded segment widths).
+    #[inline]
+    pub fn stride(&self) -> usize {
+        self.seg[self.dims.len()]
+    }
+
+    /// Padded `[start, end)` of modality `k`'s segment within a row.
+    #[inline]
+    pub fn segment_bounds(&self, k: usize) -> (usize, usize) {
+        (self.seg[k], self.seg[k + 1])
+    }
+
+    /// Number of rows (objects).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the engine holds no rows.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Per-modality factors baked into the stored values.
+    #[inline]
+    pub fn scales(&self) -> &[f32] {
+        &self.scales
+    }
+
+    /// The full padded row of object `id`.
+    ///
+    /// # Panics
+    /// Panics when `id` is out of bounds.
+    #[inline]
+    pub fn row(&self, id: ObjectId) -> &[f32] {
+        let stride = self.stride();
+        let start = id as usize * stride;
+        &self.data[start..start + stride]
+    }
+
+    /// The padded segment of modality `k` in row `id` (tail lanes zero).
+    #[inline]
+    pub fn segment(&self, id: ObjectId, k: usize) -> &[f32] {
+        let stride = self.stride();
+        let start = id as usize * stride;
+        &self.data[start + self.seg[k]..start + self.seg[k + 1]]
+    }
+
+    /// The unpadded modality-`k` vector of object `id` (length `dims[k]`).
+    #[inline]
+    pub fn modality_slice(&self, id: ObjectId, k: usize) -> &[f32] {
+        let stride = self.stride();
+        let start = id as usize * stride + self.seg[k];
+        &self.data[start..start + self.dims[k]]
+    }
+
+    /// The raw row buffer (bundle-v3 save path).
+    #[inline]
+    pub fn raw_data(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Joint similarity of rows `a` and `b`: one contiguous dot product.
+    /// On a [`FusedRows::prescaled`] engine this is the Lemma-1 joint
+    /// similarity `sum w_k^2 IP_k`; on raw storage it is the unweighted
+    /// sum of per-modality inner products.
+    #[inline]
+    pub fn pair_ip(&self, a: ObjectId, b: ObjectId) -> f32 {
+        kernels::ip_prescaled_segments(self.row(a), self.row(b))
+    }
+
+    /// Inner product of modality `k` between rows `a` and `b` (carries the
+    /// baked scale squared on prescaled engines).
+    #[inline]
+    pub fn modality_ip(&self, a: ObjectId, b: ObjectId, k: usize) -> f32 {
+        kernels::ip(self.segment(a, k), self.segment(b, k))
+    }
+
+    /// The mean of all rows — on a prescaled engine, the fused centroid of
+    /// all virtual points (seed preprocessing, component 4 of
+    /// Algorithm 1).  Padding lanes stay zero.
+    pub fn centroid_row(&self) -> Vec<f32> {
+        let stride = self.stride();
+        let mut c = vec![0.0f32; stride];
+        if self.len == 0 {
+            return c;
+        }
+        for row in self.data.chunks_exact(stride) {
+            for (ci, x) in c.iter_mut().zip(row) {
+                *ci += x;
+            }
+        }
+        let inv = 1.0 / self.len as f32;
+        for ci in c.iter_mut() {
+            *ci *= inv;
+        }
+        c
+    }
+
+    /// Appends one object from its per-modality vectors, applying the
+    /// engine's baked scales.  The caller is responsible for normalisation
+    /// (the public entry point is `MultiVectorSet::push_object`).
+    ///
+    /// # Errors
+    /// [`VectorError::CardinalityMismatch`] on wrong modality count,
+    /// [`VectorError::DimensionMismatch`] on wrong slot length; the engine
+    /// is untouched on error.
+    pub fn push_row<S: AsRef<[f32]>>(&mut self, rows: &[S]) -> Result<ObjectId, VectorError> {
+        if rows.len() != self.num_modalities() {
+            return Err(VectorError::CardinalityMismatch {
+                expected: self.num_modalities(),
+                got: rows.len(),
+            });
+        }
+        for (k, r) in rows.iter().enumerate() {
+            if r.as_ref().len() != self.dims[k] {
+                return Err(VectorError::DimensionMismatch {
+                    expected: self.dims[k],
+                    got: r.as_ref().len(),
+                });
+            }
+        }
+        let id = self.len as ObjectId;
+        let stride = self.stride();
+        self.data.resize((self.len + 1) * stride, 0.0);
+        let row = &mut self.data[self.len * stride..];
+        for (k, r) in rows.iter().enumerate() {
+            let scale = self.scales[k];
+            for (dst, &x) in row[self.seg[k]..].iter_mut().zip(r.as_ref()) {
+                *dst = scale * x;
+            }
+        }
+        self.len += 1;
+        Ok(id)
+    }
+
+    /// Heap footprint of the padded row storage in bytes.
+    pub fn bytes(&self) -> usize {
+        self.data.len() * std::mem::size_of::<f32>()
+    }
+
+    /// Prepares a per-query evaluator: the query's supplied slots are
+    /// scaled by the engine's baked factors and fused into one padded row
+    /// *once*, after which every candidate costs a single dot product
+    /// (exact path) or an early-exiting segment walk (Lemma-4 path).
+    ///
+    /// # Errors
+    /// [`VectorError::WeightArity`] when the query has a different number
+    /// of modality slots than the engine, [`VectorError::DimensionMismatch`]
+    /// when a supplied slot has the wrong dimensionality.
+    pub fn query(&self, query: &MultiQuery) -> Result<FusedQueryEvaluator<'_>, VectorError> {
+        FusedQueryEvaluator::new(self, query)
+    }
+}
+
+/// Verdict of the incremental (pruned) fused-row similarity computation —
+/// re-exported alias of the per-modality verdict for seam compatibility.
+pub use crate::joint::PartialIpVerdict;
+
+/// Per-query evaluator over a [`FusedRows`] engine with the Lemma-4
+/// early-termination optimisation (Eqs. 8–9 of the paper) and the
+/// kernel-evaluation instrumentation the Fig. 10(c) ablation counts.
+#[derive(Debug)]
+pub struct FusedQueryEvaluator<'a> {
+    rows: &'a FusedRows,
+    /// The query fused into one padded row, scaled by the engine's baked
+    /// factors; segments of unsupplied (or zero-scale) modalities are zero.
+    qrow: Vec<f32>,
+    /// `(seg_start, seg_end)` of each active (supplied, positive-scale)
+    /// modality, in modality order — the Lemma-4 prefix order.
+    active: Vec<(usize, usize)>,
+    /// `W = sum of active squared scales` — the norm term of Eq. 8.
+    w_total: f32,
+    kernel_evals: std::cell::Cell<u64>,
+}
+
+impl<'a> FusedQueryEvaluator<'a> {
+    fn new(rows: &'a FusedRows, query: &MultiQuery) -> Result<Self, VectorError> {
+        if query.num_slots() != rows.num_modalities() {
+            return Err(VectorError::WeightArity {
+                modalities: rows.num_modalities(),
+                weights: query.num_slots(),
+            });
+        }
+        let mut qrow = vec![0.0f32; rows.stride()];
+        let mut active = Vec::with_capacity(rows.num_modalities());
+        let mut w_total = 0.0;
+        for k in 0..rows.num_modalities() {
+            let Some(slot) = query.slot(k) else { continue };
+            if slot.len() != rows.dims()[k] {
+                return Err(VectorError::DimensionMismatch {
+                    expected: rows.dims()[k],
+                    got: slot.len(),
+                });
+            }
+            let scale = rows.scales()[k];
+            if scale <= 0.0 {
+                continue;
+            }
+            let (start, end) = rows.segment_bounds(k);
+            for (dst, &x) in qrow[start..].iter_mut().zip(slot) {
+                *dst = scale * x;
+            }
+            active.push((start, end));
+            w_total += scale * scale;
+        }
+        Ok(Self { rows, qrow, active, w_total, kernel_evals: std::cell::Cell::new(0) })
+    }
+
+    /// Number of modality kernels evaluated so far (the multi-vector
+    /// computation ablation counter).
+    #[inline]
+    pub fn kernel_evals(&self) -> u64 {
+        self.kernel_evals.get()
+    }
+
+    /// Sum of active squared scales — the joint similarity of the query
+    /// with itself and the starting value of the Lemma-4 upper bound.
+    #[inline]
+    pub fn w_total(&self) -> f32 {
+        self.w_total
+    }
+
+    #[inline]
+    fn bump(&self, by: u64) {
+        self.kernel_evals.set(self.kernel_evals.get() + by);
+    }
+
+    /// Exact joint similarity of object `id` to the query: one contiguous
+    /// dot product over the fused row (inactive segments of the query row
+    /// are zero and contribute nothing).
+    #[inline]
+    pub fn ip(&self, id: ObjectId) -> f32 {
+        self.bump(self.active.len() as u64);
+        kernels::ip_prescaled_segments(self.rows.row(id), &self.qrow)
+    }
+
+    /// Incremental joint similarity with safe early termination (Lemma 4):
+    /// walks the active segments of the row, shrinking the upper bound
+    /// `W - 0.5 * sum ||seg_q - seg_u||^2` (weights are baked into both
+    /// sides, so the per-segment distance is already weighted).  Returns
+    /// [`PartialIpVerdict::Pruned`] as soon as the bound falls to
+    /// `threshold` with segments still unscanned; the exact similarity
+    /// otherwise.
+    pub fn ip_pruned(&self, id: ObjectId, threshold: f32) -> PartialIpVerdict {
+        let row = self.rows.row(id);
+        let mut bound = self.w_total;
+        let last = self.active.len().saturating_sub(1);
+        for (scanned, &(start, end)) in self.active.iter().enumerate() {
+            bound -= 0.5 * kernels::l2_sq(&row[start..end], &self.qrow[start..end]);
+            self.bump(1);
+            if bound <= threshold && scanned < last {
+                return PartialIpVerdict::Pruned;
+            }
+        }
+        PartialIpVerdict::Exact(bound)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{MultiVectorSet, VectorSetBuilder};
+
+    fn sets() -> Vec<VectorSet> {
+        let mut m0 = VectorSetBuilder::new(5, 3);
+        m0.push_normalized(&[1.0, 0.0, 0.0, 0.0, 0.0]).unwrap();
+        m0.push_normalized(&[0.0, 1.0, 0.0, 0.0, 1.0]).unwrap();
+        m0.push_normalized(&[0.2, 0.4, 0.1, 0.7, 0.3]).unwrap();
+        let mut m1 = VectorSetBuilder::new(3, 3);
+        m1.push_normalized(&[1.0, 0.0, 0.0]).unwrap();
+        m1.push_normalized(&[0.0, 1.0, 1.0]).unwrap();
+        m1.push_normalized(&[0.5, 0.5, 0.5]).unwrap();
+        vec![m0.finish(), m1.finish()]
+    }
+
+    #[test]
+    fn layout_pads_segments_to_lane_multiples() {
+        let rows = FusedRows::from_sets(&sets()).unwrap();
+        assert_eq!(rows.dims(), &[5, 3]);
+        assert_eq!(rows.segment_bounds(0), (0, 8));
+        assert_eq!(rows.segment_bounds(1), (8, 16));
+        assert_eq!(rows.stride(), 16);
+        assert_eq!(rows.len(), 3);
+        // Padding lanes are zero.
+        for id in 0..3 {
+            let row = rows.row(id);
+            assert!(row[5..8].iter().all(|&x| x == 0.0));
+            assert!(row[8 + 3..16].iter().all(|&x| x == 0.0));
+        }
+    }
+
+    #[test]
+    fn modality_slices_match_source_sets() {
+        let src = sets();
+        let rows = FusedRows::from_sets(&src).unwrap();
+        for id in 0..3u32 {
+            assert_eq!(rows.modality_slice(id, 0), src[0].get(id));
+            assert_eq!(rows.modality_slice(id, 1), src[1].get(id));
+        }
+    }
+
+    #[test]
+    fn prescaled_pair_ip_matches_lemma1() {
+        let src = sets();
+        let w = Weights::new(vec![0.8, 0.33]).unwrap();
+        let rows = FusedRows::from_sets(&src).unwrap();
+        let engine = rows.prescaled(&w).unwrap();
+        for (a, b) in [(0u32, 1u32), (1, 2), (0, 2)] {
+            let want = w.sq(0) * src[0].ip(a, b) + w.sq(1) * src[1].ip(a, b);
+            assert!((engine.pair_ip(a, b) - want).abs() < 1e-5);
+        }
+        assert_eq!(engine.scales(), &[0.8, 0.33]);
+    }
+
+    #[test]
+    fn raw_parts_round_trip_rezeroes_padding() {
+        let rows = FusedRows::from_sets(&sets()).unwrap();
+        let mut data = rows.raw_data().to_vec();
+        data[6] = 99.0; // corrupt a padding lane
+        let back = FusedRows::from_raw_parts(vec![5, 3], data, vec![1.0, 1.0]).unwrap();
+        assert_eq!(&back, &rows, "padding must be re-zeroed on load");
+    }
+
+    #[test]
+    fn query_evaluator_exact_matches_weighted_sum() {
+        let src = sets();
+        let w = Weights::new(vec![0.9, 0.4]).unwrap();
+        let engine = FusedRows::from_sets(&src).unwrap().prescaled(&w).unwrap();
+        let q = MultiQuery::full(vec![src[0].get(1).to_vec(), src[1].get(2).to_vec()]);
+        let ev = engine.query(&q).unwrap();
+        for id in 0..3u32 {
+            let want = w.sq(0) * src[0].ip_to(id, src[0].get(1))
+                + w.sq(1) * src[1].ip_to(id, src[1].get(2));
+            assert!((ev.ip(id) - want).abs() < 1e-5);
+        }
+        assert!((ev.w_total() - (w.sq(0) + w.sq(1))).abs() < 1e-6);
+    }
+
+    #[test]
+    fn pruned_walk_is_sound_and_exact() {
+        let src = sets();
+        let w = Weights::new(vec![0.7, 0.6]).unwrap();
+        let engine = FusedRows::from_sets(&src).unwrap().prescaled(&w).unwrap();
+        let q = MultiQuery::full(vec![src[0].get(0).to_vec(), src[1].get(1).to_vec()]);
+        let ev = engine.query(&q).unwrap();
+        for id in 0..3u32 {
+            let exact = ev.ip(id);
+            match ev.ip_pruned(id, f32::NEG_INFINITY) {
+                PartialIpVerdict::Exact(v) => assert!((v - exact).abs() < 1e-5),
+                PartialIpVerdict::Pruned => panic!("must not prune at -inf"),
+            }
+            for threshold in [-0.5f32, 0.0, 0.3, 0.9] {
+                if let PartialIpVerdict::Pruned = ev.ip_pruned(id, threshold) {
+                    assert!(exact <= threshold + 1e-5);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn partial_query_zeroes_missing_segments() {
+        let src = sets();
+        let engine = FusedRows::from_sets(&src)
+            .unwrap()
+            .prescaled(&Weights::uniform(2))
+            .unwrap();
+        let q = MultiQuery::partial(vec![Some(src[0].get(0).to_vec()), None]);
+        let ev = engine.query(&q).unwrap();
+        assert!((ev.w_total() - 0.5).abs() < 1e-6);
+        let want = 0.5 * src[0].ip_to(0, src[0].get(0));
+        assert!((ev.ip(0) - want).abs() < 1e-6);
+    }
+
+    #[test]
+    fn push_row_applies_baked_scales() {
+        let src = sets();
+        let w = Weights::new(vec![0.5, 2.0]).unwrap();
+        let mut engine = FusedRows::from_sets(&src).unwrap().prescaled(&w).unwrap();
+        let id = engine
+            .push_row(&[vec![0.0, 0.0, 0.0, 0.0, 1.0], vec![1.0, 0.0, 0.0]])
+            .unwrap();
+        assert_eq!(id, 3);
+        assert_eq!(engine.len(), 4);
+        assert!((engine.modality_slice(3, 0)[4] - 0.5).abs() < 1e-6);
+        assert!((engine.modality_slice(3, 1)[0] - 2.0).abs() < 1e-6);
+        // Errors leave the engine untouched.
+        assert!(engine.push_row(&[vec![1.0; 5]]).is_err());
+        assert!(engine.push_row(&[vec![1.0; 4], vec![1.0; 3]]).is_err());
+        assert_eq!(engine.len(), 4);
+    }
+
+    #[test]
+    fn centroid_row_is_mean_of_rows() {
+        let rows = FusedRows::from_sets(&sets()).unwrap();
+        let c = rows.centroid_row();
+        let mut want = vec![0.0f32; rows.stride()];
+        for id in 0..3u32 {
+            for (w, x) in want.iter_mut().zip(rows.row(id)) {
+                *w += x / 3.0;
+            }
+        }
+        for (a, b) in c.iter().zip(&want) {
+            assert!((a - b).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn multi_vector_set_view_exposes_the_engine() {
+        let set = MultiVectorSet::new(sets()).unwrap();
+        assert_eq!(set.fused().num_modalities(), 2);
+        assert_eq!(set.fused().scales(), &[1.0, 1.0]);
+    }
+}

@@ -4,34 +4,52 @@
 //!
 //! A "virtual point" in the paper is the concatenation
 //! `p_hat = [omega_0 * phi_0(p_0), ..., omega_{m-1} * phi_{m-1}(p_{m-1})]`.
-//! We never materialise it: `IP(q_hat, u_hat) = sum_i omega_i^2 * IP_i`
-//! (Lemma 1), and because every per-modality vector is unit-norm,
+//! Since the fused-row refactor we *do* materialise it — once, at engine
+//! construction: [`JointDistance`] holds a weight-prescaled [`FusedRows`]
+//! engine whose row `i` is exactly `o_hat_i`, so
+//! `IP(q_hat, u_hat) = sum_i omega_i^2 * IP_i` (Lemma 1) becomes a single
+//! contiguous dot product, and the Lemma-4 prefix bound
 //!
 //! ```text
-//! IP(q_hat, u_hat) = W - 0.5 * sum_i omega_i^2 * ||phi_i(q_i) - phi_i(u_i)||^2,
+//! IP(q_hat, u_hat) = W - 0.5 * sum_i ||omega_i phi_i(q_i) - omega_i phi_i(u_i)||^2,
 //! W = sum_i omega_i^2
 //! ```
 //!
-//! The partial sums over a *prefix* of modalities therefore give a
-//! monotonically decreasing upper bound on the joint similarity, which is
-//! what lets the search safely discard a candidate as soon as the bound
-//! falls below the current result-set threshold (Lemma 4).
+//! walks *segments of the same row* — monotonically decreasing, so the
+//! search safely discards a candidate as soon as the bound falls below the
+//! current result-set threshold.
 
-use std::cell::Cell;
-
+use crate::fused::{FusedQueryEvaluator, FusedRows};
 use crate::multi::{MultiQuery, MultiVectorSet};
-use crate::{ObjectId, VectorError, Weights};
+use crate::{kernels, ObjectId, VectorError, Weights};
+
+/// Per-query joint-similarity evaluator (fused-row backed); see
+/// [`FusedQueryEvaluator`] for the full API.
+pub type QueryEvaluator<'a> = FusedQueryEvaluator<'a>;
 
 /// Joint-similarity oracle over an object set: all pairwise computations the
 /// index construction needs (Algorithm 1 works purely on `IP(o_hat, u_hat)`).
+///
+/// Construction prescales the corpus into a [`FusedRows`] engine (one copy).
+/// Layers that already own a prescaled engine (a frozen server, a built
+/// [`crate::MultiVectorSet`]-backed framework instance) should share it via
+/// [`JointDistance::with_engine`] instead of paying the copy again.
 #[derive(Debug, Clone)]
 pub struct JointDistance<'a> {
     set: &'a MultiVectorSet,
     weights: Weights,
+    engine: EngineHandle<'a>,
+}
+
+#[derive(Debug, Clone)]
+enum EngineHandle<'a> {
+    Owned(FusedRows),
+    Shared(&'a FusedRows),
 }
 
 impl<'a> JointDistance<'a> {
-    /// Creates the oracle.
+    /// Creates the oracle, prescaling `set`'s fused rows by `weights`
+    /// (one corpus copy).
     ///
     /// # Errors
     /// [`VectorError::WeightArity`] when `weights` does not cover every
@@ -48,13 +66,61 @@ impl<'a> JointDistance<'a> {
     /// );
     /// ```
     pub fn new(set: &'a MultiVectorSet, weights: Weights) -> Result<Self, VectorError> {
+        let engine = set.fused().prescaled(&weights)?;
+        Ok(Self { set, weights, engine: EngineHandle::Owned(engine) })
+    }
+
+    /// Creates the oracle over an *existing* prescaled engine (no copy) —
+    /// the serving hot path, where the engine is built once at freeze time
+    /// and shared by every worker.
+    ///
+    /// The engine must have been produced by
+    /// [`FusedRows::prescaled`] from `set`'s storage under `weights`.
+    ///
+    /// # Errors
+    /// [`VectorError::WeightArity`] when `weights` does not cover every
+    /// modality of `set`, [`VectorError::EngineMismatch`] when `engine`
+    /// covers a different number of modalities,
+    /// [`VectorError::CardinalityMismatch`] when it covers a different
+    /// number of objects, and [`VectorError::DimensionMismatch`] when the
+    /// per-modality layouts disagree.
+    pub fn with_engine(
+        set: &'a MultiVectorSet,
+        weights: Weights,
+        engine: &'a FusedRows,
+    ) -> Result<Self, VectorError> {
         if weights.modalities() != set.num_modalities() {
             return Err(VectorError::WeightArity {
                 modalities: set.num_modalities(),
                 weights: weights.modalities(),
             });
         }
-        Ok(Self { set, weights })
+        if engine.num_modalities() != set.num_modalities() {
+            return Err(VectorError::EngineMismatch {
+                modalities: set.num_modalities(),
+                engine: engine.num_modalities(),
+            });
+        }
+        if engine.len() != set.len() {
+            return Err(VectorError::CardinalityMismatch {
+                expected: set.len(),
+                got: engine.len(),
+            });
+        }
+        for (&want, &got) in set.dims().iter().zip(engine.dims()) {
+            if want != got {
+                return Err(VectorError::DimensionMismatch { expected: want, got });
+            }
+        }
+        debug_assert!(
+            engine
+                .scales()
+                .iter()
+                .zip(weights.raw())
+                .all(|(s, w)| (s - w).abs() < 1e-6),
+            "engine scales must match the weights it was prescaled with"
+        );
+        Ok(Self { set, weights, engine: EngineHandle::Shared(engine) })
     }
 
     /// The underlying object set.
@@ -69,16 +135,30 @@ impl<'a> JointDistance<'a> {
         &self.weights
     }
 
-    /// Joint similarity `IP(a_hat, b_hat)` between two objects (Lemma 1).
+    /// The prescaled fused-row engine similarity is computed over.
+    #[inline]
+    pub fn engine(&self) -> &FusedRows {
+        match &self.engine {
+            EngineHandle::Owned(e) => e,
+            EngineHandle::Shared(e) => e,
+        }
+    }
+
+    /// Extracts the prescaled engine, cloning only if it was shared — how
+    /// a build-time oracle hands its engine on to the framework instance
+    /// without a second prescale pass.
+    pub fn into_engine(self) -> FusedRows {
+        match self.engine {
+            EngineHandle::Owned(e) => e,
+            EngineHandle::Shared(e) => e.clone(),
+        }
+    }
+
+    /// Joint similarity `IP(a_hat, b_hat)` between two objects (Lemma 1):
+    /// one contiguous dot product over the prescaled rows.
     #[inline]
     pub fn pair_ip(&self, a: ObjectId, b: ObjectId) -> f32 {
-        let mut sum = 0.0;
-        for (set, &w) in self.set.modalities().iter().zip(self.weights.squared()) {
-            if w > 0.0 {
-                sum += w * set.ip(a, b);
-            }
-        }
-        sum
+        self.engine().pair_ip(a, b)
     }
 
     /// Joint similarity between object `a` and an external multi-vector
@@ -87,16 +167,13 @@ impl<'a> JointDistance<'a> {
     #[inline]
     pub fn ip_to_point(&self, a: ObjectId, point: &[&[f32]]) -> f32 {
         debug_assert_eq!(point.len(), self.set.num_modalities());
+        let engine = self.engine();
         let mut sum = 0.0;
-        for ((set, &w), p) in self
-            .set
-            .modalities()
-            .iter()
-            .zip(self.weights.squared())
-            .zip(point)
-        {
-            if w > 0.0 {
-                sum += w * set.ip_to(a, p);
+        for (k, p) in point.iter().enumerate() {
+            let scale = engine.scales()[k];
+            if scale > 0.0 {
+                // Row segments already carry one factor of omega_k.
+                sum += scale * kernels::ip(engine.modality_slice(a, k), p);
             }
         }
         sum
@@ -106,18 +183,20 @@ impl<'a> JointDistance<'a> {
     /// seed preprocessing (component 4 of Algorithm 1).  The vertex nearest
     /// to it under the joint similarity is the search seed.
     pub fn centroid(&self) -> Vec<Vec<f32>> {
-        self.set.modalities().iter().map(|s| s.centroid()).collect()
+        self.set.modalities().map(|s| s.centroid()).collect()
     }
 
-    /// Prepares a per-query evaluator.
+    /// Prepares a per-query evaluator: the query is scaled and fused into
+    /// one row up front, so scoring a candidate is one dot product (exact)
+    /// or an early-exiting segment walk (Lemma 4).
     ///
     /// # Errors
     /// [`VectorError::WeightArity`] when the query has a different number of
     /// modality slots than the object set, or
     /// [`VectorError::DimensionMismatch`] when a supplied slot has the wrong
     /// dimensionality.
-    pub fn query<'q>(&self, query: &'q MultiQuery) -> Result<QueryEvaluator<'a, 'q>, VectorError> {
-        QueryEvaluator::new(self.set, &self.weights, query)
+    pub fn query(&self, query: &MultiQuery) -> Result<QueryEvaluator<'_>, VectorError> {
+        self.engine().query(query)
     }
 }
 
@@ -125,106 +204,10 @@ impl<'a> JointDistance<'a> {
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub enum PartialIpVerdict {
     /// The candidate was discarded after scanning only a prefix of its
-    /// modality vectors: its joint similarity is provably `<= threshold`.
+    /// modality segments: its joint similarity is provably `<= threshold`.
     Pruned,
-    /// All modality vectors were scanned; the exact joint similarity.
+    /// All modality segments were scanned; the exact joint similarity.
     Exact(f32),
-}
-
-/// Per-query joint-similarity evaluator with the Lemma-4 early-termination
-/// optimisation and instrumentation of how many modality-vector kernels were
-/// evaluated (the quantity the Fig. 10(c) ablation varies).
-#[derive(Debug)]
-pub struct QueryEvaluator<'a, 'q> {
-    set: &'a MultiVectorSet,
-    /// `(modality index, squared weight, query slice)` for supplied,
-    /// positive-weight modalities only.
-    active: Vec<(usize, f32, &'q [f32])>,
-    /// `W = sum of active squared weights` (norm term of Eq. 8 for the
-    /// masked virtual query point).
-    w_total: f32,
-    kernel_evals: Cell<u64>,
-}
-
-impl<'a, 'q> QueryEvaluator<'a, 'q> {
-    fn new(
-        set: &'a MultiVectorSet,
-        weights: &Weights,
-        query: &'q MultiQuery,
-    ) -> Result<Self, VectorError> {
-        if query.num_slots() != set.num_modalities() {
-            return Err(VectorError::WeightArity {
-                modalities: set.num_modalities(),
-                weights: query.num_slots(),
-            });
-        }
-        let masked = query.mask_weights(weights);
-        let mut active = Vec::with_capacity(set.num_modalities());
-        for i in 0..set.num_modalities() {
-            let w = masked.sq(i);
-            if w <= 0.0 {
-                continue;
-            }
-            let slot = query.slot(i).expect("masking keeps only supplied modalities");
-            if slot.len() != set.modality(i).dim() {
-                return Err(VectorError::DimensionMismatch {
-                    expected: set.modality(i).dim(),
-                    got: slot.len(),
-                });
-            }
-            active.push((i, w, slot));
-        }
-        let w_total = active.iter().map(|(_, w, _)| w).sum();
-        Ok(Self { set, active, w_total, kernel_evals: Cell::new(0) })
-    }
-
-    /// Number of modality kernels evaluated so far (instrumentation for the
-    /// multi-vector computation ablation).
-    #[inline]
-    pub fn kernel_evals(&self) -> u64 {
-        self.kernel_evals.get()
-    }
-
-    /// Sum of active squared weights — the joint similarity of the query
-    /// with itself, and the starting value of the Lemma-4 upper bound.
-    #[inline]
-    pub fn w_total(&self) -> f32 {
-        self.w_total
-    }
-
-    #[inline]
-    fn bump(&self, by: u64) {
-        self.kernel_evals.set(self.kernel_evals.get() + by);
-    }
-
-    /// Exact joint similarity `IP(q_hat, u_hat)` of object `id` to the query
-    /// (all active modalities scanned).
-    pub fn ip(&self, id: ObjectId) -> f32 {
-        self.bump(self.active.len() as u64);
-        self.active
-            .iter()
-            .map(|&(i, w, slot)| w * self.set.modality(i).ip_to(id, slot))
-            .sum()
-    }
-
-    /// Incremental joint similarity with safe early termination (Lemma 4).
-    ///
-    /// Scans the query's modality vectors one by one, maintaining the upper
-    /// bound `W - 0.5 * partial_weighted_l2` of Eqs. 8–9.  As soon as the
-    /// bound is `<= threshold` the candidate is discarded — the exact value
-    /// could only be smaller.  If every modality is scanned, the exact joint
-    /// similarity is returned (the bound is then tight).
-    pub fn ip_pruned(&self, id: ObjectId, threshold: f32) -> PartialIpVerdict {
-        let mut bound = self.w_total;
-        for (scanned, &(i, w, slot)) in self.active.iter().enumerate() {
-            bound -= 0.5 * w * self.set.modality(i).l2_sq_to(id, slot);
-            self.bump(1);
-            if bound <= threshold && scanned + 1 < self.active.len() {
-                return PartialIpVerdict::Pruned;
-            }
-        }
-        PartialIpVerdict::Exact(bound)
-    }
 }
 
 #[cfg(test)]
@@ -250,9 +233,54 @@ mod tests {
         let set = set3();
         let w = Weights::new(vec![0.8, 0.33]).unwrap();
         let jd = JointDistance::new(&set, w.clone()).unwrap();
-        let ips = set.modality_ips(0, 1);
+        let ips: Vec<f32> = set.modality_ips(0, 1).collect();
         let want = w.sq(0) * ips[0] + w.sq(1) * ips[1];
         assert!((jd.pair_ip(0, 1) - want).abs() < 1e-6);
+    }
+
+    #[test]
+    fn shared_engine_scores_like_owned() {
+        let set = set3();
+        let w = Weights::new(vec![0.8, 0.33]).unwrap();
+        let engine = set.fused().prescaled(&w).unwrap();
+        let owned = JointDistance::new(&set, w.clone()).unwrap();
+        let shared = JointDistance::with_engine(&set, w, &engine).unwrap();
+        for (a, b) in [(0u32, 1u32), (1, 2)] {
+            assert_eq!(owned.pair_ip(a, b), shared.pair_ip(a, b));
+        }
+    }
+
+    #[test]
+    fn with_engine_rejects_mismatched_shapes() {
+        let set = set3();
+        let w = Weights::uniform(2);
+        let engine = set.fused().prescaled(&w).unwrap();
+        // Cardinality mismatch: engine over a smaller set.
+        let mut small0 = VectorSetBuilder::new(4, 1);
+        small0.push_normalized(&[1.0, 0.0, 0.0, 0.0]).unwrap();
+        let mut small1 = VectorSetBuilder::new(3, 1);
+        small1.push_normalized(&[1.0, 0.0, 0.0]).unwrap();
+        let small = MultiVectorSet::new(vec![small0.finish(), small1.finish()]).unwrap();
+        assert!(matches!(
+            JointDistance::with_engine(&small, w.clone(), &engine),
+            Err(VectorError::CardinalityMismatch { .. })
+        ));
+        assert!(matches!(
+            JointDistance::with_engine(&set, Weights::uniform(3), &engine),
+            Err(VectorError::WeightArity { .. })
+        ));
+        // An engine with the wrong modality count names the engine, not
+        // the (correct) weights.
+        let mut solo = VectorSetBuilder::new(4, 3);
+        for _ in 0..3 {
+            solo.push_normalized(&[1.0, 0.0, 0.0, 0.0]).unwrap();
+        }
+        let one_modality = MultiVectorSet::new(vec![solo.finish()]).unwrap();
+        let narrow = one_modality.fused().prescaled(&Weights::uniform(1)).unwrap();
+        assert!(matches!(
+            JointDistance::with_engine(&set, w, &narrow),
+            Err(VectorError::EngineMismatch { modalities: 2, engine: 1 })
+        ));
     }
 
     #[test]
@@ -327,7 +355,7 @@ mod tests {
     fn ip_to_point_matches_pair_semantics() {
         let set = set3();
         let jd = JointDistance::new(&set, Weights::uniform(2)).unwrap();
-        let point = set.object(1);
+        let point: Vec<&[f32]> = set.object(1).collect();
         let via_point = jd.ip_to_point(0, &point);
         let via_pair = jd.pair_ip(0, 1);
         assert!((via_point - via_pair).abs() < 1e-6);

@@ -10,9 +10,14 @@
 //!   Euclidean distance, prefix (partial) distances for early termination,
 //!   and L2 normalisation.
 //! * [`VectorSet`] — a contiguous, cache-friendly `n x d` matrix of `f32`
-//!   vectors with unit-norm enforcement.
-//! * [`MultiVectorSet`] — `m` parallel [`VectorSet`]s, one per modality:
-//!   the paper's multi-vector object representation (Fig. 4(b)).
+//!   vectors with unit-norm enforcement (the per-modality build format).
+//! * [`FusedRows`] — the fused-row storage engine: all `m` modalities of
+//!   one object in a single contiguous, SIMD-padded, optionally
+//!   weight-prescaled row, so the Lemma-1 joint similarity is one dot
+//!   product and the Lemma-4 bound walks segments of the same row.
+//! * [`MultiVectorSet`] — the paper's multi-vector object representation
+//!   (Fig. 4(b)): a thin view over a raw [`FusedRows`] engine whose
+//!   [`ModalityView`]s keep the old per-modality API.
 //! * [`Weights`] — the per-modality weight vector `omega` learned by the
 //!   vector-weight-learning model (Section VI), exposed through its squared
 //!   form as required by Lemma 1.
@@ -28,14 +33,16 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod fused;
 pub mod joint;
 pub mod kernels;
 mod multi;
 mod set;
 mod weights;
 
+pub use fused::{FusedQueryEvaluator, FusedRows, FUSED_LANE};
 pub use joint::{JointDistance, PartialIpVerdict, QueryEvaluator};
-pub use multi::{MultiQuery, MultiVectorSet};
+pub use multi::{ModalityView, MultiQuery, MultiVectorSet};
 pub use set::{VectorSet, VectorSetBuilder};
 pub use weights::Weights;
 
@@ -71,6 +78,14 @@ pub enum VectorError {
         /// Number of weights provided.
         weights: usize,
     },
+    /// A shared [`FusedRows`] engine does not cover the same modalities as
+    /// the corpus it was paired with.
+    EngineMismatch {
+        /// Number of modalities in the corpus.
+        modalities: usize,
+        /// Number of modalities in the engine.
+        engine: usize,
+    },
 }
 
 impl std::fmt::Display for VectorError {
@@ -86,6 +101,10 @@ impl std::fmt::Display for VectorError {
             Self::WeightArity { modalities, weights } => write!(
                 f,
                 "weight arity mismatch: {modalities} modalities but {weights} weights"
+            ),
+            Self::EngineMismatch { modalities, engine } => write!(
+                f,
+                "engine mismatch: corpus has {modalities} modalities but the fused engine has {engine}"
             ),
         }
     }

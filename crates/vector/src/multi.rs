@@ -1,86 +1,111 @@
 //! The multi-vector representation of a multimodal object set
 //! (Section V / Fig. 4(b) of the paper).
+//!
+//! Since the fused-row refactor, [`MultiVectorSet`] is a thin view over the
+//! [`FusedRows`] storage engine: all modalities of one object live in one
+//! contiguous, SIMD-padded row.  The per-modality API survives as
+//! [`ModalityView`], a zero-cost strided view that offers the same methods
+//! the old per-modality `VectorSet` storage did.
 
-use serde::{Deserialize, Serialize};
+use serde::{Deserialize, DeError, Serialize, Value};
 
-use crate::{ObjectId, VectorError, VectorSet, Weights};
+use crate::fused::FusedRows;
+use crate::{kernels, ObjectId, VectorError, VectorSet, Weights};
 
-/// `m` parallel [`VectorSet`]s, one per modality, all of the same
-/// cardinality: row `id` of every modality together forms the multi-vector
-/// representation of object `id`.
+/// `m` modalities over `n` objects, stored fused: row `id` holds the whole
+/// multi-vector representation of object `id` contiguously.
 ///
 /// Modality `0` is the *target* modality by the paper's convention; the
 /// remaining modalities are auxiliary.  Per-modality dimensionalities may
 /// differ (e.g. a 128-d image space next to a 64-d text space).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct MultiVectorSet {
-    modalities: Vec<VectorSet>,
+    rows: FusedRows,
 }
 
 impl MultiVectorSet {
-    /// Assembles a multi-vector set from per-modality sets.
+    /// Assembles a multi-vector set from per-modality sets, fusing their
+    /// rows into the contiguous layout.
     ///
     /// # Errors
     /// [`VectorError::CardinalityMismatch`] when the sets disagree on the
     /// number of objects.
     pub fn new(modalities: Vec<VectorSet>) -> Result<Self, VectorError> {
-        assert!(!modalities.is_empty(), "at least one modality required");
-        let n = modalities[0].len();
-        for set in &modalities[1..] {
-            if set.len() != n {
-                return Err(VectorError::CardinalityMismatch { expected: n, got: set.len() });
-            }
-        }
-        Ok(Self { modalities })
+        Ok(Self { rows: FusedRows::from_sets(&modalities)? })
+    }
+
+    /// Wraps an existing raw (unscaled) fused engine — the bundle-v3 load
+    /// path, which reads rows already in fused layout.
+    ///
+    /// # Panics
+    /// Panics when `rows` carries baked scales other than 1 (a prescaled
+    /// engine is a similarity structure, not a corpus).
+    pub fn from_fused(rows: FusedRows) -> Self {
+        assert!(
+            rows.scales().iter().all(|&s| s == 1.0),
+            "corpus storage must be unscaled"
+        );
+        Self { rows }
+    }
+
+    /// The underlying fused-row storage engine.
+    #[inline]
+    pub fn fused(&self) -> &FusedRows {
+        &self.rows
     }
 
     /// Number of modalities `m`.
     #[inline]
     pub fn num_modalities(&self) -> usize {
-        self.modalities.len()
+        self.rows.num_modalities()
     }
 
     /// Number of objects `n`.
     #[inline]
     pub fn len(&self) -> usize {
-        self.modalities[0].len()
+        self.rows.len()
     }
 
     /// Whether the set is empty.
     #[inline]
     pub fn is_empty(&self) -> bool {
-        self.modalities[0].is_empty()
+        self.rows.is_empty()
     }
 
-    /// The [`VectorSet`] of modality `i`.
+    /// A view of modality `i`'s vectors.
     #[inline]
-    pub fn modality(&self, i: usize) -> &VectorSet {
-        &self.modalities[i]
+    pub fn modality(&self, i: usize) -> ModalityView<'_> {
+        assert!(i < self.num_modalities(), "modality out of range");
+        ModalityView { rows: &self.rows, k: i }
     }
 
-    /// All modality sets.
-    #[inline]
-    pub fn modalities(&self) -> &[VectorSet] {
-        &self.modalities
+    /// Views of all modalities, in order.
+    pub fn modalities(&self) -> impl ExactSizeIterator<Item = ModalityView<'_>> + '_ {
+        (0..self.num_modalities()).map(|k| ModalityView { rows: &self.rows, k })
     }
 
     /// Per-modality dimensionalities.
-    pub fn dims(&self) -> Vec<usize> {
-        self.modalities.iter().map(VectorSet::dim).collect()
+    #[inline]
+    pub fn dims(&self) -> &[usize] {
+        self.rows.dims()
     }
 
-    /// The multi-vector of object `id`: one slice per modality.
-    pub fn object(&self, id: ObjectId) -> Vec<&[f32]> {
-        self.modalities.iter().map(|s| s.get(id)).collect()
+    /// The multi-vector of object `id`: one slice per modality, borrowed
+    /// straight out of the fused row (no allocation).
+    pub fn object(&self, id: ObjectId) -> impl ExactSizeIterator<Item = &[f32]> + '_ {
+        (0..self.num_modalities()).map(move |k| self.rows.modality_slice(id, k))
     }
 
-    /// Per-modality inner products between objects `a` and `b`.
-    pub fn modality_ips(&self, a: ObjectId, b: ObjectId) -> Vec<f32> {
-        self.modalities.iter().map(|s| s.ip(a, b)).collect()
+    /// Per-modality inner products between objects `a` and `b` (no
+    /// allocation; collect if indexed access is needed).
+    pub fn modality_ips(&self, a: ObjectId, b: ObjectId) -> impl ExactSizeIterator<Item = f32> + '_ {
+        (0..self.num_modalities()).map(move |k| self.rows.modality_ip(a, b, k))
     }
 
     /// Joint similarity between objects `a` and `b` under `weights`
-    /// (Lemma 1: the weighted sum of per-modality inner products).
+    /// (Lemma 1: the weighted sum of per-modality inner products).  This is
+    /// the reference per-modality path; hot paths go through a prescaled
+    /// [`FusedRows`] engine where the same quantity is one dot product.
     ///
     /// # Errors
     /// [`VectorError::WeightArity`] when `weights` does not cover every
@@ -93,10 +118,9 @@ impl MultiVectorSet {
             });
         }
         Ok(self
-            .modalities
-            .iter()
+            .modality_ips(a, b)
             .zip(weights.squared())
-            .map(|(s, w)| w * s.ip(a, b))
+            .map(|(ip, w)| w * ip)
             .sum())
     }
 
@@ -115,30 +139,135 @@ impl MultiVectorSet {
         }
         // Validate every row first so a failure cannot leave the set torn.
         let mut normalized = Vec::with_capacity(rows.len());
-        for (set, row) in self.modalities.iter().zip(rows) {
-            if row.len() != set.dim() {
-                return Err(VectorError::DimensionMismatch { expected: set.dim(), got: row.len() });
+        for (&dim, row) in self.dims().iter().zip(rows) {
+            if row.len() != dim {
+                return Err(VectorError::DimensionMismatch { expected: dim, got: row.len() });
             }
             let mut v = row.clone();
-            if !crate::kernels::normalize(&mut v) {
+            if !kernels::normalize(&mut v) {
                 return Err(VectorError::NotNormalisable);
             }
             normalized.push(v);
         }
-        let id = self.len() as ObjectId;
-        for (set, v) in self.modalities.iter_mut().zip(&normalized) {
-            set.push(v).expect("validated above");
-        }
-        Ok(id)
+        self.rows.push_row(&normalized)
     }
 
-    /// Approximate heap footprint of the stored vectors in bytes
+    /// Approximate heap footprint of the stored vectors in bytes,
+    /// including the SIMD padding lanes of the fused layout
     /// (used by the Fig. 7 index-size accounting).
     pub fn bytes(&self) -> usize {
-        self.modalities
-            .iter()
-            .map(|s| s.len() * s.dim() * std::mem::size_of::<f32>())
-            .sum()
+        self.rows.bytes()
+    }
+}
+
+// The on-disk shape predates the fused layout: v1 JSON bundles contain
+// `{"modalities": [{"dim": .., "data": [..]}, ..]}`.  Serialisation
+// reconstructs per-modality sets (a copy — persistence only), and
+// deserialisation fuses them back, so old bundles keep loading bit-exact.
+impl Serialize for MultiVectorSet {
+    fn to_value(&self) -> Value {
+        let sets: Vec<VectorSet> = self
+            .modalities()
+            .map(|m| {
+                let mut flat = Vec::with_capacity(m.len() * m.dim());
+                for (_, v) in m.iter() {
+                    flat.extend_from_slice(v);
+                }
+                VectorSet::from_flat(m.dim(), flat).expect("view rows are well-formed")
+            })
+            .collect();
+        Value::Object(vec![("modalities".to_owned(), sets.to_value())])
+    }
+}
+
+impl Deserialize for MultiVectorSet {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        let sets = value
+            .get_field("modalities")
+            .ok_or_else(|| DeError::new("expected field `modalities`"))?;
+        let sets: Vec<VectorSet> = Vec::from_value(sets)?;
+        MultiVectorSet::new(sets).map_err(|e| DeError::new(e.to_string()))
+    }
+}
+
+/// A zero-cost view of one modality inside a [`MultiVectorSet`]: the same
+/// per-modality API the pre-fused storage offered, reading strided
+/// segments of the fused rows.
+#[derive(Debug, Clone, Copy)]
+pub struct ModalityView<'a> {
+    rows: &'a FusedRows,
+    k: usize,
+}
+
+impl<'a> ModalityView<'a> {
+    /// Dimensionality of every vector in this modality.
+    #[inline]
+    pub fn dim(&self) -> usize {
+        self.rows.dims()[self.k]
+    }
+
+    /// Number of vectors.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the modality holds no vectors.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Borrow vector `id`.
+    ///
+    /// # Panics
+    /// Panics when `id` is out of bounds.
+    #[inline]
+    pub fn get(&self, id: ObjectId) -> &'a [f32] {
+        self.rows.modality_slice(id, self.k)
+    }
+
+    /// Borrow vector `id`, or `None` when out of bounds.
+    #[inline]
+    pub fn try_get(&self, id: ObjectId) -> Option<&'a [f32]> {
+        ((id as usize) < self.rows.len()).then(|| self.get(id))
+    }
+
+    /// Inner product between rows `a` and `b` of this modality.
+    #[inline]
+    pub fn ip(&self, a: ObjectId, b: ObjectId) -> f32 {
+        self.rows.modality_ip(a, b, self.k)
+    }
+
+    /// Inner product between row `a` and an external query vector.
+    #[inline]
+    pub fn ip_to(&self, a: ObjectId, query: &[f32]) -> f32 {
+        kernels::ip(self.get(a), query)
+    }
+
+    /// Squared Euclidean distance between row `a` and an external query.
+    #[inline]
+    pub fn l2_sq_to(&self, a: ObjectId, query: &[f32]) -> f32 {
+        kernels::l2_sq(self.get(a), query)
+    }
+
+    /// Iterator over `(id, vector)` pairs.
+    pub fn iter(&self) -> impl ExactSizeIterator<Item = (ObjectId, &'a [f32])> + '_ {
+        let rows = self.rows;
+        let k = self.k;
+        (0..rows.len() as ObjectId).map(move |id| (id, rows.modality_slice(id, k)))
+    }
+
+    /// Exact top-`k` ids by inner product to `query`, descending
+    /// (brute-force scan; ground truth and the `MUST--` baseline).
+    pub fn brute_force_top_k(&self, query: &[f32], k: usize) -> Vec<(ObjectId, f32)> {
+        crate::set::brute_force_top_k_impl(self.iter(), query, k)
+    }
+
+    /// Mean of all vectors (the centroid used by the paper's seed
+    /// preprocessing, component 4 of Algorithm 1).
+    pub fn centroid(&self) -> Vec<f32> {
+        crate::set::centroid_impl(self.dim(), self.len(), self.iter())
     }
 }
 
@@ -235,7 +364,7 @@ mod tests {
     fn joint_ip_is_weighted_sum_of_modality_ips() {
         let set = two_modality_set();
         let w = Weights::new(vec![0.8, 0.33]).unwrap();
-        let ips = set.modality_ips(0, 1);
+        let ips: Vec<f32> = set.modality_ips(0, 1).collect();
         let want = 0.64 * ips[0] + 0.1089 * ips[1];
         let got = set.joint_ip(0, 1, &w).unwrap();
         assert!((got - want).abs() < 1e-6);
@@ -249,6 +378,22 @@ mod tests {
             set.joint_ip(0, 1, &w),
             Err(VectorError::WeightArity { modalities: 2, weights: 3 })
         ));
+    }
+
+    #[test]
+    fn modality_views_read_the_fused_rows() {
+        let set = two_modality_set();
+        let img = set.modality(0);
+        assert_eq!(img.dim(), 4);
+        assert_eq!(img.len(), 2);
+        assert_eq!(img.get(0), &[1.0, 0.0, 0.0, 0.0]);
+        assert!(img.try_get(2).is_none());
+        let txt = set.modality(1);
+        assert!((txt.ip(0, 0) - 1.0).abs() < 1e-6);
+        let top = txt.brute_force_top_k(&[1.0, 0.0], 1);
+        assert_eq!(top[0].0, 0);
+        assert_eq!(set.object(1).count(), 2);
+        assert_eq!(set.dims(), &[4, 2]);
     }
 
     #[test]
@@ -267,8 +412,18 @@ mod tests {
     }
 
     #[test]
-    fn bytes_accounts_all_modalities() {
+    fn bytes_accounts_padded_rows() {
         let set = two_modality_set();
-        assert_eq!(set.bytes(), (2 * 4 + 2 * 2) * 4);
+        // dims [4, 2] both pad to 8: stride 16, two objects.
+        assert_eq!(set.bytes(), 2 * 16 * 4);
+    }
+
+    #[test]
+    fn serde_keeps_the_v1_modalities_shape() {
+        let set = two_modality_set();
+        let json = serde_json::to_string(&set).unwrap();
+        assert!(json.contains("\"modalities\""), "v1 field name preserved: {json}");
+        let back: MultiVectorSet = serde_json::from_str(&json).unwrap();
+        assert_eq!(set, back);
     }
 }

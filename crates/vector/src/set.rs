@@ -123,47 +123,69 @@ impl VectorSet {
     /// Exact top-`k` ids by inner product to `query`, descending
     /// (brute-force scan; used for ground truth and the `MUST--` baseline).
     pub fn brute_force_top_k(&self, query: &[f32], k: usize) -> Vec<(ObjectId, f32)> {
-        let mut heap: Vec<(ObjectId, f32)> = Vec::with_capacity(k + 1);
-        for (id, v) in self.iter() {
-            let s = kernels::ip(v, query);
-            if heap.len() < k {
-                heap.push((id, s));
-                if heap.len() == k {
-                    heap.sort_unstable_by(|x, y| y.1.total_cmp(&x.1));
-                }
-            } else if k > 0 && s > heap[k - 1].1 {
-                heap[k - 1] = (id, s);
-                let mut i = k - 1;
-                while i > 0 && heap[i].1 > heap[i - 1].1 {
-                    heap.swap(i, i - 1);
-                    i -= 1;
-                }
-            }
-        }
-        if heap.len() < k {
-            heap.sort_unstable_by(|x, y| y.1.total_cmp(&x.1));
-        }
-        heap
+        brute_force_top_k_impl(self.iter(), query, k)
     }
 
     /// Mean of all vectors (the centroid used by the paper's seed
     /// preprocessing, component 4 of Algorithm 1).
     pub fn centroid(&self) -> Vec<f32> {
-        let mut c = vec![0.0f32; self.dim];
-        if self.is_empty() {
-            return c;
-        }
-        for (_, v) in self.iter() {
-            for (ci, vi) in c.iter_mut().zip(v) {
-                *ci += vi;
+        centroid_impl(self.dim, self.len(), self.iter())
+    }
+}
+
+/// Exact top-`k` `(id, similarity)` by inner product over `(id, vector)`
+/// pairs, descending — shared by [`VectorSet`] and the fused-row modality
+/// views so the subtle partial-sort maintenance (tie handling, `k == 0`,
+/// bubble-up) can never diverge between the two storage layouts.
+pub(crate) fn brute_force_top_k_impl<'a>(
+    rows: impl Iterator<Item = (ObjectId, &'a [f32])>,
+    query: &[f32],
+    k: usize,
+) -> Vec<(ObjectId, f32)> {
+    let mut heap: Vec<(ObjectId, f32)> = Vec::with_capacity(k + 1);
+    for (id, v) in rows {
+        let s = kernels::ip(v, query);
+        if heap.len() < k {
+            heap.push((id, s));
+            if heap.len() == k {
+                heap.sort_unstable_by(|x, y| y.1.total_cmp(&x.1));
+            }
+        } else if k > 0 && s > heap[k - 1].1 {
+            heap[k - 1] = (id, s);
+            let mut i = k - 1;
+            while i > 0 && heap[i].1 > heap[i - 1].1 {
+                heap.swap(i, i - 1);
+                i -= 1;
             }
         }
-        let inv = 1.0 / self.len() as f32;
-        for ci in c.iter_mut() {
-            *ci *= inv;
-        }
-        c
     }
+    if heap.len() < k {
+        heap.sort_unstable_by(|x, y| y.1.total_cmp(&x.1));
+    }
+    heap
+}
+
+/// Mean of `n` vectors of dimensionality `dim` (shared with the fused-row
+/// modality views, like [`brute_force_top_k_impl`]).
+pub(crate) fn centroid_impl<'a>(
+    dim: usize,
+    n: usize,
+    rows: impl Iterator<Item = (ObjectId, &'a [f32])>,
+) -> Vec<f32> {
+    let mut c = vec![0.0f32; dim];
+    if n == 0 {
+        return c;
+    }
+    for (_, v) in rows {
+        for (ci, vi) in c.iter_mut().zip(v) {
+            *ci += vi;
+        }
+    }
+    let inv = 1.0 / n as f32;
+    for ci in c.iter_mut() {
+        *ci *= inv;
+    }
+    c
 }
 
 /// Incremental builder that normalises vectors as they are appended.

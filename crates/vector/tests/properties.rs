@@ -79,8 +79,7 @@ proptest! {
         b in 0u32..5,
     ) {
         let jd = JointDistance::new(&set, w.clone()).unwrap();
-        let ips = set.modality_ips(a, b);
-        let want: f32 = ips.iter().zip(w.squared()).map(|(s, q)| s * q).sum();
+        let want: f32 = set.modality_ips(a, b).zip(w.squared()).map(|(s, q)| s * q).sum();
         prop_assert!((jd.pair_ip(a, b) - want).abs() < 1e-4);
     }
 

@@ -13,7 +13,7 @@ use must::core::metrics::recall_at;
 use must::core::weights::WeightLearnConfig;
 use must::data::embed::embed_dataset;
 use must::encoders::{ComposerKind, EncoderConfig, EncoderRegistry, LatentSpace, TargetEncoding, UnimodalKind};
-use must::graph::search::VisitedSet;
+use must::graph::search::SearchScratch;
 use must::prelude::*;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -51,7 +51,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Evaluate Recall@1(1) on held-out queries.
     let eval = &embedded.queries[200..700.min(embedded.queries.len())];
     let mut searcher = must.searcher();
-    let mut visited = VisitedSet::default();
+    let mut visited = SearchScratch::default();
     let (mut r_must, mut r_mr, mut r_je) = (0.0, 0.0, 0.0);
     for q in eval {
         let m = searcher.search(&q.query, 1, 200)?;

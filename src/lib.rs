@@ -26,10 +26,12 @@ pub use must_vector as vector;
 
 /// Convenience prelude: the types most applications need.
 pub mod prelude {
-    pub use must_core::framework::{Must, MustBuildOptions, MustSearcher};
+    pub use must_core::framework::{Must, MustBuildOptions, MustParts, MustSearcher};
     pub use must_core::metrics::recall_at;
     pub use must_core::persist;
     pub use must_core::server::{MustServer, ServeReply, ServeRequest, ServerWorker};
     pub use must_core::weights::{WeightLearnConfig, WeightLearner};
-    pub use must_vector::{MultiQuery, MultiVectorSet, VectorSet, VectorSetBuilder, Weights};
+    pub use must_vector::{
+        FusedRows, ModalityView, MultiQuery, MultiVectorSet, VectorSet, VectorSetBuilder, Weights,
+    };
 }

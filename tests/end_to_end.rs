@@ -9,7 +9,7 @@ use must::data::embed::embed_dataset;
 use must::encoders::{
     ComposerKind, EncoderConfig, EncoderRegistry, LatentSpace, TargetEncoding, UnimodalKind,
 };
-use must::graph::search::VisitedSet;
+use must::graph::search::SearchScratch;
 use must::prelude::*;
 use must::vector::JointDistance;
 
@@ -188,7 +188,7 @@ fn baselines_run_on_real_embeddings() {
     let opts = BaselineOptions { gamma: 16, ..Default::default() };
     let mr = MultiStreamedRetrieval::build(&p.embedded.objects, opts).unwrap();
     let je = JointEmbedding::build(&p.embedded.objects, opts).unwrap();
-    let mut visited = VisitedSet::default();
+    let mut visited = SearchScratch::default();
     let q = &p.embedded.queries[200];
     let mr_out = mr.search(&q.query, 10, 200, &mut visited);
     assert_eq!(mr_out.results.len(), 10);
