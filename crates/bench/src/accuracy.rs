@@ -32,6 +32,7 @@ pub enum Framework {
 
 impl Framework {
     /// Display label.
+    #[must_use]
     pub fn label(self) -> &'static str {
         match self {
             Self::Je => "JE",
@@ -70,6 +71,7 @@ pub fn prepare(
 
 impl Prepared {
     /// Weight-learning anchors from the training split.
+    #[must_use]
     pub fn anchors(&self) -> Vec<(&MultiQuery, ObjectId)> {
         self.train
             .iter()
@@ -86,6 +88,7 @@ impl Prepared {
     }
 
     /// Learns weights on the training anchors.
+    #[must_use]
     pub fn learn(&self, config: &WeightLearnConfig) -> LearnedWeights {
         Must::learn_weights(&self.embedded.objects, &self.anchors(), config)
     }
@@ -133,6 +136,7 @@ where
 
 /// Runs the JE framework (exact search over the target modality with the
 /// composed slot-0 vector).
+#[must_use]
 pub fn run_je(prepared: &Prepared, ks: &[usize]) -> AccuracyRun {
     let max_k = ks.iter().copied().max().unwrap_or(1);
     let target = prepared.embedded.objects.modality(0);
@@ -147,6 +151,7 @@ pub fn run_je(prepared: &Prepared, ks: &[usize]) -> AccuracyRun {
 }
 
 /// Runs the MR framework (exact per-modality top-`l_candidates` + merge).
+#[must_use]
 pub fn run_mr(prepared: &Prepared, ks: &[usize], l_candidates: usize) -> AccuracyRun {
     let max_k = ks.iter().copied().max().unwrap_or(1);
     let objects = &prepared.embedded.objects;
@@ -162,6 +167,7 @@ pub fn run_mr(prepared: &Prepared, ks: &[usize], l_candidates: usize) -> Accurac
 }
 
 /// Runs the MUST framework under `weights` (exact joint search).
+#[must_use]
 pub fn run_must(prepared: &Prepared, ks: &[usize], weights: &Weights) -> AccuracyRun {
     let max_k = ks.iter().copied().max().unwrap_or(1);
     let joint = JointDistance::new(&prepared.embedded.objects, weights.clone())
@@ -179,6 +185,7 @@ pub fn run_must(prepared: &Prepared, ks: &[usize], weights: &Weights) -> Accurac
 }
 
 /// Runs MUST end-to-end: learn weights then evaluate.
+#[must_use]
 pub fn run_must_learned(
     prepared: &Prepared,
     ks: &[usize],
@@ -200,6 +207,7 @@ pub struct RowSpec {
 
 impl RowSpec {
     /// Creates a row with the default label.
+    #[must_use]
     pub fn new(framework: Framework, config: EncoderConfig) -> Self {
         let label = match framework {
             Framework::Je => match config.target {
@@ -251,6 +259,7 @@ pub fn accuracy_table(
 
 /// Evaluates a single-modality workload: queries masked to supply only
 /// modality `modality` (Tabs. X, XIX, XX).
+#[must_use]
 pub fn run_single_modality(prepared: &Prepared, ks: &[usize], modality: usize) -> AccuracyRun {
     let max_k = ks.iter().copied().max().unwrap_or(1);
     let objects = &prepared.embedded.objects;

@@ -1,7 +1,9 @@
 //! Online-serving throughput bench: sweeps worker-thread counts and
 //! arrival-batch sizes over a MIT-States-style corpus served by
 //! [`must_core::MustServer`], reporting QPS, p50/p99 per-query latency,
-//! and Recall@10 against the exact joint-similarity oracle.
+//! and Recall@10 against the exact joint-similarity oracle — plus a
+//! **shard sweep** (S ∈ {1, 2, 4, 8}) through
+//! [`must_core::shard::ShardedServer`]'s scatter-gather path.
 //!
 //! Writes `BENCH_serving.json` at the repository root (override with
 //! `MUST_BENCH_PATH`) plus a copy under `EXPERIMENTS-out/`, so the bench
@@ -13,16 +15,31 @@ use std::time::Instant;
 use must_bench::efficiency::prepare;
 use must_bench::report::f4;
 use must_core::metrics::recall_at;
+use must_core::search::SearchOutcome;
 use must_core::server::MustServer;
-use must_core::MustBuildOptions;
+use must_core::shard::{ShardSpec, ShardedMust, ShardedServer};
+use must_core::{MustBuildOptions, MustError};
 use must_vector::{MultiQuery, ObjectId};
 use serde::Serialize;
 
-/// One `(threads, batch)` operating point.
+/// One `(threads, batch)` operating point of the single-shard server.
 #[derive(Debug, Clone, Serialize)]
 struct Entry {
     threads: usize,
     batch: usize,
+    qps: f64,
+    p50_ms: f64,
+    p99_ms: f64,
+    recall_at_10: f64,
+}
+
+/// One point of the shard sweep (fixed threads × batch, varying S).
+#[derive(Debug, Clone, Serialize)]
+struct ShardEntry {
+    shards: usize,
+    threads: usize,
+    batch: usize,
+    build_secs: f64,
     qps: f64,
     p50_ms: f64,
     p99_ms: f64,
@@ -40,6 +57,7 @@ struct ServingBench {
     k: usize,
     l: usize,
     entries: Vec<Entry>,
+    shard_entries: Vec<ShardEntry>,
 }
 
 fn percentile_ms(sorted_secs: &[f64], p: f64) -> f64 {
@@ -48,6 +66,36 @@ fn percentile_ms(sorted_secs: &[f64], p: f64) -> f64 {
     }
     let idx = ((p / 100.0) * (sorted_secs.len() - 1) as f64).round() as usize;
     sorted_secs[idx] * 1e3
+}
+
+/// Drives one operating point through any batch-search entry point and
+/// reduces it to throughput, latency percentiles, and recall.
+fn measure(
+    search_batch: impl Fn(&[MultiQuery]) -> Vec<Result<SearchOutcome, MustError>>,
+    queries: &[MultiQuery],
+    ground_truth: &[Vec<ObjectId>],
+    k: usize,
+    batch: usize,
+) -> (f64, f64, f64, f64) {
+    let mut latencies: Vec<f64> = Vec::with_capacity(queries.len());
+    let mut recall_sum = 0.0;
+    let t0 = Instant::now();
+    for (qs, gts) in queries.chunks(batch).zip(ground_truth.chunks(batch)) {
+        for (out, gt) in search_batch(qs).into_iter().zip(gts) {
+            let out = out.expect("workload queries are well-formed");
+            latencies.push(out.secs);
+            let ids: Vec<ObjectId> = out.results.iter().map(|r| r.0).collect();
+            recall_sum += recall_at(&ids, gt, k);
+        }
+    }
+    let wall = t0.elapsed().as_secs_f64();
+    latencies.sort_unstable_by(f64::total_cmp);
+    (
+        queries.len() as f64 / wall,
+        percentile_ms(&latencies, 50.0),
+        percentile_ms(&latencies, 99.0),
+        recall_sum / queries.len() as f64,
+    )
 }
 
 fn run_point(
@@ -59,27 +107,14 @@ fn run_point(
     threads: usize,
     batch: usize,
 ) -> Entry {
-    let mut latencies: Vec<f64> = Vec::with_capacity(queries.len());
-    let mut recall_sum = 0.0;
-    let t0 = Instant::now();
-    for (qs, gts) in queries.chunks(batch).zip(ground_truth.chunks(batch)) {
-        for (out, gt) in server.search_batch(qs, k, l, threads).into_iter().zip(gts) {
-            let out = out.expect("workload queries are well-formed");
-            latencies.push(out.secs);
-            let ids: Vec<ObjectId> = out.results.iter().map(|r| r.0).collect();
-            recall_sum += recall_at(&ids, gt, k);
-        }
-    }
-    let wall = t0.elapsed().as_secs_f64();
-    latencies.sort_unstable_by(f64::total_cmp);
-    Entry {
-        threads,
+    let (qps, p50_ms, p99_ms, recall_at_10) = measure(
+        |qs| server.search_batch(qs, k, l, threads),
+        queries,
+        ground_truth,
+        k,
         batch,
-        qps: queries.len() as f64 / wall,
-        p50_ms: percentile_ms(&latencies, 50.0),
-        p99_ms: percentile_ms(&latencies, 99.0),
-        recall_at_10: recall_sum / queries.len() as f64,
-    }
+    );
+    Entry { threads, batch, qps, p50_ms, p99_ms, recall_at_10 }
 }
 
 fn main() {
@@ -94,6 +129,9 @@ fn main() {
     let setup = prepare(&ds, k, MustBuildOptions::default());
     let queries = setup.queries;
     let ground_truth = setup.ground_truth;
+    let weights = setup.weights;
+    // Keep the corpus for the shard sweep before freezing the S=1 server.
+    let corpus = setup.must.objects().clone();
     let server = MustServer::freeze(setup.must);
     eprintln!(
         "[serving] {} objects, {} queries, {} index",
@@ -125,6 +163,53 @@ fn main() {
         }
     }
 
+    // ---- Shard sweep: S ∈ {1, 2, 4, 8} at a fixed operating point. ----
+    // The sweep measures what sharding buys (parallel build, bounded
+    // per-shard memory) and what the scatter-gather costs at query time.
+    let (shard_threads, shard_batch) = (thread_counts.last().copied().unwrap_or(1), 64);
+    let mut shard_entries = Vec::new();
+    for shards in [1usize, 2, 4, 8] {
+        if shards > corpus.len() {
+            eprintln!("[serving] skipping S={shards}: corpus has only {} objects", corpus.len());
+            continue;
+        }
+        let t0 = Instant::now();
+        let sharded = ShardedMust::build(
+            corpus.clone(),
+            weights.clone(),
+            MustBuildOptions::default(),
+            ShardSpec::new(shards),
+        )
+        .expect("shard build");
+        let build_secs = t0.elapsed().as_secs_f64();
+        let sharded = ShardedServer::freeze(sharded);
+        let (qps, p50_ms, p99_ms, recall_at_10) = measure(
+            |qs| sharded.search_batch(qs, k, l, shard_threads),
+            &queries,
+            &ground_truth,
+            k,
+            shard_batch,
+        );
+        eprintln!(
+            "[serving] shards={shards:<2} threads={shard_threads:<2} batch={shard_batch:<3} build={}s qps={:<10} p50={}ms p99={}ms recall@10={}",
+            f4(build_secs),
+            f4(qps),
+            f4(p50_ms),
+            f4(p99_ms),
+            f4(recall_at_10)
+        );
+        shard_entries.push(ShardEntry {
+            shards,
+            threads: shard_threads,
+            batch: shard_batch,
+            build_secs,
+            qps,
+            p50_ms,
+            p99_ms,
+            recall_at_10,
+        });
+    }
+
     let artefact = ServingBench {
         bench: "serving".into(),
         dataset: ds.name.clone(),
@@ -134,6 +219,7 @@ fn main() {
         k,
         l,
         entries,
+        shard_entries,
     };
     let json = serde_json::to_string_pretty(&artefact).expect("serialisable artefact");
     let path = std::env::var("MUST_BENCH_PATH").unwrap_or_else(|_| "BENCH_serving.json".into());

@@ -18,6 +18,7 @@ use must_vector::{MultiQuery, ObjectId, Weights};
 /// The default encoder configuration for semi-synthetic datasets
 /// (multi-vector: ResNet50 target + LSTM text, as in the paper's
 /// million-scale runs).
+#[must_use]
 pub fn semisynthetic_config() -> EncoderConfig {
     EncoderConfig::new(
         TargetEncoding::Independent(UnimodalKind::ResNet50),
@@ -45,6 +46,7 @@ pub struct EffSetup {
 /// Weights are learned on a training slice of the workload; ground truth
 /// is the exact joint top-`k` under those weights (the protocol of
 /// Figs. 6–8).
+#[must_use]
 pub fn prepare(dataset: &LatentDataset, k: usize, build: MustBuildOptions) -> EffSetup {
     let registry = crate::registry();
     let config = semisynthetic_config();
@@ -84,6 +86,7 @@ pub struct SweepPoint {
 }
 
 /// Sweeps pool size `l` for MUST's joint search (Fig. 6 "MUST" curve).
+#[must_use]
 pub fn must_sweep(setup: &EffSetup, ls: &[usize]) -> Vec<SweepPoint> {
     let mut searcher = setup.must.searcher();
     ls.iter()
@@ -108,6 +111,7 @@ pub fn must_sweep(setup: &EffSetup, ls: &[usize]) -> Vec<SweepPoint> {
 }
 
 /// The `MUST--` brute-force point (recall 1.0 by construction).
+#[must_use]
 pub fn must_brute_point(setup: &EffSetup) -> SweepPoint {
     let t0 = Instant::now();
     let mut recall_sum = 0.0;
@@ -125,11 +129,13 @@ pub fn must_brute_point(setup: &EffSetup) -> SweepPoint {
 }
 
 /// Builds MR over the same corpus (per-modality indexes).
+#[must_use]
 pub fn build_mr<'a>(setup: &'a EffSetup, opts: BaselineOptions) -> MultiStreamedRetrieval<'a> {
     MultiStreamedRetrieval::build(setup.must.objects(), opts).expect("MR build")
 }
 
 /// Sweeps MR's per-modality candidate size (Fig. 6 "MR" curve).
+#[must_use]
 pub fn mr_sweep(
     setup: &EffSetup,
     mr: &MultiStreamedRetrieval<'_>,
@@ -156,6 +162,7 @@ pub fn mr_sweep(
 }
 
 /// The `MR--` brute-force point.
+#[must_use]
 pub fn mr_brute_point(
     setup: &EffSetup,
     mr: &MultiStreamedRetrieval<'_>,
@@ -176,6 +183,7 @@ pub fn mr_brute_point(
 }
 
 /// Converts sweep points to `(recall, qps)` series points.
+#[must_use]
 pub fn to_series(points: &[SweepPoint]) -> Vec<(f64, f64)> {
     points.iter().map(|p| (p.recall, p.qps)).collect()
 }

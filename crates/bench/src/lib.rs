@@ -10,7 +10,11 @@
 //! (reduced from the paper's cardinalities per DESIGN.md §1) and are
 //! multiplied by the `MUST_SCALE` environment variable when set.
 
-#![warn(missing_docs)]
+//!
+//! See `docs/ARCHITECTURE.md` at the repository root for the crate DAG
+//! and a one-paragraph tour of every crate.
+
+#![deny(missing_docs)]
 #![forbid(unsafe_code)]
 
 pub mod accuracy;
@@ -21,6 +25,7 @@ use must_data::LatentDataset;
 use must_encoders::{EncoderRegistry, LatentSpace};
 
 /// Global scale multiplier (`MUST_SCALE`, default 1.0).
+#[must_use]
 pub fn scale() -> f64 {
     std::env::var("MUST_SCALE")
         .ok()
@@ -30,6 +35,7 @@ pub fn scale() -> f64 {
 }
 
 /// Artefact output directory (`EXPERIMENTS-out/`, created on demand).
+#[must_use]
 pub fn out_dir() -> std::path::PathBuf {
     let dir = std::env::var("MUST_OUT_DIR").unwrap_or_else(|_| "EXPERIMENTS-out".into());
     let path = std::path::PathBuf::from(dir);
@@ -41,6 +47,7 @@ pub fn out_dir() -> std::path::PathBuf {
 pub const DATASET_SEED: u64 = 20_240_312;
 
 /// A fresh encoder registry bound to the experiment seed.
+#[must_use]
 pub fn registry() -> EncoderRegistry {
     EncoderRegistry::new(LatentSpace::DEFAULT, DATASET_SEED)
 }

@@ -18,6 +18,7 @@ pub struct Table {
 
 impl Table {
     /// Creates an empty table.
+    #[must_use]
     pub fn new(id: &str, title: &str, headers: &[&str]) -> Self {
         Self {
             id: id.into(),
@@ -104,6 +105,7 @@ pub struct Figure {
 
 impl Figure {
     /// Creates an empty figure.
+    #[must_use]
     pub fn new(id: &str, title: &str, x_label: &str, y_label: &str) -> Self {
         Self {
             id: id.into(),
@@ -120,6 +122,7 @@ impl Figure {
     }
 
     /// Renders a text form: one block per series.
+    #[must_use]
     pub fn render(&self) -> String {
         let mut out = format!(
             "== {}: {} ==  [x = {}, y = {}]\n",
@@ -152,11 +155,13 @@ impl Figure {
 }
 
 /// Formats a float with 4 decimals (the paper's table precision).
+#[must_use]
 pub fn f4(x: f64) -> String {
     format!("{x:.4}")
 }
 
 /// Formats seconds with 1 decimal.
+#[must_use]
 pub fn s1(x: f64) -> String {
     format!("{x:.1}")
 }

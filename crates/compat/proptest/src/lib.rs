@@ -292,7 +292,7 @@ pub mod collection {
     use super::{Strategy, TestRng};
     use std::ops::Range;
 
-    /// Size specifications accepted by [`vec`].
+    /// Size specifications accepted by [`vec()`].
     pub trait IntoSizeRange {
         /// Lower (inclusive) and upper (exclusive) length bounds.
         fn bounds(&self) -> (usize, usize);

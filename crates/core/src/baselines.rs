@@ -24,6 +24,7 @@ pub struct SingleModalityOracle<'a> {
 
 impl<'a> SingleModalityOracle<'a> {
     /// Creates the oracle for one modality's vectors.
+    #[must_use]
     pub fn new(set: ModalityView<'a>) -> Self {
         Self { centroid: set.centroid(), set }
     }
@@ -148,6 +149,7 @@ impl<'a> MultiStreamedRetrieval<'a> {
     }
 
     /// Brute-force variant (`MR--`): exact per-modality top-`l` + merge.
+    #[must_use]
     pub fn brute_force_search(&self, query: &MultiQuery, k: usize, l_candidates: usize) -> MrOutcome {
         let t0 = Instant::now();
         let mut per_modality: Vec<Vec<(ObjectId, f32)>> = Vec::new();
@@ -162,6 +164,7 @@ impl<'a> MultiStreamedRetrieval<'a> {
 
 /// The MR merge: intersection first (ranked by similarity sum), then by
 /// presence count.  Exposed for direct unit testing.
+#[must_use]
 pub fn merge_candidates(
     per_modality: &[Vec<(ObjectId, f32)>],
     k: usize,
@@ -242,6 +245,7 @@ impl<'a> JointEmbedding<'a> {
 
 /// Cosine-style single-vector distance check used in tests and case
 /// studies: the similarity JE believes it is ranking by.
+#[must_use]
 pub fn je_similarity(set: ModalityView<'_>, id: ObjectId, composition: &[f32]) -> f32 {
     kernels::ip(set.get(id), composition)
 }

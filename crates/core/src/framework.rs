@@ -24,6 +24,11 @@ pub struct MustBuildOptions {
     pub prune: bool,
     /// Build RNG seed.
     pub rng_seed: u64,
+    /// Worker threads for index construction; `0` (the default) resolves
+    /// to `MUST_BUILD_THREADS`-capped available parallelism.  Sharded
+    /// builds set an explicit per-shard share so the machine-wide budget
+    /// holds across concurrent shard builds.
+    pub threads: usize,
 }
 
 impl Default for MustBuildOptions {
@@ -34,6 +39,7 @@ impl Default for MustBuildOptions {
             recipe: GraphRecipe::Fused,
             prune: true,
             rng_seed: 0x4D05,
+            threads: 0,
         }
     }
 }
@@ -93,6 +99,7 @@ impl Must {
                     init_iterations: opts.init_iterations,
                     recipe: opts.recipe,
                     rng_seed: opts.rng_seed,
+                    threads: opts.threads,
                 },
             )?;
             // Keep the oracle's prescaled engine: the same storage the
@@ -139,6 +146,7 @@ impl Must {
     }
 
     /// Whether object `id` is tombstoned.
+    #[must_use]
     pub fn is_deleted(&self, id: ObjectId) -> bool {
         self.deleted
             .get(id as usize / 64)
@@ -146,6 +154,7 @@ impl Must {
     }
 
     /// Number of tombstoned objects.
+    #[must_use]
     pub fn deleted_count(&self) -> usize {
         self.deleted_count
     }
@@ -239,6 +248,7 @@ impl Must {
     /// bundle without re-cloning the corpus or re-prescaling the engine.
     /// Tombstone state is discarded: serving snapshots are frozen at
     /// reconstruction time, matching the paper's offline/online split.
+    #[must_use]
     pub fn into_parts(self) -> MustParts {
         MustParts {
             objects: self.objects,
@@ -250,6 +260,7 @@ impl Must {
     }
 
     /// The weight-prescaled fused-row engine searches run on.
+    #[must_use]
     pub fn engine(&self) -> &FusedRows {
         &self.engine
     }
@@ -257,6 +268,7 @@ impl Must {
     /// Runs the vector-weight-learning model on `anchors`
     /// (query, true-object) pairs over `objects`, before building
     /// (Section VI).
+    #[must_use]
     pub fn learn_weights(
         objects: &MultiVectorSet,
         anchors: &[(&MultiQuery, ObjectId)],
@@ -265,27 +277,45 @@ impl Must {
         WeightLearner::new(objects, anchors, config).train(config)
     }
 
+    /// Number of objects in the corpus (tombstoned objects included —
+    /// they stay in the graph until reconstruction).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.objects.len()
+    }
+
+    /// Whether the corpus holds no objects.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.objects.is_empty()
+    }
+
     /// The corpus.
+    #[must_use]
     pub fn objects(&self) -> &MultiVectorSet {
         &self.objects
     }
 
     /// The weights in force.
+    #[must_use]
     pub fn weights(&self) -> &Weights {
         &self.weights
     }
 
     /// The construction report.
+    #[must_use]
     pub fn report(&self) -> &BuildReport {
         &self.report
     }
 
     /// The built index.
+    #[must_use]
     pub fn index(&self) -> &MustIndex {
         &self.index
     }
 
     /// Whether searches prune multi-vector computations.
+    #[must_use]
     pub fn prune(&self) -> bool {
         self.prune
     }
@@ -297,6 +327,7 @@ impl Must {
 
     /// Creates a reusable searcher (allocation-free across a batch): the
     /// prescaled engine is shared, not copied.
+    #[must_use]
     pub fn searcher(&self) -> MustSearcher<'_> {
         MustSearcher {
             joint: JointDistance::with_engine(&self.objects, self.weights.clone(), &self.engine)

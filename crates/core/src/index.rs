@@ -23,6 +23,7 @@ pub enum MustIndex {
 
 impl MustIndex {
     /// View as the search-capable trait object.
+    #[must_use]
     pub fn as_ann(&self) -> &dyn AnnIndex {
         match self {
             Self::Flat(g) => g,
@@ -31,6 +32,7 @@ impl MustIndex {
     }
 
     /// The flat graph, when applicable (case studies inspect neighbours).
+    #[must_use]
     pub fn graph(&self) -> Option<&Graph> {
         match self {
             Self::Flat(g) => Some(g),
@@ -39,6 +41,7 @@ impl MustIndex {
     }
 
     /// Index memory footprint in bytes.
+    #[must_use]
     pub fn bytes(&self) -> usize {
         self.as_ann().bytes()
     }
@@ -70,11 +73,22 @@ pub struct IndexOptions {
     pub recipe: GraphRecipe,
     /// Build RNG seed.
     pub rng_seed: u64,
+    /// Worker threads for construction; `0` (the default) resolves to
+    /// [`must_graph::par::build_threads`] (`MUST_BUILD_THREADS`-capped
+    /// available parallelism).  Sharded builds pass an explicit share so
+    /// concurrent shard builds never exceed the machine budget.
+    pub threads: usize,
 }
 
 impl Default for IndexOptions {
     fn default() -> Self {
-        Self { gamma: 30, init_iterations: 3, recipe: GraphRecipe::Fused, rng_seed: 0x1D3 }
+        Self {
+            gamma: 30,
+            init_iterations: 3,
+            recipe: GraphRecipe::Fused,
+            rng_seed: 0x1D3,
+            threads: 0,
+        }
     }
 }
 
@@ -91,8 +105,10 @@ pub fn build_index(oracle: &JointOracle<'_>, opts: IndexOptions) -> Result<(Must
         return Err(MustError::Config("cannot index an empty object set".into()));
     }
     let t0 = Instant::now();
+    let threads = if opts.threads == 0 { must_graph::par::build_threads() } else { opts.threads };
     let (index, pipeline) = match opts.recipe {
         GraphRecipe::Hnsw => {
+            // HNSW insertion is inherently sequential; no thread knob.
             let h = Hnsw::build(
                 oracle,
                 HnswParams {
@@ -106,7 +122,7 @@ pub fn build_index(oracle: &JointOracle<'_>, opts: IndexOptions) -> Result<(Must
         GraphRecipe::Hcnng => {
             let g = build_hcnng(
                 oracle,
-                HcnngParams { rng_seed: opts.rng_seed, ..HcnngParams::default() },
+                HcnngParams { rng_seed: opts.rng_seed, threads, ..HcnngParams::default() },
             );
             (MustIndex::Flat(g), None)
         }
@@ -115,6 +131,7 @@ pub fn build_index(oracle: &JointOracle<'_>, opts: IndexOptions) -> Result<(Must
                 .pipeline(opts.gamma, opts.rng_seed)
                 .expect("pipeline recipe");
             builder.init_iterations = opts.init_iterations;
+            builder.threads = threads;
             let (g, stats) = builder.build(oracle);
             (MustIndex::Flat(g), Some(stats))
         }

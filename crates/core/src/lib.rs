@@ -29,6 +29,13 @@
 //! * [`server`] — the online serving layer: a `Send + Sync`
 //!   [`MustServer`] handle answering queries from many threads with
 //!   results bit-identical to serial execution.
+//! * [`shard`] — sharded scatter-gather serving: [`ShardedMust`] builds
+//!   `S` shards in parallel, [`ShardedServer`] fans each query out and
+//!   merges the per-shard top-`k` by exact joint similarity; bundle v4
+//!   persists the whole deployment in one file.
+//!
+//! See `docs/ARCHITECTURE.md` at the repository root for the crate DAG
+//! and a one-paragraph tour of every crate.
 //!
 //! ## Quick example
 //!
@@ -53,7 +60,7 @@
 //! assert_eq!(hits[0].0, 2);
 //! ```
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![forbid(unsafe_code)]
 
 pub mod baselines;
@@ -64,12 +71,14 @@ pub mod oracle;
 pub mod persist;
 pub mod search;
 pub mod server;
+pub mod shard;
 pub mod weights;
 
 pub use framework::{Must, MustBuildOptions};
 pub use metrics::{recall_at, sme};
 pub use oracle::{JointOracle, MustQueryScorer};
 pub use server::{MustServer, ServeReply, ServeRequest};
+pub use shard::{ShardAssignment, ShardRouter, ShardSpec, ShardedMust, ShardedServer};
 pub use weights::{LearnedWeights, TrainingCurve, WeightLearnConfig, WeightLearner};
 
 /// Crate-level error type.

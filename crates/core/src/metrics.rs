@@ -7,6 +7,7 @@ use must_vector::{MultiVectorSet, ObjectId};
 /// `G` the ground-truth ids (Eq. 1).
 ///
 /// Passing more than `k` results is allowed; only the first `k` count.
+#[must_use]
 pub fn recall_at(results: &[ObjectId], ground_truth: &[ObjectId], k: usize) -> f64 {
     if ground_truth.is_empty() {
         return 0.0;
@@ -21,6 +22,7 @@ pub fn recall_at(results: &[ObjectId], ground_truth: &[ObjectId], k: usize) -> f
 
 /// `SME(a, r) = 1 - IP(phi_0(a_0), phi_0(r_0))` (Eq. 4): how far the
 /// returned object's target-modality content is from the ground truth's.
+#[must_use]
 pub fn sme(objects: &MultiVectorSet, truth: ObjectId, returned: ObjectId) -> f64 {
     1.0 - objects.modality(0).ip(truth, returned) as f64
 }
@@ -46,6 +48,7 @@ pub struct AccuracyAccumulator {
 
 impl AccuracyAccumulator {
     /// Creates an empty accumulator.
+    #[must_use]
     pub fn new() -> Self {
         Self::default()
     }
@@ -68,6 +71,7 @@ impl AccuracyAccumulator {
     }
 
     /// Finalises the means.
+    #[must_use]
     pub fn finish(self) -> WorkloadAccuracy {
         if self.n == 0 {
             return WorkloadAccuracy::default();

@@ -55,16 +55,19 @@ impl<'a> JointOracle<'a> {
     }
 
     /// The underlying joint-distance computer.
+    #[must_use]
     pub fn joint(&self) -> &JointDistance<'a> {
         &self.joint
     }
 
     /// The weights in force.
+    #[must_use]
     pub fn weights(&self) -> &Weights {
         self.joint.weights()
     }
 
     /// The multi-vector corpus.
+    #[must_use]
     pub fn set(&self) -> &'a MultiVectorSet {
         self.joint.set()
     }
@@ -72,6 +75,7 @@ impl<'a> JointOracle<'a> {
     /// Extracts the prescaled fused-row engine, so the layer that built
     /// the index can keep serving from the same storage without a second
     /// prescale pass.
+    #[must_use]
     pub fn into_engine(self) -> FusedRows {
         self.joint.into_engine()
     }

@@ -34,6 +34,7 @@ use serde::{Deserialize, Serialize};
 
 use crate::framework::{Must, MustBuildOptions};
 use crate::index::MustIndex;
+use crate::shard::{ShardAssignment, ShardedMust};
 use crate::MustError;
 
 /// The v1 on-disk bundle (JSON; kept loadable for existing deployments).
@@ -60,9 +61,17 @@ pub const BUNDLE_V2_VERSION: u32 = 2;
 /// Version written by [`save`] (the binary path, fused-row corpus block).
 pub const BUNDLE_V3_VERSION: u32 = 3;
 
-/// Magic bytes opening every v2 bundle; [`load`] uses them to tell the
-/// binary format from v1 JSON.
+/// Version written by [`save_sharded`]: a shard manifest (shard count,
+/// assignment, per-shard id maps and byte offsets) followed by one v3
+/// payload per shard.
+pub const BUNDLE_V4_VERSION: u32 = 4;
+
+/// Magic bytes opening every binary bundle (v2, v3, and the sharded v4);
+/// [`load`] uses them to tell the binary formats from v1 JSON.
 pub const BUNDLE_V2_MAGIC: [u8; 8] = *b"MUSTBNDL";
+
+/// Sanity cap on the shard count of a v4 manifest.
+const MAX_SHARDS: u64 = 1 << 16;
 
 /// Index-block tag: flat graph in CSR form.
 const INDEX_TAG_CSR: u8 = 0;
@@ -199,8 +208,8 @@ fn reject_tombstones(must: &Must) -> Result<(), MustError> {
 ///
 /// # Errors
 /// [`MustError::Io`] for file-system and encoding failures;
-/// [`MustError::Config`] if `must` carries live tombstones (see
-/// [`reject_tombstones`] above — rebuild before persisting).
+/// [`MustError::Config`] if `must` carries live tombstones (bundles are
+/// frozen snapshots — rebuild before persisting).
 pub fn save(must: &Must, path: &Path) -> Result<(), MustError> {
     reject_tombstones(must)?;
     let file = std::fs::File::create(path)
@@ -208,45 +217,53 @@ pub fn save(must: &Must, path: &Path) -> Result<(), MustError> {
     let mut w = BufWriter::new(file);
     w.write_all(&BUNDLE_V2_MAGIC).map_err(io("write magic"))?;
     wr_u32(&mut w, BUNDLE_V3_VERSION)?;
-    wr_u8(&mut w, must.prune() as u8)?;
+    write_v3_body(must, &mut w)?;
+    w.flush().map_err(io("flush"))?;
+    Ok(())
+}
+
+/// Writes the v3 payload (everything after magic + version): prune flag,
+/// fused-row corpus block, weights, index block.  Shared between the
+/// single-shard [`save`] and each shard payload of [`save_sharded`].
+fn write_v3_body(must: &Must, w: &mut impl Write) -> Result<(), MustError> {
+    wr_u8(w, must.prune() as u8)?;
 
     // Corpus: the raw (unscaled) fused rows, exactly as they sit in
     // memory — dims, lane width, then n·stride floats.
     let rows = must.objects().fused();
-    wr_u32(&mut w, rows.num_modalities() as u32)?;
+    wr_u32(w, rows.num_modalities() as u32)?;
     for &d in rows.dims() {
-        wr_u32(&mut w, d as u32)?;
+        wr_u32(w, d as u32)?;
     }
-    wr_u32(&mut w, FUSED_LANE as u32)?;
-    wr_u64(&mut w, rows.len() as u64)?;
-    wr_words(&mut w, rows.raw_data(), |x| x.to_le_bytes())?;
+    wr_u32(w, FUSED_LANE as u32)?;
+    wr_u64(w, rows.len() as u64)?;
+    wr_words(w, rows.raw_data(), |x| x.to_le_bytes())?;
 
     // Weights (raw omega; squared form is recomputed on load).
-    wr_words(&mut w, must.weights().raw(), |x| x.to_le_bytes())?;
+    wr_words(w, must.weights().raw(), |x| x.to_le_bytes())?;
 
     // Index block.
     match must.index() {
         MustIndex::Flat(g) => {
             let csr = CsrGraph::from_graph(g);
-            wr_u8(&mut w, INDEX_TAG_CSR)?;
-            wr_u32(&mut w, csr.seed())?;
-            wr_u32s(&mut w, csr.offsets())?;
-            wr_u32s(&mut w, csr.edges())?;
+            wr_u8(w, INDEX_TAG_CSR)?;
+            wr_u32(w, csr.seed())?;
+            wr_u32s(w, csr.offsets())?;
+            wr_u32s(w, csr.edges())?;
         }
         MustIndex::Hnsw(h) => {
             let flat = h.to_flat();
-            wr_u8(&mut w, INDEX_TAG_HNSW)?;
-            wr_u32(&mut w, flat.entry)?;
-            wr_u32(&mut w, flat.max_level)?;
-            wr_u32(&mut w, flat.m)?;
-            wr_u32(&mut w, flat.ef_construction)?;
-            wr_u64(&mut w, flat.rng_seed)?;
-            wr_u32s(&mut w, &flat.levels)?;
-            wr_u32s(&mut w, &flat.offsets)?;
-            wr_u32s(&mut w, &flat.edges)?;
+            wr_u8(w, INDEX_TAG_HNSW)?;
+            wr_u32(w, flat.entry)?;
+            wr_u32(w, flat.max_level)?;
+            wr_u32(w, flat.m)?;
+            wr_u32(w, flat.ef_construction)?;
+            wr_u64(w, flat.rng_seed)?;
+            wr_u32s(w, &flat.levels)?;
+            wr_u32s(w, &flat.offsets)?;
+            wr_u32s(w, &flat.edges)?;
         }
     }
-    w.flush().map_err(io("flush"))?;
     Ok(())
 }
 
@@ -281,9 +298,10 @@ pub fn save_json(must: &Must, path: &Path) -> Result<(), MustError> {
 // ---------------------------------------------------------------------------
 // Load (both formats).
 
-/// Loads a bundle from `path` into a ready-to-search [`Must`], accepting
-/// both the v2 binary format and legacy v1 JSON (sniffed via the magic
-/// bytes).
+/// Loads a single-shard bundle from `path` into a ready-to-search
+/// [`Must`], accepting the v2/v3 binary formats and legacy v1 JSON
+/// (sniffed via the magic bytes).  Sharded v4 bundles are rejected with a
+/// pointer at [`load_sharded`], which accepts all four.
 ///
 /// # Errors
 /// [`MustError::Io`] for file-system and decoding failures;
@@ -296,7 +314,15 @@ pub fn load(path: &Path) -> Result<Must, MustError> {
     let mut magic = [0u8; 8];
     r.read_exact(&mut magic).map_err(io("read header"))?;
     if magic == BUNDLE_V2_MAGIC {
-        return load_v2_body(&mut r);
+        let version = rd_u32(&mut r)?;
+        if version == BUNDLE_V4_VERSION {
+            return Err(MustError::Config(
+                "bundle v4 is sharded; load it via persist::load_sharded or \
+                 ShardedServer::load"
+                    .into(),
+            ));
+        }
+        return read_binary_body(&mut r, version);
     }
     // Not a binary bundle: re-parse the whole file as v1 JSON.
     drop(r);
@@ -325,8 +351,9 @@ pub fn load(path: &Path) -> Result<Must, MustError> {
     )
 }
 
-fn load_v2_body(r: &mut impl Read) -> Result<Must, MustError> {
-    let version = rd_u32(r)?;
+/// Reads a v2/v3 payload (everything after magic + version) into a
+/// ready-to-search [`Must`].
+fn read_binary_body(r: &mut impl Read, version: u32) -> Result<Must, MustError> {
     if version != BUNDLE_V2_VERSION && version != BUNDLE_V3_VERSION {
         return Err(MustError::Config(format!(
             "unsupported bundle version {version} (expected {BUNDLE_V2_VERSION} or {BUNDLE_V3_VERSION})"
@@ -418,6 +445,154 @@ fn load_v2_body(r: &mut impl Read) -> Result<Must, MustError> {
     };
 
     Must::from_parts(objects, weights, index, MustBuildOptions { prune, recipe, ..Default::default() })
+}
+
+// ---------------------------------------------------------------------------
+// Bundle v4: the sharded manifest.
+
+/// `Read` adapter that tracks the absolute byte position, so the v4 loader
+/// can verify each shard payload starts exactly where the manifest says.
+struct CountingReader<R> {
+    inner: R,
+    pos: u64,
+}
+
+impl<R: Read> Read for CountingReader<R> {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        let n = self.inner.read(buf)?;
+        self.pos += n as u64;
+        Ok(n)
+    }
+}
+
+/// Serialises a [`ShardedMust`] to `path` in the bundle-v4 format: the
+/// shared magic, version 4, then a **manifest** (shard count, assignment
+/// tag, per-shard local→global id maps, per-shard absolute byte offsets)
+/// followed by one v3 payload per shard.  A whole sharded deployment
+/// round-trips through one file; [`load_sharded`] (and
+/// [`crate::shard::ShardedServer::load`]) reads it back:
+///
+/// ```
+/// use must_core::framework::MustBuildOptions;
+/// use must_core::persist::{load_sharded, save_sharded};
+/// use must_core::shard::{ShardSpec, ShardedMust};
+/// use must_vector::{MultiVectorSet, VectorSetBuilder, Weights};
+///
+/// let mut m0 = VectorSetBuilder::new(4, 10);
+/// for i in 0..10 {
+///     m0.push_normalized(&[1.0, i as f32, 0.5, 0.25]).unwrap();
+/// }
+/// let objects = MultiVectorSet::new(vec![m0.finish()]).unwrap();
+/// let sharded = ShardedMust::build(
+///     objects, Weights::uniform(1), MustBuildOptions::default(), ShardSpec::new(2),
+/// ).unwrap();
+/// let path = std::env::temp_dir().join(format!("doc-v4-{}.mustb", std::process::id()));
+/// save_sharded(&sharded, &path).unwrap();
+/// let loaded = load_sharded(&path).unwrap();
+/// std::fs::remove_file(&path).unwrap();
+/// assert_eq!(loaded.num_shards(), 2);
+/// assert_eq!(loaded.global_ids(0), sharded.global_ids(0));
+/// ```
+///
+/// # Errors
+/// [`MustError::Io`] for file-system and encoding failures;
+/// [`MustError::Config`] if any shard carries live tombstones (bundles are
+/// frozen snapshots — rebuild first, exactly as [`save`] requires).
+pub fn save_sharded(sharded: &ShardedMust, path: &Path) -> Result<(), MustError> {
+    use std::io::{Seek, SeekFrom};
+
+    let s = sharded.num_shards();
+    for i in 0..s {
+        reject_tombstones(sharded.shard(i))?;
+    }
+    let file = std::fs::File::create(path)
+        .map_err(|e| MustError::Io(format!("create {}: {e}", path.display())))?;
+    let mut w = BufWriter::new(file);
+    w.write_all(&BUNDLE_V2_MAGIC).map_err(io("write magic"))?;
+    wr_u32(&mut w, BUNDLE_V4_VERSION)?;
+    wr_u32(&mut w, s as u32)?;
+    wr_u8(&mut w, sharded.assignment().tag())?;
+    for i in 0..s {
+        wr_u32s(&mut w, sharded.global_ids(i))?;
+    }
+    // Stream the payloads (the corpus-sized part of the bundle) straight
+    // to the file — never a second in-memory copy — recording where each
+    // lands, then seek back and patch the placeholder offset table.
+    let offsets_at = w.stream_position().map_err(io("tell offsets"))?;
+    for _ in 0..s {
+        wr_u64(&mut w, 0)?;
+    }
+    let mut offsets = Vec::with_capacity(s);
+    for i in 0..s {
+        offsets.push(w.stream_position().map_err(io("tell payload"))?);
+        write_v3_body(sharded.shard(i), &mut w)?;
+    }
+    w.seek(SeekFrom::Start(offsets_at)).map_err(io("seek to offsets"))?;
+    for offset in offsets {
+        wr_u64(&mut w, offset)?;
+    }
+    w.flush().map_err(io("flush"))?;
+    Ok(())
+}
+
+/// Loads *any* bundle from `path` into a [`ShardedMust`]: the sharded v4
+/// manifest directly, and every single-shard format (v3/v2 binary, v1
+/// JSON) as one shard with the identity id map — so a sharded deployment
+/// can adopt existing bundles without a rewrite.
+///
+/// # Errors
+/// [`MustError::Io`] for file-system and decoding failures;
+/// [`MustError::Config`] for unsupported versions, corrupt manifests
+/// (bad assignment tag, overlapping id maps, payloads not at their
+/// recorded offsets), and inconsistent shard payloads.
+pub fn load_sharded(path: &Path) -> Result<ShardedMust, MustError> {
+    let file = std::fs::File::open(path)
+        .map_err(|e| MustError::Io(format!("open {}: {e}", path.display())))?;
+    let mut r = CountingReader { inner: BufReader::new(file), pos: 0 };
+    let mut magic = [0u8; 8];
+    r.read_exact(&mut magic).map_err(io("read header"))?;
+    if magic == BUNDLE_V2_MAGIC {
+        let version = rd_u32(&mut r)?;
+        if version == BUNDLE_V4_VERSION {
+            return read_v4_body(&mut r);
+        }
+    }
+    // Any single-shard format: defer to `load` (which re-sniffs from the
+    // start) and wrap the result as one shard covering ids 0..n.
+    drop(r);
+    let must = load(path)?;
+    let n = must.objects().len() as u32;
+    ShardedMust::from_parts(vec![must], vec![(0..n).collect()], ShardAssignment::RoundRobin)
+}
+
+/// Reads a v4 manifest + payloads (everything after magic + version).
+fn read_v4_body(r: &mut CountingReader<impl Read>) -> Result<ShardedMust, MustError> {
+    let shard_count = u64::from(rd_u32(r)?);
+    if shard_count == 0 || shard_count > MAX_SHARDS {
+        return Err(MustError::Config(format!("corrupt shard count {shard_count}")));
+    }
+    let s = shard_count as usize;
+    let assignment = ShardAssignment::from_tag(rd_u8(r)?)
+        .ok_or_else(|| MustError::Config("unknown shard assignment tag".into()))?;
+    let mut global_ids = Vec::with_capacity(s.min(MAX_PREALLOC));
+    for _ in 0..s {
+        global_ids.push(rd_u32s(r, "shard id map")?);
+    }
+    let mut offsets = Vec::with_capacity(s.min(MAX_PREALLOC));
+    for _ in 0..s {
+        offsets.push(rd_u64(r)?);
+    }
+    let mut shards = Vec::with_capacity(s.min(MAX_PREALLOC));
+    for (i, &offset) in offsets.iter().enumerate() {
+        if r.pos != offset {
+            return Err(MustError::Config(format!(
+                "shard {i} payload recorded at byte {offset} but reader is at {}",
+                r.pos
+            )));
+        }
+        shards.push(read_binary_body(r, BUNDLE_V3_VERSION)?);
+    }
+    ShardedMust::from_parts(shards, global_ids, assignment)
 }
 
 #[cfg(test)]
@@ -638,5 +813,157 @@ mod tests {
         std::fs::write(&p, bytes).unwrap();
         assert!(matches!(load(&p), Err(MustError::Config(_))));
         std::fs::remove_file(&p).unwrap();
+    }
+
+    // -----------------------------------------------------------------
+    // Bundle v4 (sharded).
+
+    use crate::shard::{ShardSpec, ShardedServer};
+
+    fn assert_identical_sharded_searches(a: &ShardedServer, corpus: &MultiVectorSet, b: &ShardedServer, ids: &[u32]) {
+        for &id in ids {
+            let q = MultiQuery::full(vec![
+                corpus.modality(0).get(id).to_vec(),
+                corpus.modality(1).get(id).to_vec(),
+            ]);
+            let ra = a.search(&q, 5, 60).unwrap();
+            let rb = b.search(&q, 5, 60).unwrap();
+            assert_eq!(ra.results, rb.results, "query {id}");
+            assert_eq!(ra.stats, rb.stats, "query {id}");
+        }
+    }
+
+    #[test]
+    fn sharded_bundle_v4_round_trips_every_backend() {
+        let set = corpus(120);
+        for recipe in GraphRecipe::all() {
+            let sharded = ShardedMust::build(
+                set.clone(),
+                Weights::new(vec![0.8, 0.4]).unwrap(),
+                MustBuildOptions { gamma: 8, recipe, ..Default::default() },
+                ShardSpec::hashed(3),
+            )
+            .unwrap();
+            let path = tmp(&format!("bundle-v4-{}.mustb", recipe.label()));
+            save_sharded(&sharded, &path).unwrap();
+            let loaded = load_sharded(&path).unwrap();
+            assert_eq!(loaded.num_shards(), 3, "{}", recipe.label());
+            assert_eq!(loaded.len(), 120, "{}", recipe.label());
+            assert_eq!(loaded.assignment(), ShardAssignment::Hash);
+            for s in 0..3 {
+                assert_eq!(loaded.global_ids(s), sharded.global_ids(s), "{}", recipe.label());
+            }
+            let direct = ShardedServer::freeze(sharded);
+            let thawed = ShardedServer::freeze(loaded);
+            assert_identical_sharded_searches(&direct, &set, &thawed, &[2, 61, 119]);
+            std::fs::remove_file(&path).unwrap();
+        }
+    }
+
+    #[test]
+    fn single_shard_formats_load_as_one_shard() {
+        // v3 binary, v2 is covered by the hand-crafted fixture above, and
+        // v1 JSON must all come up as a 1-shard deployment with the
+        // identity id map.
+        let set = corpus(90);
+        let must =
+            Must::build(set, Weights::new(vec![0.6, 0.9]).unwrap(), MustBuildOptions::default())
+                .unwrap();
+        let p3 = tmp("sharded-compat-v3.mustb");
+        save(&must, &p3).unwrap();
+        let p1 = tmp("sharded-compat-v1.json");
+        save_json(&must, &p1).unwrap();
+        for p in [&p3, &p1] {
+            let sharded = load_sharded(p).unwrap();
+            assert_eq!(sharded.num_shards(), 1);
+            assert_eq!(sharded.len(), 90);
+            let want: Vec<u32> = (0..90).collect();
+            assert_eq!(sharded.global_ids(0), &want[..]);
+            std::fs::remove_file(p).unwrap();
+        }
+    }
+
+    #[test]
+    fn v4_reload_preserves_dynamic_insertion_and_balance() {
+        let set = corpus(80);
+        let sharded = ShardedMust::build(
+            set,
+            Weights::uniform(2),
+            MustBuildOptions { recipe: GraphRecipe::Hnsw, ..Default::default() },
+            ShardSpec::new(2),
+        )
+        .unwrap();
+        let path = tmp("bundle-v4-hnsw-insert.mustb");
+        save_sharded(&sharded, &path).unwrap();
+        let mut loaded = load_sharded(&path).unwrap();
+        let id = loaded
+            .insert_object(&[vec![1.0; 8], vec![1.0; 4]])
+            .expect("reloaded HNSW shards stay dynamic");
+        assert_eq!(id, 80, "global ids keep growing densely after reload");
+        assert_eq!(loaded.len(), 81);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn single_shard_loader_rejects_v4_with_a_pointer() {
+        let set = corpus(40);
+        let sharded = ShardedMust::build(
+            set,
+            Weights::uniform(2),
+            MustBuildOptions::default(),
+            ShardSpec::new(2),
+        )
+        .unwrap();
+        let path = tmp("bundle-v4-reject.mustb");
+        save_sharded(&sharded, &path).unwrap();
+        let Err(err) = load(&path) else { panic!("load() must reject v4") };
+        assert!(err.to_string().contains("load_sharded"), "{err}");
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn corrupt_v4_manifests_error_cleanly() {
+        // Unknown assignment tag.
+        let bad_tag = tmp("v4-bad-tag.mustb");
+        let mut bytes = BUNDLE_V2_MAGIC.to_vec();
+        bytes.extend_from_slice(&BUNDLE_V4_VERSION.to_le_bytes());
+        bytes.extend_from_slice(&1u32.to_le_bytes()); // one shard
+        bytes.push(9); // no such assignment
+        std::fs::write(&bad_tag, &bytes).unwrap();
+        assert!(matches!(load_sharded(&bad_tag), Err(MustError::Config(_))));
+
+        // A manifest whose payload offset lies must be rejected before any
+        // payload parse.
+        let set = corpus(30);
+        let sharded = ShardedMust::build(
+            set,
+            Weights::uniform(2),
+            MustBuildOptions::default(),
+            ShardSpec::new(2),
+        )
+        .unwrap();
+        let bad_offset = tmp("v4-bad-offset.mustb");
+        save_sharded(&sharded, &bad_offset).unwrap();
+        let mut bytes = std::fs::read(&bad_offset).unwrap();
+        // First offset lives right after: magic(8) + version(4) + count(4)
+        // + tag(1) + two id maps (8 + 4*15 each).
+        let off_pos = 8 + 4 + 4 + 1 + 2 * (8 + 4 * 15);
+        bytes[off_pos] ^= 0xFF;
+        std::fs::write(&bad_offset, &bytes).unwrap();
+        let Err(err) = load_sharded(&bad_offset) else { panic!("lying offset must fail") };
+        assert!(matches!(err, MustError::Config(_)), "{err}");
+        assert!(err.to_string().contains("payload"), "{err}");
+
+        // Zero shards.
+        let zero = tmp("v4-zero-shards.mustb");
+        let mut bytes = BUNDLE_V2_MAGIC.to_vec();
+        bytes.extend_from_slice(&BUNDLE_V4_VERSION.to_le_bytes());
+        bytes.extend_from_slice(&0u32.to_le_bytes());
+        std::fs::write(&zero, &bytes).unwrap();
+        assert!(matches!(load_sharded(&zero), Err(MustError::Config(_))));
+
+        for p in [bad_tag, bad_offset, zero] {
+            std::fs::remove_file(&p).unwrap();
+        }
     }
 }

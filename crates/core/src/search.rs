@@ -36,6 +36,7 @@ pub struct JointSearcher {
 
 impl JointSearcher {
     /// Creates a fresh searcher.
+    #[must_use]
     pub fn new() -> Self {
         Self::default()
     }

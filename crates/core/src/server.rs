@@ -65,6 +65,7 @@ impl ServingIndex {
     }
 
     /// Number of indexed objects.
+    #[must_use]
     pub fn len(&self) -> usize {
         match self {
             Self::Csr(csr) => csr.len(),
@@ -73,11 +74,13 @@ impl ServingIndex {
     }
 
     /// Whether the index is empty.
+    #[must_use]
     pub fn is_empty(&self) -> bool {
         self.len() == 0
     }
 
     /// Display label for reports.
+    #[must_use]
     pub fn label(&self) -> &'static str {
         match self {
             Self::Csr(_) => "CSR",
@@ -129,6 +132,7 @@ impl MustServer {
     /// Flat graphs are converted to CSR; tombstone state is discarded
     /// (serving snapshots are immutable — rebuild and re-freeze to apply
     /// deletions, as the paper's Section IX prescribes).
+    #[must_use]
     pub fn freeze(must: Must) -> Self {
         let parts = must.into_parts();
         let index = match parts.index {
@@ -158,26 +162,31 @@ impl MustServer {
     }
 
     /// The frozen corpus.
+    #[must_use]
     pub fn objects(&self) -> &MultiVectorSet {
         &self.core.objects
     }
 
     /// The weights in force.
+    #[must_use]
     pub fn weights(&self) -> &Weights {
         &self.core.weights
     }
 
     /// The frozen index.
+    #[must_use]
     pub fn index(&self) -> &ServingIndex {
         &self.core.index
     }
 
     /// Number of served objects.
+    #[must_use]
     pub fn len(&self) -> usize {
         self.core.objects.len()
     }
 
     /// Whether the snapshot is empty.
+    #[must_use]
     pub fn is_empty(&self) -> bool {
         self.core.objects.is_empty()
     }
@@ -194,8 +203,14 @@ impl MustServer {
 
     /// A reusable per-thread search handle (allocation-free steady state:
     /// the search scratch and joint-distance plumbing persist across
-    /// queries; the prescaled engine is shared, never copied).
+    /// queries; the prescaled engine is shared, never copied).  The
+    /// visited stamps are pre-sized to this snapshot's graph here — the
+    /// `O(n)` scratch allocation — so a sharded deployment's workers each
+    /// carry scratch sized to their own shard.
+    #[must_use]
     pub fn worker(&self) -> ServerWorker<'_> {
+        let mut scratch = SearchScratch::default();
+        scratch.reserve(self.core.index.len());
         ServerWorker {
             joint: JointDistance::with_engine(
                 &self.core.objects,
@@ -203,7 +218,7 @@ impl MustServer {
                 &self.core.engine,
             )
             .expect("engine built from these objects and weights at freeze"),
-            scratch: SearchScratch::default(),
+            scratch,
             core: &self.core,
         }
     }
@@ -215,6 +230,7 @@ impl MustServer {
     ///
     /// # Errors
     /// Per-query errors are returned in the corresponding slot.
+    #[must_use]
     pub fn search_batch(
         &self,
         queries: &[MultiQuery],
@@ -222,28 +238,10 @@ impl MustServer {
         l: usize,
         threads: usize,
     ) -> Vec<Result<SearchOutcome, MustError>> {
-        let n = queries.len();
-        if n == 0 {
-            return Vec::new();
-        }
-        let threads = threads.max(1).min(n);
-        if threads == 1 {
+        fan_out_batch(queries, threads, || {
             let mut worker = self.worker();
-            return queries.iter().map(|q| worker.search(q, k, l)).collect();
-        }
-        let chunk = n.div_ceil(threads);
-        let mut out: Vec<Option<Result<SearchOutcome, MustError>>> = (0..n).map(|_| None).collect();
-        std::thread::scope(|scope| {
-            for (slot, qs) in out.chunks_mut(chunk).zip(queries.chunks(chunk)) {
-                scope.spawn(move || {
-                    let mut worker = self.worker();
-                    for (s, q) in slot.iter_mut().zip(qs) {
-                        *s = Some(worker.search(q, k, l));
-                    }
-                });
-            }
-        });
-        out.into_iter().map(|x| x.expect("all slots filled")).collect()
+            move |q: &MultiQuery| worker.search(q, k, l)
+        })
     }
 
     /// Blocking request/reply serve loop: fans `requests` over `threads`
@@ -252,6 +250,7 @@ impl MustServer {
     /// closed and drained.  Replies may interleave across requests; use
     /// [`ServeRequest::id`] to correlate.  Dropped reply receivers are
     /// tolerated (remaining requests are still drained).
+    #[must_use]
     pub fn serve(
         &self,
         requests: Receiver<ServeRequest>,
@@ -285,6 +284,44 @@ impl MustServer {
         });
         served.into_inner()
     }
+}
+
+/// Shared chunked fan-out behind [`MustServer::search_batch`] and
+/// [`crate::shard::ShardedServer::search_batch`]: `threads` is clamped to
+/// `[1, queries.len()]`, each scoped thread builds one worker via
+/// `mk_worker` and searches a contiguous chunk, and outcomes come back in
+/// input order — so results are identical for every thread count.
+pub(crate) fn fan_out_batch<W, F>(
+    queries: &[MultiQuery],
+    threads: usize,
+    mk_worker: F,
+) -> Vec<Result<SearchOutcome, MustError>>
+where
+    F: Fn() -> W + Sync,
+    W: FnMut(&MultiQuery) -> Result<SearchOutcome, MustError>,
+{
+    let n = queries.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let threads = threads.max(1).min(n);
+    if threads == 1 {
+        return queries.iter().map(mk_worker()).collect();
+    }
+    let chunk = n.div_ceil(threads);
+    let mut out: Vec<Option<Result<SearchOutcome, MustError>>> = (0..n).map(|_| None).collect();
+    std::thread::scope(|scope| {
+        for (slot, qs) in out.chunks_mut(chunk).zip(queries.chunks(chunk)) {
+            let mk_worker = &mk_worker;
+            scope.spawn(move || {
+                let mut worker = mk_worker();
+                for (s, q) in slot.iter_mut().zip(qs) {
+                    *s = Some(worker(q));
+                }
+            });
+        }
+    });
+    out.into_iter().map(|x| x.expect("all slots filled")).collect()
 }
 
 /// Reusable per-thread search state bound to a [`MustServer`] snapshot.

@@ -1,0 +1,894 @@
+//! Sharded scatter-gather serving: split a corpus into `S` independently
+//! built shards, search them all per query, and merge the per-shard top-`k`
+//! by exact joint similarity.
+//!
+//! The paper's offline/online split (Fig. 4) extends naturally to many
+//! offline-built shards merged online: build time, memory, and insertion
+//! contention all scale with a single monolithic engine, so a
+//! production deployment partitions the corpus and builds every partition
+//! in parallel.  The pieces:
+//!
+//! * [`ShardRouter`] — the deterministic object→shard assignment
+//!   ([`ShardAssignment::RoundRobin`] or [`ShardAssignment::Hash`]) and the
+//!   corpus splitter.
+//! * [`ShardedMust`] — the build-side object: one [`Must`] per shard, built
+//!   in parallel (`MUST_BUILD_THREADS` governs the worker budget across
+//!   *and* within shards), plus the local→global id maps.  Dynamic
+//!   insertion routes each new object to the currently smallest shard.
+//! * [`ShardedServer`] — the online side: one frozen [`MustServer`] per
+//!   shard behind a single [`Arc`].  A query fans out to every shard
+//!   (scatter), runs the existing per-shard beam search, and the per-shard
+//!   top-`k` lists merge into one global top-`k` (gather).
+//!
+//! ## Determinism contract
+//!
+//! Per-shard searches inherit [`MustServer`]'s fixed-seed determinism, and
+//! the gather step orders candidates by `(similarity desc, global id asc)`
+//! — a total order — so a sharded query's results are a pure function of
+//! the query: bit-identical across thread counts, scatter strategies, and
+//! repeated runs, exactly like the single-shard server.  Similarities
+//! themselves are bit-identical to the unsharded engine's because a shard
+//! row holds the same `f32` values at the same lane offsets as the
+//! corresponding global row, so the fused dot product performs the same
+//! float operations in the same order.
+//!
+//! ```
+//! use must_core::framework::MustBuildOptions;
+//! use must_core::shard::{ShardSpec, ShardedMust, ShardedServer};
+//! use must_vector::{MultiQuery, MultiVectorSet, VectorSetBuilder, Weights};
+//!
+//! // 8 objects x 2 modalities, split over 2 shards, served scatter-gather.
+//! let mut m0 = VectorSetBuilder::new(4, 8);
+//! let mut m1 = VectorSetBuilder::new(2, 8);
+//! for i in 0..8u32 {
+//!     let mut img = [0.1f32; 4];
+//!     img[(i % 4) as usize] = 1.0;
+//!     m0.push_normalized(&img).unwrap();
+//!     m1.push_normalized(&[1.0, i as f32 / 8.0]).unwrap();
+//! }
+//! let objects = MultiVectorSet::new(vec![m0.finish(), m1.finish()]).unwrap();
+//! let sharded = ShardedMust::build(
+//!     objects,
+//!     Weights::uniform(2),
+//!     MustBuildOptions::default(),
+//!     ShardSpec::new(2),
+//! )
+//! .unwrap();
+//! assert_eq!(sharded.num_shards(), 2);
+//! assert_eq!(sharded.len(), 8);
+//! let server = ShardedServer::freeze(sharded);
+//! let query = MultiQuery::full(vec![vec![0.1, 1.0, 0.1, 0.1], vec![1.0, 0.125]]);
+//! let out = server.search(&query, 1, 8).unwrap();
+//! assert_eq!(out.results[0].0, 1); // global id, not a shard-local one
+//! ```
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use must_graph::par;
+use must_graph::SearchStats;
+use must_vector::{MultiQuery, MultiVectorSet, ObjectId, VectorSet, Weights};
+
+use crate::framework::{Must, MustBuildOptions};
+use crate::search::SearchOutcome;
+use crate::server::{fan_out_batch, MustServer, ServerWorker};
+use crate::MustError;
+
+/// Deterministic object→shard assignment policy.
+///
+/// ```
+/// use must_core::shard::ShardAssignment;
+///
+/// // Round-robin cycles through shards in id order…
+/// assert_eq!(ShardAssignment::RoundRobin.shard_of(5, 4), 1);
+/// // …while hashing scatters contiguous ids (but stays deterministic).
+/// assert_eq!(
+///     ShardAssignment::Hash.shard_of(5, 4),
+///     ShardAssignment::Hash.shard_of(5, 4),
+/// );
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShardAssignment {
+    /// Object `id` goes to shard `id % S` — perfectly balanced for the
+    /// initial corpus.
+    RoundRobin,
+    /// Object `id` goes to shard `splitmix64(id) % S` — decorrelates shard
+    /// membership from insertion order, so range-clustered corpora spread
+    /// evenly.
+    Hash,
+}
+
+impl ShardAssignment {
+    /// The shard object `id` belongs to, out of `shards`.
+    ///
+    /// # Panics
+    /// Panics when `shards` is zero.
+    #[must_use]
+    pub fn shard_of(self, id: ObjectId, shards: usize) -> usize {
+        assert!(shards > 0, "shard count must be positive");
+        match self {
+            Self::RoundRobin => id as usize % shards,
+            Self::Hash => {
+                // SplitMix64 finaliser: cheap, well-mixed, stable across
+                // platforms (the assignment is part of the bundle format).
+                let mut x = u64::from(id).wrapping_add(0x9E37_79B9_7F4A_7C15);
+                x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                // Reduce in u64: truncating to usize first would change
+                // assignments on 32-bit targets.
+                ((x ^ (x >> 31)) % shards as u64) as usize
+            }
+        }
+    }
+
+    /// Stable wire tag (bundle v4 manifest).
+    #[must_use]
+    pub fn tag(self) -> u8 {
+        match self {
+            Self::RoundRobin => 0,
+            Self::Hash => 1,
+        }
+    }
+
+    /// Inverse of [`ShardAssignment::tag`]; `None` for unknown tags.
+    #[must_use]
+    pub fn from_tag(tag: u8) -> Option<Self> {
+        match tag {
+            0 => Some(Self::RoundRobin),
+            1 => Some(Self::Hash),
+            _ => None,
+        }
+    }
+}
+
+/// How to split a corpus: shard count plus assignment policy.
+///
+/// ```
+/// use must_core::shard::{ShardAssignment, ShardSpec};
+///
+/// let spec = ShardSpec::new(4);
+/// assert_eq!(spec.shards, 4);
+/// assert_eq!(spec.assignment, ShardAssignment::RoundRobin);
+/// assert_eq!(ShardSpec::hashed(2).assignment, ShardAssignment::Hash);
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct ShardSpec {
+    /// Number of shards `S >= 1`.
+    pub shards: usize,
+    /// Assignment policy.
+    pub assignment: ShardAssignment,
+}
+
+impl ShardSpec {
+    /// A round-robin spec over `shards` shards.
+    #[must_use]
+    pub fn new(shards: usize) -> Self {
+        Self { shards, assignment: ShardAssignment::RoundRobin }
+    }
+
+    /// A hash-assigned spec over `shards` shards.
+    #[must_use]
+    pub fn hashed(shards: usize) -> Self {
+        Self { shards, assignment: ShardAssignment::Hash }
+    }
+}
+
+/// Splits a corpus into per-shard corpora under a [`ShardSpec`].
+///
+/// ```
+/// use must_core::shard::{ShardRouter, ShardSpec};
+/// use must_vector::{MultiVectorSet, VectorSetBuilder};
+///
+/// let mut m0 = VectorSetBuilder::new(2, 5);
+/// for i in 0..5 {
+///     m0.push_normalized(&[1.0, i as f32]).unwrap();
+/// }
+/// let set = MultiVectorSet::new(vec![m0.finish()]).unwrap();
+/// let router = ShardRouter::new(ShardSpec::new(2)).unwrap();
+/// let pieces = router.split(&set);
+/// // Round-robin: shard 0 gets ids {0, 2, 4}, shard 1 gets {1, 3}.
+/// assert_eq!(pieces[0].1, vec![0, 2, 4]);
+/// assert_eq!(pieces[1].1, vec![1, 3]);
+/// assert_eq!(pieces[0].0.len() + pieces[1].0.len(), 5);
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct ShardRouter {
+    spec: ShardSpec,
+}
+
+impl ShardRouter {
+    /// Validates and wraps a spec.
+    ///
+    /// # Errors
+    /// [`MustError::Config`] when the spec asks for zero shards.
+    pub fn new(spec: ShardSpec) -> Result<Self, MustError> {
+        if spec.shards == 0 {
+            return Err(MustError::Config("shard count must be at least 1".into()));
+        }
+        Ok(Self { spec })
+    }
+
+    /// The spec in force.
+    #[must_use]
+    pub fn spec(&self) -> ShardSpec {
+        self.spec
+    }
+
+    /// The shard object `id` belongs to.
+    #[must_use]
+    pub fn shard_of(&self, id: ObjectId) -> usize {
+        self.spec.assignment.shard_of(id, self.spec.shards)
+    }
+
+    /// Splits `objects` into `S` per-shard corpora, each paired with its
+    /// local→global id map (`map[local] = global`).  Vector values are
+    /// copied bit-exact, so per-shard similarities equal the unsharded
+    /// engine's.
+    #[must_use]
+    pub fn split(&self, objects: &MultiVectorSet) -> Vec<(MultiVectorSet, Vec<ObjectId>)> {
+        let s = self.spec.shards;
+        let mut members: Vec<Vec<ObjectId>> = vec![Vec::new(); s];
+        for id in 0..objects.len() as ObjectId {
+            members[self.shard_of(id)].push(id);
+        }
+        members
+            .into_iter()
+            .map(|ids| {
+                let sets: Vec<VectorSet> = objects
+                    .dims()
+                    .iter()
+                    .enumerate()
+                    .map(|(k, &dim)| {
+                        let view = objects.modality(k);
+                        let mut flat = Vec::with_capacity(ids.len() * dim);
+                        for &id in &ids {
+                            flat.extend_from_slice(view.get(id));
+                        }
+                        VectorSet::from_flat(dim, flat).expect("split rows are well-formed")
+                    })
+                    .collect();
+                let corpus = MultiVectorSet::new(sets).expect("equal cardinalities by construction");
+                (corpus, ids)
+            })
+            .collect()
+    }
+}
+
+/// The build-side sharded instance: one [`Must`] per shard plus the
+/// local→global id maps.  See the module docs for the full dataflow.
+pub struct ShardedMust {
+    shards: Vec<Must>,
+    global_ids: Vec<Vec<ObjectId>>,
+    assignment: ShardAssignment,
+}
+
+impl ShardedMust {
+    /// Splits `objects` under `spec` and builds every shard's fused engine
+    /// and graph **in parallel**: the `MUST_BUILD_THREADS` budget is
+    /// divided between concurrent shard builds and each build's internal
+    /// workers, so small shard counts still saturate the machine while
+    /// the machine-wide cap holds.
+    ///
+    /// Each shard derives its build seed from `opts.rng_seed` and the shard
+    /// index, so the result is deterministic for a given `(corpus, opts,
+    /// spec)` regardless of thread count.  With `spec.shards == 1` the
+    /// single shard's build is identical to `Must::build` with the same
+    /// options.
+    ///
+    /// # Errors
+    /// [`MustError::Config`] when the spec is degenerate (zero shards, or
+    /// more shards than objects, which would leave a shard empty);
+    /// propagates per-shard build errors.
+    pub fn build(
+        objects: MultiVectorSet,
+        weights: Weights,
+        opts: MustBuildOptions,
+        spec: ShardSpec,
+    ) -> Result<Self, MustError> {
+        let router = ShardRouter::new(spec)?;
+        if objects.is_empty() {
+            return Err(MustError::Config("cannot shard an empty object set".into()));
+        }
+        if spec.shards > objects.len() {
+            return Err(MustError::Config(format!(
+                "{} shards over {} objects would leave shards empty",
+                spec.shards,
+                objects.len()
+            )));
+        }
+        let pieces = router.split(&objects);
+        drop(objects);
+        let mut global_ids = Vec::with_capacity(pieces.len());
+        let corpora: Vec<std::sync::Mutex<Option<MultiVectorSet>>> = pieces
+            .into_iter()
+            .map(|(corpus, ids)| {
+                if corpus.is_empty() {
+                    return Err(MustError::Config(
+                        "hash assignment left a shard empty; use fewer shards or round-robin"
+                            .into(),
+                    ));
+                }
+                global_ids.push(ids);
+                Ok(std::sync::Mutex::new(Some(corpus)))
+            })
+            .collect::<Result<_, _>>()?;
+
+        // Split the machine budget: `outer` shard builds run concurrently
+        // and each gets `inner` workers, so the total never exceeds the
+        // `MUST_BUILD_THREADS` cap (graph builds are thread-count
+        // invariant, so the split does not affect results).  An explicit
+        // `opts.threads` is honoured per shard unchanged.
+        let total = par::build_threads();
+        let outer = total.min(corpora.len());
+        let inner = if opts.threads == 0 { (total / outer).max(1) } else { opts.threads };
+        let built = par::par_map(corpora.len(), outer, |s| {
+            let corpus = corpora[s]
+                .lock()
+                .expect("no prior panic")
+                .take()
+                .expect("each shard corpus is taken once");
+            let opts = MustBuildOptions { threads: inner, ..Self::shard_opts(opts, s) };
+            Must::build(corpus, weights.clone(), opts)
+        });
+        let shards = built.into_iter().collect::<Result<Vec<_>, _>>()?;
+        Ok(Self { shards, global_ids, assignment: spec.assignment })
+    }
+
+    /// Build options for shard `s`: the caller's options with a
+    /// shard-decorrelated RNG seed (shard 0 keeps the original seed, so a
+    /// 1-shard build reproduces the unsharded one exactly).
+    #[must_use]
+    pub fn shard_opts(opts: MustBuildOptions, s: usize) -> MustBuildOptions {
+        MustBuildOptions {
+            rng_seed: opts.rng_seed ^ (s as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+            ..opts
+        }
+    }
+
+    /// Reassembles a sharded instance from prebuilt shards and their
+    /// local→global maps — the bundle-v4 load path.
+    ///
+    /// # Errors
+    /// [`MustError::Config`] when a map's length disagrees with its shard's
+    /// corpus, a global id repeats across shards, or the shards disagree on
+    /// weights (every shard must serve the same joint similarity).
+    pub fn from_parts(
+        shards: Vec<Must>,
+        global_ids: Vec<Vec<ObjectId>>,
+        assignment: ShardAssignment,
+    ) -> Result<Self, MustError> {
+        if shards.is_empty() {
+            return Err(MustError::Config("a sharded instance needs at least one shard".into()));
+        }
+        if shards.len() != global_ids.len() {
+            return Err(MustError::Config(format!(
+                "{} shards but {} id maps",
+                shards.len(),
+                global_ids.len()
+            )));
+        }
+        let total: usize = global_ids.iter().map(Vec::len).sum();
+        let mut seen = vec![0u64; total.div_ceil(64)];
+        for (shard, ids) in shards.iter().zip(&global_ids) {
+            if shard.objects().len() != ids.len() {
+                return Err(MustError::Config(format!(
+                    "shard holds {} objects but its id map covers {}",
+                    shard.objects().len(),
+                    ids.len()
+                )));
+            }
+            if shard.weights() != shards[0].weights() {
+                return Err(MustError::Config("shards disagree on weights".into()));
+            }
+            for &id in ids {
+                let idx = id as usize;
+                let (w, b) = (idx / 64, idx % 64);
+                // `idx < total` plus uniqueness makes the maps a
+                // permutation of 0..total — the dense-id invariant
+                // insert_object relies on.
+                if idx >= total || seen[w] & (1 << b) != 0 {
+                    return Err(MustError::Config(format!(
+                        "global id {id} out of range or repeated across shards"
+                    )));
+                }
+                seen[w] |= 1 << b;
+            }
+        }
+        Ok(Self { shards, global_ids, assignment })
+    }
+
+    /// Number of shards `S`.
+    #[must_use]
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Total objects across all shards.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.global_ids.iter().map(Vec::len).sum()
+    }
+
+    /// Whether no shard holds any object.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The build-side instance of shard `s`.
+    ///
+    /// # Panics
+    /// Panics when `s` is out of range.
+    #[must_use]
+    pub fn shard(&self, s: usize) -> &Must {
+        &self.shards[s]
+    }
+
+    /// Shard `s`'s local→global id map (`map[local] = global`).
+    ///
+    /// # Panics
+    /// Panics when `s` is out of range.
+    #[must_use]
+    pub fn global_ids(&self, s: usize) -> &[ObjectId] {
+        &self.global_ids[s]
+    }
+
+    /// The assignment policy the corpus was split under (recorded in the
+    /// bundle-v4 manifest; insertions use size-based routing instead).
+    #[must_use]
+    pub fn assignment(&self) -> ShardAssignment {
+        self.assignment
+    }
+
+    /// The weights in force (identical across shards by construction).
+    #[must_use]
+    pub fn weights(&self) -> &Weights {
+        self.shards[0].weights()
+    }
+
+    /// Dynamically inserts a new object (Section IX), routing it to the
+    /// currently **smallest shard** (ties break toward the lowest index),
+    /// which keeps shard sizes balanced as the corpus grows.  Returns the
+    /// new *global* id.
+    ///
+    /// # Errors
+    /// [`MustError::Config`] when the chosen shard's backend does not
+    /// support dynamic insertion (only HNSW does — flat graphs need
+    /// periodic reconstruction); vector errors for malformed rows.
+    /// Nothing changes on error:
+    ///
+    /// ```
+    /// use must_core::framework::MustBuildOptions;
+    /// use must_core::shard::{ShardSpec, ShardedMust};
+    /// use must_core::MustError;
+    /// use must_vector::{MultiVectorSet, VectorSetBuilder, Weights};
+    ///
+    /// let mut m0 = VectorSetBuilder::new(2, 6);
+    /// for i in 0..6 {
+    ///     m0.push_normalized(&[1.0, i as f32]).unwrap();
+    /// }
+    /// let objects = MultiVectorSet::new(vec![m0.finish()]).unwrap();
+    /// // The default recipe builds flat graphs, which cannot grow online.
+    /// let mut sharded = ShardedMust::build(
+    ///     objects, Weights::uniform(1), MustBuildOptions::default(), ShardSpec::new(2),
+    /// ).unwrap();
+    /// let err = sharded.insert_object(&[vec![0.6, 0.8]]).unwrap_err();
+    /// assert!(matches!(err, MustError::Config(_)));
+    /// assert_eq!(sharded.len(), 6, "nothing changed on rejection");
+    /// ```
+    pub fn insert_object(&mut self, rows: &[Vec<f32>]) -> Result<ObjectId, MustError> {
+        let target = (0..self.shards.len())
+            .min_by_key(|&s| self.global_ids[s].len())
+            .expect("at least one shard");
+        let global = self.len() as ObjectId;
+        self.shards[target].insert_object(rows)?;
+        self.global_ids[target].push(global);
+        Ok(global)
+    }
+}
+
+/// The gather state every serving handle shares: frozen per-shard servers
+/// plus the local→global maps.
+struct ShardedCore {
+    shards: Vec<MustServer>,
+    global_ids: Vec<Vec<ObjectId>>,
+}
+
+impl ShardedCore {
+    /// Merges per-shard outcomes into the global top-`k`: map local ids to
+    /// global, sort by `(similarity desc, global id asc)` — a total order,
+    /// so the merge is deterministic — and truncate.  Per-shard stats and
+    /// kernel counts accumulate.
+    fn gather(&self, per_shard: Vec<SearchOutcome>, k: usize, t0: Instant) -> SearchOutcome {
+        let mut results: Vec<(ObjectId, f32)> = Vec::with_capacity(per_shard.len() * k);
+        let mut stats = SearchStats::default();
+        let mut kernel_evals = 0;
+        for (s, out) in per_shard.into_iter().enumerate() {
+            let map = &self.global_ids[s];
+            results.extend(out.results.into_iter().map(|(local, sim)| (map[local as usize], sim)));
+            stats.hops += out.stats.hops;
+            stats.evaluated += out.stats.evaluated;
+            stats.pruned += out.stats.pruned;
+            kernel_evals += out.kernel_evals;
+        }
+        results.sort_unstable_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
+        results.truncate(k);
+        SearchOutcome { results, stats, kernel_evals, secs: t0.elapsed().as_secs_f64() }
+    }
+}
+
+/// The online sharded serving handle: cheap to clone, `Send + Sync`, and —
+/// like [`MustServer`] — bit-deterministic: a query's merged results are a
+/// pure function of the query.  See the module docs for the dataflow.
+#[derive(Clone)]
+pub struct ShardedServer {
+    core: Arc<ShardedCore>,
+}
+
+impl ShardedServer {
+    /// Freezes a built [`ShardedMust`] into a serving snapshot, consuming
+    /// it.  Each shard freezes exactly as [`MustServer::freeze`] does (flat
+    /// graphs to CSR, HNSW keeps its layers).
+    #[must_use]
+    pub fn freeze(sharded: ShardedMust) -> Self {
+        Self {
+            core: Arc::new(ShardedCore {
+                shards: sharded.shards.into_iter().map(MustServer::freeze).collect(),
+                global_ids: sharded.global_ids,
+            }),
+        }
+    }
+
+    /// Loads a persisted bundle straight into a sharded serving snapshot.
+    /// Accepts the sharded bundle v4 *and* every single-shard format
+    /// (v1–v3), which load as one shard with the identity id map.
+    ///
+    /// # Errors
+    /// Propagates [`crate::persist::load_sharded`] errors.
+    pub fn load(path: &std::path::Path) -> Result<Self, MustError> {
+        Ok(Self::freeze(crate::persist::load_sharded(path)?))
+    }
+
+    /// Number of shards `S`.
+    #[must_use]
+    pub fn num_shards(&self) -> usize {
+        self.core.shards.len()
+    }
+
+    /// Total served objects across all shards.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.core.global_ids.iter().map(Vec::len).sum()
+    }
+
+    /// Whether the snapshot serves no objects.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The frozen server of shard `s` (per-shard introspection).
+    ///
+    /// # Panics
+    /// Panics when `s` is out of range.
+    #[must_use]
+    pub fn shard(&self, s: usize) -> &MustServer {
+        &self.core.shards[s]
+    }
+
+    /// Shard `s`'s local→global id map.
+    ///
+    /// # Panics
+    /// Panics when `s` is out of range.
+    #[must_use]
+    pub fn global_ids(&self, s: usize) -> &[ObjectId] {
+        &self.core.global_ids[s]
+    }
+
+    /// One-off top-`k` search with pool size `l`: **scatters** the query
+    /// over the shards concurrently (scoped threads, clamped to the
+    /// available parallelism so a many-shard deployment never attempts
+    /// more spawns than the machine supports), then **gathers** the
+    /// per-shard top-`k` into the global top-`k` by exact joint
+    /// similarity.  Results are bit-identical to the sequential
+    /// [`ShardedWorker::search`] path.
+    ///
+    /// # Errors
+    /// Propagates query/corpus arity and dimension mismatches (the first
+    /// failing shard's error, by shard order).
+    pub fn search(&self, query: &MultiQuery, k: usize, l: usize) -> Result<SearchOutcome, MustError> {
+        let t0 = Instant::now();
+        let s = self.core.shards.len();
+        let workers = std::thread::available_parallelism().map_or(1, usize::from).min(s);
+        let per_shard = par::par_map(s, workers, |i| {
+            self.core.shards[i].worker().search(query, k, l)
+        });
+        let per_shard: Vec<SearchOutcome> = per_shard.into_iter().collect::<Result<_, _>>()?;
+        Ok(self.core.gather(per_shard, k, t0))
+    }
+
+    /// A reusable per-thread scatter-gather handle: one [`ServerWorker`]
+    /// (with its own [`must_graph::SearchScratch`]) per shard, so a query
+    /// batch's steady state allocates nothing inside any shard's search
+    /// loop.
+    #[must_use]
+    pub fn worker(&self) -> ShardedWorker<'_> {
+        ShardedWorker {
+            workers: self.core.shards.iter().map(MustServer::worker).collect(),
+            core: &self.core,
+        }
+    }
+
+    /// Searches `queries` with `threads` workers (contiguous chunks, one
+    /// reusable [`ShardedWorker`] per thread) and returns outcomes in input
+    /// order.  `threads` is clamped to `[1, queries.len()]`.  Results are
+    /// bit-identical for every thread count.
+    ///
+    /// # Errors
+    /// Per-query errors are returned in the corresponding slot.
+    #[must_use]
+    pub fn search_batch(
+        &self,
+        queries: &[MultiQuery],
+        k: usize,
+        l: usize,
+        threads: usize,
+    ) -> Vec<Result<SearchOutcome, MustError>> {
+        fan_out_batch(queries, threads, || {
+            let mut worker = self.worker();
+            move |q: &MultiQuery| worker.search(q, k, l)
+        })
+    }
+}
+
+/// Reusable per-thread scatter-gather state bound to a [`ShardedServer`]
+/// snapshot: shard `s`'s search always runs on worker `s`, so each shard's
+/// scratch (visited stamps + result pool) is reused across the whole query
+/// stream.
+pub struct ShardedWorker<'a> {
+    workers: Vec<ServerWorker<'a>>,
+    core: &'a ShardedCore,
+}
+
+impl ShardedWorker<'_> {
+    /// Top-`k` search with pool size `l`: shards are searched sequentially
+    /// on the calling thread (batch parallelism comes from
+    /// [`ShardedServer::search_batch`]), then gathered.  Bit-identical to
+    /// the scattered [`ShardedServer::search`].
+    ///
+    /// # Errors
+    /// Propagates query/corpus arity and dimension mismatches.
+    pub fn search(
+        &mut self,
+        query: &MultiQuery,
+        k: usize,
+        l: usize,
+    ) -> Result<SearchOutcome, MustError> {
+        let t0 = Instant::now();
+        let mut per_shard = Vec::with_capacity(self.workers.len());
+        for worker in &mut self.workers {
+            per_shard.push(worker.search(query, k, l)?);
+        }
+        Ok(self.core.gather(per_shard, k, t0))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use must_graph::GraphRecipe;
+    use must_vector::VectorSetBuilder;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn corpus(n: usize) -> MultiVectorSet {
+        let mut rng = StdRng::seed_from_u64(99);
+        let mut m0 = VectorSetBuilder::new(8, n);
+        let mut m1 = VectorSetBuilder::new(4, n);
+        for _ in 0..n {
+            let v0: Vec<f32> = (0..8).map(|_| rng.random::<f32>() - 0.5).collect();
+            let v1: Vec<f32> = (0..4).map(|_| rng.random::<f32>() - 0.5).collect();
+            m0.push_normalized(&v0).unwrap();
+            m1.push_normalized(&v1).unwrap();
+        }
+        MultiVectorSet::new(vec![m0.finish(), m1.finish()]).unwrap()
+    }
+
+    fn self_query(set: &MultiVectorSet, id: ObjectId) -> MultiQuery {
+        MultiQuery::full(vec![
+            set.modality(0).get(id).to_vec(),
+            set.modality(1).get(id).to_vec(),
+        ])
+    }
+
+    // The sharded handle must be shareable and sendable across threads.
+    const _: fn() = || {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<ShardedServer>();
+    };
+
+    #[test]
+    fn round_robin_split_covers_every_object_exactly_once() {
+        let set = corpus(103);
+        for spec in [ShardSpec::new(4), ShardSpec::hashed(4)] {
+            let router = ShardRouter::new(spec).unwrap();
+            let pieces = router.split(&set);
+            assert_eq!(pieces.len(), 4);
+            let mut seen = [false; 103];
+            for (piece, ids) in &pieces {
+                assert_eq!(piece.len(), ids.len());
+                for (local, &global) in ids.iter().enumerate() {
+                    assert!(!std::mem::replace(&mut seen[global as usize], true));
+                    // Rows must be copied bit-exact.
+                    assert_eq!(
+                        piece.modality(0).get(local as ObjectId),
+                        set.modality(0).get(global)
+                    );
+                }
+            }
+            assert!(seen.iter().all(|&s| s), "{spec:?} must cover the corpus");
+        }
+    }
+
+    #[test]
+    fn sharded_self_queries_resolve_to_global_ids() {
+        let set = corpus(200);
+        let sharded = ShardedMust::build(
+            set.clone(),
+            Weights::uniform(2),
+            MustBuildOptions::default(),
+            ShardSpec::new(4),
+        )
+        .unwrap();
+        assert_eq!(sharded.num_shards(), 4);
+        assert_eq!(sharded.len(), 200);
+        let server = ShardedServer::freeze(sharded);
+        for id in [0u32, 3, 77, 199] {
+            let q = self_query(&set, id);
+            let out = server.search(&q, 1, 60).unwrap();
+            assert_eq!(out.results[0].0, id);
+        }
+    }
+
+    #[test]
+    fn scattered_and_sequential_search_agree_bitwise() {
+        let set = corpus(180);
+        let sharded = ShardedMust::build(
+            set.clone(),
+            Weights::new(vec![0.7, 0.5]).unwrap(),
+            MustBuildOptions::default(),
+            ShardSpec::hashed(3),
+        )
+        .unwrap();
+        let server = ShardedServer::freeze(sharded);
+        let mut worker = server.worker();
+        for id in [1u32, 50, 120] {
+            let q = self_query(&set, id);
+            let a = server.search(&q, 5, 50).unwrap();
+            let b = worker.search(&q, 5, 50).unwrap();
+            assert_eq!(a.results, b.results);
+            assert_eq!(a.stats, b.stats);
+        }
+    }
+
+    #[test]
+    fn batch_is_thread_count_invariant() {
+        let set = corpus(160);
+        let sharded = ShardedMust::build(
+            set.clone(),
+            Weights::uniform(2),
+            MustBuildOptions::default(),
+            ShardSpec::new(2),
+        )
+        .unwrap();
+        let server = ShardedServer::freeze(sharded);
+        let queries: Vec<MultiQuery> =
+            (0..24).map(|i| self_query(&set, i * 6)).collect();
+        let serial = server.search_batch(&queries, 5, 40, 1);
+        for threads in [2, 5, 16] {
+            let batch = server.search_batch(&queries, 5, 40, threads);
+            for (a, b) in batch.iter().zip(&serial) {
+                let (a, b) = (a.as_ref().unwrap(), b.as_ref().unwrap());
+                assert_eq!(a.results, b.results, "threads={threads}");
+                assert_eq!(a.stats, b.stats, "threads={threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn insertion_routes_to_smallest_shard() {
+        let set = corpus(91); // round-robin over 3: sizes 31, 30, 30
+        let mut sharded = ShardedMust::build(
+            set,
+            Weights::uniform(2),
+            MustBuildOptions { recipe: GraphRecipe::Hnsw, ..Default::default() },
+            ShardSpec::new(3),
+        )
+        .unwrap();
+        assert_eq!(sharded.global_ids(0).len(), 31);
+        let new0: Vec<f32> = (0..8).map(|i| if i == 3 { 1.0 } else { 0.01 }).collect();
+        let new1: Vec<f32> = (0..4).map(|i| if i == 2 { 1.0 } else { 0.01 }).collect();
+        let id = sharded.insert_object(&[new0.clone(), new1.clone()]).unwrap();
+        assert_eq!(id, 91, "global ids keep growing densely");
+        // Smallest shard was 1 (30 objects, lowest index tie-break).
+        assert_eq!(sharded.global_ids(1).len(), 31);
+        assert_eq!(*sharded.global_ids(1).last().unwrap(), 91);
+        assert_eq!(sharded.len(), 92);
+        // The inserted object is findable through the frozen server.
+        let server = ShardedServer::freeze(sharded);
+        let q = MultiQuery::full(vec![new0, new1]);
+        let out = server.search(&q, 1, 80).unwrap();
+        assert_eq!(out.results[0].0, 91);
+    }
+
+    #[test]
+    fn flat_backends_reject_sharded_insertion() {
+        let set = corpus(60);
+        let mut sharded = ShardedMust::build(
+            set,
+            Weights::uniform(2),
+            MustBuildOptions::default(),
+            ShardSpec::new(2),
+        )
+        .unwrap();
+        assert!(matches!(
+            sharded.insert_object(&[vec![1.0; 8], vec![1.0; 4]]),
+            Err(MustError::Config(_))
+        ));
+        assert_eq!(sharded.len(), 60, "nothing changes on rejection");
+    }
+
+    #[test]
+    fn degenerate_specs_are_config_errors() {
+        let set = corpus(10);
+        assert!(matches!(
+            ShardedMust::build(
+                set.clone(),
+                Weights::uniform(2),
+                MustBuildOptions::default(),
+                ShardSpec::new(0)
+            ),
+            Err(MustError::Config(_))
+        ));
+        assert!(matches!(
+            ShardedMust::build(
+                set,
+                Weights::uniform(2),
+                MustBuildOptions::default(),
+                ShardSpec::new(11)
+            ),
+            Err(MustError::Config(_))
+        ));
+    }
+
+    #[test]
+    fn from_parts_validates_maps_and_weights() {
+        let a = Must::build(corpus(20), Weights::uniform(2), MustBuildOptions::default()).unwrap();
+        let b = Must::build(corpus(20), Weights::uniform(2), MustBuildOptions::default()).unwrap();
+        // Overlapping global ids must be rejected.
+        let Err(err) = ShardedMust::from_parts(
+            vec![a, b],
+            vec![(0..20).collect(), (10..30).collect()],
+            ShardAssignment::RoundRobin,
+        ) else {
+            panic!("overlapping id maps must be rejected");
+        };
+        assert!(matches!(err, MustError::Config(_)));
+        // Mismatched map length must be rejected.
+        let c = Must::build(corpus(20), Weights::uniform(2), MustBuildOptions::default()).unwrap();
+        assert!(matches!(
+            ShardedMust::from_parts(vec![c], vec![(0..19).collect()], ShardAssignment::Hash),
+            Err(MustError::Config(_))
+        ));
+        // An id past the corpus but inside the last partial bitmap word
+        // must be rejected too (10 objects: only ids 0..10 are valid,
+        // yet 63 still indexes bitmap word 0).
+        let d = Must::build(corpus(10), Weights::uniform(2), MustBuildOptions::default()).unwrap();
+        let mut ids: Vec<u32> = (0..10).collect();
+        ids[9] = 63;
+        assert!(matches!(
+            ShardedMust::from_parts(vec![d], vec![ids], ShardAssignment::RoundRobin),
+            Err(MustError::Config(_))
+        ));
+    }
+}

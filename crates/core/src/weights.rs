@@ -95,6 +95,7 @@ pub struct WeightLearner {
 impl WeightLearner {
     /// Precomputes similarities between `anchors` (query + positive object
     /// id) and a mining corpus sampled from `set`.
+    #[must_use]
     pub fn new(
         set: &MultiVectorSet,
         anchors: &[(&MultiQuery, ObjectId)],
@@ -145,6 +146,7 @@ impl WeightLearner {
     }
 
     /// Number of anchors retained.
+    #[must_use]
     pub fn num_anchors(&self) -> usize {
         self.positives.len()
     }
@@ -276,6 +278,7 @@ impl WeightLearner {
 }
 
 /// Convenience wrapper: precompute + train in one call.
+#[must_use]
 pub fn learn_weights(
     set: &MultiVectorSet,
     anchors: &[(&MultiQuery, ObjectId)],

@@ -40,6 +40,7 @@ fn scaled_vocab(base: usize, scale: f64, floor: usize) -> usize {
 
 /// MIT-States: image + free-text state description
 /// (Tab. III; 53 743 objects in the paper).
+#[must_use]
 pub fn mit_states(scale: f64, seed: u64) -> LatentDataset {
     let n_attrs = scaled_vocab(40, scale, 4);
     structured::generate(&StructuredSpec {
@@ -64,6 +65,7 @@ pub fn mit_states(scale: f64, seed: u64) -> LatentDataset {
 
 /// CelebA: face image + structured attribute text (Tab. IV; 191 549
 /// objects in the paper).
+#[must_use]
 pub fn celeba(scale: f64, seed: u64) -> LatentDataset {
     let n_attrs = scaled_vocab(30, scale, 4);
     structured::generate(&StructuredSpec {
@@ -87,6 +89,7 @@ pub fn celeba(scale: f64, seed: u64) -> LatentDataset {
 /// CelebA+ with `m` modalities (2–4): the paper simulates the extra
 /// modalities by re-encoding the same face with additional encoders
 /// (Tab. VIII), so the extra grounded modalities share content.
+#[must_use]
 pub fn celeba_plus(m: usize, scale: f64, seed: u64) -> LatentDataset {
     assert!((2..=4).contains(&m), "CelebA+ supports m in 2..=4");
     let mut roles = vec![ModalityRole::Target, ModalityRole::DescriptiveAux];
@@ -114,6 +117,7 @@ pub fn celeba_plus(m: usize, scale: f64, seed: u64) -> LatentDataset {
 
 /// Shopping: garment image + structured attribute text (Tabs. V, XXI;
 /// 96 009 objects in the paper).
+#[must_use]
 pub fn shopping(category: ShoppingCategory, scale: f64, seed: u64) -> LatentDataset {
     let (name, cat_seed) = match category {
         ShoppingCategory::TShirt => ("Shopping (T-shirt)", 0x7511u64),
@@ -141,6 +145,7 @@ pub fn shopping(category: ShoppingCategory, scale: f64, seed: u64) -> LatentData
 /// 19 711 objects, 1 237 queries in the paper).  Few classes and heavy
 /// intra-class variation make it the hardest dataset (recall reported at
 /// k = 10/50/100).
+#[must_use]
 pub fn ms_coco(scale: f64, seed: u64) -> LatentDataset {
     let n_attrs = scaled_vocab(300, scale, 8);
     structured::generate(&StructuredSpec {
@@ -160,6 +165,7 @@ pub fn ms_coco(scale: f64, seed: u64) -> LatentDataset {
 }
 
 /// ImageText1M analogue (SIFT + text), scaled.
+#[must_use]
 pub fn image_text(n_objects: usize, n_queries: usize, seed: u64) -> LatentDataset {
     semisynthetic::generate(&SemiSyntheticSpec {
         name: "ImageText1M".into(),
@@ -172,6 +178,7 @@ pub fn image_text(n_objects: usize, n_queries: usize, seed: u64) -> LatentDatase
 }
 
 /// AudioText1M analogue (MSONG + text), scaled.
+#[must_use]
 pub fn audio_text(n_objects: usize, n_queries: usize, seed: u64) -> LatentDataset {
     semisynthetic::generate(&SemiSyntheticSpec {
         name: "AudioText1M".into(),
@@ -184,6 +191,7 @@ pub fn audio_text(n_objects: usize, n_queries: usize, seed: u64) -> LatentDatase
 }
 
 /// VideoText1M analogue (UQ-V + text), scaled.
+#[must_use]
 pub fn video_text(n_objects: usize, n_queries: usize, seed: u64) -> LatentDataset {
     semisynthetic::generate(&SemiSyntheticSpec {
         name: "VideoText1M".into(),
@@ -197,6 +205,7 @@ pub fn video_text(n_objects: usize, n_queries: usize, seed: u64) -> LatentDatase
 
 /// ImageText16M analogue (DEEP + text) at an arbitrary scale — used for the
 /// Tab. VII / Fig. 7 data-volume sweeps.
+#[must_use]
 pub fn deep_image_text(n_objects: usize, n_queries: usize, seed: u64) -> LatentDataset {
     semisynthetic::generate(&SemiSyntheticSpec {
         name: format!("ImageText16M[n={n_objects}]"),

@@ -22,7 +22,11 @@
 //! materialises them into vector corpora and query workloads for a chosen
 //! [`must_encoders::EncoderConfig`].
 
-#![warn(missing_docs)]
+//!
+//! See `docs/ARCHITECTURE.md` at the repository root for the crate DAG
+//! and a one-paragraph tour of every crate.
+
+#![deny(missing_docs)]
 #![forbid(unsafe_code)]
 
 pub mod catalog;
@@ -90,21 +94,25 @@ pub struct LatentDataset {
 
 impl LatentDataset {
     /// Number of objects.
+    #[must_use]
     pub fn len(&self) -> usize {
         self.object_latents.len()
     }
 
     /// Whether the dataset has no objects.
+    #[must_use]
     pub fn is_empty(&self) -> bool {
         self.object_latents.is_empty()
     }
 
     /// Number of modalities `m`.
+    #[must_use]
     pub fn num_modalities(&self) -> usize {
         self.roles.len()
     }
 
     /// One-line statistics row (Tab. II style).
+    #[must_use]
     pub fn stats_row(&self) -> String {
         format!(
             "{:<16} m={} n={} queries={}",

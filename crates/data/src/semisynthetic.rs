@@ -46,6 +46,7 @@ fn unique_grounded(space: &LatentSpace, universe: &Universe, attr: u32, id: u64,
 }
 
 /// Generates the dataset: modalities are `[Target, DescriptiveAux]`.
+#[must_use]
 pub fn generate(spec: &SemiSyntheticSpec) -> LatentDataset {
     assert!(spec.n_objects > 0 && spec.n_queries > 0 && spec.n_attrs > 0);
     let space = LatentSpace::DEFAULT;

@@ -75,6 +75,7 @@ fn perturb(values: &[f32], sigma: f32, seed: u64) -> Vec<f32> {
 }
 
 /// Generates the dataset.
+#[must_use]
 pub fn generate(spec: &StructuredSpec) -> LatentDataset {
     spec.validate();
     let space = LatentSpace::DEFAULT;

@@ -30,6 +30,7 @@ fn unit_gaussian(g: &mut GaussianStream, dim: usize) -> Vec<f32> {
 
 impl Universe {
     /// Samples a vocabulary of `n_classes` x `n_attrs` prototypes.
+    #[must_use]
     pub fn new(space: LatentSpace, n_classes: usize, n_attrs: usize, jitter: f32, seed: u64) -> Self {
         assert!(n_classes > 0 && n_attrs > 0);
         let mut g = GaussianStream::new(seed ^ 0xC1A5);
@@ -40,26 +41,31 @@ impl Universe {
     }
 
     /// The latent space.
+    #[must_use]
     pub fn space(&self) -> LatentSpace {
         self.space
     }
 
     /// Number of classes.
+    #[must_use]
     pub fn num_classes(&self) -> usize {
         self.classes.len()
     }
 
     /// Number of attributes.
+    #[must_use]
     pub fn num_attrs(&self) -> usize {
         self.attrs.len()
     }
 
     /// Class prototype `c`.
+    #[must_use]
     pub fn class(&self, c: u32) -> &[f32] {
         &self.classes[c as usize]
     }
 
     /// Attribute prototype `a`.
+    #[must_use]
     pub fn attr(&self, a: u32) -> &[f32] {
         &self.attrs[a as usize]
     }
@@ -67,6 +73,7 @@ impl Universe {
     /// The grounded latent parts of an object instance `(c, a, instance)` —
     /// prototypes plus deterministic per-instance jitter.  Returns
     /// `(class_part, attr_part)`.
+    #[must_use]
     pub fn instance_parts(&self, c: u32, a: u32, instance: u64) -> (Vec<f32>, Vec<f32>) {
         let mut class = self.classes[c as usize].clone();
         let mut attr = self.attrs[a as usize].clone();
@@ -89,6 +96,7 @@ impl Universe {
 
     /// The descriptive attribute part for attribute `a` (no jitter: a text
     /// description of "moldy" is the same string for every object).
+    #[must_use]
     pub fn describe_attr(&self, a: u32) -> Vec<f32> {
         self.attrs[a as usize].clone()
     }

@@ -24,6 +24,7 @@ impl LatentSpace {
 
     /// Total latent dimensionality.
     #[inline]
+    #[must_use]
     pub fn total(&self) -> usize {
         self.class_dims + self.attr_dims
     }
@@ -50,11 +51,13 @@ pub struct Latent {
 impl Latent {
     /// Creates a latent; `values.len()` must equal `space.total()` — the
     /// caller (the dataset generator) guarantees this.
+    #[must_use]
     pub fn new(values: Vec<f32>, kind: LatentKind) -> Self {
         Self { values, kind }
     }
 
     /// Builds a grounded latent from class and attribute parts.
+    #[must_use]
     pub fn grounded(class: &[f32], attr: &[f32]) -> Self {
         let mut values = Vec::with_capacity(class.len() + attr.len());
         values.extend_from_slice(class);
@@ -63,6 +66,7 @@ impl Latent {
     }
 
     /// Builds a descriptive latent: zero class part, given attribute part.
+    #[must_use]
     pub fn descriptive(class_dims: usize, attr: &[f32]) -> Self {
         let mut values = vec![0.0; class_dims];
         values.extend_from_slice(attr);
@@ -71,24 +75,28 @@ impl Latent {
 
     /// Raw latent values.
     #[inline]
+    #[must_use]
     pub fn values(&self) -> &[f32] {
         &self.values
     }
 
     /// Grounding kind.
     #[inline]
+    #[must_use]
     pub fn kind(&self) -> LatentKind {
         self.kind
     }
 
     /// The class part under `space`.
     #[inline]
+    #[must_use]
     pub fn class_part<'a>(&'a self, space: &LatentSpace) -> &'a [f32] {
         &self.values[..space.class_dims]
     }
 
     /// The attribute part under `space`.
     #[inline]
+    #[must_use]
     pub fn attr_part<'a>(&'a self, space: &LatentSpace) -> &'a [f32] {
         &self.values[space.class_dims..]
     }

@@ -32,7 +32,11 @@
 //! a real ONNX-backed encoder could be dropped in without touching the rest
 //! of the system — the paper's "pluggable embedding" property (§V).
 
-#![warn(missing_docs)]
+//!
+//! See `docs/ARCHITECTURE.md` at the repository root for the crate DAG
+//! and a one-paragraph tour of every crate.
+
+#![deny(missing_docs)]
 #![forbid(unsafe_code)]
 
 mod latent;

@@ -31,6 +31,7 @@ pub enum ComposerKind {
 
 impl ComposerKind {
     /// Display name matching the paper's tables.
+    #[must_use]
     pub fn label(self) -> &'static str {
         match self {
             Self::Tirg => "TIRG",
@@ -40,6 +41,7 @@ impl ComposerKind {
     }
 
     /// Composition fidelity `rho` (attribute-replacement success fraction).
+    #[must_use]
     pub fn fidelity(self) -> f32 {
         match self {
             Self::Tirg => 0.45,
@@ -49,6 +51,7 @@ impl ComposerKind {
     }
 
     /// Modality-gap noise standard deviation.
+    #[must_use]
     pub fn gap_sigma(self) -> f32 {
         match self {
             Self::Tirg => 0.65,
@@ -59,6 +62,7 @@ impl ComposerKind {
 
     /// The visual backbone the composer shares with its corpus-side
     /// embedding (so `Phi(q)` and `phi_0(o_0)` live in one space, Eq. 3).
+    #[must_use]
     pub fn backbone(self) -> UnimodalKind {
         match self {
             Self::Tirg => UnimodalKind::TirgVisual,
@@ -87,16 +91,19 @@ pub struct MultimodalEncoder {
 
 impl MultimodalEncoder {
     /// Builds the composer for `kind` over `space` with dataset seed `seed`.
+    #[must_use]
     pub fn new(kind: ComposerKind, space: LatentSpace, seed: u64) -> Self {
         Self { kind, backbone: UnimodalEncoder::new(kind.backbone(), space, seed), space }
     }
 
     /// The composer family.
+    #[must_use]
     pub fn kind(&self) -> ComposerKind {
         self.kind
     }
 
     /// The shared visual backbone.
+    #[must_use]
     pub fn backbone(&self) -> &UnimodalEncoder {
         &self.backbone
     }

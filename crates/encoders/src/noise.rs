@@ -20,6 +20,7 @@ fn fnv1a(bytes: impl IntoIterator<Item = u8>, seed: u64) -> u64 {
 }
 
 /// Stable 64-bit content hash of a latent value slice mixed with `seed`.
+#[must_use]
 pub fn content_hash(values: &[f32], seed: u64) -> u64 {
     fnv1a(values.iter().flat_map(|v| v.to_bits().to_le_bytes()), seed)
 }
@@ -33,6 +34,7 @@ pub struct GaussianStream {
 
 impl GaussianStream {
     /// Creates a stream from a 64-bit seed.
+    #[must_use]
     pub fn new(seed: u64) -> Self {
         Self { rng: StdRng::seed_from_u64(seed), spare: None }
     }
@@ -67,6 +69,7 @@ impl GaussianStream {
 /// Samples a dense `rows x cols` matrix with entries `N(0, 1/cols)` —
 /// a Johnson–Lindenstrauss-style random projection that approximately
 /// preserves latent geometry.
+#[must_use]
 pub fn projection_matrix(rows: usize, cols: usize, seed: u64) -> Vec<f32> {
     let mut g = GaussianStream::new(seed);
     let scale = (1.0 / cols as f64).sqrt() as f32;

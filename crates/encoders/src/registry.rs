@@ -35,11 +35,13 @@ pub struct EncoderConfig {
 
 impl EncoderConfig {
     /// Convenience constructor.
+    #[must_use]
     pub fn new(target: TargetEncoding, auxiliary: Vec<UnimodalKind>) -> Self {
         Self { target, auxiliary }
     }
 
     /// Row label as in the paper's tables.
+    #[must_use]
     pub fn label(&self) -> String {
         let head = match self.target {
             TargetEncoding::Independent(k) => k.label().to_string(),
@@ -51,6 +53,7 @@ impl EncoderConfig {
     }
 
     /// Number of modalities covered (target + auxiliaries).
+    #[must_use]
     pub fn modalities(&self) -> usize {
         1 + self.auxiliary.len()
     }
@@ -68,6 +71,7 @@ pub struct EncoderRegistry {
 
 impl EncoderRegistry {
     /// Creates a registry for one dataset (`seed` namespaces all encoders).
+    #[must_use]
     pub fn new(space: LatentSpace, seed: u64) -> Self {
         Self {
             space,

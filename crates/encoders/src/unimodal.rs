@@ -37,6 +37,7 @@ pub enum UnimodalKind {
 
 impl UnimodalKind {
     /// Display name matching the paper's tables.
+    #[must_use]
     pub fn label(self) -> &'static str {
         match self {
             Self::ResNet17 => "ResNet17",
@@ -52,6 +53,7 @@ impl UnimodalKind {
     }
 
     /// Output dimensionality of the simulated encoder.
+    #[must_use]
     pub fn dim(self) -> usize {
         match self {
             Self::ResNet17 | Self::ResNet50 | Self::ClipVisual | Self::TirgVisual | Self::MpcVisual => 64,
@@ -61,6 +63,7 @@ impl UnimodalKind {
 
     /// Calibrated encoder-noise standard deviation (relative to the
     /// unit-norm signal).  Chosen so the paper's encoder ordering holds.
+    #[must_use]
     pub fn sigma(self) -> f32 {
         match self {
             Self::ResNet17 => 0.90,
@@ -109,6 +112,7 @@ pub struct UnimodalEncoder {
 impl UnimodalEncoder {
     /// Builds the encoder for `kind` over `space`; `seed` namespaces the
     /// projection and the per-content noise (one seed per dataset).
+    #[must_use]
     pub fn new(kind: UnimodalKind, space: LatentSpace, seed: u64) -> Self {
         let seed = seed ^ kind.seed_tag().wrapping_mul(0x2545_F491_4F6C_DD1D);
         Self {
@@ -121,22 +125,26 @@ impl UnimodalEncoder {
     }
 
     /// Same encoder with a different noise level (dataset difficulty knob).
+    #[must_use]
     pub fn with_sigma(mut self, sigma: f32) -> Self {
         self.sigma = sigma;
         self
     }
 
     /// The encoder family.
+    #[must_use]
     pub fn kind(&self) -> UnimodalKind {
         self.kind
     }
 
     /// The latent space this encoder reads.
+    #[must_use]
     pub fn space(&self) -> LatentSpace {
         self.space
     }
 
     /// Noise level in force.
+    #[must_use]
     pub fn sigma(&self) -> f32 {
         self.sigma
     }

@@ -101,6 +101,7 @@ pub fn ensure_connectivity<O: SimilarityOracle>(
 
 /// Number of vertices reachable from the seed (diagnostic used by tests and
 /// the index audit).
+#[must_use]
 pub fn reachable_from_seed(graph: &Graph) -> usize {
     let mut visited = vec![false; graph.len()];
     bfs(graph, graph.seed(), &mut visited)

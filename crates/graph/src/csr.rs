@@ -20,6 +20,7 @@ pub struct CsrGraph {
 
 impl CsrGraph {
     /// Freezes an adjacency-list graph.
+    #[must_use]
     pub fn from_graph(graph: &Graph) -> Self {
         let n = graph.len();
         let mut offsets = Vec::with_capacity(n + 1);
@@ -59,30 +60,35 @@ impl CsrGraph {
 
     /// The raw CSR offset array (`len() + 1` entries).
     #[inline]
+    #[must_use]
     pub fn offsets(&self) -> &[u32] {
         &self.offsets
     }
 
     /// The raw concatenated edge array.
     #[inline]
+    #[must_use]
     pub fn edges(&self) -> &[u32] {
         &self.edges
     }
 
     /// Number of vertices.
     #[inline]
+    #[must_use]
     pub fn len(&self) -> usize {
         self.offsets.len() - 1
     }
 
     /// Whether the graph has no vertices.
     #[inline]
+    #[must_use]
     pub fn is_empty(&self) -> bool {
         self.len() == 0
     }
 
     /// Out-neighbours of `v`.
     #[inline]
+    #[must_use]
     pub fn neighbors(&self, v: u32) -> &[u32] {
         let lo = self.offsets[v as usize] as usize;
         let hi = self.offsets[v as usize + 1] as usize;
@@ -91,16 +97,19 @@ impl CsrGraph {
 
     /// The fixed search seed.
     #[inline]
+    #[must_use]
     pub fn seed(&self) -> u32 {
         self.seed
     }
 
     /// Total directed edges.
+    #[must_use]
     pub fn num_edges(&self) -> usize {
         self.edges.len()
     }
 
     /// Thaws back into adjacency-list form.
+    #[must_use]
     pub fn to_graph(&self) -> Graph {
         let neighbors =
             (0..self.len() as u32).map(|v| self.neighbors(v).to_vec()).collect();

@@ -105,6 +105,7 @@ impl Hnsw {
     }
 
     /// Entry vertex at the top layer.
+    #[must_use]
     pub fn entry(&self) -> u32 {
         self.entry
     }
@@ -198,6 +199,7 @@ impl Hnsw {
     }
 
     /// Top layer of the hierarchy.
+    #[must_use]
     pub fn max_level(&self) -> usize {
         self.max_level
     }

@@ -16,7 +16,11 @@
 //!   fixed-size result pool of size `l`), with a hook for the incremental
 //!   multi-vector pruning of Lemma 4 via [`QueryScorer::score_pruned`].
 
-#![warn(missing_docs)]
+//!
+//! See `docs/ARCHITECTURE.md` at the repository root for the crate DAG
+//! and a one-paragraph tour of every crate.
+
+#![deny(missing_docs)]
 #![forbid(unsafe_code)]
 
 pub mod connect;
@@ -107,6 +111,7 @@ pub struct Graph {
 
 impl Graph {
     /// Wraps adjacency lists and a seed vertex.
+    #[must_use]
     pub fn new(neighbors: Vec<Vec<u32>>, seed: u32) -> Self {
         assert!(!neighbors.is_empty(), "graph must not be empty");
         assert!((seed as usize) < neighbors.len(), "seed out of range");
@@ -115,24 +120,28 @@ impl Graph {
 
     /// Number of vertices.
     #[inline]
+    #[must_use]
     pub fn len(&self) -> usize {
         self.neighbors.len()
     }
 
     /// Whether the graph has no vertices.
     #[inline]
+    #[must_use]
     pub fn is_empty(&self) -> bool {
         self.neighbors.is_empty()
     }
 
     /// Out-neighbours of `v`.
     #[inline]
+    #[must_use]
     pub fn neighbors(&self, v: u32) -> &[u32] {
         &self.neighbors[v as usize]
     }
 
     /// The fixed search seed (component ④).
     #[inline]
+    #[must_use]
     pub fn seed(&self) -> u32 {
         self.seed
     }
@@ -148,6 +157,7 @@ impl Graph {
     }
 
     /// Mean out-degree.
+    #[must_use]
     pub fn mean_degree(&self) -> f64 {
         if self.is_empty() {
             return 0.0;
@@ -162,6 +172,7 @@ impl Graph {
 
     /// Approximate in-memory size of the adjacency structure in bytes
     /// (what Fig. 7 reports as "index size").
+    #[must_use]
     pub fn bytes(&self) -> usize {
         self.num_edges() * std::mem::size_of::<u32>()
             + self.len() * std::mem::size_of::<Vec<u32>>()

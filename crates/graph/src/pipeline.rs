@@ -94,6 +94,7 @@ pub struct PipelineStats {
 
 impl PipelineStats {
     /// Total build seconds.
+    #[must_use]
     pub fn total_secs(&self) -> f64 {
         self.init_secs + self.refine_secs + self.finalize_secs
     }
@@ -280,6 +281,7 @@ pub enum GraphRecipe {
 
 impl GraphRecipe {
     /// Display label (as in Fig. 10).
+    #[must_use]
     pub fn label(self) -> &'static str {
         match self {
             Self::Fused => "Ours",
@@ -293,12 +295,14 @@ impl GraphRecipe {
     }
 
     /// All recipes in the Fig. 10 comparison order.
+    #[must_use]
     pub fn all() -> [GraphRecipe; 7] {
         [Self::Fused, Self::Nssg, Self::Nsg, Self::KGraph, Self::Hnsw, Self::Vamana, Self::Hcnng]
     }
 
     /// The pipeline configuration for pipeline-expressible recipes;
     /// `None` for HCNNG and HNSW, which have dedicated builders.
+    #[must_use]
     pub fn pipeline(self, gamma: usize, rng_seed: u64) -> Option<PipelineBuilder> {
         let base = PipelineBuilder { gamma, rng_seed, ..PipelineBuilder::default() };
         match self {

@@ -33,6 +33,7 @@ impl Default for Pool {
 
 impl Pool {
     /// Creates a pool of capacity `l`.
+    #[must_use]
     pub fn new(l: usize) -> Self {
         assert!(l > 0, "pool capacity must be positive");
         Self { entries: Vec::with_capacity(l + 1), capacity: l }
@@ -52,24 +53,28 @@ impl Pool {
 
     /// Capacity `l`.
     #[inline]
+    #[must_use]
     pub fn capacity(&self) -> usize {
         self.capacity
     }
 
     /// Current number of entries.
     #[inline]
+    #[must_use]
     pub fn len(&self) -> usize {
         self.entries.len()
     }
 
     /// Whether the pool holds no entries.
     #[inline]
+    #[must_use]
     pub fn is_empty(&self) -> bool {
         self.entries.is_empty()
     }
 
     /// Whether the pool is at capacity.
     #[inline]
+    #[must_use]
     pub fn is_full(&self) -> bool {
         self.entries.len() == self.capacity
     }
@@ -77,6 +82,7 @@ impl Pool {
     /// The similarity of the worst entry when full, else `-inf`:
     /// the safe discard threshold for new candidates.
     #[inline]
+    #[must_use]
     pub fn threshold(&self) -> f32 {
         if self.is_full() {
             self.entries[self.entries.len() - 1].sim
@@ -105,6 +111,7 @@ impl Pool {
     }
 
     /// Index of the best unvisited entry, if any (Line 5 of Algorithm 2).
+    #[must_use]
     pub fn best_unvisited(&self) -> Option<usize> {
         self.entries.iter().position(|e| !e.visited)
     }
@@ -116,17 +123,20 @@ impl Pool {
     }
 
     /// Entry access (tests, diagnostics).
+    #[must_use]
     pub fn entries(&self) -> &[PoolEntry] {
         &self.entries
     }
 
     /// The best `k` `(id, sim)` pairs, descending.
+    #[must_use]
     pub fn top_k(&self, k: usize) -> Vec<(u32, f32)> {
         self.entries.iter().take(k).map(|e| (e.id, e.sim)).collect()
     }
 
     /// Sum of all pool similarities — the monotone function `f(eta)` of
     /// Lemma 3, exposed for the property test that pins the lemma.
+    #[must_use]
     pub fn sim_sum(&self) -> f64 {
         self.entries.iter().map(|e| e.sim as f64).sum()
     }

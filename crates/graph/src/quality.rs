@@ -66,6 +66,7 @@ pub struct GraphAudit {
 }
 
 /// Audits the structure of `graph`.
+#[must_use]
 pub fn audit(graph: &Graph) -> GraphAudit {
     GraphAudit {
         vertices: graph.len(),

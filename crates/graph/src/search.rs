@@ -32,6 +32,7 @@ impl SearchParams {
     /// ```should_panic
     /// must_graph::SearchParams::new(5, 3); // l < k
     /// ```
+    #[must_use]
     pub fn new(k: usize, l: usize) -> Self {
         assert!(l >= k, "pool size l must be at least k");
         assert!(k > 0, "k must be positive");
@@ -42,6 +43,7 @@ impl SearchParams {
     ///
     /// # Panics
     /// As [`SearchParams::new`]: when `l < k` or `k == 0`.
+    #[must_use]
     pub fn seed_only(k: usize, l: usize) -> Self {
         Self { random_init: false, ..Self::new(k, l) }
     }
@@ -80,6 +82,15 @@ pub struct VisitedSet {
 }
 
 impl VisitedSet {
+    /// Grows the stamp array to cover `n` vertices without starting a new
+    /// generation (allocation-only warm-up; [`VisitedSet::reset`] still
+    /// runs per query).
+    pub fn reserve(&mut self, n: usize) {
+        if self.stamps.len() < n {
+            self.stamps.resize(n, 0);
+        }
+    }
+
     /// Prepares the set for a graph of `n` vertices and a fresh query.
     pub fn reset(&mut self, n: usize) {
         if self.stamps.len() < n {
@@ -116,6 +127,18 @@ pub struct SearchScratch {
     pub visited: VisitedSet,
     /// The fixed-size result pool `R` of Algorithm 2, re-sized per query.
     pub pool: Pool,
+}
+
+impl SearchScratch {
+    /// Pre-sizes the scratch for a graph of `n` vertices, moving the
+    /// `O(n)` visited-stamp allocation from the first query to worker
+    /// construction.  Serving workers call this up front — one scratch
+    /// per shard, each sized to *its* graph.  (The pool is sized per
+    /// query by [`Pool::reset`], which reuses its entry allocation
+    /// across queries.)
+    pub fn reserve(&mut self, n: usize) {
+        self.visited.reserve(n);
+    }
 }
 
 /// Runs Algorithm 2 on `graph` for the query represented by `scorer`.

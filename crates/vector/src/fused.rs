@@ -207,42 +207,49 @@ impl FusedRows {
 
     /// Number of modalities `m`.
     #[inline]
+    #[must_use]
     pub fn num_modalities(&self) -> usize {
         self.dims.len()
     }
 
     /// Unpadded per-modality dimensionalities.
     #[inline]
+    #[must_use]
     pub fn dims(&self) -> &[usize] {
         &self.dims
     }
 
     /// Row stride in floats (sum of padded segment widths).
     #[inline]
+    #[must_use]
     pub fn stride(&self) -> usize {
         self.seg[self.dims.len()]
     }
 
     /// Padded `[start, end)` of modality `k`'s segment within a row.
     #[inline]
+    #[must_use]
     pub fn segment_bounds(&self, k: usize) -> (usize, usize) {
         (self.seg[k], self.seg[k + 1])
     }
 
     /// Number of rows (objects).
     #[inline]
+    #[must_use]
     pub fn len(&self) -> usize {
         self.len
     }
 
     /// Whether the engine holds no rows.
     #[inline]
+    #[must_use]
     pub fn is_empty(&self) -> bool {
         self.len == 0
     }
 
     /// Per-modality factors baked into the stored values.
     #[inline]
+    #[must_use]
     pub fn scales(&self) -> &[f32] {
         &self.scales
     }
@@ -252,6 +259,7 @@ impl FusedRows {
     /// # Panics
     /// Panics when `id` is out of bounds.
     #[inline]
+    #[must_use]
     pub fn row(&self, id: ObjectId) -> &[f32] {
         let stride = self.stride();
         let start = id as usize * stride;
@@ -260,6 +268,7 @@ impl FusedRows {
 
     /// The padded segment of modality `k` in row `id` (tail lanes zero).
     #[inline]
+    #[must_use]
     pub fn segment(&self, id: ObjectId, k: usize) -> &[f32] {
         let stride = self.stride();
         let start = id as usize * stride;
@@ -268,6 +277,7 @@ impl FusedRows {
 
     /// The unpadded modality-`k` vector of object `id` (length `dims[k]`).
     #[inline]
+    #[must_use]
     pub fn modality_slice(&self, id: ObjectId, k: usize) -> &[f32] {
         let stride = self.stride();
         let start = id as usize * stride + self.seg[k];
@@ -276,6 +286,7 @@ impl FusedRows {
 
     /// The raw row buffer (bundle-v3 save path).
     #[inline]
+    #[must_use]
     pub fn raw_data(&self) -> &[f32] {
         &self.data
     }
@@ -285,6 +296,7 @@ impl FusedRows {
     /// similarity `sum w_k^2 IP_k`; on raw storage it is the unweighted
     /// sum of per-modality inner products.
     #[inline]
+    #[must_use]
     pub fn pair_ip(&self, a: ObjectId, b: ObjectId) -> f32 {
         kernels::ip_prescaled_segments(self.row(a), self.row(b))
     }
@@ -292,6 +304,7 @@ impl FusedRows {
     /// Inner product of modality `k` between rows `a` and `b` (carries the
     /// baked scale squared on prescaled engines).
     #[inline]
+    #[must_use]
     pub fn modality_ip(&self, a: ObjectId, b: ObjectId, k: usize) -> f32 {
         kernels::ip(self.segment(a, k), self.segment(b, k))
     }
@@ -299,6 +312,7 @@ impl FusedRows {
     /// The mean of all rows — on a prescaled engine, the fused centroid of
     /// all virtual points (seed preprocessing, component 4 of
     /// Algorithm 1).  Padding lanes stay zero.
+    #[must_use]
     pub fn centroid_row(&self) -> Vec<f32> {
         let stride = self.stride();
         let mut c = vec![0.0f32; stride];
@@ -355,6 +369,7 @@ impl FusedRows {
     }
 
     /// Heap footprint of the padded row storage in bytes.
+    #[must_use]
     pub fn bytes(&self) -> usize {
         self.data.len() * std::mem::size_of::<f32>()
     }

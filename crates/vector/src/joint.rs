@@ -125,18 +125,21 @@ impl<'a> JointDistance<'a> {
 
     /// The underlying object set.
     #[inline]
+    #[must_use]
     pub fn set(&self) -> &'a MultiVectorSet {
         self.set
     }
 
     /// The weight configuration in force.
     #[inline]
+    #[must_use]
     pub fn weights(&self) -> &Weights {
         &self.weights
     }
 
     /// The prescaled fused-row engine similarity is computed over.
     #[inline]
+    #[must_use]
     pub fn engine(&self) -> &FusedRows {
         match &self.engine {
             EngineHandle::Owned(e) => e,
@@ -147,6 +150,7 @@ impl<'a> JointDistance<'a> {
     /// Extracts the prescaled engine, cloning only if it was shared — how
     /// a build-time oracle hands its engine on to the framework instance
     /// without a second prescale pass.
+    #[must_use]
     pub fn into_engine(self) -> FusedRows {
         match self.engine {
             EngineHandle::Owned(e) => e,
@@ -157,6 +161,7 @@ impl<'a> JointDistance<'a> {
     /// Joint similarity `IP(a_hat, b_hat)` between two objects (Lemma 1):
     /// one contiguous dot product over the prescaled rows.
     #[inline]
+    #[must_use]
     pub fn pair_ip(&self, a: ObjectId, b: ObjectId) -> f32 {
         self.engine().pair_ip(a, b)
     }
@@ -165,6 +170,7 @@ impl<'a> JointDistance<'a> {
     /// point given as per-modality slices (used by the weight-learning
     /// model, where anchors are queries rather than corpus objects).
     #[inline]
+    #[must_use]
     pub fn ip_to_point(&self, a: ObjectId, point: &[&[f32]]) -> f32 {
         debug_assert_eq!(point.len(), self.set.num_modalities());
         let engine = self.engine();
@@ -182,6 +188,7 @@ impl<'a> JointDistance<'a> {
     /// The centroid of all virtual points, reported per modality — used by
     /// seed preprocessing (component 4 of Algorithm 1).  The vertex nearest
     /// to it under the joint similarity is the search seed.
+    #[must_use]
     pub fn centroid(&self) -> Vec<Vec<f32>> {
         self.set.modalities().map(|s| s.centroid()).collect()
     }

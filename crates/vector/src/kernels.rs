@@ -13,6 +13,7 @@
 /// # Panics
 /// Panics in debug builds if the slices have different lengths.
 #[inline]
+#[must_use]
 pub fn ip(a: &[f32], b: &[f32]) -> f32 {
     debug_assert_eq!(a.len(), b.len());
     let mut acc = [0.0f32; 4];
@@ -42,12 +43,14 @@ pub fn ip(a: &[f32], b: &[f32]) -> f32 {
 /// no per-modality dispatch, no per-candidate weight multiplies.  Compare
 /// with the per-modality loop in `benches/kernels.rs`.
 #[inline]
+#[must_use]
 pub fn ip_prescaled_segments(row: &[f32], query: &[f32]) -> f32 {
     ip(row, query)
 }
 
 /// Squared Euclidean distance of two equal-length slices.
 #[inline]
+#[must_use]
 pub fn l2_sq(a: &[f32], b: &[f32]) -> f32 {
     debug_assert_eq!(a.len(), b.len());
     let mut acc = [0.0f32; 4];
@@ -76,6 +79,7 @@ pub fn l2_sq(a: &[f32], b: &[f32]) -> f32 {
 /// their inner product via Eq. 8 of the paper:
 /// `IP(q, u) = 1 - 0.5 * ||q - u||^2`.
 #[inline]
+#[must_use]
 pub fn ip_from_l2_sq(l2_sq: f32) -> f32 {
     1.0 - 0.5 * l2_sq
 }
@@ -83,12 +87,14 @@ pub fn ip_from_l2_sq(l2_sq: f32) -> f32 {
 /// Converts an inner product of unit-norm vectors into squared Euclidean
 /// distance (the inverse of [`ip_from_l2_sq`]).
 #[inline]
+#[must_use]
 pub fn l2_sq_from_ip(ip: f32) -> f32 {
     2.0 - 2.0 * ip
 }
 
 /// Euclidean norm of a slice.
 #[inline]
+#[must_use]
 pub fn norm(a: &[f32]) -> f32 {
     ip(a, a).sqrt()
 }
@@ -113,6 +119,7 @@ pub fn normalize(a: &mut [f32]) -> bool {
 
 /// Whether a slice is unit-norm within `tol`.
 #[inline]
+#[must_use]
 pub fn is_unit_norm(a: &[f32], tol: f32) -> bool {
     (norm(a) - 1.0).abs() <= tol
 }

@@ -30,7 +30,11 @@
 //! `IP(a, b) = 1 - 0.5 * ||a - b||^2` (Eq. 8) links it to Euclidean
 //! distance.
 
-#![warn(missing_docs)]
+//!
+//! See `docs/ARCHITECTURE.md` at the repository root for the crate DAG
+//! and a one-paragraph tour of every crate.
+
+#![deny(missing_docs)]
 #![forbid(unsafe_code)]
 
 pub mod fused;

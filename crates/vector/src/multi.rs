@@ -40,6 +40,7 @@ impl MultiVectorSet {
     /// # Panics
     /// Panics when `rows` carries baked scales other than 1 (a prescaled
     /// engine is a similarity structure, not a corpus).
+    #[must_use]
     pub fn from_fused(rows: FusedRows) -> Self {
         assert!(
             rows.scales().iter().all(|&s| s == 1.0),
@@ -50,54 +51,63 @@ impl MultiVectorSet {
 
     /// The underlying fused-row storage engine.
     #[inline]
+    #[must_use]
     pub fn fused(&self) -> &FusedRows {
         &self.rows
     }
 
     /// Number of modalities `m`.
     #[inline]
+    #[must_use]
     pub fn num_modalities(&self) -> usize {
         self.rows.num_modalities()
     }
 
     /// Number of objects `n`.
     #[inline]
+    #[must_use]
     pub fn len(&self) -> usize {
         self.rows.len()
     }
 
     /// Whether the set is empty.
     #[inline]
+    #[must_use]
     pub fn is_empty(&self) -> bool {
         self.rows.is_empty()
     }
 
     /// A view of modality `i`'s vectors.
     #[inline]
+    #[must_use]
     pub fn modality(&self, i: usize) -> ModalityView<'_> {
         assert!(i < self.num_modalities(), "modality out of range");
         ModalityView { rows: &self.rows, k: i }
     }
 
     /// Views of all modalities, in order.
+    #[must_use]
     pub fn modalities(&self) -> impl ExactSizeIterator<Item = ModalityView<'_>> + '_ {
         (0..self.num_modalities()).map(|k| ModalityView { rows: &self.rows, k })
     }
 
     /// Per-modality dimensionalities.
     #[inline]
+    #[must_use]
     pub fn dims(&self) -> &[usize] {
         self.rows.dims()
     }
 
     /// The multi-vector of object `id`: one slice per modality, borrowed
     /// straight out of the fused row (no allocation).
+    #[must_use]
     pub fn object(&self, id: ObjectId) -> impl ExactSizeIterator<Item = &[f32]> + '_ {
         (0..self.num_modalities()).map(move |k| self.rows.modality_slice(id, k))
     }
 
     /// Per-modality inner products between objects `a` and `b` (no
     /// allocation; collect if indexed access is needed).
+    #[must_use]
     pub fn modality_ips(&self, a: ObjectId, b: ObjectId) -> impl ExactSizeIterator<Item = f32> + '_ {
         (0..self.num_modalities()).map(move |k| self.rows.modality_ip(a, b, k))
     }
@@ -155,6 +165,7 @@ impl MultiVectorSet {
     /// Approximate heap footprint of the stored vectors in bytes,
     /// including the SIMD padding lanes of the fused layout
     /// (used by the Fig. 7 index-size accounting).
+    #[must_use]
     pub fn bytes(&self) -> usize {
         self.rows.bytes()
     }
@@ -202,18 +213,21 @@ pub struct ModalityView<'a> {
 impl<'a> ModalityView<'a> {
     /// Dimensionality of every vector in this modality.
     #[inline]
+    #[must_use]
     pub fn dim(&self) -> usize {
         self.rows.dims()[self.k]
     }
 
     /// Number of vectors.
     #[inline]
+    #[must_use]
     pub fn len(&self) -> usize {
         self.rows.len()
     }
 
     /// Whether the modality holds no vectors.
     #[inline]
+    #[must_use]
     pub fn is_empty(&self) -> bool {
         self.rows.is_empty()
     }
@@ -223,35 +237,41 @@ impl<'a> ModalityView<'a> {
     /// # Panics
     /// Panics when `id` is out of bounds.
     #[inline]
+    #[must_use]
     pub fn get(&self, id: ObjectId) -> &'a [f32] {
         self.rows.modality_slice(id, self.k)
     }
 
     /// Borrow vector `id`, or `None` when out of bounds.
     #[inline]
+    #[must_use]
     pub fn try_get(&self, id: ObjectId) -> Option<&'a [f32]> {
         ((id as usize) < self.rows.len()).then(|| self.get(id))
     }
 
     /// Inner product between rows `a` and `b` of this modality.
     #[inline]
+    #[must_use]
     pub fn ip(&self, a: ObjectId, b: ObjectId) -> f32 {
         self.rows.modality_ip(a, b, self.k)
     }
 
     /// Inner product between row `a` and an external query vector.
     #[inline]
+    #[must_use]
     pub fn ip_to(&self, a: ObjectId, query: &[f32]) -> f32 {
         kernels::ip(self.get(a), query)
     }
 
     /// Squared Euclidean distance between row `a` and an external query.
     #[inline]
+    #[must_use]
     pub fn l2_sq_to(&self, a: ObjectId, query: &[f32]) -> f32 {
         kernels::l2_sq(self.get(a), query)
     }
 
     /// Iterator over `(id, vector)` pairs.
+    #[must_use]
     pub fn iter(&self) -> impl ExactSizeIterator<Item = (ObjectId, &'a [f32])> + '_ {
         let rows = self.rows;
         let k = self.k;
@@ -260,12 +280,14 @@ impl<'a> ModalityView<'a> {
 
     /// Exact top-`k` ids by inner product to `query`, descending
     /// (brute-force scan; ground truth and the `MUST--` baseline).
+    #[must_use]
     pub fn brute_force_top_k(&self, query: &[f32], k: usize) -> Vec<(ObjectId, f32)> {
         crate::set::brute_force_top_k_impl(self.iter(), query, k)
     }
 
     /// Mean of all vectors (the centroid used by the paper's seed
     /// preprocessing, component 4 of Algorithm 1).
+    #[must_use]
     pub fn centroid(&self) -> Vec<f32> {
         crate::set::centroid_impl(self.dim(), self.len(), self.iter())
     }
@@ -299,18 +321,21 @@ impl MultiQuery {
 
     /// Number of modality slots (`m`).
     #[inline]
+    #[must_use]
     pub fn num_slots(&self) -> usize {
         self.vectors.len()
     }
 
     /// Number of supplied modalities (`t`).
     #[inline]
+    #[must_use]
     pub fn supplied(&self) -> usize {
         self.vectors.iter().filter(|v| v.is_some()).count()
     }
 
     /// The vector for modality `i`, if supplied.
     #[inline]
+    #[must_use]
     pub fn slot(&self, i: usize) -> Option<&[f32]> {
         self.vectors.get(i).and_then(|v| v.as_deref())
     }
@@ -323,6 +348,7 @@ impl MultiQuery {
 
     /// Weight mask for this query: the input weights with unsupplied
     /// modalities zeroed.
+    #[must_use]
     pub fn mask_weights(&self, weights: &Weights) -> Weights {
         let mut omega = weights.raw().to_vec();
         for (w, v) in omega.iter_mut().zip(&self.vectors) {

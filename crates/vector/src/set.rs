@@ -20,12 +20,14 @@ pub struct VectorSet {
 
 impl VectorSet {
     /// Creates an empty set of dimensionality `dim`.
+    #[must_use]
     pub fn new(dim: usize) -> Self {
         assert!(dim > 0, "dimensionality must be positive");
         Self { dim, data: Vec::new() }
     }
 
     /// Creates an empty set with storage reserved for `n` vectors.
+    #[must_use]
     pub fn with_capacity(dim: usize, n: usize) -> Self {
         assert!(dim > 0, "dimensionality must be positive");
         Self { dim, data: Vec::with_capacity(dim * n) }
@@ -48,18 +50,21 @@ impl VectorSet {
 
     /// Number of vectors in the set.
     #[inline]
+    #[must_use]
     pub fn len(&self) -> usize {
         self.data.len() / self.dim
     }
 
     /// Whether the set holds no vectors.
     #[inline]
+    #[must_use]
     pub fn is_empty(&self) -> bool {
         self.data.is_empty()
     }
 
     /// Dimensionality of every vector in the set.
     #[inline]
+    #[must_use]
     pub fn dim(&self) -> usize {
         self.dim
     }
@@ -69,6 +74,7 @@ impl VectorSet {
     /// # Panics
     /// Panics when `id` is out of bounds.
     #[inline]
+    #[must_use]
     pub fn get(&self, id: ObjectId) -> &[f32] {
         let start = id as usize * self.dim;
         &self.data[start..start + self.dim]
@@ -76,6 +82,7 @@ impl VectorSet {
 
     /// Borrow vector `id`, or `None` when out of bounds.
     #[inline]
+    #[must_use]
     pub fn try_get(&self, id: ObjectId) -> Option<&[f32]> {
         let start = (id as usize).checked_mul(self.dim)?;
         self.data.get(start..start + self.dim)
@@ -96,23 +103,27 @@ impl VectorSet {
 
     /// Inner product between rows `a` and `b`.
     #[inline]
+    #[must_use]
     pub fn ip(&self, a: ObjectId, b: ObjectId) -> f32 {
         kernels::ip(self.get(a), self.get(b))
     }
 
     /// Inner product between row `a` and an external query vector.
     #[inline]
+    #[must_use]
     pub fn ip_to(&self, a: ObjectId, query: &[f32]) -> f32 {
         kernels::ip(self.get(a), query)
     }
 
     /// Squared Euclidean distance between row `a` and an external query.
     #[inline]
+    #[must_use]
     pub fn l2_sq_to(&self, a: ObjectId, query: &[f32]) -> f32 {
         kernels::l2_sq(self.get(a), query)
     }
 
     /// Iterator over `(id, vector)` pairs.
+    #[must_use]
     pub fn iter(&self) -> impl ExactSizeIterator<Item = (ObjectId, &[f32])> + '_ {
         self.data
             .chunks_exact(self.dim)
@@ -122,12 +133,14 @@ impl VectorSet {
 
     /// Exact top-`k` ids by inner product to `query`, descending
     /// (brute-force scan; used for ground truth and the `MUST--` baseline).
+    #[must_use]
     pub fn brute_force_top_k(&self, query: &[f32], k: usize) -> Vec<(ObjectId, f32)> {
         brute_force_top_k_impl(self.iter(), query, k)
     }
 
     /// Mean of all vectors (the centroid used by the paper's seed
     /// preprocessing, component 4 of Algorithm 1).
+    #[must_use]
     pub fn centroid(&self) -> Vec<f32> {
         centroid_impl(self.dim, self.len(), self.iter())
     }
@@ -197,6 +210,7 @@ pub struct VectorSetBuilder {
 impl VectorSetBuilder {
     /// Starts a builder for vectors of dimensionality `dim`, reserving room
     /// for `n` of them.
+    #[must_use]
     pub fn new(dim: usize, n: usize) -> Self {
         Self { set: VectorSet::with_capacity(dim, n) }
     }
@@ -218,6 +232,7 @@ impl VectorSetBuilder {
     }
 
     /// Finishes the build.
+    #[must_use]
     pub fn finish(self) -> VectorSet {
         self.set
     }

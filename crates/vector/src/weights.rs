@@ -38,6 +38,7 @@ impl Weights {
     /// Uniform weights `omega_i = sqrt(1/m)` so that the squared weights sum
     /// to one — the natural "no preference" configuration
     /// (`omega_0^2 = omega_1^2 = 0.5` for two modalities, as in Tab. IX).
+    #[must_use]
     pub fn uniform(m: usize) -> Self {
         assert!(m > 0, "at least one modality required");
         let w = (1.0 / m as f32).sqrt();
@@ -60,24 +61,28 @@ impl Weights {
 
     /// Number of modalities covered.
     #[inline]
+    #[must_use]
     pub fn modalities(&self) -> usize {
         self.omega.len()
     }
 
     /// Raw weights `omega_i`.
     #[inline]
+    #[must_use]
     pub fn raw(&self) -> &[f32] {
         &self.omega
     }
 
     /// Squared weights `omega_i^2` (the coefficients of Lemma 1).
     #[inline]
+    #[must_use]
     pub fn squared(&self) -> &[f32] {
         &self.omega_sq
     }
 
     /// Squared weight of modality `i`.
     #[inline]
+    #[must_use]
     pub fn sq(&self, i: usize) -> f32 {
         self.omega_sq[i]
     }
@@ -86,6 +91,7 @@ impl Weights {
     /// how the paper evaluates queries that supply only `t < m` modalities
     /// (Section VII-B: "the concatenated vectors compute the IP by setting
     /// omega_i = 0 for t <= i <= m-1").
+    #[must_use]
     pub fn masked(&self, t: usize) -> Self {
         let mut omega = self.omega.clone();
         for w in omega.iter_mut().skip(t) {
@@ -98,6 +104,7 @@ impl Weights {
     /// does not change similarity *rankings* (it multiplies every joint
     /// similarity by the same constant), but normalised weights make
     /// configurations comparable across datasets.
+    #[must_use]
     pub fn normalized(&self) -> Self {
         let total: f32 = self.omega_sq.iter().sum();
         if total <= f32::EPSILON {

@@ -1,0 +1,80 @@
+//! Sharded scatter-gather deployment: split a corpus over shards, build
+//! every shard in parallel, persist the whole deployment as one bundle-v4
+//! file, reload it, and serve queries whose per-shard results merge by
+//! exact joint similarity.
+//!
+//! Run with `cargo run --release --example sharded_serving`.
+
+use must::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // ---- Offline: build S shards in parallel and persist one bundle. --
+    let (dim_img, dim_txt, n) = (16, 8, 120);
+    let mut m0 = VectorSetBuilder::new(dim_img, n);
+    let mut m1 = VectorSetBuilder::new(dim_txt, n);
+    let mut x = 0.41f32;
+    for _ in 0..n {
+        let img: Vec<f32> = (0..dim_img)
+            .map(|_| {
+                x = (x * 61.17).fract() + 0.01;
+                x
+            })
+            .collect();
+        let txt: Vec<f32> = (0..dim_txt)
+            .map(|_| {
+                x = (x * 61.17).fract() + 0.01;
+                x
+            })
+            .collect();
+        m0.push_normalized(&img)?;
+        m1.push_normalized(&txt)?;
+    }
+    let objects = MultiVectorSet::new(vec![m0.finish(), m1.finish()])?;
+    let queries: Vec<MultiQuery> = (0..6u32)
+        .map(|i| {
+            let id = i * 19;
+            MultiQuery::full(vec![
+                objects.modality(0).get(id).to_vec(),
+                objects.modality(1).get(id).to_vec(),
+            ])
+        })
+        .collect();
+
+    let sharded = ShardedMust::build(
+        objects,
+        Weights::uniform(2),
+        MustBuildOptions::default(),
+        ShardSpec::new(4),
+    )?;
+    println!(
+        "offline: built {} shards over {} objects (sizes: {:?})",
+        sharded.num_shards(),
+        sharded.len(),
+        (0..sharded.num_shards()).map(|s| sharded.global_ids(s).len()).collect::<Vec<_>>()
+    );
+    let path = std::env::temp_dir().join("must-sharded-serving.mustb");
+    persist::save_sharded(&sharded, &path)?;
+    println!(
+        "offline: bundle v4 at {} ({} bytes)",
+        path.display(),
+        std::fs::metadata(&path)?.len()
+    );
+
+    // ---- Online: reload and serve scatter-gather. ---------------------
+    let server = ShardedServer::load(&path)?;
+    let outcomes = server.search_batch(&queries, 3, 16, 2);
+    for (i, out) in outcomes.into_iter().enumerate() {
+        let out = out?;
+        println!(
+            "online: query {i} -> global id {} (sim {:.3}, {} hops across {} shards)",
+            out.results[0].0,
+            out.results[0].1,
+            out.stats.hops,
+            server.num_shards()
+        );
+        assert_eq!(out.results[0].0, (i as u32) * 19, "self-query must find itself");
+    }
+
+    std::fs::remove_file(&path)?;
+    Ok(())
+}

@@ -13,10 +13,15 @@
 //! * [`graph`] — the component-based proximity-graph pipeline
 //!   (Algorithm 1) and the KGraph/NSG/NSSG/Vamana/HCNNG/HNSW backends.
 //! * [`core`] — the MUST framework itself: weight learning, fused index,
-//!   joint search (Algorithm 2), and the MR/JE baselines.
+//!   joint search (Algorithm 2), the MR/JE baselines, persistence, and
+//!   the single-shard + sharded scatter-gather serving layers.
 //!
-//! See `examples/quickstart.rs` for the 60-second tour and `DESIGN.md` for
-//! the system inventory.
+//! See `examples/quickstart.rs` for the 60-second tour,
+//! `docs/ARCHITECTURE.md` for the crate DAG and a one-paragraph tour of
+//! every crate, and `DESIGN.md` for the system inventory.
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
 
 pub use must_core as core;
 pub use must_data as data;
@@ -30,6 +35,9 @@ pub mod prelude {
     pub use must_core::metrics::recall_at;
     pub use must_core::persist;
     pub use must_core::server::{MustServer, ServeReply, ServeRequest, ServerWorker};
+    pub use must_core::shard::{
+        ShardAssignment, ShardRouter, ShardSpec, ShardedMust, ShardedServer, ShardedWorker,
+    };
     pub use must_core::weights::{WeightLearnConfig, WeightLearner};
     pub use must_vector::{
         FusedRows, ModalityView, MultiQuery, MultiVectorSet, VectorSet, VectorSetBuilder, Weights,

@@ -1,0 +1,150 @@
+//! Sharded scatter-gather integration tests: the S-shard server must agree
+//! **bit-for-bit** with the single-shard `MustServer` oracle on the same
+//! corpus (the gather merge is exact, per-shard similarities are the same
+//! float ops as the unsharded engine's), stay thread-count invariant like
+//! PR 2's server, and round-trip through the bundle-v4 manifest.
+
+use must::data::embed::embed_dataset;
+use must::encoders::{
+    ComposerKind, EncoderConfig, EncoderRegistry, LatentSpace, TargetEncoding, UnimodalKind,
+};
+use must::prelude::*;
+
+/// Embeds a small MIT-States-style corpus and returns the corpus, weights,
+/// and a 48-query workload.
+fn fixture() -> (MultiVectorSet, Weights, Vec<MultiQuery>) {
+    let ds = must::data::catalog::mit_states(0.05, 1717);
+    let registry = EncoderRegistry::new(LatentSpace::DEFAULT, 1717);
+    let config = EncoderConfig::new(
+        TargetEncoding::Composed(ComposerKind::Clip),
+        vec![UnimodalKind::Lstm],
+    );
+    let embedded = embed_dataset(&ds, &config, &registry);
+    let queries: Vec<MultiQuery> =
+        embedded.queries.iter().take(48).map(|q| q.query.clone()).collect();
+    assert_eq!(queries.len(), 48, "fixture needs a full 48-query workload");
+    (embedded.objects, Weights::new(vec![0.8, 0.5]).unwrap(), queries)
+}
+
+fn build_opts() -> MustBuildOptions {
+    MustBuildOptions { gamma: 16, ..Default::default() }
+}
+
+/// The acceptance pin: for S in {2, 4, 8}, the sharded server's ranked
+/// `(global id, similarity)` lists equal the S = 1 `MustServer` oracle's
+/// bit for bit at an `l` where both resolve the exact joint top-k.  This
+/// holds because (a) shard rows carry the same `f32` values at the same
+/// lane offsets, so per-shard similarities are bitwise equal to the
+/// unsharded engine's, and (b) the gather merge re-ranks by that exact
+/// similarity over a candidate superset of the oracle's results.
+#[test]
+fn sharded_results_match_single_shard_oracle_bitwise() {
+    let (objects, weights, queries) = fixture();
+    let (k, l) = (10, 400);
+
+    let oracle = MustServer::freeze(
+        Must::build(objects.clone(), weights.clone(), build_opts()).unwrap(),
+    );
+    let mut oracle_worker = oracle.worker();
+    let expected: Vec<_> =
+        queries.iter().map(|q| oracle_worker.search(q, k, l).unwrap()).collect();
+
+    for shards in [2usize, 4, 8] {
+        let sharded = ShardedMust::build(
+            objects.clone(),
+            weights.clone(),
+            build_opts(),
+            ShardSpec::new(shards),
+        )
+        .unwrap();
+        assert_eq!(sharded.num_shards(), shards);
+        let server = ShardedServer::freeze(sharded);
+        let mut worker = server.worker();
+        for (qi, (q, want)) in queries.iter().zip(&expected).enumerate() {
+            let got = worker.search(q, k, l).unwrap();
+            assert_eq!(
+                got.results, want.results,
+                "S={shards} query {qi}: sharded merge must equal the single-shard oracle"
+            );
+        }
+    }
+}
+
+/// Scatter (one scoped thread per shard), the sequential worker path, and
+/// every `search_batch` thread count must agree bit-for-bit.
+#[test]
+fn sharded_serving_is_thread_count_invariant() {
+    let (objects, weights, queries) = fixture();
+    let (k, l) = (10, 60);
+    let sharded =
+        ShardedMust::build(objects, weights, build_opts(), ShardSpec::hashed(4)).unwrap();
+    let server = ShardedServer::freeze(sharded);
+
+    let mut worker = server.worker();
+    let serial: Vec<_> = queries.iter().map(|q| worker.search(q, k, l).unwrap()).collect();
+
+    // The scattered one-off path agrees with the sequential worker path.
+    for (qi, (q, want)) in queries.iter().zip(&serial).enumerate() {
+        let got = server.search(q, k, l).unwrap();
+        assert_eq!(got.results, want.results, "scatter query {qi}");
+        assert_eq!(got.stats, want.stats, "scatter query {qi}");
+    }
+
+    // The batch API agrees for every thread count.
+    for threads in [1, 3, 8] {
+        let batch = server.search_batch(&queries, k, l, threads);
+        for (qi, (got, want)) in batch.into_iter().zip(&serial).enumerate() {
+            let got = got.unwrap();
+            assert_eq!(got.results, want.results, "batch({threads}) query {qi}");
+            assert_eq!(got.stats, want.stats, "batch({threads}) query {qi}");
+        }
+    }
+}
+
+/// Offline sharded build → bundle v4 on disk → `ShardedServer::load` →
+/// results identical to the in-process freeze, with the id maps intact.
+#[test]
+fn bundle_v4_load_serves_identically() {
+    let (objects, weights, queries) = fixture();
+    let sharded =
+        ShardedMust::build(objects, weights, build_opts(), ShardSpec::new(3)).unwrap();
+    let dir = std::env::temp_dir().join("must-sharding-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join(format!("sharded-{}.mustb", std::process::id()));
+    persist::save_sharded(&sharded, &path).unwrap();
+    let direct = ShardedServer::freeze(sharded);
+
+    let loaded = ShardedServer::load(&path).unwrap();
+    std::fs::remove_file(&path).unwrap();
+    assert_eq!(loaded.num_shards(), 3);
+    assert_eq!(loaded.len(), direct.len());
+    for (qi, q) in queries.iter().take(16).enumerate() {
+        let a = direct.search(q, 10, 60).unwrap();
+        let b = loaded.search(q, 10, 60).unwrap();
+        assert_eq!(a.results, b.results, "query {qi}");
+        assert_eq!(a.stats, b.stats, "query {qi}");
+    }
+}
+
+/// A v3 single-shard bundle loads into the sharded serving layer as one
+/// shard and serves exactly what the single-shard server serves.
+#[test]
+fn sharded_layer_adopts_v3_bundles() {
+    let (objects, weights, queries) = fixture();
+    let must = Must::build(objects, weights, build_opts()).unwrap();
+    let dir = std::env::temp_dir().join("must-sharding-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join(format!("adopt-v3-{}.mustb", std::process::id()));
+    persist::save(&must, &path).unwrap();
+    let single = MustServer::freeze(must);
+
+    let adopted = ShardedServer::load(&path).unwrap();
+    std::fs::remove_file(&path).unwrap();
+    assert_eq!(adopted.num_shards(), 1);
+    for (qi, q) in queries.iter().take(16).enumerate() {
+        let a = single.search(q, 10, 60).unwrap();
+        let b = adopted.search(q, 10, 60).unwrap();
+        assert_eq!(a.results, b.results, "query {qi}");
+        assert_eq!(a.stats, b.stats, "query {qi}");
+    }
+}
