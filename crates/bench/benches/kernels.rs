@@ -25,9 +25,10 @@ fn bench_kernels(c: &mut Criterion) {
 }
 
 /// Fused-row vs per-modality joint similarity: `m` modality segments of
-/// dimension `d` each, weights baked into the fused rows, against the old
-/// layout's loop of `m` separate `ip` calls with per-modality weight
-/// multiplies.  Reports the speedup ratio per `(m, d)` point.
+/// dimension `d` each, weights baked into the fused *query* row (stored
+/// rows stay raw), against the old layout's loop of `m` separate `ip`
+/// calls with per-modality weight multiplies.  Reports the speedup ratio
+/// per `(m, d)` point.
 fn bench_ip_prescaled_segments(c: &mut Criterion) {
     use must_vector::{FusedRows, VectorSetBuilder, Weights};
     use std::time::Instant;
@@ -52,8 +53,16 @@ fn bench_ip_prescaled_segments(c: &mut Criterion) {
                 })
                 .collect();
             let w = Weights::new((0..m).map(|k| 0.4 + 0.2 * k as f32).collect()).unwrap();
-            let fused = FusedRows::from_sets(&sets).unwrap().prescaled(&w).unwrap();
-            let qrow = fused.row(0).to_vec();
+            let fused = FusedRows::from_sets(&sets).unwrap();
+            // The serving-path query row: omega^2 baked into the query
+            // side only, stored rows stay raw.
+            let mut qrow = fused.row(0).to_vec();
+            for (k, &wsq) in w.squared().iter().enumerate() {
+                let (start, end) = fused.segment_bounds(k);
+                for x in &mut qrow[start..end] {
+                    *x *= wsq;
+                }
+            }
 
             group.bench_with_input(BenchmarkId::new(format!("fused_m{m}"), d), &d, |bch, _| {
                 let mut id = 0u32;

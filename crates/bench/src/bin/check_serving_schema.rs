@@ -1,0 +1,192 @@
+//! Schema + drift check for the serving-bench artefact: verifies that a
+//! freshly generated `BENCH_serving.json` carries every key the perf
+//! trajectory depends on (including the weight-churn entries) and that
+//! its recall figures sit within ±0.01 of a committed reference artefact
+//! — so layout or seam changes cannot silently reshape or degrade the
+//! artefact CI publishes.
+//!
+//! Usage: `check_serving_schema <fresh.json> [committed.json]`
+//! (the committed path is optional: without it only the schema is
+//! checked).  Exits non-zero with a message per violation.
+
+use serde::Value;
+
+/// Required numeric keys per `entries[]` element.
+const ENTRY_KEYS: &[&str] = &["threads", "batch", "qps", "p50_ms", "p99_ms", "recall_at_10"];
+/// Required numeric keys per `shard_entries[]` element.
+const SHARD_KEYS: &[&str] =
+    &["shards", "threads", "batch", "build_secs", "qps", "p50_ms", "p99_ms", "recall_at_10"];
+/// Required numeric keys per `weight_churn[]` element.
+const CHURN_KEYS: &[&str] = &[
+    "switch_every",
+    "switches",
+    "threads",
+    "steady_qps",
+    "churn_qps",
+    "rebuild_qps",
+    "churn_over_steady",
+    "recall_at_10_churn",
+    "recall_at_10_rebuild",
+];
+
+/// How far a fresh recall figure may drift from the committed artefact's.
+const RECALL_TOLERANCE: f64 = 0.01;
+
+fn num(v: &Value, key: &str, ctx: &str, errors: &mut Vec<String>) -> Option<f64> {
+    match v.get_field(key).and_then(Value::as_num) {
+        Some(n) => Some(n),
+        None => {
+            errors.push(format!("{ctx}: missing or non-numeric key `{key}`"));
+            None
+        }
+    }
+}
+
+fn check_array(
+    root: &Value,
+    field: &str,
+    keys: &[&str],
+    errors: &mut Vec<String>,
+) -> Vec<Value> {
+    let Some(items) = root.get_field(field).and_then(Value::as_array) else {
+        errors.push(format!("artefact: missing array `{field}`"));
+        return Vec::new();
+    };
+    if items.is_empty() {
+        errors.push(format!("artefact: `{field}` is empty"));
+    }
+    for (i, item) in items.iter().enumerate() {
+        for key in keys {
+            num(item, key, &format!("{field}[{i}]"), errors);
+        }
+    }
+    items.to_vec()
+}
+
+fn load(path: &str) -> Value {
+    let text = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| panic!("cannot read artefact {path}: {e}"));
+    serde_json::from_str(&text).unwrap_or_else(|e| panic!("cannot parse artefact {path}: {e}"))
+}
+
+/// Keys identifying an operating point, per array kind — recall is
+/// compared only between matching points.
+fn point_key(kind: &str, v: &Value) -> String {
+    let get = |k: &str| v.get_field(k).and_then(Value::as_num).unwrap_or(-1.0);
+    match kind {
+        "entries" => format!("t{}b{}", get("threads"), get("batch")),
+        "shard_entries" => format!("s{}t{}b{}", get("shards"), get("threads"), get("batch")),
+        _ => format!("q{}", get("switch_every")),
+    }
+}
+
+fn compare_recall(
+    kind: &str,
+    recall_key: &str,
+    fresh: &[Value],
+    committed: &[Value],
+    errors: &mut Vec<String>,
+) {
+    for f in fresh {
+        let key = point_key(kind, f);
+        let Some(c) = committed.iter().find(|c| point_key(kind, c) == key) else {
+            // Operating points may legitimately differ across hosts
+            // (thread sweeps clamp to the machine); only matching points
+            // are compared.
+            continue;
+        };
+        let (Some(fr), Some(cr)) = (
+            f.get_field(recall_key).and_then(Value::as_num),
+            c.get_field(recall_key).and_then(Value::as_num),
+        ) else {
+            continue; // missing keys are already reported by the schema pass
+        };
+        if (fr - cr).abs() > RECALL_TOLERANCE {
+            errors.push(format!(
+                "{kind}[{key}]: {recall_key} drifted from committed artefact: \
+                 {fr:.4} vs {cr:.4} (tolerance ±{RECALL_TOLERANCE})"
+            ));
+        }
+    }
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let fresh_path = args.next().unwrap_or_else(|| "BENCH_serving.json".into());
+    let committed_path = args.next();
+
+    let mut errors = Vec::new();
+    let fresh = load(&fresh_path);
+    for key in ["bench", "dataset", "index"] {
+        if fresh.get_field(key).is_none() {
+            errors.push(format!("artefact: missing key `{key}`"));
+        }
+    }
+    for key in ["n_objects", "n_queries", "k", "l"] {
+        num(&fresh, key, "artefact", &mut errors);
+    }
+    let entries = check_array(&fresh, "entries", ENTRY_KEYS, &mut errors);
+    let shard_entries = check_array(&fresh, "shard_entries", SHARD_KEYS, &mut errors);
+    let churn = check_array(&fresh, "weight_churn", CHURN_KEYS, &mut errors);
+
+    // The headline claim of the weight-churn sweep must hold in the
+    // artefact itself: the per-query-weight path sustains >= 0.9x the
+    // steady-state QPS (while the rebuild baseline is free to collapse).
+    for (i, e) in churn.iter().enumerate() {
+        if let Some(ratio) = e.get_field("churn_over_steady").and_then(Value::as_num) {
+            if ratio < 0.9 {
+                errors.push(format!(
+                    "weight_churn[{i}]: churn_over_steady {ratio:.3} < 0.9 — the query-time \
+                     weighting path must not pay a rebuild-shaped cost"
+                ));
+            }
+        }
+    }
+
+    if let Some(committed_path) = committed_path {
+        let committed = load(&committed_path);
+        let corpus_of = |v: &Value| {
+            (
+                v.get_field("n_objects").and_then(Value::as_num),
+                v.get_field("n_queries").and_then(Value::as_num),
+            )
+        };
+        if corpus_of(&fresh) == corpus_of(&committed) {
+            let get =
+                |f: &str| committed.get_field(f).and_then(Value::as_array).map(<[Value]>::to_vec);
+            if let Some(c) = get("entries") {
+                compare_recall("entries", "recall_at_10", &entries, &c, &mut errors);
+            }
+            if let Some(c) = get("shard_entries") {
+                compare_recall("shard_entries", "recall_at_10", &shard_entries, &c, &mut errors);
+            }
+            if let Some(c) = get("weight_churn") {
+                compare_recall("weight_churn", "recall_at_10_churn", &churn, &c, &mut errors);
+            }
+        } else {
+            // A smoke run at a different MUST_SCALE serves a different
+            // corpus; its recall is not comparable to the committed
+            // artefact's, so only the schema and ratio checks apply.
+            println!(
+                "note: corpus differs from committed artefact \
+                 (fresh {:?} vs committed {:?}); recall drift not compared",
+                corpus_of(&fresh),
+                corpus_of(&committed)
+            );
+        }
+    }
+
+    if errors.is_empty() {
+        println!(
+            "{fresh_path}: schema ok ({} entries, {} shard entries, {} churn entries)",
+            entries.len(),
+            shard_entries.len(),
+            churn.len()
+        );
+    } else {
+        for e in &errors {
+            eprintln!("SCHEMA ERROR: {e}");
+        }
+        std::process::exit(1);
+    }
+}

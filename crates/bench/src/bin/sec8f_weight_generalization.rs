@@ -10,7 +10,7 @@ use must_bench::report::{f4, Table};
 use must_core::search::brute_force_search;
 use must_core::weights::WeightLearnConfig;
 use must_encoders::{Composer, ComposerKind, EncoderConfig, Latent, TargetEncoding, UnimodalKind};
-use must_vector::{JointDistance, MultiQuery};
+use must_vector::{JointDistance, MultiQuery, Weights};
 
 fn main() {
     let ds = must_data::catalog::mit_states(must_bench::scale(), must_bench::DATASET_SEED);
@@ -22,8 +22,13 @@ fn main() {
     );
     let prepared = prepare(&ds, &config, &registry);
     let learned = prepared.learn(&WeightLearnConfig::default());
-    let joint =
-        JointDistance::new(&prepared.embedded.objects, learned.weights.clone()).unwrap();
+    // One binding over the unscaled storage; the learned configuration is
+    // a query-side rebind, not an engine rebuild (the same seam
+    // `search_weighted` serves online).
+    let joint = JointDistance::new(&prepared.embedded.objects, Weights::uniform(2))
+        .unwrap()
+        .with_query_weights(learned.weights.clone())
+        .unwrap();
     println!("fixed learned weights^2 = {:?}\n", learned.weights.squared());
 
     // Rebuild Case-1 variants of evaluation queries: text describes the

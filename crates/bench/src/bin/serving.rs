@@ -3,7 +3,11 @@
 //! [`must_core::MustServer`], reporting QPS, p50/p99 per-query latency,
 //! and Recall@10 against the exact joint-similarity oracle — plus a
 //! **shard sweep** (S ∈ {1, 2, 4, 8}) through
-//! [`must_core::shard::ShardedServer`]'s scatter-gather path.
+//! [`must_core::shard::ShardedServer`]'s scatter-gather path and a
+//! **weight-churn sweep**: the query stream switches its user weight
+//! vector every Q queries, comparing the `search_batch_weighted`
+//! query-time-weighting path against the rebuild-per-switch baseline the
+//! prescaled storage used to require.
 //!
 //! Writes `BENCH_serving.json` at the repository root (override with
 //! `MUST_BENCH_PATH`) plus a copy under `EXPERIMENTS-out/`, so the bench
@@ -15,11 +19,11 @@ use std::time::Instant;
 use must_bench::efficiency::prepare;
 use must_bench::report::f4;
 use must_core::metrics::recall_at;
-use must_core::search::SearchOutcome;
+use must_core::search::{exact_ground_truth, SearchOutcome};
 use must_core::server::MustServer;
 use must_core::shard::{ShardSpec, ShardedMust, ShardedServer};
-use must_core::{MustBuildOptions, MustError};
-use must_vector::{MultiQuery, ObjectId};
+use must_core::{Must, MustBuildOptions, MustError};
+use must_vector::{MultiQuery, MultiVectorSet, ObjectId, Weights};
 use serde::Serialize;
 
 /// One `(threads, batch)` operating point of the single-shard server.
@@ -46,6 +50,27 @@ struct ShardEntry {
     recall_at_10: f64,
 }
 
+/// One point of the weight-churn sweep: the stream switches its user
+/// weight vector every `switch_every` queries.
+#[derive(Debug, Clone, Serialize)]
+struct ChurnEntry {
+    switch_every: usize,
+    switches: usize,
+    threads: usize,
+    /// Steady-state QPS: the same workload under one fixed weight vector.
+    steady_qps: f64,
+    /// QPS of the per-query-weight path (`search_batch_weighted`, no
+    /// rebuilds — the weight override rides on the query row).
+    churn_qps: f64,
+    /// QPS of the rebuild-per-switch baseline (wall clock includes every
+    /// `Must::build` + freeze the prescaled storage model would need).
+    rebuild_qps: f64,
+    /// `churn_qps / steady_qps` — the acceptance pin is >= 0.9.
+    churn_over_steady: f64,
+    recall_at_10_churn: f64,
+    recall_at_10_rebuild: f64,
+}
+
 /// The whole artefact.
 #[derive(Debug, Clone, Serialize)]
 struct ServingBench {
@@ -58,6 +83,7 @@ struct ServingBench {
     l: usize,
     entries: Vec<Entry>,
     shard_entries: Vec<ShardEntry>,
+    weight_churn: Vec<ChurnEntry>,
 }
 
 fn percentile_ms(sorted_secs: &[f64], p: f64) -> f64 {
@@ -115,6 +141,129 @@ fn run_point(
         batch,
     );
     Entry { threads, batch, qps, p50_ms, p99_ms, recall_at_10 }
+}
+
+/// Runs the weight-churn sweep: for each switch interval, measure the
+/// steady-state QPS (one fixed weight vector), the query-time-weighting
+/// churn QPS (same snapshot, `search_batch_weighted` per chunk), and the
+/// rebuild-per-switch baseline (a fresh `Must::build` + freeze per
+/// chunk), each with Recall@10 against the exact oracle *under the
+/// chunk's own weights*.
+fn churn_sweep(
+    server: &MustServer,
+    corpus: &MultiVectorSet,
+    default_weights: &Weights,
+    queries: &[MultiQuery],
+    k: usize,
+    l: usize,
+    threads: usize,
+) -> Vec<ChurnEntry> {
+    // The weight cycle: the learned configuration plus two user-defined
+    // vectors (Tab. IX style sweeps of omega^2).
+    let cycle: Vec<Weights> = vec![
+        default_weights.clone(),
+        Weights::from_squared(vec![0.8, 0.2]).expect("valid"),
+        Weights::from_squared(vec![0.3, 0.7]).expect("valid"),
+    ];
+    let ground_truths: Vec<Vec<Vec<ObjectId>>> = cycle
+        .iter()
+        .map(|w| exact_ground_truth(corpus, w, queries, k).expect("valid workload"))
+        .collect();
+
+    let mut out = Vec::new();
+    // Bound the rebuild count so the baseline stays measurable at any
+    // scale: roughly 6 switches over the stream.
+    let switch_every = (queries.len() / 6).max(16).min(queries.len().max(1));
+    // The first chunk runs under the frozen default — only subsequent
+    // chunk boundaries actually switch weights.
+    let switches = queries.len().div_ceil(switch_every).saturating_sub(1);
+
+    // Steady state: the whole stream under the default weights.  Both
+    // no-rebuild phases take the best of two passes, so a transient
+    // load spike on a shared host cannot skew the churn/steady ratio
+    // the schema check gates on.
+    let steady_qps = (0..2)
+        .map(|_| {
+            let t0 = Instant::now();
+            for qs in queries.chunks(switch_every) {
+                for r in server.search_batch(qs, k, l, threads) {
+                    r.expect("workload queries are well-formed");
+                }
+            }
+            queries.len() as f64 / t0.elapsed().as_secs_f64()
+        })
+        .fold(0.0f64, f64::max);
+
+    // Query-time weighting: switch the override per chunk, same snapshot.
+    let mut recall_churn = 0.0;
+    let mut churn_qps = 0.0f64;
+    for _pass in 0..2 {
+        recall_churn = 0.0;
+        let t0 = Instant::now();
+        for (ci, qs) in queries.chunks(switch_every).enumerate() {
+            let w = &cycle[ci % cycle.len()];
+            let gt = &ground_truths[ci % cycle.len()][ci * switch_every..];
+            for (r, gt) in server.search_batch_weighted(qs, w, k, l, threads).into_iter().zip(gt)
+            {
+                let r = r.expect("workload queries are well-formed");
+                let ids: Vec<ObjectId> = r.results.iter().map(|x| x.0).collect();
+                recall_churn += recall_at(&ids, gt, k);
+            }
+        }
+        churn_qps = churn_qps.max(queries.len() as f64 / t0.elapsed().as_secs_f64());
+    }
+
+    // Rebuild-per-switch baseline: every weight *switch* pays a full
+    // offline build + freeze before it can answer its chunk; chunk 0
+    // runs under the frozen default, which a prescaled deployment
+    // already has.
+    let mut recall_rebuild = 0.0;
+    let t0 = Instant::now();
+    for (ci, qs) in queries.chunks(switch_every).enumerate() {
+        let w = &cycle[ci % cycle.len()];
+        let gt = &ground_truths[ci % cycle.len()][ci * switch_every..];
+        let srv = if ci == 0 {
+            server.clone()
+        } else {
+            MustServer::freeze(
+                Must::build(corpus.clone(), w.clone(), MustBuildOptions::default())
+                    .expect("rebuild"),
+            )
+        };
+        for (r, gt) in srv.search_batch(qs, k, l, threads).into_iter().zip(gt) {
+            let r = r.expect("workload queries are well-formed");
+            let ids: Vec<ObjectId> = r.results.iter().map(|x| x.0).collect();
+            recall_rebuild += recall_at(&ids, gt, k);
+        }
+    }
+    let rebuild_qps = queries.len() as f64 / t0.elapsed().as_secs_f64();
+
+    let n = queries.len() as f64;
+    let e = ChurnEntry {
+        switch_every,
+        switches,
+        threads,
+        steady_qps,
+        churn_qps,
+        rebuild_qps,
+        churn_over_steady: churn_qps / steady_qps,
+        recall_at_10_churn: recall_churn / n,
+        recall_at_10_rebuild: recall_rebuild / n,
+    };
+    eprintln!(
+        "[serving] churn every {}q ({} switches): steady={} qps, per-query-weights={} qps \
+         ({:.2}x steady), rebuild-per-switch={} qps, recall@10 churn={} rebuild={}",
+        e.switch_every,
+        e.switches,
+        f4(e.steady_qps),
+        f4(e.churn_qps),
+        e.churn_over_steady,
+        f4(e.rebuild_qps),
+        f4(e.recall_at_10_churn),
+        f4(e.recall_at_10_rebuild),
+    );
+    out.push(e);
+    out
 }
 
 fn main() {
@@ -210,6 +359,14 @@ fn main() {
         });
     }
 
+    // ---- Weight churn: query-time weights vs rebuild-per-switch. ------
+    // The stream rotates through a cycle of user weight vectors every Q
+    // queries.  The per-query-weight path serves every switch from the
+    // same frozen snapshot; the baseline rebuilds and re-freezes the
+    // whole engine per switch — what baked-in (prescaled) storage
+    // requires.
+    let weight_churn = churn_sweep(&server, &corpus, &weights, &queries, k, l, shard_threads);
+
     let artefact = ServingBench {
         bench: "serving".into(),
         dataset: ds.name.clone(),
@@ -220,6 +377,7 @@ fn main() {
         l,
         entries,
         shard_entries,
+        weight_churn,
     };
     let json = serde_json::to_string_pretty(&artefact).expect("serialisable artefact");
     let path = std::env::var("MUST_BENCH_PATH").unwrap_or_else(|_| "BENCH_serving.json".into());

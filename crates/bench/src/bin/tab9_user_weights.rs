@@ -2,6 +2,11 @@
 //! `omega_0^2` makes the returned objects more similar to the query in
 //! modality 0, at the cost of modality 1 (the customisation property of
 //! Fig. 4(g), Option 2).
+//!
+//! Since the query-time-weighting refactor the whole sweep runs over
+//! **one** joint-distance binding: each weight setting is a
+//! [`JointDistance::with_query_weights`] rebind of the same unscaled
+//! storage — no per-setting engine rebuild.
 
 use must_bench::accuracy::prepare;
 use must_bench::report::{f4, Table};
@@ -25,10 +30,11 @@ fn main() {
         "Effect of different user-defined weights (q = query, r = returned)",
         &["w0^2", "w1^2", "IP(q0, r0)", "IP(q1, r1)"],
     );
+    let base = JointDistance::new(objects, Weights::uniform(2)).unwrap();
     for w0_sq in [0.5f32, 0.6, 0.7, 0.8, 0.9] {
         let w1_sq = 1.0 - w0_sq;
         let weights = Weights::from_squared(vec![w0_sq, w1_sq]).unwrap();
-        let joint = JointDistance::new(objects, weights).unwrap();
+        let joint = base.with_query_weights(weights).unwrap();
         let (mut sim0, mut sim1, mut n) = (0.0f64, 0.0f64, 0usize);
         for q in prepared.eval_queries().take(300) {
             let out = brute_force_search(&joint, &q.query, 1, true).expect("valid query");

@@ -2,7 +2,7 @@
 //! or user-defined weights, fused index, joint search out.
 
 use must_graph::{GraphRecipe, SearchParams};
-use must_vector::{FusedRows, JointDistance, MultiQuery, MultiVectorSet, ObjectId, Weights};
+use must_vector::{JointDistance, MultiQuery, MultiVectorSet, ObjectId, Weights};
 
 use crate::index::{build_index, BuildReport, IndexOptions, MustIndex};
 use crate::oracle::JointOracle;
@@ -45,14 +45,11 @@ impl Default for MustBuildOptions {
 }
 
 /// A built MUST instance: owns the corpus, the weights, and the fused
-/// index.
+/// index.  The corpus's own unscaled fused rows are the one and only
+/// storage engine — weights are applied query-side everywhere.
 pub struct Must {
     objects: MultiVectorSet,
     weights: Weights,
-    /// The weight-prescaled fused-row engine: built once (during index
-    /// construction, or at load), shared by every searcher this instance
-    /// hands out and passed on to a frozen server without re-copying.
-    engine: FusedRows,
     index: MustIndex,
     report: BuildReport,
     prune: bool,
@@ -63,15 +60,13 @@ pub struct Must {
 }
 
 /// The owned parts of a [`Must`] instance, as handed to
-/// [`crate::server::MustServer::freeze`] — including the prescaled
-/// fused-row engine, so freezing never re-copies the corpus.
+/// [`crate::server::MustServer::freeze`].  The corpus carries its own
+/// fused-row storage, so freezing never re-copies or re-scales anything.
 pub struct MustParts {
-    /// The multi-vector corpus.
+    /// The multi-vector corpus (with its fused-row storage engine).
     pub objects: MultiVectorSet,
-    /// The weights the index was built under.
+    /// The default weights the index was built under.
     pub weights: Weights,
-    /// The weight-prescaled fused-row engine.
-    pub engine: FusedRows,
     /// The built index.
     pub index: MustIndex,
     /// Whether searches prune (Lemma 4).
@@ -90,9 +85,9 @@ impl Must {
         weights: Weights,
         opts: MustBuildOptions,
     ) -> Result<Self, MustError> {
-        let (index, report, engine) = {
+        let (index, report) = {
             let oracle = JointOracle::new(&objects, weights.clone())?;
-            let (index, report) = build_index(
+            build_index(
                 &oracle,
                 IndexOptions {
                     gamma: opts.gamma,
@@ -101,16 +96,12 @@ impl Must {
                     rng_seed: opts.rng_seed,
                     threads: opts.threads,
                 },
-            )?;
-            // Keep the oracle's prescaled engine: the same storage the
-            // index was built on serves every future search.
-            (index, report, oracle.into_engine())
+            )?
         };
         let deleted = vec![0u64; objects.len().div_ceil(64)];
         Ok(Self {
             objects,
             weights,
-            engine,
             index,
             report,
             prune: opts.prune,
@@ -177,12 +168,10 @@ impl Must {
         }
         let id = self.objects.push_object(rows)?;
         self.deleted.resize(self.objects.len().div_ceil(64), 0);
-        // Mirror the new (normalised) object into the prescaled engine so
-        // similarity structures and corpus stay in lockstep.
-        let normalized: Vec<&[f32]> = self.objects.object(id).collect();
-        self.engine.push_row(&normalized)?;
-        let Self { objects, weights, engine, index, .. } = self;
-        let oracle = JointOracle::with_engine(objects, weights.clone(), engine)?;
+        // The corpus's fused storage grew in place; re-entering index
+        // construction is a cheap rebind, not a copy.
+        let Self { objects, weights, index, .. } = self;
+        let oracle = JointOracle::new(objects, weights.clone())?;
         match index {
             MustIndex::Hnsw(h) => h.insert_new(&oracle, id, 0x1A5E),
             MustIndex::Flat(_) => unreachable!("checked above"),
@@ -222,7 +211,6 @@ impl Must {
         if index.as_ann().len() != objects.len() {
             return Err(MustError::Config("graph/corpus cardinality mismatch".into()));
         }
-        let engine = objects.fused().prescaled(&weights).map_err(MustError::Vector)?;
         let report = BuildReport {
             recipe: opts.recipe,
             gamma: opts.gamma,
@@ -234,7 +222,6 @@ impl Must {
         Ok(Self {
             objects,
             weights,
-            engine,
             index,
             report,
             prune: opts.prune,
@@ -245,24 +232,17 @@ impl Must {
 
     /// Decomposes the instance into its owned [`MustParts`] — how
     /// [`crate::server::MustServer`] takes ownership of a freshly loaded
-    /// bundle without re-cloning the corpus or re-prescaling the engine.
-    /// Tombstone state is discarded: serving snapshots are frozen at
-    /// reconstruction time, matching the paper's offline/online split.
+    /// bundle without re-cloning the corpus.  Tombstone state is
+    /// discarded: serving snapshots are frozen at reconstruction time,
+    /// matching the paper's offline/online split.
     #[must_use]
     pub fn into_parts(self) -> MustParts {
         MustParts {
             objects: self.objects,
             weights: self.weights,
-            engine: self.engine,
             index: self.index,
             prune: self.prune,
         }
-    }
-
-    /// The weight-prescaled fused-row engine searches run on.
-    #[must_use]
-    pub fn engine(&self) -> &FusedRows {
-        &self.engine
     }
 
     /// Runs the vector-weight-learning model on `anchors`
@@ -326,12 +306,12 @@ impl Must {
     }
 
     /// Creates a reusable searcher (allocation-free across a batch): the
-    /// prescaled engine is shared, not copied.
+    /// corpus's fused storage is shared, never copied.
     #[must_use]
     pub fn searcher(&self) -> MustSearcher<'_> {
         MustSearcher {
-            joint: JointDistance::with_engine(&self.objects, self.weights.clone(), &self.engine)
-                .expect("engine built from these objects and weights"),
+            joint: JointDistance::new(&self.objects, self.weights.clone())
+                .expect("weight arity validated when this instance was built"),
             inner: JointSearcher::new(),
             must: self,
         }
@@ -356,7 +336,7 @@ impl Must {
     /// # Errors
     /// Propagates arity/dimension mismatches.
     pub fn brute_force(&self, query: &MultiQuery, k: usize) -> Result<SearchOutcome, MustError> {
-        let joint = JointDistance::with_engine(&self.objects, self.weights.clone(), &self.engine)?;
+        let joint = JointDistance::new(&self.objects, self.weights.clone())?;
         let mut out = brute_force_search(&joint, query, k + self.deleted_count, self.prune)?;
         if self.deleted_count > 0 {
             out.results.retain(|(id, _)| !self.is_deleted(*id));

@@ -13,7 +13,10 @@ use crate::oracle::JointOracle;
 use crate::MustError;
 
 /// A built index: either a flat graph (all pipeline recipes + HCNNG) or the
-/// layered HNSW.
+/// layered HNSW.  Cloneable so one built index can be re-wrapped under a
+/// different weight configuration (the query-time-weighting tests pin
+/// that a weight override over a shared index equals a re-freeze).
+#[derive(Clone)]
 pub enum MustIndex {
     /// Flat adjacency graph with a fixed seed.
     Flat(Graph),

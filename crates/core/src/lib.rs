@@ -24,11 +24,13 @@
 //!   (JE), the Section III baselines, plus their brute-force variants.
 //! * [`framework`] — the user-facing [`Must`] API: embed → weigh → index →
 //!   search.
-//! * [`persist`] — the offline/online seam (Fig. 4): bundle v2 binary
-//!   persistence (all backends, HNSW included) plus the legacy v1 JSON.
+//! * [`persist`] — the offline/online seam (Fig. 4): bundle v5 binary
+//!   persistence (unscaled fused rows + segment norms + default weights,
+//!   all backends incl. HNSW) plus every older format back to v1 JSON.
 //! * [`server`] — the online serving layer: a `Send + Sync`
 //!   [`MustServer`] handle answering queries from many threads with
-//!   results bit-identical to serial execution.
+//!   results bit-identical to serial execution, and per-query weight
+//!   overrides (`search_weighted`) served from the same frozen snapshot.
 //! * [`shard`] — sharded scatter-gather serving: [`ShardedMust`] builds
 //!   `S` shards in parallel, [`ShardedServer`] fans each query out and
 //!   merges the per-shard top-`k` by exact joint similarity; bundle v4

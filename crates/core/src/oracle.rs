@@ -2,11 +2,12 @@
 //! oracle (Lemma 1) for index construction and the query scorer with the
 //! multi-vector pruning optimisation (Lemma 4) for search.
 //!
-//! Both sides run on the fused-row storage engine
-//! ([`must_vector::FusedRows`]): the corpus is prescaled by the weights
-//! *once* at oracle construction, after which every pairwise similarity is
-//! a single contiguous dot product and every query is fused into one
-//! padded row up front.
+//! Both sides run on the shared **unscaled** fused-row storage engine
+//! ([`must_vector::FusedRows`]): the corpus is never copied or rescaled.
+//! Pairwise similarities apply the squared weights per segment of the two
+//! raw rows; every query is fused into one `omega^2`-scaled padded row up
+//! front, so changing weights is a per-query decision — the seam the
+//! serving layer's `search_weighted` rides on.
 
 use must_graph::{QueryScorer, SimilarityOracle};
 use must_vector::{
@@ -18,38 +19,31 @@ use must_vector::{
 /// what Algorithm 1 builds the fused index on.
 pub struct JointOracle<'a> {
     joint: JointDistance<'a>,
-    /// The fused centroid of all virtual points (component ④ support):
-    /// `sim_to_centroid` is one dot product against this row.
+    /// The fused centroid of all virtual points with the oracle's
+    /// `omega^2` baked in (component ④ support): `sim_to_centroid` is one
+    /// dot product of this row against a raw stored row.
     centroid_row: Vec<f32>,
     w_total: f32,
 }
 
 impl<'a> JointOracle<'a> {
-    /// Creates the oracle, prescaling the corpus into a fused-row engine.
+    /// Creates the oracle.  No corpus copy happens — the oracle scores
+    /// against `set`'s own fused storage, weighting query-side.
     ///
     /// # Errors
     /// Propagates weight-arity mismatches from the vector layer.
     pub fn new(set: &'a MultiVectorSet, weights: Weights) -> Result<Self, VectorError> {
         let joint = JointDistance::new(set, weights)?;
-        let centroid_row = joint.engine().centroid_row();
-        let w_total = joint.weights().squared().iter().sum();
-        Ok(Self { joint, centroid_row, w_total })
-    }
-
-    /// Creates the oracle over an *already prescaled* engine (no corpus
-    /// copy) — dynamic insertion re-enters index construction this way,
-    /// reusing the engine the framework instance owns.
-    ///
-    /// # Errors
-    /// Propagates arity / shape mismatches between `set`, `weights`, and
-    /// `engine`.
-    pub fn with_engine(
-        set: &'a MultiVectorSet,
-        weights: Weights,
-        engine: &'a FusedRows,
-    ) -> Result<Self, VectorError> {
-        let joint = JointDistance::with_engine(set, weights, engine)?;
-        let centroid_row = joint.engine().centroid_row();
+        let engine = joint.engine();
+        // Bake omega^2 into the centroid once: against unscaled rows the
+        // plain fused dot product then yields the Lemma-1 weighted sum.
+        let mut centroid_row = engine.centroid_row();
+        for (k, &wsq) in joint.weights().squared().iter().enumerate() {
+            let (start, end) = engine.segment_bounds(k);
+            for x in &mut centroid_row[start..end] {
+                *x *= wsq;
+            }
+        }
         let w_total = joint.weights().squared().iter().sum();
         Ok(Self { joint, centroid_row, w_total })
     }
@@ -71,14 +65,6 @@ impl<'a> JointOracle<'a> {
     pub fn set(&self) -> &'a MultiVectorSet {
         self.joint.set()
     }
-
-    /// Extracts the prescaled fused-row engine, so the layer that built
-    /// the index can keep serving from the same storage without a second
-    /// prescale pass.
-    #[must_use]
-    pub fn into_engine(self) -> FusedRows {
-        self.joint.into_engine()
-    }
 }
 
 impl SimilarityOracle for JointOracle<'_> {
@@ -97,8 +83,9 @@ impl SimilarityOracle for JointOracle<'_> {
     }
 
     fn sim_to_centroid(&self, a: u32) -> f32 {
-        // Both rows carry one factor of omega per modality, so this is the
-        // Lemma-1 weighted sum against the centroid — one dot product.
+        // The centroid row carries omega^2, the stored row is raw, so this
+        // is the Lemma-1 weighted sum against the centroid — one dot
+        // product.
         must_vector::kernels::ip_prescaled_segments(
             self.joint.engine().row(a),
             &self.centroid_row,
@@ -126,9 +113,10 @@ impl<'a> MustQueryScorer<'a> {
         Self::from_joint(&oracle.joint, query, prune)
     }
 
-    /// Prepares a scorer from a [`JointDistance`]: the query is scaled and
-    /// fused into one row here, once, so scoring a candidate costs a single
-    /// dot product (exact) or an early-exiting segment walk (pruned).
+    /// Prepares a scorer from a [`JointDistance`]: the query is scaled by
+    /// `omega^2` and fused into one row here, once, so scoring a candidate
+    /// costs a single dot product (exact) or an early-exiting segment walk
+    /// (pruned).
     ///
     /// # Errors
     /// Propagates slot-arity / dimension mismatches.
@@ -140,17 +128,19 @@ impl<'a> MustQueryScorer<'a> {
         Ok(Self { eval: joint.query(query)?, prune })
     }
 
-    /// Prepares a scorer straight from a prescaled fused-row engine — the
-    /// serving hot path, where the engine is shared behind an `Arc`.
+    /// Prepares a scorer straight from the shared fused-row engine under
+    /// explicit weights — the serving hot path, where the engine sits
+    /// behind an `Arc` and each query may carry its own weight override.
     ///
     /// # Errors
-    /// Propagates slot-arity / dimension mismatches.
-    pub fn from_engine(
-        engine: &'a FusedRows,
+    /// Propagates weight-arity, slot-arity, and dimension mismatches.
+    pub fn from_rows(
+        rows: &'a FusedRows,
         query: &MultiQuery,
+        weights: &Weights,
         prune: bool,
     ) -> Result<Self, VectorError> {
-        Ok(Self { eval: engine.query(query)?, prune })
+        Ok(Self { eval: rows.query(query, weights)?, prune })
     }
 
     /// Number of per-modality kernel evaluations performed so far.
@@ -291,16 +281,36 @@ mod tests {
     }
 
     #[test]
-    fn engine_backed_scorer_matches_oracle_scorer() {
+    fn rows_backed_scorer_matches_oracle_scorer() {
         let set = corpus();
         let w = Weights::new(vec![0.9, 0.5]).unwrap();
         let oracle = JointOracle::new(&set, w.clone()).unwrap();
         let q = MultiQuery::full(vec![vec![0.0, 1.0, 0.0, 0.0], vec![1.0, 0.0, 0.0]]);
         let via_oracle = MustQueryScorer::new(&oracle, &q, true).unwrap();
-        let engine = set.fused().prescaled(&w).unwrap();
-        let via_engine = MustQueryScorer::from_engine(&engine, &q, true).unwrap();
+        let via_rows = MustQueryScorer::from_rows(set.fused(), &q, &w, true).unwrap();
         for id in 0..4 {
-            assert_eq!(via_oracle.score(id), via_engine.score(id));
+            assert_eq!(via_oracle.score(id), via_rows.score(id));
         }
+    }
+
+    #[test]
+    fn rows_backed_scorer_accepts_per_query_weight_overrides() {
+        // The serving seam: one engine, two scorers, two weight vectors.
+        let set = corpus();
+        let q = MultiQuery::full(vec![vec![0.0, 1.0, 0.0, 0.0], vec![1.0, 0.0, 0.0]]);
+        let wa = Weights::from_squared(vec![0.9, 0.1]).unwrap();
+        let wb = Weights::from_squared(vec![0.1, 0.9]).unwrap();
+        let sa = MustQueryScorer::from_rows(set.fused(), &q, &wa, true).unwrap();
+        let sb = MustQueryScorer::from_rows(set.fused(), &q, &wb, true).unwrap();
+        for id in 0..4u32 {
+            let want_a = wa.sq(0) * set.modality(0).ip_to(id, &[0.0, 1.0, 0.0, 0.0])
+                + wa.sq(1) * set.modality(1).ip_to(id, &[1.0, 0.0, 0.0]);
+            let want_b = wb.sq(0) * set.modality(0).ip_to(id, &[0.0, 1.0, 0.0, 0.0])
+                + wb.sq(1) * set.modality(1).ip_to(id, &[1.0, 0.0, 0.0]);
+            assert!((sa.score(id) - want_a).abs() < 1e-5);
+            assert!((sb.score(id) - want_b).abs() < 1e-5);
+        }
+        // Arity mismatches surface as errors, not panics.
+        assert!(MustQueryScorer::from_rows(set.fused(), &q, &Weights::uniform(3), true).is_err());
     }
 }

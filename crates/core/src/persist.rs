@@ -3,22 +3,28 @@
 //! deployment does between the offline build and online serving (Fig. 4's
 //! offline/online split).
 //!
-//! Three wire formats coexist:
+//! The wire formats, newest first:
 //!
-//! * **Bundle v3** (current, [`save`]): like v2, but the corpus block is
-//!   written in the *fused-row layout* ([`must_vector::FusedRows`]):
-//!   per-modality dims, the SIMD lane width, then `n · stride` raw `f32`
-//!   rows, padding included.  [`load`] hands the block straight to
-//!   [`FusedRows::from_raw_parts`] — the engine is reconstructed without
-//!   the per-modality re-copy the v2 path needs.
+//! * **Bundle v5** (current, [`save`]): the fused-row corpus block of v3
+//!   — which has always held the **unscaled** rows; weights were never
+//!   baked into storage on disk — followed by an explicit *segment-norms
+//!   block* (`n · m` little-endian `f32`, `||o_k||^2` per row/modality)
+//!   and the **default** [`Weights`] as their own block.  [`load`] hands
+//!   rows + norms straight to [`FusedRows::from_raw_parts_with_norms`],
+//!   so neither a per-modality re-copy nor a norms recomputation happens;
+//!   the default weights merely seed the server's default path — any
+//!   query may override them (`search_weighted`).
+//! * **Bundle v3**: like v5 minus the norms block (norms are re-derived
+//!   from the rows at load).  Still loadable; no longer written.
 //! * **Bundle v2**: a length-prefixed little-endian binary layout — magic
 //!   and version header, raw `f32` vector blocks per modality, and the
 //!   index as flat arrays (CSR for flat-graph backends, the flattened
 //!   layered form for HNSW).  Still loadable; no longer written.  See
-//!   `DESIGN.md` §6 for the byte-level table of both binary versions.
+//!   `DESIGN.md` §6 for the byte-level table of the binary versions.
 //! * **Bundle v1** ([`save_json`]): the original JSON format, flat-graph
 //!   backends only.  [`load`] sniffs the magic bytes and accepts all
-//!   three.
+//!   four single-shard formats (the sharded v4 goes through
+//!   [`load_sharded`]).
 //!
 //! I/O and (de)serialisation failures surface as [`MustError::Io`];
 //! semantic problems (unsupported version, corpus/graph inconsistency)
@@ -58,7 +64,8 @@ pub const BUNDLE_VERSION: u32 = 1;
 /// Legacy binary version (per-modality corpus blocks); still loadable.
 pub const BUNDLE_V2_VERSION: u32 = 2;
 
-/// Version written by [`save`] (the binary path, fused-row corpus block).
+/// Legacy binary version (fused-row corpus block, no norms block); still
+/// loadable.
 pub const BUNDLE_V3_VERSION: u32 = 3;
 
 /// Version written by [`save_sharded`]: a shard manifest (shard count,
@@ -66,8 +73,12 @@ pub const BUNDLE_V3_VERSION: u32 = 3;
 /// payload per shard.
 pub const BUNDLE_V4_VERSION: u32 = 4;
 
-/// Magic bytes opening every binary bundle (v2, v3, and the sharded v4);
-/// [`load`] uses them to tell the binary formats from v1 JSON.
+/// Version written by [`save`]: the v3 layout plus an explicit
+/// segment-norms block between the fused rows and the default weights.
+pub const BUNDLE_V5_VERSION: u32 = 5;
+
+/// Magic bytes opening every binary bundle (v2, v3, v5, and the sharded
+/// v4); [`load`] uses them to tell the binary formats from v1 JSON.
 pub const BUNDLE_V2_MAGIC: [u8; 8] = *b"MUSTBNDL";
 
 /// Sanity cap on the shard count of a v4 manifest.
@@ -200,11 +211,13 @@ fn reject_tombstones(must: &Must) -> Result<(), MustError> {
     Ok(())
 }
 
-/// Serialises `must` to `path` in the bundle-v3 binary format.  Every
+/// Serialises `must` to `path` in the bundle-v5 binary format.  Every
 /// backend is persistable: flat-graph indexes freeze to CSR arrays, HNSW
-/// to its flattened layered form.  The corpus block is the raw fused-row
-/// buffer (padding included), so [`load`] reconstructs the storage engine
-/// with a single bulk read.
+/// to its flattened layered form.  The corpus block is the raw unscaled
+/// fused-row buffer (padding included) followed by its segment-norms
+/// block, so [`load`] reconstructs the storage engine with two bulk reads
+/// and no recomputation; the default weights travel as their own block,
+/// never baked into the rows.
 ///
 /// # Errors
 /// [`MustError::Io`] for file-system and encoding failures;
@@ -216,16 +229,22 @@ pub fn save(must: &Must, path: &Path) -> Result<(), MustError> {
         .map_err(|e| MustError::Io(format!("create {}: {e}", path.display())))?;
     let mut w = BufWriter::new(file);
     w.write_all(&BUNDLE_V2_MAGIC).map_err(io("write magic"))?;
-    wr_u32(&mut w, BUNDLE_V3_VERSION)?;
-    write_v3_body(must, &mut w)?;
+    wr_u32(&mut w, BUNDLE_V5_VERSION)?;
+    write_binary_body(must, &mut w, true)?;
     w.flush().map_err(io("flush"))?;
     Ok(())
 }
 
-/// Writes the v3 payload (everything after magic + version): prune flag,
-/// fused-row corpus block, weights, index block.  Shared between the
-/// single-shard [`save`] and each shard payload of [`save_sharded`].
+/// Writes the v3 payload (everything after magic + version) — the shard
+/// payload format of the v4 manifest, which pins its payloads to v3.
 fn write_v3_body(must: &Must, w: &mut impl Write) -> Result<(), MustError> {
+    write_binary_body(must, w, false)
+}
+
+/// Writes a binary payload (everything after magic + version): prune
+/// flag, fused-row corpus block, the segment-norms block when
+/// `with_norms` (v5), default weights, index block.
+fn write_binary_body(must: &Must, w: &mut impl Write, with_norms: bool) -> Result<(), MustError> {
     wr_u8(w, must.prune() as u8)?;
 
     // Corpus: the raw (unscaled) fused rows, exactly as they sit in
@@ -239,7 +258,12 @@ fn write_v3_body(must: &Must, w: &mut impl Write) -> Result<(), MustError> {
     wr_u64(w, rows.len() as u64)?;
     wr_words(w, rows.raw_data(), |x| x.to_le_bytes())?;
 
-    // Weights (raw omega; squared form is recomputed on load).
+    // Segment norms (v5): n·m floats, length implied by the header.
+    if with_norms {
+        wr_words(w, rows.seg_norms(), |x| x.to_le_bytes())?;
+    }
+
+    // Default weights (raw omega; squared form is recomputed on load).
     wr_words(w, must.weights().raw(), |x| x.to_le_bytes())?;
 
     // Index block.
@@ -299,9 +323,9 @@ pub fn save_json(must: &Must, path: &Path) -> Result<(), MustError> {
 // Load (both formats).
 
 /// Loads a single-shard bundle from `path` into a ready-to-search
-/// [`Must`], accepting the v2/v3 binary formats and legacy v1 JSON
+/// [`Must`], accepting the v5/v3/v2 binary formats and legacy v1 JSON
 /// (sniffed via the magic bytes).  Sharded v4 bundles are rejected with a
-/// pointer at [`load_sharded`], which accepts all four.
+/// pointer at [`load_sharded`], which accepts all five.
 ///
 /// # Errors
 /// [`MustError::Io`] for file-system and decoding failures;
@@ -351,12 +375,14 @@ pub fn load(path: &Path) -> Result<Must, MustError> {
     )
 }
 
-/// Reads a v2/v3 payload (everything after magic + version) into a
+/// Reads a v2/v3/v5 payload (everything after magic + version) into a
 /// ready-to-search [`Must`].
 fn read_binary_body(r: &mut impl Read, version: u32) -> Result<Must, MustError> {
-    if version != BUNDLE_V2_VERSION && version != BUNDLE_V3_VERSION {
+    if version != BUNDLE_V2_VERSION && version != BUNDLE_V3_VERSION && version != BUNDLE_V5_VERSION
+    {
         return Err(MustError::Config(format!(
-            "unsupported bundle version {version} (expected {BUNDLE_V2_VERSION} or {BUNDLE_V3_VERSION})"
+            "unsupported bundle version {version} (expected {BUNDLE_V2_VERSION}, \
+             {BUNDLE_V3_VERSION}, or {BUNDLE_V5_VERSION})"
         )));
     }
     let prune = rd_u8(r)? != 0;
@@ -365,9 +391,9 @@ fn read_binary_body(r: &mut impl Read, version: u32) -> Result<Must, MustError> 
     if m == 0 {
         return Err(MustError::Config("bundle has no modalities".into()));
     }
-    let objects = if version == BUNDLE_V3_VERSION {
-        // v3: the corpus block *is* the fused-row buffer — read it in one
-        // sweep and hand it to the engine, no per-modality re-copy.
+    let objects = if version >= BUNDLE_V3_VERSION {
+        // v3/v5: the corpus block *is* the fused-row buffer — read it in
+        // one sweep and hand it to the engine, no per-modality re-copy.
         let mut dims = Vec::with_capacity(m.min(MAX_PREALLOC));
         for mi in 0..m {
             let dim = checked_len(rd_u32(r)? as u64, "dimension")?;
@@ -389,8 +415,15 @@ fn read_binary_body(r: &mut impl Read, version: u32) -> Result<Must, MustError> 
             .filter(|t| (*t as u64) < MAX_ELEMS)
             .ok_or_else(|| MustError::Io("corrupt fused block size".into()))?;
         let data = rd_words(r, total, "fused row block", f32::from_le_bytes)?;
-        let rows = FusedRows::from_raw_parts(dims, data, vec![1.0; m])
-            .map_err(|e| MustError::Config(e.to_string()))?;
+        let rows = if version == BUNDLE_V5_VERSION {
+            // v5 carries the norms explicitly; adopt them verbatim.
+            let norms = rd_words(r, n * m, "segment norm block", f32::from_le_bytes)?;
+            FusedRows::from_raw_parts_with_norms(dims, data, norms)
+        } else {
+            // v3 predates the norms block; re-derive them from the rows.
+            FusedRows::from_raw_parts(dims, data)
+        }
+        .map_err(|e| MustError::Config(e.to_string()))?;
         MultiVectorSet::from_fused(rows)
     } else {
         // v2: per-modality blocks, fused at load.
@@ -536,7 +569,7 @@ pub fn save_sharded(sharded: &ShardedMust, path: &Path) -> Result<(), MustError>
 }
 
 /// Loads *any* bundle from `path` into a [`ShardedMust`]: the sharded v4
-/// manifest directly, and every single-shard format (v3/v2 binary, v1
+/// manifest directly, and every single-shard format (v5/v3/v2 binary, v1
 /// JSON) as one shard with the identity id map — so a sharded deployment
 /// can adopt existing bundles without a rewrite.
 ///
@@ -688,6 +721,68 @@ mod tests {
     }
 
     #[test]
+    fn legacy_v3_bundles_still_load() {
+        // `save` writes v5 now (rows + explicit norms block); a v3 bundle
+        // (rows only, norms re-derived at load) must keep loading and
+        // serving identically.  `write_v3_body` is exactly the payload the
+        // old saver produced — it still backs every v4 shard payload.
+        let set = corpus(110);
+        let must =
+            Must::build(set, Weights::new(vec![0.7, 0.6]).unwrap(), MustBuildOptions::default())
+                .unwrap();
+        let path = tmp("legacy-v3.mustb");
+        {
+            let file = std::fs::File::create(&path).unwrap();
+            let mut w = BufWriter::new(file);
+            w.write_all(&BUNDLE_V2_MAGIC).unwrap();
+            wr_u32(&mut w, BUNDLE_V3_VERSION).unwrap();
+            write_v3_body(&must, &mut w).unwrap();
+            w.flush().unwrap();
+        }
+        let loaded = load(&path).unwrap();
+        assert_eq!(loaded.objects().len(), 110);
+        assert_eq!(loaded.weights(), must.weights());
+        assert_eq!(
+            loaded.objects().fused().seg_norms(),
+            must.objects().fused().seg_norms(),
+            "re-derived norms must equal the stored engine's"
+        );
+        assert_identical_searches(&must, &loaded, &[1, 55, 109]);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn v5_round_trip_preserves_norms_and_weighted_serving() {
+        let set = corpus(90);
+        let must =
+            Must::build(set, Weights::uniform(2), MustBuildOptions::default()).unwrap();
+        let path = tmp("bundle-v5-weighted.mustb");
+        save(&must, &path).unwrap();
+        let loaded = load(&path).unwrap();
+        assert_eq!(
+            loaded.objects().fused().seg_norms(),
+            must.objects().fused().seg_norms(),
+            "v5 adopts the persisted norms verbatim"
+        );
+        // A weight override over the loaded snapshot serves exactly like
+        // one over the in-memory original.
+        let a = crate::server::MustServer::freeze(must);
+        let b = crate::server::MustServer::freeze(loaded);
+        let w = Weights::from_squared(vec![0.85, 0.15]).unwrap();
+        for id in [0u32, 44, 89] {
+            let q = MultiQuery::full(vec![
+                a.objects().modality(0).get(id).to_vec(),
+                a.objects().modality(1).get(id).to_vec(),
+            ]);
+            let ra = a.search_weighted(&q, &w, 5, 60).unwrap();
+            let rb = b.search_weighted(&q, &w, 5, 60).unwrap();
+            assert_eq!(ra.results, rb.results, "query {id}");
+            assert_eq!(ra.stats, rb.stats, "query {id}");
+        }
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
     fn legacy_v2_bundles_still_load() {
         // `save` writes v3 now; hand-craft a v2 bundle (per-modality
         // corpus blocks) and check the sniffing loader still accepts it
@@ -740,9 +835,11 @@ mod tests {
         save(&must, &p2).unwrap();
         let s1 = std::fs::metadata(&p1).unwrap().len();
         let s2 = std::fs::metadata(&p2).unwrap().len();
+        // v5 carries the explicit norms block (n·m floats) on top of the
+        // rows, so the pin is 2x rather than the pre-norms 2.5x.
         assert!(
-            s2 * 5 <= s1 * 2,
-            "binary bundle must be at least 2.5x smaller than JSON: {s2} vs {s1}"
+            s2 * 2 <= s1,
+            "binary bundle must be at least 2x smaller than JSON: {s2} vs {s1}"
         );
         std::fs::remove_file(&p1).unwrap();
         std::fs::remove_file(&p2).unwrap();

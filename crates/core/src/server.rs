@@ -11,11 +11,20 @@
 //! query's results are **bit-identical** no matter which worker runs it or
 //! in what order — the concurrency tests pin this down.
 //!
+//! Because the fused storage is unscaled and weighting happens on the
+//! query row alone, the frozen weights are merely a **default**: every
+//! entry point has a `*_weighted` twin taking a per-query [`Weights`]
+//! override, served from the same snapshot with zero extra state — the
+//! paper's user-defined-weight scenario (Tab. IX, §VIII-F) as a serving
+//! feature instead of an offline rebuild.
+//!
 //! Three entry points, by traffic shape:
 //!
-//! * [`MustServer::search`] — one-off query, transient scratch state.
-//! * [`MustServer::search_batch`] — a query slice fanned over worker
-//!   threads (the throughput bench path).
+//! * [`MustServer::search`] / [`MustServer::search_weighted`] — one-off
+//!   query, transient scratch state.
+//! * [`MustServer::search_batch`] / [`MustServer::search_batch_weighted`]
+//!   — a query slice fanned over worker threads (the throughput bench
+//!   path).
 //! * [`MustServer::serve`] — a blocking request/reply loop over
 //!   [`std::sync::mpsc`] channels, for streams whose length is unknown
 //!   up front.
@@ -28,7 +37,7 @@ use must_graph::csr::CsrGraph;
 use must_graph::hnsw::Hnsw;
 use must_graph::search::{beam_search_csr, SearchScratch};
 use must_graph::{AnnIndex, SearchParams, SearchResult};
-use must_vector::{FusedRows, JointDistance, MultiQuery, MultiVectorSet, Weights};
+use must_vector::{MultiQuery, MultiVectorSet, Weights};
 
 use crate::framework::Must;
 use crate::index::MustIndex;
@@ -90,12 +99,12 @@ impl ServingIndex {
 }
 
 struct ServerCore {
+    /// The frozen corpus; its fused rows are the storage engine every
+    /// worker scores against, shared via the core's [`Arc`].
     objects: MultiVectorSet,
+    /// The default weights (the configuration the index was built under);
+    /// any query may override them via the `*_weighted` entry points.
     weights: Weights,
-    /// The weight-prescaled fused-row engine every worker scores against —
-    /// built once at freeze (or inherited from the build), shared via the
-    /// core's [`Arc`].
-    engine: FusedRows,
     index: ServingIndex,
     prune: bool,
 }
@@ -132,9 +141,18 @@ impl MustServer {
     /// Flat graphs are converted to CSR; tombstone state is discarded
     /// (serving snapshots are immutable — rebuild and re-freeze to apply
     /// deletions, as the paper's Section IX prescribes).
+    ///
+    /// `Must` guarantees its weights cover the corpus, so the snapshot's
+    /// default-weight invariant holds by construction and
+    /// [`MustServer::worker`] is infallible.
     #[must_use]
     pub fn freeze(must: Must) -> Self {
         let parts = must.into_parts();
+        debug_assert_eq!(
+            parts.weights.modalities(),
+            parts.objects.num_modalities(),
+            "Must validates weight arity at build/load time"
+        );
         let index = match parts.index {
             MustIndex::Flat(g) => ServingIndex::Csr(CsrGraph::from_graph(&g)),
             MustIndex::Hnsw(h) => ServingIndex::Hnsw(h),
@@ -143,14 +161,13 @@ impl MustServer {
             core: Arc::new(ServerCore {
                 objects: parts.objects,
                 weights: parts.weights,
-                engine: parts.engine,
                 index,
                 prune: parts.prune,
             }),
         }
     }
 
-    /// Loads a persisted bundle (v1, v2, or v3 — see [`crate::persist`])
+    /// Loads a persisted bundle (v1–v3 or v5 — see [`crate::persist`])
     /// straight into a serving snapshot — the online half of the
     /// offline/online split.
     ///
@@ -167,7 +184,7 @@ impl MustServer {
         &self.core.objects
     }
 
-    /// The weights in force.
+    /// The default weights (used when a query carries no override).
     #[must_use]
     pub fn weights(&self) -> &Weights {
         &self.core.weights
@@ -191,9 +208,10 @@ impl MustServer {
         self.core.objects.is_empty()
     }
 
-    /// One-off top-`k` search with pool size `l`.  Deterministic: the same
-    /// query always yields the same ranked ids and [`must_graph::SearchStats`],
-    /// regardless of thread or arrival order.
+    /// One-off top-`k` search with pool size `l` under the default
+    /// weights.  Deterministic: the same query always yields the same
+    /// ranked ids and [`must_graph::SearchStats`], regardless of thread or
+    /// arrival order.
     ///
     /// # Errors
     /// Propagates query/corpus arity and dimension mismatches.
@@ -201,9 +219,30 @@ impl MustServer {
         self.worker().search(query, k, l)
     }
 
+    /// One-off top-`k` search under a per-query weight override: the same
+    /// frozen snapshot, the same graph, but the joint similarity is
+    /// `sum_k w_k^2 IP_k` for the caller's `weights`.  Equivalent (ids
+    /// identical, similarities to float tolerance) to freezing a server
+    /// whose default weights are `weights` over the same index — pinned by
+    /// `tests/weighted_search.rs`.
+    ///
+    /// # Errors
+    /// Propagates weight-arity and query/corpus mismatches.
+    pub fn search_weighted(
+        &self,
+        query: &MultiQuery,
+        weights: &Weights,
+        k: usize,
+        l: usize,
+    ) -> Result<SearchOutcome, MustError> {
+        self.worker().search_weighted(query, weights, k, l)
+    }
+
     /// A reusable per-thread search handle (allocation-free steady state:
-    /// the search scratch and joint-distance plumbing persist across
-    /// queries; the prescaled engine is shared, never copied).  The
+    /// the search scratch persists across queries; the fused storage is
+    /// shared, never copied).  Infallible by construction: the snapshot's
+    /// weight/corpus invariant was validated at freeze time, and all
+    /// per-query plumbing reports through each search's `Result`.  The
     /// visited stamps are pre-sized to this snapshot's graph here — the
     /// `O(n)` scratch allocation — so a sharded deployment's workers each
     /// carry scratch sized to their own shard.
@@ -211,16 +250,7 @@ impl MustServer {
     pub fn worker(&self) -> ServerWorker<'_> {
         let mut scratch = SearchScratch::default();
         scratch.reserve(self.core.index.len());
-        ServerWorker {
-            joint: JointDistance::with_engine(
-                &self.core.objects,
-                self.core.weights.clone(),
-                &self.core.engine,
-            )
-            .expect("engine built from these objects and weights at freeze"),
-            scratch,
-            core: &self.core,
-        }
+        ServerWorker { scratch, core: &self.core }
     }
 
     /// Searches `queries` with `threads` workers (contiguous chunks, one
@@ -241,6 +271,28 @@ impl MustServer {
         fan_out_batch(queries, threads, || {
             let mut worker = self.worker();
             move |q: &MultiQuery| worker.search(q, k, l)
+        })
+    }
+
+    /// [`MustServer::search_batch`] under a per-batch weight override —
+    /// the weight-churn serving path: switching `weights` between batches
+    /// costs nothing beyond the per-query evaluator each search already
+    /// builds.
+    ///
+    /// # Errors
+    /// Per-query errors are returned in the corresponding slot.
+    #[must_use]
+    pub fn search_batch_weighted(
+        &self,
+        queries: &[MultiQuery],
+        weights: &Weights,
+        k: usize,
+        l: usize,
+        threads: usize,
+    ) -> Vec<Result<SearchOutcome, MustError>> {
+        fan_out_batch(queries, threads, || {
+            let mut worker = self.worker();
+            move |q: &MultiQuery| worker.search_weighted(q, weights, k, l)
         })
     }
 
@@ -286,8 +338,8 @@ impl MustServer {
     }
 }
 
-/// Shared chunked fan-out behind [`MustServer::search_batch`] and
-/// [`crate::shard::ShardedServer::search_batch`]: `threads` is clamped to
+/// Shared chunked fan-out behind the batch entry points of [`MustServer`]
+/// and [`crate::shard::ShardedServer`]: `threads` is clamped to
 /// `[1, queries.len()]`, each scoped thread builds one worker via
 /// `mk_worker` and searches a contiguous chunk, and outcomes come back in
 /// input order — so results are identical for every thread count.
@@ -325,15 +377,16 @@ where
 }
 
 /// Reusable per-thread search state bound to a [`MustServer`] snapshot.
+/// Holds no per-weight state: the default and override paths share the
+/// same scratch, so one worker can serve a weight-churning stream.
 pub struct ServerWorker<'a> {
-    joint: JointDistance<'a>,
     scratch: SearchScratch,
     core: &'a ServerCore,
 }
 
 impl ServerWorker<'_> {
-    /// Top-`k` search with pool size `l`; see [`MustServer::search`] for
-    /// the determinism contract.
+    /// Top-`k` search with pool size `l` under the snapshot's default
+    /// weights; see [`MustServer::search`] for the determinism contract.
     ///
     /// # Errors
     /// Propagates query/corpus arity and dimension mismatches.
@@ -346,7 +399,22 @@ impl ServerWorker<'_> {
         self.search_with_params(query, SearchParams::new(k, l.max(k)))
     }
 
-    /// Same, with explicit [`SearchParams`].
+    /// Top-`k` search under a per-query weight override; see
+    /// [`MustServer::search_weighted`].
+    ///
+    /// # Errors
+    /// Propagates weight-arity and query/corpus mismatches.
+    pub fn search_weighted(
+        &mut self,
+        query: &MultiQuery,
+        weights: &Weights,
+        k: usize,
+        l: usize,
+    ) -> Result<SearchOutcome, MustError> {
+        self.search_weighted_with_params(query, weights, SearchParams::new(k, l.max(k)))
+    }
+
+    /// Same as [`ServerWorker::search`], with explicit [`SearchParams`].
     ///
     /// # Errors
     /// Propagates query/corpus arity and dimension mismatches.
@@ -355,7 +423,26 @@ impl ServerWorker<'_> {
         query: &MultiQuery,
         params: SearchParams,
     ) -> Result<SearchOutcome, MustError> {
-        let scorer = MustQueryScorer::from_joint(&self.joint, query, self.core.prune)?;
+        // The default path is the weighted path with the frozen
+        // configuration; the core reference outlives the &mut self borrow,
+        // so no clone is needed.
+        let core = self.core;
+        self.search_weighted_with_params(query, &core.weights, params)
+    }
+
+    /// Same as [`ServerWorker::search_weighted`], with explicit
+    /// [`SearchParams`].
+    ///
+    /// # Errors
+    /// Propagates weight-arity and query/corpus mismatches.
+    pub fn search_weighted_with_params(
+        &mut self,
+        query: &MultiQuery,
+        weights: &Weights,
+        params: SearchParams,
+    ) -> Result<SearchOutcome, MustError> {
+        let scorer =
+            MustQueryScorer::from_rows(self.core.objects.fused(), query, weights, self.core.prune)?;
         let t0 = Instant::now();
         let res = self.core.index.search(&scorer, params, &mut self.scratch);
         Ok(SearchOutcome {
@@ -440,6 +527,47 @@ mod tests {
     }
 
     #[test]
+    fn default_search_equals_weighted_search_with_default_weights() {
+        let srv = server(200, GraphRecipe::Fused);
+        let default = srv.weights().clone();
+        for id in [3u32, 80, 170] {
+            let q = self_query(srv.objects(), id);
+            let a = srv.search(&q, 5, 50).unwrap();
+            let b = srv.search_weighted(&q, &default, 5, 50).unwrap();
+            assert_eq!(a.results, b.results);
+            assert_eq!(a.stats, b.stats);
+        }
+    }
+
+    #[test]
+    fn weighted_search_overrides_change_the_ranking_criterion() {
+        let srv = server(250, GraphRecipe::Fused);
+        // A query whose modality-0 part matches object A and whose
+        // modality-1 part matches object B: extreme weights must steer
+        // the top result toward the favoured modality's anchor.
+        let (a, b) = (40u32, 141u32);
+        let q = MultiQuery::full(vec![
+            srv.objects().modality(0).get(a).to_vec(),
+            srv.objects().modality(1).get(b).to_vec(),
+        ]);
+        let w_img = Weights::from_squared(vec![0.999, 0.001]).unwrap();
+        let w_txt = Weights::from_squared(vec![0.001, 0.999]).unwrap();
+        let top_img = srv.search_weighted(&q, &w_img, 1, 120).unwrap().results[0].0;
+        let top_txt = srv.search_weighted(&q, &w_txt, 1, 120).unwrap().results[0].0;
+        assert_eq!(top_img, a, "modality-0-heavy weights favour the image anchor");
+        assert_eq!(top_txt, b, "modality-1-heavy weights favour the text anchor");
+    }
+
+    #[test]
+    fn weighted_search_rejects_bad_arity_per_query() {
+        let srv = server(100, GraphRecipe::Fused);
+        let q = self_query(srv.objects(), 5);
+        assert!(srv.search_weighted(&q, &Weights::uniform(3), 3, 30).is_err());
+        // The snapshot is unaffected: the default path still works.
+        assert!(srv.search(&q, 3, 30).is_ok());
+    }
+
+    #[test]
     fn search_batch_matches_serial_for_any_thread_count() {
         let srv = server(200, GraphRecipe::Fused);
         let queries: Vec<MultiQuery> =
@@ -448,6 +576,26 @@ mod tests {
         for threads in [1, 3, 8, 64] {
             let batch = srv.search_batch(&queries, 5, 40, threads);
             assert_eq!(batch.len(), serial.len());
+            for (b, s) in batch.into_iter().zip(&serial) {
+                let b = b.unwrap();
+                assert_eq!(b.results, s.results, "threads={threads}");
+                assert_eq!(b.stats, s.stats, "threads={threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn weighted_batch_matches_serial_for_any_thread_count() {
+        let srv = server(180, GraphRecipe::Fused);
+        let w = Weights::from_squared(vec![0.7, 0.3]).unwrap();
+        let queries: Vec<MultiQuery> =
+            (0..24).map(|i| self_query(srv.objects(), i * 7)).collect();
+        let serial: Vec<_> = queries
+            .iter()
+            .map(|q| srv.search_weighted(q, &w, 5, 40).unwrap())
+            .collect();
+        for threads in [1, 4, 16] {
+            let batch = srv.search_batch_weighted(&queries, &w, 5, 40, threads);
             for (b, s) in batch.into_iter().zip(&serial) {
                 let b = b.unwrap();
                 assert_eq!(b.results, s.results, "threads={threads}");
@@ -489,7 +637,7 @@ mod tests {
     }
 
     #[test]
-    fn server_round_trips_through_bundle_v2() {
+    fn server_round_trips_through_binary_bundle() {
         let set = corpus(150);
         let must =
             Must::build(set, Weights::new(vec![0.7, 0.5]).unwrap(), MustBuildOptions::default())

@@ -607,6 +607,35 @@ impl ShardedServer {
         Ok(self.core.gather(per_shard, k, t0))
     }
 
+    /// [`ShardedServer::search`] under a per-query weight override: the
+    /// scatter step threads the **same** `weights` to every shard (each
+    /// shard worker scores with the override, not its frozen default), and
+    /// the gather step merges per-shard candidates whose similarities were
+    /// all computed under that same override — so the DESIGN §7
+    /// bit-identity argument carries over unchanged: shard rows hold the
+    /// same floats at the same lane offsets as the global rows, and the
+    /// merge's `(similarity desc, id asc)` order is total.
+    ///
+    /// # Errors
+    /// Propagates weight-arity and query/corpus mismatches (the first
+    /// failing shard's error, by shard order).
+    pub fn search_weighted(
+        &self,
+        query: &MultiQuery,
+        weights: &Weights,
+        k: usize,
+        l: usize,
+    ) -> Result<SearchOutcome, MustError> {
+        let t0 = Instant::now();
+        let s = self.core.shards.len();
+        let workers = std::thread::available_parallelism().map_or(1, usize::from).min(s);
+        let per_shard = par::par_map(s, workers, |i| {
+            self.core.shards[i].worker().search_weighted(query, weights, k, l)
+        });
+        let per_shard: Vec<SearchOutcome> = per_shard.into_iter().collect::<Result<_, _>>()?;
+        Ok(self.core.gather(per_shard, k, t0))
+    }
+
     /// A reusable per-thread scatter-gather handle: one [`ServerWorker`]
     /// (with its own [`must_graph::SearchScratch`]) per shard, so a query
     /// batch's steady state allocates nothing inside any shard's search
@@ -639,6 +668,26 @@ impl ShardedServer {
             move |q: &MultiQuery| worker.search(q, k, l)
         })
     }
+
+    /// [`ShardedServer::search_batch`] under a per-batch weight override
+    /// (see [`ShardedServer::search_weighted`] for the merge argument).
+    ///
+    /// # Errors
+    /// Per-query errors are returned in the corresponding slot.
+    #[must_use]
+    pub fn search_batch_weighted(
+        &self,
+        queries: &[MultiQuery],
+        weights: &Weights,
+        k: usize,
+        l: usize,
+        threads: usize,
+    ) -> Vec<Result<SearchOutcome, MustError>> {
+        fan_out_batch(queries, threads, || {
+            let mut worker = self.worker();
+            move |q: &MultiQuery| worker.search_weighted(q, weights, k, l)
+        })
+    }
 }
 
 /// Reusable per-thread scatter-gather state bound to a [`ShardedServer`]
@@ -668,6 +717,27 @@ impl ShardedWorker<'_> {
         let mut per_shard = Vec::with_capacity(self.workers.len());
         for worker in &mut self.workers {
             per_shard.push(worker.search(query, k, l)?);
+        }
+        Ok(self.core.gather(per_shard, k, t0))
+    }
+
+    /// Top-`k` search under a per-query weight override, sequential
+    /// per-shard variant — bit-identical to the scattered
+    /// [`ShardedServer::search_weighted`].
+    ///
+    /// # Errors
+    /// Propagates weight-arity and query/corpus mismatches.
+    pub fn search_weighted(
+        &mut self,
+        query: &MultiQuery,
+        weights: &Weights,
+        k: usize,
+        l: usize,
+    ) -> Result<SearchOutcome, MustError> {
+        let t0 = Instant::now();
+        let mut per_shard = Vec::with_capacity(self.workers.len());
+        for worker in &mut self.workers {
+            per_shard.push(worker.search_weighted(query, weights, k, l)?);
         }
         Ok(self.core.gather(per_shard, k, t0))
     }

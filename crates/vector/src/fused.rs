@@ -1,5 +1,6 @@
-//! The fused-row storage engine: one contiguous, weight-prescaled row per
-//! object for the joint-similarity hot path.
+//! The fused-row storage engine: one contiguous, **unscaled** row per
+//! object for the joint-similarity hot path, with all modality weighting
+//! applied query-side.
 //!
 //! The paper reports that vector computation consumes up to 90 % of total
 //! search time (Section VII-B).  Storing each object's `m` modality vectors
@@ -16,17 +17,22 @@
 //! padding lanes are always zero, so they contribute nothing to inner
 //! products or squared distances.
 //!
-//! [`FusedRows::prescaled`] bakes the per-modality weights into the stored
-//! values — row `i` becomes the paper's *virtual point*
-//! `[w_0·phi_0(o), ..., w_{m-1}·phi_{m-1}(o)]` — so that
+//! **Weights never touch the stored rows.**  Lemma 1 gives the joint
+//! similarity as `IP(q_hat, o_hat) = sum_k omega_k^2 * IP_k`, and every
+//! `omega_k^2` multiplies the *query side* of each per-modality inner
+//! product — so [`FusedRows::query`] bakes `omega_k^2` into the fused
+//! query row once per query, and scoring a candidate against the raw
+//! stored row is still **one** contiguous dot product.  Changing weights
+//! is therefore a per-query decision, not a storage rebuild: the same
+//! engine serves any `omega` (the paper's user-defined-weight scenario,
+//! Tab. IX and Section VIII-F).
 //!
-//! * the Lemma-1 joint similarity of two objects is one plain
-//!   [`kernels::ip`] over their rows (`IP(a_hat, b_hat) = sum w_k^2 IP_k`),
-//! * a query fused the same way scores each candidate with a single
-//!   auto-vectorised dot product, and
-//! * the Lemma-4 prefix bound walks *segments of that same row* with
-//!   per-segment [`kernels::l2_sq`] — the weights are already inside the
-//!   values, so the inner loop performs zero weight multiplies.
+//! For the Lemma-4 early-termination walk the engine additionally stores
+//! each row's per-modality squared segment norms (`||o_k||^2`, 1.0 for
+//! unit-normalised corpora), so the prefix bound
+//! `sum_k 0.5 omega_k^2 (||q_k||^2 + ||o_k||^2) - 0.5 omega_k^2 ||q_k - o_k||^2`
+//! needs only the raw per-segment `l2_sq` kernel scaled by `omega_k^2` —
+//! factors the evaluator precomputes at construction time.
 
 use crate::kernels;
 use crate::multi::MultiQuery;
@@ -43,9 +49,9 @@ fn pad(dim: usize) -> usize {
 
 /// Contiguous multi-modality row storage (see the module docs).
 ///
-/// `scales[k]` records the factor baked into every stored value of
-/// modality `k`: `1.0` for raw storage, the raw weight `w_k` after
-/// [`FusedRows::prescaled`].
+/// Rows are stored **unscaled** — weighting happens query-side via
+/// [`FusedRows::query`] / [`FusedRows::weighted_pair_ip`] — and each row
+/// carries its per-modality squared segment norms for the Lemma-4 bound.
 #[derive(Debug, Clone, PartialEq)]
 pub struct FusedRows {
     /// Unpadded per-modality dimensionalities.
@@ -56,8 +62,8 @@ pub struct FusedRows {
     len: usize,
     /// `len * stride` floats, row-major, padding lanes zero.
     data: Vec<f32>,
-    /// Per-modality factor baked into the stored values.
-    scales: Vec<f32>,
+    /// `len * m` squared segment norms: `seg_norms[id * m + k] = ||o_k||^2`.
+    seg_norms: Vec<f32>,
 }
 
 impl FusedRows {
@@ -72,7 +78,22 @@ impl FusedRows {
         seg
     }
 
-    /// Builds raw (unscaled) fused storage from per-modality sets.
+    /// Recomputes every row's per-modality squared segment norms from the
+    /// padded data (padding lanes are zero, so padded and unpadded norms
+    /// agree).
+    fn compute_norms(dims: &[usize], seg: &[usize], data: &[f32]) -> Vec<f32> {
+        let stride = seg[dims.len()];
+        let mut norms = Vec::with_capacity((data.len() / stride.max(1)) * dims.len());
+        for row in data.chunks_exact(stride) {
+            for k in 0..dims.len() {
+                let s = &row[seg[k]..seg[k + 1]];
+                norms.push(kernels::ip(s, s));
+            }
+        }
+        norms
+    }
+
+    /// Builds fused storage from per-modality sets.
     ///
     /// # Errors
     /// [`VectorError::CardinalityMismatch`] when the sets disagree on the
@@ -107,12 +128,14 @@ impl FusedRows {
                 data[row..row + dim].copy_from_slice(v);
             }
         }
-        Ok(Self { scales: vec![1.0; dims.len()], dims, seg, len: n, data })
+        let seg_norms = Self::compute_norms(&dims, &seg, &data);
+        Ok(Self { dims, seg, len: n, data, seg_norms })
     }
 
-    /// Reassembles fused storage from its raw parts (the bundle-v3 load
+    /// Reassembles fused storage from its raw parts (the bundle-v3/v4 load
     /// path: the on-disk rows are already in fused layout, so no per-
-    /// modality re-copy happens).  Padding lanes are re-zeroed defensively.
+    /// modality re-copy happens).  Padding lanes are re-zeroed defensively
+    /// and segment norms are recomputed from the data.
     ///
     /// # Errors
     /// [`VectorError::DimensionMismatch`] when `data.len()` is not
@@ -123,24 +146,44 @@ impl FusedRows {
     /// use must_vector::{FusedRows, VectorError};
     /// // dims [2, 3] pad to a stride of 16, so 17 floats cannot be rows.
     /// assert!(matches!(
-    ///     FusedRows::from_raw_parts(vec![2, 3], vec![0.0; 17], vec![1.0, 1.0]),
+    ///     FusedRows::from_raw_parts(vec![2, 3], vec![0.0; 17]),
     ///     Err(VectorError::DimensionMismatch { .. }),
     /// ));
     /// ```
-    pub fn from_raw_parts(
+    pub fn from_raw_parts(dims: Vec<usize>, data: Vec<f32>) -> Result<Self, VectorError> {
+        let mut rows = Self::from_raw_parts_unnormed(dims, data)?;
+        rows.seg_norms = Self::compute_norms(&rows.dims, &rows.seg, &rows.data);
+        Ok(rows)
+    }
+
+    /// Like [`FusedRows::from_raw_parts`], but adopts pre-computed segment
+    /// norms instead of re-deriving them (the bundle-v5 load path, which
+    /// persists the norms block alongside the rows).
+    ///
+    /// # Errors
+    /// Everything [`FusedRows::from_raw_parts`] rejects, plus
+    /// [`VectorError::CardinalityMismatch`] when `seg_norms` does not hold
+    /// exactly one norm per `(row, modality)` pair.
+    pub fn from_raw_parts_with_norms(
         dims: Vec<usize>,
-        mut data: Vec<f32>,
-        scales: Vec<f32>,
+        data: Vec<f32>,
+        seg_norms: Vec<f32>,
     ) -> Result<Self, VectorError> {
+        let mut rows = Self::from_raw_parts_unnormed(dims, data)?;
+        if seg_norms.len() != rows.len * rows.dims.len() {
+            return Err(VectorError::CardinalityMismatch {
+                expected: rows.len * rows.dims.len(),
+                got: seg_norms.len(),
+            });
+        }
+        rows.seg_norms = seg_norms;
+        Ok(rows)
+    }
+
+    fn from_raw_parts_unnormed(dims: Vec<usize>, mut data: Vec<f32>) -> Result<Self, VectorError> {
         assert!(!dims.is_empty(), "at least one modality required");
         if dims.contains(&0) {
             return Err(VectorError::DimensionMismatch { expected: 1, got: 0 });
-        }
-        if scales.len() != dims.len() {
-            return Err(VectorError::WeightArity {
-                modalities: dims.len(),
-                weights: scales.len(),
-            });
         }
         let seg = Self::layout(&dims);
         let stride = seg[dims.len()];
@@ -160,49 +203,7 @@ impl FusedRows {
                 }
             }
         }
-        Ok(Self { dims, seg, len, data, scales })
-    }
-
-    /// A copy with the raw weights `w_k` baked into every stored value:
-    /// row `i` becomes the virtual point
-    /// `[w_0·phi_0, ..., w_{m-1}·phi_{m-1}]`, so [`FusedRows::pair_ip`]
-    /// between two prescaled rows *is* the Lemma-1 joint similarity
-    /// `sum w_k^2 IP_k` — one plain dot product, no per-candidate weight
-    /// multiplies.
-    ///
-    /// # Errors
-    /// [`VectorError::WeightArity`] when `weights` does not cover every
-    /// modality:
-    ///
-    /// ```
-    /// use must_vector::{FusedRows, VectorError, VectorSetBuilder, Weights};
-    /// let mut b = VectorSetBuilder::new(2, 1);
-    /// b.push_normalized(&[1.0, 0.0]).unwrap();
-    /// let rows = FusedRows::from_sets(&[b.finish()]).unwrap();
-    /// assert_eq!(
-    ///     rows.prescaled(&Weights::uniform(2)).unwrap_err(),
-    ///     VectorError::WeightArity { modalities: 1, weights: 2 },
-    /// );
-    /// ```
-    pub fn prescaled(&self, weights: &Weights) -> Result<Self, VectorError> {
-        if weights.modalities() != self.num_modalities() {
-            return Err(VectorError::WeightArity {
-                modalities: self.num_modalities(),
-                weights: weights.modalities(),
-            });
-        }
-        let mut out = self.clone();
-        for row in out.data.chunks_exact_mut(out.seg[out.dims.len()]) {
-            for (k, &w) in weights.raw().iter().enumerate() {
-                for x in &mut row[out.seg[k]..out.seg[k + 1]] {
-                    *x *= w;
-                }
-            }
-        }
-        for (s, w) in out.scales.iter_mut().zip(weights.raw()) {
-            *s *= w;
-        }
-        Ok(out)
+        Ok(Self { dims, seg, len, data, seg_norms: Vec::new() })
     }
 
     /// Number of modalities `m`.
@@ -247,11 +248,20 @@ impl FusedRows {
         self.len == 0
     }
 
-    /// Per-modality factors baked into the stored values.
+    /// The squared norm `||o_k||^2` of modality `k`'s segment in row `id`
+    /// (1.0 for unit-normalised corpora).
     #[inline]
     #[must_use]
-    pub fn scales(&self) -> &[f32] {
-        &self.scales
+    pub fn seg_norm(&self, id: ObjectId, k: usize) -> f32 {
+        self.seg_norms[id as usize * self.dims.len() + k]
+    }
+
+    /// All squared segment norms, row-major (`len * m` entries) — the
+    /// bundle-v5 save path.
+    #[inline]
+    #[must_use]
+    pub fn seg_norms(&self) -> &[f32] {
+        &self.seg_norms
     }
 
     /// The full padded row of object `id`.
@@ -284,34 +294,53 @@ impl FusedRows {
         &self.data[start..start + self.dims[k]]
     }
 
-    /// The raw row buffer (bundle-v3 save path).
+    /// The raw row buffer (bundle save path).
     #[inline]
     #[must_use]
     pub fn raw_data(&self) -> &[f32] {
         &self.data
     }
 
-    /// Joint similarity of rows `a` and `b`: one contiguous dot product.
-    /// On a [`FusedRows::prescaled`] engine this is the Lemma-1 joint
-    /// similarity `sum w_k^2 IP_k`; on raw storage it is the unweighted
-    /// sum of per-modality inner products.
+    /// Unweighted joint similarity of rows `a` and `b`: one contiguous dot
+    /// product summing every per-modality inner product with coefficient 1.
+    /// For the Lemma-1 weighted sum use [`FusedRows::weighted_pair_ip`].
     #[inline]
     #[must_use]
     pub fn pair_ip(&self, a: ObjectId, b: ObjectId) -> f32 {
         kernels::ip_prescaled_segments(self.row(a), self.row(b))
     }
 
-    /// Inner product of modality `k` between rows `a` and `b` (carries the
-    /// baked scale squared on prescaled engines).
+    /// The Lemma-1 joint similarity `sum_k wsq[k] * IP_k` between rows `a`
+    /// and `b` under squared weights `wsq` (`omega_k^2`): one per-segment
+    /// dot product per positive weight, all walking the same two
+    /// contiguous rows.
+    ///
+    /// # Panics
+    /// Panics in debug builds when `wsq` does not cover every modality.
+    #[inline]
+    #[must_use]
+    pub fn weighted_pair_ip(&self, a: ObjectId, b: ObjectId, wsq: &[f32]) -> f32 {
+        debug_assert_eq!(wsq.len(), self.num_modalities());
+        let (ra, rb) = (self.row(a), self.row(b));
+        let mut sum = 0.0;
+        for (k, &w) in wsq.iter().enumerate() {
+            if w > 0.0 {
+                sum += w * kernels::ip(&ra[self.seg[k]..self.seg[k + 1]], &rb[self.seg[k]..self.seg[k + 1]]);
+            }
+        }
+        sum
+    }
+
+    /// Inner product of modality `k` between rows `a` and `b`.
     #[inline]
     #[must_use]
     pub fn modality_ip(&self, a: ObjectId, b: ObjectId, k: usize) -> f32 {
         kernels::ip(self.segment(a, k), self.segment(b, k))
     }
 
-    /// The mean of all rows — on a prescaled engine, the fused centroid of
-    /// all virtual points (seed preprocessing, component 4 of
-    /// Algorithm 1).  Padding lanes stay zero.
+    /// The mean of all rows — the fused centroid used by seed
+    /// preprocessing (component 4 of Algorithm 1); weight it query-side
+    /// like any other point.  Padding lanes stay zero.
     #[must_use]
     pub fn centroid_row(&self) -> Vec<f32> {
         let stride = self.stride();
@@ -331,9 +360,10 @@ impl FusedRows {
         c
     }
 
-    /// Appends one object from its per-modality vectors, applying the
-    /// engine's baked scales.  The caller is responsible for normalisation
-    /// (the public entry point is `MultiVectorSet::push_object`).
+    /// Appends one object from its per-modality vectors, stored raw.  The
+    /// caller is responsible for normalisation (the public entry point is
+    /// `MultiVectorSet::push_object`); segment norms are recorded from the
+    /// values as given.
     ///
     /// # Errors
     /// [`VectorError::CardinalityMismatch`] on wrong modality count,
@@ -359,10 +389,9 @@ impl FusedRows {
         self.data.resize((self.len + 1) * stride, 0.0);
         let row = &mut self.data[self.len * stride..];
         for (k, r) in rows.iter().enumerate() {
-            let scale = self.scales[k];
-            for (dst, &x) in row[self.seg[k]..].iter_mut().zip(r.as_ref()) {
-                *dst = scale * x;
-            }
+            let r = r.as_ref();
+            row[self.seg[k]..self.seg[k] + r.len()].copy_from_slice(r);
+            self.seg_norms.push(kernels::ip(r, r));
         }
         self.len += 1;
         Ok(id)
@@ -371,20 +400,27 @@ impl FusedRows {
     /// Heap footprint of the padded row storage in bytes.
     #[must_use]
     pub fn bytes(&self) -> usize {
-        self.data.len() * std::mem::size_of::<f32>()
+        (self.data.len() + self.seg_norms.len()) * std::mem::size_of::<f32>()
     }
 
-    /// Prepares a per-query evaluator: the query's supplied slots are
-    /// scaled by the engine's baked factors and fused into one padded row
+    /// Prepares a per-query evaluator under `weights`: the query's supplied
+    /// slots are scaled by `omega_k^2` and fused into one padded row
     /// *once*, after which every candidate costs a single dot product
-    /// (exact path) or an early-exiting segment walk (Lemma-4 path).
+    /// against its raw stored row (exact path) or an early-exiting segment
+    /// walk (Lemma-4 path).  Because the stored rows are unscaled, every
+    /// query may carry **its own** weight vector over the same engine.
     ///
     /// # Errors
-    /// [`VectorError::WeightArity`] when the query has a different number
-    /// of modality slots than the engine, [`VectorError::DimensionMismatch`]
-    /// when a supplied slot has the wrong dimensionality.
-    pub fn query(&self, query: &MultiQuery) -> Result<FusedQueryEvaluator<'_>, VectorError> {
-        FusedQueryEvaluator::new(self, query)
+    /// [`VectorError::WeightArity`] when `weights` (or the query's slot
+    /// count) does not cover every modality,
+    /// [`VectorError::DimensionMismatch`] when a supplied slot has the
+    /// wrong dimensionality.
+    pub fn query(
+        &self,
+        query: &MultiQuery,
+        weights: &Weights,
+    ) -> Result<FusedQueryEvaluator<'_>, VectorError> {
+        FusedQueryEvaluator::new(self, query, weights)
     }
 }
 
@@ -392,34 +428,70 @@ impl FusedRows {
 /// re-exported alias of the per-modality verdict for seam compatibility.
 pub use crate::joint::PartialIpVerdict;
 
-/// Per-query evaluator over a [`FusedRows`] engine with the Lemma-4
-/// early-termination optimisation (Eqs. 8–9 of the paper) and the
-/// kernel-evaluation instrumentation the Fig. 10(c) ablation counts.
+/// One active (supplied, positive-weight) modality of a fused query, in
+/// Lemma-4 prefix order.
+#[derive(Debug, Clone, Copy)]
+struct ActiveSegment {
+    /// Modality index (for the stored-norm lookup).
+    k: usize,
+    /// Padded segment start within a row.
+    start: usize,
+    /// Padded segment end within a row.
+    end: usize,
+    /// `0.5 * omega_k^2` — the evaluator-construction-time scaling of the
+    /// per-segment `l2_sq` in the Lemma-4 bound.
+    half_wsq: f32,
+}
+
+/// Per-query evaluator over a [`FusedRows`] engine: the query row carries
+/// `omega_k^2`, the stored rows stay raw, and the Lemma-4 early-termination
+/// optimisation (Eqs. 8–9 of the paper) runs on `omega^2`-scaled raw
+/// per-segment distances.  Also carries the kernel-evaluation
+/// instrumentation the Fig. 10(c) ablation counts.
 #[derive(Debug)]
 pub struct FusedQueryEvaluator<'a> {
     rows: &'a FusedRows,
-    /// The query fused into one padded row, scaled by the engine's baked
-    /// factors; segments of unsupplied (or zero-scale) modalities are zero.
+    /// The query fused into one padded row with `omega_k^2` baked in;
+    /// segments of unsupplied (or zero-weight) modalities are zero, so the
+    /// exact path is one dot product against the raw stored row.
     qrow: Vec<f32>,
-    /// `(seg_start, seg_end)` of each active (supplied, positive-scale)
-    /// modality, in modality order — the Lemma-4 prefix order.
-    active: Vec<(usize, usize)>,
-    /// `W = sum of active squared scales` — the norm term of Eq. 8.
+    /// The same query row *unscaled* — the side the Lemma-4 per-segment
+    /// `l2_sq` walk compares raw stored segments against.
+    qraw: Vec<f32>,
+    /// Active modalities in modality order — the Lemma-4 prefix order.
+    active: Vec<ActiveSegment>,
+    /// `sum of active omega_k^2` (the query's joint self-similarity for a
+    /// unit-norm query).
     w_total: f32,
+    /// `sum_k 0.5 * omega_k^2 * ||q_k||^2` — the query half of the Eq. 8
+    /// norm term; the candidate half comes from the stored segment norms.
+    q_half_norm: f32,
     kernel_evals: std::cell::Cell<u64>,
 }
 
 impl<'a> FusedQueryEvaluator<'a> {
-    fn new(rows: &'a FusedRows, query: &MultiQuery) -> Result<Self, VectorError> {
+    fn new(
+        rows: &'a FusedRows,
+        query: &MultiQuery,
+        weights: &Weights,
+    ) -> Result<Self, VectorError> {
         if query.num_slots() != rows.num_modalities() {
             return Err(VectorError::WeightArity {
                 modalities: rows.num_modalities(),
                 weights: query.num_slots(),
             });
         }
+        if weights.modalities() != rows.num_modalities() {
+            return Err(VectorError::WeightArity {
+                modalities: rows.num_modalities(),
+                weights: weights.modalities(),
+            });
+        }
         let mut qrow = vec![0.0f32; rows.stride()];
+        let mut qraw = vec![0.0f32; rows.stride()];
         let mut active = Vec::with_capacity(rows.num_modalities());
         let mut w_total = 0.0;
+        let mut q_half_norm = 0.0;
         for k in 0..rows.num_modalities() {
             let Some(slot) = query.slot(k) else { continue };
             if slot.len() != rows.dims()[k] {
@@ -428,18 +500,28 @@ impl<'a> FusedQueryEvaluator<'a> {
                     got: slot.len(),
                 });
             }
-            let scale = rows.scales()[k];
-            if scale <= 0.0 {
+            let wsq = weights.sq(k);
+            if wsq <= 0.0 {
                 continue;
             }
             let (start, end) = rows.segment_bounds(k);
+            qraw[start..start + slot.len()].copy_from_slice(slot);
             for (dst, &x) in qrow[start..].iter_mut().zip(slot) {
-                *dst = scale * x;
+                *dst = wsq * x;
             }
-            active.push((start, end));
-            w_total += scale * scale;
+            active.push(ActiveSegment { k, start, end, half_wsq: 0.5 * wsq });
+            w_total += wsq;
+            q_half_norm += 0.5 * wsq * kernels::ip(slot, slot);
         }
-        Ok(Self { rows, qrow, active, w_total, kernel_evals: std::cell::Cell::new(0) })
+        Ok(Self {
+            rows,
+            qrow,
+            qraw,
+            active,
+            w_total,
+            q_half_norm,
+            kernel_evals: std::cell::Cell::new(0),
+        })
     }
 
     /// Number of modality kernels evaluated so far (the multi-vector
@@ -449,8 +531,8 @@ impl<'a> FusedQueryEvaluator<'a> {
         self.kernel_evals.get()
     }
 
-    /// Sum of active squared scales — the joint similarity of the query
-    /// with itself and the starting value of the Lemma-4 upper bound.
+    /// Sum of active squared weights — the joint similarity of a unit-norm
+    /// query with itself and the starting value of the Lemma-4 upper bound.
     #[inline]
     pub fn w_total(&self) -> f32 {
         self.w_total
@@ -462,8 +544,9 @@ impl<'a> FusedQueryEvaluator<'a> {
     }
 
     /// Exact joint similarity of object `id` to the query: one contiguous
-    /// dot product over the fused row (inactive segments of the query row
-    /// are zero and contribute nothing).
+    /// dot product of the raw stored row against the `omega^2`-scaled
+    /// query row (inactive segments of the query row are zero and
+    /// contribute nothing).
     #[inline]
     pub fn ip(&self, id: ObjectId) -> f32 {
         self.bump(self.active.len() as u64);
@@ -471,18 +554,24 @@ impl<'a> FusedQueryEvaluator<'a> {
     }
 
     /// Incremental joint similarity with safe early termination (Lemma 4):
-    /// walks the active segments of the row, shrinking the upper bound
-    /// `W - 0.5 * sum ||seg_q - seg_u||^2` (weights are baked into both
-    /// sides, so the per-segment distance is already weighted).  Returns
+    /// starts from the norm term
+    /// `sum_k 0.5 omega_k^2 (||q_k||^2 + ||o_k||^2)` (query half
+    /// precomputed, candidate half from the stored segment norms) and
+    /// walks the active raw segments, shrinking the bound by
+    /// `0.5 omega_k^2 ||q_k - o_k||^2` per segment.  Returns
     /// [`PartialIpVerdict::Pruned`] as soon as the bound falls to
     /// `threshold` with segments still unscanned; the exact similarity
     /// otherwise.
     pub fn ip_pruned(&self, id: ObjectId, threshold: f32) -> PartialIpVerdict {
         let row = self.rows.row(id);
-        let mut bound = self.w_total;
+        let mut bound = self.q_half_norm;
+        for seg in &self.active {
+            bound += seg.half_wsq * self.rows.seg_norm(id, seg.k);
+        }
         let last = self.active.len().saturating_sub(1);
-        for (scanned, &(start, end)) in self.active.iter().enumerate() {
-            bound -= 0.5 * kernels::l2_sq(&row[start..end], &self.qrow[start..end]);
+        for (scanned, seg) in self.active.iter().enumerate() {
+            bound -= seg.half_wsq
+                * kernels::l2_sq(&row[seg.start..seg.end], &self.qraw[seg.start..seg.end]);
             self.bump(1);
             if bound <= threshold && scanned < last {
                 return PartialIpVerdict::Pruned;
@@ -536,16 +625,28 @@ mod tests {
     }
 
     #[test]
-    fn prescaled_pair_ip_matches_lemma1() {
+    fn segment_norms_are_one_for_normalized_rows() {
+        let rows = FusedRows::from_sets(&sets()).unwrap();
+        assert_eq!(rows.seg_norms().len(), 3 * 2);
+        for id in 0..3u32 {
+            for k in 0..2 {
+                assert!((rows.seg_norm(id, k) - 1.0).abs() < 1e-5, "id {id} k {k}");
+            }
+        }
+    }
+
+    #[test]
+    fn weighted_pair_ip_matches_lemma1() {
         let src = sets();
         let w = Weights::new(vec![0.8, 0.33]).unwrap();
         let rows = FusedRows::from_sets(&src).unwrap();
-        let engine = rows.prescaled(&w).unwrap();
         for (a, b) in [(0u32, 1u32), (1, 2), (0, 2)] {
             let want = w.sq(0) * src[0].ip(a, b) + w.sq(1) * src[1].ip(a, b);
-            assert!((engine.pair_ip(a, b) - want).abs() < 1e-5);
+            assert!((rows.weighted_pair_ip(a, b, w.squared()) - want).abs() < 1e-5);
         }
-        assert_eq!(engine.scales(), &[0.8, 0.33]);
+        // The unweighted pair similarity is the plain modality sum.
+        let want = src[0].ip(0, 1) + src[1].ip(0, 1);
+        assert!((rows.pair_ip(0, 1) - want).abs() < 1e-5);
     }
 
     #[test]
@@ -553,17 +654,37 @@ mod tests {
         let rows = FusedRows::from_sets(&sets()).unwrap();
         let mut data = rows.raw_data().to_vec();
         data[6] = 99.0; // corrupt a padding lane
-        let back = FusedRows::from_raw_parts(vec![5, 3], data, vec![1.0, 1.0]).unwrap();
+        let back = FusedRows::from_raw_parts(vec![5, 3], data).unwrap();
         assert_eq!(&back, &rows, "padding must be re-zeroed on load");
+    }
+
+    #[test]
+    fn raw_parts_with_norms_validates_norm_count() {
+        let rows = FusedRows::from_sets(&sets()).unwrap();
+        let back = FusedRows::from_raw_parts_with_norms(
+            vec![5, 3],
+            rows.raw_data().to_vec(),
+            rows.seg_norms().to_vec(),
+        )
+        .unwrap();
+        assert_eq!(&back, &rows);
+        assert!(matches!(
+            FusedRows::from_raw_parts_with_norms(
+                vec![5, 3],
+                rows.raw_data().to_vec(),
+                vec![1.0; 5],
+            ),
+            Err(VectorError::CardinalityMismatch { expected: 6, got: 5 })
+        ));
     }
 
     #[test]
     fn query_evaluator_exact_matches_weighted_sum() {
         let src = sets();
         let w = Weights::new(vec![0.9, 0.4]).unwrap();
-        let engine = FusedRows::from_sets(&src).unwrap().prescaled(&w).unwrap();
+        let engine = FusedRows::from_sets(&src).unwrap();
         let q = MultiQuery::full(vec![src[0].get(1).to_vec(), src[1].get(2).to_vec()]);
-        let ev = engine.query(&q).unwrap();
+        let ev = engine.query(&q, &w).unwrap();
         for id in 0..3u32 {
             let want = w.sq(0) * src[0].ip_to(id, src[0].get(1))
                 + w.sq(1) * src[1].ip_to(id, src[1].get(2));
@@ -573,12 +694,34 @@ mod tests {
     }
 
     #[test]
+    fn same_engine_serves_different_weights_per_query() {
+        // The whole point of unscaled storage: two evaluators with
+        // different weights over one engine, each matching its own
+        // reference weighted sum.
+        let src = sets();
+        let engine = FusedRows::from_sets(&src).unwrap();
+        let q = MultiQuery::full(vec![src[0].get(0).to_vec(), src[1].get(1).to_vec()]);
+        for w in [
+            Weights::uniform(2),
+            Weights::from_squared(vec![0.9, 0.1]).unwrap(),
+            Weights::from_squared(vec![0.2, 0.8]).unwrap(),
+        ] {
+            let ev = engine.query(&q, &w).unwrap();
+            for id in 0..3u32 {
+                let want = w.sq(0) * src[0].ip_to(id, src[0].get(0))
+                    + w.sq(1) * src[1].ip_to(id, src[1].get(1));
+                assert!((ev.ip(id) - want).abs() < 1e-5);
+            }
+        }
+    }
+
+    #[test]
     fn pruned_walk_is_sound_and_exact() {
         let src = sets();
         let w = Weights::new(vec![0.7, 0.6]).unwrap();
-        let engine = FusedRows::from_sets(&src).unwrap().prescaled(&w).unwrap();
+        let engine = FusedRows::from_sets(&src).unwrap();
         let q = MultiQuery::full(vec![src[0].get(0).to_vec(), src[1].get(1).to_vec()]);
-        let ev = engine.query(&q).unwrap();
+        let ev = engine.query(&q, &w).unwrap();
         for id in 0..3u32 {
             let exact = ev.ip(id);
             match ev.ip_pruned(id, f32::NEG_INFINITY) {
@@ -596,33 +739,50 @@ mod tests {
     #[test]
     fn partial_query_zeroes_missing_segments() {
         let src = sets();
-        let engine = FusedRows::from_sets(&src)
-            .unwrap()
-            .prescaled(&Weights::uniform(2))
-            .unwrap();
+        let engine = FusedRows::from_sets(&src).unwrap();
         let q = MultiQuery::partial(vec![Some(src[0].get(0).to_vec()), None]);
-        let ev = engine.query(&q).unwrap();
+        let ev = engine.query(&q, &Weights::uniform(2)).unwrap();
         assert!((ev.w_total() - 0.5).abs() < 1e-6);
         let want = 0.5 * src[0].ip_to(0, src[0].get(0));
         assert!((ev.ip(0) - want).abs() < 1e-6);
     }
 
     #[test]
-    fn push_row_applies_baked_scales() {
+    fn zero_weight_modalities_are_inactive() {
         let src = sets();
-        let w = Weights::new(vec![0.5, 2.0]).unwrap();
-        let mut engine = FusedRows::from_sets(&src).unwrap().prescaled(&w).unwrap();
+        let engine = FusedRows::from_sets(&src).unwrap();
+        let q = MultiQuery::full(vec![src[0].get(0).to_vec(), src[1].get(1).to_vec()]);
+        let w = Weights::new(vec![0.8, 0.0]).unwrap();
+        let ev = engine.query(&q, &w).unwrap();
+        assert!((ev.w_total() - w.sq(0)).abs() < 1e-6);
+        for id in 0..3u32 {
+            let want = w.sq(0) * src[0].ip_to(id, src[0].get(0));
+            assert!((ev.ip(id) - want).abs() < 1e-5);
+        }
+        // One active modality means one kernel per pruned evaluation.
+        let before = ev.kernel_evals();
+        let _ = ev.ip_pruned(0, f32::NEG_INFINITY);
+        assert_eq!(ev.kernel_evals() - before, 1);
+    }
+
+    #[test]
+    fn push_row_stores_raw_values_and_norms() {
+        let src = sets();
+        let mut engine = FusedRows::from_sets(&src).unwrap();
         let id = engine
-            .push_row(&[vec![0.0, 0.0, 0.0, 0.0, 1.0], vec![1.0, 0.0, 0.0]])
+            .push_row(&[vec![0.0, 0.0, 0.0, 0.0, 1.0], vec![0.6, 0.8, 0.0]])
             .unwrap();
         assert_eq!(id, 3);
         assert_eq!(engine.len(), 4);
-        assert!((engine.modality_slice(3, 0)[4] - 0.5).abs() < 1e-6);
-        assert!((engine.modality_slice(3, 1)[0] - 2.0).abs() < 1e-6);
+        assert!((engine.modality_slice(3, 0)[4] - 1.0).abs() < 1e-6);
+        assert!((engine.modality_slice(3, 1)[0] - 0.6).abs() < 1e-6);
+        assert!((engine.seg_norm(3, 0) - 1.0).abs() < 1e-6);
+        assert!((engine.seg_norm(3, 1) - 1.0).abs() < 1e-6);
         // Errors leave the engine untouched.
         assert!(engine.push_row(&[vec![1.0; 5]]).is_err());
         assert!(engine.push_row(&[vec![1.0; 4], vec![1.0; 3]]).is_err());
         assert_eq!(engine.len(), 4);
+        assert_eq!(engine.seg_norms().len(), 4 * 2);
     }
 
     #[test]
@@ -644,6 +804,6 @@ mod tests {
     fn multi_vector_set_view_exposes_the_engine() {
         let set = MultiVectorSet::new(sets()).unwrap();
         assert_eq!(set.fused().num_modalities(), 2);
-        assert_eq!(set.fused().scales(), &[1.0, 1.0]);
+        assert_eq!(set.fused().seg_norms().len(), 3 * 2);
     }
 }

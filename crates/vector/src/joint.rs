@@ -4,20 +4,23 @@
 //!
 //! A "virtual point" in the paper is the concatenation
 //! `p_hat = [omega_0 * phi_0(p_0), ..., omega_{m-1} * phi_{m-1}(p_{m-1})]`.
-//! Since the fused-row refactor we *do* materialise it — once, at engine
-//! construction: [`JointDistance`] holds a weight-prescaled [`FusedRows`]
-//! engine whose row `i` is exactly `o_hat_i`, so
-//! `IP(q_hat, u_hat) = sum_i omega_i^2 * IP_i` (Lemma 1) becomes a single
-//! contiguous dot product, and the Lemma-4 prefix bound
+//! Since the query-time-weighting refactor we never materialise weighted
+//! corpus storage at all: the corpus's own **unscaled** [`FusedRows`]
+//! engine is the only copy, and Lemma 1's
+//! `IP(q_hat, u_hat) = sum_i omega_i^2 * IP_i` is realised by baking the
+//! `omega_i^2` factors into the *query row alone*
+//! ([`FusedRows::query`]), so
 //!
-//! ```text
-//! IP(q_hat, u_hat) = W - 0.5 * sum_i ||omega_i phi_i(q_i) - omega_i phi_i(u_i)||^2,
-//! W = sum_i omega_i^2
-//! ```
+//! * scoring a candidate stays a single contiguous dot product,
+//! * the Lemma-4 prefix bound walks raw segments of the stored row with
+//!   `omega_i^2`-scaled per-segment distances, and
+//! * changing `omega` costs nothing but a new per-query evaluator — the
+//!   paper's user-defined-weight scenario (Tab. IX, Section VIII-F)
+//!   becomes a serving-time parameter instead of a storage rebuild.
 //!
-//! walks *segments of the same row* — monotonically decreasing, so the
-//! search safely discards a candidate as soon as the bound falls below the
-//! current result-set threshold.
+//! [`JointDistance`] is therefore a cheap binding of a corpus to one
+//! weight configuration; [`JointDistance::with_query_weights`] rebinds the
+//! same corpus to another configuration without touching storage.
 
 use crate::fused::{FusedQueryEvaluator, FusedRows};
 use crate::multi::{MultiQuery, MultiVectorSet};
@@ -30,26 +33,20 @@ pub type QueryEvaluator<'a> = FusedQueryEvaluator<'a>;
 /// Joint-similarity oracle over an object set: all pairwise computations the
 /// index construction needs (Algorithm 1 works purely on `IP(o_hat, u_hat)`).
 ///
-/// Construction prescales the corpus into a [`FusedRows`] engine (one copy).
-/// Layers that already own a prescaled engine (a frozen server, a built
-/// [`crate::MultiVectorSet`]-backed framework instance) should share it via
-/// [`JointDistance::with_engine`] instead of paying the copy again.
+/// Construction is **free of corpus copies**: the oracle scores directly
+/// against the set's own unscaled [`FusedRows`] engine and applies the
+/// weights per computation (pairwise) or per query (evaluator), so any
+/// number of weight configurations share one storage engine.
 #[derive(Debug, Clone)]
 pub struct JointDistance<'a> {
     set: &'a MultiVectorSet,
     weights: Weights,
-    engine: EngineHandle<'a>,
-}
-
-#[derive(Debug, Clone)]
-enum EngineHandle<'a> {
-    Owned(FusedRows),
-    Shared(&'a FusedRows),
 }
 
 impl<'a> JointDistance<'a> {
-    /// Creates the oracle, prescaling `set`'s fused rows by `weights`
-    /// (one corpus copy).
+    /// Binds `set` to `weights`.  No storage is copied or rescaled — the
+    /// binding is a handle, so constructing one per weight configuration
+    /// (or per query) is free.
     ///
     /// # Errors
     /// [`VectorError::WeightArity`] when `weights` does not cover every
@@ -66,61 +63,36 @@ impl<'a> JointDistance<'a> {
     /// );
     /// ```
     pub fn new(set: &'a MultiVectorSet, weights: Weights) -> Result<Self, VectorError> {
-        let engine = set.fused().prescaled(&weights)?;
-        Ok(Self { set, weights, engine: EngineHandle::Owned(engine) })
-    }
-
-    /// Creates the oracle over an *existing* prescaled engine (no copy) —
-    /// the serving hot path, where the engine is built once at freeze time
-    /// and shared by every worker.
-    ///
-    /// The engine must have been produced by
-    /// [`FusedRows::prescaled`] from `set`'s storage under `weights`.
-    ///
-    /// # Errors
-    /// [`VectorError::WeightArity`] when `weights` does not cover every
-    /// modality of `set`, [`VectorError::EngineMismatch`] when `engine`
-    /// covers a different number of modalities,
-    /// [`VectorError::CardinalityMismatch`] when it covers a different
-    /// number of objects, and [`VectorError::DimensionMismatch`] when the
-    /// per-modality layouts disagree.
-    pub fn with_engine(
-        set: &'a MultiVectorSet,
-        weights: Weights,
-        engine: &'a FusedRows,
-    ) -> Result<Self, VectorError> {
         if weights.modalities() != set.num_modalities() {
             return Err(VectorError::WeightArity {
                 modalities: set.num_modalities(),
                 weights: weights.modalities(),
             });
         }
-        if engine.num_modalities() != set.num_modalities() {
-            return Err(VectorError::EngineMismatch {
-                modalities: set.num_modalities(),
-                engine: engine.num_modalities(),
-            });
-        }
-        if engine.len() != set.len() {
-            return Err(VectorError::CardinalityMismatch {
-                expected: set.len(),
-                got: engine.len(),
-            });
-        }
-        for (&want, &got) in set.dims().iter().zip(engine.dims()) {
-            if want != got {
-                return Err(VectorError::DimensionMismatch { expected: want, got });
-            }
-        }
-        debug_assert!(
-            engine
-                .scales()
-                .iter()
-                .zip(weights.raw())
-                .all(|(s, w)| (s - w).abs() < 1e-6),
-            "engine scales must match the weights it was prescaled with"
-        );
-        Ok(Self { set, weights, engine: EngineHandle::Shared(engine) })
+        Ok(Self { set, weights })
+    }
+
+    /// The same corpus under a different weight configuration — the
+    /// query-time-weighting seam.  Because stored rows are unscaled, this
+    /// is a constant-time rebind, not a rebuild:
+    ///
+    /// ```
+    /// use must_vector::{JointDistance, MultiVectorSet, VectorSetBuilder, Weights};
+    /// let mut b = VectorSetBuilder::new(2, 2);
+    /// b.push_normalized(&[1.0, 0.0]).unwrap();
+    /// b.push_normalized(&[0.6, 0.8]).unwrap();
+    /// let set = MultiVectorSet::new(vec![b.finish()]).unwrap();
+    /// let jd = JointDistance::new(&set, Weights::new(vec![1.0]).unwrap()).unwrap();
+    /// let heavier = jd.with_query_weights(Weights::new(vec![2.0]).unwrap()).unwrap();
+    /// // Same storage, new omega: the similarity scales by omega^2 = 4.
+    /// assert!((heavier.pair_ip(0, 1) - 4.0 * jd.pair_ip(0, 1)).abs() < 1e-6);
+    /// ```
+    ///
+    /// # Errors
+    /// [`VectorError::WeightArity`] when `weights` does not cover every
+    /// modality.
+    pub fn with_query_weights(&self, weights: Weights) -> Result<JointDistance<'a>, VectorError> {
+        JointDistance::new(self.set, weights)
     }
 
     /// The underlying object set.
@@ -137,33 +109,20 @@ impl<'a> JointDistance<'a> {
         &self.weights
     }
 
-    /// The prescaled fused-row engine similarity is computed over.
+    /// The shared unscaled fused-row engine similarity is computed over
+    /// (the corpus's own storage).
     #[inline]
     #[must_use]
-    pub fn engine(&self) -> &FusedRows {
-        match &self.engine {
-            EngineHandle::Owned(e) => e,
-            EngineHandle::Shared(e) => e,
-        }
-    }
-
-    /// Extracts the prescaled engine, cloning only if it was shared — how
-    /// a build-time oracle hands its engine on to the framework instance
-    /// without a second prescale pass.
-    #[must_use]
-    pub fn into_engine(self) -> FusedRows {
-        match self.engine {
-            EngineHandle::Owned(e) => e,
-            EngineHandle::Shared(e) => e.clone(),
-        }
+    pub fn engine(&self) -> &'a FusedRows {
+        self.set.fused()
     }
 
     /// Joint similarity `IP(a_hat, b_hat)` between two objects (Lemma 1):
-    /// one contiguous dot product over the prescaled rows.
+    /// the weighted sum of per-segment dot products over the two raw rows.
     #[inline]
     #[must_use]
     pub fn pair_ip(&self, a: ObjectId, b: ObjectId) -> f32 {
-        self.engine().pair_ip(a, b)
+        self.engine().weighted_pair_ip(a, b, self.weights.squared())
     }
 
     /// Joint similarity between object `a` and an external multi-vector
@@ -176,10 +135,9 @@ impl<'a> JointDistance<'a> {
         let engine = self.engine();
         let mut sum = 0.0;
         for (k, p) in point.iter().enumerate() {
-            let scale = engine.scales()[k];
-            if scale > 0.0 {
-                // Row segments already carry one factor of omega_k.
-                sum += scale * kernels::ip(engine.modality_slice(a, k), p);
+            let wsq = self.weights.sq(k);
+            if wsq > 0.0 {
+                sum += wsq * kernels::ip(engine.modality_slice(a, k), p);
             }
         }
         sum
@@ -193,17 +151,18 @@ impl<'a> JointDistance<'a> {
         self.set.modalities().map(|s| s.centroid()).collect()
     }
 
-    /// Prepares a per-query evaluator: the query is scaled and fused into
-    /// one row up front, so scoring a candidate is one dot product (exact)
-    /// or an early-exiting segment walk (Lemma 4).
+    /// Prepares a per-query evaluator: the query is scaled by this
+    /// binding's `omega^2` and fused into one row up front, so scoring a
+    /// candidate is one dot product (exact) or an early-exiting segment
+    /// walk (Lemma 4).
     ///
     /// # Errors
     /// [`VectorError::WeightArity`] when the query has a different number of
     /// modality slots than the object set, or
     /// [`VectorError::DimensionMismatch`] when a supplied slot has the wrong
     /// dimensionality.
-    pub fn query(&self, query: &MultiQuery) -> Result<QueryEvaluator<'_>, VectorError> {
-        self.engine().query(query)
+    pub fn query(&self, query: &MultiQuery) -> Result<QueryEvaluator<'a>, VectorError> {
+        self.engine().query(query, &self.weights)
     }
 }
 
@@ -246,47 +205,20 @@ mod tests {
     }
 
     #[test]
-    fn shared_engine_scores_like_owned() {
+    fn with_query_weights_rebinds_without_copying() {
         let set = set3();
-        let w = Weights::new(vec![0.8, 0.33]).unwrap();
-        let engine = set.fused().prescaled(&w).unwrap();
-        let owned = JointDistance::new(&set, w.clone()).unwrap();
-        let shared = JointDistance::with_engine(&set, w, &engine).unwrap();
-        for (a, b) in [(0u32, 1u32), (1, 2)] {
-            assert_eq!(owned.pair_ip(a, b), shared.pair_ip(a, b));
-        }
-    }
-
-    #[test]
-    fn with_engine_rejects_mismatched_shapes() {
-        let set = set3();
-        let w = Weights::uniform(2);
-        let engine = set.fused().prescaled(&w).unwrap();
-        // Cardinality mismatch: engine over a smaller set.
-        let mut small0 = VectorSetBuilder::new(4, 1);
-        small0.push_normalized(&[1.0, 0.0, 0.0, 0.0]).unwrap();
-        let mut small1 = VectorSetBuilder::new(3, 1);
-        small1.push_normalized(&[1.0, 0.0, 0.0]).unwrap();
-        let small = MultiVectorSet::new(vec![small0.finish(), small1.finish()]).unwrap();
+        let jd = JointDistance::new(&set, Weights::uniform(2)).unwrap();
+        let w = Weights::new(vec![0.9, 0.2]).unwrap();
+        let rebound = jd.with_query_weights(w.clone()).unwrap();
+        let ips: Vec<f32> = set.modality_ips(1, 2).collect();
+        let want = w.sq(0) * ips[0] + w.sq(1) * ips[1];
+        assert!((rebound.pair_ip(1, 2) - want).abs() < 1e-6);
+        // The rebind shares the same storage.
+        assert!(std::ptr::eq(jd.engine(), rebound.engine()));
+        // Arity mismatches are still rejected.
         assert!(matches!(
-            JointDistance::with_engine(&small, w.clone(), &engine),
-            Err(VectorError::CardinalityMismatch { .. })
-        ));
-        assert!(matches!(
-            JointDistance::with_engine(&set, Weights::uniform(3), &engine),
-            Err(VectorError::WeightArity { .. })
-        ));
-        // An engine with the wrong modality count names the engine, not
-        // the (correct) weights.
-        let mut solo = VectorSetBuilder::new(4, 3);
-        for _ in 0..3 {
-            solo.push_normalized(&[1.0, 0.0, 0.0, 0.0]).unwrap();
-        }
-        let one_modality = MultiVectorSet::new(vec![solo.finish()]).unwrap();
-        let narrow = one_modality.fused().prescaled(&Weights::uniform(1)).unwrap();
-        assert!(matches!(
-            JointDistance::with_engine(&set, w, &narrow),
-            Err(VectorError::EngineMismatch { modalities: 2, engine: 1 })
+            jd.with_query_weights(Weights::uniform(3)),
+            Err(VectorError::WeightArity { modalities: 2, weights: 3 })
         ));
     }
 

@@ -33,15 +33,16 @@ pub fn ip(a: &[f32], b: &[f32]) -> f32 {
     sum
 }
 
-/// Joint inner product over a fused, weight-prescaled row pair
-/// (the hot-path kernel of the [`crate::FusedRows`] engine).
+/// Joint inner product over a fused row pair (the hot-path kernel of the
+/// [`crate::FusedRows`] engine).
 ///
-/// Both slices are the concatenation of `m` per-modality segments with the
-/// modality weights already baked into the values (and zero padding between
-/// segments), so the Lemma-1 joint similarity
-/// `sum_k omega_k^2 * IP_k` collapses to **one** contiguous dot product —
-/// no per-modality dispatch, no per-candidate weight multiplies.  Compare
-/// with the per-modality loop in `benches/kernels.rs`.
+/// Both slices are the concatenation of `m` per-modality segments with
+/// zero padding between them; one side (in serving, the *query* row)
+/// carries the `omega_k^2` weight factors baked into its values, so the
+/// Lemma-1 joint similarity `sum_k omega_k^2 * IP_k` collapses to **one**
+/// contiguous dot product — no per-modality dispatch, no per-candidate
+/// weight multiplies.  Compare with the per-modality loop in
+/// `benches/kernels.rs`.
 #[inline]
 #[must_use]
 pub fn ip_prescaled_segments(row: &[f32], query: &[f32]) -> f32 {

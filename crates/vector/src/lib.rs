@@ -12,9 +12,11 @@
 //! * [`VectorSet`] — a contiguous, cache-friendly `n x d` matrix of `f32`
 //!   vectors with unit-norm enforcement (the per-modality build format).
 //! * [`FusedRows`] — the fused-row storage engine: all `m` modalities of
-//!   one object in a single contiguous, SIMD-padded, optionally
-//!   weight-prescaled row, so the Lemma-1 joint similarity is one dot
-//!   product and the Lemma-4 bound walks segments of the same row.
+//!   one object in a single contiguous, SIMD-padded, **unscaled** row.
+//!   Weights are a query-time parameter: the evaluator bakes `omega^2`
+//!   into the fused query row, so the Lemma-1 joint similarity is still
+//!   one dot product and the Lemma-4 bound walks raw segments of the same
+//!   stored row — and the same engine serves any weight configuration.
 //! * [`MultiVectorSet`] — the paper's multi-vector object representation
 //!   (Fig. 4(b)): a thin view over a raw [`FusedRows`] engine whose
 //!   [`ModalityView`]s keep the old per-modality API.
@@ -82,14 +84,6 @@ pub enum VectorError {
         /// Number of weights provided.
         weights: usize,
     },
-    /// A shared [`FusedRows`] engine does not cover the same modalities as
-    /// the corpus it was paired with.
-    EngineMismatch {
-        /// Number of modalities in the corpus.
-        modalities: usize,
-        /// Number of modalities in the engine.
-        engine: usize,
-    },
 }
 
 impl std::fmt::Display for VectorError {
@@ -105,10 +99,6 @@ impl std::fmt::Display for VectorError {
             Self::WeightArity { modalities, weights } => write!(
                 f,
                 "weight arity mismatch: {modalities} modalities but {weights} weights"
-            ),
-            Self::EngineMismatch { modalities, engine } => write!(
-                f,
-                "engine mismatch: corpus has {modalities} modalities but the fused engine has {engine}"
             ),
         }
     }

@@ -34,18 +34,12 @@ impl MultiVectorSet {
         Ok(Self { rows: FusedRows::from_sets(&modalities)? })
     }
 
-    /// Wraps an existing raw (unscaled) fused engine — the bundle-v3 load
-    /// path, which reads rows already in fused layout.
-    ///
-    /// # Panics
-    /// Panics when `rows` carries baked scales other than 1 (a prescaled
-    /// engine is a similarity structure, not a corpus).
+    /// Wraps an existing fused engine — the binary-bundle load path, which
+    /// reads rows already in fused layout.  Fused storage is always
+    /// unscaled (weights are a query-time parameter), so any engine is a
+    /// valid corpus.
     #[must_use]
     pub fn from_fused(rows: FusedRows) -> Self {
-        assert!(
-            rows.scales().iter().all(|&s| s == 1.0),
-            "corpus storage must be unscaled"
-        );
         Self { rows }
     }
 
@@ -114,8 +108,8 @@ impl MultiVectorSet {
 
     /// Joint similarity between objects `a` and `b` under `weights`
     /// (Lemma 1: the weighted sum of per-modality inner products).  This is
-    /// the reference per-modality path; hot paths go through a prescaled
-    /// [`FusedRows`] engine where the same quantity is one dot product.
+    /// the reference per-modality path; hot paths go through the shared
+    /// [`FusedRows`] engine with the weights applied query-side.
     ///
     /// # Errors
     /// [`VectorError::WeightArity`] when `weights` does not cover every
@@ -440,8 +434,9 @@ mod tests {
     #[test]
     fn bytes_accounts_padded_rows() {
         let set = two_modality_set();
-        // dims [4, 2] both pad to 8: stride 16, two objects.
-        assert_eq!(set.bytes(), 2 * 16 * 4);
+        // dims [4, 2] both pad to 8: stride 16, two objects — plus one
+        // stored segment norm per (object, modality).
+        assert_eq!(set.bytes(), (2 * 16 + 2 * 2) * 4);
     }
 
     #[test]

@@ -45,6 +45,67 @@ impl Weights {
         Self::new(vec![w; m]).expect("uniform weights are valid")
     }
 
+    /// Builds weights from a borrowed slice of raw `omega` values — the
+    /// ergonomic entry point for user-supplied weight overrides
+    /// (`search_weighted` callers usually hold a slice, not a `Vec`).
+    ///
+    /// # Errors
+    /// Returns [`VectorError::NotNormalisable`] if any weight is negative or
+    /// non-finite:
+    ///
+    /// ```
+    /// use must_vector::Weights;
+    ///
+    /// let w = Weights::try_from_slice(&[0.8, 0.6]).unwrap();
+    /// assert!((w.sq(0) - 0.64).abs() < 1e-6);
+    /// assert!(Weights::try_from_slice(&[0.5, -1.0]).is_err());
+    /// ```
+    pub fn try_from_slice(omega: &[f32]) -> Result<Self, crate::VectorError> {
+        Self::new(omega.to_vec())
+    }
+
+    /// Linear interpolation between two weight configurations in *squared*
+    /// space: `omega_i^2 = (1 - t) * a_i^2 + t * b_i^2`, with `t` clamped
+    /// to `[0, 1]`.  Interpolating the squared weights keeps the blend
+    /// linear in the joint similarity itself (Lemma 1 is linear in
+    /// `omega^2`), which makes smooth user-weight transitions — e.g. a
+    /// preference slider served via `search_weighted` — behave
+    /// predictably.
+    ///
+    /// # Errors
+    /// Returns [`VectorError::WeightArity`] when `a` and `b` cover a
+    /// different number of modalities:
+    ///
+    /// ```
+    /// use must_vector::Weights;
+    ///
+    /// let a = Weights::from_squared(vec![1.0, 0.0]).unwrap();
+    /// let b = Weights::from_squared(vec![0.0, 1.0]).unwrap();
+    /// let mid = Weights::blend(&a, &b, 0.5).unwrap();
+    /// assert!((mid.sq(0) - 0.5).abs() < 1e-6);
+    /// assert!((mid.sq(1) - 0.5).abs() < 1e-6);
+    /// // Endpoints reproduce the inputs; t is clamped.
+    /// assert_eq!(Weights::blend(&a, &b, -3.0).unwrap(), a);
+    /// assert_eq!(Weights::blend(&a, &b, 7.0).unwrap(), b);
+    /// assert!(Weights::blend(&a, &Weights::uniform(3), 0.5).is_err());
+    /// ```
+    pub fn blend(a: &Weights, b: &Weights, t: f32) -> Result<Self, crate::VectorError> {
+        if a.modalities() != b.modalities() {
+            return Err(crate::VectorError::WeightArity {
+                modalities: a.modalities(),
+                weights: b.modalities(),
+            });
+        }
+        let t = if t.is_finite() { t.clamp(0.0, 1.0) } else { 0.0 };
+        Self::from_squared(
+            a.omega_sq
+                .iter()
+                .zip(&b.omega_sq)
+                .map(|(x, y)| (1.0 - t) * x + t * y)
+                .collect(),
+        )
+    }
+
     /// Builds weights directly from *squared* values (the form the paper
     /// reports in Tabs. IX and XIII–XVIII).
     ///

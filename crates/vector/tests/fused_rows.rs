@@ -1,9 +1,9 @@
 //! Property-based equivalence suite for the fused-row storage engine:
 //! arbitrary corpora × weights × dimensionalities, asserting that the
-//! fused path (one prescaled contiguous row per object) agrees with the
-//! reference per-modality path everywhere the system relies on it —
-//! including the pruned-early cases, where the Lemma-4 bound must never
-//! under-prune.
+//! fused path (one unscaled contiguous row per object, weights baked into
+//! the query row) agrees with the reference per-modality path everywhere
+//! the system relies on it — including the pruned-early cases, where the
+//! Lemma-4 bound must never under-prune.
 
 use must_vector::{
     kernels, FusedRows, JointDistance, MultiQuery, MultiVectorSet, PartialIpVerdict,
@@ -174,19 +174,33 @@ proptest! {
         set in multi_set(4, &[5, 6]),
         w in weights(2),
     ) {
-        // The bundle-v3 path: raw buffer out, engine back, prescale —
-        // must be byte-identical to prescaling the original.
+        // The binary-bundle path: raw buffer out, engine back — must be
+        // byte-identical, norms included, whether the norms travel with
+        // the buffer (v5) or are re-derived from it (v3).
         let rows = set.fused();
         let back = FusedRows::from_raw_parts(
             rows.dims().to_vec(),
             rows.raw_data().to_vec(),
-            rows.scales().to_vec(),
         )
         .unwrap();
         prop_assert_eq!(rows, &back);
-        let a = rows.prescaled(&w).unwrap();
-        let b = back.prescaled(&w).unwrap();
-        prop_assert_eq!(a.raw_data(), b.raw_data());
+        let with_norms = FusedRows::from_raw_parts_with_norms(
+            rows.dims().to_vec(),
+            rows.raw_data().to_vec(),
+            rows.seg_norms().to_vec(),
+        )
+        .unwrap();
+        prop_assert_eq!(rows, &with_norms);
+        // Weighted similarities over the round-tripped engine are
+        // bit-identical to the original's.
+        for a in 0..4u32 {
+            for b in 0..4u32 {
+                prop_assert_eq!(
+                    rows.weighted_pair_ip(a, b, w.squared()),
+                    back.weighted_pair_ip(a, b, w.squared())
+                );
+            }
+        }
     }
 
     #[test]

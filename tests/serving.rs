@@ -1,7 +1,7 @@
 //! Online-serving integration tests: one frozen snapshot, many threads,
 //! results bit-identical to serial execution (the contract that makes the
 //! concurrent query engine trustworthy), plus the offline→online
-//! round-trip through bundle v2.
+//! round-trip through the current binary bundle.
 
 use std::sync::mpsc;
 
@@ -104,11 +104,11 @@ fn serve_loop_matches_serial_outcomes() {
     }
 }
 
-/// Offline build → bundle v2 on disk → `MustServer::load` → serving
+/// Offline build → binary bundle on disk → `MustServer::load` → serving
 /// results identical to the in-process freeze (the README quickstart
 /// deployment path).
 #[test]
-fn bundle_v2_load_serves_identically() {
+fn bundle_load_serves_identically() {
     let (must, queries) = built_fixture();
     let dir = std::env::temp_dir().join("must-serving-test");
     std::fs::create_dir_all(&dir).unwrap();

@@ -101,6 +101,82 @@ fn sharded_serving_is_thread_count_invariant() {
     }
 }
 
+/// Query-time weight overrides through the scatter-gather stack: for
+/// S ∈ {2, 4}, `search_weighted(q, w)` on a sharded server frozen with
+/// default weights must equal — bit for bit — a sharded server whose
+/// shards were re-frozen with `w` over the *same* per-shard indexes.
+/// The scatter threads the same override to every shard and the gather
+/// merges candidates scored under that same override, so the DESIGN §7
+/// ordering argument (sim desc, global id asc — a total order) holds
+/// unchanged.
+#[test]
+fn sharded_weight_overrides_match_refrozen_shards() {
+    let (objects, default_w, queries) = fixture();
+    let override_w = Weights::from_squared(vec![0.15, 0.85]).unwrap();
+    let (k, l) = (10, 60);
+
+    for shards in [2usize, 4] {
+        let built = ShardedMust::build(
+            objects.clone(),
+            default_w.clone(),
+            build_opts(),
+            ShardSpec::new(shards),
+        )
+        .unwrap();
+        // Re-wrap every shard's prebuilt index under the override weights
+        // — the offline redeploy the serving feature replaces.
+        let refrozen_shards: Vec<Must> = (0..shards)
+            .map(|s| {
+                let shard = built.shard(s);
+                Must::from_parts(
+                    shard.objects().clone(),
+                    override_w.clone(),
+                    shard.index().clone(),
+                    build_opts(),
+                )
+                .unwrap()
+            })
+            .collect();
+        let id_maps: Vec<Vec<u32>> = (0..shards).map(|s| built.global_ids(s).to_vec()).collect();
+        let refrozen = ShardedServer::freeze(
+            ShardedMust::from_parts(refrozen_shards, id_maps, built.assignment()).unwrap(),
+        );
+        let server = ShardedServer::freeze(built);
+
+        let mut worker = server.worker();
+        for (qi, q) in queries.iter().take(24).enumerate() {
+            let got = server.search_weighted(q, &override_w, k, l).unwrap();
+            let want = refrozen.search(q, k, l).unwrap();
+            assert_eq!(
+                got.results, want.results,
+                "S={shards} query {qi}: override must equal re-frozen shards"
+            );
+            assert_eq!(got.stats, want.stats, "S={shards} query {qi}");
+            // Sequential worker path and scattered path agree under
+            // overrides too.
+            let seq = worker.search_weighted(q, &override_w, k, l).unwrap();
+            assert_eq!(seq.results, got.results, "S={shards} query {qi}: worker");
+            // Gather ordering: total order (sim desc, global id asc).
+            for pair in got.results.windows(2) {
+                assert!(
+                    pair[0].1 > pair[1].1 || (pair[0].1 == pair[1].1 && pair[0].0 < pair[1].0),
+                    "S={shards} query {qi}: gather order violated"
+                );
+            }
+        }
+
+        // Batch override path is thread-count invariant.
+        let serial = server.search_batch_weighted(&queries[..16], &override_w, k, l, 1);
+        for threads in [2, 8] {
+            let batch = server.search_batch_weighted(&queries[..16], &override_w, k, l, threads);
+            for (qi, (a, b)) in batch.iter().zip(&serial).enumerate() {
+                let (a, b) = (a.as_ref().unwrap(), b.as_ref().unwrap());
+                assert_eq!(a.results, b.results, "S={shards} threads={threads} query {qi}");
+            }
+        }
+    }
+}
+
 /// Offline sharded build → bundle v4 on disk → `ShardedServer::load` →
 /// results identical to the in-process freeze, with the id maps intact.
 #[test]
