@@ -1,9 +1,18 @@
 //! Schema + drift check for the serving-bench artefact: verifies that a
 //! freshly generated `BENCH_serving.json` carries every key the perf
-//! trajectory depends on (including the weight-churn entries) and that
-//! its recall figures sit within ±0.01 of a committed reference artefact
-//! — so layout or seam changes cannot silently reshape or degrade the
-//! artefact CI publishes.
+//! trajectory depends on (including the weight-churn and open-loop
+//! entries), that its recall figures sit within ±0.01 of a committed
+//! reference artefact, and that **thread scaling holds**: with two
+//! workers the server must clear 1.15× the single-worker QPS and keep
+//! p99 within 3× — so a regression back toward a shared-dequeue hot path
+//! cannot land silently.
+//!
+//! Both scaling gates are guarded twice, mirroring the recall-drift
+//! guard: they only arm when (a) the fresh artefact's corpus matches the
+//! committed reference (a CI smoke run at a different `MUST_SCALE` is
+//! not a performance measurement) and (b) the fresh artefact reports
+//! `host_threads >= 2` — on a single hardware thread, `threads=2`
+//! measures preemption, not parallelism, and no runtime can beat physics.
 //!
 //! Usage: `check_serving_schema <fresh.json> [committed.json]`
 //! (the committed path is optional: without it only the schema is
@@ -12,7 +21,15 @@
 use serde::Value;
 
 /// Required numeric keys per `entries[]` element.
-const ENTRY_KEYS: &[&str] = &["threads", "batch", "qps", "p50_ms", "p99_ms", "recall_at_10"];
+const ENTRY_KEYS: &[&str] = &[
+    "threads",
+    "batch",
+    "qps",
+    "p50_ms",
+    "p99_ms",
+    "recall_at_10",
+    "scaling_efficiency",
+];
 /// Required numeric keys per `shard_entries[]` element.
 const SHARD_KEYS: &[&str] =
     &["shards", "threads", "batch", "build_secs", "qps", "p50_ms", "p99_ms", "recall_at_10"];
@@ -29,8 +46,18 @@ const CHURN_KEYS: &[&str] = &[
     "recall_at_10_rebuild",
 ];
 
+/// Required numeric keys per `open_loop[]` element.
+const OPEN_LOOP_KEYS: &[&str] =
+    &["workers", "target_qps", "offered", "achieved_qps", "p50_ms", "p99_ms"];
+
 /// How far a fresh recall figure may drift from the committed artefact's.
 const RECALL_TOLERANCE: f64 = 0.01;
+
+/// Scaling gate: two workers must clear this multiple of one worker's QPS.
+const MIN_T2_SPEEDUP: f64 = 1.15;
+
+/// Scaling gate: two workers may inflate p99 by at most this factor.
+const MAX_T2_P99_BLOWUP: f64 = 3.0;
 
 fn num(v: &Value, key: &str, ctx: &str, errors: &mut Vec<String>) -> Option<f64> {
     match v.get_field(key).and_then(Value::as_num) {
@@ -110,6 +137,49 @@ fn compare_recall(
     }
 }
 
+/// The thread-scaling gates over the fresh `entries[]`: for every batch
+/// size measured at both `threads=1` and `threads=2`, two workers must
+/// reach `MIN_T2_SPEEDUP` × the one-worker QPS and stay within
+/// `MAX_T2_P99_BLOWUP` × its p99.  The caller applies the corpus-match
+/// and `host_threads` guards.
+fn check_scaling(entries: &[Value], errors: &mut Vec<String>) {
+    let point = |threads: f64, batch: f64| {
+        entries.iter().find(|e| {
+            let get = |k: &str| e.get_field(k).and_then(Value::as_num).unwrap_or(-1.0);
+            (get("threads") - threads).abs() < 0.5 && (get("batch") - batch).abs() < 0.5
+        })
+    };
+    let batches: Vec<f64> = entries
+        .iter()
+        .filter_map(|e| e.get_field("batch").and_then(Value::as_num))
+        .collect();
+    let mut checked = false;
+    for &batch in &batches {
+        let (Some(t1), Some(t2)) = (point(1.0, batch), point(2.0, batch)) else { continue };
+        let get = |e: &Value, k: &str| e.get_field(k).and_then(Value::as_num);
+        if let (Some(q1), Some(q2)) = (get(t1, "qps"), get(t2, "qps")) {
+            checked = true;
+            if q2 < MIN_T2_SPEEDUP * q1 {
+                errors.push(format!(
+                    "entries[b{batch}]: threads=2 qps {q2:.0} < {MIN_T2_SPEEDUP}x threads=1 qps \
+                     {q1:.0} — thread scaling regressed (shared hot-path contention?)"
+                ));
+            }
+        }
+        if let (Some(p1), Some(p2)) = (get(t1, "p99_ms"), get(t2, "p99_ms")) {
+            if p2 > MAX_T2_P99_BLOWUP * p1 {
+                errors.push(format!(
+                    "entries[b{batch}]: threads=2 p99 {p2:.3}ms > {MAX_T2_P99_BLOWUP}x threads=1 \
+                     p99 {p1:.3}ms — tail latency regressed under concurrency"
+                ));
+            }
+        }
+    }
+    if !checked {
+        errors.push("scaling gate: no batch size has both threads=1 and threads=2 entries".into());
+    }
+}
+
 fn main() {
     let mut args = std::env::args().skip(1);
     let fresh_path = args.next().unwrap_or_else(|| "BENCH_serving.json".into());
@@ -122,12 +192,19 @@ fn main() {
             errors.push(format!("artefact: missing key `{key}`"));
         }
     }
-    for key in ["n_objects", "n_queries", "k", "l"] {
+    for key in ["n_objects", "n_queries", "k", "l", "host_threads"] {
         num(&fresh, key, "artefact", &mut errors);
     }
     let entries = check_array(&fresh, "entries", ENTRY_KEYS, &mut errors);
     let shard_entries = check_array(&fresh, "shard_entries", SHARD_KEYS, &mut errors);
     let churn = check_array(&fresh, "weight_churn", CHURN_KEYS, &mut errors);
+    let open_loop = check_array(&fresh, "open_loop", OPEN_LOOP_KEYS, &mut errors);
+    if open_loop.len() < 3 {
+        errors.push(format!(
+            "artefact: `open_loop` has {} entries, needs >= 3 arrival rates",
+            open_loop.len()
+        ));
+    }
 
     // The headline claim of the weight-churn sweep must hold in the
     // artefact itself: the per-query-weight path sustains >= 0.9x the
@@ -163,6 +240,20 @@ fn main() {
             if let Some(c) = get("weight_churn") {
                 compare_recall("weight_churn", "recall_at_10_churn", &churn, &c, &mut errors);
             }
+            // Thread-scaling gates: a full-scale run on a multi-core host
+            // must demonstrate real scaling.  `host_threads` is the fresh
+            // run's own parallelism — a 1-thread host cannot exhibit
+            // parallel speedup, so the gate stays disarmed there.
+            let host_threads =
+                fresh.get_field("host_threads").and_then(Value::as_num).unwrap_or(0.0);
+            if host_threads >= 2.0 {
+                check_scaling(&entries, &mut errors);
+            } else {
+                println!(
+                    "note: host_threads={host_threads} < 2; thread-scaling gates not \
+                     applicable on this host"
+                );
+            }
         } else {
             // A smoke run at a different MUST_SCALE serves a different
             // corpus; its recall is not comparable to the committed
@@ -178,10 +269,12 @@ fn main() {
 
     if errors.is_empty() {
         println!(
-            "{fresh_path}: schema ok ({} entries, {} shard entries, {} churn entries)",
+            "{fresh_path}: schema ok ({} entries, {} shard entries, {} churn entries, \
+             {} open-loop entries)",
             entries.len(),
             shard_entries.len(),
-            churn.len()
+            churn.len(),
+            open_loop.len()
         );
     } else {
         for e in &errors {

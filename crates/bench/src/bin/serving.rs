@@ -1,26 +1,35 @@
-//! Online-serving throughput bench: sweeps worker-thread counts and
-//! arrival-batch sizes over a MIT-States-style corpus served by
-//! [`must_core::MustServer`], reporting QPS, p50/p99 per-query latency,
+//! Online-serving throughput bench: sweeps worker-thread counts (up to
+//! the host's available parallelism) and arrival-batch sizes over a
+//! MIT-States-style corpus served by [`must_core::MustServer`], reporting
+//! QPS, p50/p99 per-query latency, per-thread-count scaling efficiency,
 //! and Recall@10 against the exact joint-similarity oracle — plus a
 //! **shard sweep** (S ∈ {1, 2, 4, 8}) through
-//! [`must_core::shard::ShardedServer`]'s scatter-gather path and a
+//! [`must_core::shard::ShardedServer`]'s scatter-gather path, a
 //! **weight-churn sweep**: the query stream switches its user weight
 //! vector every Q queries, comparing the `search_batch_weighted`
 //! query-time-weighting path against the rebuild-per-switch baseline the
-//! prescaled storage used to require.
+//! prescaled storage used to require, and an **open-loop sweep** driving
+//! the [`must_core::runtime::ServeRuntime`] at fixed arrival rates on a
+//! virtual-time schedule, with latency measured enqueue→reply so
+//! queueing delay is honest (no coordinated omission).
 //!
 //! Writes `BENCH_serving.json` at the repository root (override with
 //! `MUST_BENCH_PATH`) plus a copy under `EXPERIMENTS-out/`, so the bench
 //! trajectory tracks serving performance across PRs.  Scale with
-//! `MUST_SCALE` as usual (CI runs a tiny smoke configuration).
+//! `MUST_SCALE` as usual (CI runs a tiny smoke configuration).  The
+//! artefact records `host_threads` (the machine's available parallelism
+//! at bench time): thread-scaling figures from a single-hardware-thread
+//! host measure scheduler overhead, not parallel speedup, and the schema
+//! checker's scaling gates key off this field.
 
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use must_bench::efficiency::prepare;
 use must_bench::report::f4;
 use must_core::metrics::recall_at;
+use must_core::runtime::ServeRuntime;
 use must_core::search::{exact_ground_truth, SearchOutcome};
-use must_core::server::MustServer;
+use must_core::server::{MustServer, ServeRequest};
 use must_core::shard::{ShardSpec, ShardedMust, ShardedServer};
 use must_core::{Must, MustBuildOptions, MustError};
 use must_vector::{MultiQuery, MultiVectorSet, ObjectId, Weights};
@@ -35,6 +44,9 @@ struct Entry {
     p50_ms: f64,
     p99_ms: f64,
     recall_at_10: f64,
+    /// `QPS_t / (t · QPS_1)` at the same batch size: 1.0 is perfect
+    /// scaling, `1/t` is no scaling (the single-core ceiling).
+    scaling_efficiency: f64,
 }
 
 /// One point of the shard sweep (fixed threads × batch, varying S).
@@ -71,6 +83,26 @@ struct ChurnEntry {
     recall_at_10_rebuild: f64,
 }
 
+/// One open-loop operating point: requests arrive on a fixed-rate
+/// virtual-time schedule and latency is measured from the *scheduled*
+/// arrival to the reply, so time spent queueing behind a busy worker
+/// counts against the system (the closed-loop sweep above can never see
+/// that delay — it only issues the next batch once the previous one
+/// finished).
+#[derive(Debug, Clone, Serialize)]
+struct OpenLoopEntry {
+    workers: usize,
+    /// Offered arrival rate (requests/second) of the virtual schedule.
+    target_qps: f64,
+    /// Requests offered (the full query workload).
+    offered: usize,
+    /// Completions divided by the wall clock from first scheduled
+    /// arrival to last reply.
+    achieved_qps: f64,
+    p50_ms: f64,
+    p99_ms: f64,
+}
+
 /// The whole artefact.
 #[derive(Debug, Clone, Serialize)]
 struct ServingBench {
@@ -81,9 +113,15 @@ struct ServingBench {
     n_queries: usize,
     k: usize,
     l: usize,
+    /// `std::thread::available_parallelism()` on the benching host; the
+    /// scaling gates in `check_serving_schema` only arm when this is ≥ 2
+    /// (on one hardware thread, `threads=2` measures preemption, not
+    /// parallelism).
+    host_threads: usize,
     entries: Vec<Entry>,
     shard_entries: Vec<ShardEntry>,
     weight_churn: Vec<ChurnEntry>,
+    open_loop: Vec<OpenLoopEntry>,
 }
 
 fn percentile_ms(sorted_secs: &[f64], p: f64) -> f64 {
@@ -95,7 +133,11 @@ fn percentile_ms(sorted_secs: &[f64], p: f64) -> f64 {
 }
 
 /// Drives one operating point through any batch-search entry point and
-/// reduces it to throughput, latency percentiles, and recall.
+/// reduces it to throughput, latency percentiles, and recall.  Only the
+/// searches sit inside the timed region (recall scoring runs after the
+/// clock stops), and the whole point takes the best of two passes so a
+/// transient load spike on a shared host cannot skew one thread count
+/// against another.
 fn measure(
     search_batch: impl Fn(&[MultiQuery]) -> Vec<Result<SearchOutcome, MustError>>,
     queries: &[MultiQuery],
@@ -103,21 +145,33 @@ fn measure(
     k: usize,
     batch: usize,
 ) -> (f64, f64, f64, f64) {
-    let mut latencies: Vec<f64> = Vec::with_capacity(queries.len());
-    let mut recall_sum = 0.0;
-    let t0 = Instant::now();
-    for (qs, gts) in queries.chunks(batch).zip(ground_truth.chunks(batch)) {
-        for (out, gt) in search_batch(qs).into_iter().zip(gts) {
-            let out = out.expect("workload queries are well-formed");
-            latencies.push(out.secs);
-            let ids: Vec<ObjectId> = out.results.iter().map(|r| r.0).collect();
-            recall_sum += recall_at(&ids, gt, k);
+    let mut best_qps = 0.0f64;
+    let mut best: Option<Vec<SearchOutcome>> = None;
+    for _pass in 0..2 {
+        let mut outcomes: Vec<SearchOutcome> = Vec::with_capacity(queries.len());
+        let t0 = Instant::now();
+        for qs in queries.chunks(batch) {
+            for out in search_batch(qs) {
+                outcomes.push(out.expect("workload queries are well-formed"));
+            }
+        }
+        let qps = queries.len() as f64 / t0.elapsed().as_secs_f64();
+        if qps > best_qps {
+            best_qps = qps;
+            best = Some(outcomes);
         }
     }
-    let wall = t0.elapsed().as_secs_f64();
+    let outcomes = best.expect("at least one pass ran");
+    let mut recall_sum = 0.0;
+    let mut latencies: Vec<f64> = Vec::with_capacity(queries.len());
+    for (out, gt) in outcomes.iter().zip(ground_truth) {
+        latencies.push(out.secs);
+        let ids: Vec<ObjectId> = out.results.iter().map(|r| r.0).collect();
+        recall_sum += recall_at(&ids, gt, k);
+    }
     latencies.sort_unstable_by(f64::total_cmp);
     (
-        queries.len() as f64 / wall,
+        best_qps,
         percentile_ms(&latencies, 50.0),
         percentile_ms(&latencies, 99.0),
         recall_sum / queries.len() as f64,
@@ -140,7 +194,68 @@ fn run_point(
         k,
         batch,
     );
-    Entry { threads, batch, qps, p50_ms, p99_ms, recall_at_10 }
+    Entry { threads, batch, qps, p50_ms, p99_ms, recall_at_10, scaling_efficiency: 1.0 }
+}
+
+/// One open-loop point: a producer thread walks a fixed-rate virtual-time
+/// schedule (request `i` is *due* at `i / rate`), submitting into the
+/// runtime's lanes; a collector thread stamps each reply against the
+/// request's scheduled arrival.  A late submission therefore charges its
+/// own lateness to the measurement — the open-loop (coordinated-omission
+/// -free) latency discipline.
+fn open_loop_point(
+    server: &MustServer,
+    queries: &[MultiQuery],
+    k: usize,
+    l: usize,
+    workers: usize,
+    rate: f64,
+) -> OpenLoopEntry {
+    let n = queries.len();
+    let interval = 1.0 / rate;
+    let (rep_tx, rep_rx) = std::sync::mpsc::channel();
+    let runtime = ServeRuntime::start(server, workers, rep_tx);
+    let t0 = Instant::now();
+    let collector = std::thread::spawn(move || {
+        let mut lat = vec![0.0f64; n];
+        let mut replies = 0usize;
+        // The channel closes once the runtime's workers exit (after
+        // `shutdown` drains the lanes), ending this loop.
+        for rep in rep_rx {
+            let now = t0.elapsed().as_secs_f64();
+            rep.outcome.expect("workload queries are well-formed");
+            lat[rep.id as usize] = now - interval * rep.id as f64;
+            replies += 1;
+        }
+        (lat, replies)
+    });
+    for (i, q) in queries.iter().enumerate() {
+        let due = interval * i as f64;
+        loop {
+            let now = t0.elapsed().as_secs_f64();
+            if now >= due {
+                break;
+            }
+            // Coarse sleep toward the deadline; the cap keeps wake-up
+            // jitter well under the measured latencies.
+            std::thread::sleep(Duration::from_secs_f64((due - now).min(2e-4)));
+        }
+        runtime.submit(ServeRequest { id: i as u64, query: q.clone(), k, l });
+    }
+    let served = runtime.shutdown();
+    let wall = t0.elapsed().as_secs_f64();
+    let (mut lat, replies) = collector.join().expect("collector thread panicked");
+    assert_eq!(served, n, "open loop must drain every request");
+    assert_eq!(replies, n, "every request gets exactly one reply");
+    lat.sort_unstable_by(f64::total_cmp);
+    OpenLoopEntry {
+        workers,
+        target_qps: rate,
+        offered: n,
+        achieved_qps: n as f64 / wall,
+        p50_ms: percentile_ms(&lat, 50.0),
+        p99_ms: percentile_ms(&lat, 99.0),
+    }
 }
 
 /// Runs the weight-churn sweep: for each switch interval, measure the
@@ -290,10 +405,15 @@ fn main() {
     );
 
     let avail = std::thread::available_parallelism().map_or(1, usize::from);
-    let mut thread_counts: Vec<usize> = [1usize, 2, 4, 8]
+    // Sweep the powers of two up to the host's available parallelism —
+    // plus the parallelism itself when it is not a power of two — and
+    // always include threads=2, so the committed trajectory records
+    // whether adding a second worker pays off even on small hosts.
+    let mut thread_counts: Vec<usize> = [1usize, 2, 4, 8, 16, avail]
         .into_iter()
         .filter(|&t| t == 1 || t <= avail.max(2))
         .collect();
+    thread_counts.sort_unstable();
     thread_counts.dedup();
     let batches = [16usize, 64];
 
@@ -301,15 +421,29 @@ fn main() {
     for &threads in &thread_counts {
         for &batch in &batches {
             let e = run_point(&server, &queries, &ground_truth, k, l, threads, batch);
-            eprintln!(
-                "[serving] threads={threads:<2} batch={batch:<3} qps={:<10} p50={}ms p99={}ms recall@10={}",
-                f4(e.qps),
-                f4(e.p50_ms),
-                f4(e.p99_ms),
-                f4(e.recall_at_10)
-            );
             entries.push(e);
         }
+    }
+    // Scaling efficiency: QPS_t / (t · QPS_1) at the same batch size.
+    let base: Vec<(usize, f64)> = entries
+        .iter()
+        .filter(|e| e.threads == 1)
+        .map(|e| (e.batch, e.qps))
+        .collect();
+    for e in &mut entries {
+        if let Some(&(_, q1)) = base.iter().find(|(b, _)| *b == e.batch) {
+            e.scaling_efficiency = e.qps / (e.threads as f64 * q1);
+        }
+        eprintln!(
+            "[serving] threads={:<2} batch={:<3} qps={:<10} p50={}ms p99={}ms recall@10={} scale-eff={:.2}",
+            e.threads,
+            e.batch,
+            f4(e.qps),
+            f4(e.p50_ms),
+            f4(e.p99_ms),
+            f4(e.recall_at_10),
+            e.scaling_efficiency
+        );
     }
 
     // ---- Shard sweep: S ∈ {1, 2, 4, 8} at a fixed operating point. ----
@@ -367,6 +501,33 @@ fn main() {
     // requires.
     let weight_churn = churn_sweep(&server, &corpus, &weights, &queries, k, l, shard_threads);
 
+    // ---- Open loop: fixed arrival rates through the serve runtime. ----
+    // Rates are anchored to the measured single-thread closed-loop
+    // throughput: well under capacity, near half, and near saturation.
+    // Queueing delay shows up here (latency runs enqueue→reply against
+    // the virtual schedule) where the closed-loop sweep structurally
+    // cannot see it.
+    let serial_qps = entries
+        .iter()
+        .filter(|e| e.threads == 1)
+        .map(|e| e.qps)
+        .fold(0.0f64, f64::max)
+        .max(1.0);
+    let open_workers = shard_threads;
+    let mut open_loop = Vec::new();
+    for frac in [0.3, 0.6, 0.9] {
+        let e = open_loop_point(&server, &queries, k, l, open_workers, frac * serial_qps);
+        eprintln!(
+            "[serving] open-loop workers={} target={} qps achieved={} qps p50={}ms p99={}ms",
+            e.workers,
+            f4(e.target_qps),
+            f4(e.achieved_qps),
+            f4(e.p50_ms),
+            f4(e.p99_ms)
+        );
+        open_loop.push(e);
+    }
+
     let artefact = ServingBench {
         bench: "serving".into(),
         dataset: ds.name.clone(),
@@ -375,9 +536,11 @@ fn main() {
         n_queries: queries.len(),
         k,
         l,
+        host_threads: avail,
         entries,
         shard_entries,
         weight_churn,
+        open_loop,
     };
     let json = serde_json::to_string_pretty(&artefact).expect("serialisable artefact");
     let path = std::env::var("MUST_BENCH_PATH").unwrap_or_else(|_| "BENCH_serving.json".into());

@@ -35,6 +35,10 @@
 //!   `S` shards in parallel, [`ShardedServer`] fans each query out and
 //!   merges the per-shard top-`k` by exact joint similarity; bundle v4
 //!   persists the whole deployment in one file.
+//! * [`runtime`] — the contention-free serve loop behind both servers'
+//!   `serve` entry points: per-worker request lanes, work stealing from
+//!   the longest lane, and batch affinity, with drain-on-shutdown
+//!   delivery guarantees.
 //!
 //! See `docs/ARCHITECTURE.md` at the repository root for the crate DAG
 //! and a one-paragraph tour of every crate.
@@ -71,6 +75,7 @@ pub mod index;
 pub mod metrics;
 pub mod oracle;
 pub mod persist;
+pub mod runtime;
 pub mod search;
 pub mod server;
 pub mod shard;
@@ -79,6 +84,7 @@ pub mod weights;
 pub use framework::{Must, MustBuildOptions};
 pub use metrics::{recall_at, sme};
 pub use oracle::{JointOracle, MustQueryScorer};
+pub use runtime::{RuntimeCounters, ServeRuntime};
 pub use server::{MustServer, ServeReply, ServeRequest};
 pub use shard::{ShardAssignment, ShardRouter, ShardSpec, ShardedMust, ShardedServer};
 pub use weights::{LearnedWeights, TrainingCurve, WeightLearnConfig, WeightLearner};

@@ -1,0 +1,575 @@
+//! The contention-free serving runtime: per-worker request lanes, work
+//! stealing, and batch affinity.
+//!
+//! [`MustServer::serve`]'s original loop funnelled every request through
+//! one shared `std::sync::mpsc` receiver behind a mutex, so every dequeue
+//! contended on the same lock and cache line no matter how many workers
+//! served — the committed bench showed 2 threads *losing* to 1.  This
+//! module replaces that hot path:
+//!
+//! * **Per-worker lanes.**  Each worker owns a bounded-contention lane
+//!   (`Mutex<VecDeque>` touched by one producer round-robin step and one
+//!   consumer in the common case).  Submission round-robins across lanes,
+//!   so producers and workers almost never collide on a lock.
+//! * **Work stealing.**  A worker whose own lane runs dry steals the
+//!   oldest job from the currently **longest** lane (lane depths are
+//!   advertised in atomics, so victim selection never takes a lock).
+//!   Tail latency stops depending on which lane a burst happened to land
+//!   in.
+//! * **Batch affinity.**  A [`ServeRuntime::submit_batch`] call lands on
+//!   one lane as a single job unit: its queries run back-to-back on one
+//!   worker's warm scratch instead of interleaving with unrelated
+//!   requests — and a steal moves the *whole* unit, never a slice of it.
+//! * **Drain-on-shutdown.**  [`ServeRuntime::shutdown`] wakes every
+//!   worker and joins them only after all lanes are empty: every
+//!   submitted request gets exactly one reply, pinned by the stress test
+//!   in `tests/serving.rs`.
+//!
+//! ## Why bit-identity survives work stealing
+//!
+//! A served query's result is a pure function of `(snapshot, query,
+//! weights, k, l)` — the per-query RNG seed is a serving constant and the
+//! scratch state is reset per search ([`crate::server`]'s contract).
+//! Stealing only changes *which* worker runs a query, never the work the
+//! query performs, so replies are bit-identical to serial execution in
+//! any interleaving.  The same argument covers the sharded engine: a
+//! [`ShardedWorker`] searches its shards in a fixed order whichever
+//! runtime worker drives it.
+//!
+//! The runtime is generic over a [`ServeEngine`] — both [`MustServer`]
+//! and [`ShardedServer`] implement it, so single-shard and scatter-gather
+//! deployments share one serve loop.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::mpsc::Sender;
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use must_vector::{MultiQuery, Weights};
+
+use crate::search::SearchOutcome;
+use crate::server::{MustServer, ServeReply, ServeRequest, ServerWorker};
+use crate::shard::{ShardedServer, ShardedWorker};
+use crate::MustError;
+
+/// A serving snapshot the runtime can drive: cheaply cloneable (the clone
+/// is an `Arc` bump), shareable across threads, and able to mint a
+/// reusable per-thread worker.
+pub trait ServeEngine: Clone + Send + 'static {
+    /// The per-thread search state (scratch buffers survive across
+    /// queries; the snapshot itself is shared, never copied).
+    type Worker<'a>: EngineWorker
+    where
+        Self: 'a;
+
+    /// Mints a worker bound to this snapshot.
+    fn serve_worker(&self) -> Self::Worker<'_>;
+}
+
+/// The one operation the runtime needs from an engine's worker: answer a
+/// query under the snapshot's default weights or a per-request override.
+pub trait EngineWorker {
+    /// Runs one query; `weights: None` means the snapshot's defaults.
+    ///
+    /// # Errors
+    /// Propagates per-query validation errors (arity/dimension
+    /// mismatches); the runtime forwards them in the reply rather than
+    /// tearing anything down.
+    fn run_query(
+        &mut self,
+        query: &MultiQuery,
+        weights: Option<&Weights>,
+        k: usize,
+        l: usize,
+    ) -> Result<SearchOutcome, MustError>;
+}
+
+impl EngineWorker for ServerWorker<'_> {
+    fn run_query(
+        &mut self,
+        query: &MultiQuery,
+        weights: Option<&Weights>,
+        k: usize,
+        l: usize,
+    ) -> Result<SearchOutcome, MustError> {
+        match weights {
+            Some(w) => self.search_weighted(query, w, k, l),
+            None => self.search(query, k, l),
+        }
+    }
+}
+
+impl ServeEngine for MustServer {
+    type Worker<'a> = ServerWorker<'a>;
+
+    fn serve_worker(&self) -> Self::Worker<'_> {
+        self.worker()
+    }
+}
+
+impl EngineWorker for ShardedWorker<'_> {
+    fn run_query(
+        &mut self,
+        query: &MultiQuery,
+        weights: Option<&Weights>,
+        k: usize,
+        l: usize,
+    ) -> Result<SearchOutcome, MustError> {
+        match weights {
+            Some(w) => self.search_weighted(query, w, k, l),
+            None => self.search(query, k, l),
+        }
+    }
+}
+
+impl ServeEngine for ShardedServer {
+    type Worker<'a> = ShardedWorker<'a>;
+
+    fn serve_worker(&self) -> Self::Worker<'_> {
+        self.worker()
+    }
+}
+
+/// One queued query: the request plus an optional weight override.
+struct Unit {
+    id: u64,
+    query: MultiQuery,
+    weights: Option<Weights>,
+    k: usize,
+    l: usize,
+}
+
+impl Unit {
+    fn from_request(req: ServeRequest, weights: Option<Weights>) -> Self {
+        Self { id: req.id, query: req.query, weights, k: req.k, l: req.l }
+    }
+}
+
+/// One lane entry: a single query or a whole batch (the affinity unit —
+/// it is queued, stolen, and executed as one piece).
+enum Job {
+    Single(Unit),
+    Batch(Vec<Unit>),
+}
+
+impl Job {
+    fn units(&self) -> usize {
+        match self {
+            Self::Single(_) => 1,
+            Self::Batch(b) => b.len(),
+        }
+    }
+}
+
+/// One worker's lane plus its lightweight counters.  `depth` mirrors the
+/// queued unit count so victim selection and [`ServeRuntime::lane_depths`]
+/// never touch the queue lock.
+struct Lane {
+    queue: Mutex<VecDeque<Job>>,
+    depth: AtomicUsize,
+    executed: AtomicU64,
+    stolen: AtomicU64,
+}
+
+impl Lane {
+    fn new() -> Self {
+        Self {
+            queue: Mutex::new(VecDeque::new()),
+            depth: AtomicUsize::new(0),
+            executed: AtomicU64::new(0),
+            stolen: AtomicU64::new(0),
+        }
+    }
+
+    fn push(&self, job: Job) {
+        let units = job.units();
+        let mut q = self.queue.lock().expect("lane poisoned");
+        q.push_back(job);
+        // Under the lock, so depth never over-reports against the queue.
+        self.depth.fetch_add(units, Ordering::Release);
+    }
+
+    fn pop(&self) -> Option<Job> {
+        let mut q = self.queue.lock().expect("lane poisoned");
+        let job = q.pop_front()?;
+        self.depth.fetch_sub(job.units(), Ordering::Release);
+        Some(job)
+    }
+}
+
+struct Shared {
+    lanes: Vec<Lane>,
+    shutdown: AtomicBool,
+    /// Workers currently parked; producers skip the wake lock entirely
+    /// while this is zero (the loaded steady state).
+    sleepers: AtomicUsize,
+    wake_lock: Mutex<()>,
+    wake: Condvar,
+}
+
+impl Shared {
+    /// Wakes parked workers after a push; free when nobody sleeps.
+    fn notify(&self) {
+        if self.sleepers.load(Ordering::Acquire) > 0 {
+            let _guard = self.wake_lock.lock().expect("wake lock poisoned");
+            self.wake.notify_all();
+        }
+    }
+
+    /// Picks the deepest lane other than `me` (ties toward the lowest
+    /// index) without taking any lock; `None` when all are empty.
+    fn longest_other_lane(&self, me: usize) -> Option<usize> {
+        let mut best = None;
+        let mut best_depth = 0;
+        for (i, lane) in self.lanes.iter().enumerate() {
+            if i == me {
+                continue;
+            }
+            let d = lane.depth.load(Ordering::Acquire);
+            if d > best_depth {
+                best_depth = d;
+                best = Some(i);
+            }
+        }
+        best
+    }
+
+    /// Dequeues the next job for worker `me`: own lane first, then steal
+    /// from the longest other lane.  Returns `None` only after shutdown
+    /// once every lane is drained.
+    fn next_job(&self, me: usize) -> Option<Job> {
+        loop {
+            if let Some(job) = self.lanes[me].pop() {
+                return Some(job);
+            }
+            if let Some(victim) = self.longest_other_lane(me) {
+                if let Some(job) = self.lanes[victim].pop() {
+                    self.lanes[me].stolen.fetch_add(job.units() as u64, Ordering::Relaxed);
+                    return Some(job);
+                }
+                // Someone else drained the victim first; rescan.
+                continue;
+            }
+            if self.shutdown.load(Ordering::Acquire) {
+                // The flag is set before the final wake-up, so one last
+                // scan (above) has already covered anything submitted
+                // before shutdown.  All lanes empty: done.
+                return None;
+            }
+            // Park until a producer pushes or shutdown begins.  The
+            // timeout makes a lost wake-up a latency blip, not a hang.
+            self.sleepers.fetch_add(1, Ordering::AcqRel);
+            let guard = self.wake_lock.lock().expect("wake lock poisoned");
+            let must_recheck = self.shutdown.load(Ordering::Acquire)
+                || self.lanes.iter().any(|l| l.depth.load(Ordering::Acquire) > 0);
+            if !must_recheck {
+                let _ = self
+                    .wake
+                    .wait_timeout(guard, Duration::from_millis(1))
+                    .expect("wake lock poisoned");
+            }
+            self.sleepers.fetch_sub(1, Ordering::AcqRel);
+        }
+    }
+}
+
+/// A snapshot of the runtime's per-worker counters, for observability
+/// (the `serve_runtime` example prints them live).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RuntimeCounters {
+    /// Queued (not yet started) query units per lane.
+    pub lane_depths: Vec<usize>,
+    /// Query units each worker has completed.
+    pub executed: Vec<u64>,
+    /// Query units each worker obtained by stealing from another lane.
+    pub stolen: Vec<u64>,
+}
+
+/// The contention-free serve loop: a fixed pool of workers, one lane
+/// each, driven by any number of producer threads through `&self`
+/// submission.  See the module docs for the design and the determinism
+/// argument.
+///
+/// Replies flow to the `Sender<ServeReply>` given at [`ServeRuntime::start`];
+/// a dropped receiver is tolerated (remaining requests still drain, their
+/// replies are discarded).
+pub struct ServeRuntime {
+    shared: Arc<Shared>,
+    next_lane: AtomicUsize,
+    handles: Vec<JoinHandle<()>>,
+}
+
+impl ServeRuntime {
+    /// Starts `workers` worker threads (clamped to at least 1) over a
+    /// serving snapshot.  Each worker clones the engine handle (an `Arc`
+    /// bump) and keeps one reusable [`ServeEngine::Worker`] for its whole
+    /// lifetime — no per-request or per-batch thread spawning.
+    #[must_use]
+    pub fn start<E: ServeEngine>(engine: &E, workers: usize, replies: Sender<ServeReply>) -> Self {
+        let workers = workers.max(1);
+        let shared = Arc::new(Shared {
+            lanes: (0..workers).map(|_| Lane::new()).collect(),
+            shutdown: AtomicBool::new(false),
+            sleepers: AtomicUsize::new(0),
+            wake_lock: Mutex::new(()),
+            wake: Condvar::new(),
+        });
+        let handles = (0..workers)
+            .map(|me| {
+                let shared = Arc::clone(&shared);
+                let engine = engine.clone();
+                let replies = replies.clone();
+                std::thread::spawn(move || {
+                    let mut worker = engine.serve_worker();
+                    while let Some(job) = shared.next_job(me) {
+                        let units = job.units() as u64;
+                        match job {
+                            Job::Single(u) => run_unit(&mut worker, u, &replies),
+                            Job::Batch(batch) => {
+                                for u in batch {
+                                    run_unit(&mut worker, u, &replies);
+                                }
+                            }
+                        }
+                        shared.lanes[me].executed.fetch_add(units, Ordering::Relaxed);
+                    }
+                })
+            })
+            .collect();
+        Self { shared, next_lane: AtomicUsize::new(0), handles }
+    }
+
+    /// Number of worker threads (and lanes).
+    #[must_use]
+    pub fn workers(&self) -> usize {
+        self.shared.lanes.len()
+    }
+
+    /// Submits one request under the snapshot's default weights
+    /// (round-robin lane placement).
+    pub fn submit(&self, req: ServeRequest) {
+        self.push(Job::Single(Unit::from_request(req, None)));
+    }
+
+    /// Submits one request under a per-request weight override.
+    pub fn submit_weighted(&self, req: ServeRequest, weights: Weights) {
+        self.push(Job::Single(Unit::from_request(req, Some(weights))));
+    }
+
+    /// Submits a batch as **one affinity unit**: all its queries run
+    /// back-to-back on a single worker (whichever owns — or steals — the
+    /// unit), never interleaved with other traffic.
+    pub fn submit_batch(&self, reqs: Vec<ServeRequest>) {
+        self.push_batch(reqs, None);
+    }
+
+    /// [`ServeRuntime::submit_batch`] under one weight override for the
+    /// whole batch.
+    pub fn submit_batch_weighted(&self, reqs: Vec<ServeRequest>, weights: Weights) {
+        self.push_batch(reqs, Some(weights));
+    }
+
+    fn push_batch(&self, reqs: Vec<ServeRequest>, weights: Option<Weights>) {
+        if reqs.is_empty() {
+            return;
+        }
+        let units: Vec<Unit> =
+            reqs.into_iter().map(|r| Unit::from_request(r, weights.clone())).collect();
+        self.push(Job::Batch(units));
+    }
+
+    fn push(&self, job: Job) {
+        let lane = self.next_lane.fetch_add(1, Ordering::Relaxed) % self.shared.lanes.len();
+        self.shared.lanes[lane].push(job);
+        self.shared.notify();
+    }
+
+    /// Current counters: lane depths, executed units, and steal counts
+    /// per worker.
+    #[must_use]
+    pub fn counters(&self) -> RuntimeCounters {
+        RuntimeCounters {
+            lane_depths: self
+                .shared
+                .lanes
+                .iter()
+                .map(|l| l.depth.load(Ordering::Acquire))
+                .collect(),
+            executed: self
+                .shared
+                .lanes
+                .iter()
+                .map(|l| l.executed.load(Ordering::Relaxed))
+                .collect(),
+            stolen: self.shared.lanes.iter().map(|l| l.stolen.load(Ordering::Relaxed)).collect(),
+        }
+    }
+
+    /// Queued (not yet started) query units per lane.
+    #[must_use]
+    pub fn lane_depths(&self) -> Vec<usize> {
+        self.counters().lane_depths
+    }
+
+    /// Stops accepting the calling thread's submissions, drains every
+    /// lane (workers keep stealing until all lanes are empty), joins the
+    /// workers, and returns the total number of query units served.
+    /// Every request submitted before this call gets exactly one reply.
+    #[must_use]
+    pub fn shutdown(mut self) -> usize {
+        self.begin_shutdown();
+        for h in self.handles.drain(..) {
+            h.join().expect("runtime worker panicked");
+        }
+        self.shared.lanes.iter().map(|l| l.executed.load(Ordering::Relaxed)).sum::<u64>() as usize
+    }
+
+    fn begin_shutdown(&self) {
+        self.shared.shutdown.store(true, Ordering::Release);
+        let _guard = self.shared.wake_lock.lock().expect("wake lock poisoned");
+        self.shared.wake.notify_all();
+    }
+}
+
+impl Drop for ServeRuntime {
+    /// Dropping without [`ServeRuntime::shutdown`] still drains and joins
+    /// (so tests and panicking callers never leak detached workers).
+    fn drop(&mut self) {
+        self.begin_shutdown();
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+fn run_unit<W: EngineWorker>(worker: &mut W, unit: Unit, replies: &Sender<ServeReply>) {
+    let outcome = worker.run_query(&unit.query, unit.weights.as_ref(), unit.k, unit.l);
+    // The caller may have stopped listening; keep draining regardless.
+    let _ = replies.send(ServeReply { id: unit.id, outcome });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::framework::{Must, MustBuildOptions};
+    use must_vector::{MultiVectorSet, VectorSetBuilder};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn server(n: usize) -> MustServer {
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut m0 = VectorSetBuilder::new(8, n);
+        let mut m1 = VectorSetBuilder::new(4, n);
+        for _ in 0..n {
+            let v0: Vec<f32> = (0..8).map(|_| rng.random::<f32>() - 0.5).collect();
+            let v1: Vec<f32> = (0..4).map(|_| rng.random::<f32>() - 0.5).collect();
+            m0.push_normalized(&v0).unwrap();
+            m1.push_normalized(&v1).unwrap();
+        }
+        let set = MultiVectorSet::new(vec![m0.finish(), m1.finish()]).unwrap();
+        let must =
+            Must::build(set, Weights::uniform(2), MustBuildOptions::default()).unwrap();
+        MustServer::freeze(must)
+    }
+
+    fn self_query(srv: &MustServer, id: u32) -> MultiQuery {
+        MultiQuery::full(vec![
+            srv.objects().modality(0).get(id).to_vec(),
+            srv.objects().modality(1).get(id).to_vec(),
+        ])
+    }
+
+    #[test]
+    fn runtime_answers_singles_and_batches_exactly_once() {
+        let srv = server(120);
+        let (tx, rx) = std::sync::mpsc::channel();
+        let rt = ServeRuntime::start(&srv, 3, tx);
+        assert_eq!(rt.workers(), 3);
+        for i in 0..10u64 {
+            rt.submit(ServeRequest { id: i, query: self_query(&srv, i as u32), k: 1, l: 40 });
+        }
+        let batch: Vec<ServeRequest> = (10..20u64)
+            .map(|i| ServeRequest { id: i, query: self_query(&srv, i as u32), k: 1, l: 40 })
+            .collect();
+        rt.submit_batch(batch);
+        assert_eq!(rt.shutdown(), 20);
+        let mut seen = [false; 20];
+        for rep in rx.iter() {
+            assert!(
+                !std::mem::replace(&mut seen[rep.id as usize], true),
+                "duplicate reply for id {}",
+                rep.id
+            );
+            let out = rep.outcome.unwrap();
+            assert_eq!(out.results[0].0, rep.id as u32, "self-query resolves to itself");
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn weighted_submission_matches_direct_weighted_search() {
+        let srv = server(100);
+        let w = Weights::from_squared(vec![0.8, 0.2]).unwrap();
+        let q = self_query(&srv, 33);
+        let expect = srv.search_weighted(&q, &w, 5, 40).unwrap();
+        let (tx, rx) = std::sync::mpsc::channel();
+        let rt = ServeRuntime::start(&srv, 2, tx);
+        rt.submit_weighted(ServeRequest { id: 0, query: q, k: 5, l: 40 }, w);
+        assert_eq!(rt.shutdown(), 1);
+        let rep = rx.recv().unwrap();
+        let out = rep.outcome.unwrap();
+        assert_eq!(out.results, expect.results);
+        assert_eq!(out.stats, expect.stats);
+    }
+
+    #[test]
+    fn counters_account_for_every_unit() {
+        let srv = server(80);
+        let (tx, rx) = std::sync::mpsc::channel();
+        let rt = ServeRuntime::start(&srv, 4, tx);
+        for i in 0..40u64 {
+            rt.submit(ServeRequest {
+                id: i,
+                query: self_query(&srv, (i % 80) as u32),
+                k: 1,
+                l: 30,
+            });
+        }
+        let served = rt.shutdown();
+        assert_eq!(served, 40);
+        assert_eq!(rx.iter().count(), 40);
+    }
+
+    #[test]
+    fn dropped_reply_receiver_still_drains() {
+        let srv = server(60);
+        let (tx, rx) = std::sync::mpsc::channel();
+        drop(rx);
+        let rt = ServeRuntime::start(&srv, 2, tx);
+        for i in 0..8u64 {
+            rt.submit(ServeRequest { id: i, query: self_query(&srv, i as u32), k: 1, l: 30 });
+        }
+        assert_eq!(rt.shutdown(), 8, "replies are discarded, requests still served");
+    }
+
+    #[test]
+    fn immediate_shutdown_serves_nothing_and_does_not_hang() {
+        let srv = server(50);
+        let (tx, _rx) = std::sync::mpsc::channel();
+        let rt = ServeRuntime::start(&srv, 3, tx);
+        assert_eq!(rt.shutdown(), 0);
+    }
+
+    #[test]
+    fn zero_workers_clamps_to_one() {
+        let srv = server(50);
+        let (tx, rx) = std::sync::mpsc::channel();
+        let rt = ServeRuntime::start(&srv, 0, tx);
+        assert_eq!(rt.workers(), 1);
+        rt.submit(ServeRequest { id: 9, query: self_query(&srv, 9), k: 1, l: 30 });
+        assert_eq!(rt.shutdown(), 1);
+        assert_eq!(rx.recv().unwrap().id, 9);
+    }
+}

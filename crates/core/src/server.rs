@@ -27,10 +27,13 @@
 //!   path).
 //! * [`MustServer::serve`] — a blocking request/reply loop over
 //!   [`std::sync::mpsc`] channels, for streams whose length is unknown
-//!   up front.
+//!   up front; backed by the per-worker-lane
+//!   [`crate::runtime::ServeRuntime`] (no shared dequeue lock on the hot
+//!   path).
 
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc::{Receiver, Sender};
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 use std::time::Instant;
 
 use must_graph::csr::CsrGraph;
@@ -253,10 +256,11 @@ impl MustServer {
         ServerWorker { scratch, core: &self.core }
     }
 
-    /// Searches `queries` with `threads` workers (contiguous chunks, one
-    /// reusable [`ServerWorker`] per thread) and returns outcomes in input
-    /// order.  `threads` is clamped to `[1, queries.len()]`.  Results are
-    /// bit-identical to running [`MustServer::search`] serially.
+    /// Searches `queries` with `threads` workers (atomic chunk claiming,
+    /// one reusable [`ServerWorker`] per thread) and returns outcomes in
+    /// input order.  `threads` is clamped to `[1, queries.len()]`.
+    /// Results are bit-identical to running [`MustServer::search`]
+    /// serially.
     ///
     /// # Errors
     /// Per-query errors are returned in the corresponding slot.
@@ -302,6 +306,13 @@ impl MustServer {
     /// closed and drained.  Replies may interleave across requests; use
     /// [`ServeRequest::id`] to correlate.  Dropped reply receivers are
     /// tolerated (remaining requests are still drained).
+    ///
+    /// Backed by [`crate::runtime::ServeRuntime`]: the calling thread
+    /// pumps the channel into per-worker lanes (round-robin), workers
+    /// steal from the longest lane when their own runs dry, and shutdown
+    /// drains every lane — no shared dequeue lock anywhere on the hot
+    /// path.  For finer control (weighted requests, batch affinity, lane
+    /// counters) drive a [`crate::runtime::ServeRuntime`] directly.
     #[must_use]
     pub fn serve(
         &self,
@@ -309,40 +320,32 @@ impl MustServer {
         replies: Sender<ServeReply>,
         threads: usize,
     ) -> usize {
-        let threads = threads.max(1);
-        let requests = Mutex::new(requests);
-        let served = std::sync::atomic::AtomicUsize::new(0);
-        std::thread::scope(|scope| {
-            for _ in 0..threads {
-                let requests = &requests;
-                let replies = replies.clone();
-                let served = &served;
-                scope.spawn(move || {
-                    let mut worker = self.worker();
-                    loop {
-                        // Hold the lock only for the dequeue, not the search.
-                        let req = match requests.lock() {
-                            Ok(rx) => rx.recv(),
-                            Err(_) => break, // a sibling panicked; stop cleanly
-                        };
-                        let Ok(req) = req else { break };
-                        let outcome = worker.search(&req.query, req.k, req.l);
-                        served.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                        // The caller may have stopped listening; keep draining.
-                        let _ = replies.send(ServeReply { id: req.id, outcome });
-                    }
-                });
-            }
-        });
-        served.into_inner()
+        let runtime = crate::runtime::ServeRuntime::start(self, threads, replies);
+        for req in requests {
+            runtime.submit(req);
+        }
+        runtime.shutdown()
     }
 }
 
-/// Shared chunked fan-out behind the batch entry points of [`MustServer`]
-/// and [`crate::shard::ShardedServer`]: `threads` is clamped to
-/// `[1, queries.len()]`, each scoped thread builds one worker via
-/// `mk_worker` and searches a contiguous chunk, and outcomes come back in
-/// input order — so results are identical for every thread count.
+/// Shared fan-out behind the batch entry points of [`MustServer`] and
+/// [`crate::shard::ShardedServer`]: `threads` is clamped to
+/// `[1, queries.len()]` and each scoped thread builds one reusable worker
+/// via `mk_worker`.
+///
+/// Work is distributed by **atomic chunk claiming**, not static slices:
+/// workers repeatedly claim the next `~n/(4·threads)` queries off a
+/// shared cursor until the batch is exhausted.  Static contiguous chunks
+/// (`n.div_ceil(threads)` each) left the last worker with up to
+/// `n/threads` extra queries on ragged batches — e.g. 17 queries over 4
+/// threads ran as 5+5+5+2, with two workers idle while the tail drained.
+/// Claiming bounds the imbalance to a single small chunk.
+///
+/// Each worker records `(original index, outcome)` pairs and the results
+/// are scattered back by index afterwards, so outcomes come back in input
+/// order and — because per-query work is deterministic and only *which*
+/// worker runs a query changes — results are bit-identical for every
+/// thread count and every claiming interleaving.
 pub(crate) fn fan_out_batch<W, F>(
     queries: &[MultiQuery],
     threads: usize,
@@ -360,20 +363,40 @@ where
     if threads == 1 {
         return queries.iter().map(mk_worker()).collect();
     }
-    let chunk = n.div_ceil(threads);
+    // ~4 chunks per worker: small enough to level a ragged tail, large
+    // enough that the shared cursor is touched rarely.
+    let chunk = (n.div_ceil(4 * threads)).max(1);
+    let cursor = AtomicUsize::new(0);
     let mut out: Vec<Option<Result<SearchOutcome, MustError>>> = (0..n).map(|_| None).collect();
     std::thread::scope(|scope| {
-        for (slot, qs) in out.chunks_mut(chunk).zip(queries.chunks(chunk)) {
-            let mk_worker = &mk_worker;
-            scope.spawn(move || {
-                let mut worker = mk_worker();
-                for (s, q) in slot.iter_mut().zip(qs) {
-                    *s = Some(worker(q));
-                }
-            });
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                let cursor = &cursor;
+                let mk_worker = &mk_worker;
+                scope.spawn(move || {
+                    let mut worker = mk_worker();
+                    let mut ran: Vec<(usize, Result<SearchOutcome, MustError>)> = Vec::new();
+                    loop {
+                        let start = cursor.fetch_add(chunk, Ordering::Relaxed);
+                        if start >= n {
+                            break;
+                        }
+                        let end = (start + chunk).min(n);
+                        for (off, q) in queries[start..end].iter().enumerate() {
+                            ran.push((start + off, worker(q)));
+                        }
+                    }
+                    ran
+                })
+            })
+            .collect();
+        for handle in handles {
+            for (i, outcome) in handle.join().expect("batch worker panicked") {
+                out[i] = Some(outcome);
+            }
         }
     });
-    out.into_iter().map(|x| x.expect("all slots filled")).collect()
+    out.into_iter().map(|x| x.expect("every index claimed exactly once")).collect()
 }
 
 /// Reusable per-thread search state bound to a [`MustServer`] snapshot.

@@ -648,10 +648,10 @@ impl ShardedServer {
         }
     }
 
-    /// Searches `queries` with `threads` workers (contiguous chunks, one
-    /// reusable [`ShardedWorker`] per thread) and returns outcomes in input
-    /// order.  `threads` is clamped to `[1, queries.len()]`.  Results are
-    /// bit-identical for every thread count.
+    /// Searches `queries` with `threads` workers (atomic chunk claiming,
+    /// one reusable [`ShardedWorker`] per thread) and returns outcomes in
+    /// input order.  `threads` is clamped to `[1, queries.len()]`.
+    /// Results are bit-identical for every thread count.
     ///
     /// # Errors
     /// Per-query errors are returned in the corresponding slot.
@@ -667,6 +667,29 @@ impl ShardedServer {
             let mut worker = self.worker();
             move |q: &MultiQuery| worker.search(q, k, l)
         })
+    }
+
+    /// Blocking request/reply serve loop over the whole sharded
+    /// deployment: the sharded twin of [`MustServer::serve`], backed by
+    /// the same [`crate::runtime::ServeRuntime`].  Each runtime worker
+    /// holds one [`ShardedWorker`] for its entire lifetime — per-shard
+    /// scratch stays warm across the stream instead of being re-created
+    /// by per-batch scoped threads — and searches the shards sequentially
+    /// per query, so parallelism comes from concurrent queries, not from
+    /// per-query scatter spawns.  Returns the number of requests served
+    /// once the request channel is closed and drained.
+    #[must_use]
+    pub fn serve(
+        &self,
+        requests: std::sync::mpsc::Receiver<crate::server::ServeRequest>,
+        replies: std::sync::mpsc::Sender<crate::server::ServeReply>,
+        threads: usize,
+    ) -> usize {
+        let runtime = crate::runtime::ServeRuntime::start(self, threads, replies);
+        for req in requests {
+            runtime.submit(req);
+        }
+        runtime.shutdown()
     }
 
     /// [`ShardedServer::search_batch`] under a per-batch weight override

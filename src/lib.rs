@@ -34,6 +34,7 @@ pub mod prelude {
     pub use must_core::framework::{Must, MustBuildOptions, MustParts, MustSearcher};
     pub use must_core::metrics::recall_at;
     pub use must_core::persist;
+    pub use must_core::runtime::{EngineWorker, RuntimeCounters, ServeEngine, ServeRuntime};
     pub use must_core::server::{MustServer, ServeReply, ServeRequest, ServerWorker};
     pub use must_core::shard::{
         ShardAssignment, ShardRouter, ShardSpec, ShardedMust, ShardedServer, ShardedWorker,

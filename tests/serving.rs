@@ -1,7 +1,10 @@
 //! Online-serving integration tests: one frozen snapshot, many threads,
 //! results bit-identical to serial execution (the contract that makes the
-//! concurrent query engine trustworthy), plus the offline→online
-//! round-trip through the current binary bundle.
+//! concurrent query engine trustworthy), the offline→online round-trip
+//! through the current binary bundle, and the [`ServeRuntime`] delivery
+//! guarantees — every submitted request gets exactly one reply matching
+//! the serial oracle bitwise, under producer concurrency, mixed
+//! single/batch/weighted traffic, work stealing, and shutdown drain.
 
 use std::sync::mpsc;
 
@@ -102,6 +105,141 @@ fn serve_loop_matches_serial_outcomes() {
         assert_eq!(out.results, serial[i].results, "request {i}");
         assert_eq!(out.stats, serial[i].stats, "request {i}");
     }
+}
+
+/// Ragged batch sizes (e.g. 17 queries over 4 threads) must be
+/// bit-identical to serial for every thread count: atomic chunk claiming
+/// changes *which* worker runs a query, never the query's work.  The old
+/// static split (5+5+5+2) also had to be correct, but its tail imbalance
+/// hid behind the same assertion — this pins the claiming rewrite.
+#[test]
+fn ragged_batches_match_serial_for_any_thread_count() {
+    let (server, queries) = serving_fixture();
+    let (k, l) = (10, 60);
+    let mut worker = server.worker();
+    for n in [1usize, 2, 17, 23, 61] {
+        let qs = &queries[..n];
+        let serial: Vec<_> = qs.iter().map(|q| worker.search(q, k, l).unwrap()).collect();
+        for threads in [2usize, 4, 7, 16] {
+            let batch = server.search_batch(qs, k, l, threads);
+            assert_eq!(batch.len(), n);
+            for (qi, (got, expect)) in batch.into_iter().zip(&serial).enumerate() {
+                let got = got.unwrap();
+                assert_eq!(got.results, expect.results, "n={n} threads={threads} query {qi}");
+                assert_eq!(got.stats, expect.stats, "n={n} threads={threads} query {qi}");
+            }
+        }
+    }
+}
+
+/// The runtime stress pin: several producer threads submit an interleaved
+/// mix of single, batch, and weight-overridden requests; every request id
+/// must get **exactly one** reply, bit-identical to the serial oracle
+/// under the same weights, and shutdown must drain all in-flight lanes
+/// without dropping or duplicating anything.
+#[test]
+fn runtime_stress_every_request_answered_exactly_once() {
+    let (server, queries) = serving_fixture();
+    let (k, l) = (5, 40);
+    let override_w = Weights::from_squared(vec![0.7, 0.3]).unwrap();
+
+    // Serial oracles: default weights and the override.
+    let mut worker = server.worker();
+    let oracle_default: Vec<_> =
+        queries.iter().map(|q| worker.search(q, k, l).unwrap()).collect();
+    let oracle_override: Vec<_> = queries
+        .iter()
+        .map(|q| worker.search_weighted(q, &override_w, k, l).unwrap())
+        .collect();
+
+    // Request plan: id encodes (producer, sequence); the map records which
+    // query index and weight regime each id must be answered under.
+    const PRODUCERS: u64 = 4;
+    const ROUNDS: usize = 6;
+    let (rep_tx, rep_rx) = mpsc::channel();
+    let runtime = ServeRuntime::start(&server, 3, rep_tx);
+    let mut expect: std::collections::HashMap<u64, (usize, bool)> = std::collections::HashMap::new();
+    for p in 0..PRODUCERS {
+        for r in 0..ROUNDS as u64 {
+            let base = p * 1_000 + r * 100;
+            // One single, one weighted single, one 4-query batch, one
+            // 4-query weighted batch per round, ids disjoint by plan.
+            expect.insert(base, ((base as usize) % queries.len(), false));
+            expect.insert(base + 1, ((base as usize + 7) % queries.len(), true));
+            for j in 0..4u64 {
+                expect.insert(base + 10 + j, ((base as usize + 13 + j as usize) % queries.len(), false));
+                expect.insert(base + 20 + j, ((base as usize + 29 + j as usize) % queries.len(), true));
+            }
+        }
+    }
+    let total = expect.len();
+
+    std::thread::scope(|scope| {
+        for p in 0..PRODUCERS {
+            let runtime = &runtime;
+            let queries = &queries;
+            let override_w = &override_w;
+            scope.spawn(move || {
+                for r in 0..ROUNDS as u64 {
+                    let base = p * 1_000 + r * 100;
+                    let req = |id: u64, qi: usize| ServeRequest {
+                        id,
+                        query: queries[qi % queries.len()].clone(),
+                        k,
+                        l,
+                    };
+                    runtime.submit(req(base, base as usize));
+                    runtime.submit_weighted(req(base + 1, base as usize + 7), override_w.clone());
+                    runtime.submit_batch(
+                        (0..4u64).map(|j| req(base + 10 + j, base as usize + 13 + j as usize)).collect(),
+                    );
+                    runtime.submit_batch_weighted(
+                        (0..4u64).map(|j| req(base + 20 + j, base as usize + 29 + j as usize)).collect(),
+                        override_w.clone(),
+                    );
+                }
+            });
+        }
+    });
+
+    let served = runtime.shutdown();
+    assert_eq!(served, total, "shutdown must drain every lane");
+
+    let mut seen = std::collections::HashSet::new();
+    let mut replies = 0usize;
+    for rep in rep_rx.iter() {
+        assert!(seen.insert(rep.id), "duplicate reply for id {}", rep.id);
+        let (qi, weighted) = expect[&rep.id];
+        let oracle = if weighted { &oracle_override[qi] } else { &oracle_default[qi] };
+        let got = rep.outcome.unwrap();
+        assert_eq!(got.results, oracle.results, "id {} (weighted={weighted})", rep.id);
+        assert_eq!(got.stats, oracle.stats, "id {} (weighted={weighted})", rep.id);
+        replies += 1;
+    }
+    assert_eq!(replies, total, "exactly one reply per submitted request");
+}
+
+/// Submitting a burst and shutting down immediately must still answer
+/// everything: shutdown drains, it never drops.
+#[test]
+fn runtime_shutdown_drains_queued_backlog() {
+    let (server, queries) = serving_fixture();
+    let (rep_tx, rep_rx) = mpsc::channel();
+    let runtime = ServeRuntime::start(&server, 2, rep_tx);
+    let n = 200u64;
+    for i in 0..n {
+        runtime.submit(ServeRequest {
+            id: i,
+            query: queries[(i as usize) % queries.len()].clone(),
+            k: 3,
+            l: 30,
+        });
+    }
+    // No waiting: lanes are still (mostly) full when shutdown begins.
+    assert_eq!(runtime.shutdown() as u64, n);
+    let mut ids: Vec<u64> = rep_rx.iter().map(|r| r.id).collect();
+    ids.sort_unstable();
+    assert_eq!(ids, (0..n).collect::<Vec<_>>());
 }
 
 /// Offline build → binary bundle on disk → `MustServer::load` → serving

@@ -224,3 +224,36 @@ fn sharded_layer_adopts_v3_bundles() {
         assert_eq!(a.stats, b.stats, "query {qi}");
     }
 }
+
+/// The sharded serve loop (runtime-backed, persistent per-worker shard
+/// scratch) answers a full request stream with, per query, exactly the
+/// sequential `ShardedWorker` outcome — bit-identity across workers and
+/// work stealing, through the scatter path.
+#[test]
+fn sharded_serve_loop_matches_sequential_worker() {
+    let (objects, weights, queries) = fixture();
+    let (k, l) = (10, 80);
+    let sharded = ShardedMust::build(objects, weights, build_opts(), ShardSpec::new(3)).unwrap();
+    let server = ShardedServer::freeze(sharded);
+    let mut worker = server.worker();
+    let serial: Vec<_> = queries.iter().map(|q| worker.search(q, k, l).unwrap()).collect();
+
+    let (req_tx, req_rx) = std::sync::mpsc::channel();
+    let (rep_tx, rep_rx) = std::sync::mpsc::channel();
+    for (i, q) in queries.iter().enumerate() {
+        req_tx.send(ServeRequest { id: i as u64, query: q.clone(), k, l }).unwrap();
+    }
+    drop(req_tx);
+    let served = server.serve(req_rx, rep_tx, 4);
+    assert_eq!(served, queries.len());
+
+    let mut replies: Vec<ServeReply> = rep_rx.iter().collect();
+    assert_eq!(replies.len(), queries.len());
+    replies.sort_by_key(|r| r.id);
+    for (i, rep) in replies.into_iter().enumerate() {
+        assert_eq!(rep.id, i as u64);
+        let out = rep.outcome.unwrap();
+        assert_eq!(out.results, serial[i].results, "request {i}");
+        assert_eq!(out.stats, serial[i].stats, "request {i}");
+    }
+}
