@@ -149,10 +149,14 @@ fn check_scaling(entries: &[Value], errors: &mut Vec<String>) {
             (get("threads") - threads).abs() < 0.5 && (get("batch") - batch).abs() < 0.5
         })
     };
-    let batches: Vec<f64> = entries
+    // Each batch value appears once per thread count in `entries`; dedup
+    // so every gate fires (and reports) once per batch size.
+    let mut batches: Vec<f64> = entries
         .iter()
         .filter_map(|e| e.get_field("batch").and_then(Value::as_num))
         .collect();
+    batches.sort_by(f64::total_cmp);
+    batches.dedup();
     let mut checked = false;
     for &batch in &batches {
         let (Some(t1), Some(t2)) = (point(1.0, batch), point(2.0, batch)) else { continue };

@@ -45,7 +45,6 @@ use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc::Sender;
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
-use std::time::Duration;
 
 use must_vector::{MultiQuery, Weights};
 
@@ -188,7 +187,9 @@ impl Lane {
         let mut q = self.queue.lock().expect("lane poisoned");
         q.push_back(job);
         // Under the lock, so depth never over-reports against the queue.
-        self.depth.fetch_add(units, Ordering::Release);
+        // SeqCst: paired with the parking handshake in `next_job` (see
+        // the store-buffer argument there).
+        self.depth.fetch_add(units, Ordering::SeqCst);
     }
 
     fn pop(&self) -> Option<Job> {
@@ -211,8 +212,10 @@ struct Shared {
 
 impl Shared {
     /// Wakes parked workers after a push; free when nobody sleeps.
+    /// SeqCst load: paired with the parking handshake in `next_job`
+    /// (see the store-buffer argument there).
     fn notify(&self) {
-        if self.sleepers.load(Ordering::Acquire) > 0 {
+        if self.sleepers.load(Ordering::SeqCst) > 0 {
             let _guard = self.wake_lock.lock().expect("wake lock poisoned");
             self.wake.notify_all();
         }
@@ -240,6 +243,14 @@ impl Shared {
     /// from the longest other lane.  Returns `None` only after shutdown
     /// once every lane is drained.
     fn next_job(&self, me: usize) -> Option<Job> {
+        // A scan that races the shutdown flag proves nothing: a producer
+        // may push and then set the flag *between* our empty scan and
+        // our flag load.  So `None` is only returned when a scan that
+        // *started after* observing `shutdown` comes up empty — that
+        // observation (Acquire) happens-after every pre-shutdown push
+        // (which the Release store in `begin_shutdown` orders behind),
+        // so the post-observation scan cannot miss a drainable job.
+        let mut saw_shutdown = false;
         loop {
             if let Some(job) = self.lanes[me].pop() {
                 return Some(job);
@@ -252,25 +263,33 @@ impl Shared {
                 // Someone else drained the victim first; rescan.
                 continue;
             }
-            if self.shutdown.load(Ordering::Acquire) {
-                // The flag is set before the final wake-up, so one last
-                // scan (above) has already covered anything submitted
-                // before shutdown.  All lanes empty: done.
+            if saw_shutdown {
+                // Empty scan performed entirely after seeing the flag:
+                // every lane is truly drained.
                 return None;
             }
+            if self.shutdown.load(Ordering::Acquire) {
+                saw_shutdown = true;
+                continue;
+            }
             // Park until a producer pushes or shutdown begins.  The
-            // timeout makes a lost wake-up a latency blip, not a hang.
-            self.sleepers.fetch_add(1, Ordering::AcqRel);
+            // sleepers counter and `notify` form a store-buffer pair
+            // (producer: push depth, load sleepers; worker: add
+            // sleepers, load depth) — SeqCst on those four accesses
+            // guarantees at least one side sees the other, so either
+            // the producer notifies (under `wake_lock`, which we hold
+            // until `wait` — the notify cannot slip between our recheck
+            // and the wait) or our recheck sees the pushed depth and we
+            // skip the wait.  Hence the untimed wait: no lost wake-ups,
+            // and an idle runtime burns no CPU on periodic polling.
+            self.sleepers.fetch_add(1, Ordering::SeqCst);
             let guard = self.wake_lock.lock().expect("wake lock poisoned");
             let must_recheck = self.shutdown.load(Ordering::Acquire)
-                || self.lanes.iter().any(|l| l.depth.load(Ordering::Acquire) > 0);
+                || self.lanes.iter().any(|l| l.depth.load(Ordering::SeqCst) > 0);
             if !must_recheck {
-                let _ = self
-                    .wake
-                    .wait_timeout(guard, Duration::from_millis(1))
-                    .expect("wake lock poisoned");
+                drop(self.wake.wait(guard).expect("wake lock poisoned"));
             }
-            self.sleepers.fetch_sub(1, Ordering::AcqRel);
+            self.sleepers.fetch_sub(1, Ordering::SeqCst);
         }
     }
 }
@@ -552,6 +571,28 @@ mod tests {
             rt.submit(ServeRequest { id: i, query: self_query(&srv, i as u32), k: 1, l: 30 });
         }
         assert_eq!(rt.shutdown(), 8, "replies are discarded, requests still served");
+    }
+
+    /// Regression for the shutdown-drain race: with a single worker
+    /// (nowhere to steal from), a push followed at once by `shutdown()`
+    /// can land exactly between the worker's empty scan and its flag
+    /// load.  The worker must rescan after observing the flag rather
+    /// than abandon the queued request.
+    #[test]
+    fn submit_then_immediate_shutdown_never_drops() {
+        let srv = server(60);
+        for i in 0..200u64 {
+            let (tx, rx) = std::sync::mpsc::channel();
+            let rt = ServeRuntime::start(&srv, 1, tx);
+            rt.submit(ServeRequest {
+                id: i,
+                query: self_query(&srv, (i % 60) as u32),
+                k: 1,
+                l: 30,
+            });
+            assert_eq!(rt.shutdown(), 1, "iteration {i}: shutdown dropped the queued request");
+            assert_eq!(rx.recv().unwrap().id, i);
+        }
     }
 
     #[test]
