@@ -1,11 +1,14 @@
 //! Schema + drift check for the serving-bench artefact: verifies that a
 //! freshly generated `BENCH_serving.json` carries every key the perf
-//! trajectory depends on (including the weight-churn and open-loop
-//! entries), that its recall figures sit within ±0.01 of a committed
-//! reference artefact, and that **thread scaling holds**: with two
+//! trajectory depends on (including the routing, weight-churn, and
+//! open-loop entries), that its recall figures sit within ±0.01 of a
+//! committed reference artefact, that **thread scaling holds**: with two
 //! workers the server must clear 1.15× the single-worker QPS and keep
 //! p99 within 3× — so a regression back toward a shared-dequeue hot path
-//! cannot land silently.
+//! cannot land silently — and that **selective routing pays**: at full
+//! scale at least one routed S=8 point must hold Recall@10 ≥ 0.98 at
+//! S=1-class QPS (≥ 0.7× the single-shard entry) while beating the S=8
+//! full fan-out by ≥ 4×.
 //!
 //! Both scaling gates are guarded twice, mirroring the recall-drift
 //! guard: they only arm when (a) the fresh artefact's corpus matches the
@@ -33,6 +36,18 @@ const ENTRY_KEYS: &[&str] = &[
 /// Required numeric keys per `shard_entries[]` element.
 const SHARD_KEYS: &[&str] =
     &["shards", "threads", "batch", "build_secs", "qps", "p50_ms", "p99_ms", "recall_at_10"];
+/// Required numeric keys per `routing[]` element.
+const ROUTING_KEYS: &[&str] = &[
+    "shards",
+    "threads",
+    "batch",
+    "fan_out",
+    "l_shard",
+    "qps",
+    "p50_ms",
+    "p99_ms",
+    "recall_at_10",
+];
 /// Required numeric keys per `weight_churn[]` element.
 const CHURN_KEYS: &[&str] = &[
     "switch_every",
@@ -58,6 +73,26 @@ const MIN_T2_SPEEDUP: f64 = 1.15;
 
 /// Scaling gate: two workers may inflate p99 by at most this factor.
 const MAX_T2_P99_BLOWUP: f64 = 3.0;
+
+/// Routing gate: at least one routed operating point must hold this
+/// Recall@10 while clearing both throughput bars below — otherwise
+/// selective routing is costing throughput instead of buying it.
+const MIN_ROUTED_RECALL: f64 = 0.98;
+
+/// Routing gate, bar 1: the qualifying routed point must reach this
+/// fraction of the S=1 shard entry's QPS.  Exact parity is not physical
+/// on a single-core host: a fan-out-2 query pays two graph descents
+/// where S=1 pays one (~15 % at the committed operating point — DESIGN
+/// §10), and host-load noise adds ±10 % run to run.  The bar pins the
+/// routed dial *at* S=1-class throughput while those two effects keep a
+/// strict `>= 1.0` check permanently flapping.
+const MIN_ROUTED_S1_RATIO: f64 = 0.7;
+
+/// Routing gate, bar 2: the qualifying routed point must beat the S=8
+/// full-fan-out shard entry's QPS by this factor — the dial's actual
+/// claim is that routing rescues sharded serving from the ~1/S QPS
+/// cliff, and a 4× floor (measured ~6×) cannot be met by accident.
+const MIN_ROUTED_S8_SPEEDUP: f64 = 4.0;
 
 fn num(v: &Value, key: &str, ctx: &str, errors: &mut Vec<String>) -> Option<f64> {
     match v.get_field(key).and_then(Value::as_num) {
@@ -102,7 +137,12 @@ fn point_key(kind: &str, v: &Value) -> String {
     let get = |k: &str| v.get_field(k).and_then(Value::as_num).unwrap_or(-1.0);
     match kind {
         "entries" => format!("t{}b{}", get("threads"), get("batch")),
-        "shard_entries" => format!("s{}t{}b{}", get("shards"), get("threads"), get("batch")),
+        // Shard (and routing) sweeps pin their thread count to the host's
+        // parallelism, so `threads` is host-dependent and must stay out of
+        // the identity — keying on it silently skipped every shard-recall
+        // comparison between hosts with different core counts.
+        "shard_entries" => format!("s{}", get("shards")),
+        "routing" => format!("s{}r{}ls{}", get("shards"), get("fan_out"), get("l_shard")),
         _ => format!("q{}", get("switch_every")),
     }
 }
@@ -201,6 +241,7 @@ fn main() {
     }
     let entries = check_array(&fresh, "entries", ENTRY_KEYS, &mut errors);
     let shard_entries = check_array(&fresh, "shard_entries", SHARD_KEYS, &mut errors);
+    let routing = check_array(&fresh, "routing", ROUTING_KEYS, &mut errors);
     let churn = check_array(&fresh, "weight_churn", CHURN_KEYS, &mut errors);
     let open_loop = check_array(&fresh, "open_loop", OPEN_LOOP_KEYS, &mut errors);
     if open_loop.len() < 3 {
@@ -226,6 +267,20 @@ fn main() {
 
     if let Some(committed_path) = committed_path {
         let committed = load(&committed_path);
+        // Surface the provenance of the committed trajectory loudly: on a
+        // one-hardware-thread bench host every thread/shard sweep in the
+        // artefact measures scheduler overhead, not parallel speedup, and
+        // downstream readers comparing QPS across thread counts need to
+        // know that before drawing conclusions.
+        let committed_host =
+            committed.get_field("host_threads").and_then(Value::as_num).unwrap_or(0.0);
+        if committed_host < 2.0 {
+            println!(
+                "WARNING: committed artefact {committed_path} was benched with \
+                 host_threads={committed_host} — its thread-scaling and multi-shard figures \
+                 measure a single hardware thread, not parallel speedup"
+            );
+        }
         let corpus_of = |v: &Value| {
             (
                 v.get_field("n_objects").and_then(Value::as_num),
@@ -240,6 +295,42 @@ fn main() {
             }
             if let Some(c) = get("shard_entries") {
                 compare_recall("shard_entries", "recall_at_10", &shard_entries, &c, &mut errors);
+            }
+            if let Some(c) = get("routing") {
+                compare_recall("routing", "recall_at_10", &routing, &c, &mut errors);
+            }
+            // Routing acceptance gate (full-scale runs only): selective
+            // routing must *buy* throughput — at least one routed S=8
+            // operating point has to hold Recall@10 while reaching
+            // S=1-class QPS (bar 1) and beating the S=8 full fan-out by
+            // a wide margin (bar 2).  Otherwise scattering to fewer
+            // shards is pure overhead and the dial should not ship.
+            let shard_qps = |s: f64| {
+                shard_entries
+                    .iter()
+                    .filter(|e| {
+                        e.get_field("shards").and_then(Value::as_num).unwrap_or(-1.0) == s
+                    })
+                    .filter_map(|e| e.get_field("qps").and_then(Value::as_num))
+                    .fold(f64::NAN, f64::max)
+            };
+            let (s1_qps, s8_qps) = (shard_qps(1.0), shard_qps(8.0));
+            if s1_qps.is_finite() && s8_qps.is_finite() && !routing.is_empty() {
+                let cleared = routing.iter().any(|e| {
+                    let get = |k: &str| e.get_field(k).and_then(Value::as_num).unwrap_or(-1.0);
+                    get("recall_at_10") >= MIN_ROUTED_RECALL
+                        && get("qps") >= MIN_ROUTED_S1_RATIO * s1_qps
+                        && get("qps") >= MIN_ROUTED_S8_SPEEDUP * s8_qps
+                });
+                if !cleared {
+                    errors.push(format!(
+                        "routing: no routed operating point reaches recall@10 >= \
+                         {MIN_ROUTED_RECALL} at qps >= {MIN_ROUTED_S1_RATIO} x the S=1 \
+                         shard entry's {s1_qps:.0} and >= {MIN_ROUTED_S8_SPEEDUP} x the \
+                         S=8 full fan-out's {s8_qps:.0} — selective routing is costing \
+                         throughput instead of buying it"
+                    ));
+                }
             }
             if let Some(c) = get("weight_churn") {
                 compare_recall("weight_churn", "recall_at_10_churn", &churn, &c, &mut errors);
@@ -273,10 +364,11 @@ fn main() {
 
     if errors.is_empty() {
         println!(
-            "{fresh_path}: schema ok ({} entries, {} shard entries, {} churn entries, \
-             {} open-loop entries)",
+            "{fresh_path}: schema ok ({} entries, {} shard entries, {} routing entries, \
+             {} churn entries, {} open-loop entries)",
             entries.len(),
             shard_entries.len(),
+            routing.len(),
             churn.len(),
             open_loop.len()
         );

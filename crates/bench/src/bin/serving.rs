@@ -5,6 +5,8 @@
 //! and Recall@10 against the exact joint-similarity oracle — plus a
 //! **shard sweep** (S ∈ {1, 2, 4, 8}) through
 //! [`must_core::shard::ShardedServer`]'s scatter-gather path, a
+//! **routing sweep** (clustered S = 8, fan-out r ∈ {1, 2, 4, 8}) showing
+//! what selective shard routing buys once similar objects share a shard, a
 //! **weight-churn sweep**: the query stream switches its user weight
 //! vector every Q queries, comparing the `search_batch_weighted`
 //! query-time-weighting path against the rebuild-per-switch baseline the
@@ -25,12 +27,12 @@
 use std::time::{Duration, Instant};
 
 use must_bench::efficiency::prepare;
-use must_bench::report::f4;
+use must_bench::report::{f4, percentile_ms};
 use must_core::metrics::recall_at;
 use must_core::runtime::ServeRuntime;
 use must_core::search::{exact_ground_truth, SearchOutcome};
 use must_core::server::{MustServer, ServeRequest};
-use must_core::shard::{ShardSpec, ShardedMust, ShardedServer};
+use must_core::shard::{RoutePolicy, ShardSpec, ShardedMust, ShardedServer};
 use must_core::{Must, MustBuildOptions, MustError};
 use must_vector::{MultiQuery, MultiVectorSet, ObjectId, Weights};
 use serde::Serialize;
@@ -56,6 +58,25 @@ struct ShardEntry {
     threads: usize,
     batch: usize,
     build_secs: f64,
+    qps: f64,
+    p50_ms: f64,
+    p99_ms: f64,
+    recall_at_10: f64,
+}
+
+/// One point of the routing sweep: a clustered `S`-shard deployment
+/// scattering each query to only the `fan_out` best-scoring shards
+/// (per-shard beam `l_shard`), so selectivity — not raw fan-out —
+/// decides the per-query cost.
+#[derive(Debug, Clone, Serialize)]
+struct RoutingEntry {
+    shards: usize,
+    threads: usize,
+    batch: usize,
+    /// Shards actually searched per query (`r` in the routing policy).
+    fan_out: usize,
+    /// Beam width used inside each routed shard.
+    l_shard: usize,
     qps: f64,
     p50_ms: f64,
     p99_ms: f64,
@@ -120,16 +141,9 @@ struct ServingBench {
     host_threads: usize,
     entries: Vec<Entry>,
     shard_entries: Vec<ShardEntry>,
+    routing: Vec<RoutingEntry>,
     weight_churn: Vec<ChurnEntry>,
     open_loop: Vec<OpenLoopEntry>,
-}
-
-fn percentile_ms(sorted_secs: &[f64], p: f64) -> f64 {
-    if sorted_secs.is_empty() {
-        return 0.0;
-    }
-    let idx = ((p / 100.0) * (sorted_secs.len() - 1) as f64).round() as usize;
-    sorted_secs[idx] * 1e3
 }
 
 /// Drives one operating point through any batch-search entry point and
@@ -310,23 +324,32 @@ fn churn_sweep(
         .fold(0.0f64, f64::max);
 
     // Query-time weighting: switch the override per chunk, same snapshot.
-    let mut recall_churn = 0.0;
+    // The timed region mirrors the steady pass exactly — search + unwrap
+    // only; recall is scored against the per-chunk oracle *after* the
+    // clock stops, so the churn/steady ratio compares the two search
+    // paths rather than charging the churn side for bench bookkeeping.
+    let mut responses = Vec::with_capacity(queries.len());
     let mut churn_qps = 0.0f64;
     for _pass in 0..2 {
-        recall_churn = 0.0;
+        responses.clear();
         let t0 = Instant::now();
         for (ci, qs) in queries.chunks(switch_every).enumerate() {
             let w = &cycle[ci % cycle.len()];
-            let gt = &ground_truths[ci % cycle.len()][ci * switch_every..];
-            for (r, gt) in server.search_batch_weighted(qs, w, k, l, threads).into_iter().zip(gt)
-            {
-                let r = r.expect("workload queries are well-formed");
-                let ids: Vec<ObjectId> = r.results.iter().map(|x| x.0).collect();
-                recall_churn += recall_at(&ids, gt, k);
+            for r in server.search_batch_weighted(qs, w, k, l, threads) {
+                responses.push(r.expect("workload queries are well-formed"));
             }
         }
         churn_qps = churn_qps.max(queries.len() as f64 / t0.elapsed().as_secs_f64());
     }
+    let recall_churn: f64 = responses
+        .iter()
+        .enumerate()
+        .map(|(qi, r)| {
+            let gt = &ground_truths[(qi / switch_every) % cycle.len()][qi];
+            let ids: Vec<ObjectId> = r.results.iter().map(|x| x.0).collect();
+            recall_at(&ids, gt, k)
+        })
+        .sum();
 
     // Rebuild-per-switch baseline: every weight *switch* pays a full
     // offline build + freeze before it can answer its chunk; chunk 0
@@ -493,6 +516,60 @@ fn main() {
         });
     }
 
+    // ---- Routing sweep: S = 8 clustered shards, r ∈ {1, 2, 4, 8}. -----
+    // The selective-routing dial: a clustered assignment groups similar
+    // objects per shard, the router scores each query against per-shard
+    // summaries under the active ω² weights, and only the top-`r` shards
+    // are searched with a per-shard beam that keeps the *total* candidate
+    // budget near the single-shard `l`.  r = S is the full-fan-out
+    // reference point.
+    let routing_shards = 8usize;
+    let mut routing = Vec::new();
+    if routing_shards <= corpus.len() {
+        let clustered = ShardedMust::build(
+            corpus.clone(),
+            weights.clone(),
+            MustBuildOptions::default(),
+            ShardSpec::clustered(routing_shards),
+        )
+        .expect("clustered shard build");
+        let clustered = ShardedServer::freeze(clustered);
+        for fan_out in [1usize, 2, 4, routing_shards] {
+            let l_shard = l.div_ceil(fan_out).max(k);
+            let routed = clustered.with_routing(RoutePolicy::with_beam(fan_out, l_shard));
+            let (qps, p50_ms, p99_ms, recall_at_10) = measure(
+                |qs| routed.search_batch(qs, k, l, shard_threads),
+                &queries,
+                &ground_truth,
+                k,
+                shard_batch,
+            );
+            eprintln!(
+                "[serving] routed  S={routing_shards} r={fan_out:<2} l_shard={l_shard:<3} qps={:<10} p50={}ms p99={}ms recall@10={}",
+                f4(qps),
+                f4(p50_ms),
+                f4(p99_ms),
+                f4(recall_at_10)
+            );
+            routing.push(RoutingEntry {
+                shards: routing_shards,
+                threads: shard_threads,
+                batch: shard_batch,
+                fan_out,
+                l_shard,
+                qps,
+                p50_ms,
+                p99_ms,
+                recall_at_10,
+            });
+        }
+    } else {
+        eprintln!(
+            "[serving] skipping routing sweep: corpus has only {} objects",
+            corpus.len()
+        );
+    }
+
     // ---- Weight churn: query-time weights vs rebuild-per-switch. ------
     // The stream rotates through a cycle of user weight vectors every Q
     // queries.  The per-query-weight path serves every switch from the
@@ -539,6 +616,7 @@ fn main() {
         host_threads: avail,
         entries,
         shard_entries,
+        routing,
         weight_churn,
         open_loop,
     };

@@ -160,6 +160,23 @@ pub fn f4(x: f64) -> String {
     format!("{x:.4}")
 }
 
+/// The `p`-th percentile of an **ascending-sorted** latency sample, in
+/// milliseconds, by the **ceiling-rank** rule: the smallest sample whose
+/// cumulative share is `>= p%` — index `ceil(p/100 * n) - 1`.  Rounding
+/// the rank to *nearest* instead (the classic off-by-one) can select the
+/// sample *below* the true rank on small `n` — e.g. p99 of 101 samples
+/// picking index 99, silently under-reporting the tail — and a tail gate
+/// fed by an optimistic p99 never fires.
+#[must_use]
+pub fn percentile_ms(sorted_secs: &[f64], p: f64) -> f64 {
+    if sorted_secs.is_empty() {
+        return 0.0;
+    }
+    let n = sorted_secs.len();
+    let rank = ((p / 100.0) * n as f64).ceil() as usize;
+    sorted_secs[rank.clamp(1, n) - 1] * 1e3
+}
+
 /// Formats seconds with 1 decimal.
 #[must_use]
 pub fn s1(x: f64) -> String {
@@ -186,6 +203,36 @@ mod tests {
     fn table_rejects_misshaped_rows() {
         let mut t = Table::new("T", "t", &["a", "b"]);
         t.push_row(vec!["only-one".into()]);
+    }
+
+    #[test]
+    fn percentile_uses_ceiling_rank_on_small_samples() {
+        // Samples 1s..=n s, already ascending — whole-number seconds keep
+        // the ×1e3 ms conversion exact, so assert_eq! on f64 is safe.
+        let sample = |n: usize| -> Vec<f64> { (1..=n).map(|i| i as f64).collect() };
+        // n=1: every percentile is the only sample.
+        assert_eq!(percentile_ms(&sample(1), 50.0), 1000.0);
+        assert_eq!(percentile_ms(&sample(1), 99.0), 1000.0);
+        // n=2: p50 is the first sample (ceil(1.0)=1), p99 the second.
+        assert_eq!(percentile_ms(&sample(2), 50.0), 1000.0);
+        assert_eq!(percentile_ms(&sample(2), 99.0), 2000.0);
+        // n=10: p99 must be the maximum (ceil(9.9)=10), where nearest-rank
+        // over n-1 would have picked index 9 too — but p90 shows the
+        // boundary: ceil(9.0)=9 → the 9th sample.
+        assert_eq!(percentile_ms(&sample(10), 99.0), 10_000.0);
+        assert_eq!(percentile_ms(&sample(10), 90.0), 9000.0);
+        // n=100: p99 is the 99th sample, p100 the maximum.
+        assert_eq!(percentile_ms(&sample(100), 99.0), 99_000.0);
+        assert_eq!(percentile_ms(&sample(100), 100.0), 100_000.0);
+        // n=101: ceil(99.99) = 100 → the 100th sample.
+        assert_eq!(percentile_ms(&sample(101), 99.0), 100_000.0);
+        // n=67 is where the old `round(p/100 * (n-1))` rule under-reported:
+        // round(0.99 * 66) = 65 picked the 66th sample, one *below* the
+        // true rank ceil(0.99 * 67) = 67 — the tail sample a p99 gate
+        // exists to see.
+        assert_eq!(percentile_ms(&sample(67), 99.0), 67_000.0);
+        // Empty samples report zero rather than panicking.
+        assert_eq!(percentile_ms(&[], 99.0), 0.0);
     }
 
     #[test]

@@ -32,9 +32,12 @@
 //!   results bit-identical to serial execution, and per-query weight
 //!   overrides (`search_weighted`) served from the same frozen snapshot.
 //! * [`shard`] — sharded scatter-gather serving: [`ShardedMust`] builds
-//!   `S` shards in parallel, [`ShardedServer`] fans each query out and
-//!   merges the per-shard top-`k` by exact joint similarity; bundle v4
-//!   persists the whole deployment in one file.
+//!   `S` shards in parallel (round-robin, hashed, or clustered),
+//!   [`ShardedServer`] fans each query out — or **routes** it to only
+//!   the best-scoring shards via per-shard summaries ([`RoutePolicy`])
+//!   — and merges the per-shard top-`k` by exact joint similarity;
+//!   bundle v6 persists the whole deployment, summaries included, in
+//!   one file.
 //! * [`runtime`] — the contention-free serve loop behind both servers'
 //!   `serve` entry points: per-worker request lanes, work stealing from
 //!   the longest lane, and batch affinity, with drain-on-shutdown
@@ -86,7 +89,9 @@ pub use metrics::{recall_at, sme};
 pub use oracle::{JointOracle, MustQueryScorer};
 pub use runtime::{RuntimeCounters, ServeRuntime};
 pub use server::{MustServer, ServeReply, ServeRequest};
-pub use shard::{ShardAssignment, ShardRouter, ShardSpec, ShardedMust, ShardedServer};
+pub use shard::{
+    RoutePolicy, ShardAssignment, ShardRouter, ShardSpec, ShardSummary, ShardedMust, ShardedServer,
+};
 pub use weights::{LearnedWeights, TrainingCurve, WeightLearnConfig, WeightLearner};
 
 /// Crate-level error type.

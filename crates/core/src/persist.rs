@@ -5,7 +5,14 @@
 //!
 //! The wire formats, newest first:
 //!
-//! * **Bundle v5** (current, [`save`]): the fused-row corpus block of v3
+//! * **Bundle v6** (current sharded format, [`save_sharded`]): the v4
+//!   manifest plus a **routing-summary section** (per shard: the fused
+//!   centroid row and per-modality residual radii, each length-prefixed)
+//!   between the id maps and the payload offset table.  Summaries load
+//!   verbatim — they are *not* re-derivable after dynamic insertions,
+//!   whose radius growth must survive a round-trip.
+//! * **Bundle v5** (current single-shard format, [`save`]): the fused-row
+//!   corpus block of v3
 //!   — which has always held the **unscaled** rows; weights were never
 //!   baked into storage on disk — followed by an explicit *segment-norms
 //!   block* (`n · m` little-endian `f32`, `||o_k||^2` per row/modality)
@@ -23,8 +30,9 @@
 //!   `DESIGN.md` §6 for the byte-level table of the binary versions.
 //! * **Bundle v1** ([`save_json`]): the original JSON format, flat-graph
 //!   backends only.  [`load`] sniffs the magic bytes and accepts all
-//!   four single-shard formats (the sharded v4 goes through
-//!   [`load_sharded`]).
+//!   four single-shard formats (the sharded v4/v6 go through
+//!   [`load_sharded`], which derives routing summaries for every
+//!   pre-v6 bundle).
 //!
 //! I/O and (de)serialisation failures surface as [`MustError::Io`];
 //! semantic problems (unsupported version, corpus/graph inconsistency)
@@ -40,7 +48,7 @@ use serde::{Deserialize, Serialize};
 
 use crate::framework::{Must, MustBuildOptions};
 use crate::index::MustIndex;
-use crate::shard::{ShardAssignment, ShardedMust};
+use crate::shard::{ShardAssignment, ShardSummary, ShardedMust};
 use crate::MustError;
 
 /// The v1 on-disk bundle (JSON; kept loadable for existing deployments).
@@ -68,20 +76,26 @@ pub const BUNDLE_V2_VERSION: u32 = 2;
 /// loadable.
 pub const BUNDLE_V3_VERSION: u32 = 3;
 
-/// Version written by [`save_sharded`]: a shard manifest (shard count,
-/// assignment, per-shard id maps and byte offsets) followed by one v3
-/// payload per shard.
+/// Legacy sharded version: a shard manifest (shard count, assignment,
+/// per-shard id maps and byte offsets) followed by one v3 payload per
+/// shard.  Still loadable (routing summaries are derived on load); no
+/// longer written.
 pub const BUNDLE_V4_VERSION: u32 = 4;
 
 /// Version written by [`save`]: the v3 layout plus an explicit
 /// segment-norms block between the fused rows and the default weights.
 pub const BUNDLE_V5_VERSION: u32 = 5;
 
+/// Version written by [`save_sharded`]: the v4 manifest plus a per-shard
+/// routing-summary section (centroid row + residual radii) between the id
+/// maps and the payload offset table.
+pub const BUNDLE_V6_VERSION: u32 = 6;
+
 /// Magic bytes opening every binary bundle (v2, v3, v5, and the sharded
-/// v4); [`load`] uses them to tell the binary formats from v1 JSON.
+/// v4/v6); [`load`] uses them to tell the binary formats from v1 JSON.
 pub const BUNDLE_V2_MAGIC: [u8; 8] = *b"MUSTBNDL";
 
-/// Sanity cap on the shard count of a v4 manifest.
+/// Sanity cap on the shard count of a v4/v6 manifest.
 const MAX_SHARDS: u64 = 1 << 16;
 
 /// Index-block tag: flat graph in CSR form.
@@ -191,6 +205,17 @@ fn rd_words<T>(
 fn rd_u32s(r: &mut impl Read, what: &str) -> Result<Vec<u32>, MustError> {
     let len = checked_len(rd_u64(r)?, what)?;
     rd_words(r, len, what, u32::from_le_bytes)
+}
+
+/// Writes a length-prefixed `f32` array (the v6 summary blocks).
+fn wr_f32s(w: &mut impl Write, vs: &[f32]) -> Result<(), MustError> {
+    wr_u64(w, vs.len() as u64)?;
+    wr_words(w, vs, f32::to_le_bytes)
+}
+
+fn rd_f32s(r: &mut impl Read, what: &str) -> Result<Vec<f32>, MustError> {
+    let len = checked_len(rd_u64(r)?, what)?;
+    rd_words(r, len, what, f32::from_le_bytes)
 }
 
 // ---------------------------------------------------------------------------
@@ -324,8 +349,8 @@ pub fn save_json(must: &Must, path: &Path) -> Result<(), MustError> {
 
 /// Loads a single-shard bundle from `path` into a ready-to-search
 /// [`Must`], accepting the v5/v3/v2 binary formats and legacy v1 JSON
-/// (sniffed via the magic bytes).  Sharded v4 bundles are rejected with a
-/// pointer at [`load_sharded`], which accepts all five.
+/// (sniffed via the magic bytes).  Sharded v4/v6 bundles are rejected
+/// with a pointer at [`load_sharded`], which accepts all six.
 ///
 /// # Errors
 /// [`MustError::Io`] for file-system and decoding failures;
@@ -339,12 +364,11 @@ pub fn load(path: &Path) -> Result<Must, MustError> {
     r.read_exact(&mut magic).map_err(io("read header"))?;
     if magic == BUNDLE_V2_MAGIC {
         let version = rd_u32(&mut r)?;
-        if version == BUNDLE_V4_VERSION {
-            return Err(MustError::Config(
-                "bundle v4 is sharded; load it via persist::load_sharded or \
+        if version == BUNDLE_V4_VERSION || version == BUNDLE_V6_VERSION {
+            return Err(MustError::Config(format!(
+                "bundle v{version} is sharded; load it via persist::load_sharded or \
                  ShardedServer::load"
-                    .into(),
-            ));
+            )));
         }
         return read_binary_body(&mut r, version);
     }
@@ -498,11 +522,15 @@ impl<R: Read> Read for CountingReader<R> {
     }
 }
 
-/// Serialises a [`ShardedMust`] to `path` in the bundle-v4 format: the
-/// shared magic, version 4, then a **manifest** (shard count, assignment
-/// tag, per-shard local→global id maps, per-shard absolute byte offsets)
-/// followed by one v3 payload per shard.  A whole sharded deployment
-/// round-trips through one file; [`load_sharded`] (and
+/// Serialises a [`ShardedMust`] to `path` in the bundle-v6 format: the
+/// shared magic, version 6, then a **manifest** (shard count, assignment
+/// tag, per-shard local→global id maps, per-shard routing summaries,
+/// per-shard absolute byte offsets) followed by one v3 payload per shard.
+/// Summaries are persisted verbatim rather than re-derived on load:
+/// dynamic insertions widen a shard's residual radii around the *fixed*
+/// build-time centroid, and that growth must survive a round-trip for
+/// routed searches to keep finding the inserted objects.  A whole sharded
+/// deployment round-trips through one file; [`load_sharded`] (and
 /// [`crate::shard::ShardedServer::load`]) reads it back:
 ///
 /// ```
@@ -519,12 +547,13 @@ impl<R: Read> Read for CountingReader<R> {
 /// let sharded = ShardedMust::build(
 ///     objects, Weights::uniform(1), MustBuildOptions::default(), ShardSpec::new(2),
 /// ).unwrap();
-/// let path = std::env::temp_dir().join(format!("doc-v4-{}.mustb", std::process::id()));
+/// let path = std::env::temp_dir().join(format!("doc-v6-{}.mustb", std::process::id()));
 /// save_sharded(&sharded, &path).unwrap();
 /// let loaded = load_sharded(&path).unwrap();
 /// std::fs::remove_file(&path).unwrap();
 /// assert_eq!(loaded.num_shards(), 2);
 /// assert_eq!(loaded.global_ids(0), sharded.global_ids(0));
+/// assert_eq!(loaded.summary(1), sharded.summary(1));
 /// ```
 ///
 /// # Errors
@@ -532,6 +561,12 @@ impl<R: Read> Read for CountingReader<R> {
 /// [`MustError::Config`] if any shard carries live tombstones (bundles are
 /// frozen snapshots — rebuild first, exactly as [`save`] requires).
 pub fn save_sharded(sharded: &ShardedMust, path: &Path) -> Result<(), MustError> {
+    write_sharded(sharded, path, BUNDLE_V6_VERSION)
+}
+
+/// [`save_sharded`] parametrised over the manifest version, so tests can
+/// still produce v4 bundles and pin the legacy load path.
+fn write_sharded(sharded: &ShardedMust, path: &Path, version: u32) -> Result<(), MustError> {
     use std::io::{Seek, SeekFrom};
 
     let s = sharded.num_shards();
@@ -542,11 +577,18 @@ pub fn save_sharded(sharded: &ShardedMust, path: &Path) -> Result<(), MustError>
         .map_err(|e| MustError::Io(format!("create {}: {e}", path.display())))?;
     let mut w = BufWriter::new(file);
     w.write_all(&BUNDLE_V2_MAGIC).map_err(io("write magic"))?;
-    wr_u32(&mut w, BUNDLE_V4_VERSION)?;
+    wr_u32(&mut w, version)?;
     wr_u32(&mut w, s as u32)?;
     wr_u8(&mut w, sharded.assignment().tag())?;
     for i in 0..s {
         wr_u32s(&mut w, sharded.global_ids(i))?;
+    }
+    if version >= BUNDLE_V6_VERSION {
+        for i in 0..s {
+            let summary = sharded.summary(i);
+            wr_f32s(&mut w, summary.centroid())?;
+            wr_f32s(&mut w, summary.radii())?;
+        }
     }
     // Stream the payloads (the corpus-sized part of the bundle) straight
     // to the file — never a second in-memory copy — recording where each
@@ -568,10 +610,12 @@ pub fn save_sharded(sharded: &ShardedMust, path: &Path) -> Result<(), MustError>
     Ok(())
 }
 
-/// Loads *any* bundle from `path` into a [`ShardedMust`]: the sharded v4
-/// manifest directly, and every single-shard format (v5/v3/v2 binary, v1
-/// JSON) as one shard with the identity id map — so a sharded deployment
-/// can adopt existing bundles without a rewrite.
+/// Loads *any* bundle from `path` into a [`ShardedMust`]: the sharded
+/// v6/v4 manifests directly (v6 adopts its persisted routing summaries;
+/// v4 — and every pre-v6 format — derives them from the shard rows), and
+/// every single-shard format (v5/v3/v2 binary, v1 JSON) as one shard with
+/// the identity id map — so a sharded deployment can adopt existing
+/// bundles without a rewrite.
 ///
 /// # Errors
 /// [`MustError::Io`] for file-system and decoding failures;
@@ -586,8 +630,8 @@ pub fn load_sharded(path: &Path) -> Result<ShardedMust, MustError> {
     r.read_exact(&mut magic).map_err(io("read header"))?;
     if magic == BUNDLE_V2_MAGIC {
         let version = rd_u32(&mut r)?;
-        if version == BUNDLE_V4_VERSION {
-            return read_v4_body(&mut r);
+        if version == BUNDLE_V4_VERSION || version == BUNDLE_V6_VERSION {
+            return read_sharded_body(&mut r, version);
         }
     }
     // Any single-shard format: defer to `load` (which re-sniffs from the
@@ -598,8 +642,11 @@ pub fn load_sharded(path: &Path) -> Result<ShardedMust, MustError> {
     ShardedMust::from_parts(vec![must], vec![(0..n).collect()], ShardAssignment::RoundRobin)
 }
 
-/// Reads a v4 manifest + payloads (everything after magic + version).
-fn read_v4_body(r: &mut CountingReader<impl Read>) -> Result<ShardedMust, MustError> {
+/// Reads a v4/v6 manifest + payloads (everything after magic + version).
+fn read_sharded_body(
+    r: &mut CountingReader<impl Read>,
+    version: u32,
+) -> Result<ShardedMust, MustError> {
     let shard_count = u64::from(rd_u32(r)?);
     if shard_count == 0 || shard_count > MAX_SHARDS {
         return Err(MustError::Config(format!("corrupt shard count {shard_count}")));
@@ -611,6 +658,17 @@ fn read_v4_body(r: &mut CountingReader<impl Read>) -> Result<ShardedMust, MustEr
     for _ in 0..s {
         global_ids.push(rd_u32s(r, "shard id map")?);
     }
+    let summaries = if version >= BUNDLE_V6_VERSION {
+        let mut summaries = Vec::with_capacity(s.min(MAX_PREALLOC));
+        for _ in 0..s {
+            let centroid = rd_f32s(r, "summary centroid")?;
+            let radii = rd_f32s(r, "summary radii")?;
+            summaries.push(ShardSummary::from_parts(centroid, radii)?);
+        }
+        Some(summaries)
+    } else {
+        None
+    };
     let mut offsets = Vec::with_capacity(s.min(MAX_PREALLOC));
     for _ in 0..s {
         offsets.push(rd_u64(r)?);
@@ -625,7 +683,11 @@ fn read_v4_body(r: &mut CountingReader<impl Read>) -> Result<ShardedMust, MustEr
         }
         shards.push(read_binary_body(r, BUNDLE_V3_VERSION)?);
     }
-    ShardedMust::from_parts(shards, global_ids, assignment)
+    match summaries {
+        Some(sums) => ShardedMust::from_parts_with_summaries(shards, global_ids, assignment, sums),
+        // Pre-v6 bundles carry no summaries; derive them from the rows.
+        None => ShardedMust::from_parts(shards, global_ids, assignment),
+    }
 }
 
 #[cfg(test)]
@@ -931,7 +993,7 @@ mod tests {
     }
 
     #[test]
-    fn sharded_bundle_v4_round_trips_every_backend() {
+    fn sharded_bundle_v6_round_trips_every_backend() {
         let set = corpus(120);
         for recipe in GraphRecipe::all() {
             let sharded = ShardedMust::build(
@@ -941,7 +1003,7 @@ mod tests {
                 ShardSpec::hashed(3),
             )
             .unwrap();
-            let path = tmp(&format!("bundle-v4-{}.mustb", recipe.label()));
+            let path = tmp(&format!("bundle-v6-{}.mustb", recipe.label()));
             save_sharded(&sharded, &path).unwrap();
             let loaded = load_sharded(&path).unwrap();
             assert_eq!(loaded.num_shards(), 3, "{}", recipe.label());
@@ -949,12 +1011,39 @@ mod tests {
             assert_eq!(loaded.assignment(), ShardAssignment::Hash);
             for s in 0..3 {
                 assert_eq!(loaded.global_ids(s), sharded.global_ids(s), "{}", recipe.label());
+                // v6 carries the summaries verbatim.
+                assert_eq!(loaded.summary(s), sharded.summary(s), "{}", recipe.label());
             }
             let direct = ShardedServer::freeze(sharded);
             let thawed = ShardedServer::freeze(loaded);
             assert_identical_sharded_searches(&direct, &set, &thawed, &[2, 61, 119]);
             std::fs::remove_file(&path).unwrap();
         }
+    }
+
+    #[test]
+    fn legacy_v4_bundles_load_with_derived_summaries() {
+        let set = corpus(96);
+        let sharded = ShardedMust::build(
+            set.clone(),
+            Weights::new(vec![0.8, 0.4]).unwrap(),
+            MustBuildOptions::default(),
+            ShardSpec::new(3),
+        )
+        .unwrap();
+        let path = tmp("bundle-v4-legacy.mustb");
+        write_sharded(&sharded, &path, BUNDLE_V4_VERSION).unwrap();
+        let loaded = load_sharded(&path).unwrap();
+        assert_eq!(loaded.num_shards(), 3);
+        for s in 0..3 {
+            // A v4 manifest has no summary section; the loader derives
+            // summaries from the rows, matching a fresh build's exactly.
+            assert_eq!(loaded.summary(s), sharded.summary(s));
+        }
+        let direct = ShardedServer::freeze(sharded);
+        let thawed = ShardedServer::freeze(loaded);
+        assert_identical_sharded_searches(&direct, &set, &thawed, &[0, 47, 95]);
+        std::fs::remove_file(&path).unwrap();
     }
 
     #[test]
@@ -976,33 +1065,44 @@ mod tests {
             assert_eq!(sharded.len(), 90);
             let want: Vec<u32> = (0..90).collect();
             assert_eq!(sharded.global_ids(0), &want[..]);
+            // Pre-v6 bundles carry no summaries: the loader derives one
+            // from the rows, identical to computing it directly.
+            let derived = crate::shard::ShardSummary::compute(sharded.shard(0).objects().fused());
+            assert_eq!(sharded.summary(0), &derived);
             std::fs::remove_file(p).unwrap();
         }
     }
 
     #[test]
-    fn v4_reload_preserves_dynamic_insertion_and_balance() {
+    fn v6_reload_preserves_dynamic_insertion_and_grown_radii() {
         let set = corpus(80);
-        let sharded = ShardedMust::build(
+        let mut sharded = ShardedMust::build(
             set,
             Weights::uniform(2),
             MustBuildOptions { recipe: GraphRecipe::Hnsw, ..Default::default() },
             ShardSpec::new(2),
         )
         .unwrap();
-        let path = tmp("bundle-v4-hnsw-insert.mustb");
+        // Insert *before* saving: the target shard's radii grow around the
+        // fixed centroid, and v6 must persist that growth verbatim (a
+        // re-derivation on load would recentre and shrink it).
+        sharded.insert_object(&[vec![1.0; 8], vec![1.0; 4]]).unwrap();
+        let path = tmp("bundle-v6-hnsw-insert.mustb");
         save_sharded(&sharded, &path).unwrap();
         let mut loaded = load_sharded(&path).unwrap();
+        for s in 0..2 {
+            assert_eq!(loaded.summary(s), sharded.summary(s), "shard {s}");
+        }
         let id = loaded
             .insert_object(&[vec![1.0; 8], vec![1.0; 4]])
             .expect("reloaded HNSW shards stay dynamic");
-        assert_eq!(id, 80, "global ids keep growing densely after reload");
-        assert_eq!(loaded.len(), 81);
+        assert_eq!(id, 81, "global ids keep growing densely after reload");
+        assert_eq!(loaded.len(), 82);
         std::fs::remove_file(&path).unwrap();
     }
 
     #[test]
-    fn single_shard_loader_rejects_v4_with_a_pointer() {
+    fn single_shard_loader_rejects_sharded_bundles_with_a_pointer() {
         let set = corpus(40);
         let sharded = ShardedMust::build(
             set,
@@ -1011,11 +1111,13 @@ mod tests {
             ShardSpec::new(2),
         )
         .unwrap();
-        let path = tmp("bundle-v4-reject.mustb");
-        save_sharded(&sharded, &path).unwrap();
-        let Err(err) = load(&path) else { panic!("load() must reject v4") };
-        assert!(err.to_string().contains("load_sharded"), "{err}");
-        std::fs::remove_file(&path).unwrap();
+        for version in [BUNDLE_V4_VERSION, BUNDLE_V6_VERSION] {
+            let path = tmp(&format!("bundle-v{version}-reject.mustb"));
+            write_sharded(&sharded, &path, version).unwrap();
+            let Err(err) = load(&path) else { panic!("load() must reject v{version}") };
+            assert!(err.to_string().contains("load_sharded"), "{err}");
+            std::fs::remove_file(&path).unwrap();
+        }
     }
 
     #[test]
@@ -1040,7 +1142,7 @@ mod tests {
         )
         .unwrap();
         let bad_offset = tmp("v4-bad-offset.mustb");
-        save_sharded(&sharded, &bad_offset).unwrap();
+        write_sharded(&sharded, &bad_offset, BUNDLE_V4_VERSION).unwrap();
         let mut bytes = std::fs::read(&bad_offset).unwrap();
         // First offset lives right after: magic(8) + version(4) + count(4)
         // + tag(1) + two id maps (8 + 4*15 each).
@@ -1051,6 +1153,20 @@ mod tests {
         assert!(matches!(err, MustError::Config(_)), "{err}");
         assert!(err.to_string().contains("payload"), "{err}");
 
+        // A v6 summary block holding a NaN must be rejected by the summary
+        // validator, not crash the router later.  The centroid starts
+        // right after the same manifest prefix as above, plus the
+        // centroid's own u64 length prefix.
+        let bad_summary = tmp("v6-bad-summary.mustb");
+        save_sharded(&sharded, &bad_summary).unwrap();
+        let mut bytes = std::fs::read(&bad_summary).unwrap();
+        let centroid_pos = 8 + 4 + 4 + 1 + 2 * (8 + 4 * 15) + 8;
+        bytes[centroid_pos..centroid_pos + 4].copy_from_slice(&f32::NAN.to_le_bytes());
+        std::fs::write(&bad_summary, &bytes).unwrap();
+        let Err(err) = load_sharded(&bad_summary) else { panic!("NaN summary must fail") };
+        assert!(matches!(err, MustError::Config(_)), "{err}");
+        assert!(err.to_string().contains("summary"), "{err}");
+
         // Zero shards.
         let zero = tmp("v4-zero-shards.mustb");
         let mut bytes = BUNDLE_V2_MAGIC.to_vec();
@@ -1059,7 +1175,7 @@ mod tests {
         std::fs::write(&zero, &bytes).unwrap();
         assert!(matches!(load_sharded(&zero), Err(MustError::Config(_))));
 
-        for p in [bad_tag, bad_offset, zero] {
+        for p in [bad_tag, bad_offset, bad_summary, zero] {
             std::fs::remove_file(&p).unwrap();
         }
     }

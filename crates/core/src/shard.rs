@@ -19,6 +19,20 @@
 //!   shard behind a single [`Arc`].  A query fans out to every shard
 //!   (scatter), runs the existing per-shard beam search, and the per-shard
 //!   top-`k` lists merge into one global top-`k` (gather).
+//! * [`ShardSummary`] + [`RoutePolicy`] — selective routing.  Every shard
+//!   carries a summary (per-modality centroid segments plus residual
+//!   radii); [`ShardedServer::with_routing`] scores a query against each
+//!   summary under the active `ω²` weights and scatters to only the
+//!   top-`r` shards, optionally with a reduced per-shard beam `l_shard`.
+//!   `r = S` reproduces the full fan-out bit-identically.  Pair it with
+//!   [`ShardAssignment::Clustered`] so shard membership is spatially
+//!   coherent — under random assignment every shard holds a uniform slice
+//!   of any query's neighbours and `r < S` routing must lose recall.
+//!   Clustered membership additionally *replicates* boundary objects into
+//!   their runner-up shards (closure assignment): per-shard beam cost
+//!   scales with the beam, not the shard size, so the overlap buys
+//!   low-fan-out coverage at almost no query-time cost, and the gather
+//!   step drops the duplicate copies.
 //!
 //! ## Determinism contract
 //!
@@ -26,7 +40,11 @@
 //! the gather step orders candidates by `(similarity desc, global id asc)`
 //! — a total order — so a sharded query's results are a pure function of
 //! the query: bit-identical across thread counts, scatter strategies, and
-//! repeated runs, exactly like the single-shard server.  Similarities
+//! repeated runs, exactly like the single-shard server.  Routing preserves
+//! this: the router's scores are a pure function of `(query, weights,
+//! summaries)` and ties break toward the lower shard index, so the set of
+//! shards searched — and therefore the merged result — is deterministic
+//! too.  Similarities
 //! themselves are bit-identical to the unsharded engine's because a shard
 //! row holds the same `f32` values at the same lane offsets as the
 //! corresponding global row, so the fused dot product performs the same
@@ -66,8 +84,8 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use must_graph::par;
-use must_graph::SearchStats;
-use must_vector::{MultiQuery, MultiVectorSet, ObjectId, VectorSet, Weights};
+use must_graph::{SearchParams, SearchStats};
+use must_vector::{kernels, FusedRows, MultiQuery, MultiVectorSet, ObjectId, VectorSet, Weights};
 
 use crate::framework::{Must, MustBuildOptions};
 use crate::search::SearchOutcome;
@@ -96,18 +114,36 @@ pub enum ShardAssignment {
     /// membership from insertion order, so range-clustered corpora spread
     /// evenly.
     Hash,
+    /// Objects go to the shard whose weighted fused centroid they are most
+    /// similar to (deterministic balanced k-means over the fused rows,
+    /// capacity `ceil(1.25 · n / S)` per shard), and *boundary* objects
+    /// are additionally **replicated** into their strongest runner-up
+    /// shards (closure assignment — shard membership overlaps, costing
+    /// ~1.6× rows for coverage no disjoint partition reaches).
+    /// Membership depends on the *data*, not the id, so
+    /// [`ShardAssignment::shard_of`] is undefined — use
+    /// [`ShardRouter::split_weighted`].  This is the assignment that
+    /// makes selective routing ([`RoutePolicy`]) effective: each shard
+    /// covers a coherent region and holds copies of the borderline
+    /// objects nearby, so a query's neighbours concentrate in few shards.
+    Clustered,
 }
 
 impl ShardAssignment {
     /// The shard object `id` belongs to, out of `shards`.
     ///
     /// # Panics
-    /// Panics when `shards` is zero.
+    /// Panics when `shards` is zero, or for
+    /// [`ShardAssignment::Clustered`], whose assignment is data-dependent
+    /// (split a corpus via [`ShardRouter::split_weighted`] instead).
     #[must_use]
     pub fn shard_of(self, id: ObjectId, shards: usize) -> usize {
         assert!(shards > 0, "shard count must be positive");
         match self {
             Self::RoundRobin => id as usize % shards,
+            Self::Clustered => {
+                panic!("clustered assignment is data-dependent; use ShardRouter::split_weighted")
+            }
             Self::Hash => {
                 // SplitMix64 finaliser: cheap, well-mixed, stable across
                 // platforms (the assignment is part of the bundle format).
@@ -121,12 +157,13 @@ impl ShardAssignment {
         }
     }
 
-    /// Stable wire tag (bundle v4 manifest).
+    /// Stable wire tag (bundle v4/v6 manifests).
     #[must_use]
     pub fn tag(self) -> u8 {
         match self {
             Self::RoundRobin => 0,
             Self::Hash => 1,
+            Self::Clustered => 2,
         }
     }
 
@@ -136,6 +173,7 @@ impl ShardAssignment {
         match tag {
             0 => Some(Self::RoundRobin),
             1 => Some(Self::Hash),
+            2 => Some(Self::Clustered),
             _ => None,
         }
     }
@@ -170,6 +208,13 @@ impl ShardSpec {
     #[must_use]
     pub fn hashed(shards: usize) -> Self {
         Self { shards, assignment: ShardAssignment::Hash }
+    }
+
+    /// A clustered spec over `shards` shards (balanced k-means membership
+    /// — the natural partner of [`RoutePolicy`] selective routing).
+    #[must_use]
+    pub fn clustered(shards: usize) -> Self {
+        Self { shards, assignment: ShardAssignment::Clustered }
     }
 }
 
@@ -215,6 +260,10 @@ impl ShardRouter {
     }
 
     /// The shard object `id` belongs to.
+    ///
+    /// # Panics
+    /// Panics for [`ShardAssignment::Clustered`] (data-dependent — see
+    /// [`ShardRouter::split_weighted`]).
     #[must_use]
     pub fn shard_of(&self, id: ObjectId) -> usize {
         self.spec.assignment.shard_of(id, self.spec.shards)
@@ -223,17 +272,75 @@ impl ShardRouter {
     /// Splits `objects` into `S` per-shard corpora, each paired with its
     /// local→global id map (`map[local] = global`).  Vector values are
     /// copied bit-exact, so per-shard similarities equal the unsharded
-    /// engine's.
+    /// engine's.  Id-based assignments partition the corpus; clustered
+    /// specs may *overlap* (closure replication of boundary objects).
+    /// Clustered specs cluster under uniform weights; use
+    /// [`ShardRouter::split_weighted`] to cluster under the serving
+    /// weights.
     #[must_use]
     pub fn split(&self, objects: &MultiVectorSet) -> Vec<(MultiVectorSet, Vec<ObjectId>)> {
+        self.split_weighted(objects, None)
+    }
+
+    /// [`ShardRouter::split`] with explicit clustering weights: a
+    /// [`ShardAssignment::Clustered`] spec groups objects by weighted
+    /// fused similarity to `S` balanced k-means centroids (weights falling
+    /// back to uniform when absent or of mismatched arity — the arity
+    /// error then surfaces from the per-shard build, as it would
+    /// unsharded).  Id-based assignments ignore `weights`.  Membership is
+    /// deterministic: farthest-point seeding, fixed Lloyd rounds, and a
+    /// margin-ordered balanced pass with all ties broken by id/index.
+    #[must_use]
+    pub fn split_weighted(
+        &self,
+        objects: &MultiVectorSet,
+        weights: Option<&Weights>,
+    ) -> Vec<(MultiVectorSet, Vec<ObjectId>)> {
+        self.split_counted(objects, weights)
+            .into_iter()
+            .map(|(corpus, ids, _)| (corpus, ids))
+            .collect()
+    }
+
+    /// [`ShardRouter::split_weighted`] that additionally reports each
+    /// shard's *primary* member count: clustered shards lay their rows out
+    /// primaries-first (closure replicas after), and the build path
+    /// computes routing summaries over only that prefix.
+    fn split_counted(
+        &self,
+        objects: &MultiVectorSet,
+        weights: Option<&Weights>,
+    ) -> Vec<(MultiVectorSet, Vec<ObjectId>, usize)> {
         let s = self.spec.shards;
-        let mut members: Vec<Vec<ObjectId>> = vec![Vec::new(); s];
-        for id in 0..objects.len() as ObjectId {
-            members[self.shard_of(id)].push(id);
-        }
+        let members: Vec<(Vec<ObjectId>, usize)> = if self.spec.assignment
+            == ShardAssignment::Clustered
+        {
+            let m = objects.num_modalities().max(1);
+            let uniform;
+            let w = match weights {
+                Some(w) if w.modalities() == objects.num_modalities() => w,
+                _ => {
+                    uniform = Weights::uniform(m);
+                    &uniform
+                }
+            };
+            cluster_members(objects.fused(), w, s)
+        } else {
+            let mut members: Vec<Vec<ObjectId>> = vec![Vec::new(); s];
+            for id in 0..objects.len() as ObjectId {
+                members[self.shard_of(id)].push(id);
+            }
+            members
+                .into_iter()
+                .map(|m| {
+                    let p = m.len();
+                    (m, p)
+                })
+                .collect()
+        };
         members
             .into_iter()
-            .map(|ids| {
+            .map(|(ids, primaries)| {
                 let sets: Vec<VectorSet> = objects
                     .dims()
                     .iter()
@@ -248,9 +355,358 @@ impl ShardRouter {
                     })
                     .collect();
                 let corpus = MultiVectorSet::new(sets).expect("equal cardinalities by construction");
-                (corpus, ids)
+                (corpus, ids, primaries)
             })
             .collect()
+    }
+}
+
+/// Fixed Lloyd refinement rounds for [`ShardAssignment::Clustered`].  A
+/// constant rather than a knob: clustered membership is a pure function of
+/// `(corpus, weights, S)` and is recorded in bundles, so it must not vary
+/// across builds of the same corpus.  Twenty rounds converges measurably
+/// tighter partitions than eight on the committed MIT-States sweep
+/// (routing coverage at fan-out 3 rises ~0.4 pt) at negligible build
+/// cost next to the graph construction it precedes.
+const CLUSTER_ROUNDS: usize = 20;
+
+/// Capacity slack for the balanced pass: each cluster may hold up to
+/// `ceil(1.25 · n / S)` members.  A hard `ceil(n / S)` cap forcibly
+/// reassigns every overflow member of a natural cluster to a foreign
+/// shard, splitting exactly the neighbourhoods selective routing needs
+/// intact — measured on the committed sweep, the strict cap costs ~2 pt
+/// of fan-out-1 routing coverage while the slack keeps shard sizes
+/// within 25 % of even.
+const CLUSTER_CAP_NUM: usize = 5;
+/// Denominator of the capacity-slack fraction (`5/4` = 25 % slack).
+const CLUSTER_CAP_DEN: usize = 4;
+
+/// Closure-replication threshold, as a fraction of each object's
+/// best-to-worst centroid-score spread (`2/5`): after the balanced pass,
+/// an object is *replicated* into up to [`CLOSURE_MAX_REPLICAS`]
+/// runner-up clusters whose centroid score is within `0.4 · spread` of
+/// its best.  Boundary objects — exactly the ones whose neighbourhoods a
+/// disjoint partition splits — then exist in every shard a router is
+/// likely to send their queries to, which is what lifts low-fan-out
+/// routing coverage past what any disjoint partition can reach (the best
+/// disjoint fan-out-2 coverage measured on the committed MIT-States
+/// sweep tops out near 0.96; replication takes it past 0.99).
+/// Graph-search cost per shard scales with the beam width, not the shard
+/// size, so the extra rows cost memory and build time but almost no
+/// query latency — which is why the threshold errs generous.
+const CLOSURE_FRAC_NUM: usize = 2;
+/// Denominator of [`CLOSURE_FRAC_NUM`].
+const CLOSURE_FRAC_DEN: usize = 5;
+/// Most runner-up clusters one object may be replicated into.
+const CLOSURE_MAX_REPLICAS: usize = 3;
+
+/// A centroid row with every modality segment pre-multiplied by its `ω²`
+/// weight, so one contiguous dot product against a fused row yields the
+/// Lemma-1 weighted similarity (padding lanes are zero on both sides).
+fn prescale_centroid(rows: &FusedRows, centroid: &[f32], weights: &Weights) -> Vec<f32> {
+    let mut scaled = centroid.to_vec();
+    for k in 0..rows.num_modalities() {
+        let (a, b) = rows.segment_bounds(k);
+        let w = weights.sq(k);
+        for x in &mut scaled[a..b] {
+            *x *= w;
+        }
+    }
+    scaled
+}
+
+/// Deterministic balanced k-means membership over the fused rows: seeds by
+/// farthest-point, refines centroids for [`CLUSTER_ROUNDS`] Lloyd rounds,
+/// then assigns points in descending best-vs-second-margin order to their
+/// most-similar cluster with spare capacity (`ceil(1.25 · n / S)` per
+/// cluster — see [`CLUSTER_CAP_NUM`]), and finally *replicates* boundary
+/// objects into their strongest runner-up clusters
+/// ([`CLOSURE_FRAC_NUM`]) — so the returned member lists **overlap**.
+/// All ties break by id or cluster index, so membership is reproducible
+/// across thread counts and platforms.  Returns `S` member lists, each
+/// laid out as ascending-id primaries followed by ascending-id replicas,
+/// paired with its primary count (summaries are computed over the primary
+/// prefix only); corpora smaller than `S` fall back to round-robin.
+fn cluster_members(rows: &FusedRows, weights: &Weights, s: usize) -> Vec<(Vec<ObjectId>, usize)> {
+    let n = rows.len();
+    if n < s || s <= 1 {
+        let mut members: Vec<Vec<ObjectId>> = vec![Vec::new(); s];
+        for id in 0..n as ObjectId {
+            members[id as usize % s.max(1)].push(id);
+        }
+        return members.into_iter().map(|m| { let p = m.len(); (m, p) }).collect();
+    }
+    let sim = |i: usize, scaled: &[f32]| kernels::ip_prescaled_segments(rows.row(i as ObjectId), scaled);
+
+    // Farthest-point seeding: start from row 0, then repeatedly take the
+    // row least similar to its closest chosen seed (tie → lowest id).
+    let mut chosen = vec![false; n];
+    chosen[0] = true;
+    let mut seeds = vec![0usize];
+    let first = prescale_centroid(rows, rows.row(0), weights);
+    let mut nearest: Vec<f32> = (0..n).map(|i| sim(i, &first)).collect();
+    while seeds.len() < s {
+        let next = (0..n)
+            .filter(|&i| !chosen[i])
+            .min_by(|&a, &b| nearest[a].total_cmp(&nearest[b]).then(a.cmp(&b)))
+            .expect("n >= s leaves unchosen rows");
+        chosen[next] = true;
+        seeds.push(next);
+        let scaled = prescale_centroid(rows, rows.row(next as ObjectId), weights);
+        for (i, near) in nearest.iter_mut().enumerate() {
+            *near = near.max(sim(i, &scaled));
+        }
+    }
+
+    // Lloyd rounds: assign to the most-similar centroid (tie → lowest
+    // cluster), recompute means; an emptied cluster keeps its centroid.
+    let mut centroids: Vec<Vec<f32>> =
+        seeds.iter().map(|&i| rows.row(i as ObjectId).to_vec()).collect();
+    let mut assign = vec![0usize; n];
+    for _ in 0..CLUSTER_ROUNDS {
+        let scaled: Vec<Vec<f32>> =
+            centroids.iter().map(|c| prescale_centroid(rows, c, weights)).collect();
+        for (i, slot) in assign.iter_mut().enumerate() {
+            let mut best = (sim(i, &scaled[0]), 0usize);
+            for (c, sc) in scaled.iter().enumerate().skip(1) {
+                let v = sim(i, sc);
+                if v > best.0 {
+                    best = (v, c);
+                }
+            }
+            *slot = best.1;
+        }
+        let mut sums = vec![vec![0.0f32; rows.stride()]; s];
+        let mut counts = vec![0usize; s];
+        for (i, &c) in assign.iter().enumerate() {
+            counts[c] += 1;
+            for (dst, src) in sums[c].iter_mut().zip(rows.row(i as ObjectId)) {
+                *dst += src;
+            }
+        }
+        for (c, sum) in sums.into_iter().enumerate() {
+            if counts[c] > 0 {
+                let inv = 1.0 / counts[c] as f32;
+                centroids[c] = sum.into_iter().map(|x| x * inv).collect();
+            }
+        }
+    }
+
+    // Balanced greedy assignment: points with the clearest favourite
+    // (largest best-vs-second margin) claim a slot first, each going to
+    // its most-similar cluster that still has capacity.
+    let scaled: Vec<Vec<f32>> =
+        centroids.iter().map(|c| prescale_centroid(rows, c, weights)).collect();
+    let mut sims = vec![0.0f32; n * s];
+    let mut order: Vec<(f32, usize)> = Vec::with_capacity(n);
+    for i in 0..n {
+        let (mut best, mut second) = (f32::NEG_INFINITY, f32::NEG_INFINITY);
+        for (c, sc) in scaled.iter().enumerate() {
+            let v = sim(i, sc);
+            sims[i * s + c] = v;
+            if v > best {
+                second = best;
+                best = v;
+            } else if v > second {
+                second = v;
+            }
+        }
+        order.push((best - second, i));
+    }
+    order.sort_unstable_by(|a, b| b.0.total_cmp(&a.0).then(a.1.cmp(&b.1)));
+    let cap = (n * CLUSTER_CAP_NUM).div_ceil(s * CLUSTER_CAP_DEN).max(n.div_ceil(s));
+    let mut members: Vec<Vec<ObjectId>> = vec![Vec::new(); s];
+    let mut prefs: Vec<usize> = (0..s).collect();
+    for &(_, i) in &order {
+        prefs.sort_unstable_by(|&a, &b| sims[i * s + b].total_cmp(&sims[i * s + a]).then(a.cmp(&b)));
+        let c = *prefs.iter().find(|&&c| members[c].len() < cap).expect("cap * S >= n");
+        members[c].push(i as ObjectId);
+    }
+    // `n >= s` guarantees enough points to populate every cluster; steal
+    // the best-fitting member from the largest donor if one ended empty.
+    for c in 0..s {
+        while members[c].is_empty() {
+            let donor = (0..s)
+                .max_by(|&a, &b| members[a].len().cmp(&members[b].len()).then(b.cmp(&a)))
+                .expect("at least one cluster");
+            if members[donor].len() <= 1 {
+                break;
+            }
+            let pos = (0..members[donor].len())
+                .max_by(|&a, &b| {
+                    let (ia, ib) = (members[donor][a] as usize, members[donor][b] as usize);
+                    sims[ia * s + c].total_cmp(&sims[ib * s + c]).then(ib.cmp(&ia))
+                })
+                .expect("donor is non-empty");
+            let moved = members[donor].remove(pos);
+            members[c].push(moved);
+        }
+    }
+    // Closure replication: copy boundary objects into their strongest
+    // runner-up clusters (within [`CLOSURE_FRAC_NUM`]/[`CLOSURE_FRAC_DEN`]
+    // of the object's score spread, capped at twice the balanced
+    // capacity).  Primaries sort first so replicas land after them —
+    // summaries cover only the primary prefix.  Id-order iteration and
+    // index tie-breaks keep membership deterministic.
+    let mut primary = vec![0usize; n];
+    for (c, ids) in members.iter().enumerate() {
+        for &id in ids {
+            primary[id as usize] = c;
+        }
+    }
+    for ids in &mut members {
+        ids.sort_unstable();
+    }
+    let counts: Vec<usize> = members.iter().map(Vec::len).collect();
+    let rep_cap = 2 * cap;
+    let frac = CLOSURE_FRAC_NUM as f32 / CLOSURE_FRAC_DEN as f32;
+    for i in 0..n {
+        let row = &sims[i * s..(i + 1) * s];
+        let best = row.iter().fold(f32::NEG_INFINITY, |a, &b| a.max(b));
+        let worst = row.iter().fold(f32::INFINITY, |a, &b| a.min(b));
+        let thr = best - frac * (best - worst);
+        let mut cands: Vec<usize> =
+            (0..s).filter(|&c| c != primary[i] && row[c] >= thr).collect();
+        cands.sort_unstable_by(|&a, &b| row[b].total_cmp(&row[a]).then(a.cmp(&b)));
+        for &c in cands.iter().take(CLOSURE_MAX_REPLICAS) {
+            if members[c].len() < rep_cap {
+                members[c].push(i as ObjectId);
+            }
+        }
+    }
+    // Id-order iteration already appended each replica tail ascending.
+    members.into_iter().zip(counts).collect()
+}
+
+/// A shard's routing summary: the mean fused row (`centroid`, padding
+/// lanes zero) plus, per modality, the largest L2 distance from any member
+/// row's segment to the centroid's (`radii[k]`).  Clustered shards summarise
+/// only their **primary** members: closure replicas are described by their
+/// own primary shard's summary (see [`ShardSummary::compute`]'s prefix
+/// variant), so the bound stays tight enough to tell shards apart.
+///
+/// Stored **unweighted**: for a query segment `q_k`, Cauchy–Schwarz bounds
+/// any member `x`'s inner product by
+/// `IP(q_k, x_k) <= IP(q_k, c_k) + ||q_k|| * radii[k]`, and the router
+/// applies the active `ω²` weights query-side via
+/// [`Weights::weighted_sum`] — exactly where the fused query row applies
+/// them — so one summary serves every weight override without rebuilding.
+///
+/// Summaries are derived from the rows at build/load time and persisted in
+/// bundle v6.  After [`ShardedMust::insert_object`] the centroid stays
+/// **fixed** and only the target shard's radii grow, which keeps the bound
+/// valid (a re-derived centroid would shift every residual); this is why
+/// v6 stores summaries verbatim instead of re-deriving them on load.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShardSummary {
+    centroid: Vec<f32>,
+    radii: Vec<f32>,
+}
+
+impl ShardSummary {
+    /// Derives the summary of a shard's fused rows.
+    #[must_use]
+    pub fn compute(rows: &FusedRows) -> Self {
+        Self::compute_prefix(rows, rows.len())
+    }
+
+    /// Derives the summary of the first `count` rows — the build path for
+    /// clustered shards, whose rows are laid out primary-members-first:
+    /// closure replicas are *excluded* from the summary because each is
+    /// already covered by its own primary shard's summary, and folding the
+    /// deliberately-borderline replicas in would widen every centroid and
+    /// radius until the shards' summaries all look alike and the router
+    /// cannot tell them apart.
+    fn compute_prefix(rows: &FusedRows, count: usize) -> Self {
+        let count = count.min(rows.len()).max(1);
+        let mut centroid = vec![0.0f32; rows.stride()];
+        for id in 0..count as ObjectId {
+            for (dst, src) in centroid.iter_mut().zip(rows.row(id)) {
+                *dst += src;
+            }
+        }
+        let inv = 1.0 / count as f32;
+        for x in &mut centroid {
+            *x *= inv;
+        }
+        let mut summary = Self { centroid, radii: vec![0.0; rows.num_modalities()] };
+        for id in 0..count as ObjectId {
+            summary.grow(rows, id);
+        }
+        summary
+    }
+
+    /// Reassembles a summary from persisted parts (the bundle-v6 load
+    /// path).
+    ///
+    /// # Errors
+    /// [`MustError::Config`] on non-finite values or negative radii.
+    pub fn from_parts(centroid: Vec<f32>, radii: Vec<f32>) -> Result<Self, MustError> {
+        if centroid.iter().any(|x| !x.is_finite())
+            || radii.iter().any(|r| !r.is_finite() || *r < 0.0)
+        {
+            return Err(MustError::Config(
+                "shard summary holds non-finite or negative values".into(),
+            ));
+        }
+        Ok(Self { centroid, radii })
+    }
+
+    /// The mean fused row (stride-length, padding lanes zero).
+    #[must_use]
+    pub fn centroid(&self) -> &[f32] {
+        &self.centroid
+    }
+
+    /// Per-modality residual radii (largest member-to-centroid segment L2).
+    #[must_use]
+    pub fn radii(&self) -> &[f32] {
+        &self.radii
+    }
+
+    /// Widens the radii to cover row `local` (the centroid stays fixed —
+    /// see the type docs for why).
+    fn grow(&mut self, rows: &FusedRows, local: ObjectId) {
+        for (k, radius) in self.radii.iter_mut().enumerate() {
+            let (a, b) = rows.segment_bounds(k);
+            let d = kernels::l2_sq(rows.segment(local, k), &self.centroid[a..b]).sqrt();
+            *radius = radius.max(d);
+        }
+    }
+}
+
+/// The selective-routing knob: scatter each query to the `fan_out`
+/// highest-scoring shards, optionally shrinking the per-shard beam to
+/// `l_shard`.
+///
+/// `fan_out >= S` skips scoring entirely and, with `l_shard: None`,
+/// reproduces the full fan-out **bit-identically** — routing then selects
+/// every shard in index order, each shard runs the exact same search, and
+/// the gather merge is the same total order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RoutePolicy {
+    /// Number of shards to search per query (`r`); clamped to at least 1
+    /// and at most `S` at use.
+    pub fan_out: usize,
+    /// Per-shard beam pool override; `None` keeps the caller's `l`.  The
+    /// saved budget is where routed QPS comes from: `r` shards at
+    /// `l_shard` cost roughly `r * l_shard` beam slots versus the full
+    /// fan-out's `S * l`.  Values below `k` are raised to `k` (a pool
+    /// smaller than the result list cannot exist).
+    pub l_shard: Option<usize>,
+}
+
+impl RoutePolicy {
+    /// Route to the top-`fan_out` shards, keeping the caller's beam width.
+    #[must_use]
+    pub fn new(fan_out: usize) -> Self {
+        Self { fan_out: fan_out.max(1), l_shard: None }
+    }
+
+    /// Route to the top-`fan_out` shards with per-shard beam `l_shard`.
+    #[must_use]
+    pub fn with_beam(fan_out: usize, l_shard: usize) -> Self {
+        Self { fan_out: fan_out.max(1), l_shard: Some(l_shard) }
     }
 }
 
@@ -260,6 +716,10 @@ pub struct ShardedMust {
     shards: Vec<Must>,
     global_ids: Vec<Vec<ObjectId>>,
     assignment: ShardAssignment,
+    summaries: Vec<ShardSummary>,
+    /// Distinct global objects (≤ the sum of shard sizes: clustered
+    /// closure replication stores boundary objects in several shards).
+    total: usize,
 }
 
 impl ShardedMust {
@@ -296,19 +756,21 @@ impl ShardedMust {
                 objects.len()
             )));
         }
-        let pieces = router.split(&objects);
+        let distinct = objects.len();
+        let pieces = router.split_counted(&objects, Some(&weights));
         drop(objects);
         let mut global_ids = Vec::with_capacity(pieces.len());
+        let mut primaries = Vec::with_capacity(pieces.len());
         let corpora: Vec<std::sync::Mutex<Option<MultiVectorSet>>> = pieces
             .into_iter()
-            .map(|(corpus, ids)| {
+            .map(|(corpus, ids, primary)| {
                 if corpus.is_empty() {
                     return Err(MustError::Config(
-                        "hash assignment left a shard empty; use fewer shards or round-robin"
-                            .into(),
+                        "assignment left a shard empty; use fewer shards or round-robin".into(),
                     ));
                 }
                 global_ids.push(ids);
+                primaries.push(primary);
                 Ok(std::sync::Mutex::new(Some(corpus)))
             })
             .collect::<Result<_, _>>()?;
@@ -331,7 +793,12 @@ impl ShardedMust {
             Must::build(corpus, weights.clone(), opts)
         });
         let shards = built.into_iter().collect::<Result<Vec<_>, _>>()?;
-        Ok(Self { shards, global_ids, assignment: spec.assignment })
+        let summaries = shards
+            .iter()
+            .zip(&primaries)
+            .map(|(sh, &p)| ShardSummary::compute_prefix(sh.objects().fused(), p))
+            .collect();
+        Ok(Self { shards, global_ids, assignment: spec.assignment, summaries, total: distinct })
     }
 
     /// Build options for shard `s`: the caller's options with a
@@ -346,16 +813,47 @@ impl ShardedMust {
     }
 
     /// Reassembles a sharded instance from prebuilt shards and their
-    /// local→global maps — the bundle-v4 load path.
+    /// local→global maps — the load path for bundles v1–v5, which carry no
+    /// summaries: routing summaries are **derived** from the shard rows
+    /// here.  (Correct only when no post-derivation insertions happened
+    /// before the save; bundle v6 persists summaries verbatim for exactly
+    /// that reason — see [`ShardedMust::from_parts_with_summaries`].)
     ///
     /// # Errors
     /// [`MustError::Config`] when a map's length disagrees with its shard's
-    /// corpus, a global id repeats across shards, or the shards disagree on
+    /// corpus, a global id repeats within one shard, the maps' union does
+    /// not densely cover `0..total` (ids may repeat *across* shards —
+    /// clustered closure replication does), or the shards disagree on
     /// weights (every shard must serve the same joint similarity).
     pub fn from_parts(
         shards: Vec<Must>,
         global_ids: Vec<Vec<ObjectId>>,
         assignment: ShardAssignment,
+    ) -> Result<Self, MustError> {
+        Self::assemble(shards, global_ids, assignment, None)
+    }
+
+    /// [`ShardedMust::from_parts`] with persisted summaries (the bundle-v6
+    /// load path): summaries are adopted verbatim instead of re-derived,
+    /// preserving radii grown by pre-save insertions.
+    ///
+    /// # Errors
+    /// Everything [`ShardedMust::from_parts`] rejects, plus summaries
+    /// whose count or per-shard shape disagrees with the shards.
+    pub fn from_parts_with_summaries(
+        shards: Vec<Must>,
+        global_ids: Vec<Vec<ObjectId>>,
+        assignment: ShardAssignment,
+        summaries: Vec<ShardSummary>,
+    ) -> Result<Self, MustError> {
+        Self::assemble(shards, global_ids, assignment, Some(summaries))
+    }
+
+    fn assemble(
+        shards: Vec<Must>,
+        global_ids: Vec<Vec<ObjectId>>,
+        assignment: ShardAssignment,
+        summaries: Option<Vec<ShardSummary>>,
     ) -> Result<Self, MustError> {
         if shards.is_empty() {
             return Err(MustError::Config("a sharded instance needs at least one shard".into()));
@@ -367,8 +865,12 @@ impl ShardedMust {
                 global_ids.len()
             )));
         }
-        let total: usize = global_ids.iter().map(Vec::len).sum();
-        let mut seen = vec![0u64; total.div_ceil(64)];
+        // Clustered closure replication stores boundary objects in several
+        // shards, so ids may repeat *across* maps; the dense-id invariant
+        // insert_object relies on becomes "the union of the maps is
+        // exactly 0..total" for the distinct-object count `total`.
+        let bound: usize = global_ids.iter().map(Vec::len).sum();
+        let mut seen = vec![0u64; bound.div_ceil(64)];
         for (shard, ids) in shards.iter().zip(&global_ids) {
             if shard.objects().len() != ids.len() {
                 return Err(MustError::Config(format!(
@@ -380,21 +882,54 @@ impl ShardedMust {
             if shard.weights() != shards[0].weights() {
                 return Err(MustError::Config("shards disagree on weights".into()));
             }
+            let mut in_shard = vec![0u64; bound.div_ceil(64)];
             for &id in ids {
                 let idx = id as usize;
                 let (w, b) = (idx / 64, idx % 64);
-                // `idx < total` plus uniqueness makes the maps a
-                // permutation of 0..total — the dense-id invariant
-                // insert_object relies on.
-                if idx >= total || seen[w] & (1 << b) != 0 {
+                if idx >= bound || in_shard[w] & (1 << b) != 0 {
                     return Err(MustError::Config(format!(
-                        "global id {id} out of range or repeated across shards"
+                        "global id {id} out of range or repeated within a shard"
                     )));
                 }
+                in_shard[w] |= 1 << b;
                 seen[w] |= 1 << b;
             }
         }
-        Ok(Self { shards, global_ids, assignment })
+        let total = global_ids.iter().flatten().map(|&id| id as usize + 1).max().unwrap_or(0);
+        if (0..total).any(|idx| seen[idx / 64] & (1 << (idx % 64)) == 0) {
+            return Err(MustError::Config(
+                "global ids must densely cover 0..total across the shards".into(),
+            ));
+        }
+        let summaries = match summaries {
+            Some(sums) => {
+                if sums.len() != shards.len() {
+                    return Err(MustError::Config(format!(
+                        "{} shards but {} routing summaries",
+                        shards.len(),
+                        sums.len()
+                    )));
+                }
+                for (shard, sum) in shards.iter().zip(&sums) {
+                    let rows = shard.objects().fused();
+                    if sum.centroid.len() != rows.stride()
+                        || sum.radii.len() != rows.num_modalities()
+                    {
+                        return Err(MustError::Config(format!(
+                            "routing summary shape ({} centroid floats, {} radii) does not \
+                             match the shard layout ({} stride, {} modalities)",
+                            sum.centroid.len(),
+                            sum.radii.len(),
+                            rows.stride(),
+                            rows.num_modalities()
+                        )));
+                    }
+                }
+                sums
+            }
+            None => shards.iter().map(|sh| ShardSummary::compute(sh.objects().fused())).collect(),
+        };
+        Ok(Self { shards, global_ids, assignment, summaries, total })
     }
 
     /// Number of shards `S`.
@@ -403,10 +938,10 @@ impl ShardedMust {
         self.shards.len()
     }
 
-    /// Total objects across all shards.
+    /// Distinct objects across all shards (closure replicas counted once).
     #[must_use]
     pub fn len(&self) -> usize {
-        self.global_ids.iter().map(Vec::len).sum()
+        self.total
     }
 
     /// Whether no shard holds any object.
@@ -434,10 +969,19 @@ impl ShardedMust {
     }
 
     /// The assignment policy the corpus was split under (recorded in the
-    /// bundle-v4 manifest; insertions use size-based routing instead).
+    /// bundle manifest; insertions use size-based routing instead).
     #[must_use]
     pub fn assignment(&self) -> ShardAssignment {
         self.assignment
+    }
+
+    /// Shard `s`'s routing summary.
+    ///
+    /// # Panics
+    /// Panics when `s` is out of range.
+    #[must_use]
+    pub fn summary(&self, s: usize) -> &ShardSummary {
+        &self.summaries[s]
     }
 
     /// The weights in force (identical across shards by construction).
@@ -483,27 +1027,133 @@ impl ShardedMust {
         let global = self.len() as ObjectId;
         self.shards[target].insert_object(rows)?;
         self.global_ids[target].push(global);
+        self.total += 1;
+        // Keep the routing bound valid: widen the target's radii around
+        // its *fixed* centroid so the new row is covered (re-deriving the
+        // centroid would shift every other member's residual).
+        let fused = self.shards[target].objects().fused();
+        let local = fused.len() as ObjectId - 1;
+        self.summaries[target].grow(fused, local);
         Ok(global)
     }
 }
 
-/// The gather state every serving handle shares: frozen per-shard servers
-/// plus the local→global maps.
+/// The gather state every serving handle shares: frozen per-shard servers,
+/// the local→global maps (plus a precomputed is-identity flag per map),
+/// and the routing summaries.
 struct ShardedCore {
     shards: Vec<MustServer>,
     global_ids: Vec<Vec<ObjectId>>,
+    /// `identity[s]` ⇔ `global_ids[s][local] == local` for every local id
+    /// — true for any single-shard bundle, where gather can skip the remap
+    /// entirely.
+    identity: Vec<bool>,
+    summaries: Vec<ShardSummary>,
+    /// Distinct global objects (see [`ShardedMust::len`]).
+    total: usize,
 }
 
 impl ShardedCore {
-    /// Merges per-shard outcomes into the global top-`k`: map local ids to
-    /// global, sort by `(similarity desc, global id asc)` — a total order,
-    /// so the merge is deterministic — and truncate.  Per-shard stats and
-    /// kernel counts accumulate.
-    fn gather(&self, per_shard: Vec<SearchOutcome>, k: usize, t0: Instant) -> SearchOutcome {
-        let mut results: Vec<(ObjectId, f32)> = Vec::with_capacity(per_shard.len() * k);
+    /// The shards to search for `query` under `weights`: the `fan_out`
+    /// summaries with the highest weighted upper bound
+    /// `Σ_k ω²_k (IP(q_k, c_k) + ‖q_k‖ · radius_k)`, returned in ascending
+    /// shard order.  `fan_out >= S` skips scoring (full fan-out);
+    /// malformed queries also fan out fully so the per-shard search
+    /// reports the same error it would unrouted.
+    fn route(&self, query: &MultiQuery, weights: &Weights, fan_out: usize) -> Vec<usize> {
+        let s = self.shards.len();
+        if fan_out >= s {
+            return (0..s).collect();
+        }
+        let rows = self.shards[0].objects().fused();
+        let m = rows.num_modalities();
+        if query.num_slots() != m || weights.modalities() != m {
+            return (0..s).collect();
+        }
+        // Per-modality query norms, shared across shards; a slot of the
+        // wrong dimension scores zero and lets the search surface the
+        // dimension error itself.
+        let probes: Vec<Option<(&[f32], f32)>> = (0..m)
+            .map(|k| {
+                query
+                    .slot(k)
+                    .filter(|q| q.len() == rows.dims()[k])
+                    .map(|q| (q, kernels::ip(q, q).max(0.0).sqrt()))
+            })
+            .collect();
+        let mut terms = vec![0.0f32; m];
+        let mut scored: Vec<(f32, usize)> = (0..s)
+            .map(|i| {
+                let summary = &self.summaries[i];
+                for (k, term) in terms.iter_mut().enumerate() {
+                    *term = match probes[k] {
+                        Some((q, norm)) => {
+                            let (a, _) = rows.segment_bounds(k);
+                            kernels::ip(q, &summary.centroid()[a..a + q.len()])
+                                + norm * summary.radii()[k]
+                        }
+                        None => 0.0,
+                    };
+                }
+                (weights.weighted_sum(&terms), i)
+            })
+            .collect();
+        scored.sort_unstable_by(|a, b| b.0.total_cmp(&a.0).then(a.1.cmp(&b.1)));
+        let mut selected: Vec<usize> =
+            scored.into_iter().take(fan_out.max(1)).map(|(_, i)| i).collect();
+        selected.sort_unstable();
+        selected
+    }
+
+    /// Resolves a routing policy to `(shards to search, per-shard search
+    /// parameters)` for one query.  `routing: None` and `fan_out >= S`
+    /// both yield every shard with the caller's `l` — the bit-identical
+    /// full fan-out.  Routed searches keep the standard Algorithm-2
+    /// parameters (random pool init included): measured on the committed
+    /// sweep, dropping the random fill for shrunk beams loses ~0.8 pt of
+    /// recall for no cost win — the fill also primes the Lemma-4 pruning
+    /// threshold, so its evaluations pay for themselves.
+    fn plan(
+        &self,
+        routing: Option<RoutePolicy>,
+        query: &MultiQuery,
+        weights: Option<&Weights>,
+        k: usize,
+        l: usize,
+    ) -> (Vec<usize>, SearchParams) {
+        match routing {
+            None => ((0..self.shards.len()).collect(), SearchParams::new(k, l.max(k))),
+            Some(policy) => {
+                let weights = weights.unwrap_or_else(|| self.shards[0].weights());
+                let selected = self.route(query, weights, policy.fan_out);
+                let ls = policy.l_shard.map_or(l, |ls| ls.max(k));
+                (selected, SearchParams::new(k, ls.max(k)))
+            }
+        }
+    }
+
+    /// Merges `(shard index, outcome)` pairs into the global top-`k`: map
+    /// local ids to global, sort by `(similarity desc, global id asc)` — a
+    /// total order, so the merge is deterministic — drop closure-replica
+    /// duplicates (bit-identical copies of one object score identically in
+    /// every shard holding it, so duplicates sort adjacent), and truncate.
+    /// Per-shard stats and kernel counts accumulate.  A lone outcome from
+    /// an identity-mapped shard is already the answer (the per-shard pool
+    /// returns at most `k` results in descending-similarity order), so
+    /// the remap, sort, and truncate are all skipped.
+    fn gather(&self, per_shard: Vec<(usize, SearchOutcome)>, k: usize, t0: Instant) -> SearchOutcome {
+        if let [(s, out)] = per_shard.as_slice() {
+            if self.identity[*s] {
+                debug_assert!(out.results.len() <= k);
+                let (_, out) = per_shard.into_iter().next().expect("exactly one outcome");
+                return SearchOutcome { secs: t0.elapsed().as_secs_f64(), ..out };
+            }
+        }
+        let total: usize = per_shard.iter().map(|(_, out)| out.results.len()).sum();
+        let mut results: Vec<(ObjectId, f32)> = Vec::with_capacity(total);
         let mut stats = SearchStats::default();
         let mut kernel_evals = 0;
-        for (s, out) in per_shard.into_iter().enumerate() {
+        for (s, out) in per_shard {
             let map = &self.global_ids[s];
             results.extend(out.results.into_iter().map(|(local, sim)| (map[local as usize], sim)));
             stats.hops += out.stats.hops;
@@ -512,6 +1162,7 @@ impl ShardedCore {
             kernel_evals += out.kernel_evals;
         }
         results.sort_unstable_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
+        results.dedup_by(|a, b| a.0 == b.0);
         results.truncate(k);
         SearchOutcome { results, stats, kernel_evals, secs: t0.elapsed().as_secs_f64() }
     }
@@ -523,30 +1174,76 @@ impl ShardedCore {
 #[derive(Clone)]
 pub struct ShardedServer {
     core: Arc<ShardedCore>,
+    routing: Option<RoutePolicy>,
 }
 
 impl ShardedServer {
     /// Freezes a built [`ShardedMust`] into a serving snapshot, consuming
     /// it.  Each shard freezes exactly as [`MustServer::freeze`] does (flat
-    /// graphs to CSR, HNSW keeps its layers).
+    /// graphs to CSR, HNSW keeps its layers).  The snapshot starts with
+    /// routing disabled (full fan-out); dial it with
+    /// [`ShardedServer::with_routing`].
     #[must_use]
     pub fn freeze(sharded: ShardedMust) -> Self {
+        let identity = sharded
+            .global_ids
+            .iter()
+            .map(|ids| ids.iter().enumerate().all(|(local, &global)| global as usize == local))
+            .collect();
         Self {
             core: Arc::new(ShardedCore {
                 shards: sharded.shards.into_iter().map(MustServer::freeze).collect(),
                 global_ids: sharded.global_ids,
+                identity,
+                summaries: sharded.summaries,
+                total: sharded.total,
             }),
+            routing: None,
         }
     }
 
     /// Loads a persisted bundle straight into a sharded serving snapshot.
-    /// Accepts the sharded bundle v4 *and* every single-shard format
-    /// (v1–v3), which load as one shard with the identity id map.
+    /// Accepts the sharded bundles v4/v6 *and* every single-shard format
+    /// (v1–v3, v5), which load as one shard with the identity id map.
     ///
     /// # Errors
     /// Propagates [`crate::persist::load_sharded`] errors.
     pub fn load(path: &std::path::Path) -> Result<Self, MustError> {
         Ok(Self::freeze(crate::persist::load_sharded(path)?))
+    }
+
+    /// A handle over the **same** snapshot that routes every search
+    /// through `policy`: queries scatter to only the `policy.fan_out`
+    /// shards whose [`ShardSummary`] scores highest under the active
+    /// weights (defaults or per-query overrides alike), searching each
+    /// with the policy's per-shard pool.  Cheap (one [`Arc`] clone); the
+    /// unrouted handle keeps serving full fan-out.  Workers minted by
+    /// [`ShardedServer::worker`] — and therefore [`ShardedServer::serve`]
+    /// and the batch paths — inherit the policy.
+    #[must_use]
+    pub fn with_routing(&self, policy: RoutePolicy) -> Self {
+        Self { core: Arc::clone(&self.core), routing: Some(policy) }
+    }
+
+    /// A handle over the same snapshot with routing disabled again.
+    #[must_use]
+    pub fn without_routing(&self) -> Self {
+        Self { core: Arc::clone(&self.core), routing: None }
+    }
+
+    /// The routing policy in force, if any.
+    #[must_use]
+    pub fn routing(&self) -> Option<RoutePolicy> {
+        self.routing
+    }
+
+    /// Shard `s`'s routing summary.
+    ///
+    /// # Panics
+    /// Panics when `s` is out of range.
+    #[must_use]
+    pub fn summary(&self, s: usize) -> &ShardSummary {
+        &self.core.summaries[s]
     }
 
     /// Number of shards `S`.
@@ -555,10 +1252,10 @@ impl ShardedServer {
         self.core.shards.len()
     }
 
-    /// Total served objects across all shards.
+    /// Distinct served objects (closure replicas counted once).
     #[must_use]
     pub fn len(&self) -> usize {
-        self.core.global_ids.iter().map(Vec::len).sum()
+        self.core.total
     }
 
     /// Whether the snapshot serves no objects.
@@ -598,13 +1295,14 @@ impl ShardedServer {
     /// failing shard's error, by shard order).
     pub fn search(&self, query: &MultiQuery, k: usize, l: usize) -> Result<SearchOutcome, MustError> {
         let t0 = Instant::now();
-        let s = self.core.shards.len();
-        let workers = std::thread::available_parallelism().map_or(1, usize::from).min(s);
-        let per_shard = par::par_map(s, workers, |i| {
-            self.core.shards[i].worker().search(query, k, l)
+        let (selected, params) = self.core.plan(self.routing, query, None, k, l);
+        let workers =
+            std::thread::available_parallelism().map_or(1, usize::from).min(selected.len());
+        let per_shard = par::par_map(selected.len(), workers, |i| {
+            self.core.shards[selected[i]].worker().search_with_params(query, params)
         });
         let per_shard: Vec<SearchOutcome> = per_shard.into_iter().collect::<Result<_, _>>()?;
-        Ok(self.core.gather(per_shard, k, t0))
+        Ok(self.core.gather(selected.into_iter().zip(per_shard).collect(), k, t0))
     }
 
     /// [`ShardedServer::search`] under a per-query weight override: the
@@ -627,24 +1325,27 @@ impl ShardedServer {
         l: usize,
     ) -> Result<SearchOutcome, MustError> {
         let t0 = Instant::now();
-        let s = self.core.shards.len();
-        let workers = std::thread::available_parallelism().map_or(1, usize::from).min(s);
-        let per_shard = par::par_map(s, workers, |i| {
-            self.core.shards[i].worker().search_weighted(query, weights, k, l)
+        let (selected, params) = self.core.plan(self.routing, query, Some(weights), k, l);
+        let workers =
+            std::thread::available_parallelism().map_or(1, usize::from).min(selected.len());
+        let per_shard = par::par_map(selected.len(), workers, |i| {
+            self.core.shards[selected[i]].worker().search_weighted_with_params(query, weights, params)
         });
         let per_shard: Vec<SearchOutcome> = per_shard.into_iter().collect::<Result<_, _>>()?;
-        Ok(self.core.gather(per_shard, k, t0))
+        Ok(self.core.gather(selected.into_iter().zip(per_shard).collect(), k, t0))
     }
 
     /// A reusable per-thread scatter-gather handle: one [`ServerWorker`]
     /// (with its own [`must_graph::SearchScratch`]) per shard, so a query
     /// batch's steady state allocates nothing inside any shard's search
-    /// loop.
+    /// loop.  The handle's routing policy is baked in, which is how
+    /// routing reaches [`ShardedServer::serve`] and the batch paths.
     #[must_use]
     pub fn worker(&self) -> ShardedWorker<'_> {
         ShardedWorker {
             workers: self.core.shards.iter().map(MustServer::worker).collect(),
             core: &self.core,
+            routing: self.routing,
         }
     }
 
@@ -720,13 +1421,14 @@ impl ShardedServer {
 pub struct ShardedWorker<'a> {
     workers: Vec<ServerWorker<'a>>,
     core: &'a ShardedCore,
+    routing: Option<RoutePolicy>,
 }
 
 impl ShardedWorker<'_> {
-    /// Top-`k` search with pool size `l`: shards are searched sequentially
-    /// on the calling thread (batch parallelism comes from
+    /// Top-`k` search with pool size `l`: the routed shards are searched
+    /// sequentially on the calling thread (batch parallelism comes from
     /// [`ShardedServer::search_batch`]), then gathered.  Bit-identical to
-    /// the scattered [`ShardedServer::search`].
+    /// the scattered [`ShardedServer::search`] under the same policy.
     ///
     /// # Errors
     /// Propagates query/corpus arity and dimension mismatches.
@@ -737,16 +1439,18 @@ impl ShardedWorker<'_> {
         l: usize,
     ) -> Result<SearchOutcome, MustError> {
         let t0 = Instant::now();
-        let mut per_shard = Vec::with_capacity(self.workers.len());
-        for worker in &mut self.workers {
-            per_shard.push(worker.search(query, k, l)?);
+        let (selected, params) = self.core.plan(self.routing, query, None, k, l);
+        let mut per_shard = Vec::with_capacity(selected.len());
+        for s in selected {
+            per_shard.push((s, self.workers[s].search_with_params(query, params)?));
         }
         Ok(self.core.gather(per_shard, k, t0))
     }
 
     /// Top-`k` search under a per-query weight override, sequential
     /// per-shard variant — bit-identical to the scattered
-    /// [`ShardedServer::search_weighted`].
+    /// [`ShardedServer::search_weighted`] under the same policy (the
+    /// router scores summaries with the override too).
     ///
     /// # Errors
     /// Propagates weight-arity and query/corpus mismatches.
@@ -758,9 +1462,10 @@ impl ShardedWorker<'_> {
         l: usize,
     ) -> Result<SearchOutcome, MustError> {
         let t0 = Instant::now();
-        let mut per_shard = Vec::with_capacity(self.workers.len());
-        for worker in &mut self.workers {
-            per_shard.push(worker.search_weighted(query, weights, k, l)?);
+        let (selected, params) = self.core.plan(self.routing, query, Some(weights), k, l);
+        let mut per_shard = Vec::with_capacity(selected.len());
+        for s in selected {
+            per_shard.push((s, self.workers[s].search_weighted_with_params(query, weights, params)?));
         }
         Ok(self.core.gather(per_shard, k, t0))
     }
@@ -958,15 +1663,37 @@ mod tests {
     fn from_parts_validates_maps_and_weights() {
         let a = Must::build(corpus(20), Weights::uniform(2), MustBuildOptions::default()).unwrap();
         let b = Must::build(corpus(20), Weights::uniform(2), MustBuildOptions::default()).unwrap();
-        // Overlapping global ids must be rejected.
-        let Err(err) = ShardedMust::from_parts(
+        // Cross-shard overlap is legal (clustered closure replication
+        // stores boundary objects in several shards): 20 + 20 rows over
+        // ids 0..30 assemble into 30 distinct objects.
+        let overlapping = ShardedMust::from_parts(
             vec![a, b],
             vec![(0..20).collect(), (10..30).collect()],
             ShardAssignment::RoundRobin,
+        )
+        .expect("overlapping maps with dense union are valid");
+        assert_eq!(overlapping.len(), 30, "replicas count once");
+        // …but the union must stay dense: a gap breaks the id allocator.
+        let (a, b) = {
+            let mut shards = overlapping.shards.into_iter();
+            (shards.next().unwrap(), shards.next().unwrap())
+        };
+        let Err(err) = ShardedMust::from_parts(
+            vec![a, b],
+            vec![(0..20).collect(), (21..41).collect()],
+            ShardAssignment::RoundRobin,
         ) else {
-            panic!("overlapping id maps must be rejected");
+            panic!("a gap in the id union must be rejected");
         };
         assert!(matches!(err, MustError::Config(_)));
+        // A duplicate *within* one shard is always corrupt.
+        let e = Must::build(corpus(20), Weights::uniform(2), MustBuildOptions::default()).unwrap();
+        let mut dup: Vec<u32> = (0..20).collect();
+        dup[19] = 0;
+        assert!(matches!(
+            ShardedMust::from_parts(vec![e], vec![dup], ShardAssignment::RoundRobin),
+            Err(MustError::Config(_))
+        ));
         // Mismatched map length must be rejected.
         let c = Must::build(corpus(20), Weights::uniform(2), MustBuildOptions::default()).unwrap();
         assert!(matches!(

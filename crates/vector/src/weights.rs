@@ -148,6 +148,30 @@ impl Weights {
         self.omega_sq[i]
     }
 
+    /// The Lemma-1 combiner over arbitrary per-modality terms:
+    /// `sum_i omega_i^2 * terms[i]`.  This is how *any* per-modality
+    /// summary statistic scales under the active weights — shard routing
+    /// uses it to collapse per-modality bounds (centroid inner product
+    /// plus residual radius) into one comparable score, applying a
+    /// query-time override exactly where the query row itself would.
+    ///
+    /// Terms beyond the modality count are ignored; missing terms
+    /// contribute zero (the masked-query convention of Section VII-B).
+    ///
+    /// ```
+    /// use must_vector::Weights;
+    ///
+    /// let w = Weights::from_squared(vec![0.8, 0.2]).unwrap();
+    /// let score = w.weighted_sum(&[0.5, 1.0]);
+    /// assert!((score - (0.8 * 0.5 + 0.2 * 1.0)).abs() < 1e-6);
+    /// // A masked modality contributes nothing.
+    /// assert!((w.masked(1).weighted_sum(&[0.5, 1.0]) - 0.8 * 0.5).abs() < 1e-6);
+    /// ```
+    #[must_use]
+    pub fn weighted_sum(&self, terms: &[f32]) -> f32 {
+        self.omega_sq.iter().zip(terms).map(|(w, t)| w * t).sum()
+    }
+
     /// A copy with all weights from modality `t` onwards set to zero —
     /// how the paper evaluates queries that supply only `t < m` modalities
     /// (Section VII-B: "the concatenated vectors compute the IP by setting

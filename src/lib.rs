@@ -37,7 +37,8 @@ pub mod prelude {
     pub use must_core::runtime::{EngineWorker, RuntimeCounters, ServeEngine, ServeRuntime};
     pub use must_core::server::{MustServer, ServeReply, ServeRequest, ServerWorker};
     pub use must_core::shard::{
-        ShardAssignment, ShardRouter, ShardSpec, ShardedMust, ShardedServer, ShardedWorker,
+        RoutePolicy, ShardAssignment, ShardRouter, ShardSpec, ShardSummary, ShardedMust,
+        ShardedServer, ShardedWorker,
     };
     pub use must_core::weights::{WeightLearnConfig, WeightLearner};
     pub use must_vector::{

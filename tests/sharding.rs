@@ -2,7 +2,12 @@
 //! **bit-for-bit** with the single-shard `MustServer` oracle on the same
 //! corpus (the gather merge is exact, per-shard similarities are the same
 //! float ops as the unsharded engine's), stay thread-count invariant like
-//! PR 2's server, and round-trip through the bundle-v4 manifest.
+//! PR 2's server, and round-trip through the sharded bundle manifest.
+//! Selective routing rides the same contracts: `r = S` routing is pinned
+//! bit-identical to the unrouted scatter, post-insert radius growth keeps
+//! routed searches able to find new objects, and query-time weight
+//! overrides route exactly as a deployment frozen under those weights
+//! would (summaries are stored unweighted; ω² is applied query-side).
 
 use must::data::embed::embed_dataset;
 use must::encoders::{
@@ -222,6 +227,172 @@ fn sharded_layer_adopts_v3_bundles() {
         let b = adopted.search(q, 10, 60).unwrap();
         assert_eq!(a.results, b.results, "query {qi}");
         assert_eq!(a.stats, b.stats, "query {qi}");
+    }
+}
+
+/// The acceptance pin for the routing knob: `RoutePolicy::new(S)` (full
+/// fan-out, no per-shard beam override) must be **bit-identical** to the
+/// unrouted scatter for S ∈ {2, 4, 8} — one-off, worker, and every batch
+/// thread count.  Routing at `fan_out >= S` selects every shard in index
+/// order with the caller's own `l`, so the per-shard searches and the
+/// gather see exactly the calls the unrouted path makes.
+#[test]
+fn full_fan_out_routing_is_bit_identical_to_unrouted() {
+    let (objects, weights, queries) = fixture();
+    let (k, l) = (10, 60);
+    for shards in [2usize, 4, 8] {
+        let sharded = ShardedMust::build(
+            objects.clone(),
+            weights.clone(),
+            build_opts(),
+            ShardSpec::clustered(shards),
+        )
+        .unwrap();
+        let server = ShardedServer::freeze(sharded);
+        let routed = server.with_routing(RoutePolicy::new(shards));
+        assert_eq!(routed.routing(), Some(RoutePolicy::new(shards)));
+
+        let mut worker = routed.worker();
+        for (qi, q) in queries.iter().enumerate() {
+            let want = server.search(q, k, l).unwrap();
+            let got = routed.search(q, k, l).unwrap();
+            assert_eq!(got.results, want.results, "S={shards} query {qi}: routed scatter");
+            assert_eq!(got.stats, want.stats, "S={shards} query {qi}: routed scatter stats");
+            let seq = worker.search(q, k, l).unwrap();
+            assert_eq!(seq.results, want.results, "S={shards} query {qi}: routed worker");
+            assert_eq!(seq.stats, want.stats, "S={shards} query {qi}: routed worker stats");
+        }
+
+        let serial = server.search_batch(&queries, k, l, 1);
+        for threads in [1, 3, 8] {
+            let batch = routed.search_batch(&queries, k, l, threads);
+            for (qi, (got, want)) in batch.into_iter().zip(&serial).enumerate() {
+                let (got, want) = (got.unwrap(), want.as_ref().unwrap());
+                assert_eq!(
+                    got.results, want.results,
+                    "S={shards} threads={threads} query {qi}: routed batch"
+                );
+                assert_eq!(got.stats, want.stats, "S={shards} threads={threads} query {qi}");
+            }
+        }
+    }
+}
+
+/// Radius growth after `insert_object` keeps routing honest: a corpus of
+/// three tight blobs is clustered into three shards, then an object
+/// orthogonal to every blob is inserted.  The insert widens only the
+/// target shard's radii around its *fixed* centroid, which is exactly
+/// what lets a `fan_out = 1` routed self-query still reach the new
+/// object — if the summary had stayed stale, the router would steer the
+/// query to a shard that cannot contain it.
+#[test]
+fn routed_search_finds_objects_inserted_after_freeze() {
+    // Three blobs along axes e0/e1/e2 (tiny deterministic jitter on a
+    // disjoint coordinate keeps radii small), HNSW so shards can grow.
+    let n = 30usize;
+    let mut m0 = VectorSetBuilder::new(8, n);
+    let mut m1 = VectorSetBuilder::new(4, n);
+    for i in 0..n {
+        let b = i % 3;
+        let mut v0 = vec![0.0f32; 8];
+        v0[b] = 1.0;
+        v0[4 + b] = 0.1 * ((i / 3) % 3) as f32;
+        m0.push_normalized(&v0).unwrap();
+        let mut v1 = vec![0.0f32; 4];
+        v1[b] = 1.0;
+        v1[3] = 0.05 * (i % 4) as f32;
+        m1.push_normalized(&v1).unwrap();
+    }
+    let objects = MultiVectorSet::new(vec![m0.finish(), m1.finish()]).unwrap();
+    let opts = MustBuildOptions { recipe: must::graph::GraphRecipe::Hnsw, ..Default::default() };
+    let mut sharded = ShardedMust::build(
+        objects,
+        Weights::uniform(2),
+        opts,
+        ShardSpec::clustered(3),
+    )
+    .unwrap();
+
+    // The new object points along axes no blob occupies.
+    let mut n0 = vec![0.0f32; 8];
+    n0[3] = 1.0;
+    let n1 = vec![0.0f32, 0.0, 0.0, 1.0];
+    let new_id = sharded.insert_object(&[n0.clone(), n1.clone()]).unwrap();
+    assert_eq!(new_id as usize, n);
+
+    let server = ShardedServer::freeze(sharded)
+        .with_routing(RoutePolicy::with_beam(1, 20));
+    let query = MultiQuery::full(vec![n0, n1]);
+    let hits = server.search(&query, 3, 20).unwrap();
+    assert_eq!(
+        hits.results[0].0, new_id,
+        "a fan_out=1 routed self-query must find the freshly inserted object"
+    );
+}
+
+/// Query-time weight overrides steer the router exactly as a deployment
+/// whose summaries were frozen under those weights: summaries store
+/// **unweighted** per-modality terms and the router applies ω² on the
+/// query side, so `search_weighted(q, w)` on a default-weight snapshot
+/// must match — bit for bit, routed at r < S — a server re-frozen under
+/// `w` over the same shard indexes and the same persisted summaries (the
+/// bundle-v6 reassembly path; clustered summaries cover only the
+/// primary-member prefix, so a full re-derivation would not reproduce
+/// them).
+#[test]
+fn routed_weight_overrides_match_refrozen_summaries() {
+    let (objects, default_w, queries) = fixture();
+    let override_w = Weights::from_squared(vec![0.15, 0.85]).unwrap();
+    let (k, l) = (10, 60);
+    let shards = 4usize;
+
+    let built = ShardedMust::build(
+        objects,
+        default_w,
+        build_opts(),
+        ShardSpec::clustered(shards),
+    )
+    .unwrap();
+    let refrozen_shards: Vec<Must> = (0..shards)
+        .map(|s| {
+            let shard = built.shard(s);
+            Must::from_parts(
+                shard.objects().clone(),
+                override_w.clone(),
+                shard.index().clone(),
+                build_opts(),
+            )
+            .unwrap()
+        })
+        .collect();
+    let id_maps: Vec<Vec<u32>> = (0..shards).map(|s| built.global_ids(s).to_vec()).collect();
+    let summaries: Vec<_> = (0..shards).map(|s| built.summary(s).clone()).collect();
+    let refrozen = ShardedServer::freeze(
+        ShardedMust::from_parts_with_summaries(
+            refrozen_shards,
+            id_maps,
+            built.assignment(),
+            summaries,
+        )
+        .unwrap(),
+    );
+    let server = ShardedServer::freeze(built);
+    for s in 0..shards {
+        assert_eq!(server.summary(s), refrozen.summary(s), "summaries adopt the persisted parts");
+    }
+
+    for policy in [RoutePolicy::with_beam(1, 30), RoutePolicy::with_beam(2, 30)] {
+        let routed = server.with_routing(policy);
+        let reference = refrozen.with_routing(policy);
+        for (qi, q) in queries.iter().take(24).enumerate() {
+            let got = routed.search_weighted(q, &override_w, k, l).unwrap();
+            let want = reference.search(q, k, l).unwrap();
+            assert_eq!(
+                got.results, want.results,
+                "policy {policy:?} query {qi}: override routing must equal frozen-weight routing"
+            );
+            assert_eq!(got.stats, want.stats, "policy {policy:?} query {qi}");
+        }
     }
 }
 
