@@ -10,6 +10,13 @@
 //! S=1-class QPS (≥ 0.7× the single-shard entry) while beating the S=8
 //! full fan-out by ≥ 4×.
 //!
+//! The **scale tier** (`scale_tier[]`, written by `serving -- --scale`)
+//! gets its own gates in both artefacts: hot-path storage ≤ 5 bytes per
+//! dimension (retained f32 rows + SQ8 codes), Recall@10 ≥ 0.97 at the
+//! 1M-object tier (≥ 0.9 for reduced-size smoke entries), and the
+//! committed artefact must carry at least one ≥ 1M entry — the
+//! acceptance pin for the quantized-scan + exact-re-rank serving path.
+//!
 //! Both scaling gates are guarded twice, mirroring the recall-drift
 //! guard: they only arm when (a) the fresh artefact's corpus matches the
 //! committed reference (a CI smoke run at a different `MUST_SCALE` is
@@ -64,6 +71,40 @@ const CHURN_KEYS: &[&str] = &[
 /// Required numeric keys per `open_loop[]` element.
 const OPEN_LOOP_KEYS: &[&str] =
     &["workers", "target_qps", "offered", "achieved_qps", "p50_ms", "p99_ms"];
+
+/// Required numeric keys per `scale_tier[]` element.
+const SCALE_KEYS: &[&str] = &[
+    "n_objects",
+    "n_queries",
+    "total_dims",
+    "bytes_per_object",
+    "bytes_per_dim",
+    "overhead_bytes_per_object",
+    "embed_secs",
+    "build_secs",
+    "threads",
+    "qps",
+    "p50_ms",
+    "p99_ms",
+    "recall_at_10",
+    "rerank_k",
+    "l",
+];
+
+/// Scale-tier gate: hot-path storage (retained f32 rows + SQ8 codes)
+/// per dimension.  96 dims cost 384 f32 bytes + 96 code bytes = exactly
+/// 5 B/dim; the epsilon absorbs float division, not a layout change.
+const MAX_SCALE_BYTES_PER_DIM: f64 = 5.0 + 1e-9;
+
+/// Scale-tier gate: Recall@10 of the quantized-scan + exact-re-rank
+/// path at the full 1M-object tier.
+const MIN_SCALE_RECALL_FULL: f64 = 0.97;
+
+/// Scale-tier gate: Recall@10 floor for reduced-size (smoke) entries.
+const MIN_SCALE_RECALL_SMOKE: f64 = 0.9;
+
+/// Entries at or above this object count are "full" scale-tier runs.
+const SCALE_FULL_N: f64 = 1_000_000.0;
 
 /// How far a fresh recall figure may drift from the committed artefact's.
 const RECALL_TOLERANCE: f64 = 0.01;
@@ -143,7 +184,50 @@ fn point_key(kind: &str, v: &Value) -> String {
         // comparison between hosts with different core counts.
         "shard_entries" => format!("s{}", get("shards")),
         "routing" => format!("s{}r{}ls{}", get("shards"), get("fan_out"), get("l_shard")),
+        // Scale-tier entries are identified by corpus size alone: a 64k
+        // smoke entry must never be recall-compared against the 1M tier.
+        "scale_tier" => format!("n{}", get("n_objects")),
         _ => format!("q{}", get("switch_every")),
+    }
+}
+
+/// The scale-tier gates, applied to every entry of `which` artefact:
+/// hot-path storage stays at or under `MAX_SCALE_BYTES_PER_DIM`, and
+/// the quantized-scan + exact-re-rank path holds Recall@10 ≥ 0.97 at
+/// the 1M tier (≥ 0.9 for reduced-size smoke entries).
+fn check_scale_gates(which: &str, items: &[Value], errors: &mut Vec<String>) {
+    for (i, e) in items.iter().enumerate() {
+        let get = |k: &str| e.get_field(k).and_then(Value::as_num);
+        let n = get("n_objects").unwrap_or(-1.0);
+        if let Some(bpd) = get("bytes_per_dim") {
+            if bpd > MAX_SCALE_BYTES_PER_DIM {
+                errors.push(format!(
+                    "{which} scale_tier[{i}] (n={n}): bytes_per_dim {bpd:.3} > 5 — the \
+                     SQ8 tier must keep hot-path storage at <= 5 bytes per dimension"
+                ));
+            }
+        }
+        if let Some(recall) = get("recall_at_10") {
+            let floor = if n >= SCALE_FULL_N {
+                MIN_SCALE_RECALL_FULL
+            } else {
+                MIN_SCALE_RECALL_SMOKE
+            };
+            if recall < floor {
+                errors.push(format!(
+                    "{which} scale_tier[{i}] (n={n}): recall_at_10 {recall:.4} < {floor} — \
+                     the quantized scan with exact re-rank must hold recall at scale"
+                ));
+            }
+        }
+    }
+    if !items.iter().any(|e| {
+        e.get_field("n_objects").and_then(Value::as_num).unwrap_or(-1.0) >= SCALE_FULL_N
+    }) {
+        errors.push(format!(
+            "{which} artefact: scale_tier has no entry with n_objects >= 1M — run \
+             `MUST_SCALE_N=1000000 serving -- --scale` and commit the result"
+        ));
     }
 }
 
@@ -244,6 +328,8 @@ fn main() {
     let routing = check_array(&fresh, "routing", ROUTING_KEYS, &mut errors);
     let churn = check_array(&fresh, "weight_churn", CHURN_KEYS, &mut errors);
     let open_loop = check_array(&fresh, "open_loop", OPEN_LOOP_KEYS, &mut errors);
+    let scale_tier = check_array(&fresh, "scale_tier", SCALE_KEYS, &mut errors);
+    check_scale_gates("fresh", &scale_tier, &mut errors);
     if open_loop.len() < 3 {
         errors.push(format!(
             "artefact: `open_loop` has {} entries, needs >= 3 arrival rates",
@@ -280,6 +366,19 @@ fn main() {
                  host_threads={committed_host} — its thread-scaling and multi-shard figures \
                  measure a single hardware thread, not parallel speedup"
             );
+        }
+        // The scale tier rides outside the corpus-match guard: its
+        // entries are keyed by their own `n_objects`, so a smoke run's
+        // 64k entry never compares against the committed 1M tier, and
+        // the committed artefact itself must carry a gate-passing 1M
+        // entry (the acceptance pin for the SQ8 serving path).
+        if let Some(c) = committed.get_field("scale_tier").and_then(Value::as_array) {
+            check_scale_gates("committed", c, &mut errors);
+            compare_recall("scale_tier", "recall_at_10", &scale_tier, c, &mut errors);
+        } else {
+            errors.push(format!(
+                "committed artefact {committed_path}: missing array `scale_tier`"
+            ));
         }
         let corpus_of = |v: &Value| {
             (
@@ -365,12 +464,13 @@ fn main() {
     if errors.is_empty() {
         println!(
             "{fresh_path}: schema ok ({} entries, {} shard entries, {} routing entries, \
-             {} churn entries, {} open-loop entries)",
+             {} churn entries, {} open-loop entries, {} scale-tier entries)",
             entries.len(),
             shard_entries.len(),
             routing.len(),
             churn.len(),
-            open_loop.len()
+            open_loop.len(),
+            scale_tier.len()
         );
     } else {
         for e in &errors {

@@ -23,10 +23,19 @@
 //! at bench time): thread-scaling figures from a single-hardware-thread
 //! host measure scheduler overhead, not parallel speedup, and the schema
 //! checker's scaling gates key off this field.
+//!
+//! `--scale` runs *only* the **scale tier**: a semi-synthetic ImageText
+//! corpus streamed object-by-object through the encoders (1M objects by
+//! default; `MUST_SCALE_N` overrides, else `MUST_SCALE` scales the
+//! million), SQ8-quantized, and served through the quantized-scan +
+//! exact-re-rank path.  The resulting entry is merged into the existing
+//! artefact (replacing any entry with the same `n_objects`), so the
+//! expensive tier can be refreshed out-of-band without re-running the
+//! full sweeps; plain runs carry the committed `scale_tier` forward.
 
 use std::time::{Duration, Instant};
 
-use must_bench::efficiency::prepare;
+use must_bench::efficiency::{prepare, semisynthetic_config};
 use must_bench::report::{f4, percentile_ms};
 use must_core::metrics::recall_at;
 use must_core::runtime::ServeRuntime;
@@ -34,8 +43,11 @@ use must_core::search::{exact_ground_truth, SearchOutcome};
 use must_core::server::{MustServer, ServeRequest};
 use must_core::shard::{RoutePolicy, ShardSpec, ShardedMust, ShardedServer};
 use must_core::{Must, MustBuildOptions, MustError};
-use must_vector::{MultiQuery, MultiVectorSet, ObjectId, Weights};
-use serde::Serialize;
+use must_data::semisynthetic::{SemiSyntheticSpec, SemiSyntheticStream};
+use must_encoders::{Embedder, UnimodalKind};
+use must_graph::GraphRecipe;
+use must_vector::{MultiQuery, MultiVectorSet, ObjectId, VectorSetBuilder, Weights};
+use serde::{Serialize, Value};
 
 /// One `(threads, batch)` operating point of the single-shard server.
 #[derive(Debug, Clone, Serialize)]
@@ -124,6 +136,43 @@ struct OpenLoopEntry {
     p99_ms: f64,
 }
 
+/// One scale-tier entry: a semi-synthetic ImageText corpus streamed
+/// through the encoders (no materialised latent set), built, SQ8
+/// scalar-quantized, and served through the quantized-scan +
+/// exact-re-rank path.
+#[derive(Debug, Clone, Serialize)]
+struct ScaleEntry {
+    dataset: String,
+    n_objects: usize,
+    n_queries: usize,
+    /// Sum of the per-modality embedding dims (the `D` in bytes/dim).
+    total_dims: usize,
+    /// Hot-path storage per object: the u8 codes the Lemma-4 walk scans
+    /// plus the retained f32 rows the exact re-rank reads.
+    bytes_per_object: usize,
+    /// `bytes_per_object / total_dims` — the schema gate is ≤ 5.
+    bytes_per_dim: f64,
+    /// Per-object bookkeeping outside the gate: the SQ8 affine params
+    /// (min/step/eps per modality) plus the quantizer's segment-norm
+    /// copy.
+    overhead_bytes_per_object: f64,
+    /// Streaming generation + embedding wall clock (corpus + queries).
+    embed_secs: f64,
+    /// `Must::build` + `quantize()` wall clock.
+    build_secs: f64,
+    threads: usize,
+    qps: f64,
+    p50_ms: f64,
+    p99_ms: f64,
+    recall_at_10: f64,
+    /// Quantized-walk survivors re-ranked exactly on the f32 rows.
+    rerank_k: usize,
+    /// Beam width the reported numbers were measured at. A beam that is
+    /// right-sized at 64k starves at 1M, so the tier escalates `l` on
+    /// the one expensive build until recall clears the CI gate.
+    l: usize,
+}
+
 /// The whole artefact.
 #[derive(Debug, Clone, Serialize)]
 struct ServingBench {
@@ -144,6 +193,11 @@ struct ServingBench {
     routing: Vec<RoutingEntry>,
     weight_churn: Vec<ChurnEntry>,
     open_loop: Vec<OpenLoopEntry>,
+    /// Scale-tier entries, measured out-of-band via `--scale` and merged
+    /// into the artefact; plain runs carry the existing entries forward
+    /// (kept as raw JSON values so a full re-run never drops the
+    /// expensive tier).
+    scale_tier: Vec<Value>,
 }
 
 /// Drives one operating point through any batch-search entry point and
@@ -404,7 +458,209 @@ fn churn_sweep(
     out
 }
 
+/// Runs the scale tier: streams `n` semi-synthetic objects through the
+/// encoders one at a time (constant latent memory), builds the index,
+/// attaches the SQ8 engine, and measures the quantized-scan +
+/// exact-re-rank serving path against the exact joint oracle.
+fn run_scale_tier(k: usize, l: usize) -> ScaleEntry {
+    let n = std::env::var("MUST_SCALE_N")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .unwrap_or_else(|| (1_000_000.0 * must_bench::scale()).round() as usize)
+        .max(256);
+    let stream = SemiSyntheticStream::new(SemiSyntheticSpec {
+        name: "ImageText1M".into(),
+        n_objects: n,
+        n_queries: 64,
+        n_attrs: 256,
+        query_perturbation: 0.25,
+        seed: must_bench::DATASET_SEED,
+    });
+    let registry = must_bench::registry();
+    let config = semisynthetic_config();
+    let image = registry.target_embedder(&config);
+    let text = registry.unimodal(UnimodalKind::Lstm);
+
+    eprintln!("[serving] scale tier: streaming + embedding {n} objects");
+    let t0 = Instant::now();
+    let mut b0 = VectorSetBuilder::new(image.dim(), n);
+    let mut b1 = VectorSetBuilder::new(text.dim(), n);
+    for id in 0..n as u64 {
+        let latents = stream.object(id);
+        b0.push_normalized(&image.embed(&latents[0])).expect("encoders emit valid vectors");
+        b1.push_normalized(&text.embed(&latents[1])).expect("encoders emit valid vectors");
+        if (id + 1) % 250_000 == 0 {
+            eprintln!(
+                "[serving]   embedded {} / {n} ({}s)",
+                id + 1,
+                f4(t0.elapsed().as_secs_f64())
+            );
+        }
+    }
+    let objects =
+        MultiVectorSet::new(vec![b0.finish(), b1.finish()]).expect("equal cardinality");
+    let queries: Vec<MultiQuery> = stream
+        .queries()
+        .iter()
+        .map(|q| {
+            let qi = q.latents[0].as_ref().expect("target latent supplied");
+            let qt = q.latents[1].as_ref().expect("text latent supplied");
+            MultiQuery::full(vec![image.embed(qi), text.embed(qt)])
+        })
+        .collect();
+    let embed_secs = t0.elapsed().as_secs_f64();
+
+    let weights = Weights::uniform(2);
+    let ground_truth =
+        exact_ground_truth(&objects, &weights, &queries, k).expect("valid workload");
+
+    eprintln!("[serving] scale tier: building the index (embed took {}s)", f4(embed_secs));
+    let t0 = Instant::now();
+    let mut must = Must::build(
+        objects,
+        weights,
+        MustBuildOptions { gamma: 16, recipe: GraphRecipe::Hnsw, ..Default::default() },
+    )
+    .expect("scale-tier build");
+    must.quantize();
+    let build_secs = t0.elapsed().as_secs_f64();
+
+    let fused = must.objects().fused();
+    let total_dims: usize = fused.dims().iter().sum();
+    let stride = fused.stride();
+    // Hot-path bytes: stride f32 lanes retained for the exact re-rank
+    // plus stride u8 codes for the quantized walk.
+    let bytes_per_object = stride * 4 + stride;
+    let quant = must.quant().expect("quantize() attached the engine");
+    let overhead_bytes_per_object = (quant.bytes() - n * stride) as f64 / n as f64;
+
+    let server = MustServer::freeze(must);
+    let threads = std::thread::available_parallelism().map_or(1, usize::from);
+    let rerank_k = k.saturating_mul(4).min(n);
+    // The CI gate wants recall@10 ≥ 0.97 at 1M, and a beam that is
+    // right-sized at 64k starves there (0.98 → 0.84 at l=100). The
+    // build is the expensive part, so escalate the beam on this one
+    // index until recall clears the gate with a little margin.
+    let mut l = l;
+    let mut measured = measure(
+        |qs| server.search_batch(qs, k, l, threads),
+        &queries,
+        &ground_truth,
+        k,
+        16,
+    );
+    while measured.3 < 0.975 && l < 4096 {
+        eprintln!(
+            "[serving]   recall@10 {} at l={l} — widening the beam",
+            f4(measured.3)
+        );
+        l *= 2;
+        measured = measure(
+            |qs| server.search_batch(qs, k, l, threads),
+            &queries,
+            &ground_truth,
+            k,
+            16,
+        );
+    }
+    let (qps, p50_ms, p99_ms, recall_at_10) = measured;
+
+    let e = ScaleEntry {
+        dataset: stream.spec().name.clone(),
+        n_objects: n,
+        n_queries: queries.len(),
+        total_dims,
+        bytes_per_object,
+        bytes_per_dim: bytes_per_object as f64 / total_dims as f64,
+        overhead_bytes_per_object,
+        embed_secs,
+        build_secs,
+        threads,
+        qps,
+        p50_ms,
+        p99_ms,
+        recall_at_10,
+        rerank_k,
+        l,
+    };
+    eprintln!(
+        "[serving] scale n={} dims={} bytes/obj={} ({:.2} B/dim, +{:.1} B overhead) \
+         embed={}s build={}s qps={} p50={}ms p99={}ms recall@10={} rerank_k={} l={}",
+        e.n_objects,
+        e.total_dims,
+        e.bytes_per_object,
+        e.bytes_per_dim,
+        e.overhead_bytes_per_object,
+        f4(e.embed_secs),
+        f4(e.build_secs),
+        f4(e.qps),
+        f4(e.p50_ms),
+        f4(e.p99_ms),
+        f4(e.recall_at_10),
+        e.rerank_k,
+        e.l,
+    );
+    e
+}
+
+/// Round-trips a `ScaleEntry` into the generic JSON tree so it can be
+/// spliced into an artefact parsed from disk.
+fn scale_entry_value(e: &ScaleEntry) -> Value {
+    let json = serde_json::to_string_pretty(e).expect("serialisable entry");
+    serde_json::from_str(&json).expect("own serialisation parses")
+}
+
+fn n_objects_of(v: &Value) -> f64 {
+    v.get_field("n_objects").and_then(Value::as_num).unwrap_or(-1.0)
+}
+
+/// Merges `entry` into the artefact at `path`: replaces the scale-tier
+/// entry with the same `n_objects`, appends (sorted by size) otherwise.
+/// The rest of the artefact — the full sweeps — is left untouched, so
+/// the expensive tier refreshes without re-running them.
+fn merge_scale_entry(path: &str, entry: &ScaleEntry) {
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        panic!("`--scale` merges into an existing artefact ({path}: {e}); run the full serving bench first")
+    });
+    let mut doc: Value = serde_json::from_str(&text).expect("valid artefact JSON");
+    let ev = scale_entry_value(entry);
+    let Value::Object(fields) = &mut doc else {
+        panic!("artefact root is not a JSON object");
+    };
+    match fields.iter_mut().find(|(name, _)| name.as_str() == "scale_tier") {
+        Some((_, Value::Array(items))) => {
+            if let Some(slot) = items.iter_mut().find(|v| n_objects_of(v) == n_objects_of(&ev)) {
+                *slot = ev;
+            } else {
+                items.push(ev);
+                items.sort_by(|a, b| n_objects_of(a).total_cmp(&n_objects_of(b)));
+            }
+        }
+        Some((_, other)) => *other = Value::Array(vec![ev]),
+        None => fields.push(("scale_tier".into(), Value::Array(vec![ev]))),
+    }
+    let json = serde_json::to_string_pretty(&doc).expect("serialisable artefact");
+    std::fs::write(path, &json).expect("can write bench artefact");
+    let _ = std::fs::write(must_bench::out_dir().join("serving.json"), &json);
+    println!("merged scale tier into {path}");
+}
+
+/// The scale-tier entries already recorded at `path`, if any — plain
+/// runs re-emit them verbatim instead of dropping the expensive tier.
+fn carried_scale_tier(path: &str) -> Vec<Value> {
+    let Ok(text) = std::fs::read_to_string(path) else { return Vec::new() };
+    let Ok(doc) = serde_json::from_str::<Value>(&text) else { return Vec::new() };
+    doc.get_field("scale_tier").and_then(Value::as_array).map(<[Value]>::to_vec).unwrap_or_default()
+}
+
 fn main() {
+    let path = std::env::var("MUST_BENCH_PATH").unwrap_or_else(|_| "BENCH_serving.json".into());
+    if std::env::args().any(|a| a == "--scale") {
+        let entry = run_scale_tier(10, 100);
+        merge_scale_entry(&path, &entry);
+        return;
+    }
+
     let scale = must_bench::scale();
     let ds = must_data::catalog::mit_states(scale, must_bench::DATASET_SEED);
     must_bench::banner(&ds);
@@ -619,9 +875,9 @@ fn main() {
         routing,
         weight_churn,
         open_loop,
+        scale_tier: carried_scale_tier(&path),
     };
     let json = serde_json::to_string_pretty(&artefact).expect("serialisable artefact");
-    let path = std::env::var("MUST_BENCH_PATH").unwrap_or_else(|_| "BENCH_serving.json".into());
     std::fs::write(&path, &json).expect("can write bench artefact");
     let _ = std::fs::write(must_bench::out_dir().join("serving.json"), &json);
     println!("wrote {path}");

@@ -2,7 +2,7 @@
 //! or user-defined weights, fused index, joint search out.
 
 use must_graph::{GraphRecipe, SearchParams};
-use must_vector::{JointDistance, MultiQuery, MultiVectorSet, ObjectId, Weights};
+use must_vector::{JointDistance, MultiQuery, MultiVectorSet, ObjectId, QuantizedRows, Weights};
 
 use crate::index::{build_index, BuildReport, IndexOptions, MustIndex};
 use crate::oracle::JointOracle;
@@ -57,6 +57,11 @@ pub struct Must {
     /// connectivity and are filtered from results until reconstruction).
     deleted: Vec<u64>,
     deleted_count: usize,
+    /// Optional SQ8 companion engine (same corpus, `u8` codes): when
+    /// present, serving walks the graph on codes and exact-re-ranks the
+    /// top pool on the f32 rows.  Kept in lockstep with the corpus by
+    /// [`Must::insert_object`].
+    quant: Option<QuantizedRows>,
 }
 
 /// The owned parts of a [`Must`] instance, as handed to
@@ -71,6 +76,9 @@ pub struct MustParts {
     pub index: MustIndex,
     /// Whether searches prune (Lemma 4).
     pub prune: bool,
+    /// The SQ8 companion engine, when one was attached — the serving
+    /// layer's quantized-scan + exact-re-rank mode rides on it.
+    pub quant: Option<QuantizedRows>,
 }
 
 impl Must {
@@ -107,6 +115,7 @@ impl Must {
             prune: opts.prune,
             deleted,
             deleted_count: 0,
+            quant: None,
         })
     }
 
@@ -170,7 +179,16 @@ impl Must {
         self.deleted.resize(self.objects.len().div_ceil(64), 0);
         // The corpus's fused storage grew in place; re-entering index
         // construction is a cheap rebind, not a copy.
-        let Self { objects, weights, index, .. } = self;
+        let Self { objects, weights, index, quant, .. } = self;
+        if let Some(q) = quant {
+            // Keep the codes in lockstep, encoding the *normalised* values
+            // the corpus actually stored.  A zero-copy-loaded engine
+            // promotes to owned codes here (copy-on-write).
+            let fused = objects.fused();
+            let normalized: Vec<&[f32]> =
+                (0..fused.num_modalities()).map(|k| fused.modality_slice(id, k)).collect();
+            q.push_row(&normalized)?;
+        }
         let oracle = JointOracle::new(objects, weights.clone())?;
         match index {
             MustIndex::Hnsw(h) => h.insert_new(&oracle, id, 0x1A5E),
@@ -227,6 +245,7 @@ impl Must {
             prune: opts.prune,
             deleted,
             deleted_count: 0,
+            quant: None,
         })
     }
 
@@ -242,7 +261,37 @@ impl Must {
             weights: self.weights,
             index: self.index,
             prune: self.prune,
+            quant: self.quant,
         }
+    }
+
+    /// Builds and attaches the SQ8 companion engine from the current
+    /// corpus (idempotent: re-quantizes in place).  After this,
+    /// [`Must::into_parts`] carries the codes into serving and
+    /// [`crate::persist::save_quantized`] persists them as bundle v7.
+    pub fn quantize(&mut self) {
+        self.quant = Some(self.objects.fused().quantize());
+    }
+
+    /// The attached SQ8 engine, if any.
+    #[must_use]
+    pub fn quant(&self) -> Option<&QuantizedRows> {
+        self.quant.as_ref()
+    }
+
+    /// Attaches an externally built SQ8 engine (the bundle-v7 load path).
+    ///
+    /// # Errors
+    /// [`MustError::Config`] when the engine does not mirror the corpus
+    /// (cardinality or layout mismatch).
+    pub fn attach_quant(&mut self, quant: QuantizedRows) -> Result<(), MustError> {
+        if quant.len() != self.objects.len() || quant.dims() != self.objects.dims() {
+            return Err(MustError::Config(
+                "quantized engine does not mirror the corpus".into(),
+            ));
+        }
+        self.quant = Some(quant);
+        Ok(())
     }
 
     /// Runs the vector-weight-learning model on `anchors`

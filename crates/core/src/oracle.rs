@@ -11,8 +11,8 @@
 
 use must_graph::{QueryScorer, SimilarityOracle};
 use must_vector::{
-    FusedRows, JointDistance, MultiQuery, MultiVectorSet, PartialIpVerdict, QueryEvaluator,
-    VectorError, Weights,
+    FusedRows, JointDistance, MultiQuery, MultiVectorSet, PartialIpVerdict, QuantizedQueryEvaluator,
+    QuantizedRows, QueryEvaluator, VectorError, Weights,
 };
 
 /// Joint-similarity oracle over a multi-vector corpus under fixed weights —
@@ -150,6 +150,55 @@ impl<'a> MustQueryScorer<'a> {
 }
 
 impl QueryScorer for MustQueryScorer<'_> {
+    fn score(&self, id: u32) -> f32 {
+        self.eval.ip(id)
+    }
+
+    fn score_pruned(&self, id: u32, threshold: f32) -> Option<f32> {
+        if !self.prune {
+            return Some(self.eval.ip(id));
+        }
+        match self.eval.ip_pruned(id, threshold) {
+            PartialIpVerdict::Exact(v) => Some(v),
+            PartialIpVerdict::Pruned => None,
+        }
+    }
+}
+
+/// Query scorer over the SQ8 engine: the graph walk scans `u8` codes with
+/// the widened (never-under-pruning) Lemma-4 bound and ranks survivors by
+/// their decoded approximate similarity.  The serving layer pairs it with
+/// an exact re-rank of the top pool on the retained f32 rows — the
+/// DiskANN/SPANN recipe adapted to multi-vector joint similarity.
+pub struct QuantizedQueryScorer<'a> {
+    eval: QuantizedQueryEvaluator<'a>,
+    prune: bool,
+}
+
+impl<'a> QuantizedQueryScorer<'a> {
+    /// Prepares a scorer over a quantized engine under explicit weights —
+    /// like [`MustQueryScorer::from_rows`], weights scale the query side
+    /// only, so every query may carry its own override over one set of
+    /// codes.
+    ///
+    /// # Errors
+    /// Propagates weight-arity, slot-arity, and dimension mismatches.
+    pub fn from_rows(
+        rows: &'a QuantizedRows,
+        query: &MultiQuery,
+        weights: &Weights,
+        prune: bool,
+    ) -> Result<Self, VectorError> {
+        Ok(Self { eval: rows.query(query, weights)?, prune })
+    }
+
+    /// Number of per-modality kernel evaluations performed so far.
+    pub fn kernel_evals(&self) -> u64 {
+        self.eval.kernel_evals()
+    }
+}
+
+impl QueryScorer for QuantizedQueryScorer<'_> {
     fn score(&self, id: u32) -> f32 {
         self.eval.ip(id)
     }

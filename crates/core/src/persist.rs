@@ -5,6 +5,17 @@
 //!
 //! The wire formats, newest first:
 //!
+//! * **Bundle v7** (current quantized format, [`save_quantized`]): an
+//!   offset-table layout.  After the shared magic + version comes a fixed
+//!   header (prune flag, dims, lane, cardinality, section count), then a
+//!   table of `(offset, byte length)` pairs — offsets relative to the
+//!   first byte after the table, each 32-byte aligned — and finally the
+//!   six sections themselves: fused rows, segment norms, default weights,
+//!   SQ8 codes, quantization parameters (`min`/`step`/`eps` per
+//!   row-segment), and the index block.  [`load`] reads the whole body
+//!   into one buffer and *borrows* the code section out of it zero-copy
+//!   ([`must_vector::CodeStore`]); a later `insert_object` promotes the
+//!   codes to an owned buffer (copy-on-write).
 //! * **Bundle v6** (current sharded format, [`save_sharded`]): the v4
 //!   manifest plus a **routing-summary section** (per shard: the fused
 //!   centroid row and per-modality residual radii, each length-prefixed)
@@ -30,7 +41,7 @@
 //!   `DESIGN.md` §6 for the byte-level table of the binary versions.
 //! * **Bundle v1** ([`save_json`]): the original JSON format, flat-graph
 //!   backends only.  [`load`] sniffs the magic bytes and accepts all
-//!   four single-shard formats (the sharded v4/v6 go through
+//!   five single-shard formats (the sharded v4/v6 go through
 //!   [`load_sharded`], which derives routing summaries for every
 //!   pre-v6 bundle).
 //!
@@ -40,10 +51,13 @@
 
 use std::io::{BufReader, BufWriter, Read, Write};
 use std::path::Path;
+use std::sync::Arc;
 
 use must_graph::csr::CsrGraph;
 use must_graph::hnsw::{Hnsw, HnswFlat};
-use must_vector::{FusedRows, MultiVectorSet, VectorSet, Weights, FUSED_LANE};
+use must_vector::{
+    CodeStore, FusedRows, MultiVectorSet, QuantizedRows, SegParams, VectorSet, Weights, FUSED_LANE,
+};
 use serde::{Deserialize, Serialize};
 
 use crate::framework::{Must, MustBuildOptions};
@@ -91,12 +105,26 @@ pub const BUNDLE_V5_VERSION: u32 = 5;
 /// maps and the payload offset table.
 pub const BUNDLE_V6_VERSION: u32 = 6;
 
+/// Version written by [`save_quantized`]: an offset-table layout carrying
+/// both the f32 fused rows *and* their SQ8 companion (codes + per-segment
+/// quantization parameters), with every section 32-byte aligned so the
+/// loader can borrow the code section zero-copy from one read buffer.
+pub const BUNDLE_V7_VERSION: u32 = 7;
+
 /// Magic bytes opening every binary bundle (v2, v3, v5, and the sharded
 /// v4/v6); [`load`] uses them to tell the binary formats from v1 JSON.
 pub const BUNDLE_V2_MAGIC: [u8; 8] = *b"MUSTBNDL";
 
 /// Sanity cap on the shard count of a v4/v6 manifest.
 const MAX_SHARDS: u64 = 1 << 16;
+
+/// Number of sections in a v7 offset table (rows, norms, weights, codes,
+/// quantization parameters, index).
+const V7_SECTIONS: usize = 6;
+
+/// Alignment (bytes) of every v7 section, relative to the first byte after
+/// the offset table.
+const V7_ALIGN: u64 = 32;
 
 /// Index-block tag: flat graph in CSR form.
 const INDEX_TAG_CSR: u8 = 0;
@@ -292,6 +320,12 @@ fn write_binary_body(must: &Must, w: &mut impl Write, with_norms: bool) -> Resul
     wr_words(w, must.weights().raw(), |x| x.to_le_bytes())?;
 
     // Index block.
+    write_index_block(must, w)
+}
+
+/// Writes the index block (tag byte + backend-specific arrays) — shared by
+/// the v3/v5 body writer and the v7 index section.
+fn write_index_block(must: &Must, w: &mut impl Write) -> Result<(), MustError> {
     match must.index() {
         MustIndex::Flat(g) => {
             let csr = CsrGraph::from_graph(g);
@@ -314,6 +348,47 @@ fn write_binary_body(must: &Must, w: &mut impl Write, with_norms: bool) -> Resul
         }
     }
     Ok(())
+}
+
+/// Reads the index block written by [`write_index_block`].
+fn read_index_block(
+    r: &mut impl Read,
+) -> Result<(MustIndex, must_graph::GraphRecipe), MustError> {
+    let tag = rd_u8(r)?;
+    match tag {
+        INDEX_TAG_CSR => {
+            let seed = rd_u32(r)?;
+            let offsets = rd_u32s(r, "CSR offsets")?;
+            let edges = rd_u32s(r, "CSR edges")?;
+            let csr = CsrGraph::from_parts(offsets, edges, seed)
+                .map_err(|e| MustError::Config(format!("corrupt CSR block: {e}")))?;
+            Ok((MustIndex::Flat(csr.to_graph()), must_graph::GraphRecipe::Fused))
+        }
+        INDEX_TAG_HNSW => {
+            let entry = rd_u32(r)?;
+            let max_level = rd_u32(r)?;
+            let m_param = rd_u32(r)?;
+            let ef_construction = rd_u32(r)?;
+            let rng_seed = rd_u64(r)?;
+            let levels = rd_u32s(r, "HNSW levels")?;
+            let offsets = rd_u32s(r, "HNSW offsets")?;
+            let edges = rd_u32s(r, "HNSW edges")?;
+            let flat = HnswFlat {
+                levels,
+                offsets,
+                edges,
+                entry,
+                max_level,
+                m: m_param,
+                ef_construction,
+                rng_seed,
+            };
+            let h = Hnsw::from_flat(&flat)
+                .map_err(|e| MustError::Config(format!("corrupt HNSW block: {e}")))?;
+            Ok((MustIndex::Hnsw(h), must_graph::GraphRecipe::Hnsw))
+        }
+        other => Err(MustError::Config(format!("unknown index tag {other}"))),
+    }
 }
 
 /// Serialises `must` to `path` in the legacy v1 JSON format.  Only
@@ -345,12 +420,254 @@ pub fn save_json(must: &Must, path: &Path) -> Result<(), MustError> {
 }
 
 // ---------------------------------------------------------------------------
+// Bundle v7: the quantized offset-table format.
+
+/// Serialises `must` to `path` in the bundle-v7 format, carrying both the
+/// exact f32 fused rows and their SQ8 companion engine.  Uses the engine
+/// already attached via [`Must::quantize`] when present; otherwise
+/// quantizes on the fly (the instance itself is not mutated).
+///
+/// The body is an offset table over six 32-byte-aligned sections (rows,
+/// segment norms, default weights, codes, quantization parameters, index),
+/// so [`load`] can slurp the file once and borrow the code section
+/// zero-copy.  A v7 bundle loads into a [`Must`] that serves the
+/// quantized-scan + exact-re-rank path out of the box.
+///
+/// # Errors
+/// [`MustError::Io`] for file-system and encoding failures;
+/// [`MustError::Config`] for live tombstones (bundles are frozen
+/// snapshots) or a stale attached engine that no longer mirrors the
+/// corpus.
+pub fn save_quantized(must: &Must, path: &Path) -> Result<(), MustError> {
+    reject_tombstones(must)?;
+    let built;
+    let quant = match must.quant() {
+        Some(q) => q,
+        None => {
+            built = must.objects().fused().quantize();
+            &built
+        }
+    };
+    let rows = must.objects().fused();
+    let (n, m, stride) = (rows.len(), rows.num_modalities(), rows.stride());
+    if quant.len() != n || quant.dims() != rows.dims() {
+        return Err(MustError::Config(
+            "attached quantized engine does not mirror the corpus".into(),
+        ));
+    }
+
+    // The index section is written through the shared block writer, so its
+    // byte length is only known after serialising it once up front.
+    let mut index_bytes = Vec::new();
+    write_index_block(must, &mut index_bytes)?;
+
+    // Flatten the quantization parameters: (min, step, eps) per
+    // (row, modality), row-major.
+    let mut qparams = Vec::with_capacity(n * m * 3);
+    for p in quant.params() {
+        qparams.extend_from_slice(&[p.min, p.step, p.eps]);
+    }
+
+    let lens: [u64; V7_SECTIONS] = [
+        (n * stride * 4) as u64, // fused rows, f32
+        (n * m * 4) as u64,      // segment norms, f32
+        (m * 4) as u64,          // default weights, f32
+        (n * stride) as u64,     // SQ8 codes, u8
+        (n * m * 12) as u64,     // quantization parameters, 3 f32 each
+        index_bytes.len() as u64,
+    ];
+    let mut offs = [0u64; V7_SECTIONS];
+    let mut cursor = 0u64;
+    for (off, len) in offs.iter_mut().zip(lens) {
+        cursor = cursor.div_ceil(V7_ALIGN) * V7_ALIGN;
+        *off = cursor;
+        cursor += len;
+    }
+
+    let file = std::fs::File::create(path)
+        .map_err(|e| MustError::Io(format!("create {}: {e}", path.display())))?;
+    let mut w = BufWriter::new(file);
+    w.write_all(&BUNDLE_V2_MAGIC).map_err(io("write magic"))?;
+    wr_u32(&mut w, BUNDLE_V7_VERSION)?;
+    wr_u8(&mut w, must.prune() as u8)?;
+    wr_u32(&mut w, m as u32)?;
+    for &d in rows.dims() {
+        wr_u32(&mut w, d as u32)?;
+    }
+    wr_u32(&mut w, FUSED_LANE as u32)?;
+    wr_u64(&mut w, n as u64)?;
+    wr_u32(&mut w, V7_SECTIONS as u32)?;
+    for (off, len) in offs.iter().zip(lens) {
+        wr_u64(&mut w, *off)?;
+        wr_u64(&mut w, len)?;
+    }
+
+    fn pad(w: &mut impl Write, gap: u64) -> Result<(), MustError> {
+        const ZEROS: [u8; V7_ALIGN as usize] = [0u8; V7_ALIGN as usize];
+        w.write_all(&ZEROS[..gap as usize]).map_err(io("write padding"))
+    }
+    let mut written = 0u64;
+    pad(&mut w, offs[0] - written)?;
+    wr_words(&mut w, rows.raw_data(), f32::to_le_bytes)?;
+    written = offs[0] + lens[0];
+    pad(&mut w, offs[1] - written)?;
+    wr_words(&mut w, rows.seg_norms(), f32::to_le_bytes)?;
+    written = offs[1] + lens[1];
+    pad(&mut w, offs[2] - written)?;
+    wr_words(&mut w, must.weights().raw(), f32::to_le_bytes)?;
+    written = offs[2] + lens[2];
+    pad(&mut w, offs[3] - written)?;
+    w.write_all(quant.raw_codes()).map_err(io("write codes"))?;
+    written = offs[3] + lens[3];
+    pad(&mut w, offs[4] - written)?;
+    wr_words(&mut w, &qparams, f32::to_le_bytes)?;
+    written = offs[4] + lens[4];
+    pad(&mut w, offs[5] - written)?;
+    w.write_all(&index_bytes).map_err(io("write index"))?;
+    w.flush().map_err(io("flush"))?;
+    Ok(())
+}
+
+fn f32s_from_bytes(b: &[u8]) -> Vec<f32> {
+    b.chunks_exact(4).map(|c| f32::from_le_bytes([c[0], c[1], c[2], c[3]])).collect()
+}
+
+/// Reads a v7 payload (everything after magic + version) into a
+/// ready-to-search [`Must`] with the SQ8 engine attached.  The whole body
+/// is read into one buffer; the code section is *borrowed* out of it
+/// zero-copy (copy-on-write: a later `insert_object` promotes it).
+fn read_v7_body(r: &mut impl Read) -> Result<Must, MustError> {
+    let mut bytes = Vec::new();
+    r.read_to_end(&mut bytes).map_err(io("read v7 bundle"))?;
+    let buf = Arc::new(bytes);
+    let mut s: &[u8] = &buf;
+
+    let prune = rd_u8(&mut s)? != 0;
+    let m = checked_len(rd_u32(&mut s)? as u64, "modality count")?;
+    if m == 0 {
+        return Err(MustError::Config("bundle has no modalities".into()));
+    }
+    let mut dims = Vec::with_capacity(m.min(MAX_PREALLOC));
+    for mi in 0..m {
+        let dim = checked_len(rd_u32(&mut s)? as u64, "dimension")?;
+        if dim == 0 {
+            return Err(MustError::Config(format!("modality {mi} has zero dimension")));
+        }
+        dims.push(dim);
+    }
+    let lane = rd_u32(&mut s)? as usize;
+    if lane != FUSED_LANE {
+        return Err(MustError::Config(format!(
+            "bundle written with fused lane {lane}, this build uses {FUSED_LANE}"
+        )));
+    }
+    let stride: usize = dims.iter().map(|d| d.div_ceil(lane) * lane).sum();
+    let n = checked_len(rd_u64(&mut s)?, "cardinality")?;
+    n.checked_mul(stride)
+        .filter(|t| (*t as u64) < MAX_ELEMS)
+        .ok_or_else(|| MustError::Io("corrupt fused block size".into()))?;
+    let n_sections = rd_u32(&mut s)? as usize;
+    if n_sections != V7_SECTIONS {
+        return Err(MustError::Config(format!(
+            "v7 bundle declares {n_sections} sections (expected {V7_SECTIONS})"
+        )));
+    }
+    // A truncated offset table fails right here with an I/O error.
+    let mut table = [(0u64, 0u64); V7_SECTIONS];
+    for entry in &mut table {
+        *entry = (rd_u64(&mut s)?, rd_u64(&mut s)?);
+    }
+    let body_start = buf.len() - s.len();
+    let body = &buf[body_start..];
+
+    // Every section length is implied by the header; the table must agree.
+    let expect: [u64; V7_SECTIONS] = [
+        (n * stride * 4) as u64,
+        (n * m * 4) as u64,
+        (m * 4) as u64,
+        (n * stride) as u64,
+        (n * m * 12) as u64,
+        table[5].1, // the index section is the only variable-length one
+    ];
+    let mut prev_end = 0u64;
+    for (i, (&(off, len), &want)) in table.iter().zip(&expect).enumerate() {
+        if len != want {
+            return Err(MustError::Config(format!(
+                "v7 section {i} holds {len} bytes (expected {want})"
+            )));
+        }
+        if off % V7_ALIGN != 0 {
+            return Err(MustError::Config(format!(
+                "v7 section {i} offset {off} is not {V7_ALIGN}-byte aligned"
+            )));
+        }
+        if off < prev_end {
+            return Err(MustError::Config(format!(
+                "v7 section {i} at offset {off} overlaps the previous section"
+            )));
+        }
+        prev_end = off
+            .checked_add(len)
+            .ok_or_else(|| MustError::Config(format!("v7 section {i} offset overflows")))?;
+    }
+    if prev_end > body.len() as u64 {
+        return Err(MustError::Io(format!(
+            "v7 sections need {prev_end} bytes but only {} remain (truncated bundle)",
+            body.len()
+        )));
+    }
+    let sect = |i: usize| {
+        let (off, len) = table[i];
+        &body[off as usize..(off + len) as usize]
+    };
+
+    let data = f32s_from_bytes(sect(0));
+    let norms = f32s_from_bytes(sect(1));
+    let rows = FusedRows::from_raw_parts_with_norms(dims.clone(), data, norms.clone())
+        .map_err(|e| MustError::Config(e.to_string()))?;
+    let objects = MultiVectorSet::from_fused(rows);
+    let weights = Weights::new(f32s_from_bytes(sect(2))).map_err(MustError::Vector)?;
+    // The codes stay inside the read buffer: slice them zero-copy.
+    let codes = CodeStore::shared(
+        Arc::clone(&buf),
+        body_start + table[3].0 as usize,
+        table[3].1 as usize,
+    )
+    .map_err(|e| MustError::Config(format!("v7 code section: {e}")))?;
+    let params: Vec<SegParams> = f32s_from_bytes(sect(4))
+        .chunks_exact(3)
+        .map(|c| SegParams { min: c[0], step: c[1], eps: c[2] })
+        .collect();
+    let quant = QuantizedRows::from_parts(dims, codes, params, norms)
+        .map_err(|e| MustError::Config(format!("v7 quantized engine: {e}")))?;
+
+    let mut ir = sect(5);
+    let (index, recipe) = read_index_block(&mut ir)?;
+    if !ir.is_empty() {
+        return Err(MustError::Config(format!(
+            "v7 index section has {} trailing byte(s)",
+            ir.len()
+        )));
+    }
+
+    let mut must = Must::from_parts(
+        objects,
+        weights,
+        index,
+        MustBuildOptions { prune, recipe, ..Default::default() },
+    )?;
+    must.attach_quant(quant)?;
+    Ok(must)
+}
+
+// ---------------------------------------------------------------------------
 // Load (both formats).
 
 /// Loads a single-shard bundle from `path` into a ready-to-search
-/// [`Must`], accepting the v5/v3/v2 binary formats and legacy v1 JSON
-/// (sniffed via the magic bytes).  Sharded v4/v6 bundles are rejected
-/// with a pointer at [`load_sharded`], which accepts all six.
+/// [`Must`], accepting the v7 quantized format, the v5/v3/v2 binary
+/// formats, and legacy v1 JSON (sniffed via the magic bytes).  Sharded
+/// v4/v6 bundles are rejected with a pointer at [`load_sharded`], which
+/// accepts all of them.
 ///
 /// # Errors
 /// [`MustError::Io`] for file-system and decoding failures;
@@ -369,6 +686,9 @@ pub fn load(path: &Path) -> Result<Must, MustError> {
                 "bundle v{version} is sharded; load it via persist::load_sharded or \
                  ShardedServer::load"
             )));
+        }
+        if version == BUNDLE_V7_VERSION {
+            return read_v7_body(&mut r);
         }
         return read_binary_body(&mut r, version);
     }
@@ -473,33 +793,7 @@ fn read_binary_body(r: &mut impl Read, version: u32) -> Result<Must, MustError> 
     let omega = rd_words(r, m, "weights", f32::from_le_bytes)?;
     let weights = Weights::new(omega).map_err(MustError::Vector)?;
 
-    let tag = rd_u8(r)?;
-    let (index, recipe) = match tag {
-        INDEX_TAG_CSR => {
-            let seed = rd_u32(r)?;
-            let offsets = rd_u32s(r, "CSR offsets")?;
-            let edges = rd_u32s(r, "CSR edges")?;
-            let csr = CsrGraph::from_parts(offsets, edges, seed)
-                .map_err(|e| MustError::Config(format!("corrupt CSR block: {e}")))?;
-            (MustIndex::Flat(csr.to_graph()), must_graph::GraphRecipe::Fused)
-        }
-        INDEX_TAG_HNSW => {
-            let entry = rd_u32(r)?;
-            let max_level = rd_u32(r)?;
-            let m_param = rd_u32(r)?;
-            let ef_construction = rd_u32(r)?;
-            let rng_seed = rd_u64(r)?;
-            let levels = rd_u32s(r, "HNSW levels")?;
-            let offsets = rd_u32s(r, "HNSW offsets")?;
-            let edges = rd_u32s(r, "HNSW edges")?;
-            let flat =
-                HnswFlat { levels, offsets, edges, entry, max_level, m: m_param, ef_construction, rng_seed };
-            let h = Hnsw::from_flat(&flat)
-                .map_err(|e| MustError::Config(format!("corrupt HNSW block: {e}")))?;
-            (MustIndex::Hnsw(h), must_graph::GraphRecipe::Hnsw)
-        }
-        other => return Err(MustError::Config(format!("unknown index tag {other}"))),
-    };
+    let (index, recipe) = read_index_block(r)?;
 
     Must::from_parts(objects, weights, index, MustBuildOptions { prune, recipe, ..Default::default() })
 }
@@ -946,6 +1240,77 @@ mod tests {
         for p in [garbage, truncated, huge, lying] {
             std::fs::remove_file(&p).unwrap();
         }
+    }
+
+    #[test]
+    fn v7_round_trips_the_quantized_engine_zero_copy() {
+        let set = corpus(150);
+        let mut must = Must::build(
+            set,
+            Weights::new(vec![0.8, 0.4]).unwrap(),
+            MustBuildOptions { recipe: GraphRecipe::Hnsw, ..Default::default() },
+        )
+        .unwrap();
+        must.quantize();
+        let path = tmp("bundle-v7.mustb");
+        save_quantized(&must, &path).unwrap();
+        let mut loaded = load(&path).unwrap();
+        assert_eq!(loaded.objects().len(), 150);
+        assert_eq!(loaded.weights(), must.weights());
+        assert_eq!(
+            loaded.objects().fused().seg_norms(),
+            must.objects().fused().seg_norms(),
+            "v7 adopts the persisted norms verbatim"
+        );
+        let (orig, thawed) = (must.quant().unwrap(), loaded.quant().unwrap());
+        assert!(thawed.is_shared(), "v7 codes must borrow from the read buffer");
+        assert_eq!(thawed.raw_codes(), orig.raw_codes());
+        assert_eq!(thawed.params(), orig.params());
+        assert_eq!(thawed.seg_norms(), orig.seg_norms());
+        assert_identical_searches(&must, &loaded, &[3, 77, 149]);
+        // Dynamic insertion after a zero-copy load promotes the shared
+        // codes to an owned buffer (copy-on-write) and keeps the engines
+        // in lockstep.
+        let new0: Vec<f32> = (0..8).map(|i| if i == 1 { 1.0 } else { 0.02 }).collect();
+        let new1: Vec<f32> = (0..4).map(|i| if i == 0 { 1.0 } else { 0.02 }).collect();
+        let id = loaded.insert_object(&[new0, new1]).unwrap();
+        assert_eq!(id, 150);
+        let q = loaded.quant().unwrap();
+        assert!(!q.is_shared(), "insertion must promote the borrowed codes");
+        assert_eq!(q.len(), 151);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn v7_saves_without_a_pre_attached_engine() {
+        // `save_quantized` quantizes on the fly when the instance never
+        // called `quantize()`; the bundle is byte-identical either way.
+        let set = corpus(60);
+        let mut with = Must::build(set, Weights::uniform(2), MustBuildOptions::default()).unwrap();
+        let p_without = tmp("bundle-v7-fly.mustb");
+        save_quantized(&with, &p_without).unwrap();
+        with.quantize();
+        let p_with = tmp("bundle-v7-pre.mustb");
+        save_quantized(&with, &p_with).unwrap();
+        assert_eq!(std::fs::read(&p_without).unwrap(), std::fs::read(&p_with).unwrap());
+        let loaded = load(&p_without).unwrap();
+        assert!(loaded.quant().is_some());
+        for p in [p_without, p_with] {
+            std::fs::remove_file(&p).unwrap();
+        }
+    }
+
+    #[test]
+    fn v7_loads_as_one_shard_through_the_sharded_loader() {
+        let set = corpus(50);
+        let must = Must::build(set, Weights::uniform(2), MustBuildOptions::default()).unwrap();
+        let path = tmp("bundle-v7-sharded-compat.mustb");
+        save_quantized(&must, &path).unwrap();
+        let sharded = load_sharded(&path).unwrap();
+        assert_eq!(sharded.num_shards(), 1);
+        assert_eq!(sharded.len(), 50);
+        assert!(sharded.shard(0).quant().is_some(), "the shard keeps its SQ8 engine");
+        std::fs::remove_file(&path).unwrap();
     }
 
     #[test]

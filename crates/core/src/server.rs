@@ -39,12 +39,12 @@ use std::time::Instant;
 use must_graph::csr::CsrGraph;
 use must_graph::hnsw::Hnsw;
 use must_graph::search::{beam_search_csr, SearchScratch};
-use must_graph::{AnnIndex, SearchParams, SearchResult};
-use must_vector::{MultiQuery, MultiVectorSet, Weights};
+use must_graph::{AnnIndex, QueryScorer, SearchParams, SearchResult};
+use must_vector::{MultiQuery, MultiVectorSet, QuantizedRows, Weights};
 
 use crate::framework::Must;
 use crate::index::MustIndex;
-use crate::oracle::MustQueryScorer;
+use crate::oracle::{MustQueryScorer, QuantizedQueryScorer};
 use crate::search::SearchOutcome;
 use crate::MustError;
 
@@ -64,9 +64,9 @@ pub enum ServingIndex {
 }
 
 impl ServingIndex {
-    fn search(
+    fn search<S: QueryScorer>(
         &self,
-        scorer: &MustQueryScorer<'_>,
+        scorer: &S,
         params: SearchParams,
         scratch: &mut SearchScratch,
     ) -> SearchResult {
@@ -110,6 +110,12 @@ struct ServerCore {
     weights: Weights,
     index: ServingIndex,
     prune: bool,
+    /// The SQ8 companion engine, when the frozen [`Must`] carried one.
+    /// Its presence flips every search into quantized-scan mode: the
+    /// graph walk scores `u8` codes (widened, never-under-pruning
+    /// Lemma-4 bound) and the top `4k` pool is exact-re-ranked on the
+    /// retained f32 rows.
+    quant: Option<QuantizedRows>,
 }
 
 /// A shared, read-only serving handle: cheap to clone, safe to search
@@ -166,19 +172,28 @@ impl MustServer {
                 weights: parts.weights,
                 index,
                 prune: parts.prune,
+                quant: parts.quant,
             }),
         }
     }
 
-    /// Loads a persisted bundle (v1–v3 or v5 — see [`crate::persist`])
-    /// straight into a serving snapshot — the online half of the
-    /// offline/online split.
+    /// Loads a persisted bundle (v1–v3, v5, or v7 — see
+    /// [`crate::persist`]) straight into a serving snapshot — the online
+    /// half of the offline/online split.  v7 bundles carry the SQ8 codes,
+    /// so the loaded server answers in quantized-scan + re-rank mode.
     ///
     /// # Errors
     /// Propagates [`crate::persist::load`] errors ([`MustError::Io`] /
     /// [`MustError::Config`]).
     pub fn load(path: &std::path::Path) -> Result<Self, MustError> {
         Ok(Self::freeze(crate::persist::load(path)?))
+    }
+
+    /// The frozen SQ8 engine, when this snapshot serves in
+    /// quantized-scan + re-rank mode.
+    #[must_use]
+    pub fn quant(&self) -> Option<&QuantizedRows> {
+        self.core.quant.as_ref()
     }
 
     /// The frozen corpus.
@@ -464,6 +479,9 @@ impl ServerWorker<'_> {
         weights: &Weights,
         params: SearchParams,
     ) -> Result<SearchOutcome, MustError> {
+        if self.core.quant.is_some() {
+            return self.search_quantized_with_params(query, weights, params);
+        }
         let scorer =
             MustQueryScorer::from_rows(self.core.objects.fused(), query, weights, self.core.prune)?;
         let t0 = Instant::now();
@@ -472,6 +490,47 @@ impl ServerWorker<'_> {
             results: res.results,
             stats: res.stats,
             kernel_evals: scorer.kernel_evals(),
+            secs: t0.elapsed().as_secs_f64(),
+        })
+    }
+
+    /// The quantized-scan + exact-re-rank recipe (DiskANN/SPANN-style,
+    /// adapted to multi-vector joint similarity): the graph walk scores
+    /// `u8` codes under the widened Lemma-4 bound with an over-fetched
+    /// pool of `rerank_k = 4 * k`, then the pool is re-scored exactly on
+    /// the retained f32 rows and the true top `k` returned.  Both stages
+    /// weight the query side only, so per-query overrides compose
+    /// unchanged.
+    fn search_quantized_with_params(
+        &mut self,
+        query: &MultiQuery,
+        weights: &Weights,
+        params: SearchParams,
+    ) -> Result<SearchOutcome, MustError> {
+        let core = self.core;
+        let quant = core.quant.as_ref().expect("checked by the caller");
+        let qscorer = QuantizedQueryScorer::from_rows(quant, query, weights, core.prune)?;
+        // Exact re-rank wants ip() only; the prune flag is irrelevant.
+        let exact = MustQueryScorer::from_rows(core.objects.fused(), query, weights, false)?;
+        let t0 = Instant::now();
+        let n = core.index.len();
+        let rerank_k = params.k.saturating_mul(4).min(n).max(params.k.min(n)).max(1);
+        let walk = SearchParams {
+            k: rerank_k,
+            l: params.l.max(rerank_k),
+            random_init: params.random_init,
+        };
+        let res = core.index.search(&qscorer, walk, &mut self.scratch);
+        let mut pool: Vec<(u32, f32)> =
+            res.results.iter().map(|&(id, _)| (id, exact.score(id))).collect();
+        pool.sort_by(|a, b| {
+            b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal).then(a.0.cmp(&b.0))
+        });
+        pool.truncate(params.k);
+        Ok(SearchOutcome {
+            results: pool,
+            stats: res.stats,
+            kernel_evals: qscorer.kernel_evals() + exact.kernel_evals(),
             secs: t0.elapsed().as_secs_f64(),
         })
     }
@@ -657,6 +716,40 @@ mod tests {
         let out = srv.search_batch(&[good, bad], 3, 30, 2);
         assert!(out[0].is_ok());
         assert!(out[1].is_err());
+    }
+
+    #[test]
+    fn quantized_snapshot_reranks_to_the_f32_answer() {
+        // Two identical builds over the same deterministic corpus: one
+        // frozen as-is, one with the SQ8 engine attached.  The quantized
+        // walk + 4k re-rank must recover the f32 top-1 on self-queries,
+        // under default and overridden weights alike.
+        let build = || {
+            Must::build(corpus(220), Weights::uniform(2), MustBuildOptions::default()).unwrap()
+        };
+        let plain = MustServer::freeze(build());
+        let mut with_codes = build();
+        with_codes.quantize();
+        let quantized = MustServer::freeze(with_codes);
+        assert!(quantized.quant().is_some());
+        assert!(plain.quant().is_none());
+        let w = Weights::from_squared(vec![0.7, 0.3]).unwrap();
+        for id in [1u32, 64, 133, 219] {
+            let q = self_query(plain.objects(), id);
+            let a = plain.search(&q, 5, 60).unwrap();
+            let b = quantized.search(&q, 5, 60).unwrap();
+            assert_eq!(a.results[0].0, b.results[0].0, "self-query anchor survives");
+            assert!(b.results.len() <= 5);
+            // Re-ranked similarities are exact f32 scores.
+            for ((ia, sa), (ib, sb)) in a.results.iter().zip(&b.results) {
+                if ia == ib {
+                    assert!((sa - sb).abs() < 1e-5, "exact re-rank restores f32 scores");
+                }
+            }
+            let aw = plain.search_weighted(&q, &w, 1, 60).unwrap();
+            let bw = quantized.search_weighted(&q, &w, 1, 60).unwrap();
+            assert_eq!(aw.results[0].0, bw.results[0].0);
+        }
     }
 
     #[test]

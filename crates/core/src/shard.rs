@@ -1506,6 +1506,44 @@ mod tests {
     };
 
     #[test]
+    fn underfull_shards_merge_to_the_exact_global_top_k() {
+        // k exceeds every shard's cardinality: 24 objects over 8 shards is
+        // 3 per shard, and the caller asks for 10.  Each shard can only
+        // contribute 3 candidates, so the merged answer is the exact global
+        // top-10 by brute force — the capacity hint, dedup, and truncate in
+        // `gather` all run on a pool smaller than `k`.
+        let set = corpus(24);
+        let eng = must_vector::JointDistance::new(&set, Weights::uniform(2)).unwrap();
+        // Clustered closure replication stores boundary objects in several
+        // shards, so the merged pool really does hold duplicates that the
+        // dedup must collapse *before* the truncate.
+        for spec in [ShardSpec::new(8), ShardSpec::hashed(8), ShardSpec::clustered(8)] {
+            let sharded = ShardedMust::build(
+                set.clone(),
+                Weights::uniform(2),
+                MustBuildOptions { gamma: 4, ..Default::default() },
+                spec,
+            )
+            .unwrap();
+            let server = ShardedServer::freeze(sharded);
+            for id in [0u32, 11, 23] {
+                let q = self_query(&set, id);
+                let out = server.search(&q, 10, 60).unwrap();
+                assert_eq!(out.results.len(), 10, "query {id} ({spec:?})");
+                let qe = eng.query(&q).unwrap();
+                let mut exact: Vec<(ObjectId, f32)> = (0..24).map(|o| (o, qe.ip(o))).collect();
+                exact.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
+                exact.truncate(10);
+                let got: Vec<ObjectId> = out.results.iter().map(|r| r.0).collect();
+                let want: Vec<ObjectId> = exact.iter().map(|r| r.0).collect();
+                assert_eq!(got, want, "query {id} ({spec:?}): merged top-10 must be exact");
+                let unique: std::collections::HashSet<ObjectId> = got.iter().copied().collect();
+                assert_eq!(unique.len(), 10, "query {id} ({spec:?}): no duplicate survives");
+            }
+        }
+    }
+
+    #[test]
     fn round_robin_split_covers_every_object_exactly_once() {
         let set = corpus(103);
         for spec in [ShardSpec::new(4), ShardSpec::hashed(4)] {

@@ -97,6 +97,147 @@ proptest! {
     }
 }
 
+/// Byte offset of the v7 section table for an `m`-modality bundle:
+/// magic (8) + version (4) + prune (1) + m (4) + dims (4·m) + lane (4)
+/// + n (8) + n_sections (4).
+fn v7_table_at(m: usize) -> usize {
+    8 + 4 + 1 + 4 + 4 * m + 4 + 8 + 4
+}
+
+/// Corrupt v7 bundles must surface `MustError` — truncated offset
+/// tables, overlapping / out-of-bounds / misaligned sections, and lying
+/// lengths all come back as `Config` or `Io`, never a panic (the loader
+/// borrows rows straight out of the read buffer, so a lying table is a
+/// memory-safety question, not just a parsing one).
+#[test]
+fn v7_corrupt_bundles_error_instead_of_panicking() {
+    let set = corpus(30, 4, 3, 7);
+    let mut must = Must::build(
+        set,
+        Weights::uniform(2),
+        MustBuildOptions { gamma: 6, ..Default::default() },
+    )
+    .unwrap();
+    must.quantize();
+    let path = tmp("v7-good", 7);
+    persist::save_quantized(&must, &path).unwrap();
+    let good = std::fs::read(&path).unwrap();
+    std::fs::remove_file(&path).unwrap();
+
+    let table_at = v7_table_at(2);
+    let check = |tag: &str, bytes: Vec<u8>| {
+        let p = tmp(tag, 7);
+        std::fs::write(&p, &bytes).unwrap();
+        let err = match persist::load(&p) {
+            Err(e) => e,
+            Ok(_) => panic!("{tag}: corrupt bundle loaded successfully"),
+        };
+        std::fs::remove_file(&p).unwrap();
+        assert!(
+            matches!(err, MustError::Config(_) | MustError::Io(_)),
+            "{tag}: unexpected error class {err:?}"
+        );
+    };
+
+    // Offset table cut mid-entry.
+    check("v7-trunc-table", good[..table_at + 24].to_vec());
+    // Sections extend past the end of the buffer (truncated body).
+    check("v7-trunc-body", good[..good.len() - 64].to_vec());
+    // Misaligned section offset (the zero-copy borrow requires 32B).
+    let mut bad = good.clone();
+    bad[table_at] = bad[table_at].wrapping_add(1);
+    check("v7-misaligned", bad);
+    // Section 1 pulled back over section 0: overlap.
+    let mut bad = good.clone();
+    bad[table_at + 16..table_at + 24].copy_from_slice(&0u64.to_le_bytes());
+    check("v7-overlap", bad);
+    // Aligned but far out of bounds: the index section flies off the end.
+    let mut bad = good.clone();
+    let oob = ((good.len() as u64).div_ceil(32) * 32 + 64).to_le_bytes();
+    bad[table_at + 5 * 16..table_at + 5 * 16 + 8].copy_from_slice(&oob);
+    check("v7-oob", bad);
+    // Lying length: the weights section claims 4 bytes instead of m·4.
+    let mut bad = good.clone();
+    bad[table_at + 2 * 16 + 8..table_at + 2 * 16 + 16].copy_from_slice(&4u64.to_le_bytes());
+    check("v7-bad-len", bad);
+    // Version stamped v7 on a v5 body: the table parse must fail loudly.
+    let v5 = tmp("v5-body", 7);
+    persist::save(&must, &v5).unwrap();
+    let mut bytes = std::fs::read(&v5).unwrap();
+    std::fs::remove_file(&v5).unwrap();
+    bytes[8..12].copy_from_slice(&7u32.to_le_bytes());
+    check("v7-v5-body", bytes);
+}
+
+/// The persisted matrix stays loadable *and mutable*: every writable
+/// single-shard format (v1 JSON, v5 binary, v7 quantized) plus the
+/// sharded container round-trips, and bundles whose backend supports
+/// dynamic insertion accept `insert_object` after loading — including
+/// the v7 case, where the first insert must promote the zero-copy
+/// (buffer-borrowed) codes to owned storage (copy-on-write).
+#[test]
+fn format_matrix_round_trips_and_loaded_bundles_stay_mutable() {
+    let set = corpus(40, 4, 3, 11);
+    let w = Weights::uniform(2);
+    let new_row = vec![set.modality(0).get(0).to_vec(), set.modality(1).get(0).to_vec()];
+
+    // v1 JSON (flat graph; insertion is rejected by policy, not format).
+    let flat = Must::build(
+        set.clone(),
+        w.clone(),
+        MustBuildOptions { gamma: 6, ..Default::default() },
+    )
+    .unwrap();
+    let p = tmp("matrix-v1", 11);
+    persist::save_json(&flat, &p).unwrap();
+    let mut loaded = persist::load(&p).unwrap();
+    std::fs::remove_file(&p).unwrap();
+    assert_eq!(loaded.objects().len(), 40);
+    assert!(matches!(loaded.insert_object(&new_row), Err(MustError::Config(_))));
+
+    // v5 binary with HNSW: loads and keeps growing.
+    let hnsw_opts =
+        MustBuildOptions { gamma: 6, recipe: GraphRecipe::Hnsw, ..Default::default() };
+    let hnsw = Must::build(set.clone(), w.clone(), hnsw_opts).unwrap();
+    let p = tmp("matrix-v5", 11);
+    persist::save(&hnsw, &p).unwrap();
+    let mut loaded = persist::load(&p).unwrap();
+    std::fs::remove_file(&p).unwrap();
+    assert_eq!(loaded.insert_object(&new_row).unwrap(), 40);
+    assert_eq!(loaded.objects().len(), 41);
+
+    // v7 quantized with HNSW: zero-copy load, then CoW promotion.
+    let mut quantized = Must::build(set.clone(), w.clone(), hnsw_opts).unwrap();
+    quantized.quantize();
+    let p = tmp("matrix-v7", 11);
+    persist::save_quantized(&quantized, &p).unwrap();
+    let mut loaded = persist::load(&p).unwrap();
+    std::fs::remove_file(&p).unwrap();
+    let q = loaded.quant().expect("v7 restores the SQ8 engine");
+    assert!(q.is_shared(), "v7 codes load as a borrow of the read buffer");
+    assert_eq!(loaded.insert_object(&new_row).unwrap(), 40);
+    let q = loaded.quant().unwrap();
+    assert!(!q.is_shared(), "first insert promotes shared codes to owned");
+    assert_eq!(q.len(), 41, "codes stay in lockstep with the corpus");
+    let out = loaded.search(&self_query(loaded.objects(), 0), 3, 24).unwrap();
+    assert_eq!(out.len(), 3);
+
+    // Sharded container (v4/v6): round-trips through its own loader.
+    let sharded = must_core::shard::ShardedMust::build(
+        set,
+        w,
+        MustBuildOptions { gamma: 6, ..Default::default() },
+        must_core::shard::ShardSpec::new(2),
+    )
+    .unwrap();
+    let p = tmp("matrix-sharded", 11);
+    persist::save_sharded(&sharded, &p).unwrap();
+    let loaded = persist::load_sharded(&p).unwrap();
+    std::fs::remove_file(&p).unwrap();
+    assert_eq!(loaded.num_shards(), sharded.num_shards());
+    assert_eq!(loaded.len(), sharded.len());
+}
+
 /// HNSW is the one backend v1 can never express; the property above covers
 /// its v2 round-trip, this pins the v1 rejection (and its error class).
 #[test]

@@ -98,6 +98,137 @@ pub fn generate(spec: &SemiSyntheticSpec) -> LatentDataset {
     ds
 }
 
+/// SplitMix64: a one-shot hash from a 64-bit key to a 64-bit value, used
+/// to derive per-id attributes and per-query anchors without a sequential
+/// RNG pass — what makes [`SemiSyntheticStream`] O(1) per object.
+fn splitmix64(key: u64) -> u64 {
+    let mut z = key.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Streaming variant of [`generate`] for corpora too large to hold as
+/// latents (the 1M scale tier): every object is a *pure function* of
+/// `(spec.seed, id)`, so callers materialise any chunk in any order —
+/// embed it, fold it into the index, and drop it — in O(chunk) memory.
+///
+/// Unlike [`generate`], which draws attributes and query anchors from one
+/// sequential RNG, the stream derives both by hashing the id
+/// (splitmix64), so `object(i)` never needs objects `0..i`.  The two
+/// generators therefore produce *different* (equally distributed) corpora
+/// for the same spec; benchmarks pick one and stay with it.
+pub struct SemiSyntheticStream {
+    spec: SemiSyntheticSpec,
+    space: LatentSpace,
+    universe: Universe,
+}
+
+impl SemiSyntheticStream {
+    /// Builds the stream head: the shared latent space and attribute
+    /// universe (O(`n_attrs`), independent of `n_objects`).
+    ///
+    /// # Panics
+    /// When the spec asks for zero objects, queries, or attributes.
+    #[must_use]
+    pub fn new(spec: SemiSyntheticSpec) -> Self {
+        assert!(spec.n_objects > 0 && spec.n_queries > 0 && spec.n_attrs > 0);
+        let space = LatentSpace::DEFAULT;
+        let universe = Universe::new(space, 1, spec.n_attrs, 0.1, spec.seed);
+        Self { spec, space, universe }
+    }
+
+    /// Number of objects in the corpus.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.spec.n_objects
+    }
+
+    /// Whether the corpus is empty (never, by construction).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.spec.n_objects == 0
+    }
+
+    /// The generating spec.
+    #[must_use]
+    pub fn spec(&self) -> &SemiSyntheticSpec {
+        &self.spec
+    }
+
+    /// Modality roles, identical to [`generate`]'s.
+    #[must_use]
+    pub fn roles(&self) -> Vec<ModalityRole> {
+        vec![ModalityRole::Target, ModalityRole::DescriptiveAux]
+    }
+
+    /// The latent space every latent lives in.
+    #[must_use]
+    pub fn space(&self) -> LatentSpace {
+        self.space
+    }
+
+    /// The attribute of object `id`, hash-derived (no sequential state).
+    #[must_use]
+    pub fn attr_of(&self, id: u64) -> u32 {
+        (splitmix64(self.spec.seed ^ 0x5E51 ^ id) % self.spec.n_attrs as u64) as u32
+    }
+
+    /// Labels of object `id`, matching [`generate`]'s shape (`class` is
+    /// the object id — every object is its own unique item).
+    #[must_use]
+    pub fn labels_of(&self, id: u64) -> ObjectLabels {
+        ObjectLabels { class: id as u32, attr: self.attr_of(id) }
+    }
+
+    /// Materialises object `id`'s latents (`[grounded target, text]`).
+    /// Pure in `(seed, id)`: the same id always yields the same latents.
+    ///
+    /// # Panics
+    /// When `id` is out of range.
+    #[must_use]
+    pub fn object(&self, id: u64) -> Vec<Latent> {
+        assert!((id as usize) < self.spec.n_objects, "object {id} out of range");
+        let attr = self.attr_of(id);
+        let grounded = unique_grounded(&self.space, &self.universe, attr, id, self.spec.seed);
+        let text = Latent::descriptive(self.space.class_dims, &self.universe.describe_attr(attr));
+        vec![grounded, text]
+    }
+
+    /// Materialises the query set (`n_queries` is small; this is the one
+    /// non-streaming piece).  Anchors are hash-derived per query index;
+    /// each query perturbs its anchor's grounded latent exactly as
+    /// [`generate`] does.
+    #[must_use]
+    pub fn queries(&self) -> Vec<LatentQuery> {
+        (0..self.spec.n_queries)
+            .map(|qi| {
+                let anchor = (splitmix64(self.spec.seed ^ 0xA17C ^ qi as u64)
+                    % self.spec.n_objects as u64) as u32;
+                let attr = self.attr_of(u64::from(anchor));
+                let base = self.object(u64::from(anchor));
+                let mut g = GaussianStream::new(self.spec.seed ^ 0x9E ^ ((qi as u64) << 3));
+                let perturbed: Vec<f32> = base[0]
+                    .values()
+                    .iter()
+                    .map(|v| v + (g.next_standard() as f32) * self.spec.query_perturbation)
+                    .collect();
+                let target = Latent::new(perturbed, must_encoders::LatentKind::Grounded);
+                let text = Latent::descriptive(
+                    self.space.class_dims,
+                    &self.universe.describe_attr(attr),
+                );
+                LatentQuery {
+                    latents: vec![Some(target), Some(text)],
+                    ground_truth: Vec::new(),
+                    anchor,
+                    want: ObjectLabels { class: anchor, attr },
+                }
+            })
+            .collect()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -141,6 +272,48 @@ mod tests {
             let other = ds.object_latents[(q.anchor as usize + 7) % ds.len()][0].values();
             let d_other: f32 = qv.iter().zip(other).map(|(a, b)| (a - b) * (a - b)).sum();
             assert!(d_anchor < d_other, "{d_anchor} vs {d_other}");
+        }
+    }
+
+    #[test]
+    fn stream_objects_are_pure_and_order_free() {
+        let stream = SemiSyntheticStream::new(spec());
+        assert_eq!(stream.len(), 500);
+        // Same id twice — and out of order — yields bit-identical latents.
+        let late = stream.object(499);
+        let early = stream.object(3);
+        assert_eq!(stream.object(3), early);
+        assert_eq!(stream.object(499), late);
+        assert_ne!(early[0].values(), late[0].values(), "objects stay unique");
+        for id in [0u64, 7, 499] {
+            let attr = stream.attr_of(id);
+            assert!((attr as usize) < stream.spec().n_attrs);
+            assert_eq!(stream.labels_of(id).attr, attr);
+            // The text latent describes exactly the hashed attribute.
+            let o = stream.object(id);
+            let want = Latent::descriptive(
+                stream.space().class_dims,
+                &Universe::new(stream.space(), 1, 40, 0.1, 3).describe_attr(attr),
+            );
+            assert_eq!(o[1].values(), want.values());
+        }
+    }
+
+    #[test]
+    fn stream_queries_perturb_their_hashed_anchors() {
+        let stream = SemiSyntheticStream::new(spec());
+        let queries = stream.queries();
+        assert_eq!(queries.len(), 20);
+        for q in &queries {
+            let anchor = stream.object(u64::from(q.anchor));
+            let qv = q.latents[0].as_ref().unwrap().values();
+            let av = anchor[0].values();
+            let d_anchor: f32 = qv.iter().zip(av).map(|(a, b)| (a - b) * (a - b)).sum();
+            let other = stream.object(u64::from((q.anchor + 11) % 500));
+            let d_other: f32 =
+                qv.iter().zip(other[0].values()).map(|(a, b)| (a - b) * (a - b)).sum();
+            assert!(d_anchor < d_other, "{d_anchor} vs {d_other}");
+            assert_eq!(q.latents[1].as_ref().unwrap().values(), anchor[1].values());
         }
     }
 

@@ -403,6 +403,16 @@ impl FusedRows {
         (self.data.len() + self.seg_norms.len()) * std::mem::size_of::<f32>()
     }
 
+    /// Quantizes the engine into its SQ8 companion
+    /// ([`crate::quant::QuantizedRows`]): same layout, `u8` codes, per-row
+    /// affine parameters, and the exact segment norms carried over — the
+    /// compressed walk the serving layer scans before re-ranking on these
+    /// f32 rows.
+    #[must_use]
+    pub fn quantize(&self) -> crate::quant::QuantizedRows {
+        crate::quant::QuantizedRows::from_fused(self)
+    }
+
     /// Prepares a per-query evaluator under `weights`: the query's supplied
     /// slots are scaled by `omega_k^2` and fused into one padded row
     /// *once*, after which every candidate costs a single dot product

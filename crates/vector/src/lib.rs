@@ -20,6 +20,12 @@
 //! * [`MultiVectorSet`] — the paper's multi-vector object representation
 //!   (Fig. 4(b)): a thin view over a raw [`FusedRows`] engine whose
 //!   [`ModalityView`]s keep the old per-modality API.
+//! * [`quant`] — the SQ8 scalar-quantized companion engine
+//!   ([`QuantizedRows`]): per-row per-segment affine `u8` codes in the same
+//!   stride-aligned layout, with certified reconstruction radii so the
+//!   Lemma-4 walk on codes uses a provably-never-under-pruning widened
+//!   bound.  Codes are weight-free for the same reason stored rows are
+//!   unscaled.
 //! * [`Weights`] — the per-modality weight vector `omega` learned by the
 //!   vector-weight-learning model (Section VI), exposed through its squared
 //!   form as required by Lemma 1.
@@ -43,11 +49,13 @@ pub mod fused;
 pub mod joint;
 pub mod kernels;
 mod multi;
+pub mod quant;
 mod set;
 mod weights;
 
 pub use fused::{FusedQueryEvaluator, FusedRows, FUSED_LANE};
 pub use joint::{JointDistance, PartialIpVerdict, QueryEvaluator};
+pub use quant::{CodeStore, QuantizedQueryEvaluator, QuantizedRows, SegParams};
 pub use multi::{ModalityView, MultiQuery, MultiVectorSet};
 pub use set::{VectorSet, VectorSetBuilder};
 pub use weights::Weights;

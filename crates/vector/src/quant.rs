@@ -1,0 +1,960 @@
+//! SQ8 scalar-quantized companion to the fused-row storage engine.
+//!
+//! A [`QuantizedRows`] engine mirrors a [`FusedRows`] engine row for row:
+//! the same stride-aligned segment layout, but each component stored as a
+//! `u8` code under a **per-row per-segment** affine map
+//! `value = min + step * code` (`step = (max - min) / 255`, the classic
+//! scalar-quantization recipe).  That cuts the per-object row storage 4x
+//! — the difference between a 16 M-object deployment fitting in RAM or
+//! not — at the price of a bounded reconstruction error of at most half a
+//! quantization step per component.
+//!
+//! **Codes are weight-free.**  Lemma 1 puts every `omega_k^2` on the
+//! *query* side of each per-modality inner product, and the f32 engine
+//! already exploits that by never scaling stored rows.  The quantized
+//! engine inherits the property wholesale: codes encode the raw
+//! (unscaled, unit-norm) vectors, and [`QuantizedRows::query`] applies
+//! `omega_k^2` per segment at evaluation time — so one set of codes
+//! serves every weight configuration, exactly like the f32 rows.
+//!
+//! **The widened Lemma-4 bound never under-prunes.**  The exact walk
+//! shrinks the Eq. 8 bound by `0.5 omega_k^2 ||q_k - o_k||^2` per segment.
+//! The quantized walk only knows the decoded point `o_hat_k`, but the
+//! per-row-segment radius `eps_rk >= ||o_k - o_hat_k||` (stored at encode
+//! time) turns the triangle inequality into a certified lower bound:
+//!
+//! ```text
+//! ||q_k - o_k|| >= max(0, ||q_k - o_hat_k|| - eps_rk)
+//! ```
+//!
+//! so subtracting `0.5 omega_k^2 * max(0, ||q_k - o_hat_k|| - eps_rk)^2`
+//! keeps the quantized prefix bound at or above the exact f32 prefix
+//! bound at *every* prefix: any candidate the quantized walk prunes, the
+//! exact walk would have pruned too.  `eps_rk` additionally carries a
+//! small multiplicative + absolute float-rounding margin so the guarantee
+//! survives f32 accumulation-order differences.  Survivors come back with
+//! the *decoded* joint similarity — an approximation — which is why the
+//! serving layer re-ranks the top pool on the retained f32 rows before
+//! answering.
+
+use std::sync::Arc;
+
+use crate::fused::{FusedRows, PartialIpVerdict, FUSED_LANE};
+use crate::multi::MultiQuery;
+use crate::{kernels, ObjectId, VectorError, Weights};
+
+/// Per-(row, segment) affine dequantization parameters plus the certified
+/// reconstruction radius used by the widened Lemma-4 bound.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SegParams {
+    /// Segment minimum: the decoded value of code 0.
+    pub min: f32,
+    /// Quantization step: `(max - min) / 255`; `0.0` for constant
+    /// segments, which therefore decode exactly.
+    pub step: f32,
+    /// Certified reconstruction radius: `||o_k - o_hat_k|| <= eps`, with a
+    /// float-rounding safety margin baked in.
+    pub eps: f32,
+}
+
+/// Owning or borrowed backing store for the `u8` code matrix.
+///
+/// The zero-copy bundle-v7 load path slices codes straight out of the one
+/// read buffer ([`CodeStore::shared`]); mutation (dynamic insertion after
+/// a load) promotes to an owned copy on first write — copy-on-write, so
+/// the common read-only serving path never pays for the copy.
+#[derive(Debug, Clone)]
+pub struct CodeStore(Store);
+
+#[derive(Debug, Clone)]
+enum Store {
+    Owned(Vec<u8>),
+    Shared {
+        buf: Arc<Vec<u8>>,
+        start: usize,
+        len: usize,
+    },
+}
+
+impl CodeStore {
+    /// An owned store.
+    #[must_use]
+    pub fn owned(codes: Vec<u8>) -> Self {
+        Self(Store::Owned(codes))
+    }
+
+    /// A store borrowing `len` bytes at `start` from a shared buffer —
+    /// the zero-copy load path.
+    ///
+    /// # Errors
+    /// [`VectorError::CardinalityMismatch`] when the range does not fit
+    /// inside `buf`.
+    pub fn shared(buf: Arc<Vec<u8>>, start: usize, len: usize) -> Result<Self, VectorError> {
+        let end = start.checked_add(len).filter(|&e| e <= buf.len());
+        if end.is_none() {
+            return Err(VectorError::CardinalityMismatch {
+                expected: start.saturating_add(len),
+                got: buf.len(),
+            });
+        }
+        Ok(Self(Store::Shared { buf, start, len }))
+    }
+
+    /// The codes as a contiguous byte slice.
+    #[inline]
+    #[must_use]
+    pub fn as_slice(&self) -> &[u8] {
+        match &self.0 {
+            Store::Owned(v) => v,
+            Store::Shared { buf, start, len } => &buf[*start..*start + *len],
+        }
+    }
+
+    /// Number of code bytes.
+    #[inline]
+    #[must_use]
+    pub fn len(&self) -> usize {
+        match &self.0 {
+            Store::Owned(v) => v.len(),
+            Store::Shared { len, .. } => *len,
+        }
+    }
+
+    /// Whether the store holds no codes.
+    #[inline]
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Whether the store still borrows from a shared load buffer (i.e. no
+    /// copy-on-write promotion has happened yet).
+    #[inline]
+    #[must_use]
+    pub fn is_shared(&self) -> bool {
+        matches!(self.0, Store::Shared { .. })
+    }
+
+    /// Mutable access, promoting a shared store to an owned copy on first
+    /// use (copy-on-write).
+    pub fn make_mut(&mut self) -> &mut Vec<u8> {
+        if let Store::Shared { buf, start, len } = &self.0 {
+            self.0 = Store::Owned(buf[*start..*start + *len].to_vec());
+        }
+        match &mut self.0 {
+            Store::Owned(v) => v,
+            Store::Shared { .. } => unreachable!("promoted above"),
+        }
+    }
+}
+
+impl PartialEq for CodeStore {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+/// One segment's contribution to the quantized candidate statistics:
+/// the squared distance `||q_seg - o_hat_seg||^2` to the decoded point
+/// and the inner product `<q_seg, o_hat_seg>` with it, in one fused pass
+/// over the `d` real (unpadded) components.
+///
+/// Padding code bytes must **not** be included in `codes`: a padded code
+/// of 0 would decode to `min`, not 0, so unlike the f32 engine the
+/// quantized kernels iterate exactly the real dimensions.
+#[must_use]
+pub fn seg_quant_stats(q: &[f32], codes: &[u8], min: f32, step: f32) -> (f32, f32) {
+    debug_assert_eq!(q.len(), codes.len());
+    let n = q.len();
+    let mut d2 = [0.0f32; 4];
+    let mut dot = [0.0f32; 4];
+    let chunks = n / 4;
+    for c in 0..chunks {
+        let i = c * 4;
+        for lane in 0..4 {
+            let v = min + step * f32::from(codes[i + lane]);
+            let d = q[i + lane] - v;
+            d2[lane] += d * d;
+            dot[lane] += q[i + lane] * v;
+        }
+    }
+    let (mut d2s, mut dots) = (d2[0] + d2[1] + d2[2] + d2[3], dot[0] + dot[1] + dot[2] + dot[3]);
+    for i in chunks * 4..n {
+        let v = min + step * f32::from(codes[i]);
+        let d = q[i] - v;
+        d2s += d * d;
+        dots += q[i] * v;
+    }
+    (d2s, dots)
+}
+
+/// Encodes one f32 segment of `d` real components into `u8` codes,
+/// returning the affine parameters (with the certified radius).  `out`
+/// receives exactly `d` codes.
+fn encode_segment(values: &[f32], out: &mut [u8]) -> SegParams {
+    debug_assert_eq!(values.len(), out.len());
+    let mut lo = f32::INFINITY;
+    let mut hi = f32::NEG_INFINITY;
+    for &v in values {
+        lo = lo.min(v);
+        hi = hi.max(v);
+    }
+    if values.is_empty() || !(lo.is_finite() && hi.is_finite()) {
+        // Degenerate input: encode as constant zero.  (Non-finite values
+        // cannot occur through the normalised public entry points.)
+        out.fill(0);
+        return SegParams { min: 0.0, step: 0.0, eps: eps_for(0.0, values.len()) };
+    }
+    let step = (hi - lo) / 255.0;
+    if step <= 0.0 {
+        // Constant segment: every value equals `lo`, decoded exactly.
+        out.fill(0);
+        return SegParams { min: lo, step: 0.0, eps: eps_for(0.0, values.len()) };
+    }
+    let inv = 1.0 / step;
+    for (o, &v) in out.iter_mut().zip(values) {
+        let code = ((v - lo) * inv).round();
+        *o = code.clamp(0.0, 255.0) as u8;
+    }
+    SegParams { min: lo, step, eps: eps_for(step, values.len()) }
+}
+
+/// The certified per-segment reconstruction radius: half a step per
+/// component, `sqrt(d)` components worst case, widened by a relative and
+/// an absolute float-rounding margin so the never-under-prune guarantee
+/// holds under f32 accumulation-order differences.
+fn eps_for(step: f32, d: usize) -> f32 {
+    0.5 * step * (d as f32).sqrt() * (1.0 + 1e-4) + 1e-6
+}
+
+/// SQ8 scalar-quantized row storage mirroring a [`FusedRows`] layout:
+/// same dims, same [`FUSED_LANE`]-aligned stride, one `u8` code per
+/// component (padding positions zero and never scored), one
+/// [`SegParams`] per (row, modality), and the f32 squared segment norms
+/// of the *original* rows for the exact side of the Eq. 8 norm term.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QuantizedRows {
+    /// Unpadded per-modality dimensionalities.
+    dims: Vec<usize>,
+    /// Padded segment starts within a row; `seg[m]` is the row stride.
+    seg: Vec<usize>,
+    /// Number of rows (objects).
+    len: usize,
+    /// `len * stride` codes, row-major, padding positions zero.
+    codes: CodeStore,
+    /// `len * m` affine parameters, row-major.
+    params: Vec<SegParams>,
+    /// `len * m` squared segment norms of the original f32 rows
+    /// (`||o_k||^2`, not the decoded approximation) — the candidate half
+    /// of the Eq. 8 norm term must stay exact for the bound proof.
+    seg_norms: Vec<f32>,
+}
+
+impl QuantizedRows {
+    /// Quantizes every row of an f32 engine.  The segment layout (and the
+    /// exact segment norms) carry over unchanged.
+    #[must_use]
+    pub fn from_fused(rows: &FusedRows) -> Self {
+        let dims = rows.dims().to_vec();
+        let m = dims.len();
+        let stride = rows.stride();
+        let n = rows.len();
+        let mut codes = vec![0u8; n * stride];
+        let mut params = Vec::with_capacity(n * m);
+        for id in 0..n {
+            let base = id * stride;
+            for (k, &d) in dims.iter().enumerate() {
+                let (start, _) = rows.segment_bounds(k);
+                let values = rows.modality_slice(id as ObjectId, k);
+                let out = &mut codes[base + start..base + start + d];
+                params.push(encode_segment(values, out));
+            }
+        }
+        let seg = Self::layout(&dims);
+        Self {
+            dims,
+            seg,
+            len: n,
+            codes: CodeStore::owned(codes),
+            params,
+            seg_norms: rows.seg_norms().to_vec(),
+        }
+    }
+
+    fn layout(dims: &[usize]) -> Vec<usize> {
+        let mut seg = Vec::with_capacity(dims.len() + 1);
+        let mut off = 0;
+        seg.push(0);
+        for &d in dims {
+            off += d.div_ceil(FUSED_LANE) * FUSED_LANE;
+            seg.push(off);
+        }
+        seg
+    }
+
+    /// Reassembles a quantized engine from persisted parts (the bundle-v7
+    /// load path; `codes` may borrow from the shared read buffer).
+    ///
+    /// # Errors
+    /// [`VectorError::DimensionMismatch`] for empty/zero dims or a code
+    /// buffer that is not a whole number of rows;
+    /// [`VectorError::CardinalityMismatch`] when `params` or `seg_norms`
+    /// do not hold exactly one entry per (row, modality) pair.
+    pub fn from_parts(
+        dims: Vec<usize>,
+        codes: CodeStore,
+        params: Vec<SegParams>,
+        seg_norms: Vec<f32>,
+    ) -> Result<Self, VectorError> {
+        if dims.is_empty() || dims.contains(&0) {
+            return Err(VectorError::DimensionMismatch { expected: 1, got: 0 });
+        }
+        let seg = Self::layout(&dims);
+        let stride = seg[dims.len()];
+        if !codes.len().is_multiple_of(stride) {
+            return Err(VectorError::DimensionMismatch {
+                expected: stride,
+                got: codes.len() % stride,
+            });
+        }
+        let len = codes.len() / stride;
+        if params.len() != len * dims.len() {
+            return Err(VectorError::CardinalityMismatch {
+                expected: len * dims.len(),
+                got: params.len(),
+            });
+        }
+        if seg_norms.len() != len * dims.len() {
+            return Err(VectorError::CardinalityMismatch {
+                expected: len * dims.len(),
+                got: seg_norms.len(),
+            });
+        }
+        Ok(Self { dims, seg, len, codes, params, seg_norms })
+    }
+
+    /// Number of modalities `m`.
+    #[inline]
+    #[must_use]
+    pub fn num_modalities(&self) -> usize {
+        self.dims.len()
+    }
+
+    /// Unpadded per-modality dimensionalities.
+    #[inline]
+    #[must_use]
+    pub fn dims(&self) -> &[usize] {
+        &self.dims
+    }
+
+    /// Row stride in code bytes (identical to the f32 engine's stride in
+    /// floats).
+    #[inline]
+    #[must_use]
+    pub fn stride(&self) -> usize {
+        self.seg[self.dims.len()]
+    }
+
+    /// Number of rows (objects).
+    #[inline]
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the engine holds no rows.
+    #[inline]
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Whether the codes still borrow from a shared load buffer.
+    #[inline]
+    #[must_use]
+    pub fn is_shared(&self) -> bool {
+        self.codes.is_shared()
+    }
+
+    /// The full code matrix, row-major (`len * stride` bytes) — the
+    /// bundle save path.
+    #[inline]
+    #[must_use]
+    pub fn raw_codes(&self) -> &[u8] {
+        self.codes.as_slice()
+    }
+
+    /// All affine parameters, row-major (`len * m` entries) — the bundle
+    /// save path.
+    #[inline]
+    #[must_use]
+    pub fn params(&self) -> &[SegParams] {
+        &self.params
+    }
+
+    /// All squared segment norms, row-major (`len * m` entries).
+    #[inline]
+    #[must_use]
+    pub fn seg_norms(&self) -> &[f32] {
+        &self.seg_norms
+    }
+
+    /// The affine parameters of modality `k` in row `id`.
+    #[inline]
+    #[must_use]
+    pub fn seg_params(&self, id: ObjectId, k: usize) -> SegParams {
+        self.params[id as usize * self.dims.len() + k]
+    }
+
+    /// The squared f32 norm `||o_k||^2` of modality `k`'s original
+    /// segment in row `id`.
+    #[inline]
+    #[must_use]
+    pub fn seg_norm(&self, id: ObjectId, k: usize) -> f32 {
+        self.seg_norms[id as usize * self.dims.len() + k]
+    }
+
+    /// The `u8` codes of modality `k`'s real components in row `id`
+    /// (length `dims[k]`; padding positions excluded).
+    #[inline]
+    #[must_use]
+    pub fn modality_codes(&self, id: ObjectId, k: usize) -> &[u8] {
+        let start = id as usize * self.stride() + self.seg[k];
+        &self.codes.as_slice()[start..start + self.dims[k]]
+    }
+
+    /// Decodes modality `k` of row `id` back to f32 (test/diagnostic
+    /// path; the hot path scores codes directly).
+    #[must_use]
+    pub fn decode_modality(&self, id: ObjectId, k: usize) -> Vec<f32> {
+        let p = self.seg_params(id, k);
+        self.modality_codes(id, k)
+            .iter()
+            .map(|&c| p.min + p.step * f32::from(c))
+            .collect()
+    }
+
+    /// Appends one object from its per-modality (already normalised)
+    /// vectors, quantizing each segment.  Promotes shared codes to owned
+    /// on first call (copy-on-write).
+    ///
+    /// # Errors
+    /// [`VectorError::CardinalityMismatch`] on wrong modality count,
+    /// [`VectorError::DimensionMismatch`] on wrong slot length; the
+    /// engine is untouched on error.
+    pub fn push_row<S: AsRef<[f32]>>(&mut self, rows: &[S]) -> Result<ObjectId, VectorError> {
+        if rows.len() != self.num_modalities() {
+            return Err(VectorError::CardinalityMismatch {
+                expected: self.num_modalities(),
+                got: rows.len(),
+            });
+        }
+        for (k, r) in rows.iter().enumerate() {
+            if r.as_ref().len() != self.dims[k] {
+                return Err(VectorError::DimensionMismatch {
+                    expected: self.dims[k],
+                    got: r.as_ref().len(),
+                });
+            }
+        }
+        let id = self.len as ObjectId;
+        let stride = self.stride();
+        let seg = self.seg.clone();
+        let codes = self.codes.make_mut();
+        codes.resize((self.len + 1) * stride, 0);
+        let row = &mut codes[self.len * stride..];
+        for (k, r) in rows.iter().enumerate() {
+            let r = r.as_ref();
+            let out = &mut row[seg[k]..seg[k] + r.len()];
+            self.params.push(encode_segment(r, out));
+            self.seg_norms.push(kernels::ip(r, r));
+        }
+        self.len += 1;
+        Ok(id)
+    }
+
+    /// Heap footprint in bytes: codes plus per-row affine parameters and
+    /// segment norms.
+    #[must_use]
+    pub fn bytes(&self) -> usize {
+        self.codes.len()
+            + self.params.len() * std::mem::size_of::<SegParams>()
+            + self.seg_norms.len() * std::mem::size_of::<f32>()
+    }
+
+    /// Prepares a per-query evaluator under `weights`, mirroring
+    /// [`FusedRows::query`]: weights scale the query side only, codes
+    /// stay weight-free, and every query may carry its own weights.
+    ///
+    /// # Errors
+    /// As [`FusedRows::query`]: weight-arity, slot-arity, and dimension
+    /// mismatches.
+    pub fn query(
+        &self,
+        query: &MultiQuery,
+        weights: &Weights,
+    ) -> Result<QuantizedQueryEvaluator<'_>, VectorError> {
+        QuantizedQueryEvaluator::new(self, query, weights)
+    }
+}
+
+/// One active (supplied, positive-weight) modality of a quantized query,
+/// in Lemma-4 prefix order.
+#[derive(Debug, Clone, Copy)]
+struct ActiveSegment {
+    /// Modality index (for the per-row parameter/norm lookups).
+    k: usize,
+    /// Padded segment start within a row.
+    start: usize,
+    /// Number of real components (`dims[k]`; the quantized kernels never
+    /// touch padding, whose codes would decode to `min`, not 0).
+    dim: usize,
+    /// `omega_k^2`.
+    wsq: f32,
+    /// `0.5 * omega_k^2`.
+    half_wsq: f32,
+}
+
+/// Per-query evaluator over a [`QuantizedRows`] engine: the approximate
+/// (decoded) joint similarity for pool ranking, and the widened Lemma-4
+/// walk whose prefix bound provably dominates the exact f32 bound — see
+/// the module docs for the derivation.
+#[derive(Debug)]
+pub struct QuantizedQueryEvaluator<'a> {
+    rows: &'a QuantizedRows,
+    /// The raw (unscaled) query laid out in fused-row geometry; the
+    /// per-segment `omega_k^2` lives in `active`, matching the f32
+    /// evaluator's query-side weighting.
+    qraw: Vec<f32>,
+    /// Active modalities in modality order — the Lemma-4 prefix order.
+    active: Vec<ActiveSegment>,
+    /// `sum of active omega_k^2`.
+    w_total: f32,
+    /// `sum_k 0.5 * omega_k^2 * ||q_k||^2` — the query half of the Eq. 8
+    /// norm term.
+    q_half_norm: f32,
+    kernel_evals: std::cell::Cell<u64>,
+}
+
+impl<'a> QuantizedQueryEvaluator<'a> {
+    fn new(
+        rows: &'a QuantizedRows,
+        query: &MultiQuery,
+        weights: &Weights,
+    ) -> Result<Self, VectorError> {
+        if query.num_slots() != rows.num_modalities() {
+            return Err(VectorError::WeightArity {
+                modalities: rows.num_modalities(),
+                weights: query.num_slots(),
+            });
+        }
+        if weights.modalities() != rows.num_modalities() {
+            return Err(VectorError::WeightArity {
+                modalities: rows.num_modalities(),
+                weights: weights.modalities(),
+            });
+        }
+        let mut qraw = vec![0.0f32; rows.stride()];
+        let mut active = Vec::with_capacity(rows.num_modalities());
+        let mut w_total = 0.0;
+        let mut q_half_norm = 0.0;
+        for k in 0..rows.num_modalities() {
+            let Some(slot) = query.slot(k) else { continue };
+            if slot.len() != rows.dims()[k] {
+                return Err(VectorError::DimensionMismatch {
+                    expected: rows.dims()[k],
+                    got: slot.len(),
+                });
+            }
+            let wsq = weights.sq(k);
+            if wsq <= 0.0 {
+                continue;
+            }
+            let start = rows.seg[k];
+            qraw[start..start + slot.len()].copy_from_slice(slot);
+            active.push(ActiveSegment { k, start, dim: slot.len(), wsq, half_wsq: 0.5 * wsq });
+            w_total += wsq;
+            q_half_norm += 0.5 * wsq * kernels::ip(slot, slot);
+        }
+        Ok(Self {
+            rows,
+            qraw,
+            active,
+            w_total,
+            q_half_norm,
+            kernel_evals: std::cell::Cell::new(0),
+        })
+    }
+
+    /// Number of modality kernels evaluated so far.
+    #[inline]
+    pub fn kernel_evals(&self) -> u64 {
+        self.kernel_evals.get()
+    }
+
+    /// Sum of active squared weights.
+    #[inline]
+    pub fn w_total(&self) -> f32 {
+        self.w_total
+    }
+
+    #[inline]
+    fn bump(&self, by: u64) {
+        self.kernel_evals.set(self.kernel_evals.get() + by);
+    }
+
+    /// Approximate joint similarity of object `id` to the query:
+    /// `sum_k omega_k^2 * <q_k, o_hat_k>` over the decoded codes.  Used
+    /// for pool ranking; exact answers come from re-ranking on the f32
+    /// rows.
+    pub fn ip(&self, id: ObjectId) -> f32 {
+        self.bump(self.active.len() as u64);
+        let codes = self.rows.raw_codes();
+        let base = id as usize * self.rows.stride();
+        let mut sum = 0.0;
+        for seg in &self.active {
+            let p = self.rows.seg_params(id, seg.k);
+            let (_, dot) = seg_quant_stats(
+                &self.qraw[seg.start..seg.start + seg.dim],
+                &codes[base + seg.start..base + seg.start + seg.dim],
+                p.min,
+                p.step,
+            );
+            sum += seg.wsq * dot;
+        }
+        sum
+    }
+
+    /// The widened Lemma-4 walk: starts from the exact norm term (query
+    /// half precomputed, candidate half from the stored **f32** segment
+    /// norms) and shrinks the bound by
+    /// `0.5 omega_k^2 * max(0, ||q_k - o_hat_k|| - eps_rk)^2` per
+    /// segment.  By the triangle inequality this never subtracts more
+    /// than the exact walk would, so [`PartialIpVerdict::Pruned`] implies
+    /// the exact f32 walk would also have pruned at `threshold`.  The
+    /// surviving value is the *approximate* decoded similarity (for pool
+    /// ranking), not the widened bound.
+    pub fn ip_pruned(&self, id: ObjectId, threshold: f32) -> PartialIpVerdict {
+        let codes = self.rows.raw_codes();
+        let base = id as usize * self.rows.stride();
+        let mut bound = self.q_half_norm;
+        for seg in &self.active {
+            bound += seg.half_wsq * self.rows.seg_norm(id, seg.k);
+        }
+        let last = self.active.len().saturating_sub(1);
+        let mut approx = 0.0;
+        for (scanned, seg) in self.active.iter().enumerate() {
+            let p = self.rows.seg_params(id, seg.k);
+            let (d2, dot) = seg_quant_stats(
+                &self.qraw[seg.start..seg.start + seg.dim],
+                &codes[base + seg.start..base + seg.start + seg.dim],
+                p.min,
+                p.step,
+            );
+            self.bump(1);
+            let widened = (d2.max(0.0).sqrt() - p.eps).max(0.0);
+            bound -= seg.half_wsq * widened * widened;
+            approx += seg.wsq * dot;
+            if bound <= threshold && scanned < last {
+                return PartialIpVerdict::Pruned;
+            }
+        }
+        if bound <= threshold {
+            // All segments scanned and even the widened bound clears
+            // nothing: the exact walk would have discarded it too.
+            return PartialIpVerdict::Pruned;
+        }
+        PartialIpVerdict::Exact(approx)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{MultiVectorSet, VectorSetBuilder};
+
+    fn engine() -> FusedRows {
+        let mut m0 = VectorSetBuilder::new(5, 4);
+        m0.push_normalized(&[1.0, 0.0, 0.0, 0.0, 0.0]).unwrap();
+        m0.push_normalized(&[0.0, 1.0, 0.0, 0.0, 1.0]).unwrap();
+        m0.push_normalized(&[0.2, 0.4, 0.1, 0.7, 0.3]).unwrap();
+        m0.push_normalized(&[-0.5, 0.1, 0.6, -0.2, 0.4]).unwrap();
+        let mut m1 = VectorSetBuilder::new(3, 4);
+        m1.push_normalized(&[1.0, 0.0, 0.0]).unwrap();
+        m1.push_normalized(&[0.0, 1.0, 1.0]).unwrap();
+        m1.push_normalized(&[0.5, 0.5, 0.5]).unwrap();
+        m1.push_normalized(&[0.3, -0.8, 0.5]).unwrap();
+        FusedRows::from_sets(&[m0.finish(), m1.finish()]).unwrap()
+    }
+
+    #[test]
+    fn layout_mirrors_the_f32_engine() {
+        let rows = engine();
+        let q = QuantizedRows::from_fused(&rows);
+        assert_eq!(q.dims(), rows.dims());
+        assert_eq!(q.stride(), rows.stride());
+        assert_eq!(q.len(), rows.len());
+        assert_eq!(q.raw_codes().len(), rows.len() * rows.stride());
+        assert_eq!(q.params().len(), rows.len() * rows.num_modalities());
+        assert!(!q.is_shared());
+    }
+
+    #[test]
+    fn decode_error_is_at_most_half_a_step() {
+        let rows = engine();
+        let q = QuantizedRows::from_fused(&rows);
+        for id in 0..rows.len() as ObjectId {
+            for k in 0..rows.num_modalities() {
+                let p = q.seg_params(id, k);
+                let decoded = q.decode_modality(id, k);
+                for (d, &orig) in decoded.iter().zip(rows.modality_slice(id, k)) {
+                    assert!(
+                        (d - orig).abs() <= 0.5 * p.step + 1e-6,
+                        "id {id} k {k}: |{d} - {orig}| > step/2 = {}",
+                        0.5 * p.step
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn constant_segments_decode_exactly() {
+        // A constant (and a zero) segment: step must be 0 and decoding
+        // exact.
+        let mut m0 = VectorSetBuilder::new(4, 2);
+        m0.push_normalized(&[0.5, 0.5, 0.5, 0.5]).unwrap();
+        m0.push_normalized(&[1.0, 0.0, 0.0, 0.0]).unwrap();
+        let rows = FusedRows::from_sets(&[m0.finish()]).unwrap();
+        let q = QuantizedRows::from_fused(&rows);
+        let p = q.seg_params(0, 0);
+        assert_eq!(p.step, 0.0);
+        assert_eq!(q.decode_modality(0, 0), rows.modality_slice(0, 0));
+    }
+
+    #[test]
+    fn approximate_ip_tracks_the_exact_ip() {
+        let rows = engine();
+        let q = QuantizedRows::from_fused(&rows);
+        let w = Weights::new(vec![0.8, 0.5]).unwrap();
+        let query = MultiQuery::full(vec![
+            rows.modality_slice(1, 0).to_vec(),
+            rows.modality_slice(2, 1).to_vec(),
+        ]);
+        let qe = q.query(&query, &w).unwrap();
+        let fe = rows.query(&query, &w).unwrap();
+        for id in 0..rows.len() as ObjectId {
+            let approx = qe.ip(id);
+            let exact = fe.ip(id);
+            // 8-bit codes over unit-norm segments: plenty for 1e-2.
+            assert!((approx - exact).abs() < 1e-2, "id {id}: {approx} vs {exact}");
+        }
+        assert!((qe.w_total() - fe.w_total()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn widened_bound_never_under_prunes() {
+        let rows = engine();
+        let q = QuantizedRows::from_fused(&rows);
+        let w = Weights::new(vec![0.9, 0.3]).unwrap();
+        let query = MultiQuery::full(vec![
+            rows.modality_slice(0, 0).to_vec(),
+            rows.modality_slice(3, 1).to_vec(),
+        ]);
+        let qe = q.query(&query, &w).unwrap();
+        let fe = rows.query(&query, &w).unwrap();
+        for id in 0..rows.len() as ObjectId {
+            let exact = fe.ip(id);
+            for threshold in [-1.0f32, -0.2, 0.0, 0.1, 0.3, 0.6, 0.9] {
+                if let PartialIpVerdict::Pruned = qe.ip_pruned(id, threshold) {
+                    // Quantized prune implies the exact walk would prune:
+                    // in particular the exact similarity clears nothing.
+                    assert!(
+                        exact <= threshold + 1e-5,
+                        "id {id} pruned at {threshold} but exact = {exact}"
+                    );
+                }
+            }
+            // At -inf nothing prunes and the survivor is the decoded
+            // approximation.
+            match qe.ip_pruned(id, f32::NEG_INFINITY) {
+                PartialIpVerdict::Exact(v) => assert!((v - qe.ip(id)).abs() < 1e-6),
+                PartialIpVerdict::Pruned => panic!("must not prune at -inf"),
+            }
+        }
+    }
+
+    #[test]
+    fn weights_scale_the_query_side_only() {
+        // Same codes, two weight configurations: the decoded similarity
+        // must track each configuration's exact value.
+        let rows = engine();
+        let q = QuantizedRows::from_fused(&rows);
+        let query = MultiQuery::full(vec![
+            rows.modality_slice(2, 0).to_vec(),
+            rows.modality_slice(2, 1).to_vec(),
+        ]);
+        for w in [
+            Weights::uniform(2),
+            Weights::from_squared(vec![0.9, 0.1]).unwrap(),
+            Weights::from_squared(vec![0.1, 0.9]).unwrap(),
+        ] {
+            let qe = q.query(&query, &w).unwrap();
+            let fe = rows.query(&query, &w).unwrap();
+            for id in 0..rows.len() as ObjectId {
+                assert!((qe.ip(id) - fe.ip(id)).abs() < 1e-2);
+            }
+        }
+    }
+
+    #[test]
+    fn partial_queries_and_zero_weights_deactivate_segments() {
+        let rows = engine();
+        let q = QuantizedRows::from_fused(&rows);
+        let query = MultiQuery::partial(vec![Some(rows.modality_slice(0, 0).to_vec()), None]);
+        let qe = q.query(&query, &Weights::uniform(2)).unwrap();
+        assert!((qe.w_total() - 0.5).abs() < 1e-6);
+        let before = qe.kernel_evals();
+        let _ = qe.ip_pruned(0, f32::NEG_INFINITY);
+        assert_eq!(qe.kernel_evals() - before, 1, "one active segment, one kernel");
+        // Zero-weight modality likewise deactivates.
+        let full = MultiQuery::full(vec![
+            rows.modality_slice(0, 0).to_vec(),
+            rows.modality_slice(0, 1).to_vec(),
+        ]);
+        let qz = q.query(&full, &Weights::new(vec![0.7, 0.0]).unwrap()).unwrap();
+        assert!((qz.w_total() - 0.49).abs() < 1e-5);
+    }
+
+    #[test]
+    fn arity_and_dimension_mismatches_are_rejected() {
+        let q = QuantizedRows::from_fused(&engine());
+        let query = MultiQuery::full(vec![vec![1.0; 5], vec![1.0; 3]]);
+        assert!(matches!(
+            q.query(&query, &Weights::uniform(3)),
+            Err(VectorError::WeightArity { .. })
+        ));
+        let bad = MultiQuery::full(vec![vec![1.0; 4], vec![1.0; 3]]);
+        assert!(matches!(
+            q.query(&bad, &Weights::uniform(2)),
+            Err(VectorError::DimensionMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn push_row_quantizes_and_promotes_shared_codes() {
+        let rows = engine();
+        let owned = QuantizedRows::from_fused(&rows);
+        // Rebuild as a shared (zero-copy) store.
+        let buf = Arc::new(owned.raw_codes().to_vec());
+        let store = CodeStore::shared(Arc::clone(&buf), 0, buf.len()).unwrap();
+        let mut q = QuantizedRows::from_parts(
+            owned.dims().to_vec(),
+            store,
+            owned.params().to_vec(),
+            owned.seg_norms().to_vec(),
+        )
+        .unwrap();
+        assert_eq!(q, owned);
+        assert!(q.is_shared());
+        let new0 = {
+            let mut v = vec![0.1f32, -0.4, 0.2, 0.8, 0.3];
+            let _ = kernels::normalize(&mut v);
+            v
+        };
+        let new1 = {
+            let mut v = vec![0.6f32, 0.0, 0.8];
+            let _ = kernels::normalize(&mut v);
+            v
+        };
+        let id = q.push_row(&[new0.clone(), new1.clone()]).unwrap();
+        assert_eq!(id, 4);
+        assert!(!q.is_shared(), "first write promotes to owned");
+        assert_eq!(q.len(), 5);
+        let p = q.seg_params(4, 0);
+        for (d, orig) in q.decode_modality(4, 0).iter().zip(&new0) {
+            assert!((d - orig).abs() <= 0.5 * p.step + 1e-6);
+        }
+        // Errors leave the engine untouched.
+        assert!(q.push_row(&[vec![1.0f32; 5]]).is_err());
+        assert!(q.push_row(&[vec![1.0f32; 4], vec![1.0f32; 3]]).is_err());
+        assert_eq!(q.len(), 5);
+        // The shared buffer itself was never mutated.
+        assert_eq!(&buf[..], owned.raw_codes());
+    }
+
+    #[test]
+    fn from_parts_validates_shapes() {
+        let q = QuantizedRows::from_fused(&engine());
+        assert!(matches!(
+            QuantizedRows::from_parts(
+                vec![],
+                CodeStore::owned(vec![]),
+                vec![],
+                vec![],
+            ),
+            Err(VectorError::DimensionMismatch { .. })
+        ));
+        assert!(matches!(
+            QuantizedRows::from_parts(
+                q.dims().to_vec(),
+                CodeStore::owned(vec![0u8; q.stride() + 1]),
+                vec![],
+                vec![],
+            ),
+            Err(VectorError::DimensionMismatch { .. })
+        ));
+        assert!(matches!(
+            QuantizedRows::from_parts(
+                q.dims().to_vec(),
+                CodeStore::owned(q.raw_codes().to_vec()),
+                q.params()[..3].to_vec(),
+                q.seg_norms().to_vec(),
+            ),
+            Err(VectorError::CardinalityMismatch { .. })
+        ));
+        assert!(matches!(
+            QuantizedRows::from_parts(
+                q.dims().to_vec(),
+                CodeStore::owned(q.raw_codes().to_vec()),
+                q.params().to_vec(),
+                vec![1.0; 3],
+            ),
+            Err(VectorError::CardinalityMismatch { .. })
+        ));
+        // Out-of-range shared windows are rejected at construction.
+        let buf = Arc::new(vec![0u8; 8]);
+        assert!(CodeStore::shared(Arc::clone(&buf), 4, 8).is_err());
+        assert!(CodeStore::shared(buf, usize::MAX, 2).is_err());
+    }
+
+    #[test]
+    fn bytes_counts_codes_and_per_row_constants() {
+        let q = QuantizedRows::from_fused(&engine());
+        let expect = q.raw_codes().len()
+            + std::mem::size_of_val(q.params())
+            + q.seg_norms().len() * 4;
+        assert_eq!(q.bytes(), expect);
+    }
+
+    #[test]
+    fn multi_vector_set_round_trips_through_quantization() {
+        let set = MultiVectorSet::new(vec![
+            {
+                let mut b = VectorSetBuilder::new(6, 2);
+                b.push_normalized(&[1.0, 2.0, -1.0, 0.5, 0.0, 0.25]).unwrap();
+                b.push_normalized(&[0.0, 0.0, 1.0, 0.0, 0.0, 0.0]).unwrap();
+                b.finish()
+            },
+        ])
+        .unwrap();
+        let q = set.fused().quantize();
+        for id in 0..2u32 {
+            let p = q.seg_params(id, 0);
+            for (d, &orig) in q.decode_modality(id, 0).iter().zip(set.fused().modality_slice(id, 0))
+            {
+                assert!((d - orig).abs() <= 0.5 * p.step + 1e-6);
+            }
+        }
+    }
+}

@@ -6,7 +6,10 @@
 //! exact when it completes).
 
 use must_vector::kernels;
-use must_vector::{JointDistance, MultiQuery, MultiVectorSet, PartialIpVerdict, VectorSetBuilder, Weights};
+use must_vector::{
+    CodeStore, JointDistance, MultiQuery, MultiVectorSet, PartialIpVerdict, QuantizedRows,
+    VectorSetBuilder, Weights,
+};
 use proptest::prelude::*;
 
 /// A non-degenerate raw vector of dimension `dim`.
@@ -43,6 +46,17 @@ fn multi_set(
 fn weights(m: usize) -> impl Strategy<Value = Weights> {
     proptest::collection::vec(0.01f32..2.0, m)
         .prop_map(|w| Weights::new(w).expect("positive finite"))
+}
+
+/// One quantizable segment: arbitrary values, a constant segment, or an
+/// all-zero segment — the degenerate kinds get explicit probability mass
+/// so `step = 0` encoding is exercised, not just sampled by luck.
+fn quant_segment(dim: usize) -> impl Strategy<Value = Vec<f32>> {
+    prop_oneof![
+        proptest::collection::vec(-8.0f32..8.0, dim),
+        (-8.0f32..8.0).prop_map(move |c| vec![c; dim]),
+        Just(vec![0.0f32; dim]),
+    ]
 }
 
 proptest! {
@@ -123,6 +137,86 @@ proptest! {
         for (got, want) in top.iter().zip(&all) {
             // Scores must agree exactly (ids may differ under ties).
             prop_assert!((got.1 - want.1).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn sq8_decode_error_is_at_most_half_a_step(
+        s0 in quant_segment(7),
+        s1 in quant_segment(4),
+        s2 in quant_segment(1),
+    ) {
+        let mut q = QuantizedRows::from_parts(
+            vec![7, 4, 1],
+            CodeStore::owned(Vec::new()),
+            Vec::new(),
+            Vec::new(),
+        )
+        .expect("an empty engine is valid");
+        let segs = [s0, s1, s2];
+        let id = q.push_row(&segs).expect("matching arity and dims");
+        for (k, seg) in segs.iter().enumerate() {
+            let p = q.seg_params(id, k);
+            prop_assert!(p.step >= 0.0);
+            // Constant (and all-zero) segments must encode with step 0
+            // and decode exactly.
+            let spread = seg.iter().fold(f32::NEG_INFINITY, |a, &v| a.max(v))
+                - seg.iter().fold(f32::INFINITY, |a, &v| a.min(v));
+            if spread == 0.0 {
+                prop_assert_eq!(p.step, 0.0);
+            }
+            let decoded = q.decode_modality(id, k);
+            for (got, want) in decoded.iter().zip(seg) {
+                prop_assert!(
+                    (got - want).abs() <= 0.5 * p.step + 1e-5,
+                    "modality {}: decode error {} exceeds half-step {}",
+                    k,
+                    (got - want).abs(),
+                    0.5 * p.step
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn sq8_widened_bound_never_under_prunes(
+        set in multi_set(6, &[6, 4]),
+        w in weights(2),
+        w_override in weights(2),
+        q0 in raw_vector(6),
+        q1 in raw_vector(4),
+        threshold in -1.5f32..1.5,
+    ) {
+        let mut q0 = q0;
+        let mut q1 = q1;
+        prop_assume!(kernels::normalize(&mut q0));
+        prop_assume!(kernels::normalize(&mut q1));
+        // Codes are weight-free, so one engine must serve the build-time
+        // weights and any per-query override identically.
+        let quant = set.fused().quantize();
+        for w in [w, w_override] {
+            let jd = JointDistance::new(&set, w.clone()).unwrap();
+            for query in [
+                MultiQuery::full(vec![q0.clone(), q1.clone()]),
+                MultiQuery::partial(vec![Some(q0.clone()), None]),
+            ] {
+                let exact_ev = jd.query(&query).unwrap();
+                let qev = quant.query(&query, &w).unwrap();
+                for id in 0..6u32 {
+                    let exact = exact_ev.ip(id);
+                    // Soundness: a widened-bound prune may only discard
+                    // rows the exact f32 walk could also discard.
+                    if let PartialIpVerdict::Pruned = qev.ip_pruned(id, threshold) {
+                        prop_assert!(
+                            exact <= threshold + 1e-4,
+                            "id {}: pruned at threshold {} but exact ip is {}",
+                            id,
+                            threshold,
+                            exact
+                        );
+                    }
+                }
+            }
         }
     }
 

@@ -242,6 +242,54 @@ fn runtime_shutdown_drains_queued_backlog() {
     assert_eq!(ids, (0..n).collect::<Vec<_>>());
 }
 
+/// The SQ8 serving path — quantized Lemma-4 walk over the u8 codes,
+/// then an exact f32 re-rank of the top `4·k` pool — must hold
+/// Recall@10 within 0.005 of the f32 path on the committed corpus,
+/// under the frozen default weights and a per-query override (codes
+/// are weight-free, so one engine serves both).
+#[test]
+fn quantized_serving_recall_matches_f32_within_half_a_point() {
+    let (must, queries) = built_fixture();
+    let corpus = must.objects().clone();
+    let f32_server = MustServer::freeze(must);
+
+    let (mut quantized, _) = built_fixture();
+    quantized.quantize();
+    let quant_server = MustServer::freeze(quantized);
+    assert!(quant_server.quant().is_some(), "freeze must carry the SQ8 engine");
+
+    let (k, l) = (10, 100);
+    let override_w = Weights::from_squared(vec![0.75, 0.25]).unwrap();
+    for (case, w) in [Weights::uniform(2), override_w].into_iter().enumerate() {
+        let gt = must::core::search::exact_ground_truth(&corpus, &w, &queries, k).unwrap();
+        let recall_of = |server: &MustServer| -> f64 {
+            let outs = if case == 0 {
+                // The frozen default path (weights baked at build time).
+                server.search_batch(&queries, k, l, 1)
+            } else {
+                server.search_batch_weighted(&queries, &w, k, l, 1)
+            };
+            let sum: f64 = outs
+                .into_iter()
+                .zip(&gt)
+                .map(|(out, g)| {
+                    let ids: Vec<must::vector::ObjectId> =
+                        out.unwrap().results.iter().map(|r| r.0).collect();
+                    recall_at(&ids, g, k)
+                })
+                .sum();
+            sum / queries.len() as f64
+        };
+        let f32_recall = recall_of(&f32_server);
+        let quant_recall = recall_of(&quant_server);
+        assert!(
+            quant_recall >= f32_recall - 0.005,
+            "case {case}: quantized recall@10 {quant_recall:.4} trails the f32 path's \
+             {f32_recall:.4} by more than 0.005"
+        );
+    }
+}
+
 /// Offline build → binary bundle on disk → `MustServer::load` → serving
 /// results identical to the in-process freeze (the README quickstart
 /// deployment path).
