@@ -17,6 +17,13 @@
 //! committed artefact must carry at least one ≥ 1M entry — the
 //! acceptance pin for the quantized-scan + exact-re-rank serving path.
 //!
+//! The **build sweep** (`build_sweep[]`, written by `serving --
+//! --build-sweep`) gets the build-parallelism gate: when the fresh host
+//! has ≥ 2 hardware threads, the wave-scheduled graph build at `T = 2`
+//! must run ≥ 1.6× faster than at `T = 1` on the same corpus — the
+//! wall-clock proof that the deterministic wave schedule actually
+//! converts workers into build throughput.
+//!
 //! Both scaling gates are guarded twice, mirroring the recall-drift
 //! guard: they only arm when (a) the fresh artefact's corpus matches the
 //! committed reference (a CI smoke run at a different `MUST_SCALE` is
@@ -41,8 +48,17 @@ const ENTRY_KEYS: &[&str] = &[
     "scaling_efficiency",
 ];
 /// Required numeric keys per `shard_entries[]` element.
-const SHARD_KEYS: &[&str] =
-    &["shards", "threads", "batch", "build_secs", "qps", "p50_ms", "p99_ms", "recall_at_10"];
+const SHARD_KEYS: &[&str] = &[
+    "shards",
+    "threads",
+    "batch",
+    "build_secs",
+    "build_threads",
+    "qps",
+    "p50_ms",
+    "p99_ms",
+    "recall_at_10",
+];
 /// Required numeric keys per `routing[]` element.
 const ROUTING_KEYS: &[&str] = &[
     "shards",
@@ -82,6 +98,7 @@ const SCALE_KEYS: &[&str] = &[
     "overhead_bytes_per_object",
     "embed_secs",
     "build_secs",
+    "build_threads",
     "threads",
     "qps",
     "p50_ms",
@@ -90,6 +107,9 @@ const SCALE_KEYS: &[&str] = &[
     "rerank_k",
     "l",
 ];
+
+/// Required numeric keys per `build_sweep[]` element.
+const BUILD_KEYS: &[&str] = &["n_objects", "threads", "build_secs", "speedup_vs_t1"];
 
 /// Scale-tier gate: hot-path storage (retained f32 rows + SQ8 codes)
 /// per dimension.  96 dims cost 384 f32 bytes + 96 code bytes = exactly
@@ -114,6 +134,16 @@ const MIN_T2_SPEEDUP: f64 = 1.15;
 
 /// Scaling gate: two workers may inflate p99 by at most this factor.
 const MAX_T2_P99_BLOWUP: f64 = 3.0;
+
+/// Build-parallelism gate: the wave-scheduled graph build at `T = 2`
+/// must run at least this much faster than `T = 1` on the same corpus.
+/// The per-wave serial commit is a tiny fraction of the work (memory
+/// appends only — every descent, search, and re-prune runs in the
+/// parallel phases), so two workers clearing 1.6× is a loose bar for a
+/// correctly wave-scheduled build and an impossible one for a build
+/// that secretly serialises.  Armed only when the fresh artefact's
+/// `host_threads >= 2`, like the serving thread-scaling gate.
+const MIN_BUILD_T2_SPEEDUP: f64 = 1.6;
 
 /// Routing gate: at least one routed operating point must hold this
 /// Recall@10 while clearing both throughput bars below — otherwise
@@ -308,6 +338,44 @@ fn check_scaling(entries: &[Value], errors: &mut Vec<String>) {
     }
 }
 
+/// The build-parallelism gate over the fresh `build_sweep[]`: for every
+/// corpus size measured at both `T=1` and `T=2`, the wave build at two
+/// workers must finish in at most `1 / MIN_BUILD_T2_SPEEDUP` of the
+/// single-worker wall clock.  The caller applies the `host_threads`
+/// guard (a single hardware thread cannot exhibit parallel speedup).
+fn check_build_speedup(build_sweep: &[Value], errors: &mut Vec<String>) {
+    let get = |e: &Value, k: &str| e.get_field(k).and_then(Value::as_num);
+    let mut sizes: Vec<f64> = build_sweep.iter().filter_map(|e| get(e, "n_objects")).collect();
+    sizes.sort_by(f64::total_cmp);
+    sizes.dedup();
+    let mut checked = false;
+    for &n in &sizes {
+        let point = |threads: f64| {
+            build_sweep.iter().find(|e| {
+                get(e, "n_objects") == Some(n)
+                    && (get(e, "threads").unwrap_or(-1.0) - threads).abs() < 0.5
+            })
+        };
+        let (Some(t1), Some(t2)) = (point(1.0), point(2.0)) else { continue };
+        let (Some(s1), Some(s2)) = (get(t1, "build_secs"), get(t2, "build_secs")) else { continue };
+        checked = true;
+        if s2 * MIN_BUILD_T2_SPEEDUP > s1 {
+            errors.push(format!(
+                "build_sweep[n{n}]: T=2 build {s2:.2}s is only {:.2}x the T=1 build {s1:.2}s \
+                 (need >= {MIN_BUILD_T2_SPEEDUP}x) — the wave-scheduled build stopped \
+                 converting workers into wall clock",
+                s1 / s2
+            ));
+        }
+    }
+    if !checked {
+        errors.push(
+            "build-speedup gate: build_sweep has no corpus size with both T=1 and T=2 entries"
+                .into(),
+        );
+    }
+}
+
 fn main() {
     let mut args = std::env::args().skip(1);
     let fresh_path = args.next().unwrap_or_else(|| "BENCH_serving.json".into());
@@ -330,6 +398,18 @@ fn main() {
     let open_loop = check_array(&fresh, "open_loop", OPEN_LOOP_KEYS, &mut errors);
     let scale_tier = check_array(&fresh, "scale_tier", SCALE_KEYS, &mut errors);
     check_scale_gates("fresh", &scale_tier, &mut errors);
+    let build_sweep = check_array(&fresh, "build_sweep", BUILD_KEYS, &mut errors);
+    // Build-parallelism gate: armed by the fresh host alone — the sweep
+    // carries its own corpus size, so no committed/corpus match applies.
+    let host_threads = fresh.get_field("host_threads").and_then(Value::as_num).unwrap_or(0.0);
+    if host_threads >= 2.0 {
+        check_build_speedup(&build_sweep, &mut errors);
+    } else {
+        println!(
+            "note: host_threads={host_threads} < 2; build-speedup gate not applicable on \
+             this host"
+        );
+    }
     if open_loop.len() < 3 {
         errors.push(format!(
             "artefact: `open_loop` has {} entries, needs >= 3 arrival rates",
@@ -438,8 +518,6 @@ fn main() {
             // must demonstrate real scaling.  `host_threads` is the fresh
             // run's own parallelism — a 1-thread host cannot exhibit
             // parallel speedup, so the gate stays disarmed there.
-            let host_threads =
-                fresh.get_field("host_threads").and_then(Value::as_num).unwrap_or(0.0);
             if host_threads >= 2.0 {
                 check_scaling(&entries, &mut errors);
             } else {
@@ -464,13 +542,15 @@ fn main() {
     if errors.is_empty() {
         println!(
             "{fresh_path}: schema ok ({} entries, {} shard entries, {} routing entries, \
-             {} churn entries, {} open-loop entries, {} scale-tier entries)",
+             {} churn entries, {} open-loop entries, {} scale-tier entries, {} build-sweep \
+             entries)",
             entries.len(),
             shard_entries.len(),
             routing.len(),
             churn.len(),
             open_loop.len(),
-            scale_tier.len()
+            scale_tier.len(),
+            build_sweep.len()
         );
     } else {
         for e in &errors {

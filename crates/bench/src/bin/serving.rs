@@ -32,6 +32,13 @@
 //! artefact (replacing any entry with the same `n_objects`), so the
 //! expensive tier can be refreshed out-of-band without re-running the
 //! full sweeps; plain runs carry the committed `scale_tier` forward.
+//!
+//! `--build-sweep` runs *only* the **build-throughput sweep**: the
+//! 64k-object semi-synthetic corpus (`MUST_SCALE_N` overrides)
+//! wave-built at every thread count `T ∈ {1, 2, 4, 8, 16, avail}` up to
+//! the host's available parallelism, asserting the bundles are
+//! byte-identical across the sweep and recording `build_secs` +
+//! `speedup_vs_t1` per point.  Merged and carried like `scale_tier`.
 
 use std::time::{Duration, Instant};
 
@@ -70,6 +77,9 @@ struct ShardEntry {
     threads: usize,
     batch: usize,
     build_secs: f64,
+    /// Total worker budget the build ran under (`MUST_BUILD_THREADS`-capped
+    /// available parallelism, divided between concurrent shard builds).
+    build_threads: usize,
     qps: f64,
     p50_ms: f64,
     p99_ms: f64,
@@ -160,6 +170,9 @@ struct ScaleEntry {
     embed_secs: f64,
     /// `Must::build` + `quantize()` wall clock.
     build_secs: f64,
+    /// Worker budget the wave-scheduled graph build ran under (the graph
+    /// itself is byte-identical for any value of this knob).
+    build_threads: usize,
     threads: usize,
     qps: f64,
     p50_ms: f64,
@@ -171,6 +184,19 @@ struct ScaleEntry {
     /// right-sized at 64k starves at 1M, so the tier escalates `l` on
     /// the one expensive build until recall clears the CI gate.
     l: usize,
+}
+
+/// One point of the build-throughput sweep: the same semi-synthetic
+/// corpus wave-built at a fixed explicit thread budget.  The graphs are
+/// byte-identical across the sweep (asserted at measurement time), so
+/// the only thing that moves is the wall clock.
+#[derive(Debug, Clone, Serialize)]
+struct BuildEntry {
+    n_objects: usize,
+    threads: usize,
+    build_secs: f64,
+    /// `build_secs(T=1) / build_secs(T)` on this corpus; 1.0 at T=1.
+    speedup_vs_t1: f64,
 }
 
 /// The whole artefact.
@@ -198,6 +224,10 @@ struct ServingBench {
     /// (kept as raw JSON values so a full re-run never drops the
     /// expensive tier).
     scale_tier: Vec<Value>,
+    /// Build-throughput sweep (`--build-sweep`): wave-build wall clock at
+    /// each thread count on the 64k semi-synthetic corpus.  Carried
+    /// forward by plain runs exactly like `scale_tier`.
+    build_sweep: Vec<Value>,
 }
 
 /// Drives one operating point through any batch-search entry point and
@@ -458,16 +488,10 @@ fn churn_sweep(
     out
 }
 
-/// Runs the scale tier: streams `n` semi-synthetic objects through the
-/// encoders one at a time (constant latent memory), builds the index,
-/// attaches the SQ8 engine, and measures the quantized-scan +
-/// exact-re-rank serving path against the exact joint oracle.
-fn run_scale_tier(k: usize, l: usize) -> ScaleEntry {
-    let n = std::env::var("MUST_SCALE_N")
-        .ok()
-        .and_then(|v| v.parse::<usize>().ok())
-        .unwrap_or_else(|| (1_000_000.0 * must_bench::scale()).round() as usize)
-        .max(256);
+/// Streams `n` semi-synthetic ImageText objects through the encoders one
+/// at a time (constant latent memory) and embeds the 64-query workload.
+/// Returns `(dataset_name, corpus, queries, embed_secs)`.
+fn embed_semisynthetic(n: usize) -> (String, MultiVectorSet, Vec<MultiQuery>, f64) {
     let stream = SemiSyntheticStream::new(SemiSyntheticSpec {
         name: "ImageText1M".into(),
         n_objects: n,
@@ -481,7 +505,7 @@ fn run_scale_tier(k: usize, l: usize) -> ScaleEntry {
     let image = registry.target_embedder(&config);
     let text = registry.unimodal(UnimodalKind::Lstm);
 
-    eprintln!("[serving] scale tier: streaming + embedding {n} objects");
+    eprintln!("[serving] streaming + embedding {n} semi-synthetic objects");
     let t0 = Instant::now();
     let mut b0 = VectorSetBuilder::new(image.dim(), n);
     let mut b1 = VectorSetBuilder::new(text.dim(), n);
@@ -509,6 +533,20 @@ fn run_scale_tier(k: usize, l: usize) -> ScaleEntry {
         })
         .collect();
     let embed_secs = t0.elapsed().as_secs_f64();
+    (stream.spec().name.clone(), objects, queries, embed_secs)
+}
+
+/// Runs the scale tier: streams `n` semi-synthetic objects through the
+/// encoders one at a time (constant latent memory), builds the index,
+/// attaches the SQ8 engine, and measures the quantized-scan +
+/// exact-re-rank serving path against the exact joint oracle.
+fn run_scale_tier(k: usize, l: usize) -> ScaleEntry {
+    let n = std::env::var("MUST_SCALE_N")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .unwrap_or_else(|| (1_000_000.0 * must_bench::scale()).round() as usize)
+        .max(256);
+    let (dataset, objects, queries, embed_secs) = embed_semisynthetic(n);
 
     let weights = Weights::uniform(2);
     let ground_truth =
@@ -566,7 +604,7 @@ fn run_scale_tier(k: usize, l: usize) -> ScaleEntry {
     let (qps, p50_ms, p99_ms, recall_at_10) = measured;
 
     let e = ScaleEntry {
-        dataset: stream.spec().name.clone(),
+        dataset,
         n_objects: n,
         n_queries: queries.len(),
         total_dims,
@@ -575,6 +613,7 @@ fn run_scale_tier(k: usize, l: usize) -> ScaleEntry {
         overhead_bytes_per_object,
         embed_secs,
         build_secs,
+        build_threads: must_graph::par::build_threads(),
         threads,
         qps,
         p50_ms,
@@ -653,11 +692,127 @@ fn carried_scale_tier(path: &str) -> Vec<Value> {
     doc.get_field("scale_tier").and_then(Value::as_array).map(<[Value]>::to_vec).unwrap_or_default()
 }
 
+/// The build-sweep entries already recorded at `path`, if any.
+fn carried_build_sweep(path: &str) -> Vec<Value> {
+    let Ok(text) = std::fs::read_to_string(path) else { return Vec::new() };
+    let Ok(doc) = serde_json::from_str::<Value>(&text) else { return Vec::new() };
+    doc.get_field("build_sweep").and_then(Value::as_array).map(<[Value]>::to_vec).unwrap_or_default()
+}
+
+/// Build-throughput sweep: wave-builds the same semi-synthetic corpus at
+/// each explicit thread budget `T ∈ {1, 2, 4, 8, 16, avail} ∩ [1, avail]`
+/// and records the wall clock.  The graphs must be byte-identical across
+/// the sweep — asserted here on the serialized bundle — so the entries
+/// measure exactly one thing: how the wave scheduler converts workers
+/// into wall-clock.  Default corpus is 64k objects (`MUST_SCALE_N`
+/// overrides).
+fn run_build_sweep() -> Vec<BuildEntry> {
+    let n = std::env::var("MUST_SCALE_N")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .unwrap_or(65_536)
+        .max(256);
+    let (_, objects, _, embed_secs) = embed_semisynthetic(n);
+    eprintln!("[serving] build sweep: corpus ready (embed took {}s)", f4(embed_secs));
+
+    let avail = std::thread::available_parallelism().map_or(1, usize::from);
+    let mut thread_counts: Vec<usize> =
+        [1usize, 2, 4, 8, 16, avail].into_iter().filter(|&t| t <= avail).collect();
+    thread_counts.sort_unstable();
+    thread_counts.dedup();
+
+    let weights = Weights::uniform(2);
+    let mut entries: Vec<BuildEntry> = Vec::new();
+    let mut reference: Option<Vec<u8>> = None;
+    for &threads in &thread_counts {
+        let t0 = Instant::now();
+        let must = Must::build(
+            objects.clone(),
+            weights.clone(),
+            MustBuildOptions {
+                gamma: 16,
+                recipe: GraphRecipe::Hnsw,
+                threads,
+                ..Default::default()
+            },
+        )
+        .expect("build-sweep build");
+        let build_secs = t0.elapsed().as_secs_f64();
+
+        // Thread-count invariance check: the whole bundle (graph edges,
+        // entry point, levels) must not move with the worker budget.
+        let dir = must_bench::out_dir();
+        let bundle = dir.join(format!("build-sweep-t{threads}.bundle"));
+        must_core::persist::save(&must, &bundle).expect("bundle save");
+        let bytes = std::fs::read(&bundle).expect("bundle read");
+        let _ = std::fs::remove_file(&bundle);
+        match &reference {
+            None => reference = Some(bytes),
+            Some(r) => assert_eq!(
+                r, &bytes,
+                "wave build is not thread-count invariant: T=1 vs T={threads} bundles differ"
+            ),
+        }
+
+        let t1_secs = entries.first().map_or(build_secs, |e: &BuildEntry| e.build_secs);
+        let e = BuildEntry {
+            n_objects: n,
+            threads,
+            build_secs,
+            speedup_vs_t1: t1_secs / build_secs,
+        };
+        eprintln!(
+            "[serving] build threads={:<2} n={} build={}s speedup_vs_t1={:.2}x",
+            e.threads,
+            e.n_objects,
+            f4(e.build_secs),
+            e.speedup_vs_t1
+        );
+        entries.push(e);
+    }
+    entries
+}
+
+/// Replaces the artefact's `build_sweep` field wholesale — the sweep is
+/// measured as a unit (speedups are relative to its own T=1 point), so
+/// entry-wise merging would mix incomparable baselines.
+fn merge_build_sweep(path: &str, entries: &[BuildEntry]) {
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        panic!("`--build-sweep` merges into an existing artefact ({path}: {e}); run the full serving bench first")
+    });
+    let mut doc: Value = serde_json::from_str(&text).expect("valid artefact JSON");
+    let ev = Value::Array(
+        entries
+            .iter()
+            .map(|e| {
+                let json = serde_json::to_string_pretty(e).expect("serialisable entry");
+                serde_json::from_str(&json).expect("own serialisation parses")
+            })
+            .collect(),
+    );
+    let Value::Object(fields) = &mut doc else {
+        panic!("artefact root is not a JSON object");
+    };
+    match fields.iter_mut().find(|(name, _)| name.as_str() == "build_sweep") {
+        Some((_, slot)) => *slot = ev,
+        None => fields.push(("build_sweep".into(), ev)),
+    }
+    let json = serde_json::to_string_pretty(&doc).expect("serialisable artefact");
+    std::fs::write(path, &json).expect("can write bench artefact");
+    let _ = std::fs::write(must_bench::out_dir().join("serving.json"), &json);
+    println!("merged build sweep into {path}");
+}
+
 fn main() {
     let path = std::env::var("MUST_BENCH_PATH").unwrap_or_else(|_| "BENCH_serving.json".into());
     if std::env::args().any(|a| a == "--scale") {
         let entry = run_scale_tier(10, 100);
         merge_scale_entry(&path, &entry);
+        return;
+    }
+    if std::env::args().any(|a| a == "--build-sweep") {
+        let entries = run_build_sweep();
+        merge_build_sweep(&path, &entries);
         return;
     }
 
@@ -765,6 +920,7 @@ fn main() {
             threads: shard_threads,
             batch: shard_batch,
             build_secs,
+            build_threads: must_graph::par::build_threads(),
             qps,
             p50_ms,
             p99_ms,
@@ -876,6 +1032,7 @@ fn main() {
         weight_churn,
         open_loop,
         scale_tier: carried_scale_tier(&path),
+        build_sweep: carried_build_sweep(&path),
     };
     let json = serde_json::to_string_pretty(&artefact).expect("serialisable artefact");
     std::fs::write(&path, &json).expect("can write bench artefact");

@@ -27,7 +27,9 @@ pub struct MustBuildOptions {
     /// Worker threads for index construction; `0` (the default) resolves
     /// to `MUST_BUILD_THREADS`-capped available parallelism.  Sharded
     /// builds set an explicit per-shard share so the machine-wide budget
-    /// holds across concurrent shard builds.
+    /// holds across concurrent shard builds.  Every backend — the wave-
+    /// scheduled HNSW included — is thread-count invariant, so this knob
+    /// only moves wall clock, never the built graph.
     pub threads: usize,
 }
 

@@ -111,14 +111,16 @@ pub fn build_index(oracle: &JointOracle<'_>, opts: IndexOptions) -> Result<(Must
     let threads = if opts.threads == 0 { must_graph::par::build_threads() } else { opts.threads };
     let (index, pipeline) = match opts.recipe {
         GraphRecipe::Hnsw => {
-            // HNSW insertion is inherently sequential; no thread knob.
-            let h = Hnsw::build(
+            // Wave-scheduled parallel insertion: thread-count invariant,
+            // so the budget is purely a wall-clock knob.
+            let h = Hnsw::build_with_threads(
                 oracle,
                 HnswParams {
                     m: (opts.gamma / 2).max(4),
                     ef_construction: (opts.gamma * 4).max(64),
                     rng_seed: opts.rng_seed,
                 },
+                threads,
             );
             (MustIndex::Hnsw(h), None)
         }

@@ -1,12 +1,21 @@
 //! HNSW (Malkov & Yashunin, TPAMI 2020): the layered small-world graph used
 //! as one of the pluggable backends in the paper's Fig. 10 ablation.
 
+use std::sync::atomic::{AtomicU32, AtomicUsize, Ordering};
+use std::sync::{Mutex, RwLock};
+
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-use crate::pool::Pool;
-use crate::search::{SearchParams, SearchResult, SearchStats, VisitedSet};
+use crate::par;
+use crate::search::{SearchParams, SearchResult, SearchScratch, SearchStats};
 use crate::{AnnIndex, QueryScorer, SimilarityOracle};
+
+/// Maximum wave length for the wave-scheduled build: bounds transient
+/// candidate memory and keeps the frozen prefix a large fraction of the
+/// graph each node searches against (at the cap, a wave is at most a third
+/// of the committed prefix).
+const WAVE_MAX: usize = 65_536;
 
 /// HNSW construction parameters.
 #[derive(Debug, Clone, Copy)]
@@ -64,19 +73,199 @@ pub struct HnswFlat {
     pub rng_seed: u64,
 }
 
+/// A deferred back-edge batch for one `(node, layer)` whose list would
+/// overflow its cap: re-pruned read-only in the parallel phase, applied in
+/// the serial commit.
+struct BackGroup {
+    nb: u32,
+    layer: u32,
+    adds: Vec<u32>,
+    pruned: Mutex<Vec<u32>>,
+}
+
+/// Draws the level of every node from one seeded RNG stream — shared by
+/// both build paths so level assignment is identical by construction.
+fn assign_levels(n: usize, params: &HnswParams) -> Vec<usize> {
+    let ml = 1.0 / (params.m as f64).ln().max(f64::MIN_POSITIVE);
+    let mut rng = StdRng::seed_from_u64(params.rng_seed);
+    (0..n)
+        .map(|_| {
+            let u: f64 = rng.random::<f64>().max(f64::MIN_POSITIVE);
+            ((-u.ln() * ml).floor() as usize).min(24)
+        })
+        .collect()
+}
+
 impl Hnsw {
-    /// Builds the index by sequential insertion (the canonical algorithm).
+    /// Builds the index with the wave-scheduled parallel algorithm on the
+    /// default worker budget ([`par::build_threads`]).
+    ///
+    /// The output is a pure function of `(oracle, params)` — the wave
+    /// schedule is derived from node ids alone, so the graph is
+    /// byte-identical for every thread count (see [`Self::build_with_threads`]).
     pub fn build<O: SimilarityOracle>(oracle: &O, params: HnswParams) -> Self {
+        Self::build_with_threads(oracle, params, par::build_threads())
+    }
+
+    /// Builds the index with `threads` workers using the wave schedule.
+    ///
+    /// Nodes are partitioned into geometrically growing waves by node id
+    /// (`len = clamp(start/3, 1, 65536)` — thread-count independent, so a
+    /// wave is never more than a third of its frozen prefix).
+    /// Every node in a wave runs its greedy descent + per-layer beam
+    /// search + neighbour selection concurrently against the **frozen**
+    /// graph of all earlier waves; the resulting edges are then committed
+    /// serially in ascending node id with the same selection and pruning
+    /// rules the sequential path used.  Back-edge lists that overflow
+    /// their cap are re-pruned in a second parallel phase (read-only,
+    /// per-list) and applied serially.  No phase ever reads state another
+    /// concurrent task writes, so the result is byte-identical across
+    /// thread counts, including `threads == 1`.
+    pub fn build_with_threads<O: SimilarityOracle>(
+        oracle: &O,
+        params: HnswParams,
+        threads: usize,
+    ) -> Self {
         let n = oracle.len();
         assert!(n > 0, "cannot index an empty object set");
-        let ml = 1.0 / (params.m as f64).ln().max(f64::MIN_POSITIVE);
-        let mut rng = StdRng::seed_from_u64(params.rng_seed);
-        let levels: Vec<usize> = (0..n)
-            .map(|_| {
-                let u: f64 = rng.random::<f64>().max(f64::MIN_POSITIVE);
-                ((-u.ln() * ml).floor() as usize).min(24)
-            })
+        let levels = assign_levels(n, &params);
+        let threads = threads.max(1).min(n);
+        let adjacency: RwLock<Vec<Vec<Vec<u32>>>> =
+            RwLock::new(levels.iter().map(|&l| vec![Vec::new(); l + 1]).collect());
+        let entry = AtomicU32::new(0);
+        let max_level = AtomicUsize::new(levels[0]);
+        // Per-worker search scratch (visited stamps + beam pool), reused
+        // across every wave — the sequential path used to reallocate both
+        // per inserted node, which dominated large builds.
+        let scratches: Vec<Mutex<SearchScratch>> =
+            (0..threads).map(|_| Mutex::new(SearchScratch::default())).collect();
+        const PHASE_CANDIDATES: usize = 0;
+        const PHASE_REPRUNE: usize = 1;
+        let phase = AtomicUsize::new(PHASE_CANDIDATES);
+        let wave_start = AtomicUsize::new(1);
+        // One slot per wave offset; a worker owns slot `item` for the
+        // duration of the phase, so each mutex is locked exactly once.
+        let cand_slots: Vec<Mutex<Vec<Vec<u32>>>> = (0..n.saturating_sub(1).min(WAVE_MAX))
+            .map(|_| Mutex::new(Vec::new()))
             .collect();
+        let groups: RwLock<Vec<BackGroup>> = RwLock::new(Vec::new());
+
+        let worker = |w: usize, item: usize| {
+            let adj = adjacency.read().expect("adjacency lock");
+            if phase.load(Ordering::Relaxed) == PHASE_CANDIDATES {
+                let node = (wave_start.load(Ordering::Relaxed) + item) as u32;
+                let mut scratch = scratches[w].lock().expect("scratch lock");
+                let selected = wave_candidates(
+                    oracle,
+                    &adj,
+                    &params,
+                    node,
+                    levels[node as usize],
+                    entry.load(Ordering::Relaxed),
+                    max_level.load(Ordering::Relaxed),
+                    &mut scratch,
+                );
+                *cand_slots[item].lock().expect("candidate slot") = selected;
+            } else {
+                let gs = groups.read().expect("group lock");
+                let g = &gs[item];
+                let cap = if g.layer == 0 { params.m * 2 } else { params.m };
+                let cur = &adj[g.nb as usize][g.layer as usize];
+                let mut scored: Vec<(u32, f32)> = cur
+                    .iter()
+                    .chain(g.adds.iter())
+                    .map(|&x| (x, oracle.sim(g.nb, x)))
+                    .collect();
+                scored.sort_unstable_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
+                *g.pruned.lock().expect("pruned slot") = heuristic_select(oracle, g.nb, &scored, cap);
+            }
+        };
+
+        par::wave_pool(threads, &worker, |pool| {
+            let mut start = 1usize;
+            while start < n {
+                let len = (start / 3).clamp(1, WAVE_MAX).min(n - start);
+                wave_start.store(start, Ordering::Relaxed);
+                phase.store(PHASE_CANDIDATES, Ordering::Relaxed);
+                pool.run(len);
+                // Serial commit, ascending node id: forward lists first,
+                // then back edges.  Non-overflowing back lists are plain
+                // appends (exactly what the sequential path did); the rest
+                // defer to the parallel re-prune phase.
+                let mut requests: Vec<(u32, u32, u32)> = Vec::new();
+                {
+                    let mut adj = adjacency.write().expect("adjacency lock");
+                    let mut cur_max = max_level.load(Ordering::Relaxed);
+                    let mut cur_entry = entry.load(Ordering::Relaxed);
+                    for (item, slot) in cand_slots.iter().enumerate().take(len) {
+                        let node = (start + item) as u32;
+                        let selected =
+                            std::mem::take(&mut *slot.lock().expect("candidate slot"));
+                        for (l, list) in selected.into_iter().enumerate() {
+                            for &nb in &list {
+                                requests.push((nb, l as u32, node));
+                            }
+                            adj[node as usize][l] = list;
+                        }
+                        if levels[node as usize] > cur_max {
+                            cur_max = levels[node as usize];
+                            cur_entry = node;
+                        }
+                    }
+                    requests.sort_unstable();
+                    let mut pending = Vec::new();
+                    let mut i = 0;
+                    while i < requests.len() {
+                        let (nb, layer, _) = requests[i];
+                        let mut j = i;
+                        while j < requests.len() && requests[j].0 == nb && requests[j].1 == layer {
+                            j += 1;
+                        }
+                        let adds: Vec<u32> = requests[i..j].iter().map(|r| r.2).collect();
+                        let cap = if layer == 0 { params.m * 2 } else { params.m };
+                        let back = &mut adj[nb as usize][layer as usize];
+                        if back.len() + adds.len() <= cap {
+                            back.extend_from_slice(&adds);
+                        } else {
+                            pending.push(BackGroup { nb, layer, adds, pruned: Mutex::new(Vec::new()) });
+                        }
+                        i = j;
+                    }
+                    *groups.write().expect("group lock") = pending;
+                    max_level.store(cur_max, Ordering::Relaxed);
+                    entry.store(cur_entry, Ordering::Relaxed);
+                }
+                let n_groups = groups.read().expect("group lock").len();
+                if n_groups > 0 {
+                    phase.store(PHASE_REPRUNE, Ordering::Relaxed);
+                    pool.run(n_groups);
+                    let done = std::mem::take(&mut *groups.write().expect("group lock"));
+                    let mut adj = adjacency.write().expect("adjacency lock");
+                    for g in done {
+                        adj[g.nb as usize][g.layer as usize] =
+                            g.pruned.into_inner().expect("pruned slot");
+                    }
+                }
+                start += len;
+            }
+        });
+
+        Self {
+            adjacency: adjacency.into_inner().expect("adjacency lock"),
+            entry: entry.load(Ordering::Relaxed),
+            max_level: max_level.load(Ordering::Relaxed),
+            params,
+        }
+    }
+
+    /// Builds the index by strictly sequential insertion — the legacy
+    /// algorithm the wave schedule replaced.  Kept as the recall-parity
+    /// reference: tests pin the wave build's recall against this path on
+    /// the exact oracle before trusting the parallel schedule.
+    pub fn build_sequential<O: SimilarityOracle>(oracle: &O, params: HnswParams) -> Self {
+        let n = oracle.len();
+        assert!(n > 0, "cannot index an empty object set");
+        let levels = assign_levels(n, &params);
         let mut index = Self {
             adjacency: levels.iter().map(|&l| vec![Vec::new(); l + 1]).collect(),
             entry: 0,
@@ -205,23 +394,20 @@ impl Hnsw {
     }
 
     fn insert<O: SimilarityOracle>(&mut self, oracle: &O, node: u32, level: usize) {
-        let mut ep = self.entry;
-        // Greedy descent through layers above the node's level.
-        for l in (level + 1..=self.max_level).rev() {
-            ep = self.greedy_closest(ep, l, |id| oracle.sim(node, id));
-        }
-        // Connect on each layer from min(level, max_level) down to 0.
-        for l in (0..=level.min(self.max_level)).rev() {
-            let cands = self.search_layer(ep, l, self.params.ef_construction, |id| {
-                oracle.sim(node, id)
-            });
+        let mut scratch = SearchScratch::default();
+        let selected = wave_candidates(
+            oracle,
+            &self.adjacency,
+            &self.params,
+            node,
+            level,
+            self.entry,
+            self.max_level,
+            &mut scratch,
+        );
+        for (l, list) in selected.into_iter().enumerate() {
             let cap = if l == 0 { self.params.m * 2 } else { self.params.m };
-            let selected = heuristic_select(oracle, node, &cands, cap);
-            if let Some(&(best, _)) = cands.first() {
-                ep = best;
-            }
-            for &nb in &selected {
-                self.adjacency[node as usize][l].push(nb);
+            for &nb in &list {
                 let back = &mut self.adjacency[nb as usize][l];
                 back.push(node);
                 if back.len() > cap {
@@ -229,11 +415,12 @@ impl Hnsw {
                     let owner = nb;
                     let mut scored: Vec<(u32, f32)> =
                         back.iter().map(|&x| (x, oracle.sim(owner, x))).collect();
-                    scored.sort_unstable_by(|a, b| b.1.total_cmp(&a.1));
+                    scored.sort_unstable_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
                     let pruned = heuristic_select(oracle, owner, &scored, cap);
                     self.adjacency[nb as usize][l] = pruned;
                 }
             }
+            self.adjacency[node as usize][l] = list;
         }
         if level > self.max_level {
             self.max_level = level;
@@ -241,58 +428,102 @@ impl Hnsw {
         }
     }
 
-    /// ef=1 greedy walk on one layer.
-    fn greedy_closest(&self, start: u32, layer: usize, score: impl Fn(u32) -> f32) -> u32 {
-        let mut cur = start;
-        let mut cur_sim = score(cur);
-        loop {
-            let mut improved = false;
-            for &nb in self.layer_neighbors(cur, layer) {
-                let s = score(nb);
-                if s > cur_sim {
-                    cur = nb;
-                    cur_sim = s;
-                    improved = true;
-                }
-            }
-            if !improved {
-                return cur;
-            }
-        }
-    }
-
     fn layer_neighbors(&self, node: u32, layer: usize) -> &[u32] {
-        self.adjacency[node as usize]
-            .get(layer)
-            .map_or(&[], Vec::as_slice)
+        layer_neighbors_in(&self.adjacency, node, layer)
     }
+}
 
-    /// Beam search on one layer; returns scored candidates, best first.
-    fn search_layer(
-        &self,
-        start: u32,
-        layer: usize,
-        ef: usize,
-        score: impl Fn(u32) -> f32,
-    ) -> Vec<(u32, f32)> {
-        let mut pool = Pool::new(ef);
-        let mut visited = VisitedSet::default();
-        visited.reset(self.adjacency.len());
-        visited.mark(start);
-        pool.insert(start, score(start));
-        while let Some(idx) = pool.best_unvisited() {
-            let v = pool.visit(idx);
-            for &u in self.layer_neighbors(v, layer) {
-                if visited.mark(u) {
-                    let s = score(u);
-                    if s > pool.threshold() {
-                        pool.insert(u, s);
-                    }
+fn layer_neighbors_in(adj: &[Vec<Vec<u32>>], node: u32, layer: usize) -> &[u32] {
+    adj[node as usize].get(layer).map_or(&[], Vec::as_slice)
+}
+
+/// ef=1 greedy walk on one layer.
+fn greedy_closest_in(
+    adj: &[Vec<Vec<u32>>],
+    start: u32,
+    layer: usize,
+    score: &impl Fn(u32) -> f32,
+) -> u32 {
+    let mut cur = start;
+    let mut cur_sim = score(cur);
+    loop {
+        let mut improved = false;
+        for &nb in layer_neighbors_in(adj, cur, layer) {
+            let s = score(nb);
+            if s > cur_sim {
+                cur = nb;
+                cur_sim = s;
+                improved = true;
+            }
+        }
+        if !improved {
+            return cur;
+        }
+    }
+}
+
+/// Beam search on one layer; returns scored candidates, best first.  The
+/// caller's scratch (visited stamps + pool) is reused across calls.
+fn search_layer_in(
+    adj: &[Vec<Vec<u32>>],
+    start: u32,
+    layer: usize,
+    ef: usize,
+    score: &impl Fn(u32) -> f32,
+    scratch: &mut SearchScratch,
+) -> Vec<(u32, f32)> {
+    let SearchScratch { visited, pool } = scratch;
+    pool.reset(ef);
+    visited.reset(adj.len());
+    visited.mark(start);
+    pool.insert(start, score(start));
+    while let Some(idx) = pool.best_unvisited() {
+        let v = pool.visit(idx);
+        for &u in layer_neighbors_in(adj, v, layer) {
+            if visited.mark(u) {
+                let s = score(u);
+                if s > pool.threshold() {
+                    pool.insert(u, s);
                 }
             }
         }
-        pool.top_k(ef)
     }
+    pool.top_k(ef)
+}
+
+/// The read-only half of one node's insertion: greedy descent from `entry`
+/// through the layers above `level`, then per-layer beam search + neighbour
+/// selection down to layer 0.  Returns the selected forward list per layer
+/// (`result[l]`, `l <= level.min(max_level)`); nothing in the graph is
+/// mutated, which is what lets a whole wave of nodes run this concurrently
+/// against the frozen prefix.
+#[allow(clippy::too_many_arguments)]
+fn wave_candidates<O: SimilarityOracle>(
+    oracle: &O,
+    adj: &[Vec<Vec<u32>>],
+    params: &HnswParams,
+    node: u32,
+    level: usize,
+    entry: u32,
+    max_level: usize,
+    scratch: &mut SearchScratch,
+) -> Vec<Vec<u32>> {
+    let score = |id: u32| oracle.sim(node, id);
+    let mut ep = entry;
+    for l in (level + 1..=max_level).rev() {
+        ep = greedy_closest_in(adj, ep, l, &score);
+    }
+    let top = level.min(max_level);
+    let mut out = vec![Vec::new(); top + 1];
+    for l in (0..=top).rev() {
+        let cands = search_layer_in(adj, ep, l, params.ef_construction, &score, scratch);
+        let cap = if l == 0 { params.m * 2 } else { params.m };
+        out[l] = heuristic_select(oracle, node, &cands, cap);
+        if let Some(&(best, _)) = cands.first() {
+            ep = best;
+        }
+    }
+    out
 }
 
 /// HNSW's neighbour-selection heuristic — the same occlusion rule as MRNG,
@@ -488,6 +719,82 @@ mod tests {
         let mut bad = good;
         bad.levels.push(0); // phantom node with no lists
         assert!(Hnsw::from_flat(&bad).is_err());
+    }
+
+    #[test]
+    fn wave_build_is_thread_count_invariant() {
+        let oracle = crate::testutil::RandOracle::new(2_000, 12, 0xBEEF);
+        let flats: Vec<HnswFlat> = [1usize, 2, 4]
+            .iter()
+            .map(|&t| {
+                Hnsw::build_with_threads(
+                    &oracle,
+                    HnswParams { m: 10, ef_construction: 48, rng_seed: 11 },
+                    t,
+                )
+                .to_flat()
+            })
+            .collect();
+        assert_eq!(flats[0], flats[1], "T=1 vs T=2");
+        assert_eq!(flats[0], flats[2], "T=1 vs T=4");
+        // And the default entry point is the T-invariant algorithm.
+        let via_default =
+            Hnsw::build(&oracle, HnswParams { m: 10, ef_construction: 48, rng_seed: 11 }).to_flat();
+        assert_eq!(flats[0], via_default);
+    }
+
+    #[test]
+    fn wave_build_recall_parity_with_sequential() {
+        // The wave schedule replaced sequential insertion as the canonical
+        // algorithm; this pins its recall@10 against the exact oracle to
+        // within 0.005 of the legacy path at identical beam width.
+        let oracle = crate::testutil::RandOracle::new(4_000, 12, 0x5EED);
+        let params = HnswParams { m: 12, ef_construction: 80, rng_seed: 5 };
+        let wave = Hnsw::build_with_threads(&oracle, params, 2);
+        let seq = Hnsw::build_sequential(&oracle, params);
+        let recall = |index: &Hnsw| {
+            let mut hits = 0usize;
+            let mut total = 0usize;
+            for q in 0..200u32 {
+                let target = (q * 19) % oracle.len() as u32;
+                let exact = oracle.exact_top_k(target, 10);
+                let scorer = FnScorer(|id| oracle.sim(id, target));
+                let res = index.search(&scorer, SearchParams::seed_only(10, 64), 0);
+                hits += res.results.iter().filter(|(id, _)| exact.contains(id)).count();
+                total += 10;
+            }
+            hits as f64 / total as f64
+        };
+        let r_wave = recall(&wave);
+        let r_seq = recall(&seq);
+        assert!(
+            r_wave >= r_seq - 0.005,
+            "wave recall {r_wave:.4} fell more than 0.005 below sequential {r_seq:.4}"
+        );
+        assert!(r_seq > 0.9, "sequential baseline suspiciously low: {r_seq:.4}");
+    }
+
+    #[test]
+    fn wave_build_respects_degree_caps_and_round_trips() {
+        let oracle = crate::testutil::RandOracle::new(1_500, 8, 7);
+        let m = 6;
+        let index = Hnsw::build_with_threads(
+            &oracle,
+            HnswParams { m, ef_construction: 32, rng_seed: 3 },
+            4,
+        );
+        for node in 0..index.adjacency.len() {
+            for (level, nbrs) in index.adjacency[node].iter().enumerate() {
+                let cap = if level == 0 { m * 2 } else { m };
+                assert!(nbrs.len() <= cap, "node {node} level {level}: {}", nbrs.len());
+                for &nb in nbrs {
+                    assert_ne!(nb, node as u32, "self edge at node {node}");
+                    assert!((nb as usize) < index.adjacency.len());
+                }
+            }
+        }
+        let back = Hnsw::from_flat(&index.to_flat()).unwrap();
+        assert_eq!(back.adjacency, index.adjacency);
     }
 
     #[test]

@@ -270,6 +270,64 @@ pub(crate) mod testutil {
             -((ax - cx).powi(2) + (ay - cy).powi(2))
         }
     }
+
+    /// Random unit vectors with dot-product similarity: ties are
+    /// measure-zero (unlike the integer grids above) and exact top-k
+    /// ground truth is one linear scan away — the oracle recall tests use.
+    pub struct RandOracle {
+        pub vecs: Vec<Vec<f32>>,
+        centroid: Vec<f32>,
+    }
+
+    impl RandOracle {
+        pub fn new(n: usize, dim: usize, seed: u64) -> Self {
+            use rand::{Rng, SeedableRng};
+            let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+            let vecs: Vec<Vec<f32>> = (0..n)
+                .map(|_| {
+                    let mut v: Vec<f32> =
+                        (0..dim).map(|_| rng.random::<f32>() * 2.0 - 1.0).collect();
+                    let norm = v.iter().map(|x| x * x).sum::<f32>().sqrt().max(1e-6);
+                    for x in &mut v {
+                        *x /= norm;
+                    }
+                    v
+                })
+                .collect();
+            let mut centroid = vec![0.0f32; dim];
+            for v in &vecs {
+                for (c, x) in centroid.iter_mut().zip(v) {
+                    *c += x / n as f32;
+                }
+            }
+            Self { vecs, centroid }
+        }
+
+        /// Exact top-`k` ids for the query "most similar to `target`",
+        /// including `target` itself, by brute-force scan.
+        pub fn exact_top_k(&self, target: u32, k: usize) -> Vec<u32> {
+            let mut scored: Vec<(u32, f32)> =
+                (0..self.len() as u32).map(|id| (id, self.sim(id, target))).collect();
+            scored.sort_unstable_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
+            scored.truncate(k);
+            scored.into_iter().map(|(id, _)| id).collect()
+        }
+    }
+
+    impl SimilarityOracle for RandOracle {
+        fn len(&self) -> usize {
+            self.vecs.len()
+        }
+        fn sim(&self, a: u32, b: u32) -> f32 {
+            self.vecs[a as usize].iter().zip(&self.vecs[b as usize]).map(|(x, y)| x * y).sum()
+        }
+        fn self_sim(&self, a: u32) -> f32 {
+            self.sim(a, a)
+        }
+        fn sim_to_centroid(&self, a: u32) -> f32 {
+            self.vecs[a as usize].iter().zip(&self.centroid).map(|(x, c)| x * c).sum()
+        }
+    }
 }
 
 #[cfg(test)]

@@ -5,7 +5,8 @@
 //! in a work-stealing runtime — construction is embarrassingly parallel
 //! over vertex ranges.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Condvar, Mutex, PoisonError};
 
 /// Number of worker threads to use for index construction: the available
 /// parallelism, capped by the `MUST_BUILD_THREADS` environment variable if
@@ -44,6 +45,55 @@ pub fn par_map<T: Send, F: Fn(usize) -> T + Sync>(n: usize, threads: usize, f: F
     out.into_iter().map(|x| x.expect("all slots filled")).collect()
 }
 
+/// Like [`par_map`], but workers claim fixed-size chunks through a shared
+/// atomic counter instead of pre-assigned contiguous stripes.  When per-item
+/// cost is skewed (graph insertion: late, high-degree nodes cost far more
+/// than early ones) striping leaves the unlucky thread running alone at the
+/// end; chunk claiming keeps every worker busy until the tail.  Results are
+/// still index-ordered — each chunk is a disjoint window of the output, so
+/// the claim order never shows in the returned `Vec`.
+pub fn par_map_chunked<T: Send, F: Fn(usize) -> T + Sync>(
+    n: usize,
+    threads: usize,
+    f: F,
+) -> Vec<T> {
+    if n == 0 {
+        return Vec::new();
+    }
+    let threads = threads.max(1).min(n);
+    if threads == 1 {
+        return (0..n).map(f).collect();
+    }
+    // Small chunks relative to n/threads so claim order can absorb skew;
+    // each chunk is claimed exactly once, so the per-chunk mutex is never
+    // contended — it only exists to hand the disjoint window to a worker.
+    let chunk = (n / (threads * 8)).max(1);
+    let mut out: Vec<Option<T>> = (0..n).map(|_| None).collect();
+    let slots: Vec<Mutex<&mut [Option<T>]>> =
+        out.chunks_mut(chunk).map(Mutex::new).collect();
+    let counter = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            let f = &f;
+            let slots = &slots;
+            let counter = &counter;
+            scope.spawn(move || loop {
+                let c = counter.fetch_add(1, Ordering::Relaxed);
+                if c >= slots.len() {
+                    break;
+                }
+                let mut slot = slots[c].lock().expect("chunk slot");
+                let base = c * chunk;
+                for (off, s) in slot.iter_mut().enumerate() {
+                    *s = Some(f(base + off));
+                }
+            });
+        }
+    });
+    drop(slots);
+    out.into_iter().map(|x| x.expect("all slots filled")).collect()
+}
+
 /// Runs `f(i)` for every `i in 0..n` for side effects, work-stealing via an
 /// atomic counter (good when per-item cost is skewed).
 pub fn par_for<F: Fn(usize) + Sync>(n: usize, threads: usize, f: F) {
@@ -74,6 +124,182 @@ pub fn par_for<F: Fn(usize) + Sync>(n: usize, threads: usize, f: F) {
             });
         }
     });
+}
+
+/// Shared state for a [`wave_pool`] — start/finish rendezvous for one pool
+/// of persistent workers executing a sequence of parallel phases.
+struct WaveShared {
+    ctl: Mutex<WaveCtl>,
+    start: Condvar,
+    counter: AtomicUsize,
+    chunk: AtomicUsize,
+    fin: Mutex<usize>,
+    fin_cv: Condvar,
+    panicked: AtomicBool,
+}
+
+struct WaveCtl {
+    epoch: u64,
+    n: usize,
+    shutdown: bool,
+}
+
+impl WaveShared {
+    fn new() -> Self {
+        Self {
+            ctl: Mutex::new(WaveCtl { epoch: 0, n: 0, shutdown: false }),
+            start: Condvar::new(),
+            counter: AtomicUsize::new(0),
+            chunk: AtomicUsize::new(1),
+            fin: Mutex::new(0),
+            fin_cv: Condvar::new(),
+            panicked: AtomicBool::new(false),
+        }
+    }
+}
+
+/// Handle passed to the `driver` closure of [`wave_pool`]: each
+/// [`WaveRunner::run`] dispatches one parallel phase to the persistent
+/// workers (the calling thread participates as worker 0) and returns when
+/// every item has been processed.
+pub struct WaveRunner<'a> {
+    shared: &'a WaveShared,
+    worker: &'a (dyn Fn(usize, usize) + Sync),
+    threads: usize,
+}
+
+impl WaveRunner<'_> {
+    /// Runs `worker(worker_id, item)` for every `item in 0..n` across the
+    /// pool, blocking until all items are done.  Items are claimed in
+    /// chunks through an atomic counter, so skewed per-item costs balance;
+    /// callers must not depend on *which* worker sees an item — only that
+    /// each item runs exactly once per call.
+    ///
+    /// # Panics
+    /// Propagates (as a panic on the calling thread) any panic raised by
+    /// the worker closure on a pool thread.
+    pub fn run(&self, n: usize) {
+        if n == 0 {
+            return;
+        }
+        let spawned = self.threads - 1;
+        if spawned == 0 {
+            for i in 0..n {
+                (self.worker)(0, i);
+            }
+            return;
+        }
+        self.shared.counter.store(0, Ordering::Relaxed);
+        self.shared.chunk.store((n / (self.threads * 8)).max(1), Ordering::Relaxed);
+        *self.shared.fin.lock().expect("fin lock") = 0;
+        {
+            let mut ctl = self.shared.ctl.lock().expect("ctl lock");
+            ctl.epoch += 1;
+            ctl.n = n;
+        }
+        self.shared.start.notify_all();
+        claim_items(self.shared, n, 0, self.worker);
+        let mut fin = self.shared.fin.lock().expect("fin lock");
+        while *fin < spawned {
+            fin = self.shared.fin_cv.wait(fin).expect("fin wait");
+        }
+        drop(fin);
+        assert!(
+            !self.shared.panicked.load(Ordering::Relaxed),
+            "wave_pool worker panicked"
+        );
+    }
+}
+
+fn claim_items(shared: &WaveShared, n: usize, w: usize, worker: &(dyn Fn(usize, usize) + Sync)) {
+    let chunk = shared.chunk.load(Ordering::Relaxed);
+    loop {
+        let start = shared.counter.fetch_add(chunk, Ordering::Relaxed);
+        if start >= n {
+            return;
+        }
+        for i in start..(start + chunk).min(n) {
+            worker(w, i);
+        }
+    }
+}
+
+fn wave_worker_loop(shared: &WaveShared, w: usize, worker: &(dyn Fn(usize, usize) + Sync)) {
+    let mut seen = 0u64;
+    loop {
+        let n = {
+            let mut ctl = shared.ctl.lock().expect("ctl lock");
+            while ctl.epoch == seen && !ctl.shutdown {
+                ctl = shared.start.wait(ctl).expect("ctl wait");
+            }
+            if ctl.shutdown {
+                return;
+            }
+            seen = ctl.epoch;
+            ctl.n
+        };
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            claim_items(shared, n, w, worker);
+        }));
+        if caught.is_err() {
+            shared.panicked.store(true, Ordering::Relaxed);
+        }
+        let mut fin = shared.fin.lock().expect("fin lock");
+        *fin += 1;
+        shared.fin_cv.notify_all();
+    }
+}
+
+/// Signals shutdown to the pool workers even if the driver unwinds, so the
+/// enclosing scope's implicit join can never deadlock.
+struct WaveShutdown<'a>(&'a WaveShared);
+
+impl Drop for WaveShutdown<'_> {
+    fn drop(&mut self) {
+        let mut ctl = self.0.ctl.lock().unwrap_or_else(PoisonError::into_inner);
+        ctl.shutdown = true;
+        drop(ctl);
+        self.0.start.notify_all();
+    }
+}
+
+/// A persistent scoped worker pool for wave-structured algorithms: spawn
+/// `threads - 1` workers **once**, then run many short parallel phases
+/// against them without re-spawning per phase (an HNSW build runs 2 phases
+/// per wave × ~40 waves; spawning ~80 × T threads would dominate small
+/// builds).
+///
+/// `worker(worker_id, item)` is the single phase body for the whole pool's
+/// lifetime — multi-phase algorithms dispatch on shared state (e.g. an
+/// `AtomicUsize` phase tag captured by the closure).  `driver` receives a
+/// [`WaveRunner`] and interleaves `run(n)` calls (parallel phases) with
+/// plain serial code; between `run`s the workers park on a condvar, so the
+/// driver has exclusive access to anything the phases share.
+///
+/// With `threads == 1` no threads are spawned and `run` degenerates to a
+/// sequential loop — the degenerate pool is how thread-count-invariant
+/// algorithms get tested against their parallel selves.
+pub fn wave_pool<R>(
+    threads: usize,
+    worker: &(impl Fn(usize, usize) + Sync),
+    driver: impl FnOnce(&WaveRunner<'_>) -> R,
+) -> R {
+    let threads = threads.max(1);
+    let shared = WaveShared::new();
+    let worker: &(dyn Fn(usize, usize) + Sync) = worker;
+    if threads == 1 {
+        let runner = WaveRunner { shared: &shared, worker, threads: 1 };
+        return driver(&runner);
+    }
+    std::thread::scope(|scope| {
+        for w in 1..threads {
+            let shared = &shared;
+            scope.spawn(move || wave_worker_loop(shared, w, worker));
+        }
+        let _guard = WaveShutdown(&shared);
+        let runner = WaveRunner { shared: &shared, worker, threads };
+        driver(&runner)
+    })
 }
 
 #[cfg(test)]
@@ -110,5 +336,74 @@ mod tests {
     #[test]
     fn build_threads_is_positive() {
         assert!(build_threads() >= 1);
+    }
+
+    #[test]
+    fn par_map_chunked_is_index_ordered_under_skew() {
+        // Wildly uneven per-item cost scrambles the claim order; the output
+        // must still be index-ordered and identical to the serial map.
+        let n = 2_731;
+        let f = |i: usize| {
+            let spin = if i.is_multiple_of(97) { 5_000 } else { 1 };
+            let mut acc = i as u64;
+            for _ in 0..spin {
+                acc = acc.wrapping_mul(6_364_136_223_846_793_005).wrapping_add(1);
+            }
+            (i as u64) << 20 | (acc & 0xFFF)
+        };
+        let serial: Vec<u64> = (0..n).map(f).collect();
+        for threads in [2, 3, 8] {
+            assert_eq!(par_map_chunked(n, threads, f), serial, "threads {threads}");
+        }
+    }
+
+    #[test]
+    fn par_map_chunked_handles_edge_cases() {
+        assert!(par_map_chunked(0, 4, |i| i).is_empty());
+        assert_eq!(par_map_chunked(1, 4, |i| i + 1), vec![1]);
+        assert_eq!(par_map_chunked(5, 1, |i| i), vec![0, 1, 2, 3, 4]);
+        assert_eq!(par_map_chunked(3, 64, |i| i * 3), vec![0, 3, 6]);
+    }
+
+    #[test]
+    fn wave_pool_runs_every_item_once_per_phase() {
+        for threads in [1, 2, 4] {
+            let marks: Vec<AtomicU64> = (0..500).map(|_| AtomicU64::new(0)).collect();
+            let worker = |_w: usize, i: usize| {
+                marks[i].fetch_add(1, Ordering::Relaxed);
+            };
+            wave_pool(threads, &worker, |pool| {
+                for phase in 1..=4u64 {
+                    pool.run(500);
+                    // Between runs the driver has the pool parked: every
+                    // item must have been hit exactly `phase` times.
+                    for (i, m) in marks.iter().enumerate() {
+                        assert_eq!(m.load(Ordering::Relaxed), phase, "item {i} T={threads}");
+                    }
+                }
+                pool.run(0); // empty phase is a no-op
+            });
+        }
+    }
+
+    #[test]
+    fn wave_pool_phases_see_prior_serial_writes() {
+        // The driver mutates shared state between phases; workers must
+        // observe it (the condvar rendezvous is the synchronisation edge).
+        let bias = Mutex::new(0u64);
+        let out: Vec<AtomicU64> = (0..256).map(|_| AtomicU64::new(0)).collect();
+        let worker = |_w: usize, i: usize| {
+            let b = *bias.lock().expect("bias");
+            out[i].store(b + i as u64, Ordering::Relaxed);
+        };
+        wave_pool(4, &worker, |pool| {
+            for round in 0..3u64 {
+                *bias.lock().expect("bias") = round * 1_000;
+                pool.run(256);
+                for (i, o) in out.iter().enumerate() {
+                    assert_eq!(o.load(Ordering::Relaxed), round * 1_000 + i as u64);
+                }
+            }
+        });
     }
 }

@@ -165,21 +165,27 @@ impl PartialEq for CodeStore {
 #[must_use]
 pub fn seg_quant_stats(q: &[f32], codes: &[u8], min: f32, step: f32) -> (f32, f32) {
     debug_assert_eq!(q.len(), codes.len());
+    // 8 accumulator lanes — the same width as `FUSED_LANE`, so the decode
+    // + accumulate loop vectorises to the same register shape as the f32
+    // fused kernels instead of leaving half the lanes on the table.
+    const LANES: usize = 8;
     let n = q.len();
-    let mut d2 = [0.0f32; 4];
-    let mut dot = [0.0f32; 4];
-    let chunks = n / 4;
+    let mut d2 = [0.0f32; LANES];
+    let mut dot = [0.0f32; LANES];
+    let chunks = n / LANES;
     for c in 0..chunks {
-        let i = c * 4;
-        for lane in 0..4 {
+        let i = c * LANES;
+        for lane in 0..LANES {
             let v = min + step * f32::from(codes[i + lane]);
             let d = q[i + lane] - v;
             d2[lane] += d * d;
             dot[lane] += q[i + lane] * v;
         }
     }
-    let (mut d2s, mut dots) = (d2[0] + d2[1] + d2[2] + d2[3], dot[0] + dot[1] + dot[2] + dot[3]);
-    for i in chunks * 4..n {
+    let mut d2s = ((d2[0] + d2[1]) + (d2[2] + d2[3])) + ((d2[4] + d2[5]) + (d2[6] + d2[7]));
+    let mut dots =
+        ((dot[0] + dot[1]) + (dot[2] + dot[3])) + ((dot[4] + dot[5]) + (dot[6] + dot[7]));
+    for i in chunks * LANES..n {
         let v = min + step * f32::from(codes[i]);
         let d = q[i] - v;
         d2s += d * d;
